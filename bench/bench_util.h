@@ -1,0 +1,80 @@
+// Shared helpers for the experiment drivers: --scale parsing and uniform
+// printing of summaries and CDF series.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/stats.h"
+#include "sim/metrics.h"
+
+namespace dmap::bench {
+
+struct BenchOptions {
+  double scale = 1.0;
+};
+
+inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      options.scale = std::atof(arg + 8);
+      if (options.scale <= 0) {
+        std::fprintf(stderr, "bad --scale value: %s\n", arg + 8);
+        std::exit(2);
+      }
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: %s [--scale=<f>]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+inline std::uint64_t Scaled(std::uint64_t base, double scale,
+                            std::uint64_t minimum = 1) {
+  const auto scaled = std::uint64_t(double(base) * scale);
+  return scaled < minimum ? minimum : scaled;
+}
+
+inline std::uint32_t ScaledU32(std::uint32_t base, double scale,
+                               std::uint32_t minimum = 1) {
+  return std::uint32_t(Scaled(base, scale, minimum));
+}
+
+inline void PrintSummaryRow(TextTable& table, const std::string& label,
+                            const SampleSet& samples) {
+  const ResponseTimeSummary s = Summarize(samples);
+  table.AddRow({label, std::to_string(s.count),
+                TextTable::FormatDouble(s.mean_ms),
+                TextTable::FormatDouble(s.median_ms),
+                TextTable::FormatDouble(s.p95_ms)});
+}
+
+// CDF series on a log-spaced x axis, matching the paper's response-time
+// plots (Figures 4-5).
+inline void PrintCdf(const std::string& label, const SampleSet& samples,
+                     int points = 16, const char* unit = "ms") {
+  std::printf("CDF %s:\n", label.c_str());
+  for (const auto& [x, fraction] : samples.CdfLogSpaced(points)) {
+    std::printf("  %10.2f %s  %6.4f\n", x, unit, fraction);
+  }
+}
+
+// Linear-axis variant (Figure 6's NLR CDF).
+inline void PrintCdfLinear(const std::string& label, const SampleSet& samples,
+                           int points = 16, const char* unit = "") {
+  std::printf("CDF %s:\n", label.c_str());
+  for (const auto& [x, fraction] : samples.CdfLinearSpaced(points)) {
+    std::printf("  %10.3f %s  %6.4f\n", x, unit, fraction);
+  }
+}
+
+}  // namespace dmap::bench

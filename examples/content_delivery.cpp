@@ -1,0 +1,109 @@
+// Content retrieval scenario (Figure 1's "VideoB"): GUIDs name abstract
+// objects, not just hosts. A video is replicated at several hosting sites,
+// so its GUID maps to multiple NAs; each client resolves the GUID once and
+// fetches from the NA whose AS is nearest.
+//
+// Demonstrates: multi-homed mappings (NaSet), popularity-weighted clients,
+// and the latency advantage of picking the closest NA from the resolved
+// set.
+//
+//   ./build/examples/content_delivery
+#include <cstdio>
+
+#include "common/stats.h"
+#include "core/dmap_service.h"
+#include "sim/environment.h"
+#include "topo/shortest_path.h"
+#include "workload/workload.h"
+
+int main() {
+  using namespace dmap;
+
+  const SimEnvironment env =
+      BuildEnvironment(EnvironmentParams::Scaled(2000, /*seed=*/11));
+  DMapOptions options;
+  options.k = 5;
+  DMapService dmap(env.graph, env.table, options);
+
+  // Pick hosting sites the way a CDN would: estimate each candidate AS's
+  // average RTT over a client sample and deploy at the three most central,
+  // comparable sites — per-client path differences then decide which one
+  // serves whom.
+  PathOracle placement_oracle(env.graph, /*capacity=*/128);
+  std::vector<AsId> candidates;
+  for (AsId as = 0; as < env.graph.num_nodes(); ++as) {
+    if (env.graph.Degree(as) >= 6 && env.graph.IntraLatencyMs(as) < 3.0) {
+      candidates.push_back(as);
+    }
+  }
+  std::vector<double> avg_rtt(candidates.size(), 0.0);
+  {
+    Rng probe_rng(99);
+    constexpr int kProbes = 100;
+    for (int p = 0; p < kProbes; ++p) {
+      const AsId client = AsId(probe_rng.NextBounded(env.graph.num_nodes()));
+      const auto latencies = placement_oracle.LatenciesFrom(client);
+      for (std::size_t j = 0; j < candidates.size(); ++j) {
+        const AsId site = candidates[j];
+        avg_rtt[j] += 2.0 * (env.graph.IntraLatencyMs(client) +
+                             double(latencies[site]) +
+                             env.graph.IntraLatencyMs(site));
+      }
+    }
+  }
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t j = 0; j < order.size(); ++j) order[j] = j;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return avg_rtt[a] < avg_rtt[b];
+  });
+  const std::vector<AsId> sites{candidates[order[0]], candidates[order[1]],
+                                candidates[order[2]]};
+
+  // The video's GUID carries one NA per hosting site.
+  const Guid video = GuidFromKeyMaterial(std::vector<std::uint8_t>{
+      'v', 'i', 'd', 'e', 'o', '-', 'B'});
+  dmap.Insert(video, NetworkAddress{sites[0], 80});
+  for (std::size_t i = 1; i < sites.size(); ++i) {
+    dmap.AddAttachment(video, NetworkAddress{sites[i], 80});
+  }
+  std::printf("content GUID %s... hosted at ASs %u, %u, %u\n\n",
+              video.ToHex().substr(0, 16).c_str(), sites[0], sites[1],
+              sites[2]);
+
+  // Clients from end-node-weighted ASs resolve and fetch.
+  WorkloadParams params;
+  params.num_guids = 1;  // only used for source sampling here
+  params.seed = 3;
+  WorkloadGenerator clients(env.graph, params);
+  PathOracle oracle(env.graph);
+
+  SampleSet resolution_ms, nearest_fetch_ms, first_na_fetch_ms;
+  constexpr int kClients = 200;
+  for (int c = 0; c < kClients; ++c) {
+    const AsId client = clients.Lookups(1, false)[0].source;
+    const LookupResult r = dmap.Lookup(video, client);
+    if (!r.found) continue;
+    resolution_ms.Add(r.latency_ms);
+
+    // Naive strategy: fetch from whichever NA came first.
+    first_na_fetch_ms.Add(oracle.RttMs(client, r.nas[0].as));
+    // DMap-enabled strategy: fetch from the nearest NA in the set.
+    double best = 1e18;
+    for (const NetworkAddress& na : r.nas) {
+      best = std::min(best, oracle.RttMs(client, na.as));
+    }
+    nearest_fetch_ms.Add(best);
+  }
+
+  std::printf("%zu clients resolved the GUID\n", resolution_ms.count());
+  std::printf("  resolution:        mean %6.1f ms, p95 %6.1f ms\n",
+              resolution_ms.mean(), resolution_ms.Quantile(0.95));
+  std::printf("  fetch, first NA:   mean %6.1f ms RTT\n",
+              first_na_fetch_ms.mean());
+  std::printf("  fetch, nearest NA: mean %6.1f ms RTT  (%.0f%% faster via "
+              "multi-NA mappings)\n",
+              nearest_fetch_ms.mean(),
+              100.0 * (1.0 - nearest_fetch_ms.mean() /
+                                 first_na_fetch_ms.mean()));
+  return 0;
+}

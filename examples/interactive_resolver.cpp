@@ -1,0 +1,164 @@
+// Interactive DMap console: a small REPL for exploring the system by hand.
+// Reads commands from stdin; great for demos and debugging.
+//
+//   ./build/examples/interactive_resolver
+//
+// Commands:
+//   insert <name> <as>        register a named host attached to <as>
+//   lookup <name> <from-as>   resolve it from a vantage AS
+//   move <name> <as>          mobility update
+//   fail <as> / recover <as>  toggle a router failure
+//   replicas <name>           show the K replica ASs and hole rehashes
+//   stats                     storage totals and the busiest ASs
+//   help / quit
+//
+// Names are hashed into self-certifying GUIDs, so any string works.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/dmap_service.h"
+#include "sim/environment.h"
+
+namespace {
+
+dmap::Guid GuidFor(const std::string& name) {
+  return dmap::GuidFromKeyMaterial(std::vector<std::uint8_t>(
+      name.begin(), name.end()));
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  insert <name> <as>        register host <name> at AS <as>\n"
+      "  lookup <name> <from-as>   resolve from a vantage AS\n"
+      "  move <name> <as>          mobility update\n"
+      "  fail <as> | recover <as>  toggle router failure\n"
+      "  replicas <name>           show replica placement\n"
+      "  stats                     storage distribution summary\n"
+      "  help | quit\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace dmap;
+
+  const SimEnvironment env =
+      BuildEnvironment(EnvironmentParams::Scaled(1000));
+  DMapOptions options;
+  options.k = 5;
+  DMapService service(env.graph, env.table, options);
+  std::unordered_set<AsId> failed;
+
+  std::printf("DMap interactive console — %u ASs, %zu prefixes, K=%d\n",
+              env.graph.num_nodes(), env.table.num_prefixes(), options.k);
+  PrintHelp();
+
+  std::string line;
+  std::printf("> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    try {
+      if (cmd == "quit" || cmd == "exit") {
+        break;
+      } else if (cmd == "help") {
+        PrintHelp();
+      } else if (cmd == "insert" || cmd == "move") {
+        std::string name;
+        AsId as;
+        if (!(in >> name >> as) || as >= env.graph.num_nodes()) {
+          std::printf("usage: %s <name> <as 0..%u>\n", cmd.c_str(),
+                      env.graph.num_nodes() - 1);
+        } else {
+          const Guid guid = GuidFor(name);
+          const UpdateResult r =
+              cmd == "insert"
+                  ? service.Insert(guid, NetworkAddress{as, 1})
+                  : service.Update(guid, NetworkAddress{as, 1});
+          std::printf("%s '%s' at AS %u: v%llu, %zu replicas, %.1f ms\n",
+                      cmd.c_str(), name.c_str(), as,
+                      (unsigned long long)r.version, r.replicas.size(),
+                      r.latency_ms);
+        }
+      } else if (cmd == "lookup") {
+        std::string name;
+        AsId from;
+        if (!(in >> name >> from) || from >= env.graph.num_nodes()) {
+          std::printf("usage: lookup <name> <from-as>\n");
+        } else {
+          const LookupResult r = service.Lookup(GuidFor(name), from);
+          if (!r.found) {
+            std::printf("'%s' NOT FOUND (%d probes, %.1f ms wasted)\n",
+                        name.c_str(), r.attempts, r.latency_ms);
+          } else {
+            std::printf("'%s' -> %s via AS %u in %.1f ms (%d probe%s%s)\n",
+                        name.c_str(), ToString(r.nas[0]).c_str(),
+                        r.serving_as, r.latency_ms, r.attempts,
+                        r.attempts == 1 ? "" : "s",
+                        r.served_locally ? ", local replica" : "");
+          }
+        }
+      } else if (cmd == "replicas") {
+        std::string name;
+        if (!(in >> name)) {
+          std::printf("usage: replicas <name>\n");
+        } else {
+          for (const HostResolution& r :
+               service.resolver().ResolveAll(GuidFor(name))) {
+            std::printf("  h -> %s -> AS %-5u (%d hash%s%s)\n",
+                        r.stored_address.ToString().c_str(), r.host,
+                        r.hash_count, r.hash_count == 1 ? "" : "es",
+                        r.used_nearest ? ", deputy via IP distance" : "");
+          }
+        }
+      } else if (cmd == "fail" || cmd == "recover") {
+        AsId as;
+        if (!(in >> as) || as >= env.graph.num_nodes()) {
+          std::printf("usage: %s <as>\n", cmd.c_str());
+        } else {
+          if (cmd == "fail") {
+            failed.insert(as);
+          } else {
+            failed.erase(as);
+          }
+          service.SetFailedAses({failed.begin(), failed.end()});
+          std::printf("%zu AS(s) failed\n", failed.size());
+        }
+      } else if (cmd == "stats") {
+        const auto sizes = service.StoreSizes();
+        std::vector<std::pair<std::size_t, AsId>> busiest;
+        std::uint64_t total = 0;
+        for (AsId as = 0; as < sizes.size(); ++as) {
+          total += sizes[as];
+          if (sizes[as] > 0) busiest.emplace_back(sizes[as], as);
+        }
+        std::sort(busiest.rbegin(), busiest.rend());
+        std::printf("%llu mapping entries across %zu ASs (%.1f KB wire "
+                    "format)\n",
+                    (unsigned long long)total, busiest.size(),
+                    double(total) * kMappingEntryBits / 8.0 / 1024.0);
+        for (std::size_t i = 0; i < std::min<std::size_t>(5, busiest.size());
+             ++i) {
+          std::printf("  AS %-5u holds %zu\n", busiest[i].second,
+                      busiest[i].first);
+        }
+      } else if (!cmd.empty()) {
+        std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

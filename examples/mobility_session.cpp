@@ -1,0 +1,81 @@
+// Mobility scenario from the paper's introduction: a 30-minute voice call
+// to a phone that changes network attachment many times while the call is
+// up. The correspondent re-resolves the GUID after every move; the paper's
+// requirement is that resolution completes well inside voice-handoff
+// budgets (~100 ms for the 95th percentile).
+//
+// Run on the discrete-event kernel: moves and re-resolutions are scheduled
+// events, and the staleness window of Section III-D-2 (query racing an
+// in-flight update) is shown explicitly.
+//
+//   ./build/examples/mobility_session
+#include <cstdio>
+
+#include "common/stats.h"
+#include "core/dmap_service.h"
+#include "event/simulator.h"
+#include "sim/environment.h"
+#include "sim/event_driven.h"
+
+int main() {
+  using namespace dmap;
+
+  const SimEnvironment env =
+      BuildEnvironment(EnvironmentParams::Scaled(2000, /*seed=*/7));
+  DMapOptions options;
+  options.k = 5;
+  DMapService dmap(env.graph, env.table, options);
+
+  const Guid phone = Guid::FromSequence(0xca11);
+  const AsId correspondent = 55;
+  dmap.Insert(phone, NetworkAddress{100, 1});
+
+  Simulator sim;
+  EventDrivenLookup resolver(sim, dmap);
+  SampleSet handoff_latencies;
+
+  // The phone's trajectory: a new AS every ~2 minutes of simulated time.
+  const std::vector<AsId> trajectory{250, 400, 620, 800, 1100, 1400, 1777};
+  std::printf("voice call established: correspondent AS %u -> phone "
+              "(AS 100)\n\n",
+              correspondent);
+
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    const SimTime move_time = SimTime::Seconds(120.0 * double(i + 1));
+    const AsId new_as = trajectory[i];
+    sim.ScheduleAt(move_time, [&, new_as, i] {
+      // The binding update propagates to all replicas in parallel; until it
+      // lands, queriers can still receive the previous NA (Section
+      // III-D-2) and retry.
+      const UpdateResult up =
+          dmap.Update(phone, NetworkAddress{new_as, std::uint32_t(i) + 2});
+      std::printf("t=%7.1fs  phone re-attached to AS %-5u (update took "
+                  "%5.1f ms across %zu replicas)\n",
+                  sim.Now().seconds(), new_as, up.latency_ms,
+                  up.replicas.size());
+
+      // The correspondent notices loss of connectivity and re-resolves.
+      resolver.LookupAsync(
+          phone, correspondent, SimTime::Millis(1.0),
+          [&, new_as](const LookupResult& r) {
+            handoff_latencies.Add(r.latency_ms);
+            const bool fresh = r.found && r.nas.AttachedTo(new_as);
+            std::printf("t=%7.1fs  re-resolution: %s at %s in %5.1f ms%s\n",
+                        sim.Now().seconds(), r.found ? "phone" : "nothing",
+                        r.found ? ToString(r.nas[0]).c_str() : "-",
+                        r.latency_ms,
+                        fresh ? "" : "  [stale - would retry]");
+          });
+    });
+  }
+
+  sim.Run();
+
+  std::printf("\nhandoff re-resolution latency: mean %.1f ms, worst %.1f ms "
+              "across %zu moves\n",
+              handoff_latencies.mean(), handoff_latencies.max(),
+              handoff_latencies.count());
+  std::printf("(paper: 95th percentile below ~100 ms is adequate for voice "
+              "handoff; WiFi/IP handoffs themselves take 0.5-1 s)\n");
+  return 0;
+}

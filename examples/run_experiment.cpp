@@ -1,0 +1,233 @@
+// Config-driven experiment runner: the batch interface for users who want
+// to run their own parameter studies without writing C++.
+//
+//   ./build/examples/run_experiment <config-file>
+//   ./build/examples/run_experiment --print-defaults
+//
+// Example config (all keys optional, defaults shown by --print-defaults):
+//
+//   experiment = response_time      # response_time | churn | load_balance
+//                                   # | analytical | baselines | staleness
+//   ases       = 8000
+//   seed       = 42
+//   geographic = false
+//   guids      = 20000
+//   lookups    = 100000
+//   ks         = 1, 3, 5
+//   churn_fractions = 0.0, 0.05, 0.10
+//   local_replica   = true
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/jellyfish_model.h"
+#include "common/config.h"
+#include "sim/experiments.h"
+#include "sim/replication.h"
+#include "sim/staleness.h"
+#include "topo/io.h"
+
+namespace {
+
+using namespace dmap;
+
+int Run(const Config& config) {
+  const std::string experiment = config.GetString("experiment",
+                                                  "response_time");
+
+  EnvironmentParams env_params = EnvironmentParams::Scaled(
+      std::uint32_t(config.GetInt("ases", 8000)),
+      std::uint64_t(config.GetInt("seed", 42)));
+  env_params.topology.geographic = config.GetBool("geographic", false);
+
+  ResponseTimeConfig rt;
+  rt.workload.num_guids = std::uint64_t(config.GetInt("guids", 20'000));
+  rt.workload.num_lookups =
+      std::uint64_t(config.GetInt("lookups", 100'000));
+  rt.workload.seed = std::uint64_t(config.GetInt("workload_seed", 1));
+  rt.local_replica = config.GetBool("local_replica", true);
+
+  std::vector<int> ks;
+  for (const std::int64_t k : config.GetIntList("ks", {1, 3, 5})) {
+    ks.push_back(int(k));
+  }
+  const std::vector<double> churn_fractions =
+      config.GetDoubleList("churn_fractions", {0.0, 0.05, 0.10});
+  const int replications = int(config.GetInt("replications", 1));
+  const std::string topology_file = config.GetString("topology_file", "");
+  const std::vector<double> move_intervals =
+      config.GetDoubleList("move_intervals", {300, 60, 20, 5});
+
+  // Typos in the config are fatal before any compute is spent.
+  const auto unused = config.UnusedKeys();
+  if (!unused.empty()) {
+    std::string all;
+    for (const auto& key : unused) all += " " + key;
+    std::fprintf(stderr, "unknown config key(s):%s\n", all.c_str());
+    return 2;
+  }
+
+  if (experiment == "analytical") {
+    TextTable table({"K", "present (ms)", "medium-term (ms)",
+                     "long-term (ms)"});
+    for (const int k : ks) {
+      table.AddRow(
+          {std::to_string(k),
+           TextTable::FormatDouble(
+               PresentInternetModel().ResponseTimeUpperBoundMs(k)),
+           TextTable::FormatDouble(
+               MediumTermInternetModel().ResponseTimeUpperBoundMs(k)),
+           TextTable::FormatDouble(
+               LongTermInternetModel().ResponseTimeUpperBoundMs(k))});
+    }
+    std::printf("%s", table.Render().c_str());
+    return 0;
+  }
+
+  if (experiment == "response_time" && replications > 1) {
+    // Multi-seed replication: rebuild topology + workload per seed and
+    // report mean response time with a 95% CI per K.
+    TextTable table({"K", "runs", "mean of means (ms)", "95% CI (ms)"});
+    for (const int k : ks) {
+      const ReplicatedResult r = RunReplicated(
+          replications, env_params.topology.seed,
+          [&](std::uint64_t seed) {
+            EnvironmentParams p = env_params;
+            p.topology.seed = seed;
+            p.prefixes.seed = seed ^ 0xabcdef12345ULL;
+            SimEnvironment env = BuildEnvironment(p);
+            ResponseTimeConfig c = rt;
+            c.k = k;
+            c.workload.seed = seed + 1;
+            return RunResponseTimeExperiment(env, c).mean();
+          });
+      table.AddRow({std::to_string(k), std::to_string(replications),
+                    TextTable::FormatDouble(r.mean),
+                    "+-" + TextTable::FormatDouble(r.ci95_half, 2)});
+    }
+    std::printf("%s", table.Render().c_str());
+    return 0;
+  }
+
+  std::printf("building environment: %u ASs (seed %llu%s)...\n",
+              env_params.topology.num_nodes,
+              (unsigned long long)env_params.topology.seed,
+              env_params.topology.geographic ? ", geographic" : "");
+  SimEnvironment env = [&] {
+    // Optional topology cache: load the AS graph from disk when present,
+    // generate-and-save otherwise, so repeated studies share the network.
+    if (topology_file.empty()) return BuildEnvironment(env_params);
+    if (std::ifstream probe(topology_file); probe.good()) {
+      std::printf("loading topology from %s\n", topology_file.c_str());
+      return SimEnvironment{LoadTopologyFromFile(topology_file),
+                            GeneratePrefixTable(env_params.prefixes)};
+    }
+    SimEnvironment fresh = BuildEnvironment(env_params);
+    SaveTopologyToFile(fresh.graph, topology_file);
+    std::printf("saved topology to %s\n", topology_file.c_str());
+    return fresh;
+  }();
+
+  if (experiment == "response_time") {
+    const auto sweep = RunResponseTimeSweep(env, ks, rt);
+    TextTable table({"K", "lookups", "mean (ms)", "median (ms)",
+                     "p95 (ms)"});
+    for (const auto& [k, samples] : sweep) {
+      const ResponseTimeSummary s = Summarize(samples);
+      table.AddRow({std::to_string(k), std::to_string(s.count),
+                    TextTable::FormatDouble(s.mean_ms),
+                    TextTable::FormatDouble(s.median_ms),
+                    TextTable::FormatDouble(s.p95_ms)});
+    }
+    std::printf("%s", table.Render().c_str());
+  } else if (experiment == "churn") {
+    ChurnExperimentConfig churn;
+    churn.base = rt;
+    churn.base.k = ks.empty() ? 5 : ks.back();
+    const auto sweep = RunChurnSweep(env, churn_fractions, churn);
+    TextTable table({"churn", "lookups", "mean (ms)", "median (ms)",
+                     "p95 (ms)"});
+    for (const auto& [fraction, samples] : sweep) {
+      const ResponseTimeSummary s = Summarize(samples);
+      table.AddRow({TextTable::FormatDouble(fraction * 100, 1) + "%",
+                    std::to_string(s.count),
+                    TextTable::FormatDouble(s.mean_ms),
+                    TextTable::FormatDouble(s.median_ms),
+                    TextTable::FormatDouble(s.p95_ms)});
+    }
+    std::printf("%s", table.Render().c_str());
+  } else if (experiment == "load_balance") {
+    LoadBalanceConfig lb;
+    lb.k = ks.empty() ? 5 : ks.back();
+    lb.num_guids = rt.workload.num_guids;
+    const LoadBalanceResult result = RunLoadBalanceExperiment(env, lb);
+    std::printf("NLR over %zu announcing ASs: median %.3f, "
+                "in [0.4, 1.6]: %.1f%%, deputy fallbacks: %llu\n",
+                result.nlr.count(), result.nlr.Quantile(0.5),
+                100 * FractionWithin(result.nlr, 0.4, 1.6),
+                (unsigned long long)result.deputy_fallbacks);
+  } else if (experiment == "staleness") {
+    TextTable table({"move interval", "lookups", "stale %", "rechecks",
+                     "t.fresh p95 (ms)"});
+    for (const double interval_s : move_intervals) {
+      StalenessConfig sc;
+      sc.num_hosts = std::uint32_t(rt.workload.num_guids);
+      sc.mean_move_interval_s = interval_s;
+      sc.k = ks.empty() ? 5 : ks.back();
+      const StalenessReport r = RunStalenessExperiment(env, sc);
+      table.AddRow(
+          {TextTable::FormatDouble(interval_s, 0) + " s",
+           std::to_string(r.lookups),
+           TextTable::FormatDouble(100 * r.stale_fraction, 3) + "%",
+           r.rechecks.count() == 0
+               ? "-"
+               : TextTable::FormatDouble(r.rechecks.mean(), 2),
+           r.time_to_fresh_ms.count() == 0
+               ? "-"
+               : TextTable::FormatDouble(
+                     r.time_to_fresh_ms.Quantile(0.95))});
+    }
+    std::printf("%s", table.Render().c_str());
+  } else if (experiment == "baselines") {
+    const auto rows = RunBaselineComparison(env, rt, rt.workload.num_guids / 10);
+    TextTable table({"scheme", "lookup mean (ms)", "lookup p95 (ms)",
+                     "update mean (ms)"});
+    for (const auto& row : rows) {
+      table.AddRow({row.scheme,
+                    TextTable::FormatDouble(row.lookup.mean_ms),
+                    TextTable::FormatDouble(row.lookup.p95_ms),
+                    TextTable::FormatDouble(row.update.mean_ms)});
+    }
+    std::printf("%s", table.Render().c_str());
+  } else {
+    std::fprintf(stderr, "unknown experiment '%s'\n", experiment.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--print-defaults") == 0) {
+    std::printf(
+        "experiment = response_time\nases = 8000\nseed = 42\n"
+        "geographic = false\nguids = 20000\nlookups = 100000\n"
+        "workload_seed = 1\nks = 1, 3, 5\n"
+        "churn_fractions = 0.0, 0.05, 0.10\nlocal_replica = true\n"
+        "replications = 1\ntopology_file =\nmove_intervals = 300, 60, 20, 5\n");
+    return 0;
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <config-file> | --print-defaults\n", argv[0]);
+    return 2;
+  }
+  try {
+    return Run(dmap::Config::ParseFile(argv[1]));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

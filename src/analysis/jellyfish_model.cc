@@ -1,0 +1,127 @@
+#include "analysis/jellyfish_model.h"
+
+#include <climits>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmap {
+
+LayerModel::LayerModel(std::vector<double> ratios)
+    : ratios_(std::move(ratios)) {
+  if (ratios_.empty()) throw std::invalid_argument("LayerModel: no layers");
+  double sum = 0;
+  for (const double r : ratios_) {
+    if (r < 0) throw std::invalid_argument("LayerModel: negative ratio");
+    sum += r;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    throw std::invalid_argument("LayerModel: ratios must sum to 1");
+  }
+}
+
+double LayerModel::TailProbability(int j, int l) const {
+  // p_{j,l} = sum_{m >= l - j} r_m. For l - j <= 0 every layer contributes,
+  // so the bound degenerates to 1.
+  double p = 0;
+  for (int m = std::max(0, l - j); m < num_layers(); ++m) {
+    p += ratios_[std::size_t(m)];
+  }
+  return std::min(p, 1.0);
+}
+
+double LayerModel::MinDistanceCdfLowerBound(int l, int k) const {
+  double q = 0;
+  for (int j = 0; j < num_layers(); ++j) {
+    q += ratios_[std::size_t(j)] *
+         (1.0 - std::pow(TailProbability(j, l), k));
+  }
+  return q;
+}
+
+double LayerModel::ExpectedMinDistanceUpperBound(int k) const {
+  if (k < 1) throw std::invalid_argument("ExpectedMinDistance: k < 1");
+  // E[D] = sum_{l >= 0} Pr[D > l]; the paper sums the tail bound
+  // (1 - q_l) for l = 1 .. 2N-1 (the graph diameter is at most 2N-1).
+  const int n = num_layers();
+  double expectation = 0;
+  for (int l = 1; l <= 2 * n - 1; ++l) {
+    expectation += 1.0 - MinDistanceCdfLowerBound(l, k);
+  }
+  return expectation;
+}
+
+double LayerModel::ResponseTimeUpperBoundMs(int k, double c0,
+                                            double c1) const {
+  return c0 * ExpectedMinDistanceUpperBound(k) + c1;
+}
+
+LayerModel PresentInternetModel() {
+  // 8 layers; layers 3 and 4 hold >60% of the 193k nodes, small core.
+  return LayerModel({0.0002, 0.0098, 0.14, 0.34, 0.29, 0.13, 0.07, 0.02});
+}
+
+LayerModel MediumTermInternetModel() {
+  // 5-10 years out: ~20% more nodes, flattened to 6 layers.
+  return LayerModel({0.0003, 0.0297, 0.22, 0.42, 0.26, 0.07});
+}
+
+LayerModel LongTermInternetModel() {
+  // 25-30 years out: ~2x nodes, only 4 layers (highly flattened).
+  return LayerModel({0.0005, 0.0995, 0.55, 0.35});
+}
+
+double SimulateExpectedMinDistance(const LayerModel& model, int k,
+                                   int samples, Rng& rng) {
+  if (k < 1 || samples < 1) {
+    throw std::invalid_argument("SimulateExpectedMinDistance: bad arguments");
+  }
+  // Cumulative layer distribution for inverse-transform draws.
+  std::vector<double> cdf(model.ratios().size());
+  double acc = 0;
+  for (std::size_t j = 0; j < cdf.size(); ++j) {
+    acc += model.ratio(int(j));
+    cdf[j] = acc;
+  }
+  const auto draw_layer = [&]() -> int {
+    const double u = rng.NextDouble() * acc;
+    for (std::size_t j = 0; j < cdf.size(); ++j) {
+      if (u <= cdf[j]) return int(j);
+    }
+    return int(cdf.size()) - 1;
+  };
+
+  double total = 0;
+  for (int s = 0; s < samples; ++s) {
+    const int source_layer = draw_layer();
+    int best = INT_MAX;
+    for (int i = 0; i < k; ++i) {
+      best = std::min(best, source_layer + draw_layer() + 1);
+    }
+    total += best;
+  }
+  return total / samples;
+}
+
+std::pair<double, double> FitLinear(std::span<const double> xs,
+                                    std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("FitLinear: need >= 2 paired samples");
+  }
+  const double n = double(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    throw std::invalid_argument("FitLinear: xs are constant");
+  }
+  const double c0 = (n * sxy - sx * sy) / denom;
+  const double c1 = (sy - c0 * sx) / n;
+  return {c0, c1};
+}
+
+}  // namespace dmap

@@ -1,0 +1,82 @@
+// Section V: analytical upper bound on query response time under the
+// Jellyfish topology model. With r_j the fraction of nodes in Layer(j),
+// a query source s in Layer(j) and K replica destinations placed layer-
+// proportionally, the paper derives
+//
+//   Pr[d(s, t_i) > l | s in Layer(j)]  <=  p_{j,l}
+//       where p_{j,l} = r_{l-j} + r_{l-j+1} + ... + r_{N-1}
+//   q_l = sum_j r_j (1 - p_{j,l}^K)           (lower bound on the min-CDF)
+//   E[min_i d(s, t_i)] < sum_{l=1}^{2N-1} (1 - q_l)
+//   E[tau(s, G)] < c0 * E[min d] + c1         (linear latency model)
+//
+// with measured fit c0 = 10.6, c1 = 8.3 (ms). The model feeds Figure 7:
+// response-time bounds vs K for the present, medium-term and long-term
+// Internet.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "topo/jellyfish.h"
+
+namespace dmap {
+
+// Layer-ratio model: r[j] = |Layer(j)| / n. Ratios must be non-negative and
+// sum to ~1 (validated on construction).
+class LayerModel {
+ public:
+  explicit LayerModel(std::vector<double> ratios);
+
+  static LayerModel FromDecomposition(const JellyfishDecomposition& d) {
+    return LayerModel(d.layer_ratio);
+  }
+
+  int num_layers() const { return int(ratios_.size()); }
+  double ratio(int j) const {
+    return j >= 0 && j < num_layers() ? ratios_[std::size_t(j)] : 0.0;
+  }
+  const std::vector<double>& ratios() const { return ratios_; }
+
+  // p_{j,l}: upper bound on Pr[d > l | source in Layer(j)], clamped to 1.
+  double TailProbability(int j, int l) const;
+
+  // q_l: lower bound on Pr[min_i d(s, t_i) <= l] with K replicas.
+  double MinDistanceCdfLowerBound(int l, int k) const;
+
+  // The paper's E[min distance] upper bound (sum over l = 1 .. 2N-1).
+  double ExpectedMinDistanceUpperBound(int k) const;
+
+  // E[tau] bound in ms given the linear latency fit.
+  double ResponseTimeUpperBoundMs(int k, double c0 = 10.6,
+                                  double c1 = 8.3) const;
+
+ private:
+  std::vector<double> ratios_;
+};
+
+// The three Figure 7 scenarios, encoded from the paper's description of the
+// iPlane dataset (193,376 nodes in 8 layers, >60% in layers 3-4) and the
+// CAIDA flattening trends (medium term: +20% nodes in 6 layers; long term:
+// 2x nodes in 4 layers).
+LayerModel PresentInternetModel();
+LayerModel MediumTermInternetModel();
+LayerModel LongTermInternetModel();
+
+// Ordinary least squares fit of y = c0 * x + c1; used to calibrate (c0, c1)
+// against simulation measurements. Requires xs.size() == ys.size() >= 2 and
+// non-constant xs.
+std::pair<double, double> FitLinear(std::span<const double> xs,
+                                    std::span<const double> ys);
+
+// Monte Carlo estimate of E[min_i d(s, t_i)] under the abstract jellyfish
+// worst-case distance d(s, t) = layer(s) + layer(t) + 1, with source and
+// destinations drawn layer-proportionally — the exact random experiment the
+// Section V derivation upper-bounds. Property tests assert the analytical
+// bound dominates this estimate for every K.
+double SimulateExpectedMinDistance(const LayerModel& model, int k,
+                                   int samples, Rng& rng);
+
+}  // namespace dmap

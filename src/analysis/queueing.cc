@@ -1,0 +1,78 @@
+#include "analysis/queueing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmap {
+
+MM1Stats AnalyzeMM1(double arrival_rate_per_s, double service_rate_per_s) {
+  if (service_rate_per_s <= 0 || arrival_rate_per_s < 0) {
+    throw std::invalid_argument("AnalyzeMM1: bad rates");
+  }
+  MM1Stats stats;
+  stats.utilization = arrival_rate_per_s / service_rate_per_s;
+  stats.stable = stats.utilization < 1.0;
+  if (stats.stable) {
+    const double w_seconds =
+        1.0 / (service_rate_per_s - arrival_rate_per_s);
+    stats.mean_sojourn_ms = w_seconds * 1000.0;
+    // Sojourn time in M/M/1 is exponential with mean W.
+    stats.p95_sojourn_ms = -std::log(0.05) * stats.mean_sojourn_ms;
+  } else {
+    stats.mean_sojourn_ms = std::numeric_limits<double>::infinity();
+    stats.p95_sojourn_ms = std::numeric_limits<double>::infinity();
+  }
+  return stats;
+}
+
+ServerLoadReport AnalyzeServerLoad(const ServerLoadParams& params,
+                                   std::span<const double> nlr_samples,
+                                   std::uint32_t num_ases) {
+  if (num_ases == 0 || nlr_samples.empty()) {
+    throw std::invalid_argument("AnalyzeServerLoad: empty inputs");
+  }
+  const double total_rate =
+      params.global_queries_per_s +
+      params.global_updates_per_s * params.replicas;
+
+  ServerLoadReport report;
+  report.mean_arrival_per_s = total_rate / double(num_ases);
+  // The hottest server's share scales the per-AS average by its NLR
+  // relative to the mean NLR (NLR ~ 1 by construction).
+  double mean_nlr = 0, max_nlr = 0;
+  for (const double x : nlr_samples) {
+    mean_nlr += x;
+    max_nlr = std::max(max_nlr, x);
+  }
+  mean_nlr /= double(nlr_samples.size());
+  if (mean_nlr <= 0) {
+    throw std::invalid_argument("AnalyzeServerLoad: non-positive NLRs");
+  }
+  report.max_arrival_per_s =
+      report.mean_arrival_per_s * (max_nlr / mean_nlr);
+
+  report.mean_server =
+      AnalyzeMM1(report.mean_arrival_per_s, params.service_rate_per_s);
+  report.hottest_server =
+      AnalyzeMM1(report.max_arrival_per_s, params.service_rate_per_s);
+
+  // Solve for the global query rate where the hottest server's p95 sojourn
+  // hits 1 ms: p95 = -ln(0.05)/(mu - lambda) => lambda = mu - (-ln(.05)/t).
+  const double lambda_limit =
+      params.service_rate_per_s - (-std::log(0.05) / 1e-3);
+  if (lambda_limit <= 0) {
+    report.max_global_queries_per_s = 0;
+  } else {
+    const double update_arrival =
+        params.global_updates_per_s * params.replicas / double(num_ases) *
+        (max_nlr / mean_nlr);
+    const double query_arrival_limit = lambda_limit - update_arrival;
+    report.max_global_queries_per_s =
+        std::max(0.0, query_arrival_limit * double(num_ases) /
+                          (max_nlr / mean_nlr));
+  }
+  return report;
+}
+
+}  // namespace dmap

@@ -1,0 +1,55 @@
+// Mapping-server queueing model. Section IV-B assumes "sufficient
+// resources ... at the mapping server to make the queueing and processing
+// delay very small compared to the round trip latency". This module
+// quantifies when that assumption holds: each AS's mapping server is an
+// M/M/1 queue whose arrival rate is its share of the global query stream
+// (its NLR share of lookups plus its share of update traffic) and whose
+// service rate comes from the per-lookup processing budget.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dmap {
+
+// Classic M/M/1 quantities. Rates in requests/second.
+struct MM1Stats {
+  double utilization = 0;      // rho = lambda / mu
+  double mean_sojourn_ms = 0;  // W = 1 / (mu - lambda), in milliseconds
+  double p95_sojourn_ms = 0;   // -ln(0.05) * W for exponential sojourn
+  bool stable = false;         // rho < 1
+};
+
+// Throws std::invalid_argument if service_rate <= 0 or arrival_rate < 0.
+MM1Stats AnalyzeMM1(double arrival_rate_per_s, double service_rate_per_s);
+
+struct ServerLoadParams {
+  // Worldwide request stream hitting the mapping layer.
+  double global_queries_per_s = 1e6;
+  double global_updates_per_s = 5.787e6;  // Section IV-A's 5B x 100/day
+  int replicas = 5;                       // each update writes K servers
+  // Per-request processing budget of one mapping server (hash + store op);
+  // 2 us/request = 500k requests/s, a modest single-core budget.
+  double service_rate_per_s = 500'000;
+};
+
+struct ServerLoadReport {
+  double mean_arrival_per_s = 0;   // per-server average
+  double max_arrival_per_s = 0;    // hottest server (highest NLR share)
+  MM1Stats mean_server;            // queue at the average server
+  MM1Stats hottest_server;         // queue at the hottest server
+  // Largest global query rate (queries/s) the hottest server sustains
+  // with p95 sojourn under 1 ms (so it stays negligible vs ~100 ms RTTs).
+  double max_global_queries_per_s = 0;
+};
+
+// `nlr_samples` is the per-AS Normalized Load Ratio distribution from the
+// Figure 6 experiment; an AS with NLR x and address share s receives a
+// fraction x*s of the query stream. Only the aggregate shape matters here,
+// so the report is computed from the mean and max NLR-weighted shares.
+ServerLoadReport AnalyzeServerLoad(const ServerLoadParams& params,
+                                   std::span<const double> nlr_samples,
+                                   std::uint32_t num_ases);
+
+}  // namespace dmap

@@ -1,0 +1,28 @@
+#include "baseline/central_directory.h"
+
+namespace dmap {
+
+UpdateResult CentralDirectory::Insert(const Guid& guid, NetworkAddress na) {
+  auto& entry = entries_[guid];
+  entry.nas = NaSet(na);
+  UpdateResult result;
+  result.version = ++entry.version;
+  result.replicas = {server_};
+  result.latency_ms = oracle_->RttMs(na.as, server_);
+  return result;
+}
+
+LookupResult CentralDirectory::Lookup(const Guid& guid, AsId querier) {
+  LookupResult result;
+  result.attempts = 1;
+  result.latency_ms = oracle_->RttMs(querier, server_);
+  const auto it = entries_.find(guid);
+  if (it != entries_.end()) {
+    result.found = true;
+    result.nas = it->second.nas;
+    result.serving_as = server_;
+  }
+  return result;
+}
+
+}  // namespace dmap

@@ -1,0 +1,34 @@
+// Central-directory baseline: one designated AS hosts every mapping (an
+// idealised "single DNS root" — Section II-B's argument for why a
+// centralised service cannot meet the latency/staleness requirements).
+// Useful as the simplest possible comparator and as a lower bound on
+// infrastructure.
+#pragma once
+
+#include <unordered_map>
+
+#include "baseline/resolver.h"
+
+namespace dmap {
+
+class CentralDirectory final : public NameResolver {
+ public:
+  CentralDirectory(PathOracle& oracle, AsId server)
+      : oracle_(&oracle), server_(server) {}
+
+  std::string name() const override { return "central-directory"; }
+  AsId server() const { return server_; }
+
+  UpdateResult Insert(const Guid& guid, NetworkAddress na) override;
+  UpdateResult Update(const Guid& guid, NetworkAddress na) override {
+    return Insert(guid, na);
+  }
+  LookupResult Lookup(const Guid& guid, AsId querier) override;
+
+ private:
+  PathOracle* oracle_;
+  AsId server_;
+  std::unordered_map<Guid, MappingEntry, GuidHash> entries_;
+};
+
+}  // namespace dmap

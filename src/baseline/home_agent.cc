@@ -1,0 +1,47 @@
+#include "baseline/home_agent.h"
+
+namespace dmap {
+
+UpdateResult HomeAgent::Insert(const Guid& guid, NetworkAddress na) {
+  UpdateResult result;
+  auto& reg = registrations_[guid];
+  if (reg.home == kInvalidAs) reg.home = na.as;  // first attachment = home
+  reg.entry.nas = NaSet(na);
+  result.version = ++reg.entry.version;
+  result.replicas = {reg.home};
+  result.latency_ms = oracle_->RttMs(na.as, reg.home);
+  return result;
+}
+
+UpdateResult HomeAgent::Update(const Guid& guid, NetworkAddress na) {
+  const auto it = registrations_.find(guid);
+  if (it == registrations_.end()) {
+    throw std::invalid_argument("HomeAgent::Update: unknown GUID");
+  }
+  it->second.entry.nas = NaSet(na);
+  UpdateResult result;
+  result.version = ++it->second.entry.version;
+  result.replicas = {it->second.home};
+  // Binding update travels from the new attachment to the home agent.
+  result.latency_ms = oracle_->RttMs(na.as, it->second.home);
+  return result;
+}
+
+LookupResult HomeAgent::Lookup(const Guid& guid, AsId querier) {
+  LookupResult result;
+  result.attempts = 1;
+  const auto it = registrations_.find(guid);
+  if (it == registrations_.end()) return result;
+  result.found = true;
+  result.nas = it->second.entry.nas;
+  result.serving_as = it->second.home;
+  result.latency_ms = oracle_->RttMs(querier, it->second.home);
+  return result;
+}
+
+AsId HomeAgent::HomeOf(const Guid& guid) const {
+  const auto it = registrations_.find(guid);
+  return it == registrations_.end() ? kInvalidAs : it->second.home;
+}
+
+}  // namespace dmap

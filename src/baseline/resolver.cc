@@ -1,0 +1,5 @@
+#include "baseline/resolver.h"
+
+// Interface is header-only today; this TU anchors the vtable.
+
+namespace dmap {}  // namespace dmap

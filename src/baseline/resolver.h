@@ -1,0 +1,53 @@
+// Common interface over name-resolution schemes, so the comparison benches
+// can drive DMap and the related-work baselines (Section VI) through one
+// code path: a Chord-style DHT (modelling DHT-MAP [38] / LISP-DHT [10]), a
+// MobileIP-style home agent, and a single central directory.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/dmap_service.h"
+
+namespace dmap {
+
+class NameResolver {
+ public:
+  virtual ~NameResolver() = default;
+
+  virtual std::string name() const = 0;
+
+  // Registers/refreshes the GUID from the AS in `na`.
+  virtual UpdateResult Insert(const Guid& guid, NetworkAddress na) = 0;
+  virtual UpdateResult Update(const Guid& guid, NetworkAddress na) = 0;
+
+  virtual LookupResult Lookup(const Guid& guid, AsId querier) = 0;
+};
+
+// Adapter presenting DMapService through the interface.
+class DMapResolver final : public NameResolver {
+ public:
+  DMapResolver(const AsGraph& graph, const PrefixTable& table,
+               const DMapOptions& options)
+      : service_(graph, table, options) {}
+
+  std::string name() const override {
+    return "dmap-k" + std::to_string(service_.options().k);
+  }
+  UpdateResult Insert(const Guid& guid, NetworkAddress na) override {
+    return service_.Insert(guid, na);
+  }
+  UpdateResult Update(const Guid& guid, NetworkAddress na) override {
+    return service_.Update(guid, na);
+  }
+  LookupResult Lookup(const Guid& guid, AsId querier) override {
+    return service_.Lookup(guid, querier);
+  }
+
+  DMapService& service() { return service_; }
+
+ private:
+  DMapService service_;
+};
+
+}  // namespace dmap

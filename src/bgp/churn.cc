@@ -1,0 +1,88 @@
+#include "bgp/churn.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dmap {
+
+ChurnPlan SampleChurn(const PrefixTable& table, const ChurnParams& params,
+                      Rng& rng) {
+  if (params.withdraw_fraction < 0 || params.withdraw_fraction > 1 ||
+      params.withdraw_space_fraction < 0 ||
+      params.withdraw_space_fraction > 1 || params.announce_fraction < 0) {
+    throw std::invalid_argument("SampleChurn: bad fractions");
+  }
+  if (params.withdraw_fraction > 0 && params.withdraw_space_fraction > 0) {
+    throw std::invalid_argument(
+        "SampleChurn: withdraw_fraction and withdraw_space_fraction are "
+        "mutually exclusive");
+  }
+  ChurnPlan plan;
+  const std::vector<PrefixRecord> all = table.AllPrefixes();
+
+  // Withdrawals: sample-without-replacement by index, either a fixed count
+  // or until the withdrawn blocks cover the requested share of announced
+  // space.
+  std::unordered_set<std::size_t> chosen;
+  if (params.withdraw_space_fraction > 0) {
+    const auto target = std::uint64_t(params.withdraw_space_fraction *
+                                      double(table.announced_addresses()));
+    std::uint64_t covered = 0;
+    while (covered < target && chosen.size() < all.size()) {
+      const auto idx = std::size_t(rng.NextBounded(all.size()));
+      if (chosen.insert(idx).second) covered += all[idx].prefix.Size();
+    }
+  } else {
+    const std::size_t n_withdraw =
+        std::size_t(params.withdraw_fraction * double(all.size()));
+    while (chosen.size() < n_withdraw) {
+      chosen.insert(std::size_t(rng.NextBounded(all.size())));
+    }
+  }
+  for (const std::size_t idx : chosen) plan.withdrawals.push_back(all[idx]);
+
+  // Announcements: /24 blocks placed in current holes.
+  const std::size_t n_announce =
+      std::size_t(params.announce_fraction * double(all.size()));
+  std::unordered_set<std::uint32_t> taken_bases;
+  std::size_t placed = 0;
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = (std::uint64_t(n_announce) + 16) * 1000;
+  while (placed < n_announce) {
+    if (++attempts > max_attempts) {
+      throw std::runtime_error("SampleChurn: cannot find enough holes");
+    }
+    const auto base =
+        std::uint32_t(rng.Next()) & ~std::uint32_t{0xff};  // /24 aligned
+    if (taken_bases.contains(base)) continue;
+    const Cidr block(Ipv4Address(base), 24);
+    // Reject if any announced prefix covers or is nested inside the block:
+    // the base being covered shows up via Lookup; a nested more-specific
+    // shows up as a ceiling announcement within the block.
+    if (table.Lookup(block.First())) continue;
+    const auto ceiling = table.CeilAnnounced(block.First());
+    if (ceiling && ceiling->address <= block.Last()) continue;
+    taken_bases.insert(base);
+    plan.announcements.push_back(
+        PrefixRecord{block, AsId(rng.NextBounded(params.num_ases))});
+    ++placed;
+  }
+  return plan;
+}
+
+void ApplyChurn(PrefixTable& table, const ChurnPlan& plan) {
+  for (const PrefixRecord& r : plan.withdrawals) {
+    if (!table.Withdraw(r.prefix)) {
+      throw std::logic_error("ApplyChurn: withdrawal of absent prefix " +
+                             r.prefix.ToString());
+    }
+  }
+  for (const PrefixRecord& r : plan.announcements) {
+    if (!table.Announce(r.prefix, r.owner)) {
+      throw std::logic_error("ApplyChurn: announcement collision at " +
+                             r.prefix.ToString());
+    }
+  }
+}
+
+}  // namespace dmap

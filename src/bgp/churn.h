@@ -1,0 +1,49 @@
+// BGP churn model (Section III-D-1 and the Figure 5 experiment): prefixes
+// are withdrawn or newly announced over time, so the prefix table a querying
+// border gateway holds can lag the true state of the network. A ChurnPlan
+// captures one batch of changes; the simulation applies it to a copy of the
+// table and measures the extra round trips caused by the inconsistency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+#include "common/rng.h"
+
+namespace dmap {
+
+struct ChurnPlan {
+  std::vector<PrefixRecord> withdrawals;    // currently announced, to remove
+  std::vector<PrefixRecord> announcements;  // new prefixes, to add
+};
+
+struct ChurnParams {
+  // Fraction of existing prefixes to withdraw (count-weighted sampling).
+  double withdraw_fraction = 0.0;
+  // Alternative: withdraw prefixes until they cover this fraction of the
+  // announced *address space* (space-weighted). Because a hashed GUID lands
+  // in a prefix with probability proportional to its size, this fraction
+  // equals the probability that a stored replica is displaced — i.e. the
+  // paper's "x% lookup failure rate" knob for Figure 5. Mutually exclusive
+  // with withdraw_fraction.
+  double withdraw_space_fraction = 0.0;
+  // Number of new announcements expressed as a fraction of the existing
+  // prefix count. New prefixes are /24 blocks carved from current holes.
+  double announce_fraction = 0.0;
+  // Owner of each new announcement is drawn uniformly from [0, num_ases).
+  std::uint32_t num_ases = 1;
+};
+
+// Samples a plan against the current table. The returned announcements are
+// guaranteed not to overlap any currently announced prefix (they land in
+// holes, which is where new allocations appear). Withdrawals are distinct.
+ChurnPlan SampleChurn(const PrefixTable& table, const ChurnParams& params,
+                      Rng& rng);
+
+// Applies the plan: withdraws then announces. Throws std::logic_error if a
+// withdrawal is absent or an announcement collides, which indicates the plan
+// does not match the table.
+void ApplyChurn(PrefixTable& table, const ChurnPlan& plan);
+
+}  // namespace dmap

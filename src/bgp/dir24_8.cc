@@ -1,0 +1,53 @@
+#include "bgp/dir24_8.h"
+
+#include <stdexcept>
+
+namespace dmap {
+
+Dir24_8::Dir24_8(const PrefixTable& table) {
+  base_.assign(std::size_t{1} << 24, kHole);
+
+  // Pass 1: prefixes of length <= 24 paint base-table ranges. ForEachPrefix
+  // yields shorter prefixes before longer ones at the same base, and nested
+  // more-specific prefixes after their covering block in address order —
+  // but a later *shorter* overlapping prefix cannot exist (same base +
+  // shorter sorts first), so painting in iteration order implements LPM.
+  table.ForEachPrefix([this](const PrefixRecord& record) {
+    if (record.prefix.length() > 24) return;
+    if (record.owner >= kHole) {
+      throw std::invalid_argument("Dir24_8: AsId too large to encode");
+    }
+    const std::uint32_t first = record.prefix.base().value() >> 8;
+    const std::uint32_t count =
+        std::uint32_t(record.prefix.Size() >> 8);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      base_[first + i] = record.owner;
+    }
+  });
+
+  // Pass 2: prefixes longer than /24 expand their /24 block into a chunk.
+  table.ForEachPrefix([this](const PrefixRecord& record) {
+    if (record.prefix.length() <= 24) return;
+    const std::uint32_t block = record.prefix.base().value() >> 8;
+    std::uint32_t chunk;
+    if (base_[block] & kEscapeBit) {
+      chunk = base_[block] & ~kEscapeBit;
+    } else {
+      // Materialise a chunk seeded with the block's current (<=24) owner.
+      chunk = std::uint32_t(long_.size() >> 8);
+      if (chunk & kEscapeBit) {
+        throw std::length_error("Dir24_8: too many long-prefix chunks");
+      }
+      const AsId seed = base_[block] == kHole ? kInvalidAs : base_[block];
+      long_.insert(long_.end(), 256, seed);
+      base_[block] = kEscapeBit | chunk;
+    }
+    const std::uint32_t first = record.prefix.base().value() & 0xff;
+    const std::uint32_t count = std::uint32_t(record.prefix.Size());
+    for (std::uint32_t i = 0; i < count; ++i) {
+      long_[(std::size_t(chunk) << 8) | (first + i)] = record.owner;
+    }
+  });
+}
+
+}  // namespace dmap

@@ -1,0 +1,51 @@
+// DIR-24-8: the classic two-level direct-indexed longest-prefix-match table
+// (Gupta/Lin/McKeown style, in the spirit of the small-fast-forwarding-
+// tables work [Degermark et al.] the paper cites when budgeting ~100
+// instructions / ~30 ns per lookup on the router fast path). A lookup is
+// one or two array reads — no pointer chasing — at the cost of a 2^24-entry
+// base table and rebuild-on-change.
+//
+// Used as the immutable fast-path snapshot of a PrefixTable: build once,
+// answer the owner of any address in O(1). The trie remains the mutable
+// source of truth (announce/withdraw, floor/ceiling queries); tests assert
+// the two agree on every input.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+
+namespace dmap {
+
+class Dir24_8 {
+ public:
+  // Snapshot of `table` at construction time. Memory: 64 MB base table plus
+  // 1 KB per /24 block containing prefixes longer than /24.
+  explicit Dir24_8(const PrefixTable& table);
+
+  // LPM owner of `addr`, or kInvalidAs for IP holes. One array access when
+  // no >24-bit prefix covers the /24 block, two otherwise.
+  AsId Lookup(Ipv4Address addr) const {
+    const std::uint32_t entry = base_[addr.value() >> 8];
+    if ((entry & kEscapeBit) == 0) {
+      return entry == kHole ? kInvalidAs : entry;
+    }
+    const std::uint32_t chunk = entry & ~kEscapeBit;
+    return long_[(std::size_t(chunk) << 8) | (addr.value() & 0xff)];
+  }
+
+  std::size_t num_long_chunks() const { return long_.size() >> 8; }
+
+ private:
+  // Base-table encoding: kHole marks an IP hole, the escape bit redirects
+  // to a 256-entry chunk, anything else is the owning AsId directly (which
+  // therefore must stay below kHole — comfortably true of real AS counts).
+  static constexpr std::uint32_t kEscapeBit = 0x80000000u;
+  static constexpr std::uint32_t kHole = 0x7fffffffu;
+
+  std::vector<std::uint32_t> base_;  // 2^24 entries, encoded as above
+  std::vector<AsId> long_;           // 256-entry chunks for >24-bit prefixes
+};
+
+}  // namespace dmap

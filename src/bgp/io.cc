@@ -1,0 +1,80 @@
+#include "bgp/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmap {
+namespace {
+
+[[noreturn]] void ParseError(int line, const std::string& what) {
+  throw std::runtime_error("prefix table parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+void SavePrefixTable(const PrefixTable& table, std::ostream& out) {
+  out << "dmap-prefixes v1\n";
+  out << "prefixes " << table.num_prefixes() << "\n";
+  table.ForEachPrefix([&out](const PrefixRecord& record) {
+    out << "prefix " << record.prefix.ToString() << " " << record.owner
+        << "\n";
+  });
+}
+
+void SavePrefixTableToFile(const PrefixTable& table,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  SavePrefixTable(table, out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+PrefixTable LoadPrefixTable(std::istream& in) {
+  int line_no = 0;
+  std::string line;
+  const auto next_line = [&]() -> std::string& {
+    if (!std::getline(in, line)) ParseError(line_no, "unexpected end of file");
+    ++line_no;
+    return line;
+  };
+
+  if (next_line() != "dmap-prefixes v1") {
+    ParseError(line_no, "bad magic (expected 'dmap-prefixes v1')");
+  }
+  std::size_t count = 0;
+  {
+    std::istringstream s(next_line());
+    std::string tag;
+    if (!(s >> tag >> count) || tag != "prefixes") {
+      ParseError(line_no, "bad 'prefixes' header");
+    }
+  }
+
+  PrefixTable table;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::istringstream s(next_line());
+    std::string tag, cidr_text;
+    AsId owner = kInvalidAs;
+    if (!(s >> tag >> cidr_text >> owner) || tag != "prefix") {
+      ParseError(line_no, "bad 'prefix' record");
+    }
+    Cidr prefix;
+    if (!Cidr::Parse(cidr_text, &prefix)) {
+      ParseError(line_no, "bad CIDR '" + cidr_text + "'");
+    }
+    if (!table.Announce(prefix, owner)) {
+      ParseError(line_no, "duplicate prefix " + cidr_text);
+    }
+  }
+  return table;
+}
+
+PrefixTable LoadPrefixTableFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return LoadPrefixTable(in);
+}
+
+}  // namespace dmap

@@ -1,0 +1,25 @@
+// Prefix-table serialization: a line-oriented text format mirroring the
+// topology format, so a generated table (or one converted from a real BGP
+// dump) can be shared across experiment binaries.
+//
+//   dmap-prefixes v1
+//   prefixes <n>
+//   prefix <cidr> <owner-as>          (n lines, any order)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bgp/prefix_table.h"
+
+namespace dmap {
+
+void SavePrefixTable(const PrefixTable& table, std::ostream& out);
+void SavePrefixTableToFile(const PrefixTable& table, const std::string& path);
+
+// Throws std::runtime_error with a line diagnostic on malformed input or
+// duplicate announcements.
+PrefixTable LoadPrefixTable(std::istream& in);
+PrefixTable LoadPrefixTableFromFile(const std::string& path);
+
+}  // namespace dmap

@@ -1,0 +1,181 @@
+#include "bgp/prefix_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sampler.h"
+#include "common/zipf.h"
+
+namespace dmap {
+namespace {
+
+// Count-weighted prefix-length mix. Chosen so the size-weighted average
+// block is ~7.5k addresses: the non-overlapping equivalent of the real
+// table's 330k (partly nested) prefixes covering 52% of the space.
+struct LengthBucket {
+  int length;
+  double weight;
+};
+constexpr LengthBucket kLengthMix[] = {
+    {24, 0.550},   {23, 0.100},   {22, 0.080},    {21, 0.060},
+    {20, 0.050},   {19, 0.040},   {18, 0.030},    {17, 0.020},
+    {16, 0.020},   {15, 0.006},   {14, 0.002},    {13, 0.0008},
+    {12, 0.0004},  {11, 0.0002},  {10, 0.0001},   {9, 0.00005},
+    {8, 0.000025},
+};
+
+struct Range {
+  std::uint64_t begin;  // inclusive
+  std::uint64_t end;    // exclusive
+};
+
+// Complement of the reserved set, in increasing address order.
+std::vector<Range> AvailableRanges() {
+  std::vector<Cidr> reserved = ReservedRanges();
+  std::sort(reserved.begin(), reserved.end(), [](const Cidr& a, const Cidr& b) {
+    return a.base().value() < b.base().value();
+  });
+  std::vector<Range> out;
+  std::uint64_t cursor = 0;
+  for (const Cidr& block : reserved) {
+    const std::uint64_t begin = block.base().value();
+    if (begin > cursor) out.push_back(Range{cursor, begin});
+    cursor = begin + block.Size();
+  }
+  if (cursor < (1ull << 32)) out.push_back(Range{cursor, 1ull << 32});
+  return out;
+}
+
+}  // namespace
+
+std::vector<Cidr> ReservedRanges() {
+  return {
+      Cidr(Ipv4Address::FromOctets(0, 0, 0, 0), 8),       // "this" network
+      Cidr(Ipv4Address::FromOctets(10, 0, 0, 0), 8),      // private
+      Cidr(Ipv4Address::FromOctets(100, 64, 0, 0), 10),   // CGN shared
+      Cidr(Ipv4Address::FromOctets(127, 0, 0, 0), 8),     // loopback
+      Cidr(Ipv4Address::FromOctets(169, 254, 0, 0), 16),  // link local
+      Cidr(Ipv4Address::FromOctets(172, 16, 0, 0), 12),   // private
+      Cidr(Ipv4Address::FromOctets(192, 168, 0, 0), 16),  // private
+      Cidr(Ipv4Address::FromOctets(198, 18, 0, 0), 15),   // benchmarking
+      Cidr(Ipv4Address::FromOctets(224, 0, 0, 0), 3),     // multicast + E
+  };
+}
+
+PrefixTable GeneratePrefixTable(const PrefixGenParams& params) {
+  if (params.num_ases == 0) {
+    throw std::invalid_argument("prefix gen: num_ases == 0");
+  }
+  const std::uint64_t target_announced =
+      std::uint64_t(params.announced_fraction * 4294967296.0);
+
+  const std::vector<Range> ranges = AvailableRanges();
+  std::uint64_t available = 0;
+  for (const Range& r : ranges) available += r.end - r.begin;
+  if (target_announced > available * 95 / 100) {
+    throw std::invalid_argument(
+        "prefix gen: announced fraction exceeds allocatable space");
+  }
+
+  Rng rng(params.seed);
+
+  // Length sampler.
+  std::vector<double> length_weights;
+  for (const LengthBucket& b : kLengthMix) length_weights.push_back(b.weight);
+  AliasSampler length_sampler(length_weights);
+
+  // 1. Sample prefix lengths until their combined size reaches the target.
+  std::vector<int> lengths;
+  std::uint64_t planned = 0;
+  while (planned < target_announced) {
+    const int length = kLengthMix[length_sampler.Sample(rng)].length;
+    lengths.push_back(length);
+    planned += std::uint64_t{1} << (32 - length);
+  }
+  // Largest-first placement keeps the cursor aligned for every subsequent
+  // block, so alignment waste cannot starve the announced-fraction target.
+  std::sort(lengths.begin(), lengths.end());
+
+  // 2. Carve the blocks out of the available ranges, separated by random
+  //    exponential holes. The hole budget is recomputed every step from the
+  //    space actually left minus the blocks still to place, so alignment
+  //    waste and skipped range tails self-correct instead of starving the
+  //    announced-fraction target.
+  std::vector<std::uint64_t> range_suffix(ranges.size() + 1, 0);
+  for (std::size_t i = ranges.size(); i > 0; --i) {
+    range_suffix[i - 1] =
+        range_suffix[i] + (ranges[i - 1].end - ranges[i - 1].begin);
+  }
+  std::vector<std::uint64_t> planned_suffix(lengths.size() + 1, 0);
+  for (std::size_t i = lengths.size(); i > 0; --i) {
+    planned_suffix[i - 1] =
+        planned_suffix[i] + (std::uint64_t{1} << (32 - lengths[i - 1]));
+  }
+
+  std::vector<Cidr> blocks;
+  blocks.reserve(lengths.size());
+  std::size_t range_idx = 0;
+  std::uint64_t cursor = ranges.empty() ? 0 : ranges[0].begin;
+
+  for (std::size_t i = 0; i < lengths.size() && range_idx < ranges.size();
+       ++i) {
+    const std::uint64_t size = std::uint64_t{1} << (32 - lengths[i]);
+
+    const std::uint64_t remaining_space =
+        (ranges[range_idx].end - cursor) + range_suffix[range_idx + 1];
+    const std::uint64_t hole_budget =
+        remaining_space > planned_suffix[i]
+            ? remaining_space - planned_suffix[i]
+            : 0;
+    const double gap_mean =
+        double(hole_budget) / double(lengths.size() - i);
+    const std::uint64_t gap = std::min<std::uint64_t>(
+        std::uint64_t(rng.NextExponential(gap_mean)), hole_budget);
+    cursor += gap;
+
+    // Find a range that can hold the block at its natural alignment.
+    const auto align_up = [size](std::uint64_t v) {
+      return (v + size - 1) & ~(size - 1);
+    };
+    while (range_idx < ranges.size()) {
+      if (cursor < ranges[range_idx].begin) cursor = ranges[range_idx].begin;
+      cursor = align_up(cursor);
+      if (cursor + size <= ranges[range_idx].end) break;
+      ++range_idx;
+      if (range_idx < ranges.size()) cursor = ranges[range_idx].begin;
+    }
+    if (range_idx >= ranges.size()) break;
+
+    blocks.push_back(Cidr(Ipv4Address(std::uint32_t(cursor)), lengths[i]));
+    cursor += size;
+  }
+
+  // 2. Assign owners: one guaranteed prefix per AS (from a random subset so
+  //    AS id is uncorrelated with address position), the rest heavy-tailed.
+  if (blocks.size() < params.num_ases) {
+    throw std::invalid_argument(
+        "prefix gen: fewer prefixes than ASs; raise announced_fraction");
+  }
+  std::vector<std::uint32_t> order(blocks.size());
+  for (std::uint32_t i = 0; i < blocks.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[std::size_t(rng.NextBounded(i))]);
+  }
+
+  const std::vector<double> as_weights =
+      ZipfWeights(params.num_ases, params.as_share_alpha, rng);
+  AliasSampler as_sampler(as_weights);
+
+  PrefixTable table;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const AsId owner = i < params.num_ases
+                           ? AsId(i)
+                           : AsId(as_sampler.Sample(rng));
+    table.Announce(blocks[order[i]], owner);
+  }
+  return table;
+}
+
+}  // namespace dmap

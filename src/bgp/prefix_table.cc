@@ -1,0 +1,323 @@
+#include "bgp/prefix_table.h"
+
+#include <stdexcept>
+
+namespace dmap {
+namespace {
+
+constexpr int Bit(std::uint32_t value, int depth) {
+  // depth 0 is the most significant bit.
+  return int((value >> (31 - depth)) & 1);
+}
+
+}  // namespace
+
+PrefixTable::PrefixTable() {
+  nodes_.push_back(Node{});  // root at index 0
+}
+
+std::int32_t PrefixTable::NewNode() {
+  if (!free_list_.empty()) {
+    const std::int32_t idx = free_list_.back();
+    free_list_.pop_back();
+    nodes_[std::size_t(idx)] = Node{};
+    return idx;
+  }
+  nodes_.push_back(Node{});
+  return std::int32_t(nodes_.size() - 1);
+}
+
+void PrefixTable::FreeNode(std::int32_t idx) { free_list_.push_back(idx); }
+
+bool PrefixTable::Announce(Cidr prefix, AsId owner) {
+  if (owner == kInvalidAs) {
+    throw std::invalid_argument("Announce: invalid owner");
+  }
+  std::int32_t node = 0;
+  const std::uint32_t base = prefix.base().value();
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    const int b = Bit(base, depth);
+    if (nodes_[std::size_t(node)].child[b] == kNil) {
+      const std::int32_t child = NewNode();
+      nodes_[std::size_t(node)].child[b] = child;
+    }
+    node = nodes_[std::size_t(node)].child[b];
+  }
+  if (nodes_[std::size_t(node)].announced()) return false;
+  nodes_[std::size_t(node)].owner = owner;
+  ++num_prefixes_;
+  ownership_fresh_ = false;
+  return true;
+}
+
+bool PrefixTable::Withdraw(Cidr prefix) {
+  // Track the descent path for upward pruning.
+  std::int32_t path[33];
+  int bits[33];
+  std::int32_t node = 0;
+  const std::uint32_t base = prefix.base().value();
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    const int b = Bit(base, depth);
+    path[depth] = node;
+    bits[depth] = b;
+    node = nodes_[std::size_t(node)].child[b];
+    if (node == kNil) return false;
+  }
+  if (!nodes_[std::size_t(node)].announced()) return false;
+  nodes_[std::size_t(node)].owner = kInvalidAs;
+  --num_prefixes_;
+  ownership_fresh_ = false;
+
+  // Prune now-empty branches so the "every node's subtree holds an
+  // announcement" invariant (relied on by floor/ceiling) is preserved.
+  for (int depth = prefix.length(); depth > 0; --depth) {
+    Node& n = nodes_[std::size_t(node)];
+    if (n.announced() || n.child[0] != kNil || n.child[1] != kNil) break;
+    FreeNode(node);
+    node = path[depth - 1];
+    nodes_[std::size_t(node)].child[bits[depth - 1]] = kNil;
+  }
+  return true;
+}
+
+std::optional<PrefixRecord> PrefixTable::Lookup(Ipv4Address addr) const {
+  std::int32_t node = 0;
+  std::optional<PrefixRecord> best;
+  std::uint32_t matched_bits_base = 0;
+  for (int depth = 0; depth <= 32; ++depth) {
+    const Node& n = nodes_[std::size_t(node)];
+    if (n.announced()) {
+      best = PrefixRecord{Cidr(Ipv4Address(matched_bits_base), depth),
+                          n.owner};
+    }
+    if (depth == 32) break;
+    const int b = Bit(addr.value(), depth);
+    const std::int32_t child = n.child[b];
+    if (child == kNil) break;
+    if (b == 1) matched_bits_base |= (std::uint32_t{1} << (31 - depth));
+    node = child;
+  }
+  return best;
+}
+
+Ipv4Address PrefixTable::MaxAnnouncedIn(std::int32_t idx, std::uint32_t lo,
+                                        std::uint32_t hi,
+                                        PrefixRecord* rec) const {
+  int depth = 0;
+  // Recover the depth from the range width.
+  for (std::uint64_t width = std::uint64_t(hi) - lo + 1; width < (1ull << 32);
+       width <<= 1) {
+    ++depth;
+  }
+  while (true) {
+    const Node& n = nodes_[std::size_t(idx)];
+    if (n.announced()) {
+      // This block covers the entire remaining subtree range; its last
+      // address is the maximum announced address here.
+      *rec = PrefixRecord{Cidr(Ipv4Address(lo), depth), n.owner};
+      return Ipv4Address(hi);
+    }
+    const std::uint32_t mid = lo + std::uint32_t((std::uint64_t(hi) - lo) / 2);
+    if (n.child[1] != kNil) {
+      idx = n.child[1];
+      lo = mid + 1;
+    } else {
+      idx = n.child[0];
+      hi = mid;
+    }
+    ++depth;
+  }
+}
+
+Ipv4Address PrefixTable::MinAnnouncedIn(std::int32_t idx, std::uint32_t lo,
+                                        std::uint32_t hi,
+                                        PrefixRecord* rec) const {
+  int depth = 0;
+  for (std::uint64_t width = std::uint64_t(hi) - lo + 1; width < (1ull << 32);
+       width <<= 1) {
+    ++depth;
+  }
+  while (true) {
+    const Node& n = nodes_[std::size_t(idx)];
+    if (n.announced()) {
+      *rec = PrefixRecord{Cidr(Ipv4Address(lo), depth), n.owner};
+      return Ipv4Address(lo);
+    }
+    const std::uint32_t mid = lo + std::uint32_t((std::uint64_t(hi) - lo) / 2);
+    if (n.child[0] != kNil) {
+      idx = n.child[0];
+      hi = mid;
+    } else {
+      idx = n.child[1];
+      lo = mid + 1;
+    }
+    ++depth;
+  }
+}
+
+std::optional<PrefixTable::NearestResult> PrefixTable::FloorAnnounced(
+    Ipv4Address addr) const {
+  if (auto hit = Lookup(addr)) {
+    return NearestResult{*hit, addr, 0};
+  }
+  // Descend along addr's bits, remembering every left sibling subtree we
+  // pass: those hold exactly the announced addresses smaller than addr.
+  std::int32_t candidate = kNil;
+  std::uint32_t cand_lo = 0, cand_hi = 0;
+  std::int32_t node = 0;
+  std::uint32_t lo = 0, hi = ~std::uint32_t{0};
+  for (int depth = 0; depth < 32; ++depth) {
+    const Node& n = nodes_[std::size_t(node)];
+    const int b = Bit(addr.value(), depth);
+    const std::uint32_t mid = lo + std::uint32_t((std::uint64_t(hi) - lo) / 2);
+    if (b == 1 && n.child[0] != kNil) {
+      candidate = n.child[0];
+      cand_lo = lo;
+      cand_hi = mid;
+    }
+    if (n.child[b] == kNil) break;
+    node = n.child[b];
+    if (b == 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (candidate == kNil) return std::nullopt;
+  PrefixRecord rec;
+  const Ipv4Address found = MaxAnnouncedIn(candidate, cand_lo, cand_hi, &rec);
+  return NearestResult{rec, found, IpDistance(addr, found)};
+}
+
+std::optional<PrefixTable::NearestResult> PrefixTable::CeilAnnounced(
+    Ipv4Address addr) const {
+  if (auto hit = Lookup(addr)) {
+    return NearestResult{*hit, addr, 0};
+  }
+  std::int32_t candidate = kNil;
+  std::uint32_t cand_lo = 0, cand_hi = 0;
+  std::int32_t node = 0;
+  std::uint32_t lo = 0, hi = ~std::uint32_t{0};
+  for (int depth = 0; depth < 32; ++depth) {
+    const Node& n = nodes_[std::size_t(node)];
+    const int b = Bit(addr.value(), depth);
+    const std::uint32_t mid = lo + std::uint32_t((std::uint64_t(hi) - lo) / 2);
+    if (b == 0 && n.child[1] != kNil) {
+      candidate = n.child[1];
+      cand_lo = mid + 1;
+      cand_hi = hi;
+    }
+    if (n.child[b] == kNil) break;
+    node = n.child[b];
+    if (b == 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (candidate == kNil) return std::nullopt;
+  PrefixRecord rec;
+  const Ipv4Address found = MinAnnouncedIn(candidate, cand_lo, cand_hi, &rec);
+  return NearestResult{rec, found, IpDistance(addr, found)};
+}
+
+std::optional<PrefixTable::NearestResult> PrefixTable::NearestAnnounced(
+    Ipv4Address addr) const {
+  if (auto hit = Lookup(addr)) {
+    return NearestResult{*hit, addr, 0};
+  }
+  const auto floor = FloorAnnounced(addr);
+  const auto ceil = CeilAnnounced(addr);
+  if (!floor) return ceil;
+  if (!ceil) return floor;
+  // Ties break toward the lower address for determinism.
+  return floor->distance <= ceil->distance ? floor : ceil;
+}
+
+void PrefixTable::ForEachPrefix(
+    const std::function<void(const PrefixRecord&)>& fn) const {
+  // Iterative pre-order DFS (self, then low child, then high child) yields
+  // increasing base addresses with shorter prefixes first at equal base.
+  struct Frame {
+    std::int32_t node;
+    std::uint32_t base;
+    int depth;
+  };
+  std::vector<Frame> stack{{0, 0, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[std::size_t(f.node)];
+    if (n.announced()) {
+      fn(PrefixRecord{Cidr(Ipv4Address(f.base), f.depth), n.owner});
+    }
+    if (f.depth == 32) continue;
+    // Push high child first so the low child is processed first (LIFO).
+    if (n.child[1] != kNil) {
+      stack.push_back(Frame{n.child[1],
+                            f.base | (std::uint32_t{1} << (31 - f.depth)),
+                            f.depth + 1});
+    }
+    if (n.child[0] != kNil) {
+      stack.push_back(Frame{n.child[0], f.base, f.depth + 1});
+    }
+  }
+}
+
+std::vector<PrefixRecord> PrefixTable::AllPrefixes() const {
+  std::vector<PrefixRecord> out;
+  out.reserve(num_prefixes_);
+  ForEachPrefix([&](const PrefixRecord& r) { out.push_back(r); });
+  return out;
+}
+
+void PrefixTable::EnsureOwnershipFresh() const {
+  if (ownership_fresh_) return;
+  owned_addresses_.clear();
+  announced_addresses_ = 0;
+
+  // DFS carrying the deepest announced ancestor ("LPM owner" of any address
+  // not covered by a more specific child). Uncovered half-ranges below a
+  // node are attributed to that inherited owner.
+  struct Frame {
+    std::int32_t node;
+    int depth;
+    AsId inherited;
+  };
+  const auto credit = [&](AsId owner, std::uint64_t count) {
+    if (owner == kInvalidAs) return;
+    if (owner >= owned_addresses_.size()) {
+      owned_addresses_.resize(owner + 1, 0);
+    }
+    owned_addresses_[owner] += count;
+    announced_addresses_ += count;
+  };
+
+  std::vector<Frame> stack{{0, 0, kInvalidAs}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[std::size_t(f.node)];
+    const AsId owner = n.announced() ? n.owner : f.inherited;
+    if (f.depth == 32 || (n.child[0] == kNil && n.child[1] == kNil)) {
+      credit(owner, std::uint64_t{1} << (32 - f.depth));
+      continue;
+    }
+    const std::uint64_t half = std::uint64_t{1} << (32 - f.depth - 1);
+    for (const int b : {0, 1}) {
+      if (n.child[b] != kNil) {
+        stack.push_back(Frame{n.child[b], f.depth + 1, owner});
+      } else {
+        credit(owner, half);
+      }
+    }
+  }
+  ownership_fresh_ = true;
+}
+
+std::uint64_t PrefixTable::AddressesOwnedBy(AsId as) const {
+  EnsureOwnershipFresh();
+  return as < owned_addresses_.size() ? owned_addresses_[as] : 0;
+}
+
+}  // namespace dmap

@@ -1,0 +1,119 @@
+// The global prefix table: which AS announces which CIDR block. This is the
+// BGP-derived reachability information DMap piggybacks on — the border
+// gateway hashes a GUID to an address, longest-prefix-matches it against
+// this table, and ships the mapping to the owning AS. Backed by a binary
+// trie over address bits supporting:
+//   * longest-prefix match (the router fast path),
+//   * withdraw/announce (BGP churn),
+//   * nearest-announced-address queries (floor/ceiling by IP distance),
+//     which implement the deputy-AS fallback after M failed rehashes
+//     (Algorithm 1, Section III-B).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/ipv4.h"
+#include "topo/graph.h"
+
+namespace dmap {
+
+struct PrefixRecord {
+  Cidr prefix;
+  AsId owner = kInvalidAs;
+};
+
+class PrefixTable {
+ public:
+  PrefixTable();
+
+  // Announces `prefix` as owned by `owner`. Returns false (and leaves the
+  // table unchanged) if the exact prefix is already announced. Nested /
+  // overlapping prefixes are allowed, as in real BGP; LPM picks the most
+  // specific.
+  bool Announce(Cidr prefix, AsId owner);
+
+  // Withdraws the exact prefix. Returns false if it was not announced.
+  bool Withdraw(Cidr prefix);
+
+  // Longest-prefix match. nullopt if no announced prefix covers `addr` (an
+  // "IP hole").
+  std::optional<PrefixRecord> Lookup(Ipv4Address addr) const;
+
+  // Largest announced address <= addr / smallest announced address >= addr,
+  // together with the covering record. nullopt if no announced address on
+  // that side. Exact under arbitrary prefix nesting.
+  struct NearestResult {
+    PrefixRecord record;
+    Ipv4Address address;      // the concrete nearest announced address
+    std::uint64_t distance;   // IpDistance(addr, address)
+  };
+  std::optional<NearestResult> FloorAnnounced(Ipv4Address addr) const;
+  std::optional<NearestResult> CeilAnnounced(Ipv4Address addr) const;
+
+  // The announced address nearest to `addr` by IP distance (Section III-B's
+  // deputy rule). Distance 0 when `addr` itself is announced. Ties broken
+  // toward the lower address. nullopt only for an empty table.
+  std::optional<NearestResult> NearestAnnounced(Ipv4Address addr) const;
+
+  // Enumeration (in increasing base-address order, shorter prefixes first).
+  void ForEachPrefix(
+      const std::function<void(const PrefixRecord&)>& fn) const;
+  std::vector<PrefixRecord> AllPrefixes() const;
+
+  std::size_t num_prefixes() const { return num_prefixes_; }
+
+  // Total addresses covered by announced prefixes, counting nested space
+  // once (the measure of the announced set).
+  std::uint64_t announced_addresses() const {
+    EnsureOwnershipFresh();
+    return announced_addresses_;
+  }
+  double announced_fraction() const {
+    return double(announced_addresses()) / 4294967296.0;
+  }
+
+  // Addresses whose *LPM owner* is `as` — nested announcements by other ASs
+  // are subtracted, because queries hashing into the nested block are served
+  // by the more specific owner. This is the denominator basis of the
+  // paper's Normalized Load Ratio.
+  std::uint64_t AddressesOwnedBy(AsId as) const;
+  const std::vector<std::uint64_t>& ownership_by_as() const {
+    EnsureOwnershipFresh();
+    return owned_addresses_;
+  }
+
+ private:
+  static constexpr std::int32_t kNil = -1;
+  struct Node {
+    std::int32_t child[2] = {kNil, kNil};
+    AsId owner = kInvalidAs;   // announced prefix ends here if != kInvalidAs
+    bool announced() const { return owner != kInvalidAs; }
+  };
+
+  std::int32_t NewNode();
+  void FreeNode(std::int32_t idx);
+  // Walks down following addr bits; returns node index path.
+  // Max/min announced address within the subtree rooted at `idx` whose path
+  // covers [lo, hi] (the address range of that subtree).
+  Ipv4Address MaxAnnouncedIn(std::int32_t idx, std::uint32_t lo,
+                             std::uint32_t hi, PrefixRecord* rec) const;
+  Ipv4Address MinAnnouncedIn(std::int32_t idx, std::uint32_t lo,
+                             std::uint32_t hi, PrefixRecord* rec) const;
+
+  // Recomputes per-AS ownership and the announced measure; O(trie). Called
+  // lazily after mutations.
+  void EnsureOwnershipFresh() const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::int32_t> free_list_;
+  std::size_t num_prefixes_ = 0;
+
+  mutable bool ownership_fresh_ = false;
+  mutable std::uint64_t announced_addresses_ = 0;
+  mutable std::vector<std::uint64_t> owned_addresses_;  // indexed by AsId
+};
+
+}  // namespace dmap

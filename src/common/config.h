@@ -1,0 +1,63 @@
+// Minimal key = value configuration files for the experiment runner:
+//
+//   # comment
+//   experiment = response_time
+//   ases       = 26424
+//   ks         = 1, 3, 5
+//
+// Typed accessors validate on read; typos are caught by UnusedKeys(), which
+// lists keys the program never asked for.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmap {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Throws std::runtime_error with a line diagnostic on malformed input
+  // (missing '=', duplicate key, empty key).
+  static Config Parse(std::istream& in);
+  static Config ParseString(const std::string& text);
+  static Config ParseFile(const std::string& path);
+
+  bool Has(const std::string& key) const;
+
+  // Typed getters with defaults. Throw std::runtime_error when the value
+  // exists but cannot be parsed as the requested type.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+  // Comma-separated lists.
+  std::vector<std::int64_t> GetIntList(
+      const std::string& key, std::vector<std::int64_t> fallback) const;
+  std::vector<double> GetDoubleList(const std::string& key,
+                                    std::vector<double> fallback) const;
+
+  // Required variants: throw when the key is absent.
+  std::string RequireString(const std::string& key) const;
+
+  // Keys present in the file that no getter has touched — typically typos.
+  std::vector<std::string> UnusedKeys() const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::optional<std::string> Raw(const std::string& key) const;
+
+  std::map<std::string, std::string> entries_;
+  mutable std::map<std::string, bool> accessed_;
+};
+
+}  // namespace dmap

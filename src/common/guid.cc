@@ -1,0 +1,74 @@
+#include "common/guid.h"
+
+#include <cstdio>
+
+namespace dmap {
+namespace {
+
+constexpr std::uint64_t SplitMix64Step(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Guid Guid::FromSequence(std::uint64_t seq) {
+  std::array<std::uint32_t, kWords> w{};
+  std::uint64_t state = seq;
+  for (int i = 0; i < kWords; i += 2) {
+    const std::uint64_t v = SplitMix64Step(state);
+    w[std::size_t(i)] = static_cast<std::uint32_t>(v >> 32);
+    if (i + 1 < kWords) w[std::size_t(i + 1)] = static_cast<std::uint32_t>(v);
+  }
+  return Guid(w);
+}
+
+bool Guid::FromHex(const std::string& hex, Guid* out) {
+  if (hex.size() != kBits / 4) return false;
+  std::array<std::uint32_t, kWords> w{};
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    const char c = hex[i];
+    std::uint32_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = std::uint32_t(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = std::uint32_t(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = std::uint32_t(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    w[i / 8] = (w[i / 8] << 4) | nibble;
+  }
+  *out = Guid(w);
+  return true;
+}
+
+std::uint64_t Guid::Fingerprint64() const {
+  // Mix all five words through SplitMix64 so that fingerprints of
+  // structurally similar GUIDs (e.g. consecutive sequence numbers before
+  // diffusion) remain well distributed.
+  std::uint64_t state = 0x51ed2701a9d4c7e3ULL;
+  std::uint64_t acc = 0;
+  for (const std::uint32_t w : words_) {
+    state ^= w;
+    acc ^= SplitMix64Step(state);
+  }
+  return acc;
+}
+
+std::string Guid::ToHex() const {
+  std::string out;
+  out.reserve(kBits / 4);
+  char buf[9];
+  for (const std::uint32_t w : words_) {
+    std::snprintf(buf, sizeof(buf), "%08x", w);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dmap

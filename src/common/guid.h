@@ -1,0 +1,53 @@
+// Globally Unique Identifier (GUID): the flat, location-independent name that
+// DMap resolves to network addresses. The paper uses 160-bit identifiers
+// (e.g. the hash of a public key); we represent them as five 32-bit words.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace dmap {
+
+class Guid {
+ public:
+  static constexpr int kBits = 160;
+  static constexpr int kWords = kBits / 32;
+
+  constexpr Guid() = default;
+  explicit constexpr Guid(const std::array<std::uint32_t, kWords>& words)
+      : words_(words) {}
+
+  // Deterministically derives a GUID from a 64-bit sequence number by
+  // diffusing it through SplitMix64. Used by workload generators; real
+  // deployments would use self-certifying public-key hashes.
+  static Guid FromSequence(std::uint64_t seq);
+
+  // Parses the 40-hex-digit form produced by ToHex(). Returns false on
+  // malformed input (wrong length or non-hex characters).
+  static bool FromHex(const std::string& hex, Guid* out);
+
+  constexpr const std::array<std::uint32_t, kWords>& words() const {
+    return words_;
+  }
+  constexpr std::uint32_t word(int i) const { return words_[std::size_t(i)]; }
+
+  // A well-mixed 64-bit digest of the GUID, suitable as a hash-table key.
+  std::uint64_t Fingerprint64() const;
+
+  std::string ToHex() const;
+
+  friend constexpr auto operator<=>(const Guid&, const Guid&) = default;
+
+ private:
+  std::array<std::uint32_t, kWords> words_{};
+};
+
+struct GuidHash {
+  std::size_t operator()(const Guid& g) const {
+    return static_cast<std::size_t>(g.Fingerprint64());
+  }
+};
+
+}  // namespace dmap

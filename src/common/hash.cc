@@ -1,0 +1,204 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace dmap {
+namespace {
+
+constexpr std::uint64_t Rotl64(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+std::uint64_t LoadLe64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void SipRound(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+              std::uint64_t& v3) {
+  v0 += v1;
+  v1 = Rotl64(v1, 13);
+  v1 ^= v0;
+  v0 = Rotl64(v0, 32);
+  v2 += v3;
+  v3 = Rotl64(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = Rotl64(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = Rotl64(v1, 17);
+  v1 ^= v2;
+  v2 = Rotl64(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t SipHash24(std::uint64_t key0, std::uint64_t key1,
+                        std::span<const std::uint8_t> data) {
+  std::uint64_t v0 = key0 ^ 0x736f6d6570736575ULL;
+  std::uint64_t v1 = key1 ^ 0x646f72616e646f6dULL;
+  std::uint64_t v2 = key0 ^ 0x6c7967656e657261ULL;
+  std::uint64_t v3 = key1 ^ 0x7465646279746573ULL;
+
+  const std::size_t n = data.size();
+  const std::size_t full_blocks = n / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = LoadLe64(data.data() + i * 8);
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t last = std::uint64_t(n & 0xff) << 56;
+  const std::size_t tail = n & 7;
+  for (std::size_t i = 0; i < tail; ++i) {
+    last |= std::uint64_t(data[full_blocks * 8 + i]) << (8 * i);
+  }
+  v3 ^= last;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xff;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::array<std::uint8_t, 20> Sha1(std::span<const std::uint8_t> data) {
+  std::uint32_t h0 = 0x67452301, h1 = 0xEFCDAB89, h2 = 0x98BADCFE,
+                h3 = 0x10325476, h4 = 0xC3D2E1F0;
+
+  // Message padding: append 0x80, zeros, then the 64-bit big-endian bit
+  // length, so the total is a multiple of 64 bytes.
+  std::vector<std::uint8_t> msg(data.begin(), data.end());
+  const std::uint64_t bit_len = std::uint64_t(msg.size()) * 8;
+  msg.push_back(0x80);
+  while (msg.size() % 64 != 56) msg.push_back(0x00);
+  for (int i = 7; i >= 0; --i) {
+    msg.push_back(static_cast<std::uint8_t>(bit_len >> (8 * i)));
+  }
+
+  const auto rotl32 = [](std::uint32_t x, int b) {
+    return (x << b) | (x >> (32 - b));
+  };
+
+  for (std::size_t chunk = 0; chunk < msg.size(); chunk += 64) {
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      const std::uint8_t* p = &msg[chunk + std::size_t(i) * 4];
+      w[i] = (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+             (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+
+    std::uint32_t a = h0, b = h1, c = h2, d = h3, e = h4;
+    for (int i = 0; i < 80; ++i) {
+      std::uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5A827999;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6;
+      }
+      const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = rotl32(b, 30);
+      b = a;
+      a = temp;
+    }
+    h0 += a;
+    h1 += b;
+    h2 += c;
+    h3 += d;
+    h4 += e;
+  }
+
+  std::array<std::uint8_t, 20> digest{};
+  const std::uint32_t hs[5] = {h0, h1, h2, h3, h4};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      digest[std::size_t(i * 4 + j)] =
+          static_cast<std::uint8_t>(hs[i] >> (24 - 8 * j));
+    }
+  }
+  return digest;
+}
+
+Guid GuidFromKeyMaterial(std::span<const std::uint8_t> key_material) {
+  const auto digest = Sha1(key_material);
+  std::array<std::uint32_t, Guid::kWords> words{};
+  for (int i = 0; i < Guid::kWords; ++i) {
+    const std::uint8_t* p = &digest[std::size_t(i) * 4];
+    words[std::size_t(i)] = (std::uint32_t(p[0]) << 24) |
+                            (std::uint32_t(p[1]) << 16) |
+                            (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+  }
+  return Guid(words);
+}
+
+GuidHashFamily::GuidHashFamily(int k, std::uint64_t seed) : k_(k) {
+  keys_.reserve(std::size_t(k));
+  SplitMix64 sm(seed);
+  for (int i = 0; i < k; ++i) {
+    keys_.push_back(Key{sm.Next(), sm.Next()});
+  }
+}
+
+Ipv4Address GuidHashFamily::Hash(const Guid& guid, int i) const {
+  std::uint8_t bytes[Guid::kWords * 4];
+  for (int w = 0; w < Guid::kWords; ++w) {
+    const std::uint32_t v = guid.word(w);
+    bytes[w * 4 + 0] = static_cast<std::uint8_t>(v >> 24);
+    bytes[w * 4 + 1] = static_cast<std::uint8_t>(v >> 16);
+    bytes[w * 4 + 2] = static_cast<std::uint8_t>(v >> 8);
+    bytes[w * 4 + 3] = static_cast<std::uint8_t>(v);
+  }
+  const Key& key = keys_[std::size_t(i)];
+  const std::uint64_t h = SipHash24(key.k0, key.k1, bytes);
+  return Ipv4Address(static_cast<std::uint32_t>(h >> 32) ^
+                     static_cast<std::uint32_t>(h));
+}
+
+std::vector<Ipv4Address> GuidHashFamily::HashAll(const Guid& guid) const {
+  std::vector<Ipv4Address> out;
+  out.reserve(std::size_t(k_));
+  for (int i = 0; i < k_; ++i) out.push_back(Hash(guid, i));
+  return out;
+}
+
+Ipv4Address GuidHashFamily::Rehash(Ipv4Address addr, int i) const {
+  const std::uint32_t v = addr.value();
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+      static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+  const Key& key = keys_[std::size_t(i)];
+  const std::uint64_t h = SipHash24(key.k0, key.k1, bytes);
+  return Ipv4Address(static_cast<std::uint32_t>(h >> 32) ^
+                     static_cast<std::uint32_t>(h));
+}
+
+std::uint64_t GuidHashFamily::Hash64(std::span<const std::uint8_t> data,
+                                     int i) const {
+  const Key& key = keys_[std::size_t(i)];
+  return SipHash24(key.k0, key.k1, data);
+}
+
+}  // namespace dmap

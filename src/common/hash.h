@@ -1,0 +1,68 @@
+// Hash primitives for DMap's direct mapping. The paper requires a family of
+// K independent consistent hash functions h_1..h_K that map a GUID onto the
+// 32-bit network address space, plus rehashing of intermediate results for
+// the IP-hole procedure (Algorithm 1). We build the family on SipHash-2-4
+// with per-function keys derived from a master seed, and also provide a
+// from-scratch SHA-1 for deriving self-certifying GUIDs from key material.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/guid.h"
+#include "common/ipv4.h"
+
+namespace dmap {
+
+// SipHash-2-4 (Aumasson & Bernstein) over an arbitrary byte string with a
+// 128-bit key. Cryptographically keyed PRF — exactly the "pre-agreed hash
+// function distributed among Internet routers" role the paper describes.
+std::uint64_t SipHash24(std::uint64_t key0, std::uint64_t key1,
+                        std::span<const std::uint8_t> data);
+
+// SHA-1 digest (FIPS 180-1). 160 bits — the same width as a GUID, so a GUID
+// can be the SHA-1 of a public key as the paper suggests.
+std::array<std::uint8_t, 20> Sha1(std::span<const std::uint8_t> data);
+
+// Convenience: derive a GUID from arbitrary bytes (e.g. a public key) via
+// SHA-1, making the identifier self-certifying.
+Guid GuidFromKeyMaterial(std::span<const std::uint8_t> key_material);
+
+// The family {h_1, ..., h_K} of independent hash functions onto the IPv4
+// address space. All participants must agree on (seed, K) out of band, as
+// the paper notes; given those, any network entity can locally derive the
+// replica addresses for any GUID.
+class GuidHashFamily {
+ public:
+  GuidHashFamily(int k, std::uint64_t seed);
+
+  int k() const { return k_; }
+
+  // h_i(guid), i in [0, k).
+  Ipv4Address Hash(const Guid& guid, int i) const;
+
+  // All K replica addresses for a GUID.
+  std::vector<Ipv4Address> HashAll(const Guid& guid) const;
+
+  // Rehash step of Algorithm 1: result <- hash(result). The chain for
+  // replica i stays within function i's key so the K chains remain
+  // independent.
+  Ipv4Address Rehash(Ipv4Address addr, int i) const;
+
+  // Generic 64-bit draw from function i over arbitrary data; used by the
+  // two-level bucketing scheme for sparse (e.g. IPv6-like) address spaces.
+  std::uint64_t Hash64(std::span<const std::uint8_t> data, int i) const;
+
+ private:
+  struct Key {
+    std::uint64_t k0;
+    std::uint64_t k1;
+  };
+
+  int k_;
+  std::vector<Key> keys_;
+};
+
+}  // namespace dmap

@@ -1,0 +1,70 @@
+#include "common/ipv4.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmap {
+namespace {
+
+// Parses a decimal integer in [0, max] starting at `pos`; advances `pos`
+// past the digits. Returns false if no digits or out of range.
+bool ParseDecimal(const std::string& text, std::size_t* pos, long max,
+                  long* out) {
+  std::size_t i = *pos;
+  if (i >= text.size() || text[i] < '0' || text[i] > '9') return false;
+  long value = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + (text[i] - '0');
+    if (value > max) return false;
+    ++i;
+  }
+  *pos = i;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool Ipv4Address::Parse(const std::string& text, Ipv4Address* out) {
+  std::size_t pos = 0;
+  std::uint32_t value = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (pos >= text.size() || text[pos] != '.') return false;
+      ++pos;
+    }
+    long v = 0;
+    if (!ParseDecimal(text, &pos, 255, &v)) return false;
+    value = (value << 8) | static_cast<std::uint32_t>(v);
+  }
+  if (pos != text.size()) return false;
+  *out = Ipv4Address(value);
+  return true;
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+bool Cidr::Parse(const std::string& text, Cidr* out) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) return false;
+  Ipv4Address base;
+  if (!Ipv4Address::Parse(text.substr(0, slash), &base)) return false;
+  std::size_t pos = slash + 1;
+  long length = 0;
+  if (!ParseDecimal(text, &pos, 32, &length) || pos != text.size()) {
+    return false;
+  }
+  *out = Cidr(base, static_cast<int>(length));
+  return true;
+}
+
+std::string Cidr::ToString() const {
+  return base_.ToString() + "/" + std::to_string(length_);
+}
+
+}  // namespace dmap

@@ -1,0 +1,176 @@
+#include "common/ipv6.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace dmap {
+namespace {
+
+// Parses one hex group (1-4 digits). Returns -1 on failure.
+int ParseGroup(const std::string& text, std::size_t begin, std::size_t end) {
+  if (begin == end || end - begin > 4) return -1;
+  int value = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return -1;
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv6Address> Ipv6Address::Parse(const std::string& text) {
+  // Split on "::" (at most one occurrence).
+  const std::size_t gap = text.find("::");
+  if (gap != std::string::npos && text.find("::", gap + 1) != std::string::npos) {
+    return std::nullopt;
+  }
+
+  const auto split_groups =
+      [](const std::string& part) -> std::optional<std::vector<int>> {
+    std::vector<int> groups;
+    if (part.empty()) return groups;
+    std::size_t begin = 0;
+    while (true) {
+      const std::size_t colon = part.find(':', begin);
+      const std::size_t end = colon == std::string::npos ? part.size() : colon;
+      const int g = ParseGroup(part, begin, end);
+      if (g < 0) return std::nullopt;
+      groups.push_back(g);
+      if (colon == std::string::npos) break;
+      begin = colon + 1;
+      if (begin >= part.size()) return std::nullopt;  // trailing ':'
+    }
+    return groups;
+  };
+
+  std::vector<int> groups;
+  if (gap == std::string::npos) {
+    const auto all = split_groups(text);
+    if (!all || all->size() != 8) return std::nullopt;
+    groups = *all;
+  } else {
+    const auto left = split_groups(text.substr(0, gap));
+    const auto right = split_groups(text.substr(gap + 2));
+    if (!left || !right) return std::nullopt;
+    const std::size_t present = left->size() + right->size();
+    if (present > 7) return std::nullopt;  // "::" must cover >= 1 group
+    groups = *left;
+    groups.insert(groups.end(), 8 - present, 0);
+    groups.insert(groups.end(), right->begin(), right->end());
+  }
+
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | std::uint64_t(groups[i]);
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | std::uint64_t(groups[i]);
+  return Ipv6Address(hi, lo);
+}
+
+std::string Ipv6Address::ToString() const {
+  // Find the longest run of zero groups (leftmost on ties, length >= 2).
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (Group(i) != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && Group(j) == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  bool after_gap = false;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      after_gap = true;
+      continue;
+    }
+    if (!out.empty() && !after_gap) out += ':';
+    after_gap = false;
+    std::snprintf(buf, sizeof(buf), "%x", Group(i));
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+Cidr6::Cidr6(Ipv6Address base, int length) : length_(length) {
+  if (length < 0 || length > 128) {
+    throw std::invalid_argument("Cidr6: bad prefix length");
+  }
+  std::uint64_t hi = base.hi(), lo = base.lo();
+  if (length <= 64) {
+    lo = 0;
+    hi = length == 0 ? 0 : hi & (~std::uint64_t{0} << (64 - length));
+  } else if (length < 128) {
+    lo &= ~std::uint64_t{0} << (128 - length);
+  }
+  base_ = Ipv6Address(hi, lo);
+}
+
+std::optional<Cidr6> Cidr6::Parse(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  const auto base = Ipv6Address::Parse(text.substr(0, slash));
+  if (!base) return std::nullopt;
+  const std::string len_text = text.substr(slash + 1);
+  if (len_text.empty() || len_text.size() > 3) return std::nullopt;
+  int length = 0;
+  for (const char c : len_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    length = length * 10 + (c - '0');
+  }
+  if (length > 128) return std::nullopt;
+  return Cidr6(*base, length);
+}
+
+bool Cidr6::Contains(const Ipv6Address& addr) const {
+  if (length_ == 0) return true;
+  if (length_ <= 64) {
+    const std::uint64_t mask = ~std::uint64_t{0} << (64 - length_);
+    return (addr.hi() & mask) == base_.hi();
+  }
+  if (addr.hi() != base_.hi()) return false;
+  if (length_ == 128) return addr.lo() == base_.lo();
+  const std::uint64_t mask = ~std::uint64_t{0} << (128 - length_);
+  return (addr.lo() & mask) == base_.lo();
+}
+
+std::string Cidr6::ToString() const {
+  return base_.ToString() + "/" + std::to_string(length_);
+}
+
+Cidr6::RoutingSegment Cidr6::ToRoutingSegment() const {
+  if (length_ > 64) {
+    throw std::invalid_argument(
+        "ToRoutingSegment: inter-domain prefixes are /64 or shorter");
+  }
+  RoutingSegment segment;
+  segment.base = base_.hi();
+  segment.size = length_ == 0 ? ~std::uint64_t{0}  // 2^64 saturated
+                              : std::uint64_t{1} << (64 - length_);
+  return segment;
+}
+
+}  // namespace dmap

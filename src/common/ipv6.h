@@ -1,0 +1,79 @@
+// IPv6 addresses and prefixes. Section III-B extends DMap to sparse address
+// spaces like IPv6 via the two-level bucket index; this type provides the
+// 128-bit address arithmetic plus RFC 4291 parsing and RFC 5952 canonical
+// formatting, and the conversion of announced prefixes into the 64-bit
+// routing-space segments the BucketIndex operates on (inter-domain routing
+// never uses prefixes longer than /64, so the top half of the address fully
+// determines the announcing AS).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dmap {
+
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  constexpr Ipv6Address(std::uint64_t hi, std::uint64_t lo)
+      : hi_(hi), lo_(lo) {}
+
+  // Parses RFC 4291 text form, including "::" compression and mixed-case
+  // hex. (IPv4-mapped dotted suffixes are not supported.)
+  static std::optional<Ipv6Address> Parse(const std::string& text);
+
+  constexpr std::uint64_t hi() const { return hi_; }
+  constexpr std::uint64_t lo() const { return lo_; }
+
+  constexpr std::uint16_t Group(int i) const {
+    const std::uint64_t half = i < 4 ? hi_ : lo_;
+    return std::uint16_t(half >> (16 * (3 - (i & 3))));
+  }
+
+  // RFC 5952 canonical form: lowercase, leading zeros dropped, the longest
+  // (leftmost, length >= 2) zero-group run compressed to "::".
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Ipv6Address&,
+                                    const Ipv6Address&) = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+class Cidr6 {
+ public:
+  constexpr Cidr6() = default;
+  // Canonicalises: bits below `length` are cleared. length in [0, 128].
+  Cidr6(Ipv6Address base, int length);
+
+  static std::optional<Cidr6> Parse(const std::string& text);
+
+  const Ipv6Address& base() const { return base_; }
+  int length() const { return length_; }
+
+  bool Contains(const Ipv6Address& addr) const;
+
+  std::string ToString() const;
+
+  // The prefix's routing-space segment: its span projected onto the top 64
+  // bits of the address space. Requires length <= 64 (inter-domain
+  // prefixes). A /48 maps to base = top bits, size = 2^(64-48).
+  struct RoutingSegment {
+    std::uint64_t base;
+    std::uint64_t size;
+  };
+  RoutingSegment ToRoutingSegment() const;
+
+  friend auto operator<=>(const Cidr6&, const Cidr6&) = default;
+
+ private:
+  Ipv6Address base_;
+  int length_ = 0;
+};
+
+}  // namespace dmap

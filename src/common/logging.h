@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr. Default level is kWarning so that the
+// big simulation sweeps stay quiet; examples raise it to kInfo to narrate.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dmap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dmap
+
+#define DMAP_LOG(level)                                                  \
+  if (::dmap::LogLevel::level < ::dmap::GetLogLevel()) {                 \
+  } else                                                                 \
+    ::dmap::internal::LogMessage(::dmap::LogLevel::level, __FILE__,      \
+                                 __LINE__)                               \
+        .stream()

@@ -1,0 +1,51 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace dmap {
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire (2019): multiply a 64-bit draw by the bound and keep the high
+  // word; reject draws in the biased low fringe.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::NextGaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  have_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::NextExponential(double mean) {
+  // Inverse transform; guard against log(0).
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::Exp(double x) { return std::exp(x); }
+
+}  // namespace dmap

@@ -1,0 +1,105 @@
+// Deterministic pseudo-random number generation. Every stochastic component
+// in the simulator draws from a seeded stream so that experiments are
+// reproducible bit-for-bit; we implement SplitMix64 (seeding / cheap
+// diffusion) and xoshiro256** (bulk generation) rather than rely on
+// implementation-defined std::default_random_engine behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dmap {
+
+// SplitMix64: tiny, passes BigCrush, ideal for seeding other generators and
+// for stateless per-index diffusion.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: fast all-purpose generator (Blackman & Vigna).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses Lemire's multiply-shift rejection method to
+  // avoid modulo bias.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(std::uint64_t(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return double(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Standard normal via Marsaglia polar method.
+  double NextGaussian();
+
+  // Log-normal with the given parameters of the underlying normal.
+  double NextLogNormal(double mu, double sigma) {
+    return Exp(mu + sigma * NextGaussian());
+  }
+
+  // Exponential with the given mean.
+  double NextExponential(double mean);
+
+  // True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  // Splits off an independent generator; the child stream is decorrelated
+  // from the parent by diffusing a fresh draw through SplitMix64.
+  Rng Split() {
+    SplitMix64 sm(Next());
+    return Rng(sm.Next());
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double Exp(double x);
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0;
+};
+
+}  // namespace dmap

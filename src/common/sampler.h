@@ -1,0 +1,36 @@
+// Walker alias method for O(1) sampling from an arbitrary discrete
+// distribution. Used to pick source ASes weighted by end-node counts
+// (Section IV-B-1: "the probability of choosing a certain AS is weighted in
+// proportion to the number of end-nodes found in that AS").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dmap {
+
+class AliasSampler {
+ public:
+  // `weights` need not be normalised; they must be non-negative with a
+  // positive sum. Throws std::invalid_argument otherwise.
+  explicit AliasSampler(std::span<const double> weights);
+
+  std::size_t size() const { return prob_.size(); }
+
+  // Draws an index in [0, size()) with probability proportional to its
+  // weight.
+  std::size_t Sample(Rng& rng) const;
+
+  // Probability of index i under the normalised distribution.
+  double Probability(std::size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;         // acceptance threshold per bucket
+  std::vector<std::uint32_t> alias_; // fallback index per bucket
+  std::vector<double> normalized_;
+};
+
+}  // namespace dmap

@@ -1,0 +1,155 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace dmap {
+
+void StreamingStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / double(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / double(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         double(samples_.size());
+}
+
+double SampleSet::min() const {
+  EnsureSorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleSet::max() const {
+  EnsureSorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleSet::Quantile(double q) const {
+  if (samples_.empty()) {
+    throw std::logic_error("SampleSet::Quantile on empty set");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("SampleSet::Quantile: q outside [0,1]");
+  }
+  EnsureSorted();
+  const double pos = q * double(samples_.size() - 1);
+  const auto lo = std::size_t(pos);
+  const double frac = pos - double(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double SampleSet::CdfAt(double x) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return double(it - samples_.begin()) / double(samples_.size());
+}
+
+std::vector<SampleSet::CdfPoint> SampleSet::CdfLogSpaced(int points) const {
+  std::vector<CdfPoint> out;
+  if (samples_.empty() || points < 2) return out;
+  EnsureSorted();
+  const double lo = std::max(samples_.front(), 1e-9);
+  const double hi = std::max(samples_.back(), lo * (1.0 + 1e-9));
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  out.reserve(std::size_t(points));
+  for (int i = 0; i < points; ++i) {
+    const double t = double(i) / double(points - 1);
+    const double x = std::exp(log_lo + t * (log_hi - log_lo));
+    out.push_back(CdfPoint{x, CdfAt(x)});
+  }
+  return out;
+}
+
+std::vector<SampleSet::CdfPoint> SampleSet::CdfLinearSpaced(
+    int points) const {
+  std::vector<CdfPoint> out;
+  if (samples_.empty() || points < 2) return out;
+  EnsureSorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(std::size_t(points));
+  for (int i = 0; i < points; ++i) {
+    const double t = double(i) / double(points - 1);
+    const double x = lo + t * (hi - lo);
+    out.push_back(CdfPoint{x, CdfAt(x)});
+  }
+  return out;
+}
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::AddRow: column count mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_row(header_);
+  std::string sep = "|";
+  for (const std::size_t w : widths) {
+    sep += std::string(w + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace dmap

@@ -1,0 +1,95 @@
+// Statistics collection for the evaluation harness: streaming moments,
+// exact-quantile sample sets (the paper reports mean / median / 95th
+// percentile response times), and CDF extraction for the figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmap {
+
+// Streaming count/mean/variance/min/max via Welford's algorithm. O(1)
+// memory; cannot produce quantiles.
+class StreamingStats {
+ public:
+  void Add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Retains all samples for exact quantiles and CDF extraction. The largest
+// run in the reproduction collects ~10^6 response times (8 MB) — well within
+// budget, so exactness beats sketching here.
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  // Quantile q in [0, 1], linear interpolation between order statistics.
+  // q = 0.5 is the median, q = 0.95 the 95th percentile. Requires at least
+  // one sample.
+  double Quantile(double q) const;
+
+  // Fraction of samples <= x (the empirical CDF evaluated at x).
+  double CdfAt(double x) const;
+
+  // Evaluates the empirical CDF at `points` evenly log-spaced positions
+  // between min and max — matches the log-x-axis response-time CDFs of
+  // Figures 4-5.
+  struct CdfPoint {
+    double x;
+    double fraction;
+  };
+  std::vector<CdfPoint> CdfLogSpaced(int points) const;
+
+  // Same on a linear axis — Figure 6's NLR CDF.
+  std::vector<CdfPoint> CdfLinearSpaced(int points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Renders an ASCII table row-by-row with aligned columns; every bench binary
+// uses this to print the paper's tables/figure series uniformly.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  std::string Render() const;
+
+  static std::string FormatDouble(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmap

@@ -1,0 +1,48 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmap {
+
+MandelbrotZipf::MandelbrotZipf(std::uint64_t n, double alpha, double q)
+    : n_(n), alpha_(alpha), q_(q) {
+  if (n == 0) throw std::invalid_argument("MandelbrotZipf: n must be > 0");
+  if (q < 0) throw std::invalid_argument("MandelbrotZipf: q must be >= 0");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(double(k) + q, alpha);
+    cdf_[k - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+double MandelbrotZipf::Pmf(std::uint64_t rank) const {
+  if (rank < 1 || rank > n_) return 0.0;
+  const double prev = rank == 1 ? 0.0 : cdf_[rank - 2];
+  return cdf_[rank - 1] - prev;
+}
+
+std::uint64_t MandelbrotZipf::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return std::uint64_t(it - cdf_.begin()) + 1;
+}
+
+std::vector<double> ZipfWeights(std::size_t n, double alpha, Rng& rng) {
+  std::vector<double> weights(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    weights[k] = 1.0 / std::pow(double(k + 1), alpha);
+  }
+  // Fisher-Yates shuffle so that weight rank is independent of index order.
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = std::size_t(rng.NextBounded(i));
+    std::swap(weights[i - 1], weights[j]);
+  }
+  return weights;
+}
+
+}  // namespace dmap

@@ -1,0 +1,44 @@
+// Rank-based popularity distributions. The paper models GUID query
+// popularity with a Mandelbrot-Zipf distribution:
+//   p(k) = H / (k + q)^alpha,  H = 1 / sum_{k=1..N} 1/(k+q)^alpha
+// with alpha = 1.02, q = 100 (Section IV-B-1). Plain Zipf is the q = 0
+// special case and is also used for heavy-tailed per-AS attributes (prefix
+// share, end-node counts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dmap {
+
+// Samples ranks 1..N from a Mandelbrot-Zipf distribution via inverse
+// transform over a precomputed CDF table. O(N) memory, O(log N) per sample.
+class MandelbrotZipf {
+ public:
+  MandelbrotZipf(std::uint64_t n, double alpha, double q);
+
+  std::uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+  double q() const { return q_; }
+
+  // Probability of rank k (1-based).
+  double Pmf(std::uint64_t rank) const;
+
+  // Draws a 1-based rank.
+  std::uint64_t Sample(Rng& rng) const;
+
+ private:
+  std::uint64_t n_;
+  double alpha_;
+  double q_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i + 1)
+};
+
+// Generates N heavy-tailed positive weights w_k proportional to 1/k^alpha,
+// shuffled so that rank is uncorrelated with index. Used for per-AS address
+// share and end-node counts.
+std::vector<double> ZipfWeights(std::size_t n, double alpha, Rng& rng);
+
+}  // namespace dmap

@@ -1,0 +1,74 @@
+#include "core/bucket_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmap {
+
+BucketIndex::BucketIndex(std::span<const AddressSegment> segments,
+                         std::uint32_t num_buckets,
+                         const GuidHashFamily& hashes)
+    : hashes_(&hashes),
+      num_buckets_(num_buckets),
+      segments_(segments.begin(), segments.end()) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("BucketIndex: no segments");
+  }
+  if (num_buckets_ == 0) {
+    throw std::invalid_argument("BucketIndex: zero buckets");
+  }
+  for (const AddressSegment& s : segments_) {
+    if (s.size == 0) {
+      throw std::invalid_argument("BucketIndex: zero-sized segment");
+    }
+  }
+  buckets_.resize(num_buckets_);
+  for (std::uint32_t i = 0; i < segments_.size(); ++i) {
+    buckets_[i % num_buckets_].push_back(i);
+  }
+}
+
+std::size_t BucketIndex::max_bucket_size() const {
+  std::size_t best = 0;
+  for (const auto& b : buckets_) best = std::max(best, b.size());
+  return best;
+}
+
+std::uint64_t BucketIndex::HashGuid(const Guid& guid, int replica,
+                                    std::uint8_t tag) const {
+  std::uint8_t bytes[Guid::kWords * 4 + 1];
+  for (int w = 0; w < Guid::kWords; ++w) {
+    const std::uint32_t v = guid.word(w);
+    bytes[w * 4 + 0] = static_cast<std::uint8_t>(v >> 24);
+    bytes[w * 4 + 1] = static_cast<std::uint8_t>(v >> 16);
+    bytes[w * 4 + 2] = static_cast<std::uint8_t>(v >> 8);
+    bytes[w * 4 + 3] = static_cast<std::uint8_t>(v);
+  }
+  bytes[Guid::kWords * 4] = tag;
+  return hashes_->Hash64(bytes, replica);
+}
+
+BucketIndex::Resolution BucketIndex::Resolve(const Guid& guid,
+                                             int replica) const {
+  // Level 1: bucket id.
+  std::uint32_t bucket =
+      std::uint32_t(HashGuid(guid, replica, 'B') % num_buckets_);
+  // Deterministic linear probe past empty buckets.
+  while (buckets_[bucket].empty()) {
+    bucket = (bucket + 1) % num_buckets_;
+  }
+  const auto& segment_ids = buckets_[bucket];
+
+  // Level 2: segment within the bucket, plus the offset inside it.
+  const std::uint64_t draw = HashGuid(guid, replica, 'S');
+  const AddressSegment& segment =
+      segments_[segment_ids[draw % segment_ids.size()]];
+
+  Resolution out;
+  out.segment = segment;
+  out.bucket = bucket;
+  out.address = segment.base + (draw / segment_ids.size()) % segment.size;
+  return out;
+}
+
+}  // namespace dmap

@@ -1,0 +1,68 @@
+// Two-level bucketing scheme for sparse address spaces (Section III-B,
+// Figure 3). In spaces like IPv6 the announced segments are vanishingly
+// small islands, so rehash-until-hit would almost never terminate. Instead,
+// the announced segments are indexed into N buckets of at most S segments
+// each; a GUID is hashed once to a bucket id and once to a segment within
+// that bucket, giving a hit in exactly two hash evaluations regardless of
+// how sparse the space is.
+//
+// The index is generic over a 64-bit address space, standing in for IPv6 (a
+// full 128-bit type would change nothing structurally).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/guid.h"
+#include "common/hash.h"
+#include "topo/graph.h"
+
+namespace dmap {
+
+struct AddressSegment {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;  // number of addresses; must be > 0
+  AsId owner = kInvalidAs;
+};
+
+class BucketIndex {
+ public:
+  // Builds the index over `segments` with `num_buckets` buckets. Segments
+  // are dealt to buckets round-robin in input order, so every participant
+  // constructing the index from the same announced-segment list (which BGP
+  // gives every border gateway) derives identical buckets. Buckets never
+  // differ in size by more than one segment. Throws std::invalid_argument
+  // on empty input, zero buckets, or a zero-sized segment.
+  BucketIndex(std::span<const AddressSegment> segments,
+              std::uint32_t num_buckets, const GuidHashFamily& hashes);
+
+  std::uint32_t num_buckets() const { return num_buckets_; }
+  std::size_t num_segments() const { return segments_.size(); }
+
+  // Largest bucket population S; the paper keeps S small by making N large.
+  std::size_t max_bucket_size() const;
+
+  struct Resolution {
+    AddressSegment segment;
+    std::uint64_t address = 0;  // concrete address within the segment
+    std::uint32_t bucket = 0;
+  };
+
+  // Resolves replica i of `guid`: hash 1 picks the bucket, hash 2 the
+  // segment inside it (empty buckets — possible when N exceeds the segment
+  // count — are skipped by deterministic linear probing), and the address
+  // offset is derived from the same draw.
+  Resolution Resolve(const Guid& guid, int replica) const;
+
+ private:
+  std::uint64_t HashGuid(const Guid& guid, int replica,
+                         std::uint8_t tag) const;
+
+  const GuidHashFamily* hashes_;
+  std::uint32_t num_buckets_;
+  std::vector<AddressSegment> segments_;
+  std::vector<std::vector<std::uint32_t>> buckets_;  // segment indices
+};
+
+}  // namespace dmap

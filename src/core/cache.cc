@@ -1,0 +1,114 @@
+#include "core/cache.h"
+
+#include <stdexcept>
+
+namespace dmap {
+
+MappingCache::MappingCache(std::size_t capacity, SimTime ttl)
+    : capacity_(capacity), ttl_(ttl) {
+  if (capacity == 0) {
+    throw std::invalid_argument("MappingCache: zero capacity");
+  }
+}
+
+const MappingEntry* MappingCache::Get(const Guid& guid, SimTime now) {
+  const auto it = index_.find(guid);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second->expires < now) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++hits_;
+  return &lru_.front().mapping;
+}
+
+void MappingCache::Put(const Guid& guid, const MappingEntry& entry,
+                       SimTime now) {
+  const auto it = index_.find(guid);
+  if (it != index_.end()) {
+    it->second->mapping = entry;
+    it->second->expires = now + ttl_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{guid, entry, now + ttl_});
+  index_[guid] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().guid);
+    lru_.pop_back();
+  }
+}
+
+bool MappingCache::Invalidate(const Guid& guid) {
+  const auto it = index_.find(guid);
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+CachingDMap::CachingDMap(DMapService& service, std::size_t per_as_capacity,
+                         SimTime ttl)
+    : service_(&service) {
+  const std::uint32_t n = service.oracle().graph().num_nodes();
+  caches_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    caches_.emplace_back(per_as_capacity, ttl);
+  }
+}
+
+CachingDMap::CachedLookupResult CachingDMap::Lookup(const Guid& guid,
+                                                    AsId querier,
+                                                    SimTime now) {
+  CachedLookupResult out;
+  MappingCache& cache = caches_[querier];
+  if (const MappingEntry* cached = cache.Get(guid, now)) {
+    out.from_cache = true;
+    out.result.found = true;
+    out.result.nas = cached->nas;
+    out.result.serving_as = querier;
+    out.result.latency_ms =
+        2.0 * service_->oracle().graph().IntraLatencyMs(querier);
+    // Staleness accounting: compare with the authoritative entry at the
+    // first replica (store access only — no simulated network cost, this
+    // is measurement bookkeeping, not protocol behaviour).
+    const AsId replica0 = service_->resolver().Resolve(guid, 0).host;
+    const MappingEntry* authoritative =
+        service_->StoreAt(replica0).Lookup(guid);
+    out.stale = authoritative != nullptr &&
+                !(authoritative->nas == cached->nas);
+    return out;
+  }
+  out.result = service_->Lookup(guid, querier);
+  if (out.result.found) {
+    // The reply carries the version so the cache can be version-gated.
+    MappingEntry entry;
+    entry.nas = out.result.nas;
+    cache.Put(guid, entry, now);
+  }
+  return out;
+}
+
+UpdateResult CachingDMap::Update(const Guid& guid, NetworkAddress na) {
+  return service_->Update(guid, na);
+}
+
+std::uint64_t CachingDMap::total_hits() const {
+  std::uint64_t total = 0;
+  for (const MappingCache& c : caches_) total += c.hits();
+  return total;
+}
+
+std::uint64_t CachingDMap::total_misses() const {
+  std::uint64_t total = 0;
+  for (const MappingCache& c : caches_) total += c.misses();
+  return total;
+}
+
+}  // namespace dmap

@@ -1,0 +1,87 @@
+// In-network caching of GUID->NA mappings — the extension sketched in the
+// paper's concluding remarks ("we also plan to extend the scope of this
+// work by studying a feasible in-network caching method that builds on top
+// of the basic DMap scheme").
+//
+// Each AS's border gateway keeps an LRU cache of recently resolved
+// mappings with a TTL. A cache hit answers in one intra-AS round trip, like
+// the local replica; the cost is staleness: a cached entry can survive a
+// mobility update for up to the TTL. The ablation bench quantifies both
+// sides of that trade.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/guid.h"
+#include "core/dmap_service.h"
+#include "event/sim_time.h"
+
+namespace dmap {
+
+// Per-AS LRU+TTL cache.
+class MappingCache {
+ public:
+  MappingCache(std::size_t capacity, SimTime ttl);
+
+  // Returns the cached entry if present and fresh at `now`, else nullptr.
+  // Expired entries are evicted on access.
+  const MappingEntry* Get(const Guid& guid, SimTime now);
+
+  void Put(const Guid& guid, const MappingEntry& entry, SimTime now);
+
+  // Drops the entry (e.g. after the cached NA turned out unreachable —
+  // Section III-D-2's "mark the mapping as obsolete").
+  bool Invalidate(const Guid& guid);
+
+  std::size_t size() const { return index_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    Guid guid;
+    MappingEntry mapping;
+    SimTime expires;
+  };
+
+  std::size_t capacity_;
+  SimTime ttl_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Guid, std::list<Entry>::iterator, GuidHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// DMapService wrapper adding a per-AS cache in front of resolution. Not a
+// NameResolver: lookups need the current simulated time for TTL handling.
+class CachingDMap {
+ public:
+  CachingDMap(DMapService& service, std::size_t per_as_capacity,
+              SimTime ttl);
+
+  struct CachedLookupResult {
+    LookupResult result;
+    bool from_cache = false;
+    // True when the cache served an NA set older than the authoritative
+    // mapping — the staleness cost of caching.
+    bool stale = false;
+  };
+
+  CachedLookupResult Lookup(const Guid& guid, AsId querier, SimTime now);
+
+  // Mobility updates go through here so the wrapper can count staleness
+  // against the authoritative version.
+  UpdateResult Update(const Guid& guid, NetworkAddress na);
+
+  const MappingCache& CacheAt(AsId as) const { return caches_[as]; }
+  std::uint64_t total_hits() const;
+  std::uint64_t total_misses() const;
+
+ private:
+  DMapService* service_;
+  std::vector<MappingCache> caches_;  // indexed by AsId
+};
+
+}  // namespace dmap

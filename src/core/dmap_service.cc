@@ -1,0 +1,298 @@
+#include "core/dmap_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmap {
+
+DMapService::DMapService(const AsGraph& graph, const PrefixTable& table,
+                         const DMapOptions& options)
+    : graph_(&graph),
+      table_(&table),
+      options_(options),
+      hashes_(options.k, options.hash_seed),
+      resolver_(hashes_, table, options.max_hashes),
+      oracle_(graph),
+      stores_(graph.num_nodes()) {
+  if (options.k < 1) throw std::invalid_argument("DMapService: k < 1");
+}
+
+UpdateResult DMapService::WriteReplicas(const Guid& guid, OwnerState& state,
+                                        AsId src_as) {
+  UpdateResult result;
+  result.version = state.version;
+
+  // Remove entries from replicas that are no longer in the set (only
+  // happens via Rehome/Update-after-churn; the common case is a no-op).
+  const std::vector<HostResolution> resolutions = resolver_.ResolveAll(guid);
+  std::vector<AsId> new_replicas;
+  new_replicas.reserve(resolutions.size());
+  for (const HostResolution& r : resolutions) {
+    new_replicas.push_back(r.host);
+    result.hash_evaluations += r.hash_count;
+  }
+
+  const MappingEntry entry{state.nas, state.version};
+  for (const HostResolution& r : resolutions) {
+    if (stores_[r.host].Lookup(guid) == nullptr) ++total_entries_;
+    stores_[r.host].Upsert(guid, entry, r.stored_address);
+  }
+  // Drop stale replicas (set difference; K is tiny so quadratic is fine).
+  for (const AsId old_host : state.replicas) {
+    if (std::find(new_replicas.begin(), new_replicas.end(), old_host) ==
+        new_replicas.end()) {
+      if (stores_[old_host].Erase(guid)) --total_entries_;
+    }
+  }
+  state.replicas = new_replicas;
+
+  // Local replica at the attachment AS (Section III-C).
+  if (options_.local_replica) {
+    const AsId new_local = state.nas.empty() ? kInvalidAs : state.nas[0].as;
+    if (state.local_as != new_local && state.local_as != kInvalidAs) {
+      // The host left this AS; the old local copy is deleted unless the AS
+      // also serves as a global replica.
+      if (std::find(new_replicas.begin(), new_replicas.end(),
+                    state.local_as) == new_replicas.end()) {
+        if (stores_[state.local_as].Erase(guid)) --total_entries_;
+      }
+    }
+    if (new_local != kInvalidAs) {
+      if (stores_[new_local].Lookup(guid) == nullptr) ++total_entries_;
+      stores_[new_local].Upsert(guid, entry);
+    }
+    state.local_as = new_local;
+  }
+
+  result.replicas = state.replicas;
+
+  // Replica writes go out in parallel; update latency is the slowest
+  // round trip (Section III-A).
+  if (options_.measure_update_latency) {
+    double max_rtt = 0.0;
+    for (const AsId host : state.replicas) {
+      max_rtt = std::max(max_rtt, oracle_.RttMs(src_as, host));
+    }
+    result.latency_ms = max_rtt;
+  }
+  return result;
+}
+
+UpdateResult DMapService::Insert(const Guid& guid, NetworkAddress na) {
+  if (na.as >= graph_->num_nodes()) {
+    throw std::invalid_argument("Insert: NA references unknown AS");
+  }
+  OwnerState& state = owners_[guid];
+  state.nas = NaSet(na);
+  ++state.version;
+  return WriteReplicas(guid, state, na.as);
+}
+
+UpdateResult DMapService::Update(const Guid& guid, NetworkAddress na) {
+  const auto it = owners_.find(guid);
+  if (it == owners_.end()) {
+    throw std::invalid_argument("Update: unknown GUID (insert first)");
+  }
+  OwnerState& state = it->second;
+  state.nas = NaSet(na);
+  ++state.version;
+  return WriteReplicas(guid, state, na.as);
+}
+
+UpdateResult DMapService::AddAttachment(const Guid& guid, NetworkAddress na) {
+  const auto it = owners_.find(guid);
+  if (it == owners_.end()) {
+    throw std::invalid_argument("AddAttachment: unknown GUID");
+  }
+  OwnerState& state = it->second;
+  if (!state.nas.Add(na)) {
+    throw std::invalid_argument(
+        "AddAttachment: NA already present or NA set full");
+  }
+  ++state.version;
+  return WriteReplicas(guid, state, na.as);
+}
+
+bool DMapService::Deregister(const Guid& guid) {
+  const auto it = owners_.find(guid);
+  if (it == owners_.end()) return false;
+  OwnerState& state = it->second;
+  for (const AsId host : state.replicas) {
+    if (stores_[host].Erase(guid)) --total_entries_;
+  }
+  if (state.local_as != kInvalidAs) {
+    if (stores_[state.local_as].Erase(guid)) --total_entries_;
+  }
+  owners_.erase(it);
+  return true;
+}
+
+std::vector<std::pair<AsId, double>> DMapService::OrderReplicas(
+    AsId querier, const std::vector<AsId>& hosts) {
+  std::vector<std::pair<AsId, double>> ordered;
+  ordered.reserve(hosts.size());
+  if (options_.selection == ReplicaSelection::kLowestRtt) {
+    for (const AsId host : hosts) {
+      ordered.emplace_back(host, oracle_.RttMs(querier, host));
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second < b.second
+                                            : a.first < b.first;
+              });
+  } else {
+    // Order by hop count, but the time cost of each probe is still its
+    // real RTT ("using least hop count ... leads to similar results albeit
+    // with marginally increased latencies").
+    std::vector<std::pair<AsId, std::uint32_t>> by_hops;
+    by_hops.reserve(hosts.size());
+    for (const AsId host : hosts) {
+      by_hops.emplace_back(host, oracle_.Hops(querier, host));
+    }
+    std::sort(by_hops.begin(), by_hops.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second < b.second
+                                            : a.first < b.first;
+              });
+    for (const auto& [host, hops] : by_hops) {
+      (void)hops;
+      ordered.emplace_back(host, oracle_.RttMs(querier, host));
+    }
+  }
+  return ordered;
+}
+
+LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
+                                         const std::vector<AsId>& hosts) {
+  LookupResult result;
+
+  // Global resolution: walk replicas in preference order; each miss or
+  // failure costs time before the next probe goes out.
+  double global_cost = 0.0;
+  bool global_found = false;
+  NaSet global_nas;
+  AsId global_server = kInvalidAs;
+  for (const auto& [host, rtt] : OrderReplicas(querier, hosts)) {
+    ++result.attempts;
+    if (failed_ases_.contains(host)) {
+      global_cost += options_.failure_timeout_ms;
+      continue;
+    }
+    if (const MappingEntry* entry = stores_[host].Lookup(guid)) {
+      global_cost += rtt;
+      global_found = true;
+      global_nas = entry->nas;
+      global_server = host;
+      break;
+    }
+    // "GUID missing" reply: a full round trip wasted.
+    global_cost += rtt;
+  }
+
+  // Local resolution, raced in parallel (Section III-C): one intra-AS
+  // round trip.
+  bool local_found = false;
+  double local_cost = 0.0;
+  NaSet local_nas;
+  if (options_.local_replica && !failed_ases_.contains(querier)) {
+    if (const MappingEntry* entry = stores_[querier].Lookup(guid)) {
+      local_found = true;
+      local_cost = 2.0 * graph_->IntraLatencyMs(querier);
+      local_nas = entry->nas;
+    }
+  }
+
+  if (local_found && (!global_found || local_cost <= global_cost)) {
+    result.found = true;
+    result.nas = local_nas;
+    result.latency_ms = local_cost;
+    result.serving_as = querier;
+    result.served_locally = true;
+    return result;
+  }
+  if (global_found) {
+    result.found = true;
+    result.nas = global_nas;
+    result.latency_ms = global_cost;
+    result.serving_as = global_server;
+    return result;
+  }
+  // Total miss: the querier burnt every probe.
+  result.latency_ms = global_cost;
+  return result;
+}
+
+LookupResult DMapService::Lookup(const Guid& guid, AsId querier) {
+  if (querier >= graph_->num_nodes()) {
+    throw std::invalid_argument("Lookup: unknown querier AS");
+  }
+  std::vector<AsId> hosts;
+  hosts.reserve(std::size_t(options_.k));
+  for (int i = 0; i < options_.k; ++i) {
+    hosts.push_back(resolver_.Resolve(guid, i).host);
+  }
+  return LookupInternal(guid, querier, hosts);
+}
+
+LookupResult DMapService::LookupWithView(const Guid& guid, AsId querier,
+                                         const PrefixTable& view) {
+  if (querier >= graph_->num_nodes()) {
+    throw std::invalid_argument("LookupWithView: unknown querier AS");
+  }
+  HoleResolver view_resolver(hashes_, view, options_.max_hashes);
+  std::vector<AsId> hosts;
+  hosts.reserve(std::size_t(options_.k));
+  for (int i = 0; i < options_.k; ++i) {
+    hosts.push_back(view_resolver.Resolve(guid, i).host);
+  }
+  return LookupInternal(guid, querier, hosts);
+}
+
+std::vector<std::pair<AsId, double>> DMapService::ProbePlan(const Guid& guid,
+                                                            AsId querier) {
+  std::vector<AsId> hosts;
+  hosts.reserve(std::size_t(options_.k));
+  for (int i = 0; i < options_.k; ++i) {
+    hosts.push_back(resolver_.Resolve(guid, i).host);
+  }
+  return OrderReplicas(querier, hosts);
+}
+
+void DMapService::SetFailedAses(const std::vector<AsId>& failed) {
+  failed_ases_.clear();
+  failed_ases_.insert(failed.begin(), failed.end());
+}
+
+int DMapService::Rehome(const Guid& guid) {
+  const auto it = owners_.find(guid);
+  if (it == owners_.end()) return 0;
+  OwnerState& state = it->second;
+  const std::vector<AsId> before = state.replicas;
+  WriteReplicas(guid, state, state.nas.empty() ? 0 : state.nas[0].as);
+  int moved = 0;
+  for (std::size_t i = 0; i < state.replicas.size(); ++i) {
+    if (i >= before.size() || before[i] != state.replicas[i]) ++moved;
+  }
+  return moved;
+}
+
+std::vector<Guid> DMapService::GuidsStoredIn(AsId as,
+                                             const Cidr& prefix) const {
+  std::vector<Guid> guids;
+  stores_[as].ForEachStoredIn(
+      prefix,
+      [&guids](const Guid& guid, const MappingEntry&) {
+        guids.push_back(guid);
+      });
+  return guids;
+}
+
+std::vector<std::size_t> DMapService::StoreSizes() const {
+  std::vector<std::size_t> sizes(stores_.size());
+  for (std::size_t i = 0; i < stores_.size(); ++i) {
+    sizes[i] = stores_[i].size();
+  }
+  return sizes;
+}
+
+}  // namespace dmap

@@ -1,0 +1,170 @@
+// DMapService: the public API of the reproduction. It glues the hash
+// family, the IP-hole resolver, per-AS mapping stores and the latency
+// oracle into the full DMap protocol of Section III:
+//
+//   * Insert / Update write the K global replicas (in parallel — update
+//     latency is the max RTT over replicas) plus, when enabled, a local
+//     replica at the attached AS (Section III-C);
+//   * Lookup races a local and a global resolution, picks the preferred
+//     replica (lowest RTT or fewest hops), and on a miss or router failure
+//     falls through to the next replica, accumulating the extra round
+//     trips (Sections III-D-1/3);
+//   * LookupWithView models BGP-churn staleness: the querier locates
+//     replicas with its own (possibly stale) prefix table while the
+//     mappings sit where the authoritative table put them;
+//   * Rehome implements the orphan-mapping migration that the withdrawing /
+//     newly-announcing ASs perform (Section III-D-1).
+//
+// The service computes response times in closed form from the PathOracle.
+// The event-driven wrapper in sim/ executes the same exchanges on the
+// discrete-event kernel; tests assert both agree.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+#include "common/guid.h"
+#include "common/hash.h"
+#include "core/hole_resolver.h"
+#include "core/mapping.h"
+#include "core/mapping_store.h"
+#include "topo/graph.h"
+#include "topo/shortest_path.h"
+
+namespace dmap {
+
+enum class ReplicaSelection {
+  kLowestRtt,   // assumes RTT estimates to all ASs (paper's main results)
+  kFewestHops,  // uses only BGP hop counts ("similar results, marginally
+                // increased latencies")
+};
+
+struct DMapOptions {
+  int k = 5;                    // number of global replicas
+  int max_hashes = 10;          // M of Algorithm 1
+  bool local_replica = true;    // Section III-C optimisation
+  ReplicaSelection selection = ReplicaSelection::kLowestRtt;
+  double failure_timeout_ms = 200.0;  // wait before trying the next replica
+  std::uint64_t hash_seed = 0x5eedf00dULL;
+  // When false, Insert/Update skip the RTT computation (latency_ms = -1);
+  // used by bulk loads where only lookups are being measured.
+  bool measure_update_latency = true;
+};
+
+struct UpdateResult {
+  double latency_ms = -1.0;       // max over replica RTTs; -1 if unmeasured
+  std::vector<AsId> replicas;     // global replica hosts (K entries)
+  int hash_evaluations = 0;       // total across replicas (hole rehashes)
+  std::uint64_t version = 0;
+};
+
+struct LookupResult {
+  bool found = false;
+  NaSet nas;
+  double latency_ms = 0.0;
+  AsId serving_as = kInvalidAs;
+  int attempts = 0;          // global replicas probed (misses + final hit)
+  bool served_locally = false;  // the local replica answered first
+};
+
+class DMapService {
+ public:
+  // `graph` and `table` must outlive the service. `table` is the
+  // authoritative prefix table governing where mappings are stored.
+  DMapService(const AsGraph& graph, const PrefixTable& table,
+              const DMapOptions& options);
+
+  const DMapOptions& options() const { return options_; }
+  const HoleResolver& resolver() const { return resolver_; }
+  const GuidHashFamily& hash_family() const { return hashes_; }
+  PathOracle& oracle() { return oracle_; }
+
+  // Registers a GUID currently attached at `na`. Issued by the host's
+  // border gateway (the AS in `na`).
+  UpdateResult Insert(const Guid& guid, NetworkAddress na);
+
+  // Mobility: the host moved; replaces its NA set with `na` under a new
+  // version, refreshes the K global replicas, moves the local replica from
+  // the previous attachment AS to the new one.
+  UpdateResult Update(const Guid& guid, NetworkAddress na);
+
+  // Multi-homing: adds an additional NA (up to NaSet::kMaxNas) without
+  // dropping existing ones.
+  UpdateResult AddAttachment(const Guid& guid, NetworkAddress na);
+
+  // Removes the GUID everywhere (host going away). Returns false if
+  // unknown.
+  bool Deregister(const Guid& guid);
+
+  // Resolves `guid` from a host attached to `querier`.
+  LookupResult Lookup(const Guid& guid, AsId querier);
+
+  // Same, but replica locations are derived from `view` (the querier's
+  // possibly-stale BGP table) while storage follows the authoritative
+  // table. Probes that reach an AS not hosting the mapping cost a full
+  // round trip and fall through to the next replica.
+  LookupResult LookupWithView(const Guid& guid, AsId querier,
+                              const PrefixTable& view);
+
+  // Marks ASs whose mapping servers are down (Section III-D-3). Probes to
+  // them cost options().failure_timeout_ms and fall through.
+  void SetFailedAses(const std::vector<AsId>& failed);
+
+  // Re-derives the replica set of `guid` against the current authoritative
+  // table and migrates entries accordingly — the net effect of the
+  // Section III-D-1 withdrawal/announcement repair protocol. Returns the
+  // number of replicas that moved.
+  int Rehome(const Guid& guid);
+
+  // GUIDs whose replica at `as` was placed (hashed) inside `prefix` — the
+  // mappings a withdrawal of that prefix would orphan. Feed these through
+  // Rehome() after the withdrawal to run the Section III-D-1 repair.
+  std::vector<Guid> GuidsStoredIn(AsId as, const Cidr& prefix) const;
+
+  // The ordered global probe plan (host, RTT ms) a lookup from `querier`
+  // would follow — first element is probed first. Exposed so the event-
+  // driven executor in sim/ can replay the identical exchange on the
+  // discrete-event kernel.
+  std::vector<std::pair<AsId, double>> ProbePlan(const Guid& guid,
+                                                 AsId querier);
+
+  bool IsFailed(AsId as) const { return failed_ases_.contains(as); }
+
+  // Introspection for tests/benches.
+  const MappingStore& StoreAt(AsId as) const { return stores_[as]; }
+  std::vector<std::size_t> StoreSizes() const;
+  std::uint64_t total_stored_entries() const { return total_entries_; }
+
+ private:
+  struct OwnerState {
+    NaSet nas;
+    std::uint64_t version = 0;
+    std::vector<AsId> replicas;  // current global replica hosts
+    AsId local_as = kInvalidAs;  // where the local copy lives
+  };
+
+  UpdateResult WriteReplicas(const Guid& guid, OwnerState& state,
+                             AsId src_as);
+  // Probe order per selection policy; uses the querier's latency vector.
+  std::vector<std::pair<AsId, double>> OrderReplicas(
+      AsId querier, const std::vector<AsId>& hosts);
+  LookupResult LookupInternal(const Guid& guid, AsId querier,
+                              const std::vector<AsId>& hosts);
+
+  const AsGraph* graph_;
+  const PrefixTable* table_;
+  DMapOptions options_;
+  GuidHashFamily hashes_;
+  HoleResolver resolver_;
+  PathOracle oracle_;
+  std::vector<MappingStore> stores_;  // indexed by AsId
+  std::unordered_map<Guid, OwnerState, GuidHash> owners_;
+  std::unordered_set<AsId> failed_ases_;
+  std::uint64_t total_entries_ = 0;
+};
+
+}  // namespace dmap

@@ -1,0 +1,51 @@
+#include "core/hole_resolver.h"
+
+#include <stdexcept>
+
+namespace dmap {
+
+HoleResolver::HoleResolver(const GuidHashFamily& hashes,
+                           const PrefixTable& table, int max_hashes)
+    : hashes_(&hashes), table_(&table), max_hashes_(max_hashes) {
+  if (max_hashes < 1) {
+    throw std::invalid_argument("HoleResolver: max_hashes must be >= 1");
+  }
+}
+
+HostResolution HoleResolver::Resolve(const Guid& guid, int replica) const {
+  HostResolution result;
+  Ipv4Address addr = hashes_->Hash(guid, replica);
+  for (int tries = 1; tries <= max_hashes_; ++tries) {
+    if (IsAnnounced(addr)) {
+      result.host = OwnerOf(addr);
+      result.hashed_address = addr;
+      result.stored_address = addr;
+      result.hash_count = tries;
+      return result;
+    }
+    if (tries == max_hashes_) break;
+    addr = hashes_->Rehash(addr, replica);
+  }
+
+  // All M tries landed in holes: deputy rule — the announced address with
+  // minimum IP distance to the final hashed value.
+  const auto nearest = table_->NearestAnnounced(addr);
+  if (!nearest) {
+    throw std::logic_error("HoleResolver: prefix table is empty");
+  }
+  result.host = nearest->record.owner;
+  result.hashed_address = addr;
+  result.stored_address = nearest->address;
+  result.hash_count = max_hashes_;
+  result.used_nearest = true;
+  return result;
+}
+
+std::vector<HostResolution> HoleResolver::ResolveAll(const Guid& guid) const {
+  std::vector<HostResolution> out;
+  out.reserve(std::size_t(hashes_->k()));
+  for (int i = 0; i < hashes_->k(); ++i) out.push_back(Resolve(guid, i));
+  return out;
+}
+
+}  // namespace dmap

@@ -1,0 +1,69 @@
+// Algorithm 1 of the paper: map a GUID (replica index i) to the AS that
+// will host the mapping, handling IP holes. The border gateway hashes the
+// GUID; if the address is announced, the LPM owner hosts the replica. If it
+// falls in a hole, the result is rehashed up to M - 1 times; if every try
+// misses, the "deputy AS" is the one announcing the address with minimum IP
+// distance to the last hashed value.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/dir24_8.h"
+#include "bgp/prefix_table.h"
+#include "common/guid.h"
+#include "common/hash.h"
+
+namespace dmap {
+
+struct HostResolution {
+  AsId host = kInvalidAs;
+  Ipv4Address hashed_address;   // the last value produced by the hash chain
+  Ipv4Address stored_address;   // the announced address actually used
+  int hash_count = 1;           // total hash evaluations (1 = first try hit)
+  bool used_nearest = false;    // fell through all M tries to the deputy rule
+};
+
+class HoleResolver {
+ public:
+  // `table` must outlive the resolver. M is the maximum number of hash
+  // evaluations (the paper's "M rehashes"; M = 10 gives a 0.034% fall-
+  // through probability at a 55% announced fraction).
+  HoleResolver(const GuidHashFamily& hashes, const PrefixTable& table,
+               int max_hashes = 10);
+
+  int k() const { return hashes_->k(); }
+  int max_hashes() const { return max_hashes_; }
+
+  // Resolves replica i of `guid`. Deterministic: every border gateway with
+  // the same prefix table computes the same answer.
+  HostResolution Resolve(const Guid& guid, int replica) const;
+
+  // All K replica resolutions.
+  std::vector<HostResolution> ResolveAll(const Guid& guid) const;
+
+  // Routes the hot-path LPM probes through a DIR-24-8 snapshot (one or two
+  // array reads instead of a trie walk, ~7x faster at full table size) —
+  // the configuration a real router would run. `fast` must be a snapshot
+  // of the same table and must outlive the resolver; the rare deputy
+  // fall-through still uses the trie's nearest-announced query. Pass
+  // nullptr to go back to the trie.
+  void SetFastPath(const Dir24_8* fast) { fast_ = fast; }
+
+ private:
+  // LPM owner via the fast path when installed, else the trie. Only used
+  // for hit testing; the full record is recovered from the trie on hits.
+  bool IsAnnounced(Ipv4Address addr) const {
+    return fast_ ? fast_->Lookup(addr) != kInvalidAs
+                 : table_->Lookup(addr).has_value();
+  }
+  AsId OwnerOf(Ipv4Address addr) const {
+    return fast_ ? fast_->Lookup(addr) : table_->Lookup(addr)->owner;
+  }
+
+  const GuidHashFamily* hashes_;
+  const PrefixTable* table_;
+  const Dir24_8* fast_ = nullptr;
+  int max_hashes_;
+};
+
+}  // namespace dmap

@@ -1,0 +1,17 @@
+#include "core/ipv6_index.h"
+
+namespace dmap {
+
+std::vector<AddressSegment> SegmentsFromIpv6Prefixes(
+    std::span<const AnnouncedIpv6Prefix> prefixes) {
+  std::vector<AddressSegment> segments;
+  segments.reserve(prefixes.size());
+  for (const AnnouncedIpv6Prefix& p : prefixes) {
+    const Cidr6::RoutingSegment routing = p.prefix.ToRoutingSegment();
+    segments.push_back(
+        AddressSegment{routing.base, routing.size, p.owner});
+  }
+  return segments;
+}
+
+}  // namespace dmap

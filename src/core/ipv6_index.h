@@ -1,0 +1,54 @@
+// Bridges announced IPv6 prefixes to the two-level BucketIndex of Section
+// III-B: each inter-domain prefix (/64 or shorter) projects to a segment of
+// the 64-bit routing space (the top half of the address), and the bucket
+// index then resolves GUIDs onto those segments in exactly two hash
+// evaluations — the scheme the paper proposes for address spaces too sparse
+// for rehash-until-hit.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/ipv6.h"
+#include "core/bucket_index.h"
+
+namespace dmap {
+
+struct AnnouncedIpv6Prefix {
+  Cidr6 prefix;
+  AsId owner = kInvalidAs;
+};
+
+// Projects prefixes onto routing-space segments (order-preserving, so all
+// participants derive identical buckets from the same announcement list).
+// Throws std::invalid_argument if any prefix is longer than /64.
+std::vector<AddressSegment> SegmentsFromIpv6Prefixes(
+    std::span<const AnnouncedIpv6Prefix> prefixes);
+
+class Ipv6BucketIndex {
+ public:
+  Ipv6BucketIndex(std::span<const AnnouncedIpv6Prefix> prefixes,
+                  std::uint32_t num_buckets, const GuidHashFamily& hashes)
+      : index_(SegmentsFromIpv6Prefixes(prefixes), num_buckets, hashes) {}
+
+  struct Resolution {
+    AsId host = kInvalidAs;
+    Ipv6Address address;  // a concrete address inside the chosen prefix
+  };
+
+  // Always exactly two hash evaluations, independent of density.
+  Resolution Resolve(const Guid& guid, int replica) const {
+    const BucketIndex::Resolution r = index_.Resolve(guid, replica);
+    // The segment address is the routing (top-64) part; the host part is
+    // irrelevant to placement and left zero.
+    return Resolution{r.segment.owner, Ipv6Address(r.address, 0)};
+  }
+
+  const BucketIndex& index() const { return index_; }
+
+ private:
+  BucketIndex index_;
+};
+
+}  // namespace dmap

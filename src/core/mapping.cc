@@ -1,0 +1,46 @@
+#include "core/mapping.h"
+
+#include <algorithm>
+
+namespace dmap {
+
+bool NaSet::Add(NetworkAddress na) {
+  if (full() || Contains(na)) return false;
+  nas_[std::size_t(count_++)] = na;
+  return true;
+}
+
+bool NaSet::Remove(NetworkAddress na) {
+  for (int i = 0; i < count_; ++i) {
+    if (nas_[std::size_t(i)] == na) {
+      nas_[std::size_t(i)] = nas_[std::size_t(count_ - 1)];
+      --count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NaSet::Contains(NetworkAddress na) const {
+  return std::find(begin(), end(), na) != end();
+}
+
+bool NaSet::AttachedTo(AsId as) const {
+  return std::any_of(begin(), end(), [as](const NetworkAddress& na) {
+    return na.as == as;
+  });
+}
+
+bool operator==(const NaSet& a, const NaSet& b) {
+  if (a.count_ != b.count_) return false;
+  // Order-insensitive comparison; sets are tiny so O(n^2) is fine.
+  return std::all_of(a.begin(), a.end(), [&b](const NetworkAddress& na) {
+    return b.Contains(na);
+  });
+}
+
+std::string ToString(const NetworkAddress& na) {
+  return "AS" + std::to_string(na.as) + ":" + std::to_string(na.locator);
+}
+
+}  // namespace dmap

@@ -1,0 +1,85 @@
+// The GUID -> NA mapping entry: DMap's unit of state. A network address
+// (locator) names an attachment point — at the granularity of this
+// reproduction, the AS a host connects through plus an opaque 32-bit
+// address within it. A multi-homed device holds up to five NAs (the
+// paper's storage analysis assumes the same bound).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/guid.h"
+#include "topo/graph.h"
+
+namespace dmap {
+
+struct NetworkAddress {
+  AsId as = kInvalidAs;
+  std::uint32_t locator = 0;
+
+  friend constexpr auto operator<=>(const NetworkAddress&,
+                                    const NetworkAddress&) = default;
+};
+
+// Fixed-capacity set of NAs — value semantics, no heap, capacity 5 per the
+// paper's multi-homing assumption.
+class NaSet {
+ public:
+  static constexpr int kMaxNas = 5;
+
+  NaSet() = default;
+  explicit NaSet(NetworkAddress single) { Add(single); }
+
+  int size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == kMaxNas; }
+
+  const NetworkAddress& operator[](int i) const {
+    return nas_[std::size_t(i)];
+  }
+
+  // Adds an NA. Returns false (no change) if already present or full.
+  bool Add(NetworkAddress na);
+
+  // Removes an NA. Returns false if absent.
+  bool Remove(NetworkAddress na);
+
+  bool Contains(NetworkAddress na) const;
+
+  // True if any NA attaches through `as`.
+  bool AttachedTo(AsId as) const;
+
+  const NetworkAddress* begin() const { return nas_.data(); }
+  const NetworkAddress* end() const { return nas_.data() + count_; }
+
+  friend bool operator==(const NaSet& a, const NaSet& b);
+
+ private:
+  std::array<NetworkAddress, kMaxNas> nas_{};
+  int count_ = 0;
+};
+
+// A stored mapping. `version` is a monotonically increasing sequence number
+// set by the GUID's owner; replicas keep the highest version seen, which
+// resolves the mobility race of Section III-D-2 (an old update arriving
+// after a newer one must not regress the mapping).
+struct MappingEntry {
+  NaSet nas;
+  std::uint64_t version = 0;
+
+  friend bool operator==(const MappingEntry&, const MappingEntry&) = default;
+};
+
+// Wire sizes used by the paper's storage analysis (Section IV-A):
+// 160-bit GUID + 5 x 32-bit NAs + 32 bits of metadata = 352 bits per entry.
+constexpr int kGuidBits = 160;
+constexpr int kNaBits = 32;
+constexpr int kEntryOverheadBits = 32;
+constexpr int kMappingEntryBits =
+    kGuidBits + NaSet::kMaxNas * kNaBits + kEntryOverheadBits;
+
+std::string ToString(const NetworkAddress& na);
+
+}  // namespace dmap

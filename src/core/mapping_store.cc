@@ -1,0 +1,35 @@
+#include "core/mapping_store.h"
+
+namespace dmap {
+
+bool MappingStore::Upsert(const Guid& guid, const MappingEntry& entry,
+                          Ipv4Address stored_address) {
+  const auto [it, inserted] =
+      entries_.try_emplace(guid, Stored{entry, stored_address});
+  if (inserted) return true;
+  if (entry.version < it->second.entry.version) return false;
+  it->second = Stored{entry, stored_address};
+  return true;
+}
+
+const MappingEntry* MappingStore::Lookup(const Guid& guid) const {
+  const auto it = entries_.find(guid);
+  return it == entries_.end() ? nullptr : &it->second.entry;
+}
+
+bool MappingStore::Erase(const Guid& guid) { return entries_.erase(guid) > 0; }
+
+void MappingStore::ForEach(
+    const std::function<void(const Guid&, const MappingEntry&)>& fn) const {
+  for (const auto& [guid, stored] : entries_) fn(guid, stored.entry);
+}
+
+void MappingStore::ForEachStoredIn(
+    const Cidr& prefix,
+    const std::function<void(const Guid&, const MappingEntry&)>& fn) const {
+  for (const auto& [guid, stored] : entries_) {
+    if (prefix.Contains(stored.stored_address)) fn(guid, stored.entry);
+  }
+}
+
+}  // namespace dmap

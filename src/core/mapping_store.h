@@ -1,0 +1,61 @@
+// Per-AS mapping store: the table a hosting AS's gateway keeps for the
+// GUIDs hashed to it (its own share plus whatever it hosts as a deputy).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/guid.h"
+#include "common/ipv4.h"
+#include "core/mapping.h"
+
+namespace dmap {
+
+class MappingStore {
+ public:
+  // Inserts or refreshes a mapping. Stale writes (version strictly below
+  // the stored one) are rejected, which makes replica updates idempotent
+  // and order-insensitive (Section III-D-2). Returns true if applied.
+  //
+  // `stored_address` records which announced address Algorithm 1 hashed the
+  // replica to; the withdrawal repair of Section III-D-1 enumerates by it.
+  // Local replicas (not placed by hashing) use the default 0.0.0.0, which
+  // is inside a permanently reserved block and thus never enumerated.
+  bool Upsert(const Guid& guid, const MappingEntry& entry,
+              Ipv4Address stored_address = Ipv4Address(0));
+
+  // Exact lookup. nullptr on miss. The pointer is invalidated by mutations.
+  const MappingEntry* Lookup(const Guid& guid) const;
+
+  // Removes a mapping, e.g. after migrating it to a deputy AS. Returns true
+  // if present.
+  bool Erase(const Guid& guid);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // Wire-format storage footprint per the paper's Section IV-A accounting.
+  std::uint64_t StorageBits() const {
+    return std::uint64_t(entries_.size()) * kMappingEntryBits;
+  }
+
+  void ForEach(
+      const std::function<void(const Guid&, const MappingEntry&)>& fn) const;
+
+  // Visits every mapping whose stored address lies inside `prefix` — the
+  // mappings orphaned if this AS withdraws that prefix.
+  void ForEachStoredIn(
+      const Cidr& prefix,
+      const std::function<void(const Guid&, const MappingEntry&)>& fn) const;
+
+ private:
+  struct Stored {
+    MappingEntry entry;
+    Ipv4Address stored_address;
+  };
+  std::unordered_map<Guid, Stored, GuidHash> entries_;
+};
+
+}  // namespace dmap

@@ -1,0 +1,30 @@
+#include "core/storage_model.h"
+
+namespace dmap {
+
+StorageEstimate EstimateStorage(const StorageModelParams& params) {
+  StorageEstimate e{};
+  e.total_storage_bits = double(params.total_guids) * params.replicas *
+                         params.entry_bits;
+  e.mean_per_as_bits = e.total_storage_bits / double(params.num_ases);
+  e.updates_per_second =
+      double(params.total_guids) * params.updates_per_guid_per_day / 86400.0;
+  e.update_traffic_bps =
+      e.updates_per_second * params.replicas * params.entry_bits;
+  return e;
+}
+
+std::vector<double> PerAsStorageBits(const StorageModelParams& params,
+                                     const PrefixTable& table) {
+  const double total_bits = double(params.total_guids) * params.replicas *
+                            params.entry_bits;
+  const double announced = double(table.announced_addresses());
+  const auto& owned = table.ownership_by_as();
+  std::vector<double> out(params.num_ases, 0.0);
+  for (std::size_t as = 0; as < out.size() && as < owned.size(); ++as) {
+    out[as] = total_bits * double(owned[as]) / announced;
+  }
+  return out;
+}
+
+}  // namespace dmap

@@ -1,0 +1,38 @@
+// Closed-form storage and update-traffic model of Section IV-A. With 5
+// billion GUIDs, K = 5 replicas and 352-bit entries the paper arrives at
+// ~173 Mbit per AS (proportional distribution) and ~10 Gb/s of worldwide
+// update traffic at 100 updates/day per GUID; the bench regenerates those
+// numbers and, given a prefix table, the full per-AS distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+#include "core/mapping.h"
+
+namespace dmap {
+
+struct StorageModelParams {
+  std::uint64_t total_guids = 5'000'000'000ULL;
+  int replicas = 5;  // K
+  int entry_bits = kMappingEntryBits;
+  double updates_per_guid_per_day = 100.0;
+  std::uint32_t num_ases = 26424;
+};
+
+struct StorageEstimate {
+  double total_storage_bits;     // all replicas, all ASs
+  double mean_per_as_bits;       // proportional-distribution average
+  double updates_per_second;     // worldwide GUID update events
+  double update_traffic_bps;     // K messages per update, entry-sized
+};
+
+StorageEstimate EstimateStorage(const StorageModelParams& params);
+
+// Per-AS expected storage in bits when mappings are spread proportionally
+// to announced address share, i.e. the paper's ideal. Indexed by AsId.
+std::vector<double> PerAsStorageBits(const StorageModelParams& params,
+                                     const PrefixTable& table);
+
+}  // namespace dmap

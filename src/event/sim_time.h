@@ -1,0 +1,42 @@
+// Simulated time. The whole reproduction works in milliseconds (the unit of
+// the paper's latency figures); a strong type prevents accidental mixing of
+// times with other doubles.
+#pragma once
+
+#include <compare>
+
+namespace dmap {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime Millis(double ms) { return SimTime(ms); }
+  static constexpr SimTime Seconds(double s) { return SimTime(s * 1000.0); }
+  static constexpr SimTime Zero() { return SimTime(0.0); }
+
+  constexpr double millis() const { return ms_; }
+  constexpr double seconds() const { return ms_ / 1000.0; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.ms_ + b.ms_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.ms_ - b.ms_);
+  }
+  friend constexpr SimTime operator*(SimTime a, double f) {
+    return SimTime(a.ms_ * f);
+  }
+  constexpr SimTime& operator+=(SimTime other) {
+    ms_ += other.ms_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(const SimTime&, const SimTime&) = default;
+
+ private:
+  explicit constexpr SimTime(double ms) : ms_(ms) {}
+  double ms_ = 0;
+};
+
+}  // namespace dmap

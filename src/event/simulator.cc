@@ -1,0 +1,70 @@
+#include "event/simulator.h"
+
+#include <stdexcept>
+
+namespace dmap {
+
+bool EventHandle::Cancel() {
+  if (!record_ || record_->done) return false;
+  record_->done = true;
+  record_->action = nullptr;  // release captured state eagerly
+  if (record_->cancelled_counter) ++*record_->cancelled_counter;
+  return true;
+}
+
+EventHandle Simulator::ScheduleAt(SimTime when, std::function<void()> action) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::ScheduleAt: time in the past");
+  }
+  auto record = std::make_shared<EventHandle::Record>();
+  record->action = std::move(action);
+  record->cancelled_counter = cancelled_count_;
+  queue_.push(QueueEntry{when, next_seq_++, record});
+  return EventHandle(record);
+}
+
+bool Simulator::SkipCancelled() {
+  while (!queue_.empty() && queue_.top().record->done) {
+    queue_.pop();
+    --*cancelled_count_;
+  }
+  return !queue_.empty();
+}
+
+bool Simulator::Step() {
+  if (!SkipCancelled()) return false;
+  QueueEntry entry = queue_.top();
+  queue_.pop();
+  now_ = entry.when;
+  entry.record->done = true;
+  auto action = std::move(entry.record->action);
+  ++executed_;
+  action();
+  return true;
+}
+
+std::uint64_t Simulator::Run() {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!stop_requested_ && Step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::RunUntil(SimTime deadline) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!stop_requested_ && SkipCancelled() &&
+         queue_.top().when <= deadline) {
+    Step();
+    ++n;
+  }
+  return n;
+}
+
+void Simulator::Stop() {
+  stop_requested_ = true;
+  while (!queue_.empty()) queue_.pop();
+  *cancelled_count_ = 0;
+}
+
+}  // namespace dmap

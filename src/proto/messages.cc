@@ -1,0 +1,254 @@
+#include "proto/messages.h"
+
+#include <cstring>
+
+namespace dmap {
+namespace {
+
+constexpr std::uint8_t kMagic0 = 0xD5;
+constexpr std::uint8_t kMagic1 = 0xAB;
+constexpr std::uint8_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void U8(std::uint8_t v) { out_->push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_->push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_->push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void WriteGuid(const Guid& guid) {
+    for (int w = 0; w < Guid::kWords; ++w) {
+      const std::uint32_t v = guid.word(w);
+      // Big-endian within the GUID, matching its textual form.
+      out_->push_back(std::uint8_t(v >> 24));
+      out_->push_back(std::uint8_t(v >> 16));
+      out_->push_back(std::uint8_t(v >> 8));
+      out_->push_back(std::uint8_t(v));
+    }
+  }
+  void WriteEntry(const MappingEntry& entry) {
+    U64(entry.version);
+    U8(std::uint8_t(entry.nas.size()));
+    for (const NetworkAddress& na : entry.nas) {
+      U32(na.as);
+      U32(na.locator);
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool U8(std::uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool U32(std::uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= std::uint32_t(data_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool U64(std::uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= std::uint64_t(data_[pos_++]) << (8 * i);
+    }
+    return true;
+  }
+  bool ReadGuid(Guid* guid) {
+    if (pos_ + Guid::kWords * 4 > data_.size()) return false;
+    std::array<std::uint32_t, Guid::kWords> words{};
+    for (int w = 0; w < Guid::kWords; ++w) {
+      words[std::size_t(w)] = (std::uint32_t(data_[pos_]) << 24) |
+                              (std::uint32_t(data_[pos_ + 1]) << 16) |
+                              (std::uint32_t(data_[pos_ + 2]) << 8) |
+                              std::uint32_t(data_[pos_ + 3]);
+      pos_ += 4;
+    }
+    *guid = Guid(words);
+    return true;
+  }
+  bool ReadEntry(MappingEntry* entry) {
+    std::uint8_t count = 0;
+    if (!U64(&entry->version) || !U8(&count)) return false;
+    if (count > NaSet::kMaxNas) return false;
+    entry->nas = NaSet();
+    for (int i = 0; i < count; ++i) {
+      NetworkAddress na;
+      if (!U32(&na.as) || !U32(&na.locator)) return false;
+      if (!entry->nas.Add(na)) return false;  // duplicate NA on the wire
+    }
+    return true;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+void EncodeHeader(Writer& w, MessageType type, const MessageHeader& header) {
+  w.U8(kMagic0);
+  w.U8(kMagic1);
+  w.U8(kVersion);
+  w.U8(std::uint8_t(type));
+  w.U64(header.request_id);
+  w.U32(header.src);
+  w.U32(header.dst);
+}
+
+}  // namespace
+
+MessageType TypeOf(const Message& message) {
+  return std::visit(
+      [](const auto& m) -> MessageType {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, InsertRequest>) {
+          return MessageType::kInsertRequest;
+        } else if constexpr (std::is_same_v<T, InsertAck>) {
+          return MessageType::kInsertAck;
+        } else if constexpr (std::is_same_v<T, LookupRequest>) {
+          return MessageType::kLookupRequest;
+        } else if constexpr (std::is_same_v<T, LookupResponse>) {
+          return MessageType::kLookupResponse;
+        } else if constexpr (std::is_same_v<T, MigrateRequest>) {
+          return MessageType::kMigrateRequest;
+        } else {
+          return MessageType::kMigrateResponse;
+        }
+      },
+      message);
+}
+
+const MessageHeader& HeaderOf(const Message& message) {
+  return std::visit(
+      [](const auto& m) -> const MessageHeader& { return m.header; },
+      message);
+}
+
+MessageHeader& MutableHeaderOf(Message& message) {
+  return std::visit([](auto& m) -> MessageHeader& { return m.header; },
+                    message);
+}
+
+std::vector<std::uint8_t> Encode(const Message& message) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  EncodeHeader(w, TypeOf(message), HeaderOf(message));
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, InsertRequest>) {
+          w.WriteGuid(m.guid);
+          w.WriteEntry(m.entry);
+          w.U32(m.stored_address.value());
+        } else if constexpr (std::is_same_v<T, InsertAck>) {
+          w.WriteGuid(m.guid);
+          w.U8(m.applied ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, LookupRequest>) {
+          w.WriteGuid(m.guid);
+        } else if constexpr (std::is_same_v<T, LookupResponse>) {
+          w.WriteGuid(m.guid);
+          w.U8(m.found ? 1 : 0);
+          if (m.found) w.WriteEntry(m.entry);
+        } else if constexpr (std::is_same_v<T, MigrateRequest>) {
+          w.WriteGuid(m.guid);
+        } else {  // MigrateResponse
+          w.WriteGuid(m.guid);
+          w.U8(m.found ? 1 : 0);
+          if (m.found) w.WriteEntry(m.entry);
+        }
+      },
+      message);
+  return out;
+}
+
+std::size_t EncodedSize(const Message& message) {
+  return Encode(message).size();
+}
+
+std::optional<Message> Decode(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  std::uint8_t m0 = 0, m1 = 0, version = 0, type_byte = 0;
+  if (!r.U8(&m0) || !r.U8(&m1) || !r.U8(&version) || !r.U8(&type_byte)) {
+    return std::nullopt;
+  }
+  if (m0 != kMagic0 || m1 != kMagic1 || version != kVersion) {
+    return std::nullopt;
+  }
+  MessageHeader header;
+  if (!r.U64(&header.request_id) || !r.U32(&header.src) ||
+      !r.U32(&header.dst)) {
+    return std::nullopt;
+  }
+
+  const auto finish = [&r](Message m) -> std::optional<Message> {
+    if (!r.AtEnd()) return std::nullopt;  // trailing garbage
+    return m;
+  };
+
+  switch (MessageType(type_byte)) {
+    case MessageType::kInsertRequest: {
+      InsertRequest m{header, {}, {}, {}};
+      std::uint32_t stored = 0;
+      if (!r.ReadGuid(&m.guid) || !r.ReadEntry(&m.entry) || !r.U32(&stored)) {
+        return std::nullopt;
+      }
+      m.stored_address = Ipv4Address(stored);
+      return finish(m);
+    }
+    case MessageType::kInsertAck: {
+      InsertAck m{header, {}, false};
+      std::uint8_t applied = 0;
+      if (!r.ReadGuid(&m.guid) || !r.U8(&applied)) return std::nullopt;
+      if (applied > 1) return std::nullopt;
+      m.applied = applied == 1;
+      return finish(m);
+    }
+    case MessageType::kLookupRequest: {
+      LookupRequest m{header, {}};
+      if (!r.ReadGuid(&m.guid)) return std::nullopt;
+      return finish(m);
+    }
+    case MessageType::kLookupResponse: {
+      LookupResponse m{header, {}, false, {}};
+      std::uint8_t found = 0;
+      if (!r.ReadGuid(&m.guid) || !r.U8(&found)) return std::nullopt;
+      if (found > 1) return std::nullopt;
+      m.found = found == 1;
+      if (m.found && !r.ReadEntry(&m.entry)) return std::nullopt;
+      return finish(m);
+    }
+    case MessageType::kMigrateRequest: {
+      MigrateRequest m{header, {}};
+      if (!r.ReadGuid(&m.guid)) return std::nullopt;
+      return finish(m);
+    }
+    case MessageType::kMigrateResponse: {
+      MigrateResponse m{header, {}, false, {}};
+      std::uint8_t found = 0;
+      if (!r.ReadGuid(&m.guid) || !r.U8(&found)) return std::nullopt;
+      if (found > 1) return std::nullopt;
+      m.found = found == 1;
+      if (m.found && !r.ReadEntry(&m.entry)) return std::nullopt;
+      return finish(m);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace dmap

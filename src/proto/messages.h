@@ -1,0 +1,98 @@
+// DMap wire protocol messages. The paper describes five exchanges: GUID
+// Insert, GUID Update, GUID Lookup (+ response / "GUID missing"), and the
+// GUID migration used by the Section III-D-1 churn repair. This module
+// defines the message structs and a compact little-endian binary encoding
+// with strict bounds-checked decoding — the format a deployment would put
+// on the wire between border gateways.
+//
+// Layout (all integers little-endian):
+//   header:  magic(2) version(1) type(1) request_id(8) src(4) dst(4)
+//   payload: per-type fields; GUIDs are 20 bytes big-endian word order;
+//            NA sets are count(1) + count * (as(4) locator(4)).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/guid.h"
+#include "common/ipv4.h"
+#include "core/mapping.h"
+
+namespace dmap {
+
+enum class MessageType : std::uint8_t {
+  kInsertRequest = 1,   // create/refresh one replica of a mapping
+  kInsertAck = 2,
+  kLookupRequest = 3,
+  kLookupResponse = 4,  // found = false encodes "GUID missing"
+  kMigrateRequest = 5,  // "send me your copy of this GUID" (churn repair)
+  kMigrateResponse = 6,
+};
+
+struct MessageHeader {
+  std::uint64_t request_id = 0;
+  AsId src = kInvalidAs;
+  AsId dst = kInvalidAs;
+};
+
+struct InsertRequest {
+  MessageHeader header;
+  Guid guid;
+  MappingEntry entry;
+  // The announced address Algorithm 1 hashed this replica to (0.0.0.0 for
+  // local replicas); the storing AS indexes by it for withdrawal repair.
+  Ipv4Address stored_address;
+};
+
+struct InsertAck {
+  MessageHeader header;
+  Guid guid;
+  bool applied = false;  // false = rejected as stale (older version)
+};
+
+struct LookupRequest {
+  MessageHeader header;
+  Guid guid;
+};
+
+struct LookupResponse {
+  MessageHeader header;
+  Guid guid;
+  bool found = false;
+  MappingEntry entry;  // valid only when found
+};
+
+struct MigrateRequest {
+  MessageHeader header;
+  Guid guid;
+};
+
+struct MigrateResponse {
+  MessageHeader header;
+  Guid guid;
+  bool found = false;
+  MappingEntry entry;  // valid only when found
+};
+
+using Message =
+    std::variant<InsertRequest, InsertAck, LookupRequest, LookupResponse,
+                 MigrateRequest, MigrateResponse>;
+
+MessageType TypeOf(const Message& message);
+const MessageHeader& HeaderOf(const Message& message);
+MessageHeader& MutableHeaderOf(Message& message);
+
+// Serialises to the wire format.
+std::vector<std::uint8_t> Encode(const Message& message);
+
+// Parses one message; nullopt on any malformation (bad magic/version/type,
+// truncation, trailing bytes, NA count out of range).
+std::optional<Message> Decode(std::span<const std::uint8_t> bytes);
+
+// Wire size in bytes (exactly what Encode produces).
+std::size_t EncodedSize(const Message& message);
+
+}  // namespace dmap

@@ -1,0 +1,371 @@
+#include "proto/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmap {
+
+struct ProtocolNetwork::LookupOp {
+  Guid guid;
+  AsId querier = kInvalidAs;
+  std::uint64_t request_id = 0;
+  std::vector<std::pair<AsId, double>> plan;  // ordered (host, rtt)
+  std::size_t next_index = 0;
+  int attempts = 0;
+  SimTime started;
+  bool completed = false;
+  EventHandle timeout;
+  EventHandle local_reply;
+  std::function<void(const LookupResult&)> done;
+};
+
+struct ProtocolNetwork::InsertOp {
+  std::uint64_t request_id = 0;
+  std::vector<AsId> replicas;
+  std::size_t outstanding = 0;  // acks (or timeouts) still expected
+  SimTime started;
+  std::uint64_t version = 0;
+  std::function<void(const UpdateResult&)> done;
+};
+
+ProtocolNetwork::ProtocolNetwork(const AsGraph& graph,
+                                 const PrefixTable& table,
+                                 const ProtocolNetworkOptions& options)
+    : graph_(&graph),
+      options_(options),
+      hashes_(options.k, options.hash_seed),
+      resolver_(hashes_, table, options.max_hashes),
+      oracle_(graph, options.oracle_cache) {
+  if (options.k < 1) throw std::invalid_argument("ProtocolNetwork: k < 1");
+  nodes_.reserve(graph.num_nodes());
+  for (AsId as = 0; as < graph.num_nodes(); ++as) {
+    nodes_.push_back(
+        std::make_unique<DMapNode>(as, table, hashes_, options.max_hashes));
+  }
+}
+
+void ProtocolNetwork::Send(const Message& message) {
+  const MessageHeader& header = HeaderOf(message);
+  ++messages_sent_;
+  // Encode to wire bytes: real serialisation cost + traffic accounting.
+  const std::vector<std::uint8_t> wire = Encode(message);
+  bytes_sent_ += wire.size();
+
+  if (failed_.contains(header.dst)) {
+    ++messages_dropped_;
+    return;  // swallowed by the failed router
+  }
+  const double latency = oracle_.OneWayMs(header.src, header.dst);
+  sim_.Schedule(SimTime::Millis(latency), [this, wire] {
+    const std::optional<Message> decoded = Decode(wire);
+    if (!decoded) {
+      throw std::logic_error("ProtocolNetwork: wire corruption");
+    }
+    Deliver(*decoded);
+  });
+}
+
+void ProtocolNetwork::Deliver(const Message& message) {
+  const MessageHeader& header = HeaderOf(message);
+
+  // Client-agent responses are routed by request id.
+  if (const auto* response = std::get_if<LookupResponse>(&message)) {
+    const auto it = lookups_.find(header.request_id);
+    if (it != lookups_.end()) {
+      const std::shared_ptr<LookupOp> op = it->second;
+      lookups_.erase(it);
+      if (op->completed) return;
+      op->timeout.Cancel();
+      if (response->found) {
+        op->completed = true;
+        op->local_reply.Cancel();
+        LookupResult result;
+        result.found = true;
+        result.nas = response->entry.nas;
+        result.serving_as = header.src;
+        result.latency_ms = (sim_.Now() - op->started).millis();
+        result.attempts = op->attempts;
+        op->done(result);
+      } else {
+        SendProbe(op, op->next_index);
+      }
+      return;
+    }
+  }
+  if (const auto* ack = std::get_if<InsertAck>(&message)) {
+    const auto it = inserts_.find(header.request_id);
+    if (it != inserts_.end()) {
+      const std::shared_ptr<InsertOp> op = it->second;
+      if (--op->outstanding == 0) {
+        inserts_.erase(it);
+        UpdateResult result;
+        result.latency_ms = (sim_.Now() - op->started).millis();
+        result.replicas = op->replicas;
+        result.version = op->version;
+        op->done(result);
+      }
+      return;
+    }
+    (void)ack;
+  }
+
+  // Everything else is node-to-node protocol traffic.
+  std::vector<Message> responses;
+  nodes_[header.dst]->HandleMessage(message, &responses);
+  for (Message& response : responses) {
+    // The node fills src/dst; just transmit.
+    Send(response);
+  }
+}
+
+void ProtocolNetwork::InsertAsync(
+    const Guid& guid, NetworkAddress na,
+    std::function<void(const UpdateResult&)> done) {
+  if (na.as >= graph_->num_nodes()) {
+    throw std::invalid_argument("InsertAsync: NA references unknown AS");
+  }
+  auto op = std::make_shared<InsertOp>();
+  op->request_id = NextClientRequestId();
+  op->started = sim_.Now();
+  op->version = ++versions_[guid];
+  op->done = std::move(done);
+
+  MappingEntry entry;
+  entry.nas = NaSet(na);
+  entry.version = op->version;
+
+  std::vector<HostResolution> resolutions;
+  resolutions.reserve(std::size_t(options_.k));
+  for (int replica = 0; replica < options_.k; ++replica) {
+    resolutions.push_back(resolver_.Resolve(guid, replica));
+    op->replicas.push_back(resolutions.back().host);
+  }
+  // The local replica (Section III-C) is written at the attachment AS; its
+  // intra-AS ack always beats the slowest global ack, so it does not
+  // change the completion time.
+  if (options_.local_replica) {
+    nodes_[na.as]->store().Upsert(guid, entry);
+  }
+
+  op->outstanding = op->replicas.size();
+  inserts_[op->request_id] = op;
+  for (const HostResolution& resolution : resolutions) {
+    const AsId host = resolution.host;
+    InsertRequest request;
+    request.header = MessageHeader{op->request_id, na.as, host};
+    request.guid = guid;
+    request.entry = entry;
+    request.stored_address = resolution.stored_address;
+    // A failed replica never acks; the timeout stands in for it so the
+    // update still completes.
+    if (failed_.contains(host)) {
+      sim_.Schedule(SimTime::Millis(options_.failure_timeout_ms),
+                    [this, id = op->request_id] {
+                      const auto it = inserts_.find(id);
+                      if (it == inserts_.end()) return;
+                      const std::shared_ptr<InsertOp> pending = it->second;
+                      if (--pending->outstanding == 0) {
+                        inserts_.erase(it);
+                        UpdateResult result;
+                        result.latency_ms =
+                            (sim_.Now() - pending->started).millis();
+                        result.replicas = pending->replicas;
+                        result.version = pending->version;
+                        pending->done(result);
+                      }
+                    });
+      ++messages_sent_;
+      bytes_sent_ += EncodedSize(request);
+      ++messages_dropped_;
+      continue;
+    }
+    Send(request);
+  }
+}
+
+void ProtocolNetwork::LookupAsync(
+    const Guid& guid, AsId querier,
+    std::function<void(const LookupResult&)> done) {
+  if (querier >= graph_->num_nodes()) {
+    throw std::invalid_argument("LookupAsync: unknown querier AS");
+  }
+  auto op = std::make_shared<LookupOp>();
+  op->guid = guid;
+  op->querier = querier;
+  op->started = sim_.Now();
+  op->done = std::move(done);
+
+  // Probe order: lowest RTT first (the paper's main configuration).
+  const auto latencies = oracle_.LatenciesFrom(querier);
+  for (int replica = 0; replica < options_.k; ++replica) {
+    const AsId host = resolver_.Resolve(guid, replica).host;
+    const double rtt = host == querier
+                           ? 2.0 * graph_->IntraLatencyMs(querier)
+                           : 2.0 * (graph_->IntraLatencyMs(querier) +
+                                    double(latencies[host]) +
+                                    graph_->IntraLatencyMs(host));
+    op->plan.emplace_back(host, rtt);
+  }
+  std::sort(op->plan.begin(), op->plan.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+
+  // Local-replica race (Section III-C).
+  if (options_.local_replica && !failed_.contains(querier)) {
+    if (const MappingEntry* entry =
+            nodes_[querier]->store().Lookup(guid)) {
+      const MappingEntry local = *entry;
+      op->local_reply = sim_.Schedule(
+          SimTime::Millis(2.0 * graph_->IntraLatencyMs(querier)),
+          [this, op, local] {
+            if (op->completed) return;
+            op->completed = true;
+            op->timeout.Cancel();
+            LookupResult result;
+            result.found = true;
+            result.nas = local.nas;
+            result.serving_as = op->querier;
+            result.served_locally = true;
+            result.latency_ms = (sim_.Now() - op->started).millis();
+            result.attempts = op->attempts;
+            op->done(result);
+          });
+    }
+  }
+
+  SendProbe(op, 0);
+}
+
+void ProtocolNetwork::WithdrawPrefixAsync(
+    const Cidr& prefix, AsId owner, PrefixTable& table,
+    std::function<void(int migrated)> done) {
+  // 1. Collect the mappings this withdrawal orphans (placed under the
+  //    prefix at this AS).
+  struct Affected {
+    Guid guid;
+    MappingEntry entry;
+  };
+  std::vector<Affected> affected;
+  nodes_[owner]->store().ForEachStoredIn(
+      prefix, [&affected](const Guid& guid, const MappingEntry& entry) {
+        affected.push_back(Affected{guid, entry});
+      });
+
+  // 2. Snapshot the pre-withdrawal resolutions of the affected GUIDs: the
+  //    owner can derive, from its own BGP view alone, which replica chains
+  //    will move when its prefix disappears.
+  std::vector<std::vector<AsId>> before(affected.size());
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    for (int replica = 0; replica < options_.k; ++replica) {
+      before[i].push_back(resolver_.Resolve(affected[i].guid, replica).host);
+    }
+  }
+
+  // 3. Withdraw: from here on, every gateway's rehash chain skips the
+  //    prefix, so the post-withdrawal resolutions are exactly where queries
+  //    will look next.
+  if (!table.Withdraw(prefix)) {
+    throw std::invalid_argument("WithdrawPrefixAsync: prefix not announced");
+  }
+
+  if (affected.empty()) {
+    done(0);
+    return;
+  }
+
+  // 4. Hand each mapping to the deputies its chains moved to, and drop the
+  //    local copy. One InsertOp tracks all the acks; deputies that are
+  //    currently failed are covered by the timeout so the handoff always
+  //    completes.
+  auto op = std::make_shared<InsertOp>();
+  op->request_id = NextClientRequestId();
+  op->started = sim_.Now();
+  const int migrated = int(affected.size());
+  op->done = [done = std::move(done), migrated](const UpdateResult&) {
+    done(migrated);
+  };
+
+  std::vector<InsertRequest> to_send;
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    const Affected& a = affected[i];
+    nodes_[owner]->store().Erase(a.guid);
+    for (int replica = 0; replica < options_.k; ++replica) {
+      const HostResolution r = resolver_.Resolve(a.guid, replica);
+      if (r.host == before[i][std::size_t(replica)]) continue;  // unmoved
+      if (r.host == owner) continue;  // self writes need no message
+      InsertRequest request;
+      request.header = MessageHeader{op->request_id, owner, r.host};
+      request.guid = a.guid;
+      request.entry = a.entry;
+      request.stored_address = r.stored_address;
+      to_send.push_back(request);
+    }
+  }
+
+  if (to_send.empty()) {
+    done(migrated);
+    return;
+  }
+  op->outstanding = to_send.size();
+  inserts_[op->request_id] = op;
+  for (const InsertRequest& request : to_send) {
+    if (failed_.contains(request.header.dst)) {
+      ++messages_sent_;
+      bytes_sent_ += EncodedSize(request);
+      ++messages_dropped_;
+      sim_.Schedule(SimTime::Millis(options_.failure_timeout_ms),
+                    [this, id = op->request_id] {
+                      const auto it = inserts_.find(id);
+                      if (it == inserts_.end()) return;
+                      const std::shared_ptr<InsertOp> pending = it->second;
+                      if (--pending->outstanding == 0) {
+                        inserts_.erase(it);
+                        pending->done(UpdateResult{});
+                      }
+                    });
+      continue;
+    }
+    Send(request);
+  }
+}
+
+void ProtocolNetwork::SendProbe(const std::shared_ptr<LookupOp>& op,
+                                std::size_t index) {
+  if (op->completed) return;
+  if (index >= op->plan.size()) {
+    op->completed = true;
+    op->local_reply.Cancel();
+    LookupResult result;
+    result.attempts = op->attempts;
+    result.latency_ms = (sim_.Now() - op->started).millis();
+    op->done(result);
+    return;
+  }
+  const auto [host, rtt] = op->plan[index];
+  op->next_index = index + 1;
+  ++op->attempts;
+
+  op->request_id = NextClientRequestId();
+  LookupRequest request;
+  request.header = MessageHeader{op->request_id, op->querier, host};
+  request.guid = op->guid;
+
+  lookups_[op->request_id] = op;
+  // Arm the failure timeout; a response cancels it. The timeout adapts to
+  // the client's own RTT estimate for this replica (it just used that
+  // estimate to order the probes) so that a slow-but-alive replica is
+  // never declared dead before its reply can arrive.
+  const double timeout_ms =
+      std::max(options_.failure_timeout_ms, 1.5 * rtt);
+  op->timeout = sim_.Schedule(
+      SimTime::Millis(timeout_ms), [this, op, id = op->request_id] {
+        lookups_.erase(id);
+        if (op->completed) return;
+        SendProbe(op, op->next_index);
+      });
+  Send(request);
+}
+
+}  // namespace dmap

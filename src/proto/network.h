@@ -1,0 +1,111 @@
+// ProtocolNetwork: runs the full DMap wire protocol over the discrete-event
+// kernel. One DMapNode per AS; every message is encoded to wire bytes
+// (exercising the real serialisation path and feeding the traffic
+// accounting), delivered after the underlay one-way latency, decoded, and
+// handed to the destination node or client agent. Client operations
+// (insert, lookup) implement the querier-side logic: replica selection,
+// parallel replica writes, the local-replica race, miss fall-through, and
+// timeout handling for failed ASs.
+//
+// This is the "production" execution path; DMapService is the closed-form
+// fast path. Tests assert the two report identical timings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/dmap_service.h"
+#include "core/hole_resolver.h"
+#include "event/simulator.h"
+#include "proto/node.h"
+#include "topo/shortest_path.h"
+
+namespace dmap {
+
+struct ProtocolNetworkOptions {
+  int k = 5;
+  int max_hashes = 10;
+  bool local_replica = true;
+  std::uint64_t hash_seed = 0x5eedf00dULL;
+  double failure_timeout_ms = 200.0;
+  std::size_t oracle_cache = 64;
+};
+
+class ProtocolNetwork {
+ public:
+  ProtocolNetwork(const AsGraph& graph, const PrefixTable& table,
+                  const ProtocolNetworkOptions& options);
+
+  Simulator& simulator() { return sim_; }
+  DMapNode& node(AsId as) { return *nodes_[as]; }
+  const ProtocolNetworkOptions& options() const { return options_; }
+  PathOracle& oracle() { return oracle_; }
+
+  // Router failure (Section III-D-3): messages to a failed AS vanish;
+  // clients fall through to the next replica after the timeout.
+  void FailAs(AsId as) { failed_.insert(as); }
+  void RecoverAs(AsId as) { failed_.erase(as); }
+
+  // Registers/refreshes `guid` from the AS in `na`: K parallel replica
+  // writes plus the local copy; completes when the slowest ack returns.
+  void InsertAsync(const Guid& guid, NetworkAddress na,
+                   std::function<void(const UpdateResult&)> done);
+
+  // Resolves `guid` from `querier` with the full probe/fall-through logic.
+  void LookupAsync(const Guid& guid, AsId querier,
+                   std::function<void(const LookupResult&)> done);
+
+  // The Section III-D-1 withdrawal protocol, end to end: before `owner`
+  // withdraws `prefix`, it hands every mapping stored under that prefix to
+  // the mapping's deputy (its resolution once the prefix is gone), then the
+  // withdrawal is applied to `table` — which must be the same object this
+  // network resolves against. `done(migrated)` fires when the last deputy
+  // ack returns (0 migrations completes immediately).
+  void WithdrawPrefixAsync(const Cidr& prefix, AsId owner,
+                           PrefixTable& table,
+                           std::function<void(int migrated)> done);
+
+  // Wire accounting (actual encoded bytes).
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  struct LookupOp;
+  struct InsertOp;
+
+  // Encodes, counts, and schedules delivery of `message`. Messages to
+  // failed ASs are counted as dropped and never delivered.
+  void Send(const Message& message);
+  void Deliver(const Message& message);
+  void SendProbe(const std::shared_ptr<LookupOp>& op, std::size_t index);
+
+  std::uint64_t NextClientRequestId() {
+    return 0x8000000000000000ULL | next_client_request_++;
+  }
+
+  const AsGraph* graph_;
+  ProtocolNetworkOptions options_;
+  GuidHashFamily hashes_;
+  HoleResolver resolver_;
+  PathOracle oracle_;
+  Simulator sim_;
+  std::vector<std::unique_ptr<DMapNode>> nodes_;
+  std::unordered_set<AsId> failed_;
+  std::unordered_map<Guid, std::uint64_t, GuidHash> versions_;
+
+  // In-flight client operations keyed by request id.
+  std::unordered_map<std::uint64_t, std::shared_ptr<LookupOp>> lookups_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<InsertOp>> inserts_;
+  std::uint64_t next_client_request_ = 1;
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace dmap

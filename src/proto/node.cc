@@ -1,0 +1,178 @@
+#include "proto/node.h"
+
+#include <algorithm>
+
+namespace dmap {
+
+DMapNode::DMapNode(AsId self, const PrefixTable& table,
+                   const GuidHashFamily& hashes, int max_hashes)
+    : self_(self), table_(&table), hashes_(&hashes),
+      max_hashes_(max_hashes) {}
+
+void DMapNode::HandleMessage(const Message& in, std::vector<Message>* out) {
+  std::visit(
+      [this, out](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, InsertRequest>) {
+          HandleInsert(m, out);
+        } else if constexpr (std::is_same_v<T, LookupRequest>) {
+          HandleLookup(m, out);
+        } else if constexpr (std::is_same_v<T, MigrateRequest>) {
+          HandleMigrateRequest(m, out);
+        } else if constexpr (std::is_same_v<T, MigrateResponse>) {
+          HandleMigrateResponse(m, out);
+        }
+        // InsertAck / LookupResponse terminate at the requesting client
+        // agent (proto/network.cc); a storage node ignores them.
+      },
+      in);
+}
+
+void DMapNode::HandleInsert(const InsertRequest& m,
+                            std::vector<Message>* out) {
+  const bool applied = store_.Upsert(m.guid, m.entry, m.stored_address);
+  applied ? ++stats_.inserts_applied : ++stats_.inserts_rejected_stale;
+  InsertAck ack;
+  ack.header = MessageHeader{m.header.request_id, self_, m.header.src};
+  ack.guid = m.guid;
+  ack.applied = applied;
+  out->push_back(ack);
+}
+
+void DMapNode::HandleLookup(const LookupRequest& m,
+                            std::vector<Message>* out) {
+  if (const MappingEntry* entry = store_.Lookup(m.guid)) {
+    ++stats_.lookups_served;
+    LookupResponse response;
+    response.header = MessageHeader{m.header.request_id, self_, m.header.src};
+    response.guid = m.guid;
+    response.found = true;
+    response.entry = *entry;
+    out->push_back(response);
+    return;
+  }
+
+  // Not here. If a replica chain of this GUID resolves to us under the
+  // current table, the mapping may be orphaned at our deputy (we announced
+  // a prefix the chain used to skip): run the migration protocol before
+  // answering (Section III-D-1). If it's already running, just queue.
+  const auto pending_it = pending_.find(m.guid);
+  if (pending_it != pending_.end()) {
+    pending_it->second.waiting_lookups.push_back(m.header);
+    return;
+  }
+  const std::vector<AsId> candidates = DeputyCandidates(m.guid);
+  if (!candidates.empty()) {
+    PendingMigration pending;
+    pending.waiting_lookups.push_back(m.header);
+    pending.remaining_candidates.assign(candidates.begin() + 1,
+                                        candidates.end());
+    pending_[m.guid] = std::move(pending);
+
+    ++stats_.migrations_requested;
+    MigrateRequest request;
+    request.header = MessageHeader{NextRequestId(), self_, candidates[0]};
+    request.guid = m.guid;
+    out->push_back(request);
+    return;
+  }
+
+  ++stats_.lookups_missing;
+  LookupResponse response;
+  response.header = MessageHeader{m.header.request_id, self_, m.header.src};
+  response.guid = m.guid;
+  response.found = false;
+  out->push_back(response);
+}
+
+void DMapNode::HandleMigrateRequest(const MigrateRequest& m,
+                                    std::vector<Message>* out) {
+  MigrateResponse response;
+  response.header = MessageHeader{m.header.request_id, self_, m.header.src};
+  response.guid = m.guid;
+  if (const MappingEntry* entry = store_.Lookup(m.guid)) {
+    ++stats_.migrations_served;
+    response.found = true;
+    response.entry = *entry;
+    // "Relocate the mapping to itself": the deputy hands the entry over
+    // and drops its copy.
+    store_.Erase(m.guid);
+  }
+  out->push_back(response);
+}
+
+void DMapNode::HandleMigrateResponse(const MigrateResponse& m,
+                                     std::vector<Message>* out) {
+  const auto it = pending_.find(m.guid);
+  if (it == pending_.end()) return;  // stale/duplicate response
+
+  if (m.found) {
+    ++stats_.migrations_received;
+    store_.Upsert(m.guid, m.entry);
+    for (const MessageHeader& waiting : it->second.waiting_lookups) {
+      ++stats_.lookups_served;
+      LookupResponse response;
+      response.header = MessageHeader{waiting.request_id, self_, waiting.src};
+      response.guid = m.guid;
+      response.found = true;
+      response.entry = m.entry;
+      out->push_back(response);
+    }
+    pending_.erase(it);
+    return;
+  }
+
+  // This candidate didn't have it; try the next, or give up.
+  if (!it->second.remaining_candidates.empty()) {
+    const AsId next = it->second.remaining_candidates.front();
+    it->second.remaining_candidates.erase(
+        it->second.remaining_candidates.begin());
+    ++stats_.migrations_requested;
+    MigrateRequest request;
+    request.header = MessageHeader{NextRequestId(), self_, next};
+    request.guid = m.guid;
+    out->push_back(request);
+    return;
+  }
+  for (const MessageHeader& waiting : it->second.waiting_lookups) {
+    ++stats_.lookups_missing;
+    LookupResponse response;
+    response.header = MessageHeader{waiting.request_id, self_, waiting.src};
+    response.guid = m.guid;
+    response.found = false;
+    out->push_back(response);
+  }
+  pending_.erase(it);
+}
+
+std::vector<AsId> DMapNode::DeputyCandidates(const Guid& guid) const {
+  // Exact reconstruction of the pre-announcement placement would need the
+  // historical prefix table; instead we continue each replica's rehash
+  // chain past the addresses we own — which is where Algorithm 1 put the
+  // mapping while our prefix was a hole. This reproduces the paper's deputy
+  // whenever the deputy was reached by rehashing (probability ~1 - 0.034%).
+  std::vector<AsId> candidates;
+  for (int replica = 0; replica < hashes_->k(); ++replica) {
+    Ipv4Address addr = hashes_->Hash(guid, replica);
+    bool chain_visits_self = false;
+    for (int tries = 1; tries <= max_hashes_ + 1; ++tries) {
+      const auto hit = table_->Lookup(addr);
+      if (hit && hit->owner != self_) {
+        if (chain_visits_self) candidates.push_back(hit->owner);
+        break;
+      }
+      if (hit && hit->owner == self_) chain_visits_self = true;
+      addr = hashes_->Rehash(addr, replica);
+    }
+  }
+  // Deduplicate, preserve order, drop self (already excluded above).
+  std::vector<AsId> unique;
+  for (const AsId as : candidates) {
+    if (std::find(unique.begin(), unique.end(), as) == unique.end()) {
+      unique.push_back(as);
+    }
+  }
+  return unique;
+}
+
+}  // namespace dmap

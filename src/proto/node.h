@@ -1,0 +1,87 @@
+// Per-AS DMap protocol engine: the state machine a border gateway runs.
+// Pure message-in/messages-out (no I/O, no clock), which makes it
+// deterministic and unit-testable; proto/network.h drives it over the
+// discrete-event kernel.
+//
+// Implements, at the wire level:
+//  * replica storage with version gating (InsertRequest -> InsertAck),
+//  * lookups with "GUID missing" responses,
+//  * the Section III-D-1 announcement repair: when this AS receives a
+//    lookup for a GUID it *should* host under the current prefix table but
+//    has no entry for, it asks the GUID's deputy (the AS further along the
+//    rehash chain, where the mapping landed while this AS's prefix was a
+//    hole) to migrate the mapping over, then answers the waiting queriers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/prefix_table.h"
+#include "common/hash.h"
+#include "core/mapping_store.h"
+#include "proto/messages.h"
+
+namespace dmap {
+
+class DMapNode {
+ public:
+  // `table` and `hashes` are the network-wide shared state (the BGP view
+  // and the agreed hash family); both must outlive the node.
+  DMapNode(AsId self, const PrefixTable& table, const GuidHashFamily& hashes,
+           int max_hashes = 10);
+
+  AsId self() const { return self_; }
+  MappingStore& store() { return store_; }
+  const MappingStore& store() const { return store_; }
+
+  // Processes one incoming message, appending any messages this node sends
+  // in reaction to `out`.
+  void HandleMessage(const Message& in, std::vector<Message>* out);
+
+  struct Stats {
+    std::uint64_t inserts_applied = 0;
+    std::uint64_t inserts_rejected_stale = 0;
+    std::uint64_t lookups_served = 0;
+    std::uint64_t lookups_missing = 0;
+    std::uint64_t migrations_requested = 0;
+    std::uint64_t migrations_served = 0;
+    std::uint64_t migrations_received = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void HandleInsert(const InsertRequest& m, std::vector<Message>* out);
+  void HandleLookup(const LookupRequest& m, std::vector<Message>* out);
+  void HandleMigrateRequest(const MigrateRequest& m,
+                            std::vector<Message>* out);
+  void HandleMigrateResponse(const MigrateResponse& m,
+                             std::vector<Message>* out);
+
+  // Deputy candidates for `guid`: for every replica chain that reaches an
+  // address owned by this AS, the owner of the next announced address
+  // further along the chain — where the mapping would have been stored
+  // while this AS's prefix was still a hole. Ordered, deduplicated, never
+  // contains self.
+  std::vector<AsId> DeputyCandidates(const Guid& guid) const;
+
+  std::uint64_t NextRequestId() {
+    return (std::uint64_t(self_) << 32) | next_request_++;
+  }
+
+  AsId self_;
+  const PrefixTable* table_;
+  const GuidHashFamily* hashes_;
+  int max_hashes_;
+  MappingStore store_;
+  Stats stats_;
+  std::uint32_t next_request_ = 1;
+
+  struct PendingMigration {
+    std::vector<MessageHeader> waiting_lookups;  // queriers to answer
+    std::vector<AsId> remaining_candidates;      // deputies not yet asked
+  };
+  std::unordered_map<Guid, PendingMigration, GuidHash> pending_;
+};
+
+}  // namespace dmap

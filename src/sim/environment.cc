@@ -1,0 +1,27 @@
+#include "sim/environment.h"
+
+namespace dmap {
+
+EnvironmentParams EnvironmentParams::FullScale(std::uint64_t seed) {
+  EnvironmentParams p;
+  p.topology.seed = seed;
+  p.prefixes.seed = seed ^ 0xabcdef12345ULL;
+  p.prefixes.num_ases = p.topology.num_nodes;
+  return p;
+}
+
+EnvironmentParams EnvironmentParams::Scaled(std::uint32_t num_ases,
+                                            std::uint64_t seed) {
+  EnvironmentParams p;
+  p.topology = ScaledTopologyParams(num_ases, seed);
+  p.prefixes.seed = seed ^ 0xabcdef12345ULL;
+  p.prefixes.num_ases = num_ases;
+  return p;
+}
+
+SimEnvironment BuildEnvironment(const EnvironmentParams& params) {
+  return SimEnvironment{GenerateInternetTopology(params.topology),
+                        GeneratePrefixTable(params.prefixes)};
+}
+
+}  // namespace dmap

@@ -1,0 +1,35 @@
+// Simulation environment: one topology plus one prefix table, built
+// together so every experiment binary runs against the same network (the
+// role of the fixed DIMES + APNIC snapshots in the paper). `scale` shrinks
+// both proportionally for tests and quick runs.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/prefix_gen.h"
+#include "bgp/prefix_table.h"
+#include "topo/generator.h"
+#include "topo/graph.h"
+
+namespace dmap {
+
+struct EnvironmentParams {
+  TopologyParams topology;
+  PrefixGenParams prefixes;
+
+  // Full paper scale: 26,424 ASs / 90,267 links / 52% announced.
+  static EnvironmentParams FullScale(std::uint64_t seed = 42);
+
+  // Proportionally scaled to `num_ases`; used by tests and --scale runs.
+  static EnvironmentParams Scaled(std::uint32_t num_ases,
+                                  std::uint64_t seed = 42);
+};
+
+struct SimEnvironment {
+  AsGraph graph;
+  PrefixTable table;
+};
+
+SimEnvironment BuildEnvironment(const EnvironmentParams& params);
+
+}  // namespace dmap

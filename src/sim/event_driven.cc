@@ -1,0 +1,124 @@
+#include "sim/event_driven.h"
+
+#include <memory>
+
+namespace dmap {
+
+struct EventDrivenLookup::Flow {
+  Guid guid;
+  AsId querier = kInvalidAs;
+  std::vector<std::pair<AsId, double>> plan;  // ordered (host, rtt)
+  Callback done;
+  SimTime started;
+  int attempts = 0;
+  bool completed = false;
+  EventHandle local_reply;  // cancelled if the global path wins first
+
+  void Complete(Simulator& sim, LookupResult result) {
+    if (completed) return;
+    completed = true;
+    local_reply.Cancel();
+    result.latency_ms = (sim.Now() - started).millis();
+    result.attempts = attempts;
+    done(result);
+  }
+};
+
+void EventDrivenLookup::LookupAsync(const Guid& guid, AsId querier,
+                                    SimTime start_delay, Callback done) {
+  auto flow = std::make_shared<Flow>();
+  flow->guid = guid;
+  flow->querier = querier;
+  flow->done = std::move(done);
+
+  sim_->Schedule(start_delay, [this, flow] {
+    flow->started = sim_->Now();
+    flow->plan = service_->ProbePlan(flow->guid, flow->querier);
+
+    // Local resolution races the global one (Section III-C): a hit in the
+    // querier's own store replies after one intra-AS round trip.
+    if (service_->options().local_replica &&
+        !service_->IsFailed(flow->querier)) {
+      if (const MappingEntry* entry =
+              service_->StoreAt(flow->querier).Lookup(flow->guid)) {
+        const MappingEntry local = *entry;
+        const double local_rtt =
+            2.0 * service_->oracle().graph().IntraLatencyMs(flow->querier);
+        flow->local_reply = sim_->Schedule(
+            SimTime::Millis(local_rtt), [this, flow, local] {
+              LookupResult result;
+              result.found = true;
+              result.nas = local.nas;
+              result.serving_as = flow->querier;
+              result.served_locally = true;
+              flow->Complete(*sim_, result);
+            });
+      }
+    }
+
+    SendProbe(flow, 0);
+  });
+}
+
+void EventDrivenLookup::UpdateAsync(const Guid& guid, NetworkAddress na,
+                                    SimTime start_delay,
+                                    UpdateCallback done) {
+  sim_->Schedule(start_delay, [this, guid, na, done = std::move(done)] {
+    UpdateResult result = service_->Update(guid, na);
+    // Acknowledgements from all replicas arrive in parallel; completion is
+    // the slowest one. When update latency measurement is disabled on the
+    // service, compute it here from the oracle.
+    double max_rtt = result.latency_ms;
+    if (max_rtt < 0) {
+      max_rtt = 0;
+      for (const AsId host : result.replicas) {
+        max_rtt = std::max(max_rtt, service_->oracle().RttMs(na.as, host));
+      }
+      result.latency_ms = max_rtt;
+    }
+    sim_->Schedule(SimTime::Millis(max_rtt),
+                   [result, done] { done(result); });
+  });
+}
+
+void EventDrivenLookup::SendProbe(const std::shared_ptr<Flow>& flow,
+                                  std::size_t index) {
+  if (flow->completed) return;
+  if (index >= flow->plan.size()) {
+    // Every replica missed or timed out: report the failure at the time
+    // the last reply came back.
+    LookupResult result;
+    flow->Complete(*sim_, result);
+    return;
+  }
+  const auto [host, rtt] = flow->plan[index];
+  ++flow->attempts;
+
+  if (service_->IsFailed(host)) {
+    // No reply will come; the timeout moves us to the next replica.
+    sim_->Schedule(SimTime::Millis(service_->options().failure_timeout_ms),
+                   [this, flow, index] { SendProbe(flow, index + 1); });
+    return;
+  }
+
+  const MappingEntry* entry = service_->StoreAt(host).Lookup(flow->guid);
+  if (entry != nullptr) {
+    const MappingEntry found = *entry;
+    const AsId serving = host;
+    sim_->Schedule(SimTime::Millis(rtt), [this, flow, found, serving] {
+      LookupResult result;
+      result.found = true;
+      result.nas = found.nas;
+      result.serving_as = serving;
+      flow->Complete(*sim_, result);
+    });
+  } else {
+    // "GUID missing" reply arrives a full round trip later; then the next
+    // replica is probed.
+    sim_->Schedule(SimTime::Millis(rtt), [this, flow, index] {
+      SendProbe(flow, index + 1);
+    });
+  }
+}
+
+}  // namespace dmap

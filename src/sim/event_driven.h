@@ -1,0 +1,49 @@
+// Event-driven execution of DMap lookups on the discrete-event kernel. The
+// closed-form path in DMapService sums RTTs arithmetically; this wrapper
+// plays the same exchange out as scheduled message events — probe sent,
+// reply (found / missing) received, timeout fires for a failed AS, local
+// and global resolutions racing — and reports completion through a
+// callback. Property tests assert the two paths agree to floating-point
+// accuracy, which validates the closed-form shortcut used by the big
+// sweeps.
+#pragma once
+
+#include <functional>
+
+#include "core/dmap_service.h"
+#include "event/simulator.h"
+
+namespace dmap {
+
+class EventDrivenLookup {
+ public:
+  // Both references must outlive the wrapper.
+  EventDrivenLookup(Simulator& sim, DMapService& service)
+      : sim_(&sim), service_(&service) {}
+
+  using Callback = std::function<void(const LookupResult&)>;
+
+  // Schedules the lookup to start `start_delay` from now; `done` fires at
+  // the simulated completion time. The caller runs the simulator.
+  void LookupAsync(const Guid& guid, AsId querier, SimTime start_delay,
+                   Callback done);
+
+  // Mobility update as events: the K replica writes (and the local-replica
+  // move) go out in parallel; `done` fires when the slowest acknowledgement
+  // returns (Section III-A's update-latency model). The mapping state
+  // changes when the update *starts* — replicas apply writes on receipt,
+  // and this wrapper does not model per-replica in-flight windows.
+  using UpdateCallback = std::function<void(const UpdateResult&)>;
+  void UpdateAsync(const Guid& guid, NetworkAddress na, SimTime start_delay,
+                   UpdateCallback done);
+
+ private:
+  struct Flow;  // shared lookup state across the event chain
+
+  void SendProbe(const std::shared_ptr<Flow>& flow, std::size_t index);
+
+  Simulator* sim_;
+  DMapService* service_;
+};
+
+}  // namespace dmap

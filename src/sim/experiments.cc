@@ -1,0 +1,281 @@
+#include "sim/experiments.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "baseline/central_directory.h"
+#include "baseline/chord_dht.h"
+#include "baseline/home_agent.h"
+#include "baseline/resolver.h"
+#include "bgp/churn.h"
+#include "common/logging.h"
+#include "core/hole_resolver.h"
+
+namespace dmap {
+namespace {
+
+DMapOptions MakeOptions(const ResponseTimeConfig& config) {
+  DMapOptions options;
+  options.k = config.k;
+  options.local_replica = config.local_replica;
+  options.selection = config.selection;
+  options.hash_seed = config.hash_seed;
+  options.measure_update_latency = false;  // only lookups are measured
+  return options;
+}
+
+void LoadMappings(DMapService& service, WorkloadGenerator& workload) {
+  for (const InsertOp& op : workload.Inserts()) {
+    service.Insert(op.guid, op.na);
+  }
+}
+
+}  // namespace
+
+SampleSet RunResponseTimeExperiment(SimEnvironment& env,
+                                    const ResponseTimeConfig& config) {
+  DMapService service(env.graph, env.table, MakeOptions(config));
+  WorkloadGenerator workload(env.graph, config.workload);
+  LoadMappings(service, workload);
+
+  SampleSet samples;
+  samples.Reserve(config.workload.num_lookups);
+  for (const LookupOp& op :
+       workload.Lookups(config.workload.num_lookups)) {
+    const LookupResult r = service.Lookup(op.guid, op.source);
+    if (!r.found) {
+      DMAP_LOG(kWarning) << "lookup missed a registered GUID";
+      continue;
+    }
+    samples.Add(r.latency_ms);
+  }
+  return samples;
+}
+
+std::vector<std::pair<int, SampleSet>> RunResponseTimeSweep(
+    SimEnvironment& env, const std::vector<int>& ks,
+    const ResponseTimeConfig& config) {
+  if (ks.empty()) return {};
+  const int k_max = *std::max_element(ks.begin(), ks.end());
+
+  ResponseTimeConfig max_config = config;
+  max_config.k = k_max;
+  DMapService service(env.graph, env.table, MakeOptions(max_config));
+  WorkloadGenerator workload(env.graph, config.workload);
+  LoadMappings(service, workload);
+
+  // Local-replica hits are decided by the GUID's attachment AS, not by the
+  // k_max store contents: a K-replica deployment only has the local copy
+  // plus its own first K globals.
+  std::unordered_map<Guid, AsId, GuidHash> attachment;
+  attachment.reserve(config.workload.num_guids * 2);
+  for (std::uint64_t i = 0; i < config.workload.num_guids; ++i) {
+    attachment[workload.GuidAt(i)] = workload.AttachmentOf(i);
+  }
+
+  std::vector<std::pair<int, SampleSet>> results;
+  results.reserve(ks.size());
+  for (const int k : ks) {
+    results.emplace_back(k, SampleSet{});
+    results.back().second.Reserve(config.workload.num_lookups);
+  }
+
+  std::vector<int> sorted_ks = ks;
+  std::sort(sorted_ks.begin(), sorted_ks.end());
+
+  std::vector<double> rtts(std::size_t(k_max), 0.0);
+  for (const LookupOp& op :
+       workload.Lookups(config.workload.num_lookups)) {
+    // RTTs to all k_max replicas, in hash-function order (NOT sorted: the
+    // K-replica system only knows h_1..h_K).
+    const auto latencies = service.oracle().LatenciesFrom(op.source);
+    for (int i = 0; i < k_max; ++i) {
+      const AsId host = service.resolver().Resolve(op.guid, i).host;
+      rtts[std::size_t(i)] =
+          host == op.source
+              ? 2.0 * env.graph.IntraLatencyMs(op.source)
+              : 2.0 * (env.graph.IntraLatencyMs(op.source) +
+                       double(latencies[host]) +
+                       env.graph.IntraLatencyMs(host));
+    }
+    const bool local_hit =
+        config.local_replica && attachment.at(op.guid) == op.source;
+    const double local_rtt = 2.0 * env.graph.IntraLatencyMs(op.source);
+
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t next_k_index = 0;
+    for (int i = 0; i < k_max; ++i) {
+      best = std::min(best, rtts[std::size_t(i)]);
+      while (next_k_index < sorted_ks.size() &&
+             sorted_ks[next_k_index] == i + 1) {
+        const double latency = local_hit ? std::min(best, local_rtt) : best;
+        for (auto& [k, samples] : results) {
+          if (k == sorted_ks[next_k_index]) samples.Add(latency);
+        }
+        ++next_k_index;
+      }
+    }
+  }
+  return results;
+}
+
+SampleSet RunChurnExperiment(SimEnvironment& env,
+                             const ChurnExperimentConfig& config) {
+  DMapService service(env.graph, env.table, MakeOptions(config.base));
+  WorkloadGenerator workload(env.graph, config.base.workload);
+  LoadMappings(service, workload);
+
+  // The network's BGP state moves on after the mappings were placed: a
+  // fraction of prefixes is withdrawn and an equal number newly announced.
+  // Queriers resolve replica locations against this *new* table while the
+  // mappings still sit where the old table put them — exactly the
+  // inconsistency window of Section III-D-1 before the repair protocol has
+  // migrated the orphaned mappings.
+  PrefixTable churned_view = env.table;
+  if (config.churn_fraction > 0) {
+    Rng rng(config.churn_seed);
+    ChurnParams churn;
+    // Space-weighted withdrawals: an x% churn level displaces ~x% of first
+    // probes, matching the paper's "x% lookup failures" (Figure 5).
+    churn.withdraw_space_fraction = config.churn_fraction;
+    churn.announce_fraction = config.churn_fraction / 2;
+    churn.num_ases = env.graph.num_nodes();
+    ApplyChurn(churned_view, SampleChurn(env.table, churn, rng));
+  }
+
+  SampleSet samples;
+  samples.Reserve(config.base.workload.num_lookups);
+  std::uint64_t unresolved = 0;
+  for (const LookupOp& op :
+       workload.Lookups(config.base.workload.num_lookups)) {
+    const LookupResult r =
+        service.LookupWithView(op.guid, op.source, churned_view);
+    if (!r.found) {
+      // All replicas displaced by churn: the query fails outright. Rare
+      // (needs every one of K replicas hit); excluded from the latency CDF
+      // like in the paper, but reported.
+      ++unresolved;
+      continue;
+    }
+    samples.Add(r.latency_ms);
+  }
+  if (unresolved > 0) {
+    DMAP_LOG(kInfo) << unresolved << " lookups unresolved under churn";
+  }
+  return samples;
+}
+
+std::vector<std::pair<double, SampleSet>> RunChurnSweep(
+    SimEnvironment& env, const std::vector<double>& churn_fractions,
+    const ChurnExperimentConfig& config) {
+  DMapService service(env.graph, env.table, MakeOptions(config.base));
+  WorkloadGenerator workload(env.graph, config.base.workload);
+  LoadMappings(service, workload);
+
+  // One stale view per fraction; the same placement serves all of them.
+  std::vector<PrefixTable> views;
+  views.reserve(churn_fractions.size());
+  for (const double fraction : churn_fractions) {
+    PrefixTable view = env.table;
+    if (fraction > 0) {
+      Rng rng(config.churn_seed);
+      ChurnParams churn;
+      churn.withdraw_space_fraction = fraction;
+      churn.announce_fraction = fraction / 2;
+      churn.num_ases = env.graph.num_nodes();
+      ApplyChurn(view, SampleChurn(env.table, churn, rng));
+    }
+    views.push_back(std::move(view));
+  }
+
+  std::vector<std::pair<double, SampleSet>> results;
+  results.reserve(churn_fractions.size());
+  for (const double fraction : churn_fractions) {
+    results.emplace_back(fraction, SampleSet{});
+    results.back().second.Reserve(config.base.workload.num_lookups);
+  }
+
+  for (const LookupOp& op :
+       workload.Lookups(config.base.workload.num_lookups)) {
+    for (std::size_t v = 0; v < views.size(); ++v) {
+      const LookupResult r =
+          service.LookupWithView(op.guid, op.source, views[v]);
+      if (r.found) results[v].second.Add(r.latency_ms);
+    }
+  }
+  return results;
+}
+
+LoadBalanceResult RunLoadBalanceExperiment(const SimEnvironment& env,
+                                           const LoadBalanceConfig& config) {
+  // Storage-placement only: resolve every GUID's K replica hosts and count.
+  // No MappingStore is materialised, which keeps the 10^7-GUID point cheap.
+  const GuidHashFamily hashes(config.k, config.hash_seed);
+  HoleResolver resolver(hashes, env.table, config.max_hashes);
+  std::unique_ptr<Dir24_8> fast;
+  if (config.use_fast_path) {
+    fast = std::make_unique<Dir24_8>(env.table);
+    resolver.SetFastPath(fast.get());
+  }
+
+  LoadBalanceResult result;
+  std::vector<std::uint64_t> counts(env.graph.num_nodes(), 0);
+  for (std::uint64_t i = 0; i < config.num_guids; ++i) {
+    const Guid guid =
+        Guid::FromSequence(i ^ (config.guid_seed * 0x9e3779b97f4a7c15ULL));
+    for (int replica = 0; replica < config.k; ++replica) {
+      const HostResolution r = resolver.Resolve(guid, replica);
+      ++counts[r.host];
+      result.total_hash_evals += std::uint64_t(r.hash_count);
+      if (r.used_nearest) ++result.deputy_fallbacks;
+    }
+  }
+  result.nlr = ComputeNlr(counts, env.table);
+  return result;
+}
+
+std::vector<BaselineComparisonRow> RunBaselineComparison(
+    SimEnvironment& env, const ResponseTimeConfig& config,
+    std::uint64_t num_moves) {
+  PathOracle shared_oracle(env.graph);
+
+  std::vector<std::unique_ptr<NameResolver>> schemes;
+  {
+    DMapOptions options = MakeOptions(config);
+    options.measure_update_latency = true;
+    schemes.push_back(
+        std::make_unique<DMapResolver>(env.graph, env.table, options));
+  }
+  schemes.push_back(std::make_unique<ChordDht>(env.graph, shared_oracle));
+  schemes.push_back(std::make_unique<HomeAgent>(shared_oracle));
+  // The central directory sits at AS 0 — a tier-1 core AS by construction.
+  schemes.push_back(std::make_unique<CentralDirectory>(shared_oracle, 0));
+
+  std::vector<BaselineComparisonRow> rows;
+  for (const auto& scheme : schemes) {
+    // Identical workload per scheme (same seeds).
+    WorkloadGenerator workload(env.graph, config.workload);
+    for (const InsertOp& op : workload.Inserts()) {
+      scheme->Insert(op.guid, op.na);
+    }
+
+    SampleSet lookup_times;
+    for (const LookupOp& op :
+         workload.Lookups(config.workload.num_lookups)) {
+      const LookupResult r = scheme->Lookup(op.guid, op.source);
+      if (r.found) lookup_times.Add(r.latency_ms);
+    }
+
+    SampleSet update_times;
+    for (const MoveOp& op : workload.Moves(num_moves)) {
+      update_times.Add(scheme->Update(op.guid, op.new_na).latency_ms);
+    }
+
+    rows.push_back(BaselineComparisonRow{
+        scheme->name(), Summarize(lookup_times), Summarize(update_times)});
+  }
+  return rows;
+}
+
+}  // namespace dmap

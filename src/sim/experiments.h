@@ -1,0 +1,94 @@
+// Experiment harnesses: one function per paper table/figure, each returning
+// raw data for the bench binaries to print (see DESIGN.md section 4 for the
+// experiment index).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dmap_service.h"
+#include "sim/environment.h"
+#include "sim/metrics.h"
+#include "workload/workload.h"
+
+namespace dmap {
+
+// ---- Figure 4 / Table I: query response time CDF vs K -------------------
+
+struct ResponseTimeConfig {
+  int k = 5;
+  WorkloadParams workload;
+  bool local_replica = true;
+  ReplicaSelection selection = ReplicaSelection::kLowestRtt;
+  std::uint64_t hash_seed = 0x5eedf00dULL;
+};
+
+SampleSet RunResponseTimeExperiment(SimEnvironment& env,
+                                    const ResponseTimeConfig& config);
+
+// One-pass sweep over several K values. Because h_1..h_K is a prefix of
+// h_1..h_{K'} for K < K' (same hash seed), a single placement with
+// K = max(ks) yields every curve: the K-replica lookup latency is the best
+// RTT among the first K replicas (plus the local-replica race). This is
+// ~|ks| times cheaper than independent runs, which matters at full scale
+// where the per-source Dijkstra dominates. Keys of the result are the
+// requested K values.
+std::vector<std::pair<int, SampleSet>> RunResponseTimeSweep(
+    SimEnvironment& env, const std::vector<int>& ks,
+    const ResponseTimeConfig& config);
+
+// ---- Figure 5: response time under BGP churn -----------------------------
+
+struct ChurnExperimentConfig {
+  ResponseTimeConfig base;
+  // Total fraction of prefixes churned between mapping placement and the
+  // queries: half withdrawn, half newly announced.
+  double churn_fraction = 0.05;
+  std::uint64_t churn_seed = 99;
+};
+
+SampleSet RunChurnExperiment(SimEnvironment& env,
+                             const ChurnExperimentConfig& config);
+
+// One-pass sweep over several churn fractions: one service/placement, one
+// stale view per fraction, lookups iterated once so the latency oracle's
+// per-source cache is shared across fractions.
+std::vector<std::pair<double, SampleSet>> RunChurnSweep(
+    SimEnvironment& env, const std::vector<double>& churn_fractions,
+    const ChurnExperimentConfig& config);
+
+// ---- Figure 6: storage load balance (Normalized Load Ratio) --------------
+
+struct LoadBalanceConfig {
+  int k = 5;
+  int max_hashes = 10;
+  std::uint64_t num_guids = 1'000'000;
+  std::uint64_t hash_seed = 0x5eedf00dULL;
+  std::uint64_t guid_seed = 11;
+  // Route LPM probes through a DIR-24-8 snapshot (identical results,
+  // asserted by tests; ~7x faster per probe at full table size).
+  bool use_fast_path = true;
+};
+
+struct LoadBalanceResult {
+  SampleSet nlr;                  // one sample per announcing AS
+  std::uint64_t deputy_fallbacks = 0;  // resolutions past all M hashes
+  std::uint64_t total_hash_evals = 0;
+};
+
+LoadBalanceResult RunLoadBalanceExperiment(const SimEnvironment& env,
+                                           const LoadBalanceConfig& config);
+
+// ---- Extension: DMap vs the related-work baselines -----------------------
+
+struct BaselineComparisonRow {
+  std::string scheme;
+  ResponseTimeSummary lookup;
+  ResponseTimeSummary update;
+};
+
+std::vector<BaselineComparisonRow> RunBaselineComparison(
+    SimEnvironment& env, const ResponseTimeConfig& config,
+    std::uint64_t num_moves);
+
+}  // namespace dmap

@@ -1,0 +1,49 @@
+#include "sim/metrics.h"
+
+#include <stdexcept>
+
+namespace dmap {
+
+ResponseTimeSummary Summarize(const SampleSet& samples) {
+  ResponseTimeSummary s;
+  s.count = samples.count();
+  if (s.count == 0) return s;
+  s.mean_ms = samples.mean();
+  s.median_ms = samples.Quantile(0.5);
+  s.p95_ms = samples.Quantile(0.95);
+  return s;
+}
+
+SampleSet ComputeNlr(std::span<const std::uint64_t> replica_counts,
+                     const PrefixTable& table) {
+  std::uint64_t total_replicas = 0;
+  for (const std::uint64_t c : replica_counts) total_replicas += c;
+  if (total_replicas == 0) {
+    throw std::invalid_argument("ComputeNlr: no replicas assigned");
+  }
+  const double announced = double(table.announced_addresses());
+  const auto& owned = table.ownership_by_as();
+
+  SampleSet nlr;
+  for (std::size_t as = 0; as < replica_counts.size(); ++as) {
+    const std::uint64_t addresses =
+        as < owned.size() ? owned[as] : 0;
+    if (addresses == 0) continue;  // NLR undefined for non-announcing ASs
+    const double guid_share =
+        double(replica_counts[as]) / double(total_replicas);
+    const double address_share = double(addresses) / announced;
+    nlr.Add(guid_share / address_share);
+  }
+  return nlr;
+}
+
+double FractionWithin(const SampleSet& samples, double lo, double hi) {
+  if (samples.count() == 0) return 0;
+  std::size_t inside = 0;
+  for (const double x : samples.samples()) {
+    if (x >= lo && x <= hi) ++inside;
+  }
+  return double(inside) / double(samples.count());
+}
+
+}  // namespace dmap

@@ -1,0 +1,35 @@
+// Metric computation shared by the experiment harnesses: response-time
+// summaries (Table I) and the Normalized Load Ratio of Figure 6.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "bgp/prefix_table.h"
+#include "common/stats.h"
+
+namespace dmap {
+
+struct ResponseTimeSummary {
+  std::uint64_t count = 0;
+  double mean_ms = 0;
+  double median_ms = 0;
+  double p95_ms = 0;
+};
+
+ResponseTimeSummary Summarize(const SampleSet& samples);
+
+// Normalized Load Ratio per AS: the percentage of GUIDs an AS stores
+// divided by the percentage of announced address space it owns (Section
+// IV-B-2c). Only ASs that announce at least one address are included (NLR
+// is undefined otherwise). `replica_counts[as]` counts mapping replicas
+// assigned to `as`.
+SampleSet ComputeNlr(std::span<const std::uint64_t> replica_counts,
+                     const PrefixTable& table);
+
+// Fraction of samples within [lo, hi] — the paper reports 93% of ASs with
+// NLR in [0.4, 1.6] at 10M GUIDs.
+double FractionWithin(const SampleSet& samples, double lo, double hi);
+
+}  // namespace dmap

@@ -1,0 +1,32 @@
+#include "sim/replication.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dmap {
+
+ReplicatedResult RunReplicated(
+    int runs, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t seed)>& experiment) {
+  if (runs < 1) throw std::invalid_argument("RunReplicated: runs < 1");
+  ReplicatedResult result;
+  result.values.reserve(std::size_t(runs));
+  double sum = 0;
+  for (int i = 0; i < runs; ++i) {
+    const double value = experiment(base_seed + std::uint64_t(i));
+    result.values.push_back(value);
+    sum += value;
+  }
+  result.mean = sum / runs;
+  if (runs > 1) {
+    double ss = 0;
+    for (const double v : result.values) {
+      ss += (v - result.mean) * (v - result.mean);
+    }
+    result.stddev = std::sqrt(ss / (runs - 1));
+    result.ci95_half = 1.96 * result.stddev / std::sqrt(double(runs));
+  }
+  return result;
+}
+
+}  // namespace dmap

@@ -1,0 +1,29 @@
+// Multi-seed replication: rerun an experiment under independent seeds and
+// report mean, standard deviation, and a normal-approximation 95% CI —
+// standard methodology for simulation studies (the paper reports single
+// runs; we can do better since everything is seeded and cheap to rerun).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dmap {
+
+struct ReplicatedResult {
+  std::vector<double> values;  // one per seed
+  double mean = 0;
+  double stddev = 0;       // sample standard deviation
+  double ci95_half = 0;    // 1.96 * stddev / sqrt(n)
+
+  double ci_low() const { return mean - ci95_half; }
+  double ci_high() const { return mean + ci95_half; }
+};
+
+// Runs `experiment(seed)` for seeds base_seed, base_seed + 1, ... and
+// aggregates. Requires runs >= 1; CI is 0 for a single run.
+ReplicatedResult RunReplicated(
+    int runs, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t seed)>& experiment);
+
+}  // namespace dmap

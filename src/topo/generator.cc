@@ -1,0 +1,175 @@
+#include "topo/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace dmap {
+namespace {
+
+std::uint64_t EdgeKey(AsId a, AsId b) {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t(a) << 32) | b;
+}
+
+}  // namespace
+
+TopologyParams ScaledTopologyParams(std::uint32_t num_nodes,
+                                    std::uint64_t seed) {
+  TopologyParams p;
+  const double ratio = double(num_nodes) / double(p.num_nodes);
+  p.target_links = std::max<std::uint32_t>(
+      num_nodes, std::uint32_t(double(p.target_links) * ratio));
+  p.num_nodes = num_nodes;
+  p.core_size = std::max<std::uint32_t>(
+      4, std::min<std::uint32_t>(p.core_size,
+                                 std::max<std::uint32_t>(4, num_nodes / 50)));
+  p.seed = seed;
+  return p;
+}
+
+AsGraph GenerateInternetTopology(const TopologyParams& params) {
+  const std::uint32_t n = params.num_nodes;
+  const std::uint32_t core = params.core_size;
+  if (core < 2 || n < core) {
+    throw std::invalid_argument("topology: need num_nodes >= core_size >= 2");
+  }
+  const std::uint64_t core_links = std::uint64_t(core) * (core - 1) / 2;
+  // Every non-core node needs at least one attachment link.
+  if (params.target_links < core_links + (n - core)) {
+    throw std::invalid_argument("topology: target_links too small");
+  }
+  if (params.stub_fraction < 0 || params.stub_fraction >= 1) {
+    throw std::invalid_argument("topology: stub_fraction outside [0,1)");
+  }
+
+  Rng rng(params.seed);
+  std::vector<AsLink> links;
+  links.reserve(params.target_links);
+  std::unordered_set<std::uint64_t> edge_set;
+  edge_set.reserve(params.target_links * 2);
+
+  // Geographic embedding (optional): AS positions on the unit square.
+  std::vector<double> pos_x, pos_y;
+  if (params.geographic) {
+    pos_x.resize(n);
+    pos_y.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      pos_x[i] = rng.NextDouble();
+      pos_y[i] = rng.NextDouble();
+    }
+  }
+  const auto distance = [&](AsId a, AsId b) {
+    const double dx = pos_x[a] - pos_x[b];
+    const double dy = pos_y[a] - pos_y[b];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+
+  // Repeated-endpoint list: each node appears once per incident edge, so a
+  // uniform draw implements degree-proportional (preferential) attachment.
+  std::vector<AsId> endpoint_pool;
+  endpoint_pool.reserve(params.target_links * 2);
+
+  const auto sample_link_latency = [&](AsId a, AsId b) {
+    if (params.geographic) {
+      // Distance-proportional propagation plus equipment noise.
+      return 1.0 + distance(a, b) * params.geo_latency_per_unit_ms *
+                       rng.NextLogNormal(0.0, 0.25);
+    }
+    if (rng.NextBernoulli(params.long_haul_fraction)) {
+      return rng.NextLogNormal(params.long_haul_mu, params.long_haul_sigma);
+    }
+    return rng.NextLogNormal(params.link_latency_mu,
+                             params.link_latency_sigma);
+  };
+  const auto add_edge = [&](AsId a, AsId b) {
+    links.push_back(AsLink{a, b, sample_link_latency(a, b)});
+    edge_set.insert(EdgeKey(a, b));
+    endpoint_pool.push_back(a);
+    endpoint_pool.push_back(b);
+  };
+
+  // Degree-proportional target draw; under the geographic model the draw
+  // is additionally thinned by exp(-distance/reach) so ASs peer regionally
+  // (rejection sampling, with a cap to stay O(1) amortised).
+  const auto sample_target = [&](AsId from) {
+    AsId candidate =
+        endpoint_pool[std::size_t(rng.NextBounded(endpoint_pool.size()))];
+    if (!params.geographic) return candidate;
+    for (int tries = 0; tries < 64; ++tries) {
+      if (rng.NextBernoulli(
+              std::exp(-distance(from, candidate) / params.geo_reach))) {
+        return candidate;
+      }
+      candidate =
+          endpoint_pool[std::size_t(rng.NextBounded(endpoint_pool.size()))];
+    }
+    return candidate;  // fall back to plain preferential attachment
+  };
+
+  // 1. Fully meshed tier-1 core.
+  for (AsId a = 0; a < core; ++a) {
+    for (AsId b = a + 1; b < core; ++b) add_edge(a, b);
+  }
+
+  // 2. Grow the rest with preferential attachment. Stubs join with a single
+  //    link; transit ASes with two (extra density is added in step 3 so the
+  //    final link count is exact).
+  for (AsId node = core; node < n; ++node) {
+    const int m = rng.NextBernoulli(params.stub_fraction) ? 1 : 2;
+    int attached = 0;
+    // Collect the node's targets first so its own links don't feed back
+    // into the draw.
+    std::vector<AsId> targets;
+    while (attached < m) {
+      const AsId target = sample_target(node);
+      if (target == node || edge_set.contains(EdgeKey(node, target)) ||
+          std::find(targets.begin(), targets.end(), target) !=
+              targets.end()) {
+        continue;
+      }
+      targets.push_back(target);
+      ++attached;
+    }
+    for (const AsId t : targets) add_edge(node, t);
+  }
+
+  // 3. Top up to the exact target with preferential-preferential edges
+  //    between existing non-stub-biased endpoints (models peering links).
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = std::uint64_t(params.target_links) * 200;
+  while (links.size() < params.target_links) {
+    if (++attempts > max_attempts) {
+      throw std::runtime_error(
+          "topology: unable to place requested link count (graph too dense)");
+    }
+    const AsId a =
+        endpoint_pool[std::size_t(rng.NextBounded(endpoint_pool.size()))];
+    const AsId b = sample_target(a);
+    if (a == b || edge_set.contains(EdgeKey(a, b))) continue;
+    add_edge(a, b);
+  }
+
+  // 4. Per-AS intra latency (with pathological tail) and end-node weights.
+  std::vector<double> intra(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    intra[i] =
+        rng.NextLogNormal(params.intra_latency_mu, params.intra_latency_sigma);
+    // Core/transit ASs run dense internal networks; only stubs exhibit the
+    // pathological multi-second latencies seen in DIMES.
+    if (i >= core && rng.NextBernoulli(params.pathological_fraction)) {
+      intra[i] *= params.pathological_scale;
+    }
+  }
+  std::vector<double> end_nodes =
+      ZipfWeights(n, params.end_node_zipf_alpha, rng);
+
+  return AsGraph(n, links, std::move(intra), std::move(end_nodes));
+}
+
+}  // namespace dmap

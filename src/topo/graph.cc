@@ -1,0 +1,60 @@
+#include "topo/graph.h"
+
+#include <algorithm>
+
+namespace dmap {
+
+AsGraph::AsGraph(std::uint32_t num_nodes, std::span<const AsLink> links,
+                 std::vector<double> intra_latency_ms,
+                 std::vector<double> end_node_weight)
+    : num_nodes_(num_nodes),
+      links_(links.begin(), links.end()),
+      intra_latency_ms_(std::move(intra_latency_ms)),
+      end_node_weight_(std::move(end_node_weight)) {
+  if (intra_latency_ms_.size() != num_nodes_ ||
+      end_node_weight_.size() != num_nodes_) {
+    throw std::invalid_argument("AsGraph: per-node vector size mismatch");
+  }
+  for (const AsLink& link : links_) {
+    if (link.a >= num_nodes_ || link.b >= num_nodes_) {
+      throw std::invalid_argument("AsGraph: link endpoint out of range");
+    }
+    if (link.a == link.b) {
+      throw std::invalid_argument("AsGraph: self-loop");
+    }
+    if (link.latency_ms < 0) {
+      throw std::invalid_argument("AsGraph: negative latency");
+    }
+  }
+
+  // CSR construction: counting sort of directed half-edges.
+  offsets_.assign(num_nodes_ + 1, 0);
+  for (const AsLink& link : links_) {
+    ++offsets_[link.a + 1];
+    ++offsets_[link.b + 1];
+  }
+  for (std::uint32_t i = 0; i < num_nodes_; ++i) {
+    offsets_[i + 1] += offsets_[i];
+  }
+  adjacency_.resize(links_.size() * 2);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const AsLink& link : links_) {
+    adjacency_[cursor[link.a]++] = Neighbor{link.b, link.latency_ms};
+    adjacency_[cursor[link.b]++] = Neighbor{link.a, link.latency_ms};
+  }
+  for (std::uint32_t i = 0; i < num_nodes_; ++i) {
+    std::sort(adjacency_.begin() + offsets_[i],
+              adjacency_.begin() + offsets_[i + 1],
+              [](const Neighbor& x, const Neighbor& y) { return x.id < y.id; });
+  }
+}
+
+bool AsGraph::HasEdge(AsId a, AsId b) const {
+  const auto neighbors = Neighbors(a);
+  const auto it = std::lower_bound(
+      neighbors.begin(), neighbors.end(), b,
+      [](const Neighbor& n, AsId id) { return n.id < id; });
+  return it != neighbors.end() && it->id == b;
+}
+
+}  // namespace dmap

@@ -1,0 +1,27 @@
+// Topology serialization: a small line-oriented text format so generated
+// topologies can be saved once and replayed across experiment binaries
+// (keeping every figure on the identical network, as the paper does with its
+// fixed DIMES snapshot).
+//
+//   dmap-topology v1
+//   nodes <n>
+//   links <m>
+//   node <id> <intra_latency_ms> <end_node_weight>   (n lines)
+//   link <a> <b> <latency_ms>                         (m lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/graph.h"
+
+namespace dmap {
+
+void SaveTopology(const AsGraph& graph, std::ostream& out);
+void SaveTopologyToFile(const AsGraph& graph, const std::string& path);
+
+// Throws std::runtime_error with a line-number diagnostic on parse errors.
+AsGraph LoadTopology(std::istream& in);
+AsGraph LoadTopologyFromFile(const std::string& path);
+
+}  // namespace dmap

@@ -1,0 +1,94 @@
+#include "topo/jellyfish.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmap {
+
+std::vector<AsId> FindGreedyCore(const AsGraph& graph) {
+  if (graph.num_nodes() == 0) return {};
+  AsId root = 0;
+  for (AsId v = 1; v < graph.num_nodes(); ++v) {
+    if (graph.Degree(v) > graph.Degree(root)) root = v;
+  }
+
+  std::vector<AsId> candidates(graph.Neighbors(root).size());
+  std::transform(graph.Neighbors(root).begin(), graph.Neighbors(root).end(),
+                 candidates.begin(),
+                 [](const AsGraph::Neighbor& n) { return n.id; });
+  std::sort(candidates.begin(), candidates.end(), [&](AsId a, AsId b) {
+    return graph.Degree(a) != graph.Degree(b) ? graph.Degree(a) > graph.Degree(b)
+                                              : a < b;
+  });
+
+  std::vector<AsId> core{root};
+  for (const AsId cand : candidates) {
+    const bool adjacent_to_all =
+        std::all_of(core.begin(), core.end(),
+                    [&](AsId member) { return graph.HasEdge(cand, member); });
+    if (adjacent_to_all) core.push_back(cand);
+  }
+  std::sort(core.begin(), core.end());
+  return core;
+}
+
+JellyfishDecomposition DecomposeJellyfish(const AsGraph& graph) {
+  JellyfishDecomposition result;
+  result.core = FindGreedyCore(graph);
+  const std::uint32_t n = graph.num_nodes();
+
+  // Multi-source BFS from the core: distance-to-core per node.
+  constexpr std::uint16_t kUnset = 0xffff;
+  std::vector<std::uint16_t> dist(n, kUnset);
+  std::vector<AsId> frontier;
+  for (const AsId c : result.core) {
+    dist[c] = 0;
+    frontier.push_back(c);
+  }
+  std::vector<AsId> next_frontier;
+  std::uint16_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next_frontier.clear();
+    for (const AsId node : frontier) {
+      for (const auto& [next, latency] : graph.Neighbors(node)) {
+        (void)latency;
+        if (dist[next] == kUnset) {
+          dist[next] = depth;
+          next_frontier.push_back(next);
+        }
+      }
+    }
+    frontier.swap(next_frontier);
+  }
+
+  result.layer_of.assign(n, 0);
+  std::uint16_t max_layer = 0;
+  for (AsId v = 0; v < n; ++v) {
+    if (dist[v] == kUnset) {
+      throw std::invalid_argument("jellyfish: graph is not connected");
+    }
+    std::uint16_t layer;
+    if (dist[v] == 0) {
+      layer = 0;  // core
+    } else if (graph.Degree(v) == 1) {
+      // Hang-(j) at distance j + 1 belongs to Layer(j + 1); with
+      // dist = j + 1 that is simply Layer(dist).
+      layer = dist[v];
+    } else {
+      layer = dist[v];  // Shell-j -> Layer(j)
+    }
+    result.layer_of[v] = layer;
+    max_layer = std::max(max_layer, layer);
+  }
+
+  result.layer_size.assign(std::size_t(max_layer) + 1, 0);
+  for (AsId v = 0; v < n; ++v) ++result.layer_size[result.layer_of[v]];
+  result.layer_ratio.resize(result.layer_size.size());
+  for (std::size_t j = 0; j < result.layer_size.size(); ++j) {
+    result.layer_ratio[j] = double(result.layer_size[j]) / double(n);
+  }
+  return result;
+}
+
+}  // namespace dmap

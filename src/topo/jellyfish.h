@@ -1,0 +1,38 @@
+// Jellyfish decomposition of the AS graph (Tauro et al., GLOBECOM '01),
+// used by the paper's Section V analytical model. The node with the highest
+// degree roots a maximal clique (the "core", Shell-0); every other node is
+// classified by its distance to the core, with degree-1 nodes separated out
+// as "hangs" (stub connections):
+//   Layer(0) = Shell-0 (the core)
+//   Layer(j) = Shell-j  U  Hang-(j-1)   for j >= 1
+// where Shell-j holds intermediate nodes (degree > 1) at distance j and
+// Hang-j holds leaves at distance j + 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace dmap {
+
+struct JellyfishDecomposition {
+  std::vector<AsId> core;                // the Shell-0 clique
+  std::vector<std::uint16_t> layer_of;   // per node: its Layer index
+  std::vector<std::uint32_t> layer_size; // nodes per layer
+  std::vector<double> layer_ratio;       // r_j = |Layer(j)| / n
+
+  int num_layers() const { return int(layer_size.size()); }
+};
+
+// Greedy maximal clique containing the highest-degree node: neighbors are
+// considered in decreasing degree order and added when adjacent to every
+// member so far. (Maximum clique is NP-hard; the Jellyfish papers use
+// exactly this kind of greedy core.)
+std::vector<AsId> FindGreedyCore(const AsGraph& graph);
+
+// Full decomposition. Requires a connected graph (all generator outputs
+// are); throws std::invalid_argument if some node cannot reach the core.
+JellyfishDecomposition DecomposeJellyfish(const AsGraph& graph);
+
+}  // namespace dmap

@@ -1,0 +1,105 @@
+#include "topo/shortest_path.h"
+
+#include <limits>
+#include <queue>
+
+namespace dmap {
+
+std::vector<float> DijkstraLatency(const AsGraph& graph, AsId source) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  std::vector<float> dist(graph.num_nodes(), kInf);
+  dist[source] = 0;
+
+  using Item = std::pair<float, AsId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  heap.emplace(0.0f, source);
+  while (!heap.empty()) {
+    const auto [d, node] = heap.top();
+    heap.pop();
+    if (d > dist[node]) continue;  // stale entry
+    for (const auto& [next, latency] : graph.Neighbors(node)) {
+      const float nd = d + float(latency);
+      if (nd < dist[next]) {
+        dist[next] = nd;
+        heap.emplace(nd, next);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint16_t> BfsHops(const AsGraph& graph, AsId source) {
+  std::vector<std::uint16_t> hops(graph.num_nodes(), kUnreachableHops);
+  hops[source] = 0;
+  std::vector<AsId> frontier{source}, next_frontier;
+  std::uint16_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next_frontier.clear();
+    for (const AsId node : frontier) {
+      for (const auto& [next, latency] : graph.Neighbors(node)) {
+        (void)latency;
+        if (hops[next] == kUnreachableHops) {
+          hops[next] = depth;
+          next_frontier.push_back(next);
+        }
+      }
+    }
+    frontier.swap(next_frontier);
+  }
+  return hops;
+}
+
+template <typename T>
+const std::vector<T>* PathOracle::LruCache<T>::Find(AsId key) {
+  const auto it = index.find(key);
+  if (it == index.end()) return nullptr;
+  entries.splice(entries.begin(), entries, it->second);  // move to front
+  return &it->second->second;
+}
+
+template <typename T>
+const std::vector<T>& PathOracle::LruCache<T>::Insert(AsId key,
+                                                      std::vector<T> value) {
+  entries.emplace_front(key, std::move(value));
+  index[key] = entries.begin();
+  if (entries.size() > capacity) {
+    index.erase(entries.back().first);
+    entries.pop_back();
+  }
+  return entries.front().second;
+}
+
+PathOracle::PathOracle(const AsGraph& graph, std::size_t capacity)
+    : graph_(&graph) {
+  latency_cache_.capacity = capacity == 0 ? 1 : capacity;
+  hops_cache_.capacity = capacity == 0 ? 1 : capacity;
+}
+
+std::span<const float> PathOracle::LatenciesFrom(AsId src) {
+  if (const auto* hit = latency_cache_.Find(src)) return *hit;
+  ++dijkstra_runs_;
+  return latency_cache_.Insert(src, DijkstraLatency(*graph_, src));
+}
+
+std::span<const std::uint16_t> PathOracle::HopsFrom(AsId src) {
+  if (const auto* hit = hops_cache_.Find(src)) return *hit;
+  ++bfs_runs_;
+  return hops_cache_.Insert(src, BfsHops(*graph_, src));
+}
+
+double PathOracle::LinkLatencyMs(AsId src, AsId dst) {
+  return LatenciesFrom(src)[dst];
+}
+
+std::uint32_t PathOracle::Hops(AsId src, AsId dst) {
+  return HopsFrom(src)[dst];
+}
+
+double PathOracle::OneWayMs(AsId src, AsId dst) {
+  if (src == dst) return graph_->IntraLatencyMs(src);
+  return graph_->IntraLatencyMs(src) + LinkLatencyMs(src, dst) +
+         graph_->IntraLatencyMs(dst);
+}
+
+}  // namespace dmap

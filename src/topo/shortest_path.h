@@ -1,0 +1,81 @@
+// Single-source shortest paths over the AS graph, plus an LRU-cached oracle.
+// The evaluation needs RTT(src, dst) for millions of (query source, replica)
+// pairs; computing a full all-pairs matrix over 26k nodes is infeasible
+// (2.8 GB as floats and minutes of CPU), so the harness groups queries by
+// source AS and the oracle memoises per-source distance vectors with an LRU.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace dmap {
+
+// Dijkstra over link latencies. dist[v] = one-way latency (ms) over links
+// only — intra-AS components are added by the caller, matching the paper's
+// response-time decomposition. Unreachable nodes get +infinity.
+std::vector<float> DijkstraLatency(const AsGraph& graph, AsId source);
+
+// BFS hop counts (number of inter-AS links traversed). Unreachable nodes get
+// kUnreachableHops.
+constexpr std::uint16_t kUnreachableHops = 0xffff;
+std::vector<std::uint16_t> BfsHops(const AsGraph& graph, AsId source);
+
+// Memoising latency/hop oracle. Not thread-safe (the simulation is
+// single-threaded, like the paper's).
+class PathOracle {
+ public:
+  // `capacity` bounds the number of cached source vectors per metric;
+  // each vector costs ~4 bytes x num_nodes.
+  explicit PathOracle(const AsGraph& graph, std::size_t capacity = 64);
+
+  const AsGraph& graph() const { return *graph_; }
+
+  // One-way latency over links from src to dst, ms.
+  double LinkLatencyMs(AsId src, AsId dst);
+
+  // Hop count from src to dst.
+  std::uint32_t Hops(AsId src, AsId dst);
+
+  // Full vectors (valid until the next call that may evict).
+  std::span<const float> LatenciesFrom(AsId src);
+  std::span<const std::uint16_t> HopsFrom(AsId src);
+
+  // End-to-end one-way latency including both intra-AS components:
+  //   intra(src) + path(src, dst) + intra(dst);
+  // src == dst costs just intra(src), modelling a purely local resolution.
+  double OneWayMs(AsId src, AsId dst);
+
+  // Round-trip time: 2 x OneWayMs, the paper's query response time model.
+  double RttMs(AsId src, AsId dst) { return 2.0 * OneWayMs(src, dst); }
+
+  std::uint64_t dijkstra_runs() const { return dijkstra_runs_; }
+  std::uint64_t bfs_runs() const { return bfs_runs_; }
+
+ private:
+  template <typename T>
+  struct LruCache {
+    std::size_t capacity;
+    std::list<std::pair<AsId, std::vector<T>>> entries;
+    std::unordered_map<AsId,
+                       typename std::list<std::pair<AsId, std::vector<T>>>::
+                           iterator>
+        index;
+
+    // Returns nullptr on miss.
+    const std::vector<T>* Find(AsId key);
+    const std::vector<T>& Insert(AsId key, std::vector<T> value);
+  };
+
+  const AsGraph* graph_;
+  LruCache<float> latency_cache_;
+  LruCache<std::uint16_t> hops_cache_;
+  std::uint64_t dijkstra_runs_ = 0;
+  std::uint64_t bfs_runs_ = 0;
+};
+
+}  // namespace dmap

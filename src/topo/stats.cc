@@ -1,0 +1,70 @@
+#include "topo/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "topo/shortest_path.h"
+
+namespace dmap {
+
+TopologyStats ComputeTopologyStats(const AsGraph& graph, int path_samples,
+                                   Rng& rng) {
+  if (graph.num_nodes() == 0) {
+    throw std::invalid_argument("ComputeTopologyStats: empty graph");
+  }
+  TopologyStats stats;
+  stats.nodes = graph.num_nodes();
+  stats.links = graph.num_links();
+
+  std::vector<std::uint32_t> degrees(graph.num_nodes());
+  std::uint64_t degree_sum = 0;
+  std::uint32_t stubs = 0;
+  for (AsId v = 0; v < graph.num_nodes(); ++v) {
+    degrees[v] = graph.Degree(v);
+    degree_sum += degrees[v];
+    stats.max_degree = std::max(stats.max_degree, degrees[v]);
+    if (degrees[v] == 1) ++stubs;
+  }
+  stats.mean_degree = double(degree_sum) / double(graph.num_nodes());
+  stats.stub_fraction = double(stubs) / double(graph.num_nodes());
+
+  // Hill estimator over the top decile of degrees:
+  //   alpha = 1 + n / sum_i ln(d_i / d_min)
+  std::sort(degrees.rbegin(), degrees.rend());
+  const std::size_t tail = std::max<std::size_t>(10, degrees.size() / 10);
+  if (degrees.size() > tail && degrees[tail - 1] > 0) {
+    const double d_min = double(degrees[tail - 1]);
+    double log_sum = 0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < tail; ++i) {
+      if (degrees[i] > 0) {
+        log_sum += std::log(double(degrees[i]) / d_min);
+        ++counted;
+      }
+    }
+    if (log_sum > 0) {
+      stats.degree_powerlaw_alpha = 1.0 + double(counted) / log_sum;
+    }
+  }
+
+  // Sampled BFS for path lengths.
+  double hop_sum = 0;
+  std::uint64_t pair_count = 0;
+  for (int s = 0; s < path_samples; ++s) {
+    const AsId source = AsId(rng.NextBounded(graph.num_nodes()));
+    const auto hops = BfsHops(graph, source);
+    for (AsId v = 0; v < graph.num_nodes(); ++v) {
+      if (v == source || hops[v] == kUnreachableHops) continue;
+      hop_sum += double(hops[v]);
+      ++pair_count;
+      stats.diameter_lower_bound =
+          std::max(stats.diameter_lower_bound, std::uint32_t(hops[v]));
+    }
+  }
+  if (pair_count > 0) stats.mean_path_hops = hop_sum / double(pair_count);
+  return stats;
+}
+
+}  // namespace dmap

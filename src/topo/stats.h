@@ -1,0 +1,32 @@
+// Topology statistics: the measurable properties that let us check the
+// synthetic AS graph against published Internet measurements (DIMES/CAIDA):
+// power-law degree distribution with exponent ~2.1, mean AS-path length
+// ~3.5-4 hops, small diameter, a large degree-1 stub fraction.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "topo/graph.h"
+
+namespace dmap {
+
+struct TopologyStats {
+  std::uint32_t nodes = 0;
+  std::uint64_t links = 0;
+  double mean_degree = 0;
+  std::uint32_t max_degree = 0;
+  double stub_fraction = 0;       // degree-1 nodes
+  // Hill estimator of the power-law tail exponent alpha (degree >= k_min);
+  // the Internet's AS graph measures ~2.1.
+  double degree_powerlaw_alpha = 0;
+  // Estimated from `path_samples` random source BFS runs.
+  double mean_path_hops = 0;
+  std::uint32_t diameter_lower_bound = 0;  // max eccentricity seen
+};
+
+// `path_samples` BFS runs bound the cost on large graphs (each is O(V+E)).
+TopologyStats ComputeTopologyStats(const AsGraph& graph, int path_samples,
+                                   Rng& rng);
+
+}  // namespace dmap

@@ -1,0 +1,82 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmap {
+namespace {
+
+[[noreturn]] void ParseError(int line, const std::string& what) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+void SaveTrace(const std::vector<TraceOp>& ops, std::ostream& out) {
+  out << "dmap-trace v1\n";
+  for (const TraceOp& op : ops) {
+    if (const auto* ins = std::get_if<InsertOp>(&op)) {
+      out << "I " << ins->guid.ToHex() << " " << ins->na.as << " "
+          << ins->na.locator << "\n";
+    } else if (const auto* look = std::get_if<LookupOp>(&op)) {
+      out << "L " << look->guid.ToHex() << " " << look->source << "\n";
+    } else if (const auto* move = std::get_if<MoveOp>(&op)) {
+      out << "M " << move->guid.ToHex() << " " << move->new_na.as << " "
+          << move->new_na.locator << "\n";
+    }
+  }
+}
+
+void SaveTraceToFile(const std::vector<TraceOp>& ops,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  SaveTrace(ops, out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<TraceOp> LoadTrace(std::istream& in) {
+  std::vector<TraceOp> ops;
+  std::string line;
+  int line_no = 0;
+  if (!std::getline(in, line) || line != "dmap-trace v1") {
+    ParseError(1, "bad magic (expected 'dmap-trace v1')");
+  }
+  line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream s(line);
+    std::string kind, hex;
+    if (!(s >> kind >> hex)) ParseError(line_no, "truncated record");
+    Guid guid;
+    if (!Guid::FromHex(hex, &guid)) ParseError(line_no, "bad GUID hex");
+    if (kind == "I" || kind == "M") {
+      AsId as;
+      std::uint32_t locator;
+      if (!(s >> as >> locator)) ParseError(line_no, "bad NA fields");
+      if (kind == "I") {
+        ops.emplace_back(InsertOp{guid, NetworkAddress{as, locator}});
+      } else {
+        ops.emplace_back(MoveOp{guid, NetworkAddress{as, locator}});
+      }
+    } else if (kind == "L") {
+      AsId source;
+      if (!(s >> source)) ParseError(line_no, "bad source AS");
+      ops.emplace_back(LookupOp{guid, source});
+    } else {
+      ParseError(line_no, "unknown record kind '" + kind + "'");
+    }
+  }
+  return ops;
+}
+
+std::vector<TraceOp> LoadTraceFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return LoadTrace(in);
+}
+
+}  // namespace dmap

@@ -1,0 +1,30 @@
+// Trace record/replay: a line-oriented serialisation of workload operations
+// so experiments can be replayed bit-identically across binaries or shared
+// with others (the role the DIMES-derived traces play for the paper).
+//
+//   dmap-trace v1
+//   I <guid-hex> <as> <locator>     insert
+//   L <guid-hex> <source-as>        lookup
+//   M <guid-hex> <as> <locator>     move/update
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace dmap {
+
+using TraceOp = std::variant<InsertOp, LookupOp, MoveOp>;
+
+void SaveTrace(const std::vector<TraceOp>& ops, std::ostream& out);
+void SaveTraceToFile(const std::vector<TraceOp>& ops,
+                     const std::string& path);
+
+// Throws std::runtime_error with a line diagnostic on malformed input.
+std::vector<TraceOp> LoadTrace(std::istream& in);
+std::vector<TraceOp> LoadTraceFromFile(const std::string& path);
+
+}  // namespace dmap

@@ -1,0 +1,98 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmap {
+
+WorkloadGenerator::WorkloadGenerator(const AsGraph& graph,
+                                     const WorkloadParams& params)
+    : graph_(&graph),
+      params_(params),
+      rng_(params.seed),
+      source_sampler_(graph.end_node_weights()),
+      popularity_(params.num_guids, params.popularity_alpha,
+                  params.popularity_q) {
+  if (params.num_guids == 0) {
+    throw std::invalid_argument("workload: num_guids == 0");
+  }
+  if (params.num_guids > ~std::uint32_t{0}) {
+    throw std::invalid_argument("workload: num_guids too large");
+  }
+  rank_to_guid_.resize(params.num_guids);
+  for (std::uint32_t i = 0; i < rank_to_guid_.size(); ++i) {
+    rank_to_guid_[i] = i;
+  }
+  for (std::size_t i = rank_to_guid_.size(); i > 1; --i) {
+    std::swap(rank_to_guid_[i - 1],
+              rank_to_guid_[std::size_t(rng_.NextBounded(i))]);
+  }
+}
+
+Guid WorkloadGenerator::GuidAt(std::uint64_t index) const {
+  // Mix the seed in so two generators with different seeds produce disjoint
+  // GUID populations.
+  return Guid::FromSequence(index ^ (params_.seed * 0x9e3779b97f4a7c15ULL));
+}
+
+std::vector<InsertOp> WorkloadGenerator::Inserts(bool sort_by_source) {
+  attachment_.resize(params_.num_guids);
+  std::vector<InsertOp> ops;
+  ops.reserve(params_.num_guids);
+  for (std::uint64_t i = 0; i < params_.num_guids; ++i) {
+    const AsId as = SampleSourceAs();
+    attachment_[i] = as;
+    ops.push_back(InsertOp{GuidAt(i), NetworkAddress{as, next_locator_++}});
+  }
+  if (sort_by_source) {
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const InsertOp& a, const InsertOp& b) {
+                       return a.na.as < b.na.as;
+                     });
+  }
+  return ops;
+}
+
+std::vector<LookupOp> WorkloadGenerator::Lookups(std::uint64_t count,
+                                                 bool sort_by_source) {
+  std::vector<LookupOp> ops;
+  ops.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t rank = popularity_.Sample(rng_) - 1;  // to 0-based
+    ops.push_back(LookupOp{GuidAt(rank_to_guid_[rank]), SampleSourceAs()});
+  }
+  if (sort_by_source) {
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const LookupOp& a, const LookupOp& b) {
+                       return a.source < b.source;
+                     });
+  }
+  return ops;
+}
+
+std::vector<MoveOp> WorkloadGenerator::Moves(std::uint64_t count) {
+  std::vector<MoveOp> ops;
+  ops.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t guid_index = rng_.NextBounded(params_.num_guids);
+    AsId new_as = SampleSourceAs();
+    // Re-draw once if the host "moved" to its current AS; a same-AS move is
+    // legal but uninteresting for update-latency measurements.
+    if (!attachment_.empty() && new_as == attachment_[guid_index]) {
+      new_as = SampleSourceAs();
+    }
+    if (!attachment_.empty()) attachment_[guid_index] = new_as;
+    ops.push_back(MoveOp{GuidAt(guid_index),
+                         NetworkAddress{new_as, next_locator_++}});
+  }
+  return ops;
+}
+
+AsId WorkloadGenerator::AttachmentOf(std::uint64_t index) const {
+  if (index >= attachment_.size()) {
+    throw std::out_of_range("AttachmentOf: call Inserts() first");
+  }
+  return attachment_[index];
+}
+
+}  // namespace dmap

@@ -1,0 +1,84 @@
+// Workload generation following Section IV-B-1:
+//  * each GUID originates from a source AS drawn with probability
+//    proportional to the AS's end-node count;
+//  * lookup targets follow a Mandelbrot-Zipf popularity distribution
+//    (alpha = 1.02, q = 100) over GUID ranks;
+//  * lookup sources are again end-node weighted;
+//  * a mobility stream moves hosts between ASs for the update experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/guid.h"
+#include "common/rng.h"
+#include "common/sampler.h"
+#include "common/zipf.h"
+#include "core/mapping.h"
+#include "topo/graph.h"
+
+namespace dmap {
+
+struct WorkloadParams {
+  std::uint64_t num_guids = 100'000;
+  std::uint64_t num_lookups = 1'000'000;
+  double popularity_alpha = 1.02;  // Mandelbrot-Zipf skew
+  double popularity_q = 100.0;     // Mandelbrot-Zipf plateau
+  std::uint64_t seed = 1;
+};
+
+struct InsertOp {
+  Guid guid;
+  NetworkAddress na;
+};
+
+struct LookupOp {
+  Guid guid;
+  AsId source;
+};
+
+struct MoveOp {
+  Guid guid;
+  NetworkAddress new_na;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const AsGraph& graph, const WorkloadParams& params);
+
+  const WorkloadParams& params() const { return params_; }
+
+  // GUID of rank/index i (deterministic across runs with equal seeds).
+  Guid GuidAt(std::uint64_t index) const;
+
+  // One insert per GUID; source AS end-node weighted. Sorted by source AS
+  // when `sort_by_source` so the latency oracle's per-source cache hits.
+  std::vector<InsertOp> Inserts(bool sort_by_source = true);
+
+  // `count` lookups, targets by popularity, sources end-node weighted.
+  std::vector<LookupOp> Lookups(std::uint64_t count,
+                                bool sort_by_source = true);
+
+  // `count` mobility events: a random host re-attaches to a different,
+  // end-node-weighted AS.
+  std::vector<MoveOp> Moves(std::uint64_t count);
+
+  // The attachment AS assigned to GUID index i by Inserts().
+  AsId AttachmentOf(std::uint64_t index) const;
+
+ private:
+  AsId SampleSourceAs() { return AsId(source_sampler_.Sample(rng_)); }
+
+  const AsGraph* graph_;
+  WorkloadParams params_;
+  Rng rng_;
+  AliasSampler source_sampler_;
+  MandelbrotZipf popularity_;
+  // Popularity rank r (0-based) -> GUID index; a fixed random permutation
+  // so that popularity is uncorrelated with insertion order.
+  std::vector<std::uint32_t> rank_to_guid_;
+  std::vector<AsId> attachment_;  // filled by Inserts()
+  std::uint32_t next_locator_ = 1;
+};
+
+}  // namespace dmap

@@ -1,0 +1,88 @@
+#include "analysis/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dmap {
+namespace {
+
+TEST(MM1Test, KnownValues) {
+  // lambda = 300k/s, mu = 500k/s: rho = 0.6, W = 1/200k s = 5 us.
+  const MM1Stats s = AnalyzeMM1(300'000, 500'000);
+  EXPECT_TRUE(s.stable);
+  EXPECT_DOUBLE_EQ(s.utilization, 0.6);
+  EXPECT_NEAR(s.mean_sojourn_ms, 0.005, 1e-9);
+  EXPECT_NEAR(s.p95_sojourn_ms, -std::log(0.05) * 0.005, 1e-9);
+}
+
+TEST(MM1Test, OverloadIsUnstable) {
+  const MM1Stats s = AnalyzeMM1(600'000, 500'000);
+  EXPECT_FALSE(s.stable);
+  EXPECT_GT(s.utilization, 1.0);
+  EXPECT_TRUE(std::isinf(s.mean_sojourn_ms));
+}
+
+TEST(MM1Test, ZeroArrivalsIsPureService) {
+  const MM1Stats s = AnalyzeMM1(0, 500'000);
+  EXPECT_TRUE(s.stable);
+  EXPECT_NEAR(s.mean_sojourn_ms, 0.002, 1e-9);  // 1/mu
+}
+
+TEST(MM1Test, Validation) {
+  EXPECT_THROW(AnalyzeMM1(1, 0), std::invalid_argument);
+  EXPECT_THROW(AnalyzeMM1(-1, 10), std::invalid_argument);
+}
+
+TEST(ServerLoadTest, PaperScaleIsComfortablyNegligible) {
+  // Section IV-B's assumption, quantified: at the paper's update rate and
+  // a 1M queries/s global stream over 26,424 ASs, even the hottest server
+  // (NLR 1.6) sits at trivial utilization and sub-millisecond p95.
+  const std::vector<double> nlr{0.8, 0.9, 1.0, 1.1, 1.6};
+  ServerLoadParams params;
+  const ServerLoadReport r = AnalyzeServerLoad(params, nlr, 26424);
+  EXPECT_TRUE(r.mean_server.stable);
+  EXPECT_TRUE(r.hottest_server.stable);
+  EXPECT_LT(r.hottest_server.utilization, 0.01);
+  EXPECT_LT(r.hottest_server.p95_sojourn_ms, 0.01);
+  // And there is enormous headroom before the 1 ms p95 line.
+  EXPECT_GT(r.max_global_queries_per_s, 1e9);
+}
+
+TEST(ServerLoadTest, HotterNlrMeansHotterServer) {
+  ServerLoadParams params;
+  const std::vector<double> flat{1.0, 1.0, 1.0};
+  const std::vector<double> skewed{0.5, 1.0, 4.0};
+  const auto r_flat = AnalyzeServerLoad(params, flat, 1000);
+  const auto r_skew = AnalyzeServerLoad(params, skewed, 1000);
+  EXPECT_GT(r_skew.max_arrival_per_s, r_flat.max_arrival_per_s * 2);
+  EXPECT_LT(r_skew.max_global_queries_per_s,
+            r_flat.max_global_queries_per_s);
+}
+
+TEST(ServerLoadTest, UpdatesScaleWithReplicas) {
+  ServerLoadParams k1;
+  k1.replicas = 1;
+  ServerLoadParams k5;
+  k5.replicas = 5;
+  const std::vector<double> nlr{1.0};
+  const auto r1 = AnalyzeServerLoad(k1, nlr, 1000);
+  const auto r5 = AnalyzeServerLoad(k5, nlr, 1000);
+  const double updates1 = r1.mean_arrival_per_s - k1.global_queries_per_s / 1000;
+  const double updates5 = r5.mean_arrival_per_s - k5.global_queries_per_s / 1000;
+  EXPECT_NEAR(updates5, 5 * updates1, updates1 * 1e-9);
+}
+
+TEST(ServerLoadTest, Validation) {
+  const std::vector<double> nlr{1.0};
+  EXPECT_THROW(AnalyzeServerLoad(ServerLoadParams{}, nlr, 0),
+               std::invalid_argument);
+  EXPECT_THROW(AnalyzeServerLoad(ServerLoadParams{}, {}, 10),
+               std::invalid_argument);
+  const std::vector<double> bad{0.0, 0.0};
+  EXPECT_THROW(AnalyzeServerLoad(ServerLoadParams{}, bad, 10),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/central_directory.h"
+#include "baseline/chord_dht.h"
+#include "baseline/home_agent.h"
+#include "baseline/resolver.h"
+#include "sim/environment.h"
+
+namespace dmap {
+namespace {
+
+class BaselineTest : public testing::Test {
+ protected:
+  BaselineTest()
+      : env_(BuildEnvironment(EnvironmentParams::Scaled(400))),
+        oracle_(env_.graph) {}
+
+  SimEnvironment env_;
+  PathOracle oracle_;
+};
+
+TEST_F(BaselineTest, ChordStoresAtSuccessorAndResolves) {
+  ChordDht dht(env_.graph, oracle_);
+  const Guid g = Guid::FromSequence(1);
+  const UpdateResult up = dht.Insert(g, NetworkAddress{10, 1});
+  EXPECT_EQ(up.replicas.size(), 1u);
+  EXPECT_EQ(up.replicas[0], dht.OwnerOf(g));
+  const LookupResult r = dht.Lookup(g, 200);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.nas.AttachedTo(10));
+  EXPECT_EQ(r.serving_as, dht.OwnerOf(g));
+}
+
+TEST_F(BaselineTest, ChordUnknownGuidStillPaysRouting) {
+  ChordDht dht(env_.graph, oracle_);
+  const LookupResult r = dht.Lookup(Guid::FromSequence(2), 100);
+  EXPECT_FALSE(r.found);
+  EXPECT_GT(r.latency_ms, 0.0);
+}
+
+TEST_F(BaselineTest, ChordRouteIsLogarithmic) {
+  ChordDht dht(env_.graph, oracle_);
+  // log2(400) ~ 8.6; the positional-finger walk takes at most ~2 log2 N.
+  double total_hops = 0;
+  constexpr int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    const auto route = dht.Route(AsId(i % 400), g.Fingerprint64());
+    EXPECT_LE(route.size(), 2 * std::size_t(std::log2(400)) + 2);
+    EXPECT_EQ(route.back(), dht.OwnerOf(g));
+    total_hops += double(route.size());
+  }
+  EXPECT_GT(total_hops / kTrials, 3.0);  // genuinely multi-hop on average
+}
+
+TEST_F(BaselineTest, ChordRouteFromOwnerIsDirect) {
+  ChordDht dht(env_.graph, oracle_);
+  const Guid g = Guid::FromSequence(3);
+  const AsId owner = dht.OwnerOf(g);
+  const auto route = dht.Route(owner, g.Fingerprint64());
+  EXPECT_EQ(route.size(), 1u);
+  EXPECT_EQ(route.back(), owner);
+}
+
+TEST_F(BaselineTest, ChordLookupSlowerThanDirectRtt) {
+  // The DHT's multi-hop cost must exceed the one-hop RTT to the owner —
+  // the gap DMap's single-overlay-hop design eliminates.
+  ChordDht dht(env_.graph, oracle_);
+  const Guid g = Guid::FromSequence(4);
+  dht.Insert(g, NetworkAddress{10, 1});
+  const AsId querier = 333;
+  const LookupResult r = dht.Lookup(g, querier);
+  const double direct = oracle_.RttMs(querier, dht.OwnerOf(g));
+  EXPECT_GE(r.latency_ms, direct);
+}
+
+TEST_F(BaselineTest, HomeAgentPinsHomeAtFirstInsert) {
+  HomeAgent agent(oracle_);
+  const Guid g = Guid::FromSequence(5);
+  agent.Insert(g, NetworkAddress{10, 1});
+  EXPECT_EQ(agent.HomeOf(g), 10u);
+  // The host moves; home stays.
+  agent.Update(g, NetworkAddress{300, 2});
+  EXPECT_EQ(agent.HomeOf(g), 10u);
+  const LookupResult r = agent.Lookup(g, 250);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.nas.AttachedTo(300));
+  EXPECT_EQ(r.serving_as, 10u);
+  EXPECT_DOUBLE_EQ(r.latency_ms, oracle_.RttMs(250, 10));
+}
+
+TEST_F(BaselineTest, HomeAgentUpdateOfUnknownThrows) {
+  HomeAgent agent(oracle_);
+  EXPECT_THROW(agent.Update(Guid::FromSequence(6), NetworkAddress{1, 1}),
+               std::invalid_argument);
+  EXPECT_EQ(agent.HomeOf(Guid::FromSequence(6)), kInvalidAs);
+}
+
+TEST_F(BaselineTest, CentralDirectoryAlwaysHitsServer) {
+  CentralDirectory central(oracle_, 0);
+  const Guid g = Guid::FromSequence(7);
+  const UpdateResult up = central.Insert(g, NetworkAddress{100, 1});
+  EXPECT_DOUBLE_EQ(up.latency_ms, oracle_.RttMs(100, 0));
+  const LookupResult r = central.Lookup(g, 399);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.serving_as, 0u);
+  EXPECT_DOUBLE_EQ(r.latency_ms, oracle_.RttMs(399, 0));
+  EXPECT_FALSE(central.Lookup(Guid::FromSequence(8), 399).found);
+}
+
+TEST_F(BaselineTest, PolymorphicUseThroughInterface) {
+  DMapOptions options;
+  options.k = 3;
+  std::vector<std::unique_ptr<NameResolver>> resolvers;
+  resolvers.push_back(
+      std::make_unique<DMapResolver>(env_.graph, env_.table, options));
+  resolvers.push_back(std::make_unique<ChordDht>(env_.graph, oracle_));
+  resolvers.push_back(std::make_unique<HomeAgent>(oracle_));
+  resolvers.push_back(std::make_unique<CentralDirectory>(oracle_, 0));
+
+  const Guid g = Guid::FromSequence(9);
+  for (const auto& resolver : resolvers) {
+    resolver->Insert(g, NetworkAddress{50, 1});
+    const LookupResult r = resolver->Lookup(g, 200);
+    ASSERT_TRUE(r.found) << resolver->name();
+    EXPECT_TRUE(r.nas.AttachedTo(50)) << resolver->name();
+    EXPECT_FALSE(resolver->name().empty());
+  }
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,96 @@
+#include "bgp/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgp/prefix_gen.h"
+#include "common/rng.h"
+
+namespace dmap {
+namespace {
+
+TEST(PrefixTableIoTest, RoundTripGeneratedTable) {
+  PrefixGenParams params;
+  params.num_ases = 200;
+  params.seed = 9;
+  const PrefixTable original = GeneratePrefixTable(params);
+
+  std::stringstream buffer;
+  SavePrefixTable(original, buffer);
+  const PrefixTable loaded = LoadPrefixTable(buffer);
+
+  ASSERT_EQ(loaded.num_prefixes(), original.num_prefixes());
+  EXPECT_EQ(loaded.announced_addresses(), original.announced_addresses());
+  // Differential probes: identical LPM everywhere.
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const Ipv4Address addr(std::uint32_t(rng.Next()));
+    const auto a = original.Lookup(addr);
+    const auto b = loaded.Lookup(addr);
+    ASSERT_EQ(a.has_value(), b.has_value()) << addr.ToString();
+    if (a) {
+      EXPECT_EQ(a->prefix, b->prefix);
+      EXPECT_EQ(a->owner, b->owner);
+    }
+  }
+}
+
+TEST(PrefixTableIoTest, NestedPrefixesSurvive) {
+  PrefixTable table;
+  Cidr c;
+  ASSERT_TRUE(Cidr::Parse("8.0.0.0/8", &c));
+  table.Announce(c, 1);
+  ASSERT_TRUE(Cidr::Parse("8.8.0.0/16", &c));
+  table.Announce(c, 2);
+
+  std::stringstream buffer;
+  SavePrefixTable(table, buffer);
+  const PrefixTable loaded = LoadPrefixTable(buffer);
+  Ipv4Address addr;
+  ASSERT_TRUE(Ipv4Address::Parse("8.8.1.1", &addr));
+  EXPECT_EQ(loaded.Lookup(addr)->owner, 2u);
+  ASSERT_TRUE(Ipv4Address::Parse("8.1.1.1", &addr));
+  EXPECT_EQ(loaded.Lookup(addr)->owner, 1u);
+}
+
+TEST(PrefixTableIoTest, EmptyTableRoundTrips) {
+  std::stringstream buffer;
+  SavePrefixTable(PrefixTable{}, buffer);
+  EXPECT_EQ(LoadPrefixTable(buffer).num_prefixes(), 0u);
+}
+
+TEST(PrefixTableIoTest, RejectsMalformedInput) {
+  {
+    std::stringstream s("wrong magic\n");
+    EXPECT_THROW(LoadPrefixTable(s), std::runtime_error);
+  }
+  {
+    std::stringstream s("dmap-prefixes v1\nprefixes 1\n");
+    EXPECT_THROW(LoadPrefixTable(s), std::runtime_error);  // truncated
+  }
+  {
+    std::stringstream s("dmap-prefixes v1\nprefixes 1\nprefix nonsense 3\n");
+    EXPECT_THROW(LoadPrefixTable(s), std::runtime_error);
+  }
+  {
+    std::stringstream s(
+        "dmap-prefixes v1\nprefixes 2\n"
+        "prefix 8.0.0.0/8 1\nprefix 8.0.0.0/8 2\n");
+    EXPECT_THROW(LoadPrefixTable(s), std::runtime_error);  // duplicate
+  }
+}
+
+TEST(PrefixTableIoTest, FileRoundTrip) {
+  PrefixTable table;
+  Cidr c;
+  ASSERT_TRUE(Cidr::Parse("1.0.0.0/8", &c));
+  table.Announce(c, 7);
+  const std::string path = testing::TempDir() + "/prefixes_test.txt";
+  SavePrefixTableToFile(table, path);
+  EXPECT_EQ(LoadPrefixTableFromFile(path).num_prefixes(), 1u);
+  EXPECT_THROW(LoadPrefixTableFromFile("/no/such/file"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dmap

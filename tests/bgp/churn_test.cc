@@ -1,0 +1,141 @@
+#include "bgp/churn.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/prefix_gen.h"
+
+namespace dmap {
+namespace {
+
+PrefixTable SmallTable() {
+  PrefixGenParams p;
+  p.num_ases = 100;
+  p.seed = 21;
+  return GeneratePrefixTable(p);
+}
+
+TEST(ChurnTest, PlanSizesMatchFractions) {
+  const PrefixTable table = SmallTable();
+  Rng rng(1);
+  ChurnParams params;
+  params.withdraw_fraction = 0.02;
+  params.announce_fraction = 0.01;
+  params.num_ases = 100;
+  const ChurnPlan plan = SampleChurn(table, params, rng);
+  EXPECT_EQ(plan.withdrawals.size(),
+            std::size_t(0.02 * double(table.num_prefixes())));
+  EXPECT_EQ(plan.announcements.size(),
+            std::size_t(0.01 * double(table.num_prefixes())));
+}
+
+TEST(ChurnTest, WithdrawalsAreDistinctAndPresent) {
+  const PrefixTable table = SmallTable();
+  Rng rng(2);
+  ChurnParams params;
+  params.withdraw_fraction = 0.05;
+  params.num_ases = 100;
+  const ChurnPlan plan = SampleChurn(table, params, rng);
+  for (std::size_t i = 0; i < plan.withdrawals.size(); ++i) {
+    EXPECT_TRUE(table.Lookup(plan.withdrawals[i].prefix.First()).has_value());
+    for (std::size_t j = i + 1; j < plan.withdrawals.size(); ++j) {
+      EXPECT_NE(plan.withdrawals[i].prefix, plan.withdrawals[j].prefix);
+    }
+  }
+}
+
+TEST(ChurnTest, AnnouncementsLandInHoles) {
+  const PrefixTable table = SmallTable();
+  Rng rng(3);
+  ChurnParams params;
+  params.announce_fraction = 0.01;
+  params.num_ases = 100;
+  const ChurnPlan plan = SampleChurn(table, params, rng);
+  for (const PrefixRecord& r : plan.announcements) {
+    EXPECT_EQ(r.prefix.length(), 24);
+    EXPECT_FALSE(table.Lookup(r.prefix.First()).has_value());
+    EXPECT_FALSE(table.Lookup(r.prefix.Last()).has_value());
+    EXPECT_LT(r.owner, 100u);
+  }
+}
+
+TEST(ChurnTest, ApplyChangesTable) {
+  PrefixTable table = SmallTable();
+  const std::size_t before = table.num_prefixes();
+  Rng rng(4);
+  ChurnParams params;
+  params.withdraw_fraction = 0.02;
+  params.announce_fraction = 0.02;
+  params.num_ases = 100;
+  const ChurnPlan plan = SampleChurn(table, params, rng);
+  ApplyChurn(table, plan);
+  EXPECT_EQ(table.num_prefixes(), before - plan.withdrawals.size() +
+                                      plan.announcements.size());
+  // Withdrawn space is gone; announced space is live.
+  for (const PrefixRecord& r : plan.withdrawals) {
+    const auto hit = table.Lookup(r.prefix.First());
+    if (hit) EXPECT_NE(hit->prefix, r.prefix);
+  }
+  for (const PrefixRecord& r : plan.announcements) {
+    const auto hit = table.Lookup(r.prefix.First());
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->owner, r.owner);
+  }
+}
+
+TEST(ChurnTest, ApplyMismatchedPlanThrows) {
+  PrefixTable table = SmallTable();
+  ChurnPlan bogus;
+  bogus.withdrawals.push_back(
+      PrefixRecord{Cidr(Ipv4Address::FromOctets(127, 0, 0, 0), 8), 1});
+  EXPECT_THROW(ApplyChurn(table, bogus), std::logic_error);
+
+  ChurnPlan collision;
+  collision.announcements.push_back(table.AllPrefixes().front());
+  EXPECT_THROW(ApplyChurn(table, collision), std::logic_error);
+}
+
+TEST(ChurnTest, SpaceWeightedWithdrawalCoversRequestedFraction) {
+  const PrefixTable table = SmallTable();
+  Rng rng(7);
+  ChurnParams params;
+  params.withdraw_space_fraction = 0.05;
+  params.num_ases = 100;
+  const ChurnPlan plan = SampleChurn(table, params, rng);
+  std::uint64_t covered = 0;
+  for (const PrefixRecord& r : plan.withdrawals) covered += r.prefix.Size();
+  const double fraction =
+      double(covered) / double(table.announced_addresses());
+  // At least the target, with overshoot bounded by the largest block.
+  EXPECT_GE(fraction, 0.05);
+  EXPECT_LT(fraction, 0.07);
+}
+
+TEST(ChurnTest, SpaceAndCountFractionsAreExclusive) {
+  const PrefixTable table = SmallTable();
+  Rng rng(8);
+  ChurnParams params;
+  params.withdraw_fraction = 0.01;
+  params.withdraw_space_fraction = 0.01;
+  EXPECT_THROW(SampleChurn(table, params, rng), std::invalid_argument);
+}
+
+TEST(ChurnTest, ZeroChurnIsEmptyPlan) {
+  const PrefixTable table = SmallTable();
+  Rng rng(5);
+  const ChurnPlan plan = SampleChurn(table, ChurnParams{}, rng);
+  EXPECT_TRUE(plan.withdrawals.empty());
+  EXPECT_TRUE(plan.announcements.empty());
+}
+
+TEST(ChurnTest, BadFractionsThrow) {
+  const PrefixTable table = SmallTable();
+  Rng rng(6);
+  ChurnParams params;
+  params.withdraw_fraction = -0.1;
+  EXPECT_THROW(SampleChurn(table, params, rng), std::invalid_argument);
+  params.withdraw_fraction = 1.5;
+  EXPECT_THROW(SampleChurn(table, params, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmap

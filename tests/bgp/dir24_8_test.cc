@@ -1,0 +1,115 @@
+#include "bgp/dir24_8.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/prefix_gen.h"
+#include "common/rng.h"
+
+namespace dmap {
+namespace {
+
+Cidr C(const std::string& text) {
+  Cidr c;
+  EXPECT_TRUE(Cidr::Parse(text, &c)) << text;
+  return c;
+}
+
+Ipv4Address A(const std::string& text) {
+  Ipv4Address a;
+  EXPECT_TRUE(Ipv4Address::Parse(text, &a)) << text;
+  return a;
+}
+
+TEST(Dir24_8Test, EmptyTableIsAllHoles) {
+  PrefixTable table;
+  const Dir24_8 fast(table);
+  EXPECT_EQ(fast.Lookup(A("1.2.3.4")), kInvalidAs);
+  EXPECT_EQ(fast.num_long_chunks(), 0u);
+}
+
+TEST(Dir24_8Test, ShortPrefixesUseBaseTableOnly) {
+  PrefixTable table;
+  table.Announce(C("8.0.0.0/8"), 1);
+  table.Announce(C("9.64.0.0/10"), 2);
+  const Dir24_8 fast(table);
+  EXPECT_EQ(fast.Lookup(A("8.200.1.1")), 1u);
+  EXPECT_EQ(fast.Lookup(A("9.100.0.0")), 2u);
+  EXPECT_EQ(fast.Lookup(A("9.0.0.0")), kInvalidAs);
+  EXPECT_EQ(fast.num_long_chunks(), 0u);
+}
+
+TEST(Dir24_8Test, NestedShortPrefixesFollowLpm) {
+  PrefixTable table;
+  table.Announce(C("8.0.0.0/8"), 1);
+  table.Announce(C("8.8.0.0/16"), 2);
+  table.Announce(C("8.8.8.0/24"), 3);
+  const Dir24_8 fast(table);
+  EXPECT_EQ(fast.Lookup(A("8.1.1.1")), 1u);
+  EXPECT_EQ(fast.Lookup(A("8.8.1.1")), 2u);
+  EXPECT_EQ(fast.Lookup(A("8.8.8.200")), 3u);
+}
+
+TEST(Dir24_8Test, LongPrefixesEscapeToChunks) {
+  PrefixTable table;
+  table.Announce(C("10.0.0.0/24"), 1);  // note: test table, not reserved here
+  table.Announce(C("10.0.0.128/25"), 2);
+  table.Announce(C("10.0.0.192/26"), 3);
+  table.Announce(C("10.0.0.7/32"), 4);
+  const Dir24_8 fast(table);
+  EXPECT_EQ(fast.num_long_chunks(), 1u);  // all share one /24 block
+  EXPECT_EQ(fast.Lookup(A("10.0.0.1")), 1u);
+  EXPECT_EQ(fast.Lookup(A("10.0.0.7")), 4u);
+  EXPECT_EQ(fast.Lookup(A("10.0.0.130")), 2u);
+  EXPECT_EQ(fast.Lookup(A("10.0.0.200")), 3u);
+  EXPECT_EQ(fast.Lookup(A("10.0.1.1")), kInvalidAs);
+}
+
+TEST(Dir24_8Test, LongPrefixWithoutCoveringShortOne) {
+  PrefixTable table;
+  table.Announce(C("1.2.3.128/25"), 9);
+  const Dir24_8 fast(table);
+  EXPECT_EQ(fast.Lookup(A("1.2.3.200")), 9u);
+  EXPECT_EQ(fast.Lookup(A("1.2.3.1")), kInvalidAs);  // other half is a hole
+}
+
+TEST(Dir24_8Test, AgreesWithTrieOnGeneratedTable) {
+  PrefixGenParams params;
+  params.num_ases = 300;
+  params.seed = 11;
+  const PrefixTable table = GeneratePrefixTable(params);
+  const Dir24_8 fast(table);
+
+  Rng rng(5);
+  for (int i = 0; i < 200000; ++i) {
+    const Ipv4Address addr(std::uint32_t(rng.Next()));
+    const auto slow = table.Lookup(addr);
+    const AsId want = slow ? slow->owner : kInvalidAs;
+    ASSERT_EQ(fast.Lookup(addr), want) << addr.ToString();
+  }
+}
+
+TEST(Dir24_8Test, AgreesWithTrieUnderNesting) {
+  // Random nested announcements, including >24 lengths, probed at block
+  // edges where the chunk logic can be off by one.
+  Rng rng(6);
+  PrefixTable table;
+  for (int i = 0; i < 500; ++i) {
+    const int length = int(rng.NextInRange(8, 32));
+    table.Announce(Cidr(Ipv4Address(std::uint32_t(rng.Next())), length),
+                   AsId(rng.NextBounded(50)));
+  }
+  const Dir24_8 fast(table);
+  for (const PrefixRecord& record : table.AllPrefixes()) {
+    for (const Ipv4Address addr :
+         {record.prefix.First(), record.prefix.Last(),
+          Ipv4Address(record.prefix.First().value() +
+                      std::uint32_t(record.prefix.Size() / 2))}) {
+      const auto slow = table.Lookup(addr);
+      ASSERT_TRUE(slow.has_value());
+      EXPECT_EQ(fast.Lookup(addr), slow->owner) << addr.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,127 @@
+#include "bgp/prefix_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dmap {
+namespace {
+
+PrefixGenParams SmallParams(std::uint32_t ases = 200) {
+  PrefixGenParams p;
+  p.num_ases = ases;
+  p.seed = 5;
+  return p;
+}
+
+TEST(PrefixGenTest, HitsAnnouncedFractionTarget) {
+  const PrefixTable table = GeneratePrefixTable(SmallParams());
+  EXPECT_NEAR(table.announced_fraction(), 0.52, 0.02);
+}
+
+TEST(PrefixGenTest, CustomFraction) {
+  PrefixGenParams p = SmallParams();
+  p.announced_fraction = 0.30;
+  const PrefixTable table = GeneratePrefixTable(p);
+  EXPECT_NEAR(table.announced_fraction(), 0.30, 0.02);
+}
+
+TEST(PrefixGenTest, EveryAsAnnouncesSomething) {
+  const PrefixGenParams p = SmallParams();
+  const PrefixTable table = GeneratePrefixTable(p);
+  for (AsId as = 0; as < p.num_ases; ++as) {
+    EXPECT_GT(table.AddressesOwnedBy(as), 0u) << "AS " << as;
+  }
+}
+
+TEST(PrefixGenTest, ReservedRangesNeverAnnounced) {
+  const PrefixTable table = GeneratePrefixTable(SmallParams());
+  for (const Cidr& reserved : ReservedRanges()) {
+    EXPECT_FALSE(table.Lookup(reserved.First()).has_value())
+        << reserved.ToString();
+    EXPECT_FALSE(table.Lookup(reserved.Last()).has_value())
+        << reserved.ToString();
+    // Sample the middle too.
+    const Ipv4Address mid(reserved.base().value() +
+                          std::uint32_t(reserved.Size() / 2));
+    EXPECT_FALSE(table.Lookup(mid).has_value()) << reserved.ToString();
+  }
+}
+
+TEST(PrefixGenTest, PrefixesAreNonOverlapping) {
+  const PrefixTable table = GeneratePrefixTable(SmallParams());
+  const auto all = table.AllPrefixes();
+  // ForEachPrefix yields increasing base order; adjacent blocks must not
+  // overlap (the generator allocates disjoint blocks).
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GT(all[i].prefix.First().value(),
+              all[i - 1].prefix.Last().value())
+        << all[i - 1].prefix.ToString() << " overlaps "
+        << all[i].prefix.ToString();
+  }
+}
+
+TEST(PrefixGenTest, ShareIsHeavyTailed) {
+  const PrefixGenParams p = SmallParams(500);
+  const PrefixTable table = GeneratePrefixTable(p);
+  std::vector<std::uint64_t> shares;
+  for (AsId as = 0; as < p.num_ases; ++as) {
+    shares.push_back(table.AddressesOwnedBy(as));
+  }
+  std::sort(shares.begin(), shares.end());
+  // Top 10% of ASs own far more than the bottom 10%.
+  std::uint64_t top = 0, bottom = 0;
+  for (std::size_t i = 0; i < shares.size() / 10; ++i) {
+    bottom += shares[i];
+    top += shares[shares.size() - 1 - i];
+  }
+  EXPECT_GT(top, bottom * 5);
+}
+
+TEST(PrefixGenTest, DeterministicForSeed) {
+  const PrefixTable a = GeneratePrefixTable(SmallParams());
+  const PrefixTable b = GeneratePrefixTable(SmallParams());
+  EXPECT_EQ(a.num_prefixes(), b.num_prefixes());
+  EXPECT_EQ(a.announced_addresses(), b.announced_addresses());
+  const auto pa = a.AllPrefixes();
+  const auto pb = b.AllPrefixes();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].prefix, pb[i].prefix);
+    EXPECT_EQ(pa[i].owner, pb[i].owner);
+  }
+}
+
+TEST(PrefixGenTest, RandomAddressHitRateMatchesFraction) {
+  // The IP-hole probability experienced by hashed GUIDs must equal
+  // 1 - announced_fraction.
+  const PrefixTable table = GeneratePrefixTable(SmallParams());
+  Rng rng(9);
+  int hits = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (table.Lookup(Ipv4Address(std::uint32_t(rng.Next())))) ++hits;
+  }
+  EXPECT_NEAR(double(hits) / kProbes, table.announced_fraction(), 0.01);
+}
+
+TEST(PrefixGenTest, ValidationErrors) {
+  PrefixGenParams p = SmallParams();
+  p.num_ases = 0;
+  EXPECT_THROW(GeneratePrefixTable(p), std::invalid_argument);
+  p = SmallParams();
+  p.announced_fraction = 0.95;  // exceeds non-reserved space
+  EXPECT_THROW(GeneratePrefixTable(p), std::invalid_argument);
+}
+
+TEST(PrefixGenTest, PrefixCountScalesRealistically) {
+  // At full scale the paper's table has ~330k prefixes; our default mix
+  // should land in the right order of magnitude (see DESIGN.md).
+  const PrefixTable table = GeneratePrefixTable(SmallParams());
+  EXPECT_GT(table.num_prefixes(), 100'000u);
+  EXPECT_LT(table.num_prefixes(), 600'000u);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,90 @@
+// Seed-parameterised differential testing of the LPM trie against a brute-
+// force model: lookup, floor/ceiling/nearest and the ownership measure must
+// agree under arbitrary announce/withdraw churn, across many random
+// universes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "bgp/prefix_table.h"
+#include "common/rng.h"
+
+namespace dmap {
+namespace {
+
+class PrefixTableSeededTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTableSeededTest, TrieMatchesBruteForce) {
+  Rng rng(GetParam());
+  PrefixTable table;
+  std::vector<PrefixRecord> model;
+
+  for (int round = 0; round < 150; ++round) {
+    if (!model.empty() && rng.NextBernoulli(0.35)) {
+      const std::size_t idx = std::size_t(rng.NextBounded(model.size()));
+      ASSERT_TRUE(table.Withdraw(model[idx].prefix));
+      model.erase(model.begin() + std::ptrdiff_t(idx));
+    } else {
+      const int length = int(rng.NextInRange(2, 30));
+      const Cidr prefix(Ipv4Address(std::uint32_t(rng.Next())), length);
+      const AsId owner = AsId(rng.NextBounded(20));
+      const bool exists =
+          std::any_of(model.begin(), model.end(), [&](const PrefixRecord& r) {
+            return r.prefix == prefix;
+          });
+      EXPECT_EQ(table.Announce(prefix, owner), !exists);
+      if (!exists) model.push_back(PrefixRecord{prefix, owner});
+    }
+  }
+
+  for (int probe = 0; probe < 800; ++probe) {
+    // Half the probes are uniform; half hug announced block edges where
+    // floor/ceiling bugs live.
+    Ipv4Address addr(std::uint32_t(rng.Next()));
+    if (!model.empty() && probe % 2 == 0) {
+      const PrefixRecord& r =
+          model[std::size_t(rng.NextBounded(model.size()))];
+      const std::int64_t offset = rng.NextInRange(-2, 2);
+      const std::uint32_t base = rng.NextBernoulli(0.5)
+                                     ? r.prefix.First().value()
+                                     : r.prefix.Last().value();
+      addr = Ipv4Address(std::uint32_t(std::int64_t(base) + offset));
+    }
+
+    std::optional<PrefixRecord> want;
+    for (const PrefixRecord& r : model) {
+      if (r.prefix.Contains(addr) &&
+          (!want || r.prefix.length() > want->prefix.length())) {
+        want = r;
+      }
+    }
+    const auto got = table.Lookup(addr);
+    ASSERT_EQ(got.has_value(), want.has_value()) << addr.ToString();
+    if (got) EXPECT_EQ(got->prefix, want->prefix) << addr.ToString();
+
+    if (!model.empty()) {
+      std::uint64_t best_dist = ~std::uint64_t{0};
+      for (const PrefixRecord& r : model) {
+        best_dist = std::min(best_dist, r.prefix.DistanceTo(addr));
+      }
+      const auto nearest = table.NearestAnnounced(addr);
+      ASSERT_TRUE(nearest.has_value());
+      EXPECT_EQ(nearest->distance, best_dist) << addr.ToString();
+    } else {
+      EXPECT_FALSE(table.NearestAnnounced(addr).has_value());
+    }
+  }
+
+  // Ownership totals stay consistent through churn.
+  std::uint64_t sum = 0;
+  for (AsId as = 0; as < 20; ++as) sum += table.AddressesOwnedBy(as);
+  EXPECT_EQ(sum, table.announced_addresses());
+  EXPECT_EQ(table.num_prefixes(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTableSeededTest,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,291 @@
+#include "bgp/prefix_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+
+namespace dmap {
+namespace {
+
+Cidr C(const std::string& text) {
+  Cidr c;
+  EXPECT_TRUE(Cidr::Parse(text, &c)) << text;
+  return c;
+}
+
+Ipv4Address A(const std::string& text) {
+  Ipv4Address a;
+  EXPECT_TRUE(Ipv4Address::Parse(text, &a)) << text;
+  return a;
+}
+
+TEST(PrefixTableTest, EmptyTableBehaviour) {
+  PrefixTable table;
+  EXPECT_EQ(table.num_prefixes(), 0u);
+  EXPECT_EQ(table.announced_addresses(), 0u);
+  EXPECT_FALSE(table.Lookup(A("1.2.3.4")).has_value());
+  EXPECT_FALSE(table.NearestAnnounced(A("1.2.3.4")).has_value());
+  EXPECT_FALSE(table.FloorAnnounced(A("1.2.3.4")).has_value());
+  EXPECT_FALSE(table.CeilAnnounced(A("1.2.3.4")).has_value());
+}
+
+TEST(PrefixTableTest, LookupMatchesMostSpecific) {
+  PrefixTable table;
+  ASSERT_TRUE(table.Announce(C("8.0.0.0/8"), 1));
+  ASSERT_TRUE(table.Announce(C("8.8.0.0/16"), 2));
+  ASSERT_TRUE(table.Announce(C("8.8.8.0/24"), 3));
+
+  EXPECT_EQ(table.Lookup(A("8.1.1.1"))->owner, 1u);
+  EXPECT_EQ(table.Lookup(A("8.8.1.1"))->owner, 2u);
+  EXPECT_EQ(table.Lookup(A("8.8.8.8"))->owner, 3u);
+  EXPECT_EQ(table.Lookup(A("8.8.8.8"))->prefix, C("8.8.8.0/24"));
+  EXPECT_FALSE(table.Lookup(A("9.0.0.0")).has_value());
+}
+
+TEST(PrefixTableTest, DuplicateAnnounceRejected) {
+  PrefixTable table;
+  ASSERT_TRUE(table.Announce(C("10.0.0.0/8"), 1));
+  EXPECT_FALSE(table.Announce(C("10.0.0.0/8"), 2));
+  EXPECT_EQ(table.Lookup(A("10.1.1.1"))->owner, 1u);
+  EXPECT_EQ(table.num_prefixes(), 1u);
+}
+
+TEST(PrefixTableTest, WithdrawRemovesOnlyExactPrefix) {
+  PrefixTable table;
+  table.Announce(C("8.0.0.0/8"), 1);
+  table.Announce(C("8.8.0.0/16"), 2);
+  EXPECT_TRUE(table.Withdraw(C("8.8.0.0/16")));
+  EXPECT_EQ(table.Lookup(A("8.8.1.1"))->owner, 1u);  // falls back to /8
+  EXPECT_FALSE(table.Withdraw(C("8.8.0.0/16")));     // already gone
+  EXPECT_FALSE(table.Withdraw(C("9.0.0.0/8")));      // never announced
+  EXPECT_EQ(table.num_prefixes(), 1u);
+}
+
+TEST(PrefixTableTest, WithdrawPrunesAndReannounceWorks) {
+  PrefixTable table;
+  table.Announce(C("8.8.8.0/24"), 1);
+  EXPECT_TRUE(table.Withdraw(C("8.8.8.0/24")));
+  EXPECT_FALSE(table.Lookup(A("8.8.8.1")).has_value());
+  EXPECT_TRUE(table.Announce(C("8.8.8.0/24"), 9));
+  EXPECT_EQ(table.Lookup(A("8.8.8.1"))->owner, 9u);
+}
+
+TEST(PrefixTableTest, AnnouncedAddressCountsNestedOnce) {
+  PrefixTable table;
+  table.Announce(C("8.0.0.0/8"), 1);
+  EXPECT_EQ(table.announced_addresses(), 1ull << 24);
+  table.Announce(C("8.8.0.0/16"), 2);  // nested: no new coverage
+  EXPECT_EQ(table.announced_addresses(), 1ull << 24);
+  table.Announce(C("9.0.0.0/16"), 3);
+  EXPECT_EQ(table.announced_addresses(), (1ull << 24) + (1ull << 16));
+}
+
+TEST(PrefixTableTest, OwnershipSubtractsNestedBlocks) {
+  PrefixTable table;
+  table.Announce(C("8.0.0.0/8"), 1);
+  table.Announce(C("8.8.0.0/16"), 2);
+  // AS 1 owns the /8 minus the /16 that AS 2 carved out.
+  EXPECT_EQ(table.AddressesOwnedBy(1), (1ull << 24) - (1ull << 16));
+  EXPECT_EQ(table.AddressesOwnedBy(2), 1ull << 16);
+  EXPECT_EQ(table.AddressesOwnedBy(99), 0u);
+}
+
+TEST(PrefixTableTest, NearestInsideAnnouncedIsZero) {
+  PrefixTable table;
+  table.Announce(C("8.0.0.0/8"), 1);
+  const auto r = table.NearestAnnounced(A("8.4.4.4"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->distance, 0u);
+  EXPECT_EQ(r->record.owner, 1u);
+  EXPECT_EQ(r->address, A("8.4.4.4"));
+}
+
+TEST(PrefixTableTest, NearestPicksCloserSide) {
+  PrefixTable table;
+  table.Announce(C("10.0.0.0/24"), 1);   // 10.0.0.0 - 10.0.0.255
+  table.Announce(C("10.0.2.0/24"), 2);   // 10.0.2.0 - 10.0.2.255
+
+  // Just above block 1: floor is nearer.
+  auto r = table.NearestAnnounced(A("10.0.1.10"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->record.owner, 1u);
+  EXPECT_EQ(r->address, A("10.0.0.255"));
+  EXPECT_EQ(r->distance, 11u);
+
+  // Just below block 2: ceiling is nearer.
+  r = table.NearestAnnounced(A("10.0.1.250"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->record.owner, 2u);
+  EXPECT_EQ(r->address, A("10.0.2.0"));
+  EXPECT_EQ(r->distance, 6u);
+}
+
+TEST(PrefixTableTest, NearestTieBreaksTowardLowerAddress) {
+  PrefixTable table;
+  table.Announce(C("10.0.0.0/24"), 1);
+  table.Announce(C("10.0.2.0/24"), 2);
+  // 10.0.1.127 is 128 above 10.0.0.255 and 129 below 10.0.2.0 -> floor.
+  // 10.0.1.128 is 129 above floor and 128 below ceiling -> ceiling.
+  auto r = table.NearestAnnounced(A("10.0.1.127"));
+  EXPECT_EQ(r->record.owner, 1u);
+  r = table.NearestAnnounced(A("10.0.1.128"));
+  EXPECT_EQ(r->record.owner, 2u);
+}
+
+TEST(PrefixTableTest, FloorCeilingAtSpaceEdges) {
+  PrefixTable table;
+  table.Announce(C("128.0.0.0/24"), 1);
+  // Below every announcement: no floor, only ceiling.
+  EXPECT_FALSE(table.FloorAnnounced(A("1.0.0.0")).has_value());
+  const auto ceil = table.CeilAnnounced(A("1.0.0.0"));
+  ASSERT_TRUE(ceil.has_value());
+  EXPECT_EQ(ceil->address, A("128.0.0.0"));
+  // Above everything: no ceiling, only floor.
+  EXPECT_FALSE(table.CeilAnnounced(A("200.0.0.0")).has_value());
+  const auto floor = table.FloorAnnounced(A("200.0.0.0"));
+  ASSERT_TRUE(floor.has_value());
+  EXPECT_EQ(floor->address, A("128.0.0.255"));
+  // Nearest still resolves on one-sided tables.
+  EXPECT_EQ(table.NearestAnnounced(A("200.0.0.0"))->record.owner, 1u);
+}
+
+TEST(PrefixTableTest, NearestCorrectUnderNesting) {
+  // The failure mode of naive sorted-by-base scans: a nested block's Last()
+  // is smaller than its parent's. Floor of an address above the parent must
+  // be the parent's last address, not the nested block's.
+  PrefixTable table;
+  table.Announce(C("10.0.0.0/8"), 1);
+  table.Announce(C("10.1.0.0/16"), 2);  // nested
+  const auto floor = table.FloorAnnounced(A("11.0.0.1"));
+  ASSERT_TRUE(floor.has_value());
+  EXPECT_EQ(floor->address, A("10.255.255.255"));
+  EXPECT_EQ(floor->record.owner, 1u);
+}
+
+TEST(PrefixTableTest, ForEachPrefixOrderedAndComplete) {
+  PrefixTable table;
+  table.Announce(C("9.0.0.0/8"), 3);
+  table.Announce(C("8.8.0.0/16"), 2);
+  table.Announce(C("8.0.0.0/8"), 1);
+  const auto all = table.AllPrefixes();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].prefix, C("8.0.0.0/8"));   // shorter first at same base
+  EXPECT_EQ(all[1].prefix, C("8.8.0.0/16"));
+  EXPECT_EQ(all[2].prefix, C("9.0.0.0/8"));
+  EXPECT_EQ(all[0].owner, 1u);
+}
+
+TEST(PrefixTableTest, SlashZeroDefaultRoute) {
+  PrefixTable table;
+  table.Announce(C("0.0.0.0/0"), 7);
+  EXPECT_EQ(table.Lookup(A("123.45.67.89"))->owner, 7u);
+  EXPECT_EQ(table.announced_addresses(), 1ull << 32);
+  table.Announce(C("8.0.0.0/8"), 1);
+  EXPECT_EQ(table.Lookup(A("8.1.1.1"))->owner, 1u);
+  EXPECT_EQ(table.AddressesOwnedBy(7), (1ull << 32) - (1ull << 24));
+}
+
+TEST(PrefixTableTest, Slash32HostRoute) {
+  PrefixTable table;
+  table.Announce(C("1.2.3.4/32"), 5);
+  EXPECT_EQ(table.Lookup(A("1.2.3.4"))->owner, 5u);
+  EXPECT_FALSE(table.Lookup(A("1.2.3.5")).has_value());
+  EXPECT_EQ(table.announced_addresses(), 1u);
+}
+
+TEST(PrefixTableTest, InvalidOwnerThrows) {
+  PrefixTable table;
+  EXPECT_THROW(table.Announce(C("1.0.0.0/8"), kInvalidAs),
+               std::invalid_argument);
+}
+
+// Randomised differential test: the trie must agree with a brute-force
+// model on lookup, floor, ceiling, nearest, and ownership measures.
+TEST(PrefixTablePropertyTest, MatchesBruteForceModel) {
+  Rng rng(2024);
+  PrefixTable table;
+  std::vector<PrefixRecord> model;
+
+  // Random announce/withdraw churn.
+  for (int round = 0; round < 300; ++round) {
+    if (!model.empty() && rng.NextBernoulli(0.3)) {
+      const std::size_t idx = std::size_t(rng.NextBounded(model.size()));
+      ASSERT_TRUE(table.Withdraw(model[idx].prefix));
+      model.erase(model.begin() + std::ptrdiff_t(idx));
+    } else {
+      const int length = int(rng.NextInRange(4, 28));
+      const Cidr prefix(Ipv4Address(std::uint32_t(rng.Next())), length);
+      const AsId owner = AsId(rng.NextBounded(50));
+      const bool exists =
+          std::any_of(model.begin(), model.end(), [&](const PrefixRecord& r) {
+            return r.prefix == prefix;
+          });
+      EXPECT_EQ(table.Announce(prefix, owner), !exists);
+      if (!exists) model.push_back(PrefixRecord{prefix, owner});
+    }
+  }
+  ASSERT_EQ(table.num_prefixes(), model.size());
+
+  // Brute-force helpers over the model.
+  const auto brute_lookup = [&](Ipv4Address addr)
+      -> std::optional<PrefixRecord> {
+    std::optional<PrefixRecord> best;
+    for (const PrefixRecord& r : model) {
+      if (r.prefix.Contains(addr) &&
+          (!best || r.prefix.length() > best->prefix.length())) {
+        best = r;
+      }
+    }
+    return best;
+  };
+
+  for (int probe = 0; probe < 2000; ++probe) {
+    const Ipv4Address addr(std::uint32_t(rng.Next()));
+    const auto got = table.Lookup(addr);
+    const auto want = brute_lookup(addr);
+    ASSERT_EQ(got.has_value(), want.has_value()) << addr.ToString();
+    if (got) {
+      EXPECT_EQ(got->prefix, want->prefix) << addr.ToString();
+      EXPECT_EQ(got->owner, want->owner);
+    }
+
+    // Brute-force nearest announced address.
+    if (!model.empty()) {
+      std::uint64_t best_dist = ~std::uint64_t{0};
+      Ipv4Address best_addr;
+      for (const PrefixRecord& r : model) {
+        const std::uint64_t d = r.prefix.DistanceTo(addr);
+        Ipv4Address candidate = addr;
+        if (d != 0) {
+          candidate = addr.value() < r.prefix.base().value()
+                          ? r.prefix.First()
+                          : r.prefix.Last();
+        }
+        if (d < best_dist ||
+            (d == best_dist && candidate.value() < best_addr.value())) {
+          best_dist = d;
+          best_addr = candidate;
+        }
+      }
+      const auto nearest = table.NearestAnnounced(addr);
+      ASSERT_TRUE(nearest.has_value());
+      EXPECT_EQ(nearest->distance, best_dist) << addr.ToString();
+      EXPECT_EQ(nearest->address.value(), best_addr.value())
+          << addr.ToString();
+    }
+  }
+
+  // Ownership measure: every owner's address count must equal a sampled
+  // LPM census (statistically) and total coverage must match exactly via
+  // a full interval sweep on a smaller model — here we verify totals are
+  // internally consistent instead.
+  std::uint64_t sum = 0;
+  for (AsId as = 0; as < 50; ++as) sum += table.AddressesOwnedBy(as);
+  EXPECT_EQ(sum, table.announced_addresses());
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,89 @@
+#include "common/guid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace dmap {
+namespace {
+
+TEST(GuidTest, DefaultIsZero) {
+  Guid g;
+  for (int i = 0; i < Guid::kWords; ++i) EXPECT_EQ(g.word(i), 0u);
+}
+
+TEST(GuidTest, FromSequenceIsDeterministic) {
+  EXPECT_EQ(Guid::FromSequence(7), Guid::FromSequence(7));
+  EXPECT_NE(Guid::FromSequence(7), Guid::FromSequence(8));
+}
+
+TEST(GuidTest, FromSequenceDiffusesConsecutiveSeeds) {
+  // Consecutive sequence numbers must not produce structurally similar
+  // GUIDs: every word should differ.
+  const Guid a = Guid::FromSequence(1000);
+  const Guid b = Guid::FromSequence(1001);
+  for (int i = 0; i < Guid::kWords; ++i) {
+    EXPECT_NE(a.word(i), b.word(i)) << "word " << i;
+  }
+}
+
+TEST(GuidTest, HexRoundTrip) {
+  const Guid g = Guid::FromSequence(123456789);
+  const std::string hex = g.ToHex();
+  EXPECT_EQ(hex.size(), 40u);
+  Guid parsed;
+  ASSERT_TRUE(Guid::FromHex(hex, &parsed));
+  EXPECT_EQ(parsed, g);
+}
+
+TEST(GuidTest, HexOfZeroGuid) {
+  EXPECT_EQ(Guid().ToHex(), std::string(40, '0'));
+}
+
+TEST(GuidTest, FromHexAcceptsUppercase) {
+  const Guid g = Guid::FromSequence(55);
+  std::string hex = g.ToHex();
+  for (char& c : hex) c = char(std::toupper(c));
+  Guid parsed;
+  ASSERT_TRUE(Guid::FromHex(hex, &parsed));
+  EXPECT_EQ(parsed, g);
+}
+
+TEST(GuidTest, FromHexRejectsBadInput) {
+  Guid out;
+  EXPECT_FALSE(Guid::FromHex("", &out));
+  EXPECT_FALSE(Guid::FromHex("1234", &out));                    // too short
+  EXPECT_FALSE(Guid::FromHex(std::string(41, '0'), &out));      // too long
+  EXPECT_FALSE(Guid::FromHex(std::string(39, '0') + "g", &out));// non-hex
+  EXPECT_FALSE(Guid::FromHex(std::string(39, '0') + " ", &out));
+}
+
+TEST(GuidTest, OrderingIsLexicographicByWords) {
+  const Guid a(std::array<std::uint32_t, 5>{0, 0, 0, 0, 1});
+  const Guid b(std::array<std::uint32_t, 5>{0, 0, 0, 1, 0});
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+}
+
+TEST(GuidTest, FingerprintsAreWellDistributed) {
+  std::unordered_set<std::uint64_t> fingerprints;
+  constexpr int kCount = 10000;
+  for (int i = 0; i < kCount; ++i) {
+    fingerprints.insert(Guid::FromSequence(std::uint64_t(i)).Fingerprint64());
+  }
+  EXPECT_EQ(fingerprints.size(), std::size_t(kCount)) << "collision found";
+}
+
+TEST(GuidTest, UsableAsHashMapKey) {
+  std::unordered_set<Guid, GuidHash> set;
+  set.insert(Guid::FromSequence(1));
+  set.insert(Guid::FromSequence(2));
+  set.insert(Guid::FromSequence(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Guid::FromSequence(2)));
+  EXPECT_FALSE(set.contains(Guid::FromSequence(3)));
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,151 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmap {
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// Official SipHash-2-4 test vectors (Aumasson & Bernstein reference code):
+// key = 00 01 .. 0f, input = 00 01 .. (len-1).
+TEST(SipHashTest, ReferenceVectors) {
+  const std::uint64_t k0 = 0x0706050403020100ULL;
+  const std::uint64_t k1 = 0x0f0e0d0c0b0a0908ULL;
+  const std::uint64_t expected[] = {
+      0x726fdb47dd0e0e31ULL, 0x74f839c593dc67fdULL, 0x0d6c8009d9a94f5aULL,
+      0x85676696d7fb7e2dULL, 0xcf2794e0277187b7ULL, 0x18765564cd99a68dULL,
+      0xcbc9466e58fee3ceULL, 0xab0200f58b01d137ULL, 0x93f5f5799a932462ULL,
+  };
+  std::vector<std::uint8_t> data;
+  for (std::size_t len = 0; len < std::size(expected); ++len) {
+    EXPECT_EQ(SipHash24(k0, k1, data), expected[len]) << "len=" << len;
+    data.push_back(std::uint8_t(len));
+  }
+}
+
+TEST(SipHashTest, KeySensitivity) {
+  const auto data = Bytes("hello world");
+  EXPECT_NE(SipHash24(1, 2, data), SipHash24(1, 3, data));
+  EXPECT_NE(SipHash24(1, 2, data), SipHash24(2, 2, data));
+}
+
+TEST(SipHashTest, DataSensitivity) {
+  EXPECT_NE(SipHash24(1, 2, Bytes("abc")), SipHash24(1, 2, Bytes("abd")));
+  EXPECT_NE(SipHash24(1, 2, Bytes("abc")), SipHash24(1, 2, Bytes("abc ")));
+}
+
+// FIPS 180-1 / RFC 3174 test vectors.
+TEST(Sha1Test, KnownDigests) {
+  const std::map<std::string, std::string> vectors = {
+      {"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+      {"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+      {"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+       "84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+      {"The quick brown fox jumps over the lazy dog",
+       "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"},
+  };
+  for (const auto& [input, want_hex] : vectors) {
+    const auto digest = Sha1(Bytes(input));
+    std::string got;
+    for (const std::uint8_t b : digest) {
+      char buf[3];
+      std::snprintf(buf, sizeof(buf), "%02x", b);
+      got += buf;
+    }
+    EXPECT_EQ(got, want_hex) << "input: '" << input << "'";
+  }
+}
+
+TEST(Sha1Test, PaddingBoundaries) {
+  // Lengths 55, 56, 63, 64 exercise the padding edge cases; distinct
+  // digests demonstrate the block handling does not alias.
+  std::vector<std::array<std::uint8_t, 20>> digests;
+  for (const std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    digests.push_back(Sha1(std::vector<std::uint8_t>(len, 'x')));
+  }
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    for (std::size_t j = i + 1; j < digests.size(); ++j) {
+      EXPECT_NE(digests[i], digests[j]);
+    }
+  }
+}
+
+TEST(GuidFromKeyMaterialTest, MatchesSha1) {
+  const auto material = Bytes("my public key");
+  const Guid guid = GuidFromKeyMaterial(material);
+  const auto digest = Sha1(material);
+  // First word equals the big-endian first 4 digest bytes.
+  const std::uint32_t want = (std::uint32_t(digest[0]) << 24) |
+                             (std::uint32_t(digest[1]) << 16) |
+                             (std::uint32_t(digest[2]) << 8) |
+                             std::uint32_t(digest[3]);
+  EXPECT_EQ(guid.word(0), want);
+}
+
+TEST(GuidHashFamilyTest, DeterministicAcrossInstances) {
+  // Two gateways configured with the same (K, seed) must agree on every
+  // replica address — the crux of DMap's locally-derivable placement.
+  const GuidHashFamily a(5, 77), b(5, 77);
+  const Guid g = Guid::FromSequence(42);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.Hash(g, i), b.Hash(g, i));
+    EXPECT_EQ(a.Rehash(Ipv4Address(123), i), b.Rehash(Ipv4Address(123), i));
+  }
+}
+
+TEST(GuidHashFamilyTest, FunctionsAreIndependent) {
+  const GuidHashFamily family(5, 77);
+  const Guid g = Guid::FromSequence(42);
+  const auto all = family.HashAll(g);
+  ASSERT_EQ(all.size(), 5u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i], all[j]) << "h" << i << " == h" << j;
+    }
+  }
+}
+
+TEST(GuidHashFamilyTest, SeedChangesPlacement) {
+  const GuidHashFamily a(3, 1), b(3, 2);
+  const Guid g = Guid::FromSequence(42);
+  EXPECT_NE(a.Hash(g, 0), b.Hash(g, 0));
+}
+
+TEST(GuidHashFamilyTest, OutputCoversAddressSpaceUniformly) {
+  const GuidHashFamily family(1, 9);
+  // Bucket the top 4 bits; chi-squared over 16 buckets, 10k draws.
+  std::vector<int> counts(16, 0);
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[family.Hash(Guid::FromSequence(std::uint64_t(i)), 0).value() >>
+             28];
+  }
+  const double expected = kDraws / 16.0;
+  double chi2 = 0;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 37.7);  // 99.9% critical value, 15 dof
+}
+
+TEST(GuidHashFamilyTest, RehashChainsDoNotCycleQuickly) {
+  const GuidHashFamily family(1, 10);
+  Ipv4Address addr(0x12345678);
+  std::vector<std::uint32_t> seen{addr.value()};
+  for (int i = 0; i < 64; ++i) {
+    addr = family.Rehash(addr, 0);
+    for (const std::uint32_t prev : seen) EXPECT_NE(addr.value(), prev);
+    seen.push_back(addr.value());
+  }
+}
+
+}  // namespace
+}  // namespace dmap

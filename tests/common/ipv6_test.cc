@@ -1,0 +1,146 @@
+#include "common/ipv6.h"
+
+#include <gtest/gtest.h>
+
+namespace dmap {
+namespace {
+
+TEST(Ipv6AddressTest, ParseFullForm) {
+  const auto addr =
+      Ipv6Address::Parse("2001:0db8:0000:0000:0000:ff00:0042:8329");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(addr->lo(), 0x0000ff0000428329ULL);
+}
+
+TEST(Ipv6AddressTest, ParseCompressed) {
+  const auto addr = Ipv6Address::Parse("2001:db8::ff00:42:8329");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(addr->lo(), 0x0000ff0000428329ULL);
+}
+
+TEST(Ipv6AddressTest, ParseEdgeForms) {
+  auto addr = Ipv6Address::Parse("::");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, Ipv6Address(0, 0));
+
+  addr = Ipv6Address::Parse("::1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, Ipv6Address(0, 1));
+
+  addr = Ipv6Address::Parse("fe80::");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->hi(), 0xfe80000000000000ULL);
+  EXPECT_EQ(addr->lo(), 0u);
+
+  addr = Ipv6Address::Parse("FFFF:ffff:FFFF:ffff:FFFF:ffff:FFFF:ffff");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->hi(), ~std::uint64_t{0});
+  EXPECT_EQ(addr->lo(), ~std::uint64_t{0});
+}
+
+TEST(Ipv6AddressTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv6Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3").has_value());           // short
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(Ipv6Address::Parse("1::2::3").has_value());         // two ::
+  EXPECT_FALSE(Ipv6Address::Parse("12345::").has_value());         // 5 hex
+  EXPECT_FALSE(Ipv6Address::Parse("g::1").has_value());            // non-hex
+  EXPECT_FALSE(Ipv6Address::Parse("1:2:3:4:5:6:7:").has_value());
+  EXPECT_FALSE(
+      Ipv6Address::Parse("1:2:3:4::5:6:7:8").has_value());  // :: covers 0
+}
+
+TEST(Ipv6AddressTest, CanonicalFormatting) {
+  // RFC 5952: longest zero run compressed, leftmost on tie, no 1-group
+  // compression, lowercase.
+  EXPECT_EQ(Ipv6Address(0, 0).ToString(), "::");
+  EXPECT_EQ(Ipv6Address(0, 1).ToString(), "::1");
+  EXPECT_EQ(Ipv6Address::Parse("2001:db8::ff00:42:8329")->ToString(),
+            "2001:db8::ff00:42:8329");
+  EXPECT_EQ(Ipv6Address::Parse("2001:0:0:1:0:0:0:1")->ToString(),
+            "2001:0:0:1::1");  // longest run wins
+  EXPECT_EQ(Ipv6Address::Parse("2001:db8:0:1:1:1:1:1")->ToString(),
+            "2001:db8:0:1:1:1:1:1");  // single zero group not compressed
+  EXPECT_EQ(Ipv6Address::Parse("fe80::")->ToString(), "fe80::");
+}
+
+TEST(Ipv6AddressTest, RoundTripThroughText) {
+  for (const auto& [hi, lo] :
+       std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0x20010db8deadbeefULL, 0x0123456789abcdefULL},
+           {0, 0x8000000000000000ULL},
+           {0xffff000000000000ULL, 0},
+       }) {
+    const Ipv6Address original(hi, lo);
+    const auto parsed = Ipv6Address::Parse(original.ToString());
+    ASSERT_TRUE(parsed.has_value()) << original.ToString();
+    EXPECT_EQ(*parsed, original);
+  }
+}
+
+TEST(Ipv6AddressTest, GroupAccessor) {
+  const Ipv6Address addr(0x0001000200030004ULL, 0x0005000600070008ULL);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(addr.Group(i), i + 1);
+  }
+}
+
+TEST(Cidr6Test, CanonicalisesBase) {
+  const auto base = Ipv6Address::Parse("2001:db8:1234:5678::9");
+  const Cidr6 prefix(*base, 48);
+  EXPECT_EQ(prefix.ToString(), "2001:db8:1234::/48");
+}
+
+TEST(Cidr6Test, ContainsAcrossTheHalfBoundary) {
+  const auto prefix = Cidr6::Parse("2001:db8::/32");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_TRUE(prefix->Contains(*Ipv6Address::Parse("2001:db8::1")));
+  EXPECT_TRUE(prefix->Contains(
+      *Ipv6Address::Parse("2001:db8:ffff:ffff:ffff:ffff:ffff:ffff")));
+  EXPECT_FALSE(prefix->Contains(*Ipv6Address::Parse("2001:db9::")));
+
+  const auto host = Cidr6::Parse("::1/128");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_TRUE(host->Contains(Ipv6Address(0, 1)));
+  EXPECT_FALSE(host->Contains(Ipv6Address(0, 2)));
+
+  const auto long_prefix = Cidr6::Parse("2001:db8::/96");
+  ASSERT_TRUE(long_prefix.has_value());
+  EXPECT_TRUE(long_prefix->Contains(*Ipv6Address::Parse("2001:db8::42")));
+  EXPECT_FALSE(
+      long_prefix->Contains(*Ipv6Address::Parse("2001:db8::1:0:42")));
+}
+
+TEST(Cidr6Test, ParseValidation) {
+  EXPECT_FALSE(Cidr6::Parse("2001:db8::").has_value());      // no length
+  EXPECT_FALSE(Cidr6::Parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(Cidr6::Parse("2001:db8::/x").has_value());
+  EXPECT_FALSE(Cidr6::Parse("nothex::/48").has_value());
+  EXPECT_TRUE(Cidr6::Parse("::/0").has_value());
+}
+
+TEST(Cidr6Test, RoutingSegmentProjection) {
+  const auto p48 = Cidr6::Parse("2001:db8:1234::/48");
+  ASSERT_TRUE(p48.has_value());
+  const auto segment = p48->ToRoutingSegment();
+  EXPECT_EQ(segment.base, 0x20010db812340000ULL);
+  EXPECT_EQ(segment.size, std::uint64_t{1} << 16);
+
+  const auto p64 = Cidr6::Parse("2001:db8:1234:5678::/64");
+  ASSERT_TRUE(p64.has_value());
+  EXPECT_EQ(p64->ToRoutingSegment().size, 1u);
+
+  const auto p96 = Cidr6::Parse("2001:db8::/96");
+  ASSERT_TRUE(p96.has_value());
+  EXPECT_THROW(p96->ToRoutingSegment(), std::invalid_argument);
+}
+
+TEST(Cidr6Test, BadLengthThrows) {
+  EXPECT_THROW(Cidr6(Ipv6Address(0, 0), -1), std::invalid_argument);
+  EXPECT_THROW(Cidr6(Ipv6Address(0, 0), 129), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,140 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dmap {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(1), b(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BoundedZeroReturnsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(RngTest, BoundedIsApproximatelyUniform) {
+  Rng rng(4);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBound)];
+  // Chi-squared with 9 dof; 99.9% critical value is 27.9.
+  const double expected = double(kDraws) / double(kBound);
+  double chi2 = 0;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(7);
+  constexpr int kDraws = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(8);
+  constexpr int kDraws = 100001;
+  std::vector<double> draws(kDraws);
+  for (auto& d : draws) d = rng.NextLogNormal(std::log(3.5), 0.9);
+  std::nth_element(draws.begin(), draws.begin() + kDraws / 2, draws.end());
+  // Median of a log-normal is exp(mu) = 3.5.
+  EXPECT_NEAR(draws[kDraws / 2], 3.5, 0.15);
+}
+
+TEST(RngTest, ExponentialMeanAndPositivity) {
+  Rng rng(9);
+  constexpr int kDraws = 200000;
+  double sum = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double e = rng.NextExponential(42.0);
+    ASSERT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / kDraws, 42.0, 1.0);
+}
+
+TEST(RngTest, SplitProducesDecorrelatedStream) {
+  Rng parent(10);
+  Rng child = parent.Split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64Test, KnownFirstOutputs) {
+  // Reference values for seed 0 (Vigna's splitmix64.c).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.Next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.Next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.Next(), 0x06c45d188009454fULL);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng rng(11);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,83 @@
+#include "common/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dmap {
+namespace {
+
+TEST(AliasSamplerTest, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{1.0, -0.5}),
+               std::invalid_argument);
+}
+
+TEST(AliasSamplerTest, NormalisesProbabilities) {
+  const AliasSampler sampler(std::vector<double>{2.0, 6.0});
+  EXPECT_DOUBLE_EQ(sampler.Probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(sampler.Probability(1), 0.75);
+}
+
+TEST(AliasSamplerTest, SingleBucketAlwaysSampled) {
+  const AliasSampler sampler(std::vector<double>{5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  const AliasSampler sampler(std::vector<double>{1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(sampler.Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, EmpiricalMatchesWeights) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0, 10.0};
+  const AliasSampler sampler(weights);
+  Rng rng(3);
+  constexpr int kDraws = 400000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  const double total = 20.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / total * kDraws;
+    EXPECT_NEAR(counts[i], expected, 5 * std::sqrt(expected))
+        << "bucket " << i;
+  }
+}
+
+TEST(AliasSamplerTest, HeavyTailedWeightsStillExact) {
+  // Pathological spread exercises the small/large pairing loop.
+  std::vector<double> weights(100, 1e-6);
+  weights[0] = 1e6;
+  const AliasSampler sampler(weights);
+  Rng rng(4);
+  int zero_count = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (sampler.Sample(rng) == 0) ++zero_count;
+  }
+  // P(0) = 1e6 / (1e6 + 99 * 1e-6) ~ 1 - 1e-10.
+  EXPECT_EQ(zero_count, kDraws);
+}
+
+TEST(AliasSamplerTest, UniformWeightsChiSquared) {
+  const std::vector<double> weights(20, 1.0);
+  const AliasSampler sampler(weights);
+  Rng rng(5);
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  const double expected = kDraws / 20.0;
+  double chi2 = 0;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 43.8);  // 99.9% critical value, 19 dof
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,146 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dmap {
+namespace {
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStatsTest, KnownMoments) {
+  StreamingStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(StreamingStatsTest, SingleSampleVarianceIsZero) {
+  StreamingStats s;
+  s.Add(42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(StreamingStatsTest, NumericallyStableForLargeOffsets) {
+  // Welford should not lose precision when values share a huge offset.
+  StreamingStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25, 0.01);
+}
+
+TEST(SampleSetTest, QuantilesOfKnownSet) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.Add(double(i));
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 50.5);
+  EXPECT_NEAR(s.Quantile(0.95), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSetTest, QuantileValidation) {
+  SampleSet s;
+  EXPECT_THROW(s.Quantile(0.5), std::logic_error);
+  s.Add(1.0);
+  EXPECT_THROW(s.Quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.Quantile(1.1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 1.0);
+}
+
+TEST(SampleSetTest, InterleavedAddAndQuery) {
+  // Adding after a query must re-sort transparently.
+  SampleSet s;
+  s.Add(10);
+  s.Add(30);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 20.0);
+  s.Add(20);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 20.0);
+  s.Add(0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(SampleSetTest, CdfAt) {
+  SampleSet s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.CdfAt(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.CdfAt(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(99.0), 1.0);
+}
+
+TEST(SampleSetTest, CdfLogSpacedCoversRangeAndIsMonotone) {
+  SampleSet s;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) s.Add(rng.NextLogNormal(3.0, 1.0));
+  const auto cdf = s.CdfLogSpaced(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  EXPECT_NEAR(cdf.front().x, s.min(), 1e-9);
+  EXPECT_NEAR(cdf.back().x, s.max(), s.max() * 1e-9);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].x, cdf[i - 1].x);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+}
+
+TEST(SampleSetTest, CdfLogSpacedEdgeCases) {
+  SampleSet s;
+  EXPECT_TRUE(s.CdfLogSpaced(10).empty());
+  s.Add(5.0);
+  EXPECT_TRUE(s.CdfLogSpaced(1).empty());  // need at least 2 points
+  const auto cdf = s.CdfLogSpaced(2);
+  ASSERT_EQ(cdf.size(), 2u);
+}
+
+TEST(SampleSetTest, CdfLinearSpacedCoversRange) {
+  SampleSet s;
+  for (int i = 0; i <= 100; ++i) s.Add(double(i));
+  const auto cdf = s.CdfLinearSpaced(11);
+  ASSERT_EQ(cdf.size(), 11u);
+  EXPECT_DOUBLE_EQ(cdf.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().x, 100.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  // Uniform samples: linear CDF.
+  EXPECT_NEAR(cdf[5].x, 50.0, 1e-9);
+  EXPECT_NEAR(cdf[5].fraction, 0.5, 0.01);
+  EXPECT_TRUE(s.CdfLinearSpaced(1).empty());
+  EXPECT_TRUE(SampleSet{}.CdfLinearSpaced(5).empty());
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"K", "mean", "p95"});
+  table.AddRow({"1", "74.5", "172.8"});
+  table.AddRow({"5", "49.1", "86.1"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| K | mean | p95   |"), std::string::npos);
+  EXPECT_NE(out.find("| 5 | 49.1 | 86.1  |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---|"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, FormatDouble) {
+  EXPECT_EQ(TextTable::FormatDouble(49.123, 1), "49.1");
+  EXPECT_EQ(TextTable::FormatDouble(49.123, 3), "49.123");
+  EXPECT_EQ(TextTable::FormatDouble(-0.5, 0), "-0");
+}
+
+}  // namespace
+}  // namespace dmap

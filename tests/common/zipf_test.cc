@@ -1,0 +1,99 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace dmap {
+namespace {
+
+TEST(MandelbrotZipfTest, PmfSumsToOne) {
+  const MandelbrotZipf dist(1000, 1.02, 100.0);
+  double total = 0;
+  for (std::uint64_t k = 1; k <= 1000; ++k) total += dist.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MandelbrotZipfTest, PmfIsMonotonicallyDecreasing) {
+  const MandelbrotZipf dist(500, 1.02, 100.0);
+  for (std::uint64_t k = 1; k < 500; ++k) {
+    EXPECT_GE(dist.Pmf(k), dist.Pmf(k + 1)) << "rank " << k;
+  }
+}
+
+TEST(MandelbrotZipfTest, PmfOutOfRangeIsZero) {
+  const MandelbrotZipf dist(10, 1.0, 0.0);
+  EXPECT_EQ(dist.Pmf(0), 0.0);
+  EXPECT_EQ(dist.Pmf(11), 0.0);
+}
+
+TEST(MandelbrotZipfTest, QFlattensThePeak) {
+  // The plateau parameter q reduces the probability mass of rank 1:
+  // p(1) with q=100 must be far below p(1) with q=0.
+  const MandelbrotZipf plain(1000, 1.02, 0.0);
+  const MandelbrotZipf flattened(1000, 1.02, 100.0);
+  EXPECT_GT(plain.Pmf(1), 5 * flattened.Pmf(1));
+  // And the ratio p(1)/p(2) is close to 1 when q is large.
+  EXPECT_NEAR(flattened.Pmf(1) / flattened.Pmf(2), 1.0, 0.02);
+}
+
+TEST(MandelbrotZipfTest, SamplesMatchPmf) {
+  const MandelbrotZipf dist(100, 1.02, 100.0);
+  Rng rng(17);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const auto rank = dist.Sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 100u);
+    ++counts[rank];
+  }
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    const double expected = dist.Pmf(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, 5 * std::sqrt(expected) + 5)
+        << "rank " << k;
+  }
+}
+
+TEST(MandelbrotZipfTest, SingleElement) {
+  const MandelbrotZipf dist(1, 1.02, 100.0);
+  EXPECT_EQ(dist.Pmf(1), 1.0);
+  Rng rng(1);
+  EXPECT_EQ(dist.Sample(rng), 1u);
+}
+
+TEST(MandelbrotZipfTest, RejectsBadParameters) {
+  EXPECT_THROW(MandelbrotZipf(0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(MandelbrotZipf(10, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ZipfWeightsTest, HasCorrectMassAndSkew) {
+  Rng rng(3);
+  const auto weights = ZipfWeights(1000, 1.0, rng);
+  ASSERT_EQ(weights.size(), 1000u);
+  // All positive; the largest weight is 1 (rank 1), smallest 1/1000.
+  double max_w = 0, min_w = 1e9;
+  for (const double w : weights) {
+    EXPECT_GT(w, 0.0);
+    max_w = std::max(max_w, w);
+    min_w = std::min(min_w, w);
+  }
+  EXPECT_DOUBLE_EQ(max_w, 1.0);
+  EXPECT_DOUBLE_EQ(min_w, 1.0 / 1000.0);
+}
+
+TEST(ZipfWeightsTest, ShuffleDecorrelatesRankFromIndex) {
+  Rng rng(4);
+  const auto weights = ZipfWeights(2000, 1.0, rng);
+  // If unshuffled, weights would be strictly decreasing. Count ascents.
+  int ascents = 0;
+  for (std::size_t i = 1; i < weights.size(); ++i) {
+    if (weights[i] > weights[i - 1]) ++ascents;
+  }
+  EXPECT_GT(ascents, 800);  // random permutation ~50% ascents
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,120 @@
+#include "core/bucket_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace dmap {
+namespace {
+
+std::vector<AddressSegment> SparseSegments(int count) {
+  // Tiny islands scattered across a 64-bit space — the IPv6-like scenario
+  // where rehash-until-hit would essentially never terminate.
+  std::vector<AddressSegment> segments;
+  for (int i = 0; i < count; ++i) {
+    segments.push_back(AddressSegment{
+        std::uint64_t(i) * 0x100000000000ULL + 0x777, 4096,
+        AsId(i % 7)});
+  }
+  return segments;
+}
+
+TEST(BucketIndexTest, ResolutionLandsInsideAnnouncedSegment) {
+  const GuidHashFamily hashes(2, 1);
+  const auto segments = SparseSegments(50);
+  const BucketIndex index(segments, 16, hashes);
+  for (int i = 0; i < 500; ++i) {
+    const auto r = index.Resolve(Guid::FromSequence(std::uint64_t(i)), 0);
+    EXPECT_GE(r.address, r.segment.base);
+    EXPECT_LT(r.address, r.segment.base + r.segment.size);
+  }
+}
+
+TEST(BucketIndexTest, DeterministicAcrossInstances) {
+  const GuidHashFamily h1(2, 5), h2(2, 5);
+  const auto segments = SparseSegments(30);
+  const BucketIndex a(segments, 8, h1), b(segments, 8, h2);
+  for (int i = 0; i < 200; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    for (int k = 0; k < 2; ++k) {
+      EXPECT_EQ(a.Resolve(g, k).address, b.Resolve(g, k).address);
+      EXPECT_EQ(a.Resolve(g, k).segment.owner, b.Resolve(g, k).segment.owner);
+    }
+  }
+}
+
+TEST(BucketIndexTest, ReplicasAreIndependent) {
+  const GuidHashFamily hashes(2, 9);
+  const auto segments = SparseSegments(100);
+  const BucketIndex index(segments, 32, hashes);
+  int same = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    if (index.Resolve(g, 0).address == index.Resolve(g, 1).address) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(BucketIndexTest, BucketsAreBalanced) {
+  const GuidHashFamily hashes(1, 2);
+  const auto segments = SparseSegments(100);
+  const BucketIndex index(segments, 16, hashes);
+  // Round-robin dealing: ceil(100/16) = 7.
+  EXPECT_EQ(index.max_bucket_size(), 7u);
+  EXPECT_EQ(index.num_segments(), 100u);
+  EXPECT_EQ(index.num_buckets(), 16u);
+}
+
+TEST(BucketIndexTest, LoadSpreadsAcrossSegments) {
+  const GuidHashFamily hashes(1, 3);
+  const auto segments = SparseSegments(20);
+  const BucketIndex index(segments, 20, hashes);
+  std::map<std::uint64_t, int> per_segment;
+  constexpr int kGuids = 20000;
+  for (int i = 0; i < kGuids; ++i) {
+    ++per_segment[index.Resolve(Guid::FromSequence(std::uint64_t(i)), 0)
+                      .segment.base];
+  }
+  EXPECT_EQ(per_segment.size(), 20u);  // every segment used
+  for (const auto& [base, count] : per_segment) {
+    EXPECT_GT(count, kGuids / 40) << "segment " << base << " underloaded";
+    EXPECT_LT(count, kGuids / 10) << "segment " << base << " overloaded";
+  }
+}
+
+TEST(BucketIndexTest, MoreBucketsThanSegmentsProbesPastEmpties) {
+  const GuidHashFamily hashes(1, 4);
+  const auto segments = SparseSegments(3);
+  const BucketIndex index(segments, 64, hashes);  // most buckets empty
+  for (int i = 0; i < 200; ++i) {
+    const auto r = index.Resolve(Guid::FromSequence(std::uint64_t(i)), 0);
+    EXPECT_GE(r.address, r.segment.base);
+    EXPECT_LT(r.address, r.segment.base + r.segment.size);
+  }
+}
+
+TEST(BucketIndexTest, SingleSegmentAlwaysChosen) {
+  const GuidHashFamily hashes(1, 5);
+  const std::vector<AddressSegment> segments{
+      AddressSegment{0x1000, 16, 3}};
+  const BucketIndex index(segments, 4, hashes);
+  for (int i = 0; i < 50; ++i) {
+    const auto r = index.Resolve(Guid::FromSequence(std::uint64_t(i)), 0);
+    EXPECT_EQ(r.segment.owner, 3u);
+    EXPECT_GE(r.address, 0x1000u);
+    EXPECT_LT(r.address, 0x1010u);
+  }
+}
+
+TEST(BucketIndexTest, ValidationErrors) {
+  const GuidHashFamily hashes(1, 6);
+  EXPECT_THROW(BucketIndex({}, 4, hashes), std::invalid_argument);
+  const auto segments = SparseSegments(3);
+  EXPECT_THROW(BucketIndex(segments, 0, hashes), std::invalid_argument);
+  std::vector<AddressSegment> zero_sized{AddressSegment{0, 0, 1}};
+  EXPECT_THROW(BucketIndex(zero_sized, 4, hashes), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmap

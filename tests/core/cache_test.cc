@@ -1,0 +1,152 @@
+#include "core/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/environment.h"
+
+namespace dmap {
+namespace {
+
+MappingEntry Entry(AsId as, std::uint64_t version = 1) {
+  return MappingEntry{NaSet(NetworkAddress{as, 1}), version};
+}
+
+TEST(MappingCacheTest, HitAfterPut) {
+  MappingCache cache(4, SimTime::Seconds(10));
+  const Guid g = Guid::FromSequence(1);
+  EXPECT_EQ(cache.Get(g, SimTime::Zero()), nullptr);
+  cache.Put(g, Entry(7), SimTime::Zero());
+  const MappingEntry* hit = cache.Get(g, SimTime::Seconds(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->nas.AttachedTo(7));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(MappingCacheTest, TtlExpiry) {
+  MappingCache cache(4, SimTime::Seconds(10));
+  const Guid g = Guid::FromSequence(2);
+  cache.Put(g, Entry(7), SimTime::Zero());
+  EXPECT_NE(cache.Get(g, SimTime::Seconds(10)), nullptr);  // exactly at TTL
+  EXPECT_EQ(cache.Get(g, SimTime::Seconds(10.001)), nullptr);
+  EXPECT_EQ(cache.size(), 0u);  // expired entry evicted
+}
+
+TEST(MappingCacheTest, PutRefreshesTtlAndValue) {
+  MappingCache cache(4, SimTime::Seconds(10));
+  const Guid g = Guid::FromSequence(3);
+  cache.Put(g, Entry(7), SimTime::Zero());
+  cache.Put(g, Entry(9), SimTime::Seconds(8));
+  const MappingEntry* hit = cache.Get(g, SimTime::Seconds(15));
+  ASSERT_NE(hit, nullptr);  // fresh until t=18
+  EXPECT_TRUE(hit->nas.AttachedTo(9));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MappingCacheTest, LruEviction) {
+  MappingCache cache(2, SimTime::Seconds(100));
+  const Guid a = Guid::FromSequence(10), b = Guid::FromSequence(11),
+             c = Guid::FromSequence(12);
+  cache.Put(a, Entry(1), SimTime::Zero());
+  cache.Put(b, Entry(2), SimTime::Zero());
+  cache.Get(a, SimTime::Seconds(1));  // a now most recent
+  cache.Put(c, Entry(3), SimTime::Seconds(2));  // evicts b
+  EXPECT_NE(cache.Get(a, SimTime::Seconds(3)), nullptr);
+  EXPECT_EQ(cache.Get(b, SimTime::Seconds(3)), nullptr);
+  EXPECT_NE(cache.Get(c, SimTime::Seconds(3)), nullptr);
+}
+
+TEST(MappingCacheTest, Invalidate) {
+  MappingCache cache(4, SimTime::Seconds(100));
+  const Guid g = Guid::FromSequence(4);
+  cache.Put(g, Entry(7), SimTime::Zero());
+  EXPECT_TRUE(cache.Invalidate(g));
+  EXPECT_FALSE(cache.Invalidate(g));
+  EXPECT_EQ(cache.Get(g, SimTime::Seconds(1)), nullptr);
+}
+
+TEST(MappingCacheTest, ZeroCapacityThrows) {
+  EXPECT_THROW(MappingCache(0, SimTime::Seconds(1)), std::invalid_argument);
+}
+
+class CachingDMapTest : public testing::Test {
+ protected:
+  CachingDMapTest()
+      : env_(BuildEnvironment(EnvironmentParams::Scaled(300, 51))),
+        service_(env_.graph, env_.table, [] {
+          DMapOptions o;
+          o.k = 3;
+          o.measure_update_latency = false;
+          return o;
+        }()) {}
+
+  SimEnvironment env_;
+  DMapService service_;
+};
+
+TEST_F(CachingDMapTest, SecondLookupServedFromCache) {
+  CachingDMap cached(service_, 128, SimTime::Seconds(30));
+  const Guid g = Guid::FromSequence(1);
+  service_.Insert(g, NetworkAddress{10, 1});
+
+  const auto first = cached.Lookup(g, 200, SimTime::Zero());
+  ASSERT_TRUE(first.result.found);
+  EXPECT_FALSE(first.from_cache);
+
+  const auto second = cached.Lookup(g, 200, SimTime::Seconds(1));
+  ASSERT_TRUE(second.result.found);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_FALSE(second.stale);
+  EXPECT_DOUBLE_EQ(second.result.latency_ms,
+                   2.0 * env_.graph.IntraLatencyMs(200));
+  EXPECT_LE(second.result.latency_ms, first.result.latency_ms);
+}
+
+TEST_F(CachingDMapTest, CacheIsPerAs) {
+  CachingDMap cached(service_, 128, SimTime::Seconds(30));
+  const Guid g = Guid::FromSequence(2);
+  service_.Insert(g, NetworkAddress{10, 1});
+  cached.Lookup(g, 200, SimTime::Zero());
+  // A different AS has its own cold cache.
+  const auto other = cached.Lookup(g, 100, SimTime::Seconds(1));
+  EXPECT_FALSE(other.from_cache);
+}
+
+TEST_F(CachingDMapTest, StalenessDetectedAfterMobility) {
+  CachingDMap cached(service_, 128, SimTime::Seconds(30));
+  const Guid g = Guid::FromSequence(3);
+  service_.Insert(g, NetworkAddress{10, 1});
+  cached.Lookup(g, 200, SimTime::Zero());  // warm the cache
+
+  cached.Update(g, NetworkAddress{20, 2});  // host moves
+
+  const auto hit = cached.Lookup(g, 200, SimTime::Seconds(1));
+  ASSERT_TRUE(hit.result.found);
+  EXPECT_TRUE(hit.from_cache);
+  EXPECT_TRUE(hit.stale);  // cache still points at AS 10
+  EXPECT_TRUE(hit.result.nas.AttachedTo(10));
+
+  // After the TTL the cache re-fetches the fresh mapping.
+  const auto fresh = cached.Lookup(g, 200, SimTime::Seconds(40));
+  EXPECT_FALSE(fresh.from_cache);
+  EXPECT_TRUE(fresh.result.nas.AttachedTo(20));
+}
+
+TEST_F(CachingDMapTest, HitRateGrowsWithRepeats) {
+  CachingDMap cached(service_, 1024, SimTime::Seconds(1000));
+  for (int i = 0; i < 20; ++i) {
+    service_.Insert(Guid::FromSequence(std::uint64_t(100 + i)),
+                    NetworkAddress{AsId(i), 1});
+  }
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      cached.Lookup(Guid::FromSequence(std::uint64_t(100 + i)), 250,
+                    SimTime::Seconds(double(round)));
+    }
+  }
+  EXPECT_EQ(cached.total_misses(), 20u);
+  EXPECT_EQ(cached.total_hits(), 80u);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,443 @@
+#include "core/dmap_service.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/environment.h"
+
+namespace dmap {
+namespace {
+
+class DMapServiceTest : public testing::Test {
+ protected:
+  DMapServiceTest() : env_(BuildEnvironment(EnvironmentParams::Scaled(300))) {}
+
+  DMapOptions Options(int k = 3) {
+    DMapOptions o;
+    o.k = k;
+    return o;
+  }
+
+  SimEnvironment env_;
+};
+
+TEST_F(DMapServiceTest, InsertThenLookupFinds) {
+  DMapService service(env_.graph, env_.table, Options());
+  const Guid g = Guid::FromSequence(1);
+  const UpdateResult up = service.Insert(g, NetworkAddress{10, 1});
+  EXPECT_EQ(up.replicas.size(), 3u);
+  EXPECT_GT(up.latency_ms, 0.0);
+  EXPECT_EQ(up.version, 1u);
+
+  const LookupResult r = service.Lookup(g, 200);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.nas.AttachedTo(10));
+  EXPECT_GT(r.latency_ms, 0.0);
+  EXPECT_GE(r.attempts, 1);
+}
+
+TEST_F(DMapServiceTest, LookupOfUnknownGuidMisses) {
+  DMapService service(env_.graph, env_.table, Options());
+  const LookupResult r = service.Lookup(Guid::FromSequence(99), 5);
+  EXPECT_FALSE(r.found);
+  // The querier paid for probing every replica.
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_GT(r.latency_ms, 0.0);
+}
+
+TEST_F(DMapServiceTest, ReplicasStoredAtResolvedHosts) {
+  DMapService service(env_.graph, env_.table, Options());
+  const Guid g = Guid::FromSequence(2);
+  const UpdateResult up = service.Insert(g, NetworkAddress{10, 1});
+  for (const AsId host : up.replicas) {
+    const MappingEntry* e = service.StoreAt(host).Lookup(g);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->nas.AttachedTo(10));
+  }
+  // Consistent with the resolver's deterministic placement.
+  const auto resolutions = service.resolver().ResolveAll(g);
+  for (std::size_t i = 0; i < resolutions.size(); ++i) {
+    EXPECT_EQ(up.replicas[i], resolutions[i].host);
+  }
+}
+
+TEST_F(DMapServiceTest, LocalReplicaStoredAtAttachmentAs) {
+  DMapService service(env_.graph, env_.table, Options());
+  const Guid g = Guid::FromSequence(3);
+  service.Insert(g, NetworkAddress{42, 1});
+  EXPECT_NE(service.StoreAt(42).Lookup(g), nullptr);
+}
+
+TEST_F(DMapServiceTest, LocalLookupIsFast) {
+  // A querier in the GUID's own AS resolves in one intra-AS round trip.
+  DMapService service(env_.graph, env_.table, Options());
+  const Guid g = Guid::FromSequence(4);
+  service.Insert(g, NetworkAddress{42, 1});
+  const LookupResult r = service.Lookup(g, 42);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.served_locally);
+  EXPECT_DOUBLE_EQ(r.latency_ms, 2.0 * env_.graph.IntraLatencyMs(42));
+}
+
+TEST_F(DMapServiceTest, LocalReplicaDisabledFallsBackToGlobal) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(4);
+  service.Insert(g, NetworkAddress{42, 1});
+  const LookupResult r = service.Lookup(g, 42);
+  ASSERT_TRUE(r.found);
+  EXPECT_FALSE(r.served_locally);
+}
+
+TEST_F(DMapServiceTest, LookupLatencyEqualsBestReplicaRtt) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(5);
+  const UpdateResult up = service.Insert(g, NetworkAddress{10, 1});
+
+  const AsId querier = 123;
+  double best = 1e18;
+  for (const AsId host : up.replicas) {
+    best = std::min(best, service.oracle().RttMs(querier, host));
+  }
+  const LookupResult r = service.Lookup(g, querier);
+  ASSERT_TRUE(r.found);
+  EXPECT_DOUBLE_EQ(r.latency_ms, best);
+  EXPECT_EQ(r.attempts, 1);
+}
+
+TEST_F(DMapServiceTest, UpdateLatencyIsMaxReplicaRtt) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(6);
+  const UpdateResult up = service.Insert(g, NetworkAddress{10, 1});
+  double worst = 0;
+  for (const AsId host : up.replicas) {
+    worst = std::max(worst, service.oracle().RttMs(10, host));
+  }
+  EXPECT_DOUBLE_EQ(up.latency_ms, worst);
+}
+
+TEST_F(DMapServiceTest, MobilityUpdateMovesMapping) {
+  DMapService service(env_.graph, env_.table, Options());
+  const Guid g = Guid::FromSequence(7);
+  service.Insert(g, NetworkAddress{10, 1});
+  const UpdateResult up = service.Update(g, NetworkAddress{20, 2});
+  EXPECT_EQ(up.version, 2u);
+
+  const LookupResult r = service.Lookup(g, 100);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.nas.AttachedTo(20));
+  EXPECT_FALSE(r.nas.AttachedTo(10));
+  // Local copy moved: old AS no longer stores it (unless it is a replica).
+  bool old_is_replica = false;
+  for (const AsId host : up.replicas) old_is_replica |= host == 10;
+  if (!old_is_replica) {
+    EXPECT_EQ(service.StoreAt(10).Lookup(g), nullptr);
+  }
+  EXPECT_NE(service.StoreAt(20).Lookup(g), nullptr);
+}
+
+TEST_F(DMapServiceTest, UpdateOfUnknownGuidThrows) {
+  DMapService service(env_.graph, env_.table, Options());
+  EXPECT_THROW(service.Update(Guid::FromSequence(8), NetworkAddress{1, 1}),
+               std::invalid_argument);
+}
+
+TEST_F(DMapServiceTest, MultiHomingAddsNa) {
+  DMapService service(env_.graph, env_.table, Options());
+  const Guid g = Guid::FromSequence(9);
+  service.Insert(g, NetworkAddress{10, 1});
+  service.AddAttachment(g, NetworkAddress{20, 2});
+  const LookupResult r = service.Lookup(g, 100);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.nas.size(), 2);
+  EXPECT_TRUE(r.nas.AttachedTo(10));
+  EXPECT_TRUE(r.nas.AttachedTo(20));
+  // Duplicate attachment is an error.
+  EXPECT_THROW(service.AddAttachment(g, NetworkAddress{20, 2}),
+               std::invalid_argument);
+}
+
+TEST_F(DMapServiceTest, DeregisterRemovesEverywhere) {
+  DMapService service(env_.graph, env_.table, Options());
+  const Guid g = Guid::FromSequence(10);
+  service.Insert(g, NetworkAddress{10, 1});
+  EXPECT_GT(service.total_stored_entries(), 0u);
+  EXPECT_TRUE(service.Deregister(g));
+  EXPECT_FALSE(service.Deregister(g));
+  EXPECT_EQ(service.total_stored_entries(), 0u);
+  EXPECT_FALSE(service.Lookup(g, 100).found);
+}
+
+TEST_F(DMapServiceTest, FailedReplicaCostsTimeoutAndFallsThrough) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  options.failure_timeout_ms = 500.0;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(11);
+  const UpdateResult up = service.Insert(g, NetworkAddress{10, 1});
+
+  // Fail the best replica for querier 77.
+  const auto plan = service.ProbePlan(g, 77);
+  service.SetFailedAses({plan[0].first});
+  const LookupResult r = service.Lookup(g, 77);
+  if (plan[1].first != plan[0].first) {
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.attempts, 2);
+    EXPECT_DOUBLE_EQ(r.latency_ms, 500.0 + plan[1].second);
+  }
+  (void)up;
+}
+
+TEST_F(DMapServiceTest, AllReplicasFailedMeansNotFound) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(12);
+  const UpdateResult up = service.Insert(g, NetworkAddress{10, 1});
+  service.SetFailedAses(up.replicas);
+  const LookupResult r = service.Lookup(g, 77);
+  EXPECT_FALSE(r.found);
+  EXPECT_DOUBLE_EQ(r.latency_ms,
+                   options.failure_timeout_ms * double(options.k));
+  // Recovery restores resolution.
+  service.SetFailedAses({});
+  EXPECT_TRUE(service.Lookup(g, 77).found);
+}
+
+TEST_F(DMapServiceTest, LocalReplicaSurvivesGlobalFailures) {
+  // Section III-D-3 + III-C: even with every global replica down, a
+  // same-AS querier resolves locally.
+  DMapService service(env_.graph, env_.table, Options());
+  const Guid g = Guid::FromSequence(13);
+  const UpdateResult up = service.Insert(g, NetworkAddress{42, 1});
+  std::vector<AsId> failed = up.replicas;
+  // Keep the attachment AS itself alive.
+  std::erase(failed, 42u);
+  service.SetFailedAses(failed);
+  const LookupResult r = service.Lookup(g, 42);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.served_locally);
+}
+
+TEST_F(DMapServiceTest, HopCountSelectionStillResolves) {
+  DMapOptions options = Options();
+  options.selection = ReplicaSelection::kFewestHops;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(14);
+  service.Insert(g, NetworkAddress{10, 1});
+  const LookupResult r = service.Lookup(g, 200);
+  ASSERT_TRUE(r.found);
+  // The chosen replica has the minimum hop count among replicas.
+  const auto resolutions = service.resolver().ResolveAll(g);
+  std::uint32_t best_hops = ~0u;
+  for (const auto& res : resolutions) {
+    best_hops = std::min(best_hops, service.oracle().Hops(200, res.host));
+  }
+  if (!r.served_locally) {
+    EXPECT_EQ(service.oracle().Hops(200, r.serving_as), best_hops);
+  }
+}
+
+TEST_F(DMapServiceTest, LookupWithStaleViewRecoversViaOtherReplicas) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(15);
+  service.Insert(g, NetworkAddress{10, 1});
+  // A fully consistent view behaves identically to Lookup().
+  const LookupResult consistent = service.LookupWithView(g, 200, env_.table);
+  const LookupResult direct = service.Lookup(g, 200);
+  EXPECT_EQ(consistent.found, direct.found);
+  EXPECT_DOUBLE_EQ(consistent.latency_ms, direct.latency_ms);
+}
+
+TEST_F(DMapServiceTest, RehomeAfterChurnRestoresFirstTryLookups) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(16);
+  service.Insert(g, NetworkAddress{10, 1});
+  // Rehome against an unchanged table is a no-op.
+  EXPECT_EQ(service.Rehome(g), 0);
+  EXPECT_EQ(service.Rehome(Guid::FromSequence(999)), 0);  // unknown GUID
+}
+
+TEST_F(DMapServiceTest, StaleViewPlusFailuresCompose) {
+  // Churn and router failure at once: the probe walk must charge a miss
+  // RTT for displaced replicas and a timeout for dead ones, in plan order.
+  DMapOptions options = Options(5);
+  options.local_replica = false;
+  options.failure_timeout_ms = 400.0;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(77);
+  service.Insert(g, NetworkAddress{10, 1});
+
+  // Fail the best replica; lookups must still resolve via the rest even
+  // when the view is the (consistent) table — then verify latency
+  // accounting includes both penalty types when we also displace storage
+  // by deregistering and re-inserting nothing (miss at every replica).
+  const auto plan = service.ProbePlan(g, 99);
+  service.SetFailedAses({plan[0].first});
+  const LookupResult ok = service.LookupWithView(g, 99, env_.table);
+  if (plan[1].first != plan[0].first) {
+    ASSERT_TRUE(ok.found);
+    EXPECT_DOUBLE_EQ(ok.latency_ms, 400.0 + plan[1].second);
+  }
+
+  // Unknown GUID with one dead replica: all K probed, one timeout + the
+  // remaining (K-1) miss round trips.
+  const Guid unknown = Guid::FromSequence(78);
+  const auto unknown_plan = service.ProbePlan(unknown, 99);
+  service.SetFailedAses({unknown_plan[0].first});
+  const LookupResult miss = service.LookupWithView(unknown, 99, env_.table);
+  EXPECT_FALSE(miss.found);
+  double expected = 400.0;
+  for (std::size_t i = 1; i < unknown_plan.size(); ++i) {
+    if (unknown_plan[i].first == unknown_plan[0].first) {
+      expected += 400.0;  // duplicate replica host also counts as failed
+    } else {
+      expected += unknown_plan[i].second;
+    }
+  }
+  EXPECT_DOUBLE_EQ(miss.latency_ms, expected);
+}
+
+TEST_F(DMapServiceTest, GuidsStoredInFindsPlacedMappings) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(30);
+  service.Insert(g, NetworkAddress{10, 1});
+
+  // Each replica must be discoverable at its host via the prefix covering
+  // its stored address.
+  for (const HostResolution& r : service.resolver().ResolveAll(g)) {
+    const auto record = env_.table.Lookup(r.stored_address);
+    ASSERT_TRUE(record.has_value());
+    const auto guids = service.GuidsStoredIn(r.host, record->prefix);
+    EXPECT_NE(std::find(guids.begin(), guids.end(), g), guids.end())
+        << "replica at AS " << r.host << " not indexed by "
+        << record->prefix.ToString();
+  }
+  // A prefix covering none of the stored addresses yields nothing. Use a
+  // reserved (never-announced) block.
+  EXPECT_TRUE(service
+                  .GuidsStoredIn(service.resolver().ResolveAll(g)[0].host,
+                                 Cidr(Ipv4Address::FromOctets(10, 0, 0, 0), 8))
+                  .empty());
+}
+
+TEST_F(DMapServiceTest, WithdrawalRepairViaGuidsStoredInAndRehome) {
+  // Closed-form Section III-D-1 withdrawal: enumerate the mappings stored
+  // under a prefix, withdraw it, re-home them, and verify first-try
+  // lookups continue.
+  DMapOptions options = Options();
+  options.local_replica = false;
+  // The service resolves against env_.table by reference.
+  DMapService service(env_.graph, env_.table, options);
+  for (int i = 0; i < 200; ++i) {
+    service.Insert(Guid::FromSequence(std::uint64_t(1000 + i)),
+                   NetworkAddress{AsId(i % env_.graph.num_nodes()), 1});
+  }
+
+  // Find a populated prefix.
+  Cidr victim;
+  AsId owner = kInvalidAs;
+  std::vector<Guid> affected;
+  for (const PrefixRecord& record : env_.table.AllPrefixes()) {
+    affected = service.GuidsStoredIn(record.owner, record.prefix);
+    if (!affected.empty()) {
+      victim = record.prefix;
+      owner = record.owner;
+      break;
+    }
+  }
+  ASSERT_NE(owner, kInvalidAs);
+
+  ASSERT_TRUE(env_.table.Withdraw(victim));
+  int moved = 0;
+  for (const Guid& g : affected) moved += service.Rehome(g);
+  EXPECT_GT(moved, 0);
+
+  for (const Guid& g : affected) {
+    const LookupResult r = service.Lookup(g, 123);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.attempts, 1);
+  }
+  // Restore the table for other tests sharing the fixture (none do, but
+  // keep the environment consistent).
+  env_.table.Announce(victim, owner);
+}
+
+TEST_F(DMapServiceTest, MeasureUpdateLatencyOffReturnsMinusOne) {
+  DMapOptions options = Options();
+  options.measure_update_latency = false;
+  DMapService service(env_.graph, env_.table, options);
+  const UpdateResult up =
+      service.Insert(Guid::FromSequence(17), NetworkAddress{10, 1});
+  EXPECT_DOUBLE_EQ(up.latency_ms, -1.0);
+}
+
+TEST_F(DMapServiceTest, InvalidArgumentsThrow) {
+  DMapService service(env_.graph, env_.table, Options());
+  EXPECT_THROW(service.Insert(Guid::FromSequence(18),
+                              NetworkAddress{env_.graph.num_nodes(), 1}),
+               std::invalid_argument);
+  EXPECT_THROW(service.Lookup(Guid::FromSequence(18),
+                              env_.graph.num_nodes()),
+               std::invalid_argument);
+  DMapOptions bad;
+  bad.k = 0;
+  EXPECT_THROW(DMapService(env_.graph, env_.table, bad),
+               std::invalid_argument);
+}
+
+// Property sweep: for every K, lookups of inserted GUIDs always succeed and
+// larger K never increases the per-query latency (same seed, same hash
+// family prefix — h_1..h_k is a prefix of h_1..h_{k+1}).
+class DMapServiceKSweep : public DMapServiceTest,
+                          public testing::WithParamInterface<int> {};
+
+TEST_P(DMapServiceKSweep, AllLookupsResolve) {
+  DMapOptions options = Options(GetParam());
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  for (int i = 0; i < 50; ++i) {
+    service.Insert(Guid::FromSequence(std::uint64_t(i)),
+                   NetworkAddress{AsId(i % env_.graph.num_nodes()), 1});
+  }
+  for (int i = 0; i < 50; ++i) {
+    const LookupResult r = service.Lookup(Guid::FromSequence(std::uint64_t(i)),
+                                          AsId((i * 7) % 300));
+    ASSERT_TRUE(r.found) << "guid " << i;
+    EXPECT_EQ(r.attempts, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KValues, DMapServiceKSweep,
+                         testing::Values(1, 2, 3, 5, 8));
+
+TEST_F(DMapServiceTest, LargerKNeverHurtsLatency) {
+  // With the same hash seed, the replica set for K is a prefix of the set
+  // for K+1, so min-RTT selection can only improve.
+  std::vector<double> latencies;
+  for (const int k : {1, 3, 5}) {
+    DMapOptions options = Options(k);
+    options.local_replica = false;
+    DMapService service(env_.graph, env_.table, options);
+    const Guid g = Guid::FromSequence(20);
+    service.Insert(g, NetworkAddress{10, 1});
+    latencies.push_back(service.Lookup(g, 250).latency_ms);
+  }
+  EXPECT_LE(latencies[1], latencies[0]);
+  EXPECT_LE(latencies[2], latencies[1]);
+}
+
+}  // namespace
+}  // namespace dmap

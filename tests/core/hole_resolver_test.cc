@@ -1,0 +1,178 @@
+#include "core/hole_resolver.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/prefix_gen.h"
+#include "common/rng.h"
+
+namespace dmap {
+namespace {
+
+Cidr C(const std::string& text) {
+  Cidr c;
+  EXPECT_TRUE(Cidr::Parse(text, &c)) << text;
+  return c;
+}
+
+TEST(HoleResolverTest, FirstHashHitWhenFullyAnnounced) {
+  PrefixTable table;
+  table.Announce(C("0.0.0.0/1"), 1);
+  table.Announce(C("128.0.0.0/1"), 2);
+  const GuidHashFamily hashes(3, 1);
+  const HoleResolver resolver(hashes, table);
+  const Guid g = Guid::FromSequence(7);
+  for (int i = 0; i < 3; ++i) {
+    const HostResolution r = resolver.Resolve(g, i);
+    EXPECT_EQ(r.hash_count, 1);
+    EXPECT_FALSE(r.used_nearest);
+    EXPECT_EQ(r.stored_address, r.hashed_address);
+    EXPECT_EQ(r.host, hashes.Hash(g, i).value() < 0x80000000u ? 1u : 2u);
+  }
+}
+
+TEST(HoleResolverTest, RehashesPastHoles) {
+  // Only the top half is announced: ~50% hole rate forces rehashing for
+  // roughly half of the GUIDs, and every resolution must land on AS 1.
+  PrefixTable table;
+  table.Announce(C("128.0.0.0/1"), 1);
+  const GuidHashFamily hashes(1, 2);
+  const HoleResolver resolver(hashes, table, 40);
+  int rehashed = 0;
+  constexpr int kGuids = 2000;
+  for (int i = 0; i < kGuids; ++i) {
+    const HostResolution r =
+        resolver.Resolve(Guid::FromSequence(std::uint64_t(i)), 0);
+    EXPECT_EQ(r.host, 1u);
+    EXPECT_FALSE(r.used_nearest);  // M=40 makes fall-through ~2^-40
+    EXPECT_GE(r.stored_address.value(), 0x80000000u);
+    if (r.hash_count > 1) ++rehashed;
+  }
+  EXPECT_NEAR(double(rehashed) / kGuids, 0.5, 0.05);
+}
+
+TEST(HoleResolverTest, RehashCountIsGeometric) {
+  PrefixTable table;
+  table.Announce(C("128.0.0.0/1"), 1);  // hit probability 1/2
+  const GuidHashFamily hashes(1, 3);
+  const HoleResolver resolver(hashes, table, 64);
+  double total_hashes = 0;
+  constexpr int kGuids = 5000;
+  for (int i = 0; i < kGuids; ++i) {
+    total_hashes +=
+        resolver.Resolve(Guid::FromSequence(std::uint64_t(i)), 0).hash_count;
+  }
+  // Geometric with p = 1/2: mean 2 tries.
+  EXPECT_NEAR(total_hashes / kGuids, 2.0, 0.1);
+}
+
+TEST(HoleResolverTest, DeputyFallbackAfterMTries) {
+  // A tiny announced island makes every hash miss: with M = 3 the resolver
+  // must fall through to the nearest-announced rule.
+  PrefixTable table;
+  table.Announce(C("10.0.0.0/24"), 7);
+  const GuidHashFamily hashes(1, 4);
+  const HoleResolver resolver(hashes, table, 3);
+  const Guid g = Guid::FromSequence(1);
+  const HostResolution r = resolver.Resolve(g, 0);
+  EXPECT_TRUE(r.used_nearest);
+  EXPECT_EQ(r.hash_count, 3);
+  EXPECT_EQ(r.host, 7u);
+  // The stored address is inside the island; the hashed address is the end
+  // of the 3-step chain.
+  EXPECT_TRUE(C("10.0.0.0/24").Contains(r.stored_address));
+  Ipv4Address chain = hashes.Hash(g, 0);
+  chain = hashes.Rehash(chain, 0);
+  chain = hashes.Rehash(chain, 0);
+  EXPECT_EQ(r.hashed_address, chain);
+}
+
+TEST(HoleResolverTest, FallThroughProbabilityMatchesPaper) {
+  // Paper, Section III-B: at ~55% announced the probability of reaching an
+  // IP hole after M = 10 hashes is ~0.034% ((1 - 0.55)^10 = 0.034%).
+  PrefixGenParams params;
+  params.num_ases = 300;
+  params.announced_fraction = 0.55;
+  params.seed = 8;
+  const PrefixTable table = GeneratePrefixTable(params);
+  const GuidHashFamily hashes(1, 5);
+  const HoleResolver resolver(hashes, table, 10);
+  int fallbacks = 0;
+  constexpr int kGuids = 100000;
+  for (int i = 0; i < kGuids; ++i) {
+    if (resolver.Resolve(Guid::FromSequence(std::uint64_t(i)), 0)
+            .used_nearest) {
+      ++fallbacks;
+    }
+  }
+  // Expected ~34 of 100k; allow generous sampling noise.
+  EXPECT_LT(fallbacks, 120);
+  EXPECT_GT(fallbacks, 1);
+}
+
+TEST(HoleResolverTest, DeterministicAcrossInstances) {
+  // Any two gateways agree on placement — the property that lets DMap skip
+  // all coordination.
+  PrefixGenParams params;
+  params.num_ases = 100;
+  params.seed = 10;
+  const PrefixTable table = GeneratePrefixTable(params);
+  const GuidHashFamily h1(5, 42), h2(5, 42);
+  const HoleResolver r1(h1, table, 10), r2(h2, table, 10);
+  for (int i = 0; i < 200; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    for (int k = 0; k < 5; ++k) {
+      EXPECT_EQ(r1.Resolve(g, k).host, r2.Resolve(g, k).host);
+    }
+  }
+}
+
+TEST(HoleResolverTest, ResolveAllReturnsKResults) {
+  PrefixTable table;
+  table.Announce(C("0.0.0.0/0"), 1);
+  const GuidHashFamily hashes(5, 6);
+  const HoleResolver resolver(hashes, table);
+  EXPECT_EQ(resolver.ResolveAll(Guid::FromSequence(1)).size(), 5u);
+  EXPECT_EQ(resolver.k(), 5);
+}
+
+TEST(HoleResolverTest, EmptyTableThrows) {
+  PrefixTable table;
+  const GuidHashFamily hashes(1, 7);
+  const HoleResolver resolver(hashes, table, 2);
+  EXPECT_THROW(resolver.Resolve(Guid::FromSequence(1), 0), std::logic_error);
+}
+
+TEST(HoleResolverTest, FastPathAgreesWithTrie) {
+  // The DIR-24-8 fast path must not change a single placement decision.
+  PrefixGenParams params;
+  params.num_ases = 200;
+  params.seed = 12;
+  const PrefixTable table = GeneratePrefixTable(params);
+  const Dir24_8 fast(table);
+  const GuidHashFamily hashes(3, 21);
+  const HoleResolver slow_resolver(hashes, table, 10);
+  HoleResolver fast_resolver(hashes, table, 10);
+  fast_resolver.SetFastPath(&fast);
+
+  for (int i = 0; i < 5000; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    for (int replica = 0; replica < 3; ++replica) {
+      const HostResolution a = slow_resolver.Resolve(g, replica);
+      const HostResolution b = fast_resolver.Resolve(g, replica);
+      ASSERT_EQ(a.host, b.host);
+      ASSERT_EQ(a.stored_address, b.stored_address);
+      ASSERT_EQ(a.hash_count, b.hash_count);
+      ASSERT_EQ(a.used_nearest, b.used_nearest);
+    }
+  }
+}
+
+TEST(HoleResolverTest, InvalidMaxHashesThrows) {
+  PrefixTable table;
+  table.Announce(C("0.0.0.0/0"), 1);
+  const GuidHashFamily hashes(1, 8);
+  EXPECT_THROW(HoleResolver(hashes, table, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,99 @@
+#include "core/ipv6_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dmap {
+namespace {
+
+std::vector<AnnouncedIpv6Prefix> MakeTable(int count) {
+  // Global-unicast-looking /48 and /32 allocations spread over 2000::/3.
+  std::vector<AnnouncedIpv6Prefix> prefixes;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t hi =
+        0x2000000000000000ULL | (std::uint64_t(i) * 0x0000030000450000ULL);
+    prefixes.push_back(AnnouncedIpv6Prefix{
+        Cidr6(Ipv6Address(hi, 0), i % 3 == 0 ? 32 : 48),
+        AsId(i % 11)});
+  }
+  return prefixes;
+}
+
+TEST(Ipv6IndexTest, SegmentsProjectPrefixSpans) {
+  const auto prefix = Cidr6::Parse("2001:db8:42::/48");
+  ASSERT_TRUE(prefix.has_value());
+  const std::vector<AnnouncedIpv6Prefix> prefixes{{*prefix, 9}};
+  const auto segments = SegmentsFromIpv6Prefixes(prefixes);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].base, 0x20010db800420000ULL);
+  EXPECT_EQ(segments[0].size, std::uint64_t{1} << 16);
+  EXPECT_EQ(segments[0].owner, 9u);
+}
+
+TEST(Ipv6IndexTest, TooLongPrefixThrows) {
+  const auto prefix = Cidr6::Parse("2001:db8::/96");
+  ASSERT_TRUE(prefix.has_value());
+  const std::vector<AnnouncedIpv6Prefix> prefixes{{*prefix, 1}};
+  EXPECT_THROW(SegmentsFromIpv6Prefixes(prefixes), std::invalid_argument);
+}
+
+TEST(Ipv6IndexTest, ResolutionLandsInsideAnnouncedPrefix) {
+  const GuidHashFamily hashes(2, 3);
+  const auto table = MakeTable(200);
+  const Ipv6BucketIndex index(table, 64, hashes);
+  for (int i = 0; i < 500; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    for (int replica = 0; replica < 2; ++replica) {
+      const auto r = index.Resolve(g, replica);
+      // The address must fall inside exactly one announced prefix, owned
+      // by the reported host.
+      bool covered = false;
+      for (const AnnouncedIpv6Prefix& p : table) {
+        if (p.prefix.Contains(r.address)) {
+          EXPECT_EQ(p.owner, r.host);
+          covered = true;
+        }
+      }
+      EXPECT_TRUE(covered) << r.address.ToString();
+    }
+  }
+}
+
+TEST(Ipv6IndexTest, DeterministicAcrossParticipants) {
+  const GuidHashFamily h1(2, 9), h2(2, 9);
+  const auto table = MakeTable(50);
+  const Ipv6BucketIndex a(table, 16, h1), b(table, 16, h2);
+  for (int i = 0; i < 100; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    EXPECT_EQ(a.Resolve(g, 0).host, b.Resolve(g, 0).host);
+    EXPECT_EQ(a.Resolve(g, 1).address, b.Resolve(g, 1).address);
+  }
+}
+
+TEST(Ipv6IndexTest, LoadProportionalToBucketedSegments) {
+  // All segments equal-sized: load should be roughly uniform per segment.
+  std::vector<AnnouncedIpv6Prefix> table;
+  for (int i = 0; i < 20; ++i) {
+    table.push_back(AnnouncedIpv6Prefix{
+        Cidr6(Ipv6Address(0x2000000000000000ULL +
+                              std::uint64_t(i) * (1ULL << 40),
+                          0),
+              48),
+        AsId(i)});
+  }
+  const GuidHashFamily hashes(1, 5);
+  const Ipv6BucketIndex index(table, 20, hashes);
+  std::map<AsId, int> counts;
+  constexpr int kGuids = 20000;
+  for (int i = 0; i < kGuids; ++i) {
+    ++counts[index.Resolve(Guid::FromSequence(std::uint64_t(i)), 0).host];
+  }
+  EXPECT_EQ(counts.size(), 20u);
+  for (const auto& [as, count] : counts) {
+    EXPECT_NEAR(count, kGuids / 20, 150) << "AS " << as;
+  }
+}
+
+}  // namespace
+}  // namespace dmap

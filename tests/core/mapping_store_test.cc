@@ -1,0 +1,102 @@
+#include "core/mapping_store.h"
+
+#include <gtest/gtest.h>
+
+namespace dmap {
+namespace {
+
+MappingEntry Entry(AsId as, std::uint64_t version) {
+  return MappingEntry{NaSet(NetworkAddress{as, as * 10}), version};
+}
+
+TEST(MappingStoreTest, InsertAndLookup) {
+  MappingStore store;
+  const Guid g = Guid::FromSequence(1);
+  EXPECT_EQ(store.Lookup(g), nullptr);
+  EXPECT_TRUE(store.Upsert(g, Entry(5, 1)));
+  const MappingEntry* found = store.Lookup(g);
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(found->nas.AttachedTo(5));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(MappingStoreTest, NewerVersionWins) {
+  MappingStore store;
+  const Guid g = Guid::FromSequence(2);
+  store.Upsert(g, Entry(5, 1));
+  EXPECT_TRUE(store.Upsert(g, Entry(6, 2)));
+  EXPECT_TRUE(store.Lookup(g)->nas.AttachedTo(6));
+}
+
+TEST(MappingStoreTest, StaleUpdateRejected) {
+  // The mobility race of Section III-D-2: an in-flight old update must not
+  // clobber a newer mapping.
+  MappingStore store;
+  const Guid g = Guid::FromSequence(3);
+  store.Upsert(g, Entry(6, 5));
+  EXPECT_FALSE(store.Upsert(g, Entry(5, 4)));
+  EXPECT_TRUE(store.Lookup(g)->nas.AttachedTo(6));
+  EXPECT_EQ(store.Lookup(g)->version, 5u);
+}
+
+TEST(MappingStoreTest, EqualVersionIsIdempotentReapply) {
+  MappingStore store;
+  const Guid g = Guid::FromSequence(4);
+  store.Upsert(g, Entry(6, 5));
+  EXPECT_TRUE(store.Upsert(g, Entry(6, 5)));  // replay of the same update
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(MappingStoreTest, EraseAndReinsert) {
+  MappingStore store;
+  const Guid g = Guid::FromSequence(5);
+  store.Upsert(g, Entry(1, 1));
+  EXPECT_TRUE(store.Erase(g));
+  EXPECT_FALSE(store.Erase(g));
+  EXPECT_EQ(store.Lookup(g), nullptr);
+  EXPECT_TRUE(store.empty());
+  // After an erase the version gate resets (fresh entry).
+  EXPECT_TRUE(store.Upsert(g, Entry(2, 1)));
+}
+
+TEST(MappingStoreTest, StorageBitsAccounting) {
+  MappingStore store;
+  EXPECT_EQ(store.StorageBits(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    store.Upsert(Guid::FromSequence(std::uint64_t(i)), Entry(1, 1));
+  }
+  EXPECT_EQ(store.StorageBits(), 10u * 352u);
+}
+
+TEST(MappingStoreTest, ForEachVisitsAll) {
+  MappingStore store;
+  for (int i = 0; i < 25; ++i) {
+    store.Upsert(Guid::FromSequence(std::uint64_t(i)), Entry(AsId(i), 1));
+  }
+  int count = 0;
+  store.ForEach([&](const Guid& guid, const MappingEntry& entry) {
+    (void)guid;
+    EXPECT_EQ(entry.version, 1u);
+    ++count;
+  });
+  EXPECT_EQ(count, 25);
+}
+
+TEST(MappingStoreTest, ManyGuidsNoInterference) {
+  MappingStore store;
+  constexpr int kCount = 10000;
+  for (int i = 0; i < kCount; ++i) {
+    store.Upsert(Guid::FromSequence(std::uint64_t(i)),
+                 Entry(AsId(i % 100), std::uint64_t(i)));
+  }
+  EXPECT_EQ(store.size(), std::size_t(kCount));
+  for (int i = 0; i < kCount; i += 997) {
+    const MappingEntry* e = store.Lookup(Guid::FromSequence(std::uint64_t(i)));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->version, std::uint64_t(i));
+    EXPECT_TRUE(e->nas.AttachedTo(AsId(i % 100)));
+  }
+}
+
+}  // namespace
+}  // namespace dmap

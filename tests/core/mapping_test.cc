@@ -1,0 +1,89 @@
+#include "core/mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace dmap {
+namespace {
+
+TEST(NaSetTest, StartsEmpty) {
+  NaSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0);
+  EXPECT_FALSE(set.full());
+}
+
+TEST(NaSetTest, SingleNaConstructor) {
+  const NaSet set(NetworkAddress{3, 100});
+  EXPECT_EQ(set.size(), 1);
+  EXPECT_TRUE(set.Contains(NetworkAddress{3, 100}));
+  EXPECT_TRUE(set.AttachedTo(3));
+  EXPECT_FALSE(set.AttachedTo(4));
+}
+
+TEST(NaSetTest, AddRejectsDuplicates) {
+  NaSet set;
+  EXPECT_TRUE(set.Add(NetworkAddress{1, 10}));
+  EXPECT_FALSE(set.Add(NetworkAddress{1, 10}));
+  EXPECT_EQ(set.size(), 1);
+  // Same AS, different locator is a distinct NA.
+  EXPECT_TRUE(set.Add(NetworkAddress{1, 11}));
+  EXPECT_EQ(set.size(), 2);
+}
+
+TEST(NaSetTest, CapacityIsFive) {
+  NaSet set;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(set.Add(NetworkAddress{i, i}));
+  }
+  EXPECT_TRUE(set.full());
+  EXPECT_FALSE(set.Add(NetworkAddress{9, 9}));
+  EXPECT_EQ(set.size(), 5);
+}
+
+TEST(NaSetTest, RemoveKeepsOthers) {
+  NaSet set;
+  set.Add(NetworkAddress{1, 1});
+  set.Add(NetworkAddress{2, 2});
+  set.Add(NetworkAddress{3, 3});
+  EXPECT_TRUE(set.Remove(NetworkAddress{2, 2}));
+  EXPECT_EQ(set.size(), 2);
+  EXPECT_TRUE(set.Contains(NetworkAddress{1, 1}));
+  EXPECT_TRUE(set.Contains(NetworkAddress{3, 3}));
+  EXPECT_FALSE(set.Contains(NetworkAddress{2, 2}));
+  EXPECT_FALSE(set.Remove(NetworkAddress{2, 2}));
+}
+
+TEST(NaSetTest, EqualityIsOrderInsensitive) {
+  NaSet a, b;
+  a.Add(NetworkAddress{1, 1});
+  a.Add(NetworkAddress{2, 2});
+  b.Add(NetworkAddress{2, 2});
+  b.Add(NetworkAddress{1, 1});
+  EXPECT_EQ(a, b);
+  b.Add(NetworkAddress{3, 3});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(NaSetTest, IterationVisitsAllEntries) {
+  NaSet set;
+  set.Add(NetworkAddress{1, 1});
+  set.Add(NetworkAddress{2, 2});
+  int visited = 0;
+  for (const NetworkAddress& na : set) {
+    EXPECT_TRUE(na.as == 1 || na.as == 2);
+    ++visited;
+  }
+  EXPECT_EQ(visited, 2);
+}
+
+TEST(MappingTest, EntryBitsMatchPaperAccounting) {
+  // Section IV-A: 160 + 5*32 + 32 = 352 bits per entry.
+  EXPECT_EQ(kMappingEntryBits, 352);
+}
+
+TEST(MappingTest, NetworkAddressToString) {
+  EXPECT_EQ(ToString(NetworkAddress{42, 7}), "AS42:7");
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,173 @@
+#include "proto/messages.h"
+
+#include <gtest/gtest.h>
+
+namespace dmap {
+namespace {
+
+MappingEntry MakeEntry(int nas = 2) {
+  MappingEntry entry;
+  entry.version = 42;
+  for (int i = 0; i < nas; ++i) {
+    entry.nas.Add(NetworkAddress{AsId(100 + i), std::uint32_t(1000 + i)});
+  }
+  return entry;
+}
+
+template <typename T>
+T RoundTrip(const T& message) {
+  const std::vector<std::uint8_t> wire = Encode(Message{message});
+  const std::optional<Message> decoded = Decode(wire);
+  EXPECT_TRUE(decoded.has_value());
+  const T* typed = std::get_if<T>(&*decoded);
+  EXPECT_NE(typed, nullptr);
+  return *typed;
+}
+
+TEST(MessagesTest, InsertRequestRoundTrip) {
+  InsertRequest m;
+  m.header = MessageHeader{0xdeadbeefcafeULL, 7, 9};
+  m.guid = Guid::FromSequence(5);
+  m.entry = MakeEntry(3);
+  const InsertRequest back = RoundTrip(m);
+  EXPECT_EQ(back.header.request_id, m.header.request_id);
+  EXPECT_EQ(back.header.src, 7u);
+  EXPECT_EQ(back.header.dst, 9u);
+  EXPECT_EQ(back.guid, m.guid);
+  EXPECT_EQ(back.entry, m.entry);
+}
+
+TEST(MessagesTest, InsertAckRoundTrip) {
+  InsertAck m;
+  m.header = MessageHeader{1, 2, 3};
+  m.guid = Guid::FromSequence(6);
+  m.applied = true;
+  const InsertAck back = RoundTrip(m);
+  EXPECT_TRUE(back.applied);
+  EXPECT_EQ(back.guid, m.guid);
+}
+
+TEST(MessagesTest, LookupRequestRoundTrip) {
+  LookupRequest m;
+  m.header = MessageHeader{11, 22, 33};
+  m.guid = Guid::FromSequence(7);
+  const LookupRequest back = RoundTrip(m);
+  EXPECT_EQ(back.guid, m.guid);
+}
+
+TEST(MessagesTest, LookupResponseFoundAndMissing) {
+  LookupResponse found;
+  found.header = MessageHeader{1, 2, 3};
+  found.guid = Guid::FromSequence(8);
+  found.found = true;
+  found.entry = MakeEntry(1);
+  const LookupResponse back = RoundTrip(found);
+  EXPECT_TRUE(back.found);
+  EXPECT_EQ(back.entry, found.entry);
+
+  LookupResponse missing;
+  missing.header = MessageHeader{4, 5, 6};
+  missing.guid = Guid::FromSequence(9);
+  missing.found = false;
+  const LookupResponse back2 = RoundTrip(missing);
+  EXPECT_FALSE(back2.found);
+  // The missing variant must be shorter (no entry payload).
+  EXPECT_LT(EncodedSize(Message{missing}), EncodedSize(Message{found}));
+}
+
+TEST(MessagesTest, MigrateRoundTrips) {
+  MigrateRequest req;
+  req.header = MessageHeader{9, 8, 7};
+  req.guid = Guid::FromSequence(10);
+  EXPECT_EQ(RoundTrip(req).guid, req.guid);
+
+  MigrateResponse resp;
+  resp.header = MessageHeader{9, 7, 8};
+  resp.guid = Guid::FromSequence(10);
+  resp.found = true;
+  resp.entry = MakeEntry(5);
+  const MigrateResponse back = RoundTrip(resp);
+  EXPECT_TRUE(back.found);
+  EXPECT_EQ(back.entry.nas.size(), 5);
+}
+
+TEST(MessagesTest, TypeOfAndHeaderAccessors) {
+  Message m = LookupRequest{MessageHeader{1, 2, 3}, Guid::FromSequence(1)};
+  EXPECT_EQ(TypeOf(m), MessageType::kLookupRequest);
+  EXPECT_EQ(HeaderOf(m).src, 2u);
+  MutableHeaderOf(m).dst = 99;
+  EXPECT_EQ(HeaderOf(m).dst, 99u);
+}
+
+TEST(MessagesTest, DecodeRejectsBadMagicAndVersion) {
+  LookupRequest m;
+  m.guid = Guid::FromSequence(1);
+  std::vector<std::uint8_t> wire = Encode(Message{m});
+  auto corrupted = wire;
+  corrupted[0] ^= 0xff;
+  EXPECT_FALSE(Decode(corrupted).has_value());
+  corrupted = wire;
+  corrupted[2] = 99;  // version
+  EXPECT_FALSE(Decode(corrupted).has_value());
+  corrupted = wire;
+  corrupted[3] = 0;  // invalid type
+  EXPECT_FALSE(Decode(corrupted).has_value());
+}
+
+TEST(MessagesTest, DecodeRejectsEveryTruncation) {
+  InsertRequest m;
+  m.header = MessageHeader{1, 2, 3};
+  m.guid = Guid::FromSequence(2);
+  m.entry = MakeEntry(4);
+  const std::vector<std::uint8_t> wire = Encode(Message{m});
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        Decode(std::span<const std::uint8_t>(wire.data(), len)).has_value())
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(MessagesTest, DecodeRejectsTrailingGarbage) {
+  LookupRequest m;
+  m.guid = Guid::FromSequence(3);
+  std::vector<std::uint8_t> wire = Encode(Message{m});
+  wire.push_back(0x00);
+  EXPECT_FALSE(Decode(wire).has_value());
+}
+
+TEST(MessagesTest, DecodeRejectsOversizedNaCount) {
+  InsertRequest m;
+  m.header = MessageHeader{1, 2, 3};
+  m.guid = Guid::FromSequence(4);
+  m.entry = MakeEntry(1);
+  std::vector<std::uint8_t> wire = Encode(Message{m});
+  // The NA count byte sits right after header(20) + guid(20) + version(8).
+  const std::size_t count_offset = 20 + 20 + 8;
+  ASSERT_LT(count_offset, wire.size());
+  wire[count_offset] = 6;  // > kMaxNas
+  EXPECT_FALSE(Decode(wire).has_value());
+}
+
+TEST(MessagesTest, DecodeRejectsNonBooleanFlags) {
+  LookupResponse m;
+  m.header = MessageHeader{1, 2, 3};
+  m.guid = Guid::FromSequence(5);
+  m.found = false;
+  std::vector<std::uint8_t> wire = Encode(Message{m});
+  wire.back() = 2;  // found flag must be 0/1
+  EXPECT_FALSE(Decode(wire).has_value());
+}
+
+TEST(MessagesTest, WireSizeMatchesPaperScale) {
+  // A full mapping entry on the wire: close to the paper's 352-bit (44
+  // byte) entry estimate plus protocol header.
+  InsertRequest m;
+  m.guid = Guid::FromSequence(6);
+  m.entry = MakeEntry(5);
+  const std::size_t size = EncodedSize(Message{m});
+  // header 20 + guid 20 + version 8 + count 1 + 5 * 8 + stored addr 4 = 93.
+  EXPECT_EQ(size, 93u);
+}
+
+}  // namespace
+}  // namespace dmap

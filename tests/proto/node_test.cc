@@ -1,0 +1,231 @@
+#include "proto/node.h"
+
+#include <gtest/gtest.h>
+
+namespace dmap {
+namespace {
+
+Cidr C(const std::string& text) {
+  Cidr c;
+  EXPECT_TRUE(Cidr::Parse(text, &c)) << text;
+  return c;
+}
+
+class DMapNodeTest : public testing::Test {
+ protected:
+  DMapNodeTest() : hashes_(1, 7) {
+    table_.Announce(C("0.0.0.0/1"), 1);
+    table_.Announce(C("128.0.0.0/1"), 2);
+  }
+
+  InsertRequest MakeInsert(const Guid& guid, AsId src, AsId dst,
+                           std::uint64_t version = 1) {
+    InsertRequest m;
+    m.header = MessageHeader{777, src, dst};
+    m.guid = guid;
+    m.entry.version = version;
+    m.entry.nas.Add(NetworkAddress{src, 1});
+    return m;
+  }
+
+  LookupRequest MakeLookup(const Guid& guid, AsId src, AsId dst) {
+    LookupRequest m;
+    m.header = MessageHeader{888, src, dst};
+    m.guid = guid;
+    return m;
+  }
+
+  PrefixTable table_;
+  GuidHashFamily hashes_;
+};
+
+TEST_F(DMapNodeTest, InsertThenLookupFound) {
+  DMapNode node(1, table_, hashes_);
+  const Guid g = Guid::FromSequence(1);
+
+  std::vector<Message> out;
+  node.HandleMessage(MakeInsert(g, 5, 1), &out);
+  ASSERT_EQ(out.size(), 1u);
+  const auto* ack = std::get_if<InsertAck>(&out[0]);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_TRUE(ack->applied);
+  EXPECT_EQ(ack->header.dst, 5u);        // back to the requester
+  EXPECT_EQ(ack->header.request_id, 777u);  // correlates with the request
+  EXPECT_EQ(node.store().size(), 1u);
+
+  out.clear();
+  node.HandleMessage(MakeLookup(g, 9, 1), &out);
+  ASSERT_EQ(out.size(), 1u);
+  const auto* response = std::get_if<LookupResponse>(&out[0]);
+  ASSERT_NE(response, nullptr);
+  EXPECT_TRUE(response->found);
+  EXPECT_TRUE(response->entry.nas.AttachedTo(5));
+  EXPECT_EQ(response->header.dst, 9u);
+  EXPECT_EQ(node.stats().lookups_served, 1u);
+}
+
+TEST_F(DMapNodeTest, StaleInsertRejected) {
+  DMapNode node(1, table_, hashes_);
+  const Guid g = Guid::FromSequence(2);
+  std::vector<Message> out;
+  node.HandleMessage(MakeInsert(g, 5, 1, /*version=*/3), &out);
+  out.clear();
+  node.HandleMessage(MakeInsert(g, 6, 1, /*version=*/2), &out);
+  const auto* ack = std::get_if<InsertAck>(&out[0]);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_FALSE(ack->applied);
+  EXPECT_EQ(node.stats().inserts_rejected_stale, 1u);
+  EXPECT_TRUE(node.store().Lookup(g)->nas.AttachedTo(5));
+}
+
+TEST_F(DMapNodeTest, LookupMissTriggersMigrationHunt) {
+  // The GUID's hash chain resolves to some owner; a lookup at that owner
+  // for an absent mapping must ask the deputy (chain continuation) before
+  // answering.
+  const Guid g = Guid::FromSequence(3);
+  const Ipv4Address first = hashes_.Hash(g, 0);
+  const AsId owner = table_.Lookup(first)->owner;
+  DMapNode node(owner, table_, hashes_);
+
+  std::vector<Message> out;
+  node.HandleMessage(MakeLookup(g, 9, owner), &out);
+  ASSERT_EQ(out.size(), 1u);
+  const auto* migrate = std::get_if<MigrateRequest>(&out[0]);
+  ASSERT_NE(migrate, nullptr);
+  EXPECT_EQ(migrate->guid, g);
+  EXPECT_NE(migrate->header.dst, owner);
+  EXPECT_EQ(node.stats().migrations_requested, 1u);
+
+  // The deputy answers with the mapping: the node stores it and replies to
+  // the waiting querier.
+  MigrateResponse deputy_reply;
+  deputy_reply.header =
+      MessageHeader{migrate->header.request_id, migrate->header.dst, owner};
+  deputy_reply.guid = g;
+  deputy_reply.found = true;
+  deputy_reply.entry.version = 1;
+  deputy_reply.entry.nas.Add(NetworkAddress{42, 1});
+
+  out.clear();
+  node.HandleMessage(Message{deputy_reply}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  const auto* response = std::get_if<LookupResponse>(&out[0]);
+  ASSERT_NE(response, nullptr);
+  EXPECT_TRUE(response->found);
+  EXPECT_EQ(response->header.dst, 9u);
+  EXPECT_EQ(response->header.request_id, 888u);
+  EXPECT_NE(node.store().Lookup(g), nullptr);  // migrated in
+  EXPECT_EQ(node.stats().migrations_received, 1u);
+}
+
+TEST_F(DMapNodeTest, ConcurrentLookupsShareOneMigration) {
+  const Guid g = Guid::FromSequence(4);
+  const AsId owner = table_.Lookup(hashes_.Hash(g, 0))->owner;
+  DMapNode node(owner, table_, hashes_);
+
+  std::vector<Message> out;
+  node.HandleMessage(MakeLookup(g, 9, owner), &out);
+  ASSERT_EQ(out.size(), 1u);
+  const auto migrate = std::get<MigrateRequest>(out[0]);
+
+  // A second lookup while the migration is in flight queues silently.
+  out.clear();
+  node.HandleMessage(MakeLookup(g, 10, owner), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(node.stats().migrations_requested, 1u);
+
+  // One deputy answer satisfies both queriers.
+  MigrateResponse reply;
+  reply.header =
+      MessageHeader{migrate.header.request_id, migrate.header.dst, owner};
+  reply.guid = g;
+  reply.found = true;
+  reply.entry.version = 1;
+  reply.entry.nas.Add(NetworkAddress{42, 1});
+  out.clear();
+  node.HandleMessage(Message{reply}, &out);
+  ASSERT_EQ(out.size(), 2u);
+  for (const Message& m : out) {
+    const auto* response = std::get_if<LookupResponse>(&m);
+    ASSERT_NE(response, nullptr);
+    EXPECT_TRUE(response->found);
+  }
+}
+
+TEST_F(DMapNodeTest, MigrationFallsThroughCandidatesThenGivesUp) {
+  const Guid g = Guid::FromSequence(5);
+  const AsId owner = table_.Lookup(hashes_.Hash(g, 0))->owner;
+  DMapNode node(owner, table_, hashes_);
+
+  std::vector<Message> out;
+  node.HandleMessage(MakeLookup(g, 9, owner), &out);
+  // Keep answering "not found" until the node gives up.
+  int migrations = 0;
+  while (!out.empty()) {
+    const auto* migrate = std::get_if<MigrateRequest>(&out[0]);
+    if (migrate == nullptr) break;
+    ++migrations;
+    ASSERT_LT(migrations, 10) << "unbounded migration hunt";
+    MigrateResponse reply;
+    reply.header =
+        MessageHeader{migrate->header.request_id, migrate->header.dst, owner};
+    reply.guid = g;
+    reply.found = false;
+    out.clear();
+    node.HandleMessage(Message{reply}, &out);
+  }
+  ASSERT_EQ(out.size(), 1u);
+  const auto* response = std::get_if<LookupResponse>(&out[0]);
+  ASSERT_NE(response, nullptr);
+  EXPECT_FALSE(response->found);
+  EXPECT_EQ(node.stats().lookups_missing, 1u);
+}
+
+TEST_F(DMapNodeTest, MigrateRequestHandsOverAndDeletes) {
+  DMapNode node(2, table_, hashes_);
+  const Guid g = Guid::FromSequence(6);
+  std::vector<Message> out;
+  node.HandleMessage(MakeInsert(g, 5, 2), &out);
+  out.clear();
+
+  MigrateRequest request;
+  request.header = MessageHeader{55, 1, 2};
+  request.guid = g;
+  node.HandleMessage(Message{request}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  const auto* response = std::get_if<MigrateResponse>(&out[0]);
+  ASSERT_NE(response, nullptr);
+  EXPECT_TRUE(response->found);
+  EXPECT_TRUE(response->entry.nas.AttachedTo(5));
+  // "Relocates" rather than copies.
+  EXPECT_EQ(node.store().Lookup(g), nullptr);
+  EXPECT_EQ(node.stats().migrations_served, 1u);
+}
+
+TEST_F(DMapNodeTest, MigrateRequestForUnknownGuidSaysNotFound) {
+  DMapNode node(2, table_, hashes_);
+  MigrateRequest request;
+  request.header = MessageHeader{55, 1, 2};
+  request.guid = Guid::FromSequence(7);
+  std::vector<Message> out;
+  node.HandleMessage(Message{request}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(std::get<MigrateResponse>(out[0]).found);
+}
+
+TEST_F(DMapNodeTest, StaleMigrateResponseIgnored) {
+  DMapNode node(1, table_, hashes_);
+  MigrateResponse reply;
+  reply.header = MessageHeader{1234, 2, 1};
+  reply.guid = Guid::FromSequence(8);
+  reply.found = true;
+  reply.entry.version = 1;
+  reply.entry.nas.Add(NetworkAddress{42, 1});
+  std::vector<Message> out;
+  node.HandleMessage(Message{reply}, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(node.store().size(), 0u);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,217 @@
+#include "sim/event_driven.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "sim/environment.h"
+#include "workload/workload.h"
+
+namespace dmap {
+namespace {
+
+class EventDrivenTest : public testing::Test {
+ protected:
+  EventDrivenTest()
+      : env_(BuildEnvironment(EnvironmentParams::Scaled(300, 17))) {}
+
+  DMapOptions Options(int k = 3) {
+    DMapOptions o;
+    o.k = k;
+    o.measure_update_latency = false;
+    return o;
+  }
+
+  SimEnvironment env_;
+};
+
+TEST_F(EventDrivenTest, CompletesWithCorrectResult) {
+  DMapService service(env_.graph, env_.table, Options());
+  const Guid g = Guid::FromSequence(1);
+  service.Insert(g, NetworkAddress{10, 1});
+
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  std::optional<LookupResult> result;
+  executor.LookupAsync(g, 200, SimTime::Millis(5),
+                       [&](const LookupResult& r) { result = r; });
+  sim.Run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->found);
+  EXPECT_TRUE(result->nas.AttachedTo(10));
+}
+
+TEST_F(EventDrivenTest, AgreesWithClosedFormOnSuccessfulLookups) {
+  // The core cross-validation: the event-driven exchange must reproduce
+  // the closed-form latency exactly, across many GUIDs and queriers.
+  DMapService service(env_.graph, env_.table, Options());
+  WorkloadParams params;
+  params.num_guids = 200;
+  params.seed = 3;
+  WorkloadGenerator workload(env_.graph, params);
+  for (const InsertOp& op : workload.Inserts()) {
+    service.Insert(op.guid, op.na);
+  }
+
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  int checked = 0;
+  for (const LookupOp& op : workload.Lookups(300)) {
+    const LookupResult expected = service.Lookup(op.guid, op.source);
+    std::optional<LookupResult> got;
+    executor.LookupAsync(op.guid, op.source, SimTime::Zero(),
+                         [&](const LookupResult& r) { got = r; });
+    sim.Run();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->found, expected.found);
+    EXPECT_NEAR(got->latency_ms, expected.latency_ms, 1e-9)
+        << "guid lookup from AS " << op.source;
+    EXPECT_EQ(got->served_locally, expected.served_locally);
+    if (got->found) {
+      EXPECT_EQ(got->nas, expected.nas);
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, 300);
+}
+
+TEST_F(EventDrivenTest, AgreesWithClosedFormUnderFailures) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  options.failure_timeout_ms = 321.0;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(2);
+  service.Insert(g, NetworkAddress{10, 1});
+
+  const auto plan = service.ProbePlan(g, 99);
+  service.SetFailedAses({plan[0].first});
+
+  const LookupResult expected = service.Lookup(g, 99);
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  std::optional<LookupResult> got;
+  executor.LookupAsync(g, 99, SimTime::Zero(),
+                       [&](const LookupResult& r) { got = r; });
+  sim.Run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->found, expected.found);
+  EXPECT_NEAR(got->latency_ms, expected.latency_ms, 1e-9);
+  EXPECT_EQ(got->attempts, expected.attempts);
+}
+
+TEST_F(EventDrivenTest, MissReportsAccumulatedCost) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid unknown = Guid::FromSequence(999);
+
+  const LookupResult expected = service.Lookup(unknown, 50);
+  ASSERT_FALSE(expected.found);
+
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  std::optional<LookupResult> got;
+  executor.LookupAsync(unknown, 50, SimTime::Zero(),
+                       [&](const LookupResult& r) { got = r; });
+  sim.Run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(got->found);
+  EXPECT_NEAR(got->latency_ms, expected.latency_ms, 1e-9);
+  EXPECT_EQ(got->attempts, options.k);
+}
+
+TEST_F(EventDrivenTest, ConcurrentLookupsDoNotInterfere) {
+  DMapService service(env_.graph, env_.table, Options());
+  WorkloadParams params;
+  params.num_guids = 50;
+  params.seed = 4;
+  WorkloadGenerator workload(env_.graph, params);
+  for (const InsertOp& op : workload.Inserts()) {
+    service.Insert(op.guid, op.na);
+  }
+
+  // Launch 100 lookups at staggered starts in a single simulation run.
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  std::vector<std::pair<LookupOp, std::optional<LookupResult>>> flights;
+  flights.reserve(100);
+  for (const LookupOp& op : workload.Lookups(100)) {
+    flights.emplace_back(op, std::nullopt);
+  }
+  for (std::size_t i = 0; i < flights.size(); ++i) {
+    executor.LookupAsync(
+        flights[i].first.guid, flights[i].first.source,
+        SimTime::Millis(double(i) * 0.37),
+        [&flights, i](const LookupResult& r) { flights[i].second = r; });
+  }
+  sim.Run();
+  for (auto& [op, result] : flights) {
+    ASSERT_TRUE(result.has_value());
+    const LookupResult expected = service.Lookup(op.guid, op.source);
+    EXPECT_NEAR(result->latency_ms, expected.latency_ms, 1e-9);
+  }
+}
+
+TEST_F(EventDrivenTest, UpdateCompletesAtMaxReplicaRtt) {
+  DMapOptions options = Options();
+  options.measure_update_latency = true;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(10);
+  service.Insert(g, NetworkAddress{10, 1});
+
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  std::optional<UpdateResult> got;
+  executor.UpdateAsync(g, NetworkAddress{20, 2}, SimTime::Millis(3),
+                       [&](const UpdateResult& r) { got = r; });
+  sim.Run();
+  ASSERT_TRUE(got.has_value());
+  // Completion time = start (3ms) + max replica RTT from the new AS.
+  double max_rtt = 0;
+  for (const AsId host : got->replicas) {
+    max_rtt = std::max(max_rtt, service.oracle().RttMs(20, host));
+  }
+  EXPECT_NEAR(got->latency_ms, max_rtt, 1e-9);
+  EXPECT_NEAR(sim.Now().millis(), 3.0 + max_rtt, 1e-9);
+  // The mapping did move.
+  EXPECT_TRUE(service.Lookup(g, 50).nas.AttachedTo(20));
+}
+
+TEST_F(EventDrivenTest, UpdateComputesLatencyWhenServiceSkipsIt) {
+  DMapService service(env_.graph, env_.table, Options());  // measurement off
+  const Guid g = Guid::FromSequence(11);
+  service.Insert(g, NetworkAddress{10, 1});
+
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  std::optional<UpdateResult> got;
+  executor.UpdateAsync(g, NetworkAddress{30, 2}, SimTime::Zero(),
+                       [&](const UpdateResult& r) { got = r; });
+  sim.Run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_GT(got->latency_ms, 0.0);
+  EXPECT_NEAR(sim.Now().millis(), got->latency_ms, 1e-9);
+}
+
+TEST_F(EventDrivenTest, LocalWinsRaceWhenCloserEventCancelled) {
+  DMapService service(env_.graph, env_.table, Options());
+  const Guid g = Guid::FromSequence(5);
+  service.Insert(g, NetworkAddress{42, 1});
+
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  std::optional<LookupResult> got;
+  int callbacks = 0;
+  executor.LookupAsync(g, 42, SimTime::Zero(), [&](const LookupResult& r) {
+    got = r;
+    ++callbacks;
+  });
+  sim.Run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(callbacks, 1);  // exactly one completion despite the race
+  EXPECT_TRUE(got->served_locally);
+  EXPECT_NEAR(got->latency_ms, 2.0 * env_.graph.IntraLatencyMs(42), 1e-9);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,155 @@
+#include "sim/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace dmap {
+namespace {
+
+class ExperimentsTest : public testing::Test {
+ protected:
+  ExperimentsTest()
+      : env_(BuildEnvironment(EnvironmentParams::Scaled(400, 23))) {}
+
+  ResponseTimeConfig SmallConfig(int k) {
+    ResponseTimeConfig c;
+    c.k = k;
+    c.workload.num_guids = 500;
+    c.workload.num_lookups = 3000;
+    c.workload.seed = 5;
+    return c;
+  }
+
+  SimEnvironment env_;
+};
+
+TEST_F(ExperimentsTest, ResponseTimeSamplesEveryLookup) {
+  const SampleSet samples = RunResponseTimeExperiment(env_, SmallConfig(3));
+  EXPECT_EQ(samples.count(), 3000u);
+  EXPECT_GT(samples.min(), 0.0);
+}
+
+TEST_F(ExperimentsTest, MoreReplicasReduceTailLatency) {
+  // Figure 4's headline: the K = 5 CDF dominates K = 1.
+  const SampleSet k1 = RunResponseTimeExperiment(env_, SmallConfig(1));
+  const SampleSet k5 = RunResponseTimeExperiment(env_, SmallConfig(5));
+  EXPECT_LT(k5.Quantile(0.95), k1.Quantile(0.95));
+  EXPECT_LT(k5.mean(), k1.mean());
+  EXPECT_LT(k5.Quantile(0.5), k1.Quantile(0.5));
+}
+
+TEST_F(ExperimentsTest, ChurnZeroMatchesBaseline) {
+  ChurnExperimentConfig config;
+  config.base = SmallConfig(5);
+  config.churn_fraction = 0.0;
+  const SampleSet churned = RunChurnExperiment(env_, config);
+  const SampleSet baseline = RunResponseTimeExperiment(env_, config.base);
+  ASSERT_EQ(churned.count(), baseline.count());
+  EXPECT_NEAR(churned.mean(), baseline.mean(), 1e-9);
+}
+
+TEST_F(ExperimentsTest, ChurnInflatesTail) {
+  // Figure 5: 5-10% churn grows the 95th percentile while the median stays
+  // nearly unchanged.
+  ChurnExperimentConfig config;
+  config.base = SmallConfig(5);
+  config.churn_fraction = 0.10;
+  const SampleSet churned = RunChurnExperiment(env_, config);
+  const SampleSet baseline = RunResponseTimeExperiment(env_, config.base);
+  EXPECT_GT(churned.Quantile(0.95), baseline.Quantile(0.95));
+  EXPECT_NEAR(churned.Quantile(0.5), baseline.Quantile(0.5),
+              baseline.Quantile(0.5) * 0.35);
+}
+
+TEST_F(ExperimentsTest, LoadBalanceNlrCentersAroundOne) {
+  LoadBalanceConfig config;
+  config.num_guids = 50'000;
+  const LoadBalanceResult result = RunLoadBalanceExperiment(env_, config);
+  EXPECT_GT(result.nlr.count(), 300u);  // nearly every AS announces
+  const double median = result.nlr.Quantile(0.5);
+  EXPECT_GT(median, 0.7);
+  EXPECT_LT(median, 1.6);
+  // Hash evaluations reflect the ~1/announced_fraction geometric mean.
+  const double evals_per_resolution =
+      double(result.total_hash_evals) /
+      double(config.num_guids * std::uint64_t(config.k));
+  EXPECT_GT(evals_per_resolution, 1.5);
+  EXPECT_LT(evals_per_resolution, 2.5);
+}
+
+TEST_F(ExperimentsTest, LoadBalanceFastPathChangesNothing) {
+  LoadBalanceConfig with_fast, without_fast;
+  with_fast.num_guids = without_fast.num_guids = 20'000;
+  with_fast.use_fast_path = true;
+  without_fast.use_fast_path = false;
+  const auto a = RunLoadBalanceExperiment(env_, with_fast);
+  const auto b = RunLoadBalanceExperiment(env_, without_fast);
+  EXPECT_EQ(a.deputy_fallbacks, b.deputy_fallbacks);
+  EXPECT_EQ(a.total_hash_evals, b.total_hash_evals);
+  ASSERT_EQ(a.nlr.count(), b.nlr.count());
+  EXPECT_DOUBLE_EQ(a.nlr.mean(), b.nlr.mean());
+  EXPECT_DOUBLE_EQ(a.nlr.Quantile(0.5), b.nlr.Quantile(0.5));
+}
+
+TEST_F(ExperimentsTest, LoadBalanceSharpensWithMoreGuids) {
+  // Figure 6: the NLR CDF tightens around 1 as GUID count grows.
+  LoadBalanceConfig small, large;
+  small.num_guids = 5'000;
+  large.num_guids = 200'000;
+  const auto small_result = RunLoadBalanceExperiment(env_, small);
+  const auto large_result = RunLoadBalanceExperiment(env_, large);
+  const double small_spread = small_result.nlr.Quantile(0.9) -
+                              small_result.nlr.Quantile(0.1);
+  const double large_spread = large_result.nlr.Quantile(0.9) -
+                              large_result.nlr.Quantile(0.1);
+  EXPECT_LT(large_spread, small_spread);
+}
+
+TEST_F(ExperimentsTest, SweepAgreesWithIndependentRuns) {
+  // The one-pass multi-K sweep must reproduce each independent run exactly
+  // (same seeds, hash-prefix property).
+  const auto sweep = RunResponseTimeSweep(env_, {1, 3, 5}, SmallConfig(5));
+  ASSERT_EQ(sweep.size(), 3u);
+  for (const auto& [k, samples] : sweep) {
+    const SampleSet independent =
+        RunResponseTimeExperiment(env_, SmallConfig(k));
+    ASSERT_EQ(samples.count(), independent.count()) << "k=" << k;
+    EXPECT_NEAR(samples.mean(), independent.mean(), 1e-9) << "k=" << k;
+    EXPECT_NEAR(samples.Quantile(0.95), independent.Quantile(0.95), 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST_F(ExperimentsTest, ChurnSweepAgreesWithIndependentRuns) {
+  ChurnExperimentConfig config;
+  config.base = SmallConfig(5);
+  const auto sweep = RunChurnSweep(env_, {0.0, 0.10}, config);
+  ASSERT_EQ(sweep.size(), 2u);
+  for (const auto& [fraction, samples] : sweep) {
+    ChurnExperimentConfig single = config;
+    single.churn_fraction = fraction;
+    const SampleSet independent = RunChurnExperiment(env_, single);
+    ASSERT_EQ(samples.count(), independent.count()) << fraction;
+    EXPECT_NEAR(samples.mean(), independent.mean(), 1e-9) << fraction;
+  }
+}
+
+TEST_F(ExperimentsTest, BaselineComparisonOrdersSchemes) {
+  ResponseTimeConfig config = SmallConfig(5);
+  config.workload.num_lookups = 1000;
+  const auto rows = RunBaselineComparison(env_, config, 200);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].scheme, "dmap-k5");
+  EXPECT_EQ(rows[1].scheme, "chord-dht");
+
+  // DMap's single-overlay-hop lookups beat the multi-hop DHT — the paper's
+  // central comparative claim (Sections II-B, VI).
+  EXPECT_LT(rows[0].lookup.mean_ms, rows[1].lookup.mean_ms / 2);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.lookup.count, 1000u) << row.scheme;
+    EXPECT_EQ(row.update.count, 200u) << row.scheme;
+    EXPECT_GT(row.lookup.mean_ms, 0.0) << row.scheme;
+  }
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,160 @@
+// End-to-end integration: topology + prefixes + DMap + churn repair + mobile
+// hosts, exercised together the way the examples and benches compose them.
+#include <gtest/gtest.h>
+
+#include "bgp/churn.h"
+#include "core/dmap_service.h"
+#include "sim/environment.h"
+#include "sim/experiments.h"
+#include "workload/workload.h"
+
+namespace dmap {
+namespace {
+
+TEST(IntegrationTest, FullPipelineSmall) {
+  SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(350, 41));
+  DMapOptions options;
+  options.k = 5;
+  options.measure_update_latency = false;
+  DMapService service(env.graph, env.table, options);
+
+  WorkloadParams params;
+  params.num_guids = 300;
+  params.seed = 2;
+  WorkloadGenerator workload(env.graph, params);
+  for (const InsertOp& op : workload.Inserts()) {
+    service.Insert(op.guid, op.na);
+  }
+  EXPECT_GT(service.total_stored_entries(), 300u * 5u / 2u);
+
+  // Every registered GUID resolves from three different vantage points.
+  for (std::uint64_t i = 0; i < params.num_guids; i += 17) {
+    for (const AsId querier : {5u, 170u, 349u}) {
+      const LookupResult r = service.Lookup(workload.GuidAt(i), querier);
+      ASSERT_TRUE(r.found) << "guid " << i << " from " << querier;
+    }
+  }
+}
+
+TEST(IntegrationTest, MobileHostRemainsReachableThroughMoves) {
+  // The paper's motivating scenario: a voice call follows a device moving
+  // across attachment points (Section I).
+  SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(350, 42));
+  DMapOptions options;
+  options.k = 5;
+  DMapService service(env.graph, env.table, options);
+
+  const Guid phone = Guid::FromSequence(7);
+  service.Insert(phone, NetworkAddress{10, 1});
+  const AsId correspondent = 200;
+
+  std::vector<AsId> path{30, 60, 90, 120, 150};
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const UpdateResult up =
+        service.Update(phone, NetworkAddress{path[i], std::uint32_t(i + 2)});
+    EXPECT_GT(up.latency_ms, 0.0);
+    const LookupResult r = service.Lookup(phone, correspondent);
+    ASSERT_TRUE(r.found);
+    EXPECT_TRUE(r.nas.AttachedTo(path[i]))
+        << "stale mapping after move " << i;
+    EXPECT_EQ(r.nas.size(), 1);
+  }
+}
+
+TEST(IntegrationTest, ChurnRepairProtocolRestoresPlacement) {
+  // Section III-D-1 end-to-end: apply churn to the authoritative table,
+  // run the repair (Rehome) over affected GUIDs, and verify stale-view-free
+  // lookups work first-try again.
+  SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(300, 43));
+  DMapOptions options;
+  options.k = 3;
+  options.local_replica = false;
+  options.measure_update_latency = false;
+
+  // The service reads the table by reference, so churning env.table is
+  // visible to the resolver immediately.
+  DMapService service(env.graph, env.table, options);
+  WorkloadParams params;
+  params.num_guids = 400;
+  params.seed = 3;
+  WorkloadGenerator workload(env.graph, params);
+  for (const InsertOp& op : workload.Inserts()) {
+    service.Insert(op.guid, op.na);
+  }
+
+  Rng rng(4);
+  ChurnParams churn;
+  churn.withdraw_fraction = 0.05;
+  churn.announce_fraction = 0.05;
+  churn.num_ases = env.graph.num_nodes();
+  ApplyChurn(env.table, SampleChurn(env.table, churn, rng));
+
+  // After churn, some lookups need extra attempts; after repair, none do.
+  int moved = 0;
+  for (std::uint64_t i = 0; i < params.num_guids; ++i) {
+    moved += service.Rehome(workload.GuidAt(i));
+  }
+  EXPECT_GT(moved, 0) << "churn at 10% must displace some replicas";
+
+  for (std::uint64_t i = 0; i < params.num_guids; i += 7) {
+    const LookupResult r = service.Lookup(workload.GuidAt(i), 123);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.attempts, 1) << "guid " << i << " still misplaced";
+  }
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  // Two fully independent stacks built from the same seeds produce
+  // identical measurements — the reproducibility contract of DESIGN.md.
+  const auto run = [] {
+    SimEnvironment env =
+        BuildEnvironment(EnvironmentParams::Scaled(300, 44));
+    ResponseTimeConfig config;
+    config.k = 3;
+    config.workload.num_guids = 200;
+    config.workload.num_lookups = 1000;
+    config.workload.seed = 9;
+    const SampleSet samples = RunResponseTimeExperiment(env, config);
+    return std::make_tuple(samples.count(), samples.mean(),
+                           samples.Quantile(0.95));
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_DOUBLE_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_DOUBLE_EQ(std::get<2>(a), std::get<2>(b));
+}
+
+TEST(IntegrationTest, StorageAccountingConsistent) {
+  SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(300, 45));
+  DMapOptions options;
+  options.k = 4;
+  options.measure_update_latency = false;
+  DMapService service(env.graph, env.table, options);
+
+  WorkloadParams params;
+  params.num_guids = 250;
+  params.seed = 6;
+  WorkloadGenerator workload(env.graph, params);
+  for (const InsertOp& op : workload.Inserts()) {
+    service.Insert(op.guid, op.na);
+  }
+
+  // total_stored_entries must equal the sum over all per-AS stores.
+  std::uint64_t sum = 0;
+  for (const std::size_t size : service.StoreSizes()) sum += size;
+  EXPECT_EQ(sum, service.total_stored_entries());
+  // Between K and K+1 entries per GUID (local replica may coincide with a
+  // global one).
+  EXPECT_GE(sum, params.num_guids * 4);
+  EXPECT_LE(sum, params.num_guids * 5);
+
+  // Deregistering everything empties every store.
+  for (std::uint64_t i = 0; i < params.num_guids; ++i) {
+    EXPECT_TRUE(service.Deregister(workload.GuidAt(i)));
+  }
+  EXPECT_EQ(service.total_stored_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,81 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/prefix_table.h"
+
+namespace dmap {
+namespace {
+
+Cidr C(const std::string& text) {
+  Cidr c;
+  EXPECT_TRUE(Cidr::Parse(text, &c)) << text;
+  return c;
+}
+
+TEST(SummarizeTest, EmptyAndPopulated) {
+  SampleSet empty;
+  const ResponseTimeSummary none = Summarize(empty);
+  EXPECT_EQ(none.count, 0u);
+
+  SampleSet samples;
+  for (int i = 1; i <= 100; ++i) samples.Add(double(i));
+  const ResponseTimeSummary s = Summarize(samples);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 50.5);
+  EXPECT_DOUBLE_EQ(s.median_ms, 50.5);
+  EXPECT_NEAR(s.p95_ms, 95.05, 1e-9);
+}
+
+TEST(ComputeNlrTest, PerfectlyProportionalGivesOne) {
+  PrefixTable table;
+  table.Announce(C("0.0.0.0/2"), 0);    // 25% of space
+  table.Announce(C("64.0.0.0/2"), 1);   // 25%
+  table.Announce(C("128.0.0.0/1"), 2);  // 50%
+  // Replica counts exactly proportional to share.
+  const std::vector<std::uint64_t> counts{250, 250, 500};
+  const SampleSet nlr = ComputeNlr(counts, table);
+  ASSERT_EQ(nlr.count(), 3u);
+  for (const double v : nlr.samples()) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(ComputeNlrTest, OverAndUnderLoaded) {
+  PrefixTable table;
+  table.Announce(C("0.0.0.0/1"), 0);    // 50%
+  table.Announce(C("128.0.0.0/1"), 1);  // 50%
+  const std::vector<std::uint64_t> counts{900, 100};
+  const SampleSet nlr = ComputeNlr(counts, table);
+  // AS 0: 90% of GUIDs on 50% of space -> 1.8; AS 1 -> 0.2.
+  EXPECT_NEAR(nlr.max(), 1.8, 1e-12);
+  EXPECT_NEAR(nlr.min(), 0.2, 1e-12);
+}
+
+TEST(ComputeNlrTest, NonAnnouncingAsExcluded) {
+  PrefixTable table;
+  table.Announce(C("0.0.0.0/1"), 0);
+  table.Announce(C("128.0.0.0/1"), 1);
+  // Three counters but only two announcing ASs; AS 2's counter must be 0
+  // anyway (nothing can hash to it) and it is excluded from the CDF.
+  const std::vector<std::uint64_t> counts{500, 500, 0};
+  const SampleSet nlr = ComputeNlr(counts, table);
+  EXPECT_EQ(nlr.count(), 2u);
+}
+
+TEST(ComputeNlrTest, NoReplicasThrows) {
+  PrefixTable table;
+  table.Announce(C("0.0.0.0/1"), 0);
+  const std::vector<std::uint64_t> counts{0};
+  EXPECT_THROW(ComputeNlr(counts, table), std::invalid_argument);
+}
+
+TEST(FractionWithinTest, InclusiveBounds) {
+  SampleSet s;
+  for (const double v : {0.3, 0.4, 1.0, 1.6, 1.7}) s.Add(v);
+  EXPECT_DOUBLE_EQ(FractionWithin(s, 0.4, 1.6), 0.6);
+  EXPECT_DOUBLE_EQ(FractionWithin(s, 0.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(FractionWithin(s, 5.0, 6.0), 0.0);
+  EXPECT_DOUBLE_EQ(FractionWithin(SampleSet{}, 0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dmap

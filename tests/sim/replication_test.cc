@@ -1,0 +1,78 @@
+#include "sim/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/experiments.h"
+
+namespace dmap {
+namespace {
+
+TEST(ReplicationTest, SingleRunHasNoCi) {
+  const auto r = RunReplicated(1, 7, [](std::uint64_t seed) {
+    return double(seed);
+  });
+  EXPECT_EQ(r.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.mean, 7.0);
+  EXPECT_DOUBLE_EQ(r.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(r.ci95_half, 0.0);
+}
+
+TEST(ReplicationTest, KnownValuesAggregateCorrectly) {
+  // seeds 0..4 -> values 0, 1, 2, 3, 4: mean 2, sample stddev sqrt(2.5).
+  const auto r = RunReplicated(5, 0, [](std::uint64_t seed) {
+    return double(seed);
+  });
+  EXPECT_DOUBLE_EQ(r.mean, 2.0);
+  EXPECT_NEAR(r.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_NEAR(r.ci95_half, 1.96 * std::sqrt(2.5) / std::sqrt(5.0), 1e-12);
+  EXPECT_LT(r.ci_low(), r.mean);
+  EXPECT_GT(r.ci_high(), r.mean);
+}
+
+TEST(ReplicationTest, SeedsAreDistinctAndOrdered) {
+  std::vector<std::uint64_t> seen;
+  RunReplicated(4, 100, [&seen](std::uint64_t seed) {
+    seen.push_back(seed);
+    return 0.0;
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{100, 101, 102, 103}));
+}
+
+TEST(ReplicationTest, Validation) {
+  EXPECT_THROW(RunReplicated(0, 1, [](std::uint64_t) { return 0.0; }),
+               std::invalid_argument);
+}
+
+TEST(ReplicationTest, CiCoversTrueMeanOfNoisyEstimator) {
+  // A seeded noisy estimator of 10.0: the CI from 30 runs should cover it.
+  const auto r = RunReplicated(30, 42, [](std::uint64_t seed) {
+    Rng rng(seed);
+    return 10.0 + rng.NextGaussian();
+  });
+  EXPECT_GT(10.0, r.ci_low());
+  EXPECT_LT(10.0, r.ci_high());
+  EXPECT_NEAR(r.stddev, 1.0, 0.4);
+}
+
+TEST(ReplicationTest, EndToEndAcrossEnvironmentSeeds) {
+  // The real use: replicate a small response-time experiment across
+  // topologies. Means should be stable (CI well under the mean).
+  const auto r = RunReplicated(3, 1, [](std::uint64_t seed) {
+    SimEnvironment env = BuildEnvironment(
+        EnvironmentParams::Scaled(300, seed));
+    ResponseTimeConfig config;
+    config.k = 3;
+    config.workload.num_guids = 300;
+    config.workload.num_lookups = 2000;
+    config.workload.seed = seed;
+    return RunResponseTimeExperiment(env, config).mean();
+  });
+  EXPECT_GT(r.mean, 10.0);
+  EXPECT_LT(r.ci95_half, r.mean);  // sane spread across topologies
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,79 @@
+#include "sim/staleness.h"
+
+#include <gtest/gtest.h>
+
+namespace dmap {
+namespace {
+
+class StalenessTest : public testing::Test {
+ protected:
+  StalenessTest()
+      : env_(BuildEnvironment(EnvironmentParams::Scaled(300, 71))) {}
+
+  StalenessConfig SmallConfig() {
+    StalenessConfig c;
+    c.num_hosts = 100;
+    c.duration_s = 120.0;
+    c.k = 3;
+    return c;
+  }
+
+  SimEnvironment env_;
+};
+
+TEST_F(StalenessTest, NoMobilityMeansNoStaleness) {
+  StalenessConfig config = SmallConfig();
+  config.mean_move_interval_s = 1e9;  // effectively never moves
+  const StalenessReport r = RunStalenessExperiment(env_, config);
+  EXPECT_GT(r.lookups, 1000u);
+  EXPECT_EQ(r.moves, 0u);
+  EXPECT_EQ(r.stale_first_answers, 0u);
+  EXPECT_EQ(r.time_to_fresh_ms.count(), 0u);
+}
+
+TEST_F(StalenessTest, MobilityCreatesBoundedStaleness) {
+  StalenessConfig config = SmallConfig();
+  config.mean_move_interval_s = 20.0;  // aggressive mobility
+  const StalenessReport r = RunStalenessExperiment(env_, config);
+  EXPECT_GT(r.moves, 200u);
+  EXPECT_GT(r.stale_first_answers, 0u);
+  // Staleness window per move is ~one update RTT (~100 ms) out of a 20 s
+  // inter-move gap, so the stale fraction should be well under 5%.
+  EXPECT_LT(r.stale_fraction, 0.05);
+}
+
+TEST_F(StalenessTest, KeepCheckingConvergesQuickly) {
+  StalenessConfig config = SmallConfig();
+  config.mean_move_interval_s = 20.0;
+  const StalenessReport r = RunStalenessExperiment(env_, config);
+  if (r.time_to_fresh_ms.count() > 0) {
+    // The stale window is one update latency; with 50 ms rechecks the
+    // fresh binding arrives within a handful of retries.
+    EXPECT_LT(r.rechecks.mean(), 10.0);
+    EXPECT_LT(r.time_to_fresh_ms.Quantile(0.95), 1500.0);
+    EXPECT_EQ(r.time_to_fresh_ms.count(),
+              std::uint64_t(r.rechecks.count()));
+  }
+}
+
+TEST_F(StalenessTest, FasterMobilityMeansMoreStaleness) {
+  StalenessConfig slow = SmallConfig();
+  slow.mean_move_interval_s = 120.0;
+  StalenessConfig fast = SmallConfig();
+  fast.mean_move_interval_s = 10.0;
+  const StalenessReport r_slow = RunStalenessExperiment(env_, slow);
+  const StalenessReport r_fast = RunStalenessExperiment(env_, fast);
+  EXPECT_GT(r_fast.stale_fraction, r_slow.stale_fraction);
+}
+
+TEST_F(StalenessTest, DeterministicForSeed) {
+  const StalenessConfig config = SmallConfig();
+  const StalenessReport a = RunStalenessExperiment(env_, config);
+  const StalenessReport b = RunStalenessExperiment(env_, config);
+  EXPECT_EQ(a.lookups, b.lookups);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.stale_first_answers, b.stale_first_answers);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,84 @@
+#include "topo/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dmap {
+namespace {
+
+AsGraph MakeTriangle() {
+  // 0 -- 1 -- 2 -- 0 with distinct latencies.
+  const std::vector<AsLink> links{
+      {0, 1, 5.0}, {1, 2, 7.0}, {0, 2, 11.0}};
+  return AsGraph(3, links, {1.0, 2.0, 3.0}, {10.0, 20.0, 30.0});
+}
+
+TEST(AsGraphTest, BasicAccessors) {
+  const AsGraph g = MakeTriangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_links(), 3u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_DOUBLE_EQ(g.IntraLatencyMs(1), 2.0);
+  EXPECT_DOUBLE_EQ(g.EndNodeWeight(2), 30.0);
+}
+
+TEST(AsGraphTest, NeighborsAreSortedAndSymmetric) {
+  const AsGraph g = MakeTriangle();
+  const auto n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0].id, 1u);
+  EXPECT_EQ(n0[1].id, 2u);
+  EXPECT_DOUBLE_EQ(n0[0].latency_ms, 5.0);
+  EXPECT_DOUBLE_EQ(n0[1].latency_ms, 11.0);
+  // Symmetry: 2 sees 0 with the same latency.
+  const auto n2 = g.Neighbors(2);
+  ASSERT_EQ(n2.size(), 2u);
+  EXPECT_EQ(n2[0].id, 0u);
+  EXPECT_DOUBLE_EQ(n2[0].latency_ms, 11.0);
+}
+
+TEST(AsGraphTest, HasEdge) {
+  const AsGraph g = MakeTriangle();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  // Isolated pairs and self.
+  const std::vector<AsLink> chain{{0, 1, 1.0}};
+  const AsGraph g2(3, chain, {0, 0, 0}, {1, 1, 1});
+  EXPECT_FALSE(g2.HasEdge(0, 2));
+  EXPECT_FALSE(g2.HasEdge(2, 1));
+}
+
+TEST(AsGraphTest, IsolatedNodeHasNoNeighbors) {
+  const std::vector<AsLink> links{{0, 1, 1.0}};
+  const AsGraph g(3, links, {0, 0, 0}, {1, 1, 1});
+  EXPECT_EQ(g.Degree(2), 0u);
+  EXPECT_TRUE(g.Neighbors(2).empty());
+}
+
+TEST(AsGraphTest, ValidationRejectsBadInput) {
+  const std::vector<AsLink> out_of_range{{0, 5, 1.0}};
+  EXPECT_THROW(AsGraph(3, out_of_range, {0, 0, 0}, {1, 1, 1}),
+               std::invalid_argument);
+  const std::vector<AsLink> self_loop{{1, 1, 1.0}};
+  EXPECT_THROW(AsGraph(3, self_loop, {0, 0, 0}, {1, 1, 1}),
+               std::invalid_argument);
+  const std::vector<AsLink> negative{{0, 1, -1.0}};
+  EXPECT_THROW(AsGraph(3, negative, {0, 0, 0}, {1, 1, 1}),
+               std::invalid_argument);
+  const std::vector<AsLink> ok{{0, 1, 1.0}};
+  EXPECT_THROW(AsGraph(3, ok, {0, 0}, {1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(AsGraph(3, ok, {0, 0, 0}, {1, 1}), std::invalid_argument);
+}
+
+TEST(AsGraphTest, ParallelEdgesArePreserved) {
+  // Real AS pairs can have multiple peering links; the graph keeps both.
+  const std::vector<AsLink> links{{0, 1, 5.0}, {0, 1, 9.0}};
+  const AsGraph g(2, links, {0, 0}, {1, 1});
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.num_links(), 2u);
+}
+
+}  // namespace
+}  // namespace dmap

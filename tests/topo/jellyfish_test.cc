@@ -1,0 +1,95 @@
+#include "topo/jellyfish.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "topo/generator.h"
+
+namespace dmap {
+namespace {
+
+// Core triangle {0,1,2}; 3 is a shell node off 0; 4 is a hang off 3;
+// 5 is a hang directly off the core.
+AsGraph MakeJellyfishFixture() {
+  const std::vector<AsLink> links{
+      {0, 1, 1}, {1, 2, 1}, {0, 2, 1},  // core clique
+      {0, 3, 1}, {3, 6, 1},             // 3 is degree-3 shell
+      {3, 4, 1},                        // 4 hangs off 3
+      {2, 5, 1},                        // 5 hangs off the core
+      {6, 1, 1},                        // 6 closes a loop -> degree 2
+  };
+  return AsGraph(7, links, std::vector<double>(7, 1.0),
+                 std::vector<double>(7, 1.0));
+}
+
+TEST(JellyfishTest, GreedyCoreContainsMaxDegreeClique) {
+  const AsGraph g = MakeJellyfishFixture();
+  const auto core = FindGreedyCore(g);
+  // Highest degree node is 0 (degree 4) or 3 (degree 3) — 0 wins; the
+  // greedy clique from 0 is {0, 1, 2}.
+  EXPECT_EQ(core, (std::vector<AsId>{0, 1, 2}));
+}
+
+TEST(JellyfishTest, LayerAssignment) {
+  const AsGraph g = MakeJellyfishFixture();
+  const auto d = DecomposeJellyfish(g);
+  // Core members in Layer 0.
+  EXPECT_EQ(d.layer_of[0], 0);
+  EXPECT_EQ(d.layer_of[1], 0);
+  EXPECT_EQ(d.layer_of[2], 0);
+  // 3 and 6 are Shell-1 -> Layer 1.
+  EXPECT_EQ(d.layer_of[3], 1);
+  EXPECT_EQ(d.layer_of[6], 1);
+  // 5 hangs directly off the core: Hang-0 -> Layer 1.
+  EXPECT_EQ(d.layer_of[5], 1);
+  // 4 hangs off a Shell-1 node: Hang-1 -> Layer 2.
+  EXPECT_EQ(d.layer_of[4], 2);
+}
+
+TEST(JellyfishTest, LayerSizesAndRatiosConsistent) {
+  const AsGraph g = MakeJellyfishFixture();
+  const auto d = DecomposeJellyfish(g);
+  ASSERT_EQ(d.num_layers(), 3);
+  EXPECT_EQ(d.layer_size[0], 3u);
+  EXPECT_EQ(d.layer_size[1], 3u);
+  EXPECT_EQ(d.layer_size[2], 1u);
+  const double total = std::accumulate(d.layer_ratio.begin(),
+                                       d.layer_ratio.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(JellyfishTest, DisconnectedGraphThrows) {
+  const std::vector<AsLink> links{{0, 1, 1}, {1, 2, 1}, {0, 2, 1}};
+  const AsGraph g(5, links, std::vector<double>(5, 1.0),
+                  std::vector<double>(5, 1.0));
+  EXPECT_THROW(DecomposeJellyfish(g), std::invalid_argument);
+}
+
+TEST(JellyfishTest, GeneratedTopologyDecomposes) {
+  const AsGraph g = GenerateInternetTopology(ScaledTopologyParams(2000, 5));
+  const auto d = DecomposeJellyfish(g);
+  // The generator's tier-1 mesh should be (inside) the greedy core.
+  EXPECT_GE(d.core.size(), 4u);
+  // The Internet shape: few layers, with mass concentrated off-core.
+  EXPECT_GE(d.num_layers(), 2);
+  EXPECT_LE(d.num_layers(), 8);
+  EXPECT_LT(d.layer_ratio[0], 0.05);
+  std::uint32_t covered = 0;
+  for (const auto s : d.layer_size) covered += s;
+  EXPECT_EQ(covered, g.num_nodes());
+}
+
+TEST(JellyfishTest, CoreIsAClique) {
+  const AsGraph g = GenerateInternetTopology(ScaledTopologyParams(1000, 6));
+  const auto core = FindGreedyCore(g);
+  for (std::size_t i = 0; i < core.size(); ++i) {
+    for (std::size_t j = i + 1; j < core.size(); ++j) {
+      EXPECT_TRUE(g.HasEdge(core[i], core[j]))
+          << core[i] << "-" << core[j] << " missing";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,63 @@
+#include "topo/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.h"
+
+namespace dmap {
+namespace {
+
+TEST(TopologyStatsTest, RingGraphBasics) {
+  // A 6-ring: every degree 2, mean path 1.8 (1+1+2+2+3)/5, diameter 3.
+  std::vector<AsLink> links;
+  for (AsId v = 0; v < 6; ++v) links.push_back(AsLink{v, AsId((v + 1) % 6), 1.0});
+  const AsGraph ring(6, links, std::vector<double>(6, 1.0),
+                     std::vector<double>(6, 1.0));
+  Rng rng(1);
+  const TopologyStats stats = ComputeTopologyStats(ring, 6, rng);
+  EXPECT_EQ(stats.nodes, 6u);
+  EXPECT_EQ(stats.links, 6u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 2.0);
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(stats.stub_fraction, 0.0);
+  EXPECT_NEAR(stats.mean_path_hops, 1.8, 1e-9);
+  EXPECT_EQ(stats.diameter_lower_bound, 3u);
+}
+
+TEST(TopologyStatsTest, GeneratedTopologyMatchesInternetShape) {
+  const AsGraph g = GenerateInternetTopology(ScaledTopologyParams(5000, 3));
+  Rng rng(2);
+  const TopologyStats stats = ComputeTopologyStats(g, 20, rng);
+  // The published AS-graph values the generator targets (DESIGN.md):
+  // power-law tail exponent ~2.1, mean AS path 3.5-4.5 at this scale,
+  // a large stub population, mean degree ~6.8.
+  EXPECT_NEAR(stats.mean_degree, 6.8, 0.7);
+  // The peering-densification pass (generator step 3) upgrades some stubs,
+  // so the final degree-1 fraction sits below the 40% attachment mix —
+  // still a substantial stub population.
+  EXPECT_GT(stats.stub_fraction, 0.08);
+  EXPECT_LT(stats.stub_fraction, 0.55);
+  EXPECT_GT(stats.degree_powerlaw_alpha, 1.5);
+  EXPECT_LT(stats.degree_powerlaw_alpha, 3.2);
+  EXPECT_GT(stats.mean_path_hops, 2.0);
+  EXPECT_LT(stats.mean_path_hops, 5.0);
+  EXPECT_GE(stats.diameter_lower_bound, 4u);
+}
+
+TEST(TopologyStatsTest, EmptyGraphThrows) {
+  const AsGraph empty(0, {}, {}, {});
+  Rng rng(3);
+  EXPECT_THROW(ComputeTopologyStats(empty, 1, rng), std::invalid_argument);
+}
+
+TEST(TopologyStatsTest, SamplingIsDeterministicPerSeed) {
+  const AsGraph g = GenerateInternetTopology(ScaledTopologyParams(1000, 4));
+  Rng a(9), b(9);
+  const TopologyStats sa = ComputeTopologyStats(g, 10, a);
+  const TopologyStats sb = ComputeTopologyStats(g, 10, b);
+  EXPECT_DOUBLE_EQ(sa.mean_path_hops, sb.mean_path_hops);
+  EXPECT_EQ(sa.diameter_lower_bound, sb.diameter_lower_bound);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -1,0 +1,106 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topo/generator.h"
+
+namespace dmap {
+namespace {
+
+TEST(TraceTest, RoundTripAllOpKinds) {
+  std::vector<TraceOp> ops;
+  ops.emplace_back(InsertOp{Guid::FromSequence(1), NetworkAddress{10, 5}});
+  ops.emplace_back(LookupOp{Guid::FromSequence(2), 77});
+  ops.emplace_back(MoveOp{Guid::FromSequence(1), NetworkAddress{20, 6}});
+
+  std::stringstream buffer;
+  SaveTrace(ops, buffer);
+  const auto loaded = LoadTrace(buffer);
+  ASSERT_EQ(loaded.size(), 3u);
+
+  const auto* insert = std::get_if<InsertOp>(&loaded[0]);
+  ASSERT_NE(insert, nullptr);
+  EXPECT_EQ(insert->guid, Guid::FromSequence(1));
+  EXPECT_EQ(insert->na.as, 10u);
+  EXPECT_EQ(insert->na.locator, 5u);
+
+  const auto* lookup = std::get_if<LookupOp>(&loaded[1]);
+  ASSERT_NE(lookup, nullptr);
+  EXPECT_EQ(lookup->guid, Guid::FromSequence(2));
+  EXPECT_EQ(lookup->source, 77u);
+
+  const auto* move = std::get_if<MoveOp>(&loaded[2]);
+  ASSERT_NE(move, nullptr);
+  EXPECT_EQ(move->new_na.as, 20u);
+}
+
+TEST(TraceTest, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  SaveTrace({}, buffer);
+  EXPECT_TRUE(LoadTrace(buffer).empty());
+}
+
+TEST(TraceTest, GeneratedWorkloadRoundTrips) {
+  const AsGraph graph =
+      GenerateInternetTopology(ScaledTopologyParams(200, 1));
+  WorkloadParams params;
+  params.num_guids = 50;
+  WorkloadGenerator gen(graph, params);
+
+  std::vector<TraceOp> ops;
+  for (const InsertOp& op : gen.Inserts()) ops.emplace_back(op);
+  for (const LookupOp& op : gen.Lookups(500)) ops.emplace_back(op);
+
+  std::stringstream buffer;
+  SaveTrace(ops, buffer);
+  const auto loaded = LoadTrace(buffer);
+  ASSERT_EQ(loaded.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(loaded[i].index(), ops[i].index()) << "op " << i;
+  }
+}
+
+TEST(TraceTest, RejectsBadMagic) {
+  std::stringstream buffer("bogus\nI 00 1 2\n");
+  EXPECT_THROW(LoadTrace(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, RejectsBadGuid) {
+  std::stringstream buffer("dmap-trace v1\nI nothex 1 2\n");
+  EXPECT_THROW(LoadTrace(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, RejectsUnknownKind) {
+  std::stringstream buffer("dmap-trace v1\nX " + std::string(40, '0') +
+                           " 1\n");
+  EXPECT_THROW(LoadTrace(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, RejectsTruncatedFields) {
+  std::stringstream buffer("dmap-trace v1\nI " + std::string(40, '0') +
+                           " 1\n");  // missing locator
+  EXPECT_THROW(LoadTrace(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, SkipsBlankLines) {
+  std::stringstream buffer("dmap-trace v1\n\nL " + std::string(40, '0') +
+                           " 3\n\n");
+  const auto loaded = LoadTrace(buffer);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(std::get<LookupOp>(loaded[0]).source, 3u);
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  std::vector<TraceOp> ops;
+  ops.emplace_back(LookupOp{Guid::FromSequence(5), 1});
+  const std::string path = testing::TempDir() + "/trace_test.trace";
+  SaveTraceToFile(ops, path);
+  EXPECT_EQ(LoadTraceFromFile(path).size(), 1u);
+  EXPECT_THROW(LoadTraceFromFile("/nonexistent/file.trace"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dmap

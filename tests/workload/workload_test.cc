@@ -1,0 +1,145 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "topo/generator.h"
+
+namespace dmap {
+namespace {
+
+class WorkloadTest : public testing::Test {
+ protected:
+  WorkloadTest()
+      : graph_(GenerateInternetTopology(ScaledTopologyParams(500, 31))) {}
+
+  WorkloadParams Params(std::uint64_t guids = 1000) {
+    WorkloadParams p;
+    p.num_guids = guids;
+    p.seed = 7;
+    return p;
+  }
+
+  AsGraph graph_;
+};
+
+TEST_F(WorkloadTest, InsertsCoverEveryGuidOnce) {
+  WorkloadGenerator gen(graph_, Params());
+  const auto inserts = gen.Inserts();
+  ASSERT_EQ(inserts.size(), 1000u);
+  std::unordered_set<Guid, GuidHash> guids;
+  for (const InsertOp& op : inserts) {
+    EXPECT_LT(op.na.as, graph_.num_nodes());
+    EXPECT_NE(op.na.locator, 0u);
+    guids.insert(op.guid);
+  }
+  EXPECT_EQ(guids.size(), 1000u);  // all distinct
+}
+
+TEST_F(WorkloadTest, InsertsSortedBySource) {
+  WorkloadGenerator gen(graph_, Params());
+  const auto inserts = gen.Inserts(/*sort_by_source=*/true);
+  EXPECT_TRUE(std::is_sorted(inserts.begin(), inserts.end(),
+                             [](const InsertOp& a, const InsertOp& b) {
+                               return a.na.as < b.na.as;
+                             }));
+}
+
+TEST_F(WorkloadTest, LookupsTargetRegisteredGuids) {
+  WorkloadGenerator gen(graph_, Params(100));
+  gen.Inserts();
+  std::unordered_set<Guid, GuidHash> registered;
+  for (std::uint64_t i = 0; i < 100; ++i) registered.insert(gen.GuidAt(i));
+  for (const LookupOp& op : gen.Lookups(5000)) {
+    EXPECT_TRUE(registered.contains(op.guid));
+    EXPECT_LT(op.source, graph_.num_nodes());
+  }
+}
+
+TEST_F(WorkloadTest, PopularityIsSkewed) {
+  WorkloadGenerator gen(graph_, Params(1000));
+  std::map<Guid, int> counts;
+  for (const LookupOp& op : gen.Lookups(50000, /*sort_by_source=*/false)) {
+    ++counts[op.guid];
+  }
+  std::vector<int> sorted;
+  for (const auto& [guid, count] : counts) sorted.push_back(count);
+  std::sort(sorted.rbegin(), sorted.rend());
+  // Mandelbrot-Zipf (alpha=1.02, q=100): the head is much hotter than the
+  // tail but not single-GUID dominated (q flattens the peak).
+  EXPECT_GT(sorted.front(), 5 * sorted.back());
+  EXPECT_LT(double(sorted.front()) / 50000.0, 0.05);
+}
+
+TEST_F(WorkloadTest, SourcesFollowEndNodeWeights) {
+  WorkloadGenerator gen(graph_, Params(100));
+  gen.Inserts();
+  // Find the heaviest and a light AS.
+  AsId heavy = 0;
+  for (AsId v = 1; v < graph_.num_nodes(); ++v) {
+    if (graph_.EndNodeWeight(v) > graph_.EndNodeWeight(heavy)) heavy = v;
+  }
+  std::vector<int> counts(graph_.num_nodes(), 0);
+  for (const LookupOp& op : gen.Lookups(100000, false)) ++counts[op.source];
+  // The heaviest AS sources roughly its weight share of lookups.
+  double total_weight = 0;
+  for (AsId v = 0; v < graph_.num_nodes(); ++v) {
+    total_weight += graph_.EndNodeWeight(v);
+  }
+  const double expected =
+      graph_.EndNodeWeight(heavy) / total_weight * 100000.0;
+  EXPECT_NEAR(counts[heavy], expected, expected * 0.2 + 20);
+}
+
+TEST_F(WorkloadTest, MovesChangeAttachment) {
+  WorkloadGenerator gen(graph_, Params(50));
+  gen.Inserts();
+  const auto moves = gen.Moves(200);
+  ASSERT_EQ(moves.size(), 200u);
+  for (const MoveOp& op : moves) {
+    EXPECT_LT(op.new_na.as, graph_.num_nodes());
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicForSeed) {
+  WorkloadGenerator a(graph_, Params()), b(graph_, Params());
+  const auto ia = a.Inserts();
+  const auto ib = b.Inserts();
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    EXPECT_EQ(ia[i].guid, ib[i].guid);
+    EXPECT_EQ(ia[i].na.as, ib[i].na.as);
+  }
+  const auto la = a.Lookups(100);
+  const auto lb = b.Lookups(100);
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].guid, lb[i].guid);
+    EXPECT_EQ(la[i].source, lb[i].source);
+  }
+}
+
+TEST_F(WorkloadTest, DifferentSeedsDifferentGuids) {
+  WorkloadParams p2 = Params();
+  p2.seed = 8;
+  WorkloadGenerator a(graph_, Params()), b(graph_, p2);
+  EXPECT_NE(a.GuidAt(0), b.GuidAt(0));
+}
+
+TEST_F(WorkloadTest, AttachmentOfTracksInsertsAndMoves) {
+  WorkloadGenerator gen(graph_, Params(10));
+  EXPECT_THROW(gen.AttachmentOf(0), std::out_of_range);
+  const auto inserts = gen.Inserts(false);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(gen.AttachmentOf(i), inserts[i].na.as);
+  }
+}
+
+TEST_F(WorkloadTest, ValidationErrors) {
+  EXPECT_THROW(WorkloadGenerator(graph_, WorkloadParams{.num_guids = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmap
