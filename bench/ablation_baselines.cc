@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "runtime/thread_pool.h"
 #include "sim/experiments.h"
 
 int main(int argc, char** argv) {
@@ -16,12 +17,14 @@ int main(int argc, char** argv) {
   const auto options = bench::ParseBenchArgs(argc, argv);
 
   std::printf("=== Ablation: DMap vs baseline resolution schemes ===\n");
-  std::printf("scale=%.3f\n\n", options.scale);
+  std::printf("scale=%.3f threads=%u\n\n", options.scale,
+              ThreadPool::Resolve(options.threads));
 
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(8000, options.scale, 300)));
 
   ResponseTimeConfig config;
+  config.threads = options.threads;
   config.k = 5;
   config.workload.num_guids = bench::Scaled(20'000, options.scale, 1000);
   config.workload.num_lookups = bench::Scaled(100'000, options.scale, 5000);

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "runtime/thread_pool.h"
 #include "bgp/churn.h"
 #include "core/dmap_service.h"
 #include "sim/experiments.h"
@@ -24,7 +25,8 @@ int main(int argc, char** argv) {
   const auto options = bench::ParseBenchArgs(argc, argv);
 
   std::printf("=== Ablation: response time during BGP convergence ===\n");
-  std::printf("scale=%.3f\n\n", options.scale);
+  std::printf("scale=%.3f threads=%u\n\n", options.scale,
+              ThreadPool::Resolve(options.threads));
 
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(8000, options.scale, 300)));

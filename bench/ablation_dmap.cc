@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "bench/bench_util.h"
+#include "runtime/thread_pool.h"
 #include "core/as_hashing.h"
 #include "core/bucket_index.h"
 #include "core/cache.h"
@@ -28,12 +29,14 @@ int main(int argc, char** argv) {
   const auto options = bench::ParseBenchArgs(argc, argv);
 
   std::printf("=== Ablation: DMap design choices ===\n");
-  std::printf("scale=%.3f\n\n", options.scale);
+  std::printf("scale=%.3f threads=%u\n\n", options.scale,
+              ThreadPool::Resolve(options.threads));
 
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(8000, options.scale, 300)));
 
   ResponseTimeConfig config;
+  config.threads = options.threads;
   config.workload.num_guids = bench::Scaled(20'000, options.scale, 1000);
   config.workload.num_lookups = bench::Scaled(100'000, options.scale, 5000);
 

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "runtime/thread_pool.h"
 #include "core/dmap_service.h"
 #include "sim/experiments.h"
 #include "workload/workload.h"
@@ -21,7 +22,8 @@ int main(int argc, char** argv) {
 
   std::printf("=== Ablation: router failures vs replication (Sec III-D-3) "
               "===\n");
-  std::printf("scale=%.3f\n\n", options.scale);
+  std::printf("scale=%.3f threads=%u\n\n", options.scale,
+              ThreadPool::Resolve(options.threads));
 
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(8000, options.scale, 300)));

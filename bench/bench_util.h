@@ -15,20 +15,45 @@ namespace dmap::bench {
 
 struct BenchOptions {
   double scale = 1.0;
+  // Worker threads for the parallel experiment loops; 0 = one per hardware
+  // thread. Results are bit-identical for any value (DESIGN.md "Threading
+  // model"); 1 forces the serial code path.
+  unsigned threads = 0;
 };
+
+// Accepts both `--flag=value` and `--flag value` forms.
+inline const char* BenchArgValue(const char* arg, const char* name,
+                                 int argc, char** argv, int* i) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return nullptr;
+  if (arg[len] == '=') return arg + len + 1;
+  if (arg[len] == '\0' && *i + 1 < argc) return argv[++*i];
+  return nullptr;
+}
 
 inline BenchOptions ParseBenchArgs(int argc, char** argv) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--scale=", 8) == 0) {
-      options.scale = std::atof(arg + 8);
+    if (const char* value = BenchArgValue(arg, "--scale", argc, argv, &i)) {
+      options.scale = std::atof(value);
       if (options.scale <= 0) {
-        std::fprintf(stderr, "bad --scale value: %s\n", arg + 8);
+        std::fprintf(stderr, "bad --scale value: %s\n", value);
         std::exit(2);
       }
+    } else if (const char* value =
+                   BenchArgValue(arg, "--threads", argc, argv, &i)) {
+      // strtol with end-pointer validation: atoi would map garbage to 0,
+      // which is a legal value (all cores) — it must be rejected instead.
+      char* end = nullptr;
+      const long threads = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || threads < 0 || threads > 4096) {
+        std::fprintf(stderr, "bad --threads value: %s\n", value);
+        std::exit(2);
+      }
+      options.threads = unsigned(threads);
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("usage: %s [--scale=<f>]\n", argv[0]);
+      std::printf("usage: %s [--scale=<f>] [--threads=<n>]\n", argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);

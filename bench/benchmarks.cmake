@@ -1,6 +1,8 @@
 # One binary per paper table/figure plus ablations and microbenchmarks.
 # Every binary runs with sensible full-scale defaults and accepts
-#   --scale=<f>   shrink (or grow) the workload by factor f
+#   --scale=<f>    shrink (or grow) the workload by factor f
+#   --threads=<n>  experiment workers (0 = all cores); results are
+#                  identical for every value
 # so `for b in build/bench/*; do $b; done` regenerates every result.
 
 function(dmap_add_bench name)

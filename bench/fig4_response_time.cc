@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "runtime/thread_pool.h"
 #include "sim/experiments.h"
 
 int main(int argc, char** argv) {
@@ -17,12 +18,14 @@ int main(int argc, char** argv) {
   const auto options = bench::ParseBenchArgs(argc, argv);
 
   std::printf("=== Figure 4 / Table I: query response time vs K ===\n");
-  std::printf("scale=%.3f\n\n", options.scale);
+  std::printf("scale=%.3f threads=%u\n\n", options.scale,
+              ThreadPool::Resolve(options.threads));
 
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(26424, options.scale, 300)));
 
   ResponseTimeConfig config;
+  config.threads = options.threads;
   config.workload.num_guids = bench::Scaled(100'000, options.scale, 1000);
   config.workload.num_lookups =
       bench::Scaled(1'000'000, options.scale, 10'000);

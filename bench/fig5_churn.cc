@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "runtime/thread_pool.h"
 #include "sim/experiments.h"
 
 int main(int argc, char** argv) {
@@ -14,12 +15,14 @@ int main(int argc, char** argv) {
   const auto options = bench::ParseBenchArgs(argc, argv);
 
   std::printf("=== Figure 5: response time under BGP churn (K=5) ===\n");
-  std::printf("scale=%.3f\n\n", options.scale);
+  std::printf("scale=%.3f threads=%u\n\n", options.scale,
+              ThreadPool::Resolve(options.threads));
 
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(26424, options.scale, 300)));
 
   ChurnExperimentConfig config;
+  config.base.threads = options.threads;
   config.base.k = 5;
   config.base.workload.num_guids =
       bench::Scaled(100'000, options.scale, 1000);

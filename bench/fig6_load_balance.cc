@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "runtime/thread_pool.h"
 #include "sim/experiments.h"
 
 int main(int argc, char** argv) {
@@ -15,7 +16,8 @@ int main(int argc, char** argv) {
   const auto options = bench::ParseBenchArgs(argc, argv);
 
   std::printf("=== Figure 6: Normalized Load Ratio per AS (K=5) ===\n");
-  std::printf("scale=%.3f\n\n", options.scale);
+  std::printf("scale=%.3f threads=%u\n\n", options.scale,
+              ThreadPool::Resolve(options.threads));
 
   const SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(26424, options.scale, 300)));
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
         bench::Scaled(1'000'000, options.scale, 10'000),
         bench::Scaled(10'000'000, options.scale, 100'000)}) {
     LoadBalanceConfig config;
+    config.threads = options.threads;
     config.num_guids = guids;
     LoadBalanceResult result = RunLoadBalanceExperiment(env, config);
     const double evals =

@@ -13,6 +13,7 @@
 
 #include "analysis/jellyfish_model.h"
 #include "bench/bench_util.h"
+#include "runtime/thread_pool.h"
 #include "sim/experiments.h"
 #include "topo/jellyfish.h"
 
@@ -21,7 +22,8 @@ int main(int argc, char** argv) {
   const auto options = bench::ParseBenchArgs(argc, argv);
 
   std::printf("=== Figure 7: analytical response-time upper bound vs K ===\n");
-  std::printf("scale=%.3f\n\n", options.scale);
+  std::printf("scale=%.3f threads=%u\n\n", options.scale,
+              ThreadPool::Resolve(options.threads));
 
   const LayerModel present = PresentInternetModel();
   const LayerModel medium = MediumTermInternetModel();

@@ -5,6 +5,8 @@
 // mapping store.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "bgp/dir24_8.h"
 #include "bgp/prefix_gen.h"
 #include "common/hash.h"
@@ -12,6 +14,7 @@
 #include "core/hole_resolver.h"
 #include "core/mapping_store.h"
 #include "event/simulator.h"
+#include "runtime/thread_pool.h"
 #include "topo/generator.h"
 #include "topo/shortest_path.h"
 
@@ -127,6 +130,40 @@ void BM_Dijkstra(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Dijkstra)->Arg(5000);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  // Cost of one RunChunks dispatch with near-empty chunks: the fixed
+  // fan-out/join overhead a partitioned experiment pays per pass. With one
+  // worker this is the sequential fast path (a plain loop).
+  ThreadPool pool(unsigned(state.range(0)));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    pool.RunChunks(64, [&](std::size_t chunk, unsigned) {
+      sink.fetch_add(chunk, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ParallelSssp(benchmark::State& state) {
+  // Parallel-vs-serial SSSP throughput: 32 single-source runs spread over
+  // the pool — the dominant kernel of the experiment harnesses. Speedup vs
+  // Arg(1) shows the scaling headroom on multi-core hosts.
+  static const AsGraph graph =
+      GenerateInternetTopology(ScaledTopologyParams(2000, 3));
+  ThreadPool pool(unsigned(state.range(0)));
+  for (auto _ : state) {
+    pool.ParallelFor(0, 32, [&](std::size_t i, unsigned) {
+      benchmark::DoNotOptimize(
+          DijkstraLatency(graph, AsId(i * 61 % graph.num_nodes())));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ParallelSssp)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MappingStoreUpsertLookup(benchmark::State& state) {
   MappingStore store;

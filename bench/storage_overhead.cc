@@ -14,6 +14,7 @@
 
 #include "analysis/queueing.h"
 #include "bench/bench_util.h"
+#include "runtime/thread_pool.h"
 #include "core/storage_model.h"
 #include "sim/environment.h"
 #include "sim/experiments.h"
@@ -22,7 +23,9 @@ int main(int argc, char** argv) {
   using namespace dmap;
   const auto options = bench::ParseBenchArgs(argc, argv);
 
-  std::printf("=== Section IV-A: storage & update traffic overhead ===\n\n");
+  std::printf("=== Section IV-A: storage & update traffic overhead ===\n");
+  std::printf("scale=%.3f threads=%u\n\n", options.scale,
+              ThreadPool::Resolve(options.threads));
 
   const StorageModelParams params;  // the paper's assumptions
   const StorageEstimate e = EstimateStorage(params);
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(8000, options.scale, 300)));
   LoadBalanceConfig lb;
+  lb.threads = options.threads;
   lb.num_guids = bench::Scaled(500'000, options.scale, 50'000);
   const LoadBalanceResult nlr_run = RunLoadBalanceExperiment(env, lb);
 

@@ -16,6 +16,7 @@
 //   ks         = 1, 3, 5
 //   churn_fractions = 0.0, 0.05, 0.10
 //   local_replica   = true
+//   threads    = 0                  # experiment workers; 0 = all cores
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,7 +42,10 @@ int Run(const Config& config) {
       std::uint64_t(config.GetInt("seed", 42)));
   env_params.topology.geographic = config.GetBool("geographic", false);
 
+  const SimConfig sim = SimConfig::FromConfig(config);
+
   ResponseTimeConfig rt;
+  rt.threads = sim.threads;
   rt.workload.num_guids = std::uint64_t(config.GetInt("guids", 20'000));
   rt.workload.num_lookups =
       std::uint64_t(config.GetInt("lookups", 100'000));
@@ -159,6 +163,7 @@ int Run(const Config& config) {
     std::printf("%s", table.Render().c_str());
   } else if (experiment == "load_balance") {
     LoadBalanceConfig lb;
+    lb.threads = sim.threads;
     lb.k = ks.empty() ? 5 : ks.back();
     lb.num_guids = rt.workload.num_guids;
     const LoadBalanceResult result = RunLoadBalanceExperiment(env, lb);
@@ -216,7 +221,8 @@ int main(int argc, char** argv) {
         "geographic = false\nguids = 20000\nlookups = 100000\n"
         "workload_seed = 1\nks = 1, 3, 5\n"
         "churn_fractions = 0.0, 0.05, 0.10\nlocal_replica = true\n"
-        "replications = 1\ntopology_file =\nmove_intervals = 300, 60, 20, 5\n");
+        "replications = 1\ntopology_file =\nmove_intervals = 300, 60, 20, 5\n"
+        "threads = 0\n");
     return 0;
   }
   if (argc != 2) {

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace dmap {
 namespace {
@@ -174,6 +175,21 @@ std::vector<std::string> Config::UnusedKeys() const {
     if (!accessed_.contains(key)) unused.push_back(key);
   }
   return unused;
+}
+
+unsigned SimConfig::EffectiveThreads() const {
+  if (threads != 0) return threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+SimConfig SimConfig::FromConfig(const Config& config) {
+  SimConfig sim;
+  const std::int64_t threads = config.GetInt("threads", 0);
+  if (threads < 0) {
+    throw std::runtime_error("config: 'threads' must be >= 0");
+  }
+  sim.threads = unsigned(threads);
+  return sim;
 }
 
 }  // namespace dmap

@@ -60,4 +60,21 @@ class Config {
   mutable std::map<std::string, bool> accessed_;
 };
 
+// Process-wide execution knobs the experiment binaries thread into the
+// harnesses (currently just the worker-thread count). Separate from the
+// per-experiment configs because it describes the machine, not the
+// workload — results are bit-identical for any value of `threads`.
+struct SimConfig {
+  // 0 = one worker per hardware thread ($DMAP_THREADS overrides);
+  // 1 = the serial code path.
+  unsigned threads = 0;
+
+  // Resolves 0 to the hardware thread count (without consulting
+  // $DMAP_THREADS — that hook lives in ThreadPool::Resolve).
+  unsigned EffectiveThreads() const;
+
+  // Reads the `threads` key (default 0).
+  static SimConfig FromConfig(const Config& config);
+};
+
 }  // namespace dmap

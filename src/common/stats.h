@@ -42,6 +42,15 @@ class SampleSet {
   }
   void Reserve(std::size_t n) { samples_.reserve(n); }
 
+  // Appends `other`'s samples in their insertion order. The parallel
+  // experiment harnesses merge per-partition sets in partition order with
+  // this, which keeps the merged sequence independent of the thread count.
+  void Append(const SampleSet& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
   std::size_t count() const { return samples_.size(); }
   double mean() const;
   double min() const;

@@ -128,12 +128,12 @@ bool DMapService::Deregister(const Guid& guid) {
 }
 
 std::vector<std::pair<AsId, double>> DMapService::OrderReplicas(
-    AsId querier, const std::vector<AsId>& hosts) {
+    AsId querier, const std::vector<AsId>& hosts, unsigned shard) {
   std::vector<std::pair<AsId, double>> ordered;
   ordered.reserve(hosts.size());
   if (options_.selection == ReplicaSelection::kLowestRtt) {
     for (const AsId host : hosts) {
-      ordered.emplace_back(host, oracle_.RttMs(querier, host));
+      ordered.emplace_back(host, oracle_.RttMs(querier, host, shard));
     }
     std::sort(ordered.begin(), ordered.end(),
               [](const auto& a, const auto& b) {
@@ -147,7 +147,7 @@ std::vector<std::pair<AsId, double>> DMapService::OrderReplicas(
     std::vector<std::pair<AsId, std::uint32_t>> by_hops;
     by_hops.reserve(hosts.size());
     for (const AsId host : hosts) {
-      by_hops.emplace_back(host, oracle_.Hops(querier, host));
+      by_hops.emplace_back(host, oracle_.Hops(querier, host, shard));
     }
     std::sort(by_hops.begin(), by_hops.end(),
               [](const auto& a, const auto& b) {
@@ -156,14 +156,15 @@ std::vector<std::pair<AsId, double>> DMapService::OrderReplicas(
               });
     for (const auto& [host, hops] : by_hops) {
       (void)hops;
-      ordered.emplace_back(host, oracle_.RttMs(querier, host));
+      ordered.emplace_back(host, oracle_.RttMs(querier, host, shard));
     }
   }
   return ordered;
 }
 
 LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
-                                         const std::vector<AsId>& hosts) {
+                                         const std::vector<AsId>& hosts,
+                                         unsigned shard) {
   LookupResult result;
 
   // Global resolution: walk replicas in preference order; each miss or
@@ -172,7 +173,7 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
   bool global_found = false;
   NaSet global_nas;
   AsId global_server = kInvalidAs;
-  for (const auto& [host, rtt] : OrderReplicas(querier, hosts)) {
+  for (const auto& [host, rtt] : OrderReplicas(querier, hosts, shard)) {
     ++result.attempts;
     if (failed_ases_.contains(host)) {
       global_cost += options_.failure_timeout_ms;
@@ -222,7 +223,8 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
   return result;
 }
 
-LookupResult DMapService::Lookup(const Guid& guid, AsId querier) {
+LookupResult DMapService::Lookup(const Guid& guid, AsId querier,
+                                 unsigned shard) {
   if (querier >= graph_->num_nodes()) {
     throw std::invalid_argument("Lookup: unknown querier AS");
   }
@@ -231,11 +233,12 @@ LookupResult DMapService::Lookup(const Guid& guid, AsId querier) {
   for (int i = 0; i < options_.k; ++i) {
     hosts.push_back(resolver_.Resolve(guid, i).host);
   }
-  return LookupInternal(guid, querier, hosts);
+  return LookupInternal(guid, querier, hosts, shard);
 }
 
 LookupResult DMapService::LookupWithView(const Guid& guid, AsId querier,
-                                         const PrefixTable& view) {
+                                         const PrefixTable& view,
+                                         unsigned shard) {
   if (querier >= graph_->num_nodes()) {
     throw std::invalid_argument("LookupWithView: unknown querier AS");
   }
@@ -245,7 +248,7 @@ LookupResult DMapService::LookupWithView(const Guid& guid, AsId querier,
   for (int i = 0; i < options_.k; ++i) {
     hosts.push_back(view_resolver.Resolve(guid, i).host);
   }
-  return LookupInternal(guid, querier, hosts);
+  return LookupInternal(guid, querier, hosts, shard);
 }
 
 std::vector<std::pair<AsId, double>> DMapService::ProbePlan(const Guid& guid,

@@ -100,15 +100,18 @@ class DMapService {
   // unknown.
   bool Deregister(const Guid& guid);
 
-  // Resolves `guid` from a host attached to `querier`.
-  LookupResult Lookup(const Guid& guid, AsId querier);
+  // Resolves `guid` from a host attached to `querier`. `shard` selects the
+  // latency-oracle cache shard — parallel sweeps hand worker w shard w so
+  // concurrent lookups share no mutable state (see PathOracle); the
+  // default 0 is the single-threaded path.
+  LookupResult Lookup(const Guid& guid, AsId querier, unsigned shard = 0);
 
   // Same, but replica locations are derived from `view` (the querier's
   // possibly-stale BGP table) while storage follows the authoritative
   // table. Probes that reach an AS not hosting the mapping cost a full
   // round trip and fall through to the next replica.
   LookupResult LookupWithView(const Guid& guid, AsId querier,
-                              const PrefixTable& view);
+                              const PrefixTable& view, unsigned shard = 0);
 
   // Marks ASs whose mapping servers are down (Section III-D-3). Probes to
   // them cost options().failure_timeout_ms and fall through.
@@ -151,9 +154,10 @@ class DMapService {
                              AsId src_as);
   // Probe order per selection policy; uses the querier's latency vector.
   std::vector<std::pair<AsId, double>> OrderReplicas(
-      AsId querier, const std::vector<AsId>& hosts);
+      AsId querier, const std::vector<AsId>& hosts, unsigned shard = 0);
   LookupResult LookupInternal(const Guid& guid, AsId querier,
-                              const std::vector<AsId>& hosts);
+                              const std::vector<AsId>& hosts,
+                              unsigned shard);
 
   const AsGraph* graph_;
   const PrefixTable* table_;

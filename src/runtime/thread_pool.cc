@@ -1,0 +1,117 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dmap {
+
+unsigned ThreadPool::HardwareConcurrency() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned ThreadPool::Resolve(unsigned threads) {
+  if (threads != 0) return threads;
+  if (const char* env = std::getenv("DMAP_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return unsigned(parsed);
+  }
+  return HardwareConcurrency();
+}
+
+ThreadPool::ThreadPool(unsigned threads) : num_workers_(Resolve(threads)) {
+  helpers_.reserve(num_workers_ - 1);
+  for (unsigned w = 1; w < num_workers_; ++w) {
+    helpers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& helper : helpers_) helper.join();
+}
+
+void ThreadPool::WorkOn(unsigned worker, const ChunkFn& fn,
+                        std::size_t num_chunks) {
+  for (;;) {
+    const std::size_t chunk =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= num_chunks) return;
+    try {
+      fn(chunk, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const ChunkFn* fn = nullptr;
+    std::size_t num_chunks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      fn = job_;
+      num_chunks = job_chunks_;
+    }
+    WorkOn(worker, *fn, num_chunks);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_helpers_;
+    }
+    done_.notify_one();
+  }
+}
+
+void ThreadPool::RunChunks(std::size_t num_chunks, const ChunkFn& fn) {
+  if (num_chunks == 0) return;
+  if (num_workers_ == 1 || num_chunks == 1) {
+    // Sequential fast path: chunks run in index order on the caller — this
+    // is the exact serial loop `--threads=1` promises.
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) fn(chunk, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_chunks_ = num_chunks;
+    first_error_ = nullptr;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    running_helpers_ = num_workers_ - 1;
+    ++generation_;
+  }
+  wake_.notify_all();
+  WorkOn(0, fn, num_chunks);  // the caller is worker 0
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return running_helpers_ == 0; });
+    job_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const IndexFn& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  // A few chunks per worker so uneven per-index costs still balance.
+  const std::size_t chunks = std::min<std::size_t>(n, num_workers_ * 4ul);
+  RunChunks(chunks, [&](std::size_t chunk, unsigned worker) {
+    const std::size_t lo = begin + n * chunk / chunks;
+    const std::size_t hi = begin + n * (chunk + 1) / chunks;
+    for (std::size_t i = lo; i < hi; ++i) fn(i, worker);
+  });
+}
+
+}  // namespace dmap

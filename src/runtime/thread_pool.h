@@ -1,0 +1,90 @@
+// Fixed-size thread pool for the data-parallel experiment loops. The big
+// sweeps are dominated by one Dijkstra SSSP per distinct query-source AS;
+// partitioning lookups by source AS across workers makes them scale with
+// cores while staying bit-for-bit deterministic (see PartitionBySource in
+// sim/experiments.cc and DESIGN.md "Threading model").
+//
+// Design:
+//   * N workers total; the calling thread participates as worker 0, so a
+//     pool of size 1 spawns no threads at all and RunChunks degenerates to
+//     a plain sequential loop — `--threads=1` reproduces the serial code
+//     path exactly.
+//   * Work is submitted as `num_chunks` independent chunks; workers claim
+//     chunks off a single atomic counter (dynamic load balancing — chunk
+//     sizes are uneven because source-AS runs are uneven).
+//   * Determinism is the caller's contract: chunk *content* must not depend
+//     on the worker that runs it, and per-chunk results must be merged in
+//     chunk-index order. The pool guarantees each chunk runs exactly once
+//     and that worker ids are < size().
+//   * No external dependencies: std::thread + mutex/condvar only.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dmap {
+
+class ThreadPool {
+ public:
+  // fn(chunk, worker): chunk in [0, num_chunks), worker in [0, size()).
+  using ChunkFn = std::function<void(std::size_t chunk, unsigned worker)>;
+  // fn(index, worker): index in [begin, end).
+  using IndexFn = std::function<void(std::size_t index, unsigned worker)>;
+
+  // `threads` = 0 selects Resolve(0) = one worker per hardware thread.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total workers including the calling thread.
+  unsigned size() const { return num_workers_; }
+
+  // std::thread::hardware_concurrency(), clamped to at least 1.
+  static unsigned HardwareConcurrency();
+
+  // Maps a user-facing thread count to a worker count: nonzero values pass
+  // through; 0 resolves to $DMAP_THREADS when set (CI hook), else to
+  // HardwareConcurrency().
+  static unsigned Resolve(unsigned threads);
+
+  // Runs fn for every chunk index in [0, num_chunks) and blocks until all
+  // chunks finished. Chunks are claimed dynamically; any chunk may run on
+  // any worker. The first exception thrown by fn is rethrown here (the
+  // remaining chunks still run). Not reentrant: one job at a time.
+  void RunChunks(std::size_t num_chunks, const ChunkFn& fn);
+
+  // Element-wise convenience over [begin, end): splits the range into
+  // contiguous chunks (an implementation detail — callers must not derive
+  // determinism from chunk boundaries) and runs fn per index.
+  void ParallelFor(std::size_t begin, std::size_t end, const IndexFn& fn);
+
+ private:
+  void WorkerLoop(unsigned worker);
+  // Claims chunks until the counter runs dry. Never throws; the first
+  // exception is parked in first_error_.
+  void WorkOn(unsigned worker, const ChunkFn& fn, std::size_t num_chunks);
+
+  unsigned num_workers_ = 1;
+  std::vector<std::thread> helpers_;  // size() - 1 of them
+
+  std::mutex mutex_;
+  std::condition_variable wake_;  // helpers wait for a new generation
+  std::condition_variable done_;  // the caller waits for helpers to drain
+  std::uint64_t generation_ = 0;  // bumped per job, guarded by mutex_
+  bool stopping_ = false;
+  const ChunkFn* job_ = nullptr;
+  std::size_t job_chunks_ = 0;
+  unsigned running_helpers_ = 0;
+  std::exception_ptr first_error_;
+  std::atomic<std::size_t> next_chunk_{0};
+};
+
+}  // namespace dmap

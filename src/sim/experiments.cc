@@ -11,6 +11,7 @@
 #include "bgp/churn.h"
 #include "common/logging.h"
 #include "core/hole_resolver.h"
+#include "runtime/thread_pool.h"
 
 namespace dmap {
 namespace {
@@ -31,6 +32,51 @@ void LoadMappings(DMapService& service, WorkloadGenerator& workload) {
   }
 }
 
+// An index range [begin, end) of the lookup (or GUID) stream handled by one
+// partition of a parallel measurement loop.
+struct Partition {
+  std::size_t begin;
+  std::size_t end;
+};
+
+// Upper bound on partitions per loop. High enough that dynamic chunk
+// claiming balances uneven source-AS runs across any sane worker count, and
+// — critically — FIXED: the split never depends on the thread count, so
+// per-partition results merged in partition order are bit-identical for
+// every `threads` value (including 1, the serial order of the seed code).
+constexpr std::size_t kMaxPartitions = 64;
+
+// Contiguous partitions over `lookups`, snapped to source-AS run boundaries
+// (the workload is sorted by source) so no source's SSSP is computed by two
+// workers.
+std::vector<Partition> PartitionBySource(
+    const std::vector<LookupOp>& lookups) {
+  std::vector<Partition> parts;
+  const std::size_t n = lookups.size();
+  if (n == 0) return parts;
+  const std::size_t target = (n + kMaxPartitions - 1) / kMaxPartitions;
+  std::size_t begin = 0;
+  while (begin < n) {
+    std::size_t end = std::min(n, begin + target);
+    while (end < n && lookups[end].source == lookups[end - 1].source) ++end;
+    parts.push_back({begin, end});
+    begin = end;
+  }
+  return parts;
+}
+
+// Plain fixed-size split for streams with no source grouping (Fig 6's GUID
+// range).
+std::vector<Partition> PartitionRange(std::size_t n) {
+  std::vector<Partition> parts;
+  if (n == 0) return parts;
+  const std::size_t count = std::min(kMaxPartitions, n);
+  for (std::size_t p = 0; p < count; ++p) {
+    parts.push_back({n * p / count, n * (p + 1) / count});
+  }
+  return parts;
+}
+
 }  // namespace
 
 SampleSet RunResponseTimeExperiment(SimEnvironment& env,
@@ -39,16 +85,36 @@ SampleSet RunResponseTimeExperiment(SimEnvironment& env,
   WorkloadGenerator workload(env.graph, config.workload);
   LoadMappings(service, workload);
 
-  SampleSet samples;
-  samples.Reserve(config.workload.num_lookups);
-  for (const LookupOp& op :
-       workload.Lookups(config.workload.num_lookups)) {
-    const LookupResult r = service.Lookup(op.guid, op.source);
-    if (!r.found) {
-      DMAP_LOG(kWarning) << "lookup missed a registered GUID";
-      continue;
+  const std::vector<LookupOp> lookups =
+      workload.Lookups(config.workload.num_lookups);
+  const std::vector<Partition> parts = PartitionBySource(lookups);
+
+  ThreadPool pool(config.threads);
+  service.oracle().SetNumShards(pool.size());
+  std::vector<SampleSet> partial(parts.size());
+  std::vector<std::uint64_t> missed(parts.size(), 0);
+  pool.RunChunks(parts.size(), [&](std::size_t p, unsigned worker) {
+    partial[p].Reserve(parts[p].end - parts[p].begin);
+    for (std::size_t i = parts[p].begin; i < parts[p].end; ++i) {
+      const LookupResult r =
+          service.Lookup(lookups[i].guid, lookups[i].source, worker);
+      if (!r.found) {
+        ++missed[p];
+        continue;
+      }
+      partial[p].Add(r.latency_ms);
     }
-    samples.Add(r.latency_ms);
+  });
+
+  SampleSet samples;
+  samples.Reserve(lookups.size());
+  std::uint64_t total_missed = 0;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    samples.Append(partial[p]);
+    total_missed += missed[p];
+  }
+  if (total_missed > 0) {
+    DMAP_LOG(kWarning) << total_missed << " lookups missed registered GUIDs";
   }
   return samples;
 }
@@ -74,47 +140,65 @@ std::vector<std::pair<int, SampleSet>> RunResponseTimeSweep(
     attachment[workload.GuidAt(i)] = workload.AttachmentOf(i);
   }
 
+  std::vector<int> sorted_ks = ks;
+  std::sort(sorted_ks.begin(), sorted_ks.end());
+
+  const std::vector<LookupOp> lookups =
+      workload.Lookups(config.workload.num_lookups);
+  const std::vector<Partition> parts = PartitionBySource(lookups);
+
+  ThreadPool pool(config.threads);
+  service.oracle().SetNumShards(pool.size());
+  // partial[p][j] collects partition p's samples for ks[j]; merged below in
+  // (partition, k) order so the output never depends on the worker count.
+  std::vector<std::vector<SampleSet>> partial(
+      parts.size(), std::vector<SampleSet>(ks.size()));
+  pool.RunChunks(parts.size(), [&](std::size_t p, unsigned worker) {
+    std::vector<double> rtts(std::size_t(k_max), 0.0);
+    for (std::size_t op_index = parts[p].begin; op_index < parts[p].end;
+         ++op_index) {
+      const LookupOp& op = lookups[op_index];
+      // RTTs to all k_max replicas, in hash-function order (NOT sorted: the
+      // K-replica system only knows h_1..h_K).
+      const auto latencies = service.oracle().LatenciesFrom(op.source, worker);
+      for (int i = 0; i < k_max; ++i) {
+        const AsId host = service.resolver().Resolve(op.guid, i).host;
+        rtts[std::size_t(i)] =
+            host == op.source
+                ? 2.0 * env.graph.IntraLatencyMs(op.source)
+                : 2.0 * (env.graph.IntraLatencyMs(op.source) +
+                         double(latencies[host]) +
+                         env.graph.IntraLatencyMs(host));
+      }
+      const bool local_hit =
+          config.local_replica && attachment.at(op.guid) == op.source;
+      const double local_rtt = 2.0 * env.graph.IntraLatencyMs(op.source);
+
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t next_k_index = 0;
+      for (int i = 0; i < k_max; ++i) {
+        best = std::min(best, rtts[std::size_t(i)]);
+        while (next_k_index < sorted_ks.size() &&
+               sorted_ks[next_k_index] == i + 1) {
+          const double latency = local_hit ? std::min(best, local_rtt) : best;
+          for (std::size_t j = 0; j < ks.size(); ++j) {
+            if (ks[j] == sorted_ks[next_k_index]) partial[p][j].Add(latency);
+          }
+          ++next_k_index;
+        }
+      }
+    }
+  });
+
   std::vector<std::pair<int, SampleSet>> results;
   results.reserve(ks.size());
   for (const int k : ks) {
     results.emplace_back(k, SampleSet{});
     results.back().second.Reserve(config.workload.num_lookups);
   }
-
-  std::vector<int> sorted_ks = ks;
-  std::sort(sorted_ks.begin(), sorted_ks.end());
-
-  std::vector<double> rtts(std::size_t(k_max), 0.0);
-  for (const LookupOp& op :
-       workload.Lookups(config.workload.num_lookups)) {
-    // RTTs to all k_max replicas, in hash-function order (NOT sorted: the
-    // K-replica system only knows h_1..h_K).
-    const auto latencies = service.oracle().LatenciesFrom(op.source);
-    for (int i = 0; i < k_max; ++i) {
-      const AsId host = service.resolver().Resolve(op.guid, i).host;
-      rtts[std::size_t(i)] =
-          host == op.source
-              ? 2.0 * env.graph.IntraLatencyMs(op.source)
-              : 2.0 * (env.graph.IntraLatencyMs(op.source) +
-                       double(latencies[host]) +
-                       env.graph.IntraLatencyMs(host));
-    }
-    const bool local_hit =
-        config.local_replica && attachment.at(op.guid) == op.source;
-    const double local_rtt = 2.0 * env.graph.IntraLatencyMs(op.source);
-
-    double best = std::numeric_limits<double>::infinity();
-    std::size_t next_k_index = 0;
-    for (int i = 0; i < k_max; ++i) {
-      best = std::min(best, rtts[std::size_t(i)]);
-      while (next_k_index < sorted_ks.size() &&
-             sorted_ks[next_k_index] == i + 1) {
-        const double latency = local_hit ? std::min(best, local_rtt) : best;
-        for (auto& [k, samples] : results) {
-          if (k == sorted_ks[next_k_index]) samples.Add(latency);
-        }
-        ++next_k_index;
-      }
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    for (std::size_t j = 0; j < ks.size(); ++j) {
+      results[j].second.Append(partial[p][j]);
     }
   }
   return results;
@@ -144,21 +228,36 @@ SampleSet RunChurnExperiment(SimEnvironment& env,
     ApplyChurn(churned_view, SampleChurn(env.table, churn, rng));
   }
 
-  SampleSet samples;
-  samples.Reserve(config.base.workload.num_lookups);
-  std::uint64_t unresolved = 0;
-  for (const LookupOp& op :
-       workload.Lookups(config.base.workload.num_lookups)) {
-    const LookupResult r =
-        service.LookupWithView(op.guid, op.source, churned_view);
-    if (!r.found) {
-      // All replicas displaced by churn: the query fails outright. Rare
-      // (needs every one of K replicas hit); excluded from the latency CDF
-      // like in the paper, but reported.
-      ++unresolved;
-      continue;
+  const std::vector<LookupOp> lookups =
+      workload.Lookups(config.base.workload.num_lookups);
+  const std::vector<Partition> parts = PartitionBySource(lookups);
+
+  ThreadPool pool(config.base.threads);
+  service.oracle().SetNumShards(pool.size());
+  std::vector<SampleSet> partial(parts.size());
+  std::vector<std::uint64_t> unresolved_by_part(parts.size(), 0);
+  pool.RunChunks(parts.size(), [&](std::size_t p, unsigned worker) {
+    partial[p].Reserve(parts[p].end - parts[p].begin);
+    for (std::size_t i = parts[p].begin; i < parts[p].end; ++i) {
+      const LookupResult r = service.LookupWithView(
+          lookups[i].guid, lookups[i].source, churned_view, worker);
+      if (!r.found) {
+        // All replicas displaced by churn: the query fails outright. Rare
+        // (needs every one of K replicas hit); excluded from the latency
+        // CDF like in the paper, but reported.
+        ++unresolved_by_part[p];
+        continue;
+      }
+      partial[p].Add(r.latency_ms);
     }
-    samples.Add(r.latency_ms);
+  });
+
+  SampleSet samples;
+  samples.Reserve(lookups.size());
+  std::uint64_t unresolved = 0;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    samples.Append(partial[p]);
+    unresolved += unresolved_by_part[p];
   }
   if (unresolved > 0) {
     DMAP_LOG(kInfo) << unresolved << " lookups unresolved under churn";
@@ -189,19 +288,33 @@ std::vector<std::pair<double, SampleSet>> RunChurnSweep(
     views.push_back(std::move(view));
   }
 
+  const std::vector<LookupOp> lookups =
+      workload.Lookups(config.base.workload.num_lookups);
+  const std::vector<Partition> parts = PartitionBySource(lookups);
+
+  ThreadPool pool(config.base.threads);
+  service.oracle().SetNumShards(pool.size());
+  std::vector<std::vector<SampleSet>> partial(
+      parts.size(), std::vector<SampleSet>(views.size()));
+  pool.RunChunks(parts.size(), [&](std::size_t p, unsigned worker) {
+    for (std::size_t i = parts[p].begin; i < parts[p].end; ++i) {
+      for (std::size_t v = 0; v < views.size(); ++v) {
+        const LookupResult r = service.LookupWithView(
+            lookups[i].guid, lookups[i].source, views[v], worker);
+        if (r.found) partial[p][v].Add(r.latency_ms);
+      }
+    }
+  });
+
   std::vector<std::pair<double, SampleSet>> results;
   results.reserve(churn_fractions.size());
   for (const double fraction : churn_fractions) {
     results.emplace_back(fraction, SampleSet{});
     results.back().second.Reserve(config.base.workload.num_lookups);
   }
-
-  for (const LookupOp& op :
-       workload.Lookups(config.base.workload.num_lookups)) {
+  for (std::size_t p = 0; p < parts.size(); ++p) {
     for (std::size_t v = 0; v < views.size(); ++v) {
-      const LookupResult r =
-          service.LookupWithView(op.guid, op.source, views[v]);
-      if (r.found) results[v].second.Add(r.latency_ms);
+      results[v].second.Append(partial[p][v]);
     }
   }
   return results;
@@ -219,17 +332,42 @@ LoadBalanceResult RunLoadBalanceExperiment(const SimEnvironment& env,
     resolver.SetFastPath(fast.get());
   }
 
+  // GUID-range partitioned: replica placement is independent per GUID, and
+  // the per-AS tallies are integer sums, so any merge order reproduces the
+  // serial counts exactly. Each worker owns a private counter block.
+  ThreadPool pool(config.threads);
+  const std::vector<Partition> parts = PartitionRange(config.num_guids);
+  struct WorkerTally {
+    std::vector<std::uint64_t> counts;
+    std::uint64_t hash_evals = 0;
+    std::uint64_t deputy_fallbacks = 0;
+  };
+  std::vector<WorkerTally> tallies(pool.size());
+  for (WorkerTally& tally : tallies) {
+    tally.counts.assign(env.graph.num_nodes(), 0);
+  }
+  pool.RunChunks(parts.size(), [&](std::size_t p, unsigned worker) {
+    WorkerTally& tally = tallies[worker];
+    for (std::uint64_t i = parts[p].begin; i < parts[p].end; ++i) {
+      const Guid guid =
+          Guid::FromSequence(i ^ (config.guid_seed * 0x9e3779b97f4a7c15ULL));
+      for (int replica = 0; replica < config.k; ++replica) {
+        const HostResolution r = resolver.Resolve(guid, replica);
+        ++tally.counts[r.host];
+        tally.hash_evals += std::uint64_t(r.hash_count);
+        if (r.used_nearest) ++tally.deputy_fallbacks;
+      }
+    }
+  });
+
   LoadBalanceResult result;
   std::vector<std::uint64_t> counts(env.graph.num_nodes(), 0);
-  for (std::uint64_t i = 0; i < config.num_guids; ++i) {
-    const Guid guid =
-        Guid::FromSequence(i ^ (config.guid_seed * 0x9e3779b97f4a7c15ULL));
-    for (int replica = 0; replica < config.k; ++replica) {
-      const HostResolution r = resolver.Resolve(guid, replica);
-      ++counts[r.host];
-      result.total_hash_evals += std::uint64_t(r.hash_count);
-      if (r.used_nearest) ++result.deputy_fallbacks;
+  for (const WorkerTally& tally : tallies) {
+    for (std::size_t as = 0; as < counts.size(); ++as) {
+      counts[as] += tally.counts[as];
     }
+    result.total_hash_evals += tally.hash_evals;
+    result.deputy_fallbacks += tally.deputy_fallbacks;
   }
   result.nlr = ComputeNlr(counts, env.table);
   return result;

@@ -14,6 +14,11 @@
 namespace dmap {
 
 // ---- Figure 4 / Table I: query response time CDF vs K -------------------
+//
+// All lookup/insert measurement loops below are partitioned by source AS
+// (or GUID range) across a ThreadPool and merged in partition order, so
+// every result is bit-identical for any `threads` value — `threads = 1`
+// reproduces the serial run exactly (see DESIGN.md "Threading model").
 
 struct ResponseTimeConfig {
   int k = 5;
@@ -21,6 +26,9 @@ struct ResponseTimeConfig {
   bool local_replica = true;
   ReplicaSelection selection = ReplicaSelection::kLowestRtt;
   std::uint64_t hash_seed = 0x5eedf00dULL;
+  // Worker threads for the measurement loop; 0 = one per hardware thread
+  // (or $DMAP_THREADS). Results do not depend on this value.
+  unsigned threads = 0;
 };
 
 SampleSet RunResponseTimeExperiment(SimEnvironment& env,
@@ -68,6 +76,9 @@ struct LoadBalanceConfig {
   // Route LPM probes through a DIR-24-8 snapshot (identical results,
   // asserted by tests; ~7x faster per probe at full table size).
   bool use_fast_path = true;
+  // Worker threads for the GUID-range-partitioned resolve pass; 0 = one
+  // per hardware thread. Results do not depend on this value.
+  unsigned threads = 0;
 };
 
 struct LoadBalanceResult {

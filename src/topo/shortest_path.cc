@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <queue>
+#include <stdexcept>
 
 namespace dmap {
 
@@ -55,50 +56,113 @@ const std::vector<T>* PathOracle::LruCache<T>::Find(AsId key) {
   const auto it = index.find(key);
   if (it == index.end()) return nullptr;
   entries.splice(entries.begin(), entries, it->second);  // move to front
-  return &it->second->second;
+  return it->second->second.get();
 }
 
 template <typename T>
-const std::vector<T>& PathOracle::LruCache<T>::Insert(AsId key,
-                                                      std::vector<T> value) {
-  entries.emplace_front(key, std::move(value));
+std::shared_ptr<const std::vector<T>> PathOracle::LruCache<T>::FindShared(
+    AsId key) {
+  const auto it = index.find(key);
+  if (it == index.end()) return nullptr;
+  entries.splice(entries.begin(), entries, it->second);
+  return it->second->second;
+}
+
+template <typename T>
+const std::shared_ptr<const std::vector<T>>& PathOracle::LruCache<T>::Insert(
+    AsId key, std::vector<T> value) {
+  entries.emplace_front(
+      key, std::make_shared<const std::vector<T>>(std::move(value)));
   index[key] = entries.begin();
   if (entries.size() > capacity) {
+    // Shared ownership keeps the evicted vector alive for any caller still
+    // holding a PinnedVector handle to it.
     index.erase(entries.back().first);
     entries.pop_back();
   }
   return entries.front().second;
 }
 
-PathOracle::PathOracle(const AsGraph& graph, std::size_t capacity)
-    : graph_(&graph) {
-  latency_cache_.capacity = capacity == 0 ? 1 : capacity;
-  hops_cache_.capacity = capacity == 0 ? 1 : capacity;
+PathOracle::PathOracle(const AsGraph& graph, std::size_t capacity,
+                       unsigned num_shards)
+    : graph_(&graph), capacity_(capacity == 0 ? 1 : capacity) {
+  SetNumShards(num_shards);
 }
 
-std::span<const float> PathOracle::LatenciesFrom(AsId src) {
-  if (const auto* hit = latency_cache_.Find(src)) return *hit;
-  ++dijkstra_runs_;
-  return latency_cache_.Insert(src, DijkstraLatency(*graph_, src));
+void PathOracle::SetNumShards(unsigned num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  for (const auto& shard : shards_) {
+    retired_dijkstra_runs_ += shard->dijkstra_runs;
+    retired_bfs_runs_ += shard->bfs_runs;
+  }
+  shards_.clear();
+  shards_.reserve(num_shards);
+  for (unsigned s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->latencies.capacity = capacity_;
+    shard->hops.capacity = capacity_;
+    shards_.push_back(std::move(shard));
+  }
 }
 
-std::span<const std::uint16_t> PathOracle::HopsFrom(AsId src) {
-  if (const auto* hit = hops_cache_.Find(src)) return *hit;
-  ++bfs_runs_;
-  return hops_cache_.Insert(src, BfsHops(*graph_, src));
+std::uint64_t PathOracle::dijkstra_runs() const {
+  std::uint64_t total = retired_dijkstra_runs_;
+  for (const auto& shard : shards_) total += shard->dijkstra_runs;
+  return total;
 }
 
-double PathOracle::LinkLatencyMs(AsId src, AsId dst) {
-  return LatenciesFrom(src)[dst];
+std::uint64_t PathOracle::bfs_runs() const {
+  std::uint64_t total = retired_bfs_runs_;
+  for (const auto& shard : shards_) total += shard->bfs_runs;
+  return total;
 }
 
-std::uint32_t PathOracle::Hops(AsId src, AsId dst) {
-  return HopsFrom(src)[dst];
+const std::vector<float>& PathOracle::LatencyVector(AsId src, unsigned shard) {
+  Shard& s = *shards_.at(shard);
+  if (const auto* hit = s.latencies.Find(src)) return *hit;
+  ++s.dijkstra_runs;
+  return *s.latencies.Insert(src, DijkstraLatency(*graph_, src));
 }
 
-double PathOracle::OneWayMs(AsId src, AsId dst) {
+const std::vector<std::uint16_t>& PathOracle::HopsVector(AsId src,
+                                                         unsigned shard) {
+  Shard& s = *shards_.at(shard);
+  if (const auto* hit = s.hops.Find(src)) return *hit;
+  ++s.bfs_runs;
+  return *s.hops.Insert(src, BfsHops(*graph_, src));
+}
+
+PinnedVector<float> PathOracle::LatenciesFrom(AsId src, unsigned shard) {
+  Shard& s = *shards_.at(shard);
+  if (auto hit = s.latencies.FindShared(src)) {
+    return PinnedVector<float>(std::move(hit));
+  }
+  ++s.dijkstra_runs;
+  return PinnedVector<float>(
+      s.latencies.Insert(src, DijkstraLatency(*graph_, src)));
+}
+
+PinnedVector<std::uint16_t> PathOracle::HopsFrom(AsId src, unsigned shard) {
+  Shard& s = *shards_.at(shard);
+  if (auto hit = s.hops.FindShared(src)) {
+    return PinnedVector<std::uint16_t>(std::move(hit));
+  }
+  ++s.bfs_runs;
+  return PinnedVector<std::uint16_t>(
+      s.hops.Insert(src, BfsHops(*graph_, src)));
+}
+
+double PathOracle::LinkLatencyMs(AsId src, AsId dst, unsigned shard) {
+  return LatencyVector(src, shard)[dst];
+}
+
+std::uint32_t PathOracle::Hops(AsId src, AsId dst, unsigned shard) {
+  return HopsVector(src, shard)[dst];
+}
+
+double PathOracle::OneWayMs(AsId src, AsId dst, unsigned shard) {
   if (src == dst) return graph_->IntraLatencyMs(src);
-  return graph_->IntraLatencyMs(src) + LinkLatencyMs(src, dst) +
+  return graph_->IntraLatencyMs(src) + LinkLatencyMs(src, dst, shard) +
          graph_->IntraLatencyMs(dst);
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -25,57 +26,108 @@ std::vector<float> DijkstraLatency(const AsGraph& graph, AsId source);
 constexpr std::uint16_t kUnreachableHops = 0xffff;
 std::vector<std::uint16_t> BfsHops(const AsGraph& graph, AsId source);
 
-// Memoising latency/hop oracle. Not thread-safe (the simulation is
-// single-threaded, like the paper's).
+// Shared-ownership view of a cached per-source distance vector. Pins the
+// data: the handle stays valid even after the owning LRU evicts the entry,
+// so callers may hold one across further oracle calls (the dangling-span
+// hazard the raw std::span API had).
+template <typename T>
+class PinnedVector {
+ public:
+  PinnedVector() = default;
+  explicit PinnedVector(std::shared_ptr<const std::vector<T>> data)
+      : data_(std::move(data)) {}
+
+  bool valid() const { return data_ != nullptr; }
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  const T& operator[](std::size_t i) const { return (*data_)[i]; }
+  std::span<const T> span() const {
+    return data_ ? std::span<const T>(*data_) : std::span<const T>();
+  }
+
+ private:
+  std::shared_ptr<const std::vector<T>> data_;
+};
+
+// Memoising latency/hop oracle. The LRU caches are sharded: each worker of
+// a parallel sweep owns one shard (its `shard` argument), so the hit path
+// takes no locks and concurrent calls with distinct shard ids never touch
+// shared mutable state. Concurrent calls with the SAME shard id are not
+// safe — the experiment harnesses hand worker w shard w. The default
+// shard 0 preserves the original single-threaded interface.
 class PathOracle {
  public:
-  // `capacity` bounds the number of cached source vectors per metric;
-  // each vector costs ~4 bytes x num_nodes.
-  explicit PathOracle(const AsGraph& graph, std::size_t capacity = 64);
+  // `capacity` bounds the number of cached source vectors per metric per
+  // shard; each vector costs ~4 bytes x num_nodes.
+  explicit PathOracle(const AsGraph& graph, std::size_t capacity = 64,
+                      unsigned num_shards = 1);
 
   const AsGraph& graph() const { return *graph_; }
 
+  unsigned num_shards() const { return unsigned(shards_.size()); }
+
+  // Re-shards the cache, dropping cached vectors (the totals below are
+  // preserved). Must not race with oracle queries.
+  void SetNumShards(unsigned num_shards);
+
   // One-way latency over links from src to dst, ms.
-  double LinkLatencyMs(AsId src, AsId dst);
+  double LinkLatencyMs(AsId src, AsId dst, unsigned shard = 0);
 
   // Hop count from src to dst.
-  std::uint32_t Hops(AsId src, AsId dst);
+  std::uint32_t Hops(AsId src, AsId dst, unsigned shard = 0);
 
-  // Full vectors (valid until the next call that may evict).
-  std::span<const float> LatenciesFrom(AsId src);
-  std::span<const std::uint16_t> HopsFrom(AsId src);
+  // Full vectors, pinned: valid for as long as the handle lives, even if
+  // later calls evict the entry from the shard's LRU.
+  PinnedVector<float> LatenciesFrom(AsId src, unsigned shard = 0);
+  PinnedVector<std::uint16_t> HopsFrom(AsId src, unsigned shard = 0);
 
   // End-to-end one-way latency including both intra-AS components:
   //   intra(src) + path(src, dst) + intra(dst);
   // src == dst costs just intra(src), modelling a purely local resolution.
-  double OneWayMs(AsId src, AsId dst);
+  double OneWayMs(AsId src, AsId dst, unsigned shard = 0);
 
   // Round-trip time: 2 x OneWayMs, the paper's query response time model.
-  double RttMs(AsId src, AsId dst) { return 2.0 * OneWayMs(src, dst); }
+  double RttMs(AsId src, AsId dst, unsigned shard = 0) {
+    return 2.0 * OneWayMs(src, dst, shard);
+  }
 
-  std::uint64_t dijkstra_runs() const { return dijkstra_runs_; }
-  std::uint64_t bfs_runs() const { return bfs_runs_; }
+  // Totals across shards. Only meaningful while no worker is running.
+  std::uint64_t dijkstra_runs() const;
+  std::uint64_t bfs_runs() const;
 
  private:
   template <typename T>
   struct LruCache {
-    std::size_t capacity;
-    std::list<std::pair<AsId, std::vector<T>>> entries;
-    std::unordered_map<AsId,
-                       typename std::list<std::pair<AsId, std::vector<T>>>::
-                           iterator>
-        index;
+    using Entry = std::pair<AsId, std::shared_ptr<const std::vector<T>>>;
+    std::size_t capacity = 1;
+    std::list<Entry> entries;
+    std::unordered_map<AsId, typename std::list<Entry>::iterator> index;
 
-    // Returns nullptr on miss.
+    // Returns nullptr on miss; refreshes recency on hit.
     const std::vector<T>* Find(AsId key);
-    const std::vector<T>& Insert(AsId key, std::vector<T> value);
+    const std::shared_ptr<const std::vector<T>>& Insert(AsId key,
+                                                        std::vector<T> value);
+    std::shared_ptr<const std::vector<T>> FindShared(AsId key);
   };
 
+  struct Shard {
+    LruCache<float> latencies;
+    LruCache<std::uint16_t> hops;
+    std::uint64_t dijkstra_runs = 0;
+    std::uint64_t bfs_runs = 0;
+  };
+
+  // Cached vector for `src`, computing it on miss. The reference is only
+  // valid until the next insert into the same shard — internal use on the
+  // point-query paths, which index it immediately.
+  const std::vector<float>& LatencyVector(AsId src, unsigned shard);
+  const std::vector<std::uint16_t>& HopsVector(AsId src, unsigned shard);
+
   const AsGraph* graph_;
-  LruCache<float> latency_cache_;
-  LruCache<std::uint16_t> hops_cache_;
-  std::uint64_t dijkstra_runs_ = 0;
-  std::uint64_t bfs_runs_ = 0;
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Runs retired by SetNumShards so the totals survive re-sharding.
+  std::uint64_t retired_dijkstra_runs_ = 0;
+  std::uint64_t retired_bfs_runs_ = 0;
 };
 
 }  // namespace dmap

@@ -133,6 +133,90 @@ TEST_F(ExperimentsTest, ChurnSweepAgreesWithIndependentRuns) {
   }
 }
 
+TEST_F(ExperimentsTest, ResponseTimeIsBitIdenticalAcrossThreadCounts) {
+  // The parallel harness partitions by source AS and merges per-partition
+  // sample sets in partition order — the sample sequence must match the
+  // serial run bit-for-bit for any worker count, including one that does
+  // not divide the partition count.
+  ResponseTimeConfig serial = SmallConfig(3);
+  serial.threads = 1;
+  const SampleSet reference = RunResponseTimeExperiment(env_, serial);
+  for (const unsigned threads : {2u, 7u}) {
+    ResponseTimeConfig parallel = SmallConfig(3);
+    parallel.threads = threads;
+    const SampleSet run = RunResponseTimeExperiment(env_, parallel);
+    // Raw insertion-order samples first (Quantile sorts in place).
+    EXPECT_EQ(run.samples(), reference.samples()) << "threads=" << threads;
+  }
+}
+
+TEST_F(ExperimentsTest, SweepIsBitIdenticalAcrossThreadCounts) {
+  const std::vector<int> ks{1, 3, 5};
+  ResponseTimeConfig serial = SmallConfig(5);
+  serial.threads = 1;
+  const auto reference = RunResponseTimeSweep(env_, ks, serial);
+  for (const unsigned threads : {2u, 7u}) {
+    ResponseTimeConfig parallel = SmallConfig(5);
+    parallel.threads = threads;
+    const auto sweep = RunResponseTimeSweep(env_, ks, parallel);
+    ASSERT_EQ(sweep.size(), reference.size()) << "threads=" << threads;
+    for (std::size_t j = 0; j < sweep.size(); ++j) {
+      EXPECT_EQ(sweep[j].first, reference[j].first);
+      EXPECT_EQ(sweep[j].second.samples(), reference[j].second.samples())
+          << "threads=" << threads << " k=" << sweep[j].first;
+    }
+  }
+  // Every quantile the figures report is therefore identical too.
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    ResponseTimeConfig two = SmallConfig(5);
+    two.threads = 2;
+    const auto sweep = RunResponseTimeSweep(env_, ks, two);
+    for (std::size_t j = 0; j < sweep.size(); ++j) {
+      EXPECT_DOUBLE_EQ(sweep[j].second.Quantile(q),
+                       reference[j].second.Quantile(q));
+    }
+  }
+}
+
+TEST_F(ExperimentsTest, ChurnSweepIsBitIdenticalAcrossThreadCounts) {
+  ChurnExperimentConfig serial;
+  serial.base = SmallConfig(5);
+  serial.base.threads = 1;
+  const auto reference = RunChurnSweep(env_, {0.0, 0.10}, serial);
+  for (const unsigned threads : {2u, 7u}) {
+    ChurnExperimentConfig parallel;
+    parallel.base = SmallConfig(5);
+    parallel.base.threads = threads;
+    const auto sweep = RunChurnSweep(env_, {0.0, 0.10}, parallel);
+    ASSERT_EQ(sweep.size(), reference.size());
+    for (std::size_t v = 0; v < sweep.size(); ++v) {
+      EXPECT_EQ(sweep[v].second.samples(), reference[v].second.samples())
+          << "threads=" << threads << " churn=" << sweep[v].first;
+    }
+  }
+}
+
+TEST_F(ExperimentsTest, LoadBalanceIsBitIdenticalAcrossThreadCounts) {
+  // Fig 6's NLR pass tallies integer per-AS counts, so per-worker sums are
+  // exactly order-independent; the derived NLR set must match bit-for-bit.
+  LoadBalanceConfig serial;
+  serial.num_guids = 30'000;
+  serial.threads = 1;
+  const LoadBalanceResult reference = RunLoadBalanceExperiment(env_, serial);
+  for (const unsigned threads : {2u, 7u}) {
+    LoadBalanceConfig parallel;
+    parallel.num_guids = 30'000;
+    parallel.threads = threads;
+    const LoadBalanceResult run = RunLoadBalanceExperiment(env_, parallel);
+    EXPECT_EQ(run.deputy_fallbacks, reference.deputy_fallbacks)
+        << "threads=" << threads;
+    EXPECT_EQ(run.total_hash_evals, reference.total_hash_evals)
+        << "threads=" << threads;
+    EXPECT_EQ(run.nlr.samples(), reference.nlr.samples())
+        << "threads=" << threads;
+  }
+}
+
 TEST_F(ExperimentsTest, BaselineComparisonOrdersSchemes) {
   ResponseTimeConfig config = SmallConfig(5);
   config.workload.num_lookups = 1000;

@@ -105,6 +105,85 @@ TEST(PathOracleTest, SymmetricOnUndirectedGraph) {
   }
 }
 
+TEST(PathOracleTest, PinnedVectorSurvivesEviction) {
+  // Regression: with capacity 1, asking for a second source evicts the
+  // first entry. A raw span into the evicted vector would dangle; the
+  // pinned handle must keep the data alive and unchanged.
+  const AsGraph g = MakeDiamond();
+  PathOracle oracle(g, /*capacity=*/1);
+  const PinnedVector<float> from0 = oracle.LatenciesFrom(0);
+  ASSERT_TRUE(from0.valid());
+  const float before = from0[2];
+
+  oracle.LatenciesFrom(1);  // evicts source 0 from the size-1 LRU
+  oracle.LatenciesFrom(2);  // and churns the cache once more
+  EXPECT_EQ(oracle.dijkstra_runs(), 3u);
+
+  ASSERT_TRUE(from0.valid());
+  ASSERT_EQ(from0.size(), 4u);
+  EXPECT_FLOAT_EQ(from0[2], before);
+  EXPECT_FLOAT_EQ(from0[2], 2.0f);
+  EXPECT_FLOAT_EQ(from0.span()[1], 1.0f);
+
+  const PinnedVector<std::uint16_t> hops0 = oracle.HopsFrom(0);
+  oracle.HopsFrom(1);
+  oracle.HopsFrom(3);
+  ASSERT_TRUE(hops0.valid());
+  EXPECT_EQ(hops0[3], 2u);
+}
+
+TEST(PathOracleTest, ReFetchAfterEvictionRecomputes) {
+  const AsGraph g = MakeDiamond();
+  PathOracle oracle(g, 1);
+  const auto a = oracle.LatenciesFrom(0);
+  oracle.LatenciesFrom(1);
+  const auto b = oracle.LatenciesFrom(0);  // miss: recomputed
+  EXPECT_EQ(oracle.dijkstra_runs(), 3u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(PathOracleTest, ShardsCacheIndependently) {
+  const AsGraph g = MakeDiamond();
+  PathOracle oracle(g, 8, /*num_shards=*/2);
+  EXPECT_EQ(oracle.num_shards(), 2u);
+  oracle.LinkLatencyMs(0, 1, /*shard=*/0);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);
+  // Same source on another shard is a miss there: shards share nothing.
+  oracle.LinkLatencyMs(0, 1, /*shard=*/1);
+  EXPECT_EQ(oracle.dijkstra_runs(), 2u);
+  // ...but hits stay local to each shard.
+  oracle.LinkLatencyMs(0, 2, 0);
+  oracle.LinkLatencyMs(0, 2, 1);
+  EXPECT_EQ(oracle.dijkstra_runs(), 2u);
+}
+
+TEST(PathOracleTest, ShardsAgreeOnValues) {
+  const AsGraph g = GenerateInternetTopology(ScaledTopologyParams(300, 11));
+  PathOracle oracle(g, 8, 3);
+  for (const auto& [a, b] :
+       std::vector<std::pair<AsId, AsId>>{{3, 250}, {17, 100}, {0, 299}}) {
+    const double reference = oracle.RttMs(a, b, 0);
+    EXPECT_DOUBLE_EQ(oracle.RttMs(a, b, 1), reference);
+    EXPECT_DOUBLE_EQ(oracle.RttMs(a, b, 2), reference);
+    EXPECT_EQ(oracle.Hops(a, b, 1), oracle.Hops(a, b, 0));
+  }
+}
+
+TEST(PathOracleTest, SetNumShardsPreservesRunTotals) {
+  const AsGraph g = MakeDiamond();
+  PathOracle oracle(g, 8);
+  oracle.LinkLatencyMs(0, 1);
+  oracle.Hops(1, 2);
+  oracle.SetNumShards(4);
+  EXPECT_EQ(oracle.num_shards(), 4u);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);
+  EXPECT_EQ(oracle.bfs_runs(), 1u);
+  // Caches were dropped: the same query is a miss again.
+  oracle.LinkLatencyMs(0, 1);
+  EXPECT_EQ(oracle.dijkstra_runs(), 2u);
+}
+
 TEST(PathOracleTest, TriangleInequalityOverSampledPairs) {
   const AsGraph g = GenerateInternetTopology(ScaledTopologyParams(300, 10));
   PathOracle oracle(g);
