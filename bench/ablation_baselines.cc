@@ -23,8 +23,11 @@ int main(int argc, char** argv) {
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(8000, options.scale, 300)));
 
+  bench::BenchObservability obs(options);
   ResponseTimeConfig config;
   config.threads = options.threads;
+  config.metrics = obs.registry();
+  config.tracer = obs.tracer();
   config.k = 5;
   config.workload.num_guids = bench::Scaled(20'000, options.scale, 1000);
   config.workload.num_lookups = bench::Scaled(100'000, options.scale, 5000);
@@ -54,5 +57,6 @@ int main(int argc, char** argv) {
   std::printf(
       "expected shape: dmap << chord-dht (single overlay hop vs O(log N));\n"
       "the paper cites ~900 ms for DHT-based mapping vs <100 ms for DMap\n");
+  obs.Finish();
   return 0;
 }

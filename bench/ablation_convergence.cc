@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
   service_options.local_replica = false;
   service_options.measure_update_latency = false;
   DMapService service(env.graph, env.table, service_options);
+  bench::BenchObservability obs(options);
+  if (obs.registry() != nullptr) service.SetMetrics(obs.registry());
+  if (obs.tracer() != nullptr) service.SetTracer(obs.tracer());
 
   WorkloadParams params;
   params.num_guids = bench::Scaled(20'000, options.scale, 1000);
@@ -89,5 +92,6 @@ int main(int argc, char** argv) {
   std::printf(
       "before repair, converged queriers chase orphaned mappings; after\n"
       "the Section III-D-1 repair the penalty moves to unconverged ones\n");
+  obs.Finish();
   return 0;
 }

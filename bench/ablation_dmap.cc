@@ -35,8 +35,11 @@ int main(int argc, char** argv) {
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(8000, options.scale, 300)));
 
+  bench::BenchObservability obs(options);
   ResponseTimeConfig config;
   config.threads = options.threads;
+  config.metrics = obs.registry();
+  config.tracer = obs.tracer();
   config.workload.num_guids = bench::Scaled(20'000, options.scale, 1000);
   config.workload.num_lookups = bench::Scaled(100'000, options.scale, 5000);
 
@@ -91,6 +94,7 @@ int main(int argc, char** argv) {
     const std::uint64_t guids = bench::Scaled(200'000, options.scale, 10'000);
     for (const int m : {1, 2, 3, 5, 10, 20}) {
       LoadBalanceConfig c;
+      c.metrics = obs.registry();
       c.num_guids = guids;
       c.max_hashes = m;
       const LoadBalanceResult r = RunLoadBalanceExperiment(env, c);
@@ -114,6 +118,7 @@ int main(int argc, char** argv) {
 
     // Baseline DMap placement.
     LoadBalanceConfig c;
+    c.metrics = obs.registry();
     c.num_guids = guids;
     const LoadBalanceResult dmap_result = RunLoadBalanceExperiment(env, c);
 
@@ -175,6 +180,8 @@ int main(int argc, char** argv) {
                      "stale hits"});
     for (const double ttl_s : {0.0, 30.0, 300.0}) {
       DMapService service(env.graph, env.table, service_options);
+      if (obs.registry() != nullptr) service.SetMetrics(obs.registry());
+      if (obs.tracer() != nullptr) service.SetTracer(obs.tracer());
       WorkloadGenerator workload(env.graph, config.workload);
       for (const InsertOp& op : workload.Inserts()) {
         service.Insert(op.guid, op.na);
@@ -304,5 +311,6 @@ int main(int argc, char** argv) {
                 "    persist:\n%s",
                 table.Render().c_str());
   }
+  obs.Finish();
   return 0;
 }

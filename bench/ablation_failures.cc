@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(8000, options.scale, 300)));
 
+  bench::BenchObservability obs(options);
   WorkloadParams workload_params;
   workload_params.num_guids = bench::Scaled(20'000, options.scale, 1000);
   const std::uint64_t lookups =
@@ -40,6 +41,8 @@ int main(int argc, char** argv) {
     service_options.k = k;
     service_options.measure_update_latency = false;
     DMapService service(env.graph, env.table, service_options);
+    if (obs.registry() != nullptr) service.SetMetrics(obs.registry());
+    if (obs.tracer() != nullptr) service.SetTracer(obs.tracer());
     WorkloadGenerator workload(env.graph, workload_params);
     for (const InsertOp& op : workload.Inserts()) {
       service.Insert(op.guid, op.na);
@@ -85,5 +88,6 @@ int main(int argc, char** argv) {
       "expected: availability ~ 100%% * (1 - f^K) plus local-replica "
       "rescues;\nK=5 shrugs off failure rates that cost K=1 a full f of "
       "its lookups\n");
+  obs.Finish();
   return 0;
 }

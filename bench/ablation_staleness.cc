@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(2000, options.scale, 300)));
 
+  bench::BenchObservability obs(options);
   TextTable table({"mean move interval", "moves", "lookups", "stale first",
                    "stale %", "rechecks (mean)", "t. fresh p95 (ms)"});
   for (const double interval_s : {300.0, 60.0, 20.0, 5.0}) {
@@ -32,6 +33,8 @@ int main(int argc, char** argv) {
     config.num_hosts = bench::ScaledU32(600, options.scale, 100);
     config.mean_move_interval_s = interval_s;
     config.duration_s = 400.0;
+    config.metrics = obs.registry();
+    config.tracer = obs.tracer();
     const StalenessReport r = RunStalenessExperiment(env, config);
     table.AddRow(
         {TextTable::FormatDouble(interval_s, 0) + " s",
@@ -50,5 +53,6 @@ int main(int argc, char** argv) {
       "stale windows last one update RTT per move; even at 5 s inter-move\n"
       "times the keep-checking loop restores a fresh binding within a few\n"
       "rechecks — Section III-D-2's transient, quantified\n");
+  obs.Finish();
   return 0;
 }

@@ -1,14 +1,19 @@
-// Shared helpers for the experiment drivers: --scale parsing and uniform
-// printing of summaries and CDF series.
+// Shared helpers for the experiment drivers: --scale parsing, uniform
+// printing of summaries and CDF series, and the observability flags
+// (--metrics-out / --trace-out / --trace-sample, DESIGN.md section 6).
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "common/stats.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/probe_trace.h"
 #include "sim/metrics.h"
 
 namespace dmap::bench {
@@ -19,6 +24,13 @@ struct BenchOptions {
   // thread. Results are bit-identical for any value (DESIGN.md "Threading
   // model"); 1 forces the serial code path.
   unsigned threads = 0;
+  // Observability sinks; empty = off (no registry/tracer is even created,
+  // so the measured loops keep their uninstrumented hot path).
+  std::string metrics_out;  // metrics_summary file; ".json" or CSV
+  std::string trace_out;    // per-lookup op_trace CSV
+  // Trace 1 in N lookups, sampled deterministically by GUID fingerprint
+  // (thread-count independent). 1 = every lookup.
+  std::uint64_t trace_sample = 1;
 };
 
 // Accepts both `--flag=value` and `--flag value` forms.
@@ -52,8 +64,29 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
       options.threads = unsigned(threads);
+    } else if (const char* value =
+                   BenchArgValue(arg, "--metrics-out", argc, argv, &i)) {
+      options.metrics_out = value;
+    } else if (const char* value =
+                   BenchArgValue(arg, "--trace-out", argc, argv, &i)) {
+      options.trace_out = value;
+    } else if (const char* value =
+                   BenchArgValue(arg, "--trace-sample", argc, argv, &i)) {
+      char* end = nullptr;
+      const long long n = std::strtoll(value, &end, 10);
+      if (end == value || *end != '\0' || n < 1) {
+        std::fprintf(stderr, "bad --trace-sample value: %s\n", value);
+        std::exit(2);
+      }
+      options.trace_sample = std::uint64_t(n);
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("usage: %s [--scale=<f>] [--threads=<n>]\n", argv[0]);
+      std::printf(
+          "usage: %s [--scale=<f>] [--threads=<n>] [--metrics-out=<file>]\n"
+          "          [--trace-out=<file>] [--trace-sample=<N>]\n"
+          "  --metrics-out   write a metrics_summary (.json, else CSV)\n"
+          "  --trace-out     write a per-lookup op_trace CSV\n"
+          "  --trace-sample  trace 1 in N lookups (default 1 = all)\n",
+          argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
@@ -62,6 +95,47 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
   }
   return options;
 }
+
+// Owns the optional observability sinks of one bench run. Construct from
+// the parsed options, hand registry()/tracer() to the experiment config
+// (null when the corresponding flag is off — the uninstrumented path), and
+// call Finish() once after the measured phase to write the files.
+class BenchObservability {
+ public:
+  explicit BenchObservability(const BenchOptions& options)
+      : options_(options) {
+    if (!options.metrics_out.empty()) registry_.emplace();
+    if (!options.trace_out.empty()) {
+      tracer_.emplace(1u, options.trace_sample);
+    }
+  }
+
+  MetricsRegistry* registry() {
+    return registry_.has_value() ? &*registry_ : nullptr;
+  }
+  ProbeTracer* tracer() { return tracer_.has_value() ? &*tracer_ : nullptr; }
+
+  // Writes the requested files (deterministic exports only by default) and
+  // prints where they went. Call exactly once.
+  void Finish() {
+    if (registry_.has_value()) {
+      WriteMetricsSummary(options_.metrics_out, registry_->Snapshot(),
+                          MetricsExportOptions{});
+      std::printf("metrics_summary: %s\n", options_.metrics_out.c_str());
+    }
+    if (tracer_.has_value()) {
+      const std::vector<ProbeTrace> traces = tracer_->Drain();
+      WriteOpTrace(options_.trace_out, traces);
+      std::printf("op_trace: %s (%zu sampled ops)\n",
+                  options_.trace_out.c_str(), traces.size());
+    }
+  }
+
+ private:
+  BenchOptions options_;
+  std::optional<MetricsRegistry> registry_;
+  std::optional<ProbeTracer> tracer_;
+};
 
 inline std::uint64_t Scaled(std::uint64_t base, double scale,
                             std::uint64_t minimum = 1) {

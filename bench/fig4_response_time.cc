@@ -24,8 +24,11 @@ int main(int argc, char** argv) {
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(26424, options.scale, 300)));
 
+  bench::BenchObservability obs(options);
   ResponseTimeConfig config;
   config.threads = options.threads;
+  config.metrics = obs.registry();
+  config.tracer = obs.tracer();
   config.workload.num_guids = bench::Scaled(100'000, options.scale, 1000);
   config.workload.num_lookups =
       bench::Scaled(1'000'000, options.scale, 10'000);
@@ -44,5 +47,6 @@ int main(int argc, char** argv) {
   for (const auto& [k, samples] : sweep) {
     bench::PrintCdf("K=" + std::to_string(k), samples);
   }
+  obs.Finish();
   return 0;
 }

@@ -21,8 +21,11 @@ int main(int argc, char** argv) {
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(26424, options.scale, 300)));
 
+  bench::BenchObservability obs(options);
   ChurnExperimentConfig config;
   config.base.threads = options.threads;
+  config.base.metrics = obs.registry();
+  config.base.tracer = obs.tracer();
   config.base.k = 5;
   config.base.workload.num_guids =
       bench::Scaled(100'000, options.scale, 1000);
@@ -46,5 +49,6 @@ int main(int argc, char** argv) {
     bench::PrintCdf(TextTable::FormatDouble(fraction * 100, 0) + "% churn",
                     samples);
   }
+  obs.Finish();
   return 0;
 }

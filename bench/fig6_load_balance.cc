@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(26424, options.scale, 300)));
 
+  bench::BenchObservability obs(options);
   TextTable table({"GUIDs", "ASs", "median NLR", "in [0.4,1.6]",
                    "deputy fallbacks", "hash evals/resolve"});
   std::vector<std::pair<std::uint64_t, LoadBalanceResult>> runs;
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
         bench::Scaled(10'000'000, options.scale, 100'000)}) {
     LoadBalanceConfig config;
     config.threads = options.threads;
+    config.metrics = obs.registry();
     config.num_guids = guids;
     LoadBalanceResult result = RunLoadBalanceExperiment(env, config);
     const double evals =
@@ -54,5 +56,6 @@ int main(int argc, char** argv) {
     bench::PrintCdfLinear(std::to_string(guids) + " GUIDs", result.nlr, 16,
                           "NLR");
   }
+  obs.Finish();
   return 0;
 }

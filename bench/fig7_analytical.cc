@@ -54,7 +54,11 @@ int main(int argc, char** argv) {
   for (const double r : measured.ratios()) std::printf(" %.4f", r);
   std::printf("\n");
 
+  bench::BenchObservability obs(options);
   ResponseTimeConfig config;
+  config.threads = options.threads;
+  config.metrics = obs.registry();
+  config.tracer = obs.tracer();
   config.local_replica = false;  // the model has no local-replica term
   config.workload.num_guids = bench::Scaled(20'000, options.scale, 1000);
   config.workload.num_lookups = bench::Scaled(100'000, options.scale, 5000);
@@ -78,5 +82,6 @@ int main(int argc, char** argv) {
                   TextTable::FormatDouble(ys[i])});
   }
   std::printf("%s", cross.Render().c_str());
+  obs.Finish();
   return 0;
 }

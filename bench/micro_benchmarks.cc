@@ -11,10 +11,14 @@
 #include "bgp/prefix_gen.h"
 #include "common/hash.h"
 #include "common/rng.h"
+#include "core/dmap_service.h"
 #include "core/hole_resolver.h"
 #include "core/mapping_store.h"
 #include "event/simulator.h"
+#include "obs/metrics_registry.h"
+#include "obs/probe_trace.h"
 #include "runtime/thread_pool.h"
+#include "sim/environment.h"
 #include "topo/generator.h"
 #include "topo/shortest_path.h"
 
@@ -164,6 +168,42 @@ void BM_ParallelSssp(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelSssp)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+void BM_DMapLookupObservability(benchmark::State& state) {
+  // Instrumentation overhead on the end-to-end lookup path.
+  //   Arg(0): observability off (null metrics/tracer pointers)
+  //   Arg(1): metrics registry attached
+  //   Arg(2): metrics + tracer (1/8 GUID sampling, events materialised)
+  // Acceptance bar: Arg(0) must match the pre-instrumentation baseline —
+  // the `if (metrics_)` / `if (tracer_)` guards are all a disabled run pays.
+  static const SimEnvironment& env = [] () -> const SimEnvironment& {
+    static SimEnvironment e =
+        BuildEnvironment(EnvironmentParams::Scaled(2000));
+    return e;
+  }();
+  DMapOptions service_options;
+  service_options.measure_update_latency = false;
+  DMapService service(env.graph, env.table, service_options);
+  MetricsRegistry registry;
+  ProbeTracer tracer(1u, 8);
+  if (state.range(0) >= 1) service.SetMetrics(&registry);
+  if (state.range(0) >= 2) service.SetTracer(&tracer);
+  constexpr std::uint64_t kGuids = 10'000;
+  for (std::uint64_t i = 0; i < kGuids; ++i) {
+    service.Insert(Guid::FromSequence(i),
+                   NetworkAddress{AsId(i % env.graph.num_nodes()), 1});
+  }
+  // A small querier set keeps the oracle cache hot so the benchmark
+  // measures the lookup path, not Dijkstra.
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        service.Lookup(Guid::FromSequence(seq % kGuids), AsId(seq % 16)));
+    ++seq;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DMapLookupObservability)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_MappingStoreUpsertLookup(benchmark::State& state) {
   MappingStore store;

@@ -71,8 +71,10 @@ int main(int argc, char** argv) {
   // distribution (hottest server = highest NLR).
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(8000, options.scale, 300)));
+  bench::BenchObservability obs(options);
   LoadBalanceConfig lb;
   lb.threads = options.threads;
+  lb.metrics = obs.registry();
   lb.num_guids = bench::Scaled(500'000, options.scale, 50'000);
   const LoadBalanceResult nlr_run = RunLoadBalanceExperiment(env, lb);
 
@@ -93,5 +95,6 @@ int main(int argc, char** argv) {
               "negligible-delay assumption\n  holds by orders of "
               "magnitude\n",
               report.max_global_queries_per_s);
+  obs.Finish();
   return 0;
 }

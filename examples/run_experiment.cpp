@@ -17,13 +17,20 @@
 //   churn_fractions = 0.0, 0.05, 0.10
 //   local_replica   = true
 //   threads    = 0                  # experiment workers; 0 = all cores
+//   metrics_out  =                  # metrics summary (.json => JSON)
+//   trace_out    =                  # per-lookup probe-trace CSV
+//   trace_sample = 1                # trace 1-in-N GUIDs
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "analysis/jellyfish_model.h"
 #include "common/config.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/probe_trace.h"
 #include "sim/experiments.h"
 #include "sim/replication.h"
 #include "sim/staleness.h"
@@ -44,8 +51,31 @@ int Run(const Config& config) {
 
   const SimConfig sim = SimConfig::FromConfig(config);
 
+  // Observability sinks: exports are bit-identical for every `threads`
+  // value (execution-dependent counters are excluded by default).
+  std::optional<MetricsRegistry> registry;
+  std::optional<ProbeTracer> tracer;
+  if (!sim.metrics_out.empty()) registry.emplace();
+  if (!sim.trace_out.empty()) tracer.emplace(1u, sim.trace_sample);
+  const auto finish_observability = [&] {
+    if (registry.has_value()) {
+      WriteMetricsSummary(sim.metrics_out, registry->Snapshot(),
+                          MetricsExportOptions{});
+      std::printf("metrics summary written to %s\n",
+                  sim.metrics_out.c_str());
+    }
+    if (tracer.has_value()) {
+      const auto traces = tracer->Drain();
+      WriteOpTrace(sim.trace_out, traces);
+      std::printf("op trace (%zu sampled ops) written to %s\n",
+                  traces.size(), sim.trace_out.c_str());
+    }
+  };
+
   ResponseTimeConfig rt;
   rt.threads = sim.threads;
+  rt.metrics = registry.has_value() ? &*registry : nullptr;
+  rt.tracer = tracer.has_value() ? &*tracer : nullptr;
   rt.workload.num_guids = std::uint64_t(config.GetInt("guids", 20'000));
   rt.workload.num_lookups =
       std::uint64_t(config.GetInt("lookups", 100'000));
@@ -86,6 +116,7 @@ int Run(const Config& config) {
                LongTermInternetModel().ResponseTimeUpperBoundMs(k))});
     }
     std::printf("%s", table.Render().c_str());
+    finish_observability();
     return 0;
   }
 
@@ -111,6 +142,7 @@ int Run(const Config& config) {
                     "+-" + TextTable::FormatDouble(r.ci95_half, 2)});
     }
     std::printf("%s", table.Render().c_str());
+    finish_observability();
     return 0;
   }
 
@@ -164,6 +196,7 @@ int Run(const Config& config) {
   } else if (experiment == "load_balance") {
     LoadBalanceConfig lb;
     lb.threads = sim.threads;
+    lb.metrics = rt.metrics;
     lb.k = ks.empty() ? 5 : ks.back();
     lb.num_guids = rt.workload.num_guids;
     const LoadBalanceResult result = RunLoadBalanceExperiment(env, lb);
@@ -180,6 +213,8 @@ int Run(const Config& config) {
       sc.num_hosts = std::uint32_t(rt.workload.num_guids);
       sc.mean_move_interval_s = interval_s;
       sc.k = ks.empty() ? 5 : ks.back();
+      sc.metrics = rt.metrics;
+      sc.tracer = rt.tracer;
       const StalenessReport r = RunStalenessExperiment(env, sc);
       table.AddRow(
           {TextTable::FormatDouble(interval_s, 0) + " s",
@@ -209,6 +244,7 @@ int Run(const Config& config) {
     std::fprintf(stderr, "unknown experiment '%s'\n", experiment.c_str());
     return 2;
   }
+  finish_observability();
   return 0;
 }
 
@@ -222,7 +258,7 @@ int main(int argc, char** argv) {
         "workload_seed = 1\nks = 1, 3, 5\n"
         "churn_fractions = 0.0, 0.05, 0.10\nlocal_replica = true\n"
         "replications = 1\ntopology_file =\nmove_intervals = 300, 60, 20, 5\n"
-        "threads = 0\n");
+        "threads = 0\nmetrics_out =\ntrace_out =\ntrace_sample = 1\n");
     return 0;
   }
   if (argc != 2) {

@@ -1,5 +1,7 @@
 #include "baseline/central_directory.h"
 
+#include <stdexcept>
+
 namespace dmap {
 
 UpdateResult CentralDirectory::Insert(const Guid& guid, NetworkAddress na) {
@@ -8,20 +10,91 @@ UpdateResult CentralDirectory::Insert(const Guid& guid, NetworkAddress na) {
   UpdateResult result;
   result.version = ++entry.version;
   result.replicas = {server_};
+  result.attempts = 1;
   result.latency_ms = oracle_->RttMs(na.as, server_);
+  FinishWrite(WriteOp::kInsert, result, 0);
   return result;
 }
 
-LookupResult CentralDirectory::Lookup(const Guid& guid, AsId querier) {
-  LookupResult result;
+UpdateResult CentralDirectory::Update(const Guid& guid, NetworkAddress na) {
+  const auto it = entries_.find(guid);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("CentralDirectory::Update: unknown GUID");
+  }
+  it->second.nas = NaSet(na);
+  UpdateResult result;
+  result.version = ++it->second.version;
+  result.replicas = {server_};
   result.attempts = 1;
-  result.latency_ms = oracle_->RttMs(querier, server_);
+  result.latency_ms = oracle_->RttMs(na.as, server_);
+  FinishWrite(WriteOp::kUpdate, result, 0);
+  return result;
+}
+
+UpdateResult CentralDirectory::AddAttachment(const Guid& guid,
+                                             NetworkAddress na) {
+  const auto it = entries_.find(guid);
+  if (it == entries_.end()) {
+    throw std::invalid_argument(
+        "CentralDirectory::AddAttachment: unknown GUID");
+  }
+  if (!it->second.nas.Add(na)) {
+    throw std::invalid_argument(
+        "CentralDirectory::AddAttachment: NA already present or NA set "
+        "full");
+  }
+  UpdateResult result;
+  result.version = ++it->second.version;
+  result.replicas = {server_};
+  result.attempts = 1;
+  result.latency_ms = oracle_->RttMs(na.as, server_);
+  FinishWrite(WriteOp::kAddAttachment, result, 0);
+  return result;
+}
+
+bool CentralDirectory::Deregister(const Guid& guid) {
+  const bool removed = entries_.erase(guid) > 0;
+  FinishDeregister(removed, 0);
+  return removed;
+}
+
+LookupResult CentralDirectory::Lookup(const Guid& guid, AsId querier,
+                                      unsigned shard) {
+  LookupResult result;
+  ProbeTrace* trace = StartTrace(result, 'L', guid, querier);
+  result.attempts = 1;
+  if (IsFailed(server_)) {
+    // The whole directory is down — no fallback exists.
+    result.latency_ms = failure_timeout_ms();
+    if (trace) {
+      trace->probes.push_back(
+          ProbeEvent{server_, failure_timeout_ms(), ProbeOutcome::kFailed});
+    }
+    FinishLookup(result, shard);
+    return result;
+  }
+  result.latency_ms = oracle_->RttMs(querier, server_, shard);
   const auto it = entries_.find(guid);
   if (it != entries_.end()) {
     result.found = true;
     result.nas = it->second.nas;
     result.serving_as = server_;
   }
+  if (trace) {
+    trace->probes.push_back(
+        ProbeEvent{server_, result.latency_ms,
+                   result.found ? ProbeOutcome::kHit : ProbeOutcome::kMiss});
+  }
+  FinishLookup(result, shard);
+  return result;
+}
+
+LookupResult CentralDirectory::LookupWithView(const Guid& guid, AsId querier,
+                                              const PrefixTable& view,
+                                              unsigned shard) {
+  (void)view;  // one fixed server, no BGP-derived placement — see header
+  LookupResult result = Lookup(guid, querier, shard);
+  result.status = ResolverStatus::kUnsupported;
   return result;
 }
 

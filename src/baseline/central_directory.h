@@ -20,10 +20,16 @@ class CentralDirectory final : public NameResolver {
   AsId server() const { return server_; }
 
   UpdateResult Insert(const Guid& guid, NetworkAddress na) override;
-  UpdateResult Update(const Guid& guid, NetworkAddress na) override {
-    return Insert(guid, na);
-  }
-  LookupResult Lookup(const Guid& guid, AsId querier) override;
+  UpdateResult Update(const Guid& guid, NetworkAddress na) override;
+  UpdateResult AddAttachment(const Guid& guid, NetworkAddress na) override;
+  bool Deregister(const Guid& guid) override;
+  LookupResult Lookup(const Guid& guid, AsId querier,
+                      unsigned shard = 0) override;
+  // One fixed server regardless of any BGP view. Answers like Lookup,
+  // flagged kUnsupported.
+  LookupResult LookupWithView(const Guid& guid, AsId querier,
+                              const PrefixTable& view,
+                              unsigned shard = 0) override;
 
  private:
   PathOracle* oracle_;

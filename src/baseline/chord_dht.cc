@@ -67,45 +67,115 @@ std::vector<AsId> ChordDht::Route(AsId from, std::uint64_t key) const {
   return hops;
 }
 
-UpdateResult ChordDht::Write(const Guid& guid, NetworkAddress na) {
+double ChordDht::RouteCostMs(AsId from, std::uint64_t key, unsigned shard,
+                             int* attempts) const {
+  double cost = 0.0;
+  for (const AsId hop : Route(from, key)) {
+    if (attempts != nullptr) ++*attempts;
+    cost += IsFailed(hop) ? failure_timeout_ms()
+                          : oracle_->RttMs(from, hop, shard);
+  }
+  return cost;
+}
+
+UpdateResult ChordDht::Write(const Guid& guid, NetworkAddress na,
+                             WriteOp op) {
   UpdateResult result;
   result.version = ++versions_[guid];
   entries_[guid] = MappingEntry{NaSet(na), result.version};
-
-  // Iterative routing from the host's AS to the owner: every overlay hop is
-  // a full underlay round trip from the source.
-  double cost = 0.0;
-  for (const AsId hop : Route(na.as, KeyOf(guid))) {
-    cost += oracle_->RttMs(na.as, hop);
-  }
-  result.latency_ms = cost;
+  result.latency_ms = RouteCostMs(na.as, KeyOf(guid), 0, &result.attempts);
   result.replicas = {OwnerOf(guid)};
+  FinishWrite(op, result, 0);
   return result;
 }
 
 UpdateResult ChordDht::Insert(const Guid& guid, NetworkAddress na) {
-  return Write(guid, na);
+  return Write(guid, na, WriteOp::kInsert);
 }
 
 UpdateResult ChordDht::Update(const Guid& guid, NetworkAddress na) {
-  return Write(guid, na);
+  if (!entries_.contains(guid)) {
+    throw std::invalid_argument("ChordDht::Update: unknown GUID");
+  }
+  return Write(guid, na, WriteOp::kUpdate);
 }
 
-LookupResult ChordDht::Lookup(const Guid& guid, AsId querier) {
+UpdateResult ChordDht::AddAttachment(const Guid& guid, NetworkAddress na) {
+  const auto it = entries_.find(guid);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("ChordDht::AddAttachment: unknown GUID");
+  }
+  if (!it->second.nas.Add(na)) {
+    throw std::invalid_argument(
+        "ChordDht::AddAttachment: NA already present or NA set full");
+  }
+  UpdateResult result;
+  result.version = ++versions_[guid];
+  it->second.version = result.version;
+  result.latency_ms = RouteCostMs(na.as, KeyOf(guid), 0, &result.attempts);
+  result.replicas = {OwnerOf(guid)};
+  FinishWrite(WriteOp::kAddAttachment, result, 0);
+  return result;
+}
+
+bool ChordDht::Deregister(const Guid& guid) {
+  const bool removed = entries_.erase(guid) > 0;
+  versions_.erase(guid);
+  FinishDeregister(removed, 0);
+  return removed;
+}
+
+LookupResult ChordDht::Lookup(const Guid& guid, AsId querier,
+                              unsigned shard) {
   LookupResult result;
+  ProbeTrace* trace = StartTrace(result, 'L', guid, querier);
   double cost = 0.0;
   const std::vector<AsId> route = Route(querier, KeyOf(guid));
+  bool owner_reachable = true;
   for (const AsId hop : route) {
-    cost += oracle_->RttMs(querier, hop);
+    ++result.attempts;
+    const bool last = hop == route.back();
+    if (IsFailed(hop)) {
+      // Iterative routing: the querier times out on the dead node. A dead
+      // owner loses the mapping; a dead intermediate hop just costs the
+      // retry timeout before the querier asks its next-best finger.
+      cost += failure_timeout_ms();
+      if (last) owner_reachable = false;
+      if (trace) {
+        trace->probes.push_back(
+            ProbeEvent{hop, failure_timeout_ms(), ProbeOutcome::kFailed});
+      }
+      continue;
+    }
+    const double rtt = oracle_->RttMs(querier, hop, shard);
+    cost += rtt;
+    if (trace) {
+      // Intermediate hops only redirect — recorded as misses; the final
+      // hop's outcome is patched below once found/not-found is known.
+      trace->probes.push_back(ProbeEvent{hop, rtt, ProbeOutcome::kMiss});
+    }
   }
-  result.attempts = int(route.size());
   result.latency_ms = cost;
   const auto it = entries_.find(guid);
-  if (it != entries_.end()) {
+  if (it != entries_.end() && owner_reachable) {
     result.found = true;
     result.nas = it->second.nas;
     result.serving_as = route.empty() ? querier : route.back();
+    if (trace && !trace->probes.empty() &&
+        trace->probes.back().outcome == ProbeOutcome::kMiss) {
+      trace->probes.back().outcome = ProbeOutcome::kHit;
+    }
   }
+  FinishLookup(result, shard);
+  return result;
+}
+
+LookupResult ChordDht::LookupWithView(const Guid& guid, AsId querier,
+                                      const PrefixTable& view,
+                                      unsigned shard) {
+  (void)view;  // placement never consults BGP — see header
+  LookupResult result = Lookup(guid, querier, shard);
+  result.status = ResolverStatus::kUnsupported;
   return result;
 }
 

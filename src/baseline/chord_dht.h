@@ -26,7 +26,16 @@ class ChordDht final : public NameResolver {
 
   UpdateResult Insert(const Guid& guid, NetworkAddress na) override;
   UpdateResult Update(const Guid& guid, NetworkAddress na) override;
-  LookupResult Lookup(const Guid& guid, AsId querier) override;
+  UpdateResult AddAttachment(const Guid& guid, NetworkAddress na) override;
+  bool Deregister(const Guid& guid) override;
+  LookupResult Lookup(const Guid& guid, AsId querier,
+                      unsigned shard = 0) override;
+  // Chord's placement hashes straight onto the overlay ring — BGP prefix
+  // ownership never enters, so a stale view is indistinguishable from the
+  // live one. Answers like Lookup, flagged kUnsupported.
+  LookupResult LookupWithView(const Guid& guid, AsId querier,
+                              const PrefixTable& view,
+                              unsigned shard = 0) override;
 
   // The AS responsible for `guid` (successor of its key on the ring).
   AsId OwnerOf(const Guid& guid) const;
@@ -41,7 +50,12 @@ class ChordDht final : public NameResolver {
   // Index into ring_ of the successor of `key`.
   std::size_t SuccessorIndex(std::uint64_t key) const;
 
-  UpdateResult Write(const Guid& guid, NetworkAddress na);
+  // Iterative-routing cost of reaching the owner of `key` from `from`:
+  // every overlay hop is a full underlay round trip from the source.
+  // Failed hops cost failure_timeout_ms() instead of their RTT.
+  double RouteCostMs(AsId from, std::uint64_t key, unsigned shard,
+                     int* attempts) const;
+  UpdateResult Write(const Guid& guid, NetworkAddress na, WriteOp op);
 
   const AsGraph* graph_;
   PathOracle* oracle_;

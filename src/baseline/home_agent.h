@@ -20,7 +20,16 @@ class HomeAgent final : public NameResolver {
 
   UpdateResult Insert(const Guid& guid, NetworkAddress na) override;
   UpdateResult Update(const Guid& guid, NetworkAddress na) override;
-  LookupResult Lookup(const Guid& guid, AsId querier) override;
+  UpdateResult AddAttachment(const Guid& guid, NetworkAddress na) override;
+  bool Deregister(const Guid& guid) override;
+  LookupResult Lookup(const Guid& guid, AsId querier,
+                      unsigned shard = 0) override;
+  // The home is pinned at first registration, never derived from BGP; a
+  // stale view cannot change the answer. Answers like Lookup, flagged
+  // kUnsupported.
+  LookupResult LookupWithView(const Guid& guid, AsId querier,
+                              const PrefixTable& view,
+                              unsigned shard = 0) override;
 
   // The home AS of a registered GUID, or kInvalidAs.
   AsId HomeOf(const Guid& guid) const;

@@ -1,5 +1,84 @@
 #include "baseline/resolver.h"
 
-// Interface is header-only today; this TU anchors the vtable.
+namespace dmap {
 
-namespace dmap {}  // namespace dmap
+void NameResolver::SetFailedAses(const std::vector<AsId>& failed) {
+  failed_ases_.clear();
+  failed_ases_.insert(failed.begin(), failed.end());
+}
+
+void NameResolver::EnableMetrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) return;
+  const std::string p = name() + ".";
+  ins_.inserts = registry->Counter(p + "inserts");
+  ins_.updates = registry->Counter(p + "updates");
+  ins_.add_attachments = registry->Counter(p + "add_attachments");
+  ins_.deregisters = registry->Counter(p + "deregisters");
+  ins_.lookups = registry->Counter(p + "lookups");
+  ins_.lookup_hits = registry->Counter(p + "lookup_hits");
+  ins_.lookup_misses = registry->Counter(p + "lookup_misses");
+  ins_.lookup_latency_ms = registry->Histogram(
+      p + "lookup_latency_ms", MetricsRegistry::LatencyBoundariesMs());
+  ins_.update_latency_ms = registry->Histogram(
+      p + "update_latency_ms", MetricsRegistry::LatencyBoundariesMs());
+  ins_.lookup_attempts =
+      registry->Histogram(p + "lookup_attempts",
+                          MetricsRegistry::CountBoundaries());
+}
+
+ProbeTrace* NameResolver::StartTrace(LookupResult& result, char op,
+                                     const Guid& guid, AsId querier) const {
+  if (tracer_ == nullptr || !tracer_->ShouldTrace(guid)) return nullptr;
+  result.trace.emplace();
+  ProbeTrace& trace = *result.trace;
+  trace.op = op;
+  trace.guid_fp = guid.Fingerprint64();
+  trace.querier = querier;
+  return &trace;
+}
+
+void NameResolver::FinishLookup(LookupResult& result, unsigned shard) {
+  if (metrics_ != nullptr) {
+    metrics_->Add(ins_.lookups, 1, shard);
+    metrics_->Add(result.found ? ins_.lookup_hits : ins_.lookup_misses, 1,
+                  shard);
+    metrics_->Observe(ins_.lookup_latency_ms, result.latency_ms, shard);
+    metrics_->Observe(ins_.lookup_attempts, double(result.attempts), shard);
+  }
+  if (result.trace.has_value()) {
+    ProbeTrace& trace = *result.trace;
+    trace.found = result.found;
+    trace.local_won = result.served_locally;
+    trace.latency_ms = result.latency_ms;
+    trace.attempts = result.attempts;
+    tracer_->Record(shard, trace);
+  }
+}
+
+void NameResolver::FinishWrite(WriteOp op, const UpdateResult& result,
+                               unsigned shard) {
+  if (metrics_ == nullptr) return;
+  switch (op) {
+    case WriteOp::kInsert:
+      metrics_->Add(ins_.inserts, 1, shard);
+      break;
+    case WriteOp::kUpdate:
+      metrics_->Add(ins_.updates, 1, shard);
+      break;
+    case WriteOp::kAddAttachment:
+      metrics_->Add(ins_.add_attachments, 1, shard);
+      break;
+  }
+  if (result.latency_ms >= 0) {
+    metrics_->Observe(ins_.update_latency_ms, result.latency_ms, shard);
+  }
+}
+
+void NameResolver::FinishDeregister(bool removed, unsigned shard) {
+  if (metrics_ != nullptr && removed) {
+    metrics_->Add(ins_.deregisters, 1, shard);
+  }
+}
+
+}  // namespace dmap

@@ -189,6 +189,13 @@ SimConfig SimConfig::FromConfig(const Config& config) {
     throw std::runtime_error("config: 'threads' must be >= 0");
   }
   sim.threads = unsigned(threads);
+  sim.metrics_out = config.GetString("metrics_out", "");
+  sim.trace_out = config.GetString("trace_out", "");
+  const std::int64_t sample = config.GetInt("trace_sample", 1);
+  if (sample < 1) {
+    throw std::runtime_error("config: 'trace_sample' must be >= 1");
+  }
+  sim.trace_sample = std::uint64_t(sample);
   return sim;
 }
 

@@ -69,11 +69,18 @@ struct SimConfig {
   // 1 = the serial code path.
   unsigned threads = 0;
 
+  // Observability sinks (src/obs/). Empty paths disable the corresponding
+  // export; exports are bit-identical for every value of `threads`.
+  std::string metrics_out;  // metrics summary (.json => JSON, else CSV)
+  std::string trace_out;    // per-lookup probe trace CSV
+  std::uint64_t trace_sample = 1;  // trace 1-in-N GUIDs (by fingerprint)
+
   // Resolves 0 to the hardware thread count (without consulting
   // $DMAP_THREADS — that hook lives in ThreadPool::Resolve).
   unsigned EffectiveThreads() const;
 
-  // Reads the `threads` key (default 0).
+  // Reads the `threads`, `metrics_out`, `trace_out` and `trace_sample`
+  // keys (defaults above).
   static SimConfig FromConfig(const Config& config);
 };
 

@@ -2,29 +2,81 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace dmap {
+
+void DMapOptions::Validate() const {
+  if (k < 1) {
+    throw std::invalid_argument("DMapOptions: k must be >= 1 (got " +
+                                std::to_string(k) + ")");
+  }
+  if (max_hashes < 1) {
+    throw std::invalid_argument("DMapOptions: max_hashes must be >= 1 (got " +
+                                std::to_string(max_hashes) + ")");
+  }
+  if (!(failure_timeout_ms >= 0.0)) {  // also rejects NaN
+    throw std::invalid_argument(
+        "DMapOptions: failure_timeout_ms must be >= 0 (got " +
+        std::to_string(failure_timeout_ms) + ")");
+  }
+}
 
 DMapService::DMapService(const AsGraph& graph, const PrefixTable& table,
                          const DMapOptions& options)
     : graph_(&graph),
       table_(&table),
-      options_(options),
+      options_((options.Validate(), options)),
       hashes_(options.k, options.hash_seed),
       resolver_(hashes_, table, options.max_hashes),
       oracle_(graph),
-      stores_(graph.num_nodes()) {
-  if (options.k < 1) throw std::invalid_argument("DMapService: k < 1");
+      stores_(graph.num_nodes()) {}
+
+void DMapService::SetMetrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  resolver_.SetMetrics(registry);
+  if (registry == nullptr) return;
+  ins_.inserts = registry->Counter("dmap.inserts");
+  ins_.updates = registry->Counter("dmap.updates");
+  ins_.add_attachments = registry->Counter("dmap.add_attachments");
+  ins_.deregisters = registry->Counter("dmap.deregisters");
+  ins_.rehomes = registry->Counter("dmap.rehomes");
+  ins_.replicas_moved = registry->Counter("dmap.replicas_moved");
+  ins_.lookups = registry->Counter("dmap.lookups");
+  ins_.lookup_hits = registry->Counter("dmap.lookup_hits");
+  ins_.lookup_misses = registry->Counter("dmap.lookup_misses");
+  ins_.local_wins = registry->Counter("dmap.local_wins");
+  ins_.probes = registry->Counter("dmap.probes");
+  ins_.probe_misses = registry->Counter("dmap.probe_misses");
+  ins_.probe_failures = registry->Counter("dmap.probe_failures");
+  ins_.hash_evaluations = registry->Counter("dmap.hash_evaluations");
+  ins_.lookup_latency_ms = registry->Histogram(
+      "dmap.lookup_latency_ms", MetricsRegistry::LatencyBoundariesMs());
+  ins_.update_latency_ms = registry->Histogram(
+      "dmap.update_latency_ms", MetricsRegistry::LatencyBoundariesMs());
+  ins_.lookup_attempts = registry->Histogram(
+      "dmap.lookup_attempts", MetricsRegistry::CountBoundaries());
+}
+
+void DMapService::AccountUpdate(const UpdateResult& result,
+                                CounterId op_counter, unsigned shard) {
+  metrics_->Add(op_counter, 1, shard);
+  metrics_->Add(ins_.hash_evaluations,
+                std::uint64_t(result.hash_evaluations), shard);
+  if (result.latency_ms >= 0) {
+    metrics_->Observe(ins_.update_latency_ms, result.latency_ms, shard);
+  }
 }
 
 UpdateResult DMapService::WriteReplicas(const Guid& guid, OwnerState& state,
-                                        AsId src_as) {
+                                        AsId src_as, unsigned shard) {
   UpdateResult result;
   result.version = state.version;
 
   // Remove entries from replicas that are no longer in the set (only
   // happens via Rehome/Update-after-churn; the common case is a no-op).
-  const std::vector<HostResolution> resolutions = resolver_.ResolveAll(guid);
+  const std::vector<HostResolution> resolutions =
+      resolver_.ResolveAll(guid, shard);
   std::vector<AsId> new_replicas;
   new_replicas.reserve(resolutions.size());
   for (const HostResolution& r : resolutions) {
@@ -65,13 +117,14 @@ UpdateResult DMapService::WriteReplicas(const Guid& guid, OwnerState& state,
   }
 
   result.replicas = state.replicas;
+  result.attempts = int(state.replicas.size());
 
   // Replica writes go out in parallel; update latency is the slowest
   // round trip (Section III-A).
   if (options_.measure_update_latency) {
     double max_rtt = 0.0;
     for (const AsId host : state.replicas) {
-      max_rtt = std::max(max_rtt, oracle_.RttMs(src_as, host));
+      max_rtt = std::max(max_rtt, oracle_.RttMs(src_as, host, shard));
     }
     result.latency_ms = max_rtt;
   }
@@ -85,7 +138,9 @@ UpdateResult DMapService::Insert(const Guid& guid, NetworkAddress na) {
   OwnerState& state = owners_[guid];
   state.nas = NaSet(na);
   ++state.version;
-  return WriteReplicas(guid, state, na.as);
+  UpdateResult result = WriteReplicas(guid, state, na.as);
+  if (metrics_) AccountUpdate(result, ins_.inserts, 0);
+  return result;
 }
 
 UpdateResult DMapService::Update(const Guid& guid, NetworkAddress na) {
@@ -96,7 +151,9 @@ UpdateResult DMapService::Update(const Guid& guid, NetworkAddress na) {
   OwnerState& state = it->second;
   state.nas = NaSet(na);
   ++state.version;
-  return WriteReplicas(guid, state, na.as);
+  UpdateResult result = WriteReplicas(guid, state, na.as);
+  if (metrics_) AccountUpdate(result, ins_.updates, 0);
+  return result;
 }
 
 UpdateResult DMapService::AddAttachment(const Guid& guid, NetworkAddress na) {
@@ -110,7 +167,9 @@ UpdateResult DMapService::AddAttachment(const Guid& guid, NetworkAddress na) {
         "AddAttachment: NA already present or NA set full");
   }
   ++state.version;
-  return WriteReplicas(guid, state, na.as);
+  UpdateResult result = WriteReplicas(guid, state, na.as);
+  if (metrics_) AccountUpdate(result, ins_.add_attachments, 0);
+  return result;
 }
 
 bool DMapService::Deregister(const Guid& guid) {
@@ -124,6 +183,7 @@ bool DMapService::Deregister(const Guid& guid) {
     if (stores_[state.local_as].Erase(guid)) --total_entries_;
   }
   owners_.erase(it);
+  if (metrics_) metrics_->Add(ins_.deregisters, 1, 0);
   return true;
 }
 
@@ -164,19 +224,36 @@ std::vector<std::pair<AsId, double>> DMapService::OrderReplicas(
 
 LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
                                          const std::vector<AsId>& hosts,
-                                         unsigned shard) {
+                                         unsigned shard, char op,
+                                         int hash_evaluations) {
   LookupResult result;
+  ProbeTrace* trace = nullptr;
+  if (tracer_ != nullptr && tracer_->ShouldTrace(guid)) {
+    result.trace.emplace();
+    trace = &*result.trace;
+    trace->op = op;
+    trace->guid_fp = guid.Fingerprint64();
+    trace->querier = querier;
+    trace->hash_evaluations = hash_evaluations;
+  }
 
   // Global resolution: walk replicas in preference order; each miss or
   // failure costs time before the next probe goes out.
   double global_cost = 0.0;
   bool global_found = false;
+  int probe_misses = 0;
+  int probe_failures = 0;
   NaSet global_nas;
   AsId global_server = kInvalidAs;
   for (const auto& [host, rtt] : OrderReplicas(querier, hosts, shard)) {
     ++result.attempts;
     if (failed_ases_.contains(host)) {
       global_cost += options_.failure_timeout_ms;
+      ++probe_failures;
+      if (trace) {
+        trace->probes.push_back(ProbeEvent{host, options_.failure_timeout_ms,
+                                           ProbeOutcome::kFailed});
+      }
       continue;
     }
     if (const MappingEntry* entry = stores_[host].Lookup(guid)) {
@@ -184,10 +261,17 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
       global_found = true;
       global_nas = entry->nas;
       global_server = host;
+      if (trace) {
+        trace->probes.push_back(ProbeEvent{host, rtt, ProbeOutcome::kHit});
+      }
       break;
     }
     // "GUID missing" reply: a full round trip wasted.
     global_cost += rtt;
+    ++probe_misses;
+    if (trace) {
+      trace->probes.push_back(ProbeEvent{host, rtt, ProbeOutcome::kMiss});
+    }
   }
 
   // Local resolution, raced in parallel (Section III-C): one intra-AS
@@ -209,17 +293,34 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
     result.latency_ms = local_cost;
     result.serving_as = querier;
     result.served_locally = true;
-    return result;
-  }
-  if (global_found) {
+  } else if (global_found) {
     result.found = true;
     result.nas = global_nas;
     result.latency_ms = global_cost;
     result.serving_as = global_server;
-    return result;
+  } else {
+    // Total miss: the querier burnt every probe.
+    result.latency_ms = global_cost;
   }
-  // Total miss: the querier burnt every probe.
-  result.latency_ms = global_cost;
+
+  if (metrics_) {
+    metrics_->Add(ins_.lookups, 1, shard);
+    metrics_->Add(result.found ? ins_.lookup_hits : ins_.lookup_misses, 1,
+                  shard);
+    if (result.served_locally) metrics_->Add(ins_.local_wins, 1, shard);
+    metrics_->Add(ins_.probes, std::uint64_t(result.attempts), shard);
+    metrics_->Add(ins_.probe_misses, std::uint64_t(probe_misses), shard);
+    metrics_->Add(ins_.probe_failures, std::uint64_t(probe_failures), shard);
+    metrics_->Observe(ins_.lookup_latency_ms, result.latency_ms, shard);
+    metrics_->Observe(ins_.lookup_attempts, double(result.attempts), shard);
+  }
+  if (trace) {
+    trace->found = result.found;
+    trace->local_won = result.served_locally;
+    trace->latency_ms = result.latency_ms;
+    trace->attempts = result.attempts;
+    tracer_->Record(shard, *trace);
+  }
   return result;
 }
 
@@ -230,10 +331,13 @@ LookupResult DMapService::Lookup(const Guid& guid, AsId querier,
   }
   std::vector<AsId> hosts;
   hosts.reserve(std::size_t(options_.k));
+  int hash_evaluations = 0;
   for (int i = 0; i < options_.k; ++i) {
-    hosts.push_back(resolver_.Resolve(guid, i).host);
+    const HostResolution r = resolver_.Resolve(guid, i, shard);
+    hosts.push_back(r.host);
+    hash_evaluations += r.hash_count;
   }
-  return LookupInternal(guid, querier, hosts, shard);
+  return LookupInternal(guid, querier, hosts, shard, 'L', hash_evaluations);
 }
 
 LookupResult DMapService::LookupWithView(const Guid& guid, AsId querier,
@@ -245,10 +349,13 @@ LookupResult DMapService::LookupWithView(const Guid& guid, AsId querier,
   HoleResolver view_resolver(hashes_, view, options_.max_hashes);
   std::vector<AsId> hosts;
   hosts.reserve(std::size_t(options_.k));
+  int hash_evaluations = 0;
   for (int i = 0; i < options_.k; ++i) {
-    hosts.push_back(view_resolver.Resolve(guid, i).host);
+    const HostResolution r = view_resolver.Resolve(guid, i);
+    hosts.push_back(r.host);
+    hash_evaluations += r.hash_count;
   }
-  return LookupInternal(guid, querier, hosts, shard);
+  return LookupInternal(guid, querier, hosts, shard, 'V', hash_evaluations);
 }
 
 std::vector<std::pair<AsId, double>> DMapService::ProbePlan(const Guid& guid,
@@ -275,6 +382,10 @@ int DMapService::Rehome(const Guid& guid) {
   int moved = 0;
   for (std::size_t i = 0; i < state.replicas.size(); ++i) {
     if (i >= before.size() || before[i] != state.replicas[i]) ++moved;
+  }
+  if (metrics_) {
+    metrics_->Add(ins_.rehomes, 1, 0);
+    metrics_->Add(ins_.replicas_moved, std::uint64_t(moved), 0);
   }
   return moved;
 }

@@ -32,6 +32,8 @@
 #include "core/hole_resolver.h"
 #include "core/mapping.h"
 #include "core/mapping_store.h"
+#include "obs/metrics_registry.h"
+#include "obs/probe_trace.h"
 #include "topo/graph.h"
 #include "topo/shortest_path.h"
 
@@ -53,21 +55,43 @@ struct DMapOptions {
   // When false, Insert/Update skip the RTT computation (latency_ms = -1);
   // used by bulk loads where only lookups are being measured.
   bool measure_update_latency = true;
+
+  // Throws std::invalid_argument naming the offending field when the
+  // options are inconsistent (k < 1, max_hashes < 1, negative timeout).
+  // DMapService validates on construction; callers building options from
+  // external input can validate earlier for better diagnostics.
+  void Validate() const;
 };
 
-struct UpdateResult {
-  double latency_ms = -1.0;       // max over replica RTTs; -1 if unmeasured
-  std::vector<AsId> replicas;     // global replica hosts (K entries)
-  int hash_evaluations = 0;       // total across replicas (hole rehashes)
+// Whether a backend actually implements the operation's semantics.
+// Baselines return kUnsupported where their scheme has no analogue instead
+// of silently diverging from the DMap behaviour.
+enum class ResolverStatus : std::uint8_t { kOk, kUnsupported };
+
+// Fields every resolver operation reports, DMap and baselines alike: the
+// time the operation cost, how many probes it took, and — when tracing is
+// on and the operation was sampled — the full per-probe trace. UpdateResult
+// and LookupResult extend this with their operation-specific payloads, so
+// the observability layer needs no per-backend glue.
+struct ResolverOutcome {
+  double latency_ms = 0.0;
+  int attempts = 0;  // probes/overlay hops issued (>= 1 once executed)
+  ResolverStatus status = ResolverStatus::kOk;
+  std::optional<ProbeTrace> trace;  // filled only for sampled operations
+};
+
+struct UpdateResult : ResolverOutcome {
+  UpdateResult() { latency_ms = -1.0; }  // -1 = unmeasured
+
+  std::vector<AsId> replicas;  // global replica hosts (K entries)
+  int hash_evaluations = 0;    // total across replicas (hole rehashes)
   std::uint64_t version = 0;
 };
 
-struct LookupResult {
+struct LookupResult : ResolverOutcome {
   bool found = false;
   NaSet nas;
-  double latency_ms = 0.0;
   AsId serving_as = kInvalidAs;
-  int attempts = 0;          // global replicas probed (misses + final hit)
   bool served_locally = false;  // the local replica answered first
 };
 
@@ -82,6 +106,20 @@ class DMapService {
   const HoleResolver& resolver() const { return resolver_; }
   const GuidHashFamily& hash_family() const { return hashes_; }
   PathOracle& oracle() { return oracle_; }
+
+  // Observability (src/obs/). Both default to off: the uninstrumented hot
+  // path pays a single predictable `if (ptr)` branch per operation.
+  //
+  // SetMetrics registers the service's instruments ("dmap.*" counters and
+  // latency histograms, plus the hole resolver's "algo1.*") in `registry`
+  // and accounts every subsequent operation under the worker slab selected
+  // by the operation's `shard` argument. Call before the parallel phase;
+  // nullptr disables.
+  void SetMetrics(MetricsRegistry* registry);
+  // SetTracer samples lookups by GUID (tracer->ShouldTrace) and both
+  // records the trace in the tracer and returns it in the result's
+  // ResolverOutcome::trace. nullptr disables.
+  void SetTracer(ProbeTracer* tracer) { tracer_ = tracer; }
 
   // Registers a GUID currently attached at `na`. Issued by the host's
   // border gateway (the AS in `na`).
@@ -151,13 +189,23 @@ class DMapService {
   };
 
   UpdateResult WriteReplicas(const Guid& guid, OwnerState& state,
-                             AsId src_as);
+                             AsId src_as, unsigned shard = 0);
   // Probe order per selection policy; uses the querier's latency vector.
   std::vector<std::pair<AsId, double>> OrderReplicas(
       AsId querier, const std::vector<AsId>& hosts, unsigned shard = 0);
   LookupResult LookupInternal(const Guid& guid, AsId querier,
-                              const std::vector<AsId>& hosts,
-                              unsigned shard);
+                              const std::vector<AsId>& hosts, unsigned shard,
+                              char op, int hash_evaluations);
+  void AccountUpdate(const UpdateResult& result, CounterId op_counter,
+                     unsigned shard);
+
+  // Instrument ids, valid while metrics_ != nullptr.
+  struct Instruments {
+    CounterId inserts, updates, add_attachments, deregisters, rehomes,
+        replicas_moved, lookups, lookup_hits, lookup_misses, local_wins,
+        probes, probe_misses, probe_failures, hash_evaluations;
+    HistogramId lookup_latency_ms, update_latency_ms, lookup_attempts;
+  };
 
   const AsGraph* graph_;
   const PrefixTable* table_;
@@ -169,6 +217,10 @@ class DMapService {
   std::unordered_map<Guid, OwnerState, GuidHash> owners_;
   std::unordered_set<AsId> failed_ases_;
   std::uint64_t total_entries_ = 0;
+
+  MetricsRegistry* metrics_ = nullptr;
+  ProbeTracer* tracer_ = nullptr;
+  Instruments ins_{};
 };
 
 }  // namespace dmap

@@ -12,7 +12,17 @@ HoleResolver::HoleResolver(const GuidHashFamily& hashes,
   }
 }
 
-HostResolution HoleResolver::Resolve(const Guid& guid, int replica) const {
+void HoleResolver::SetMetrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) return;
+  hash_evaluations_id_ = registry->Counter("algo1.hash_evaluations");
+  deputy_fallbacks_id_ = registry->Counter("algo1.deputy_fallbacks");
+  rehash_depth_id_ = registry->Histogram(
+      "algo1.rehash_depth", MetricsRegistry::CountBoundaries());
+}
+
+HostResolution HoleResolver::Resolve(const Guid& guid, int replica,
+                                     unsigned worker) const {
   HostResolution result;
   Ipv4Address addr = hashes_->Hash(guid, replica);
   for (int tries = 1; tries <= max_hashes_; ++tries) {
@@ -21,6 +31,10 @@ HostResolution HoleResolver::Resolve(const Guid& guid, int replica) const {
       result.hashed_address = addr;
       result.stored_address = addr;
       result.hash_count = tries;
+      if (metrics_ != nullptr) {
+        metrics_->Add(hash_evaluations_id_, std::uint64_t(tries), worker);
+        metrics_->Observe(rehash_depth_id_, double(tries), worker);
+      }
       return result;
     }
     if (tries == max_hashes_) break;
@@ -38,13 +52,21 @@ HostResolution HoleResolver::Resolve(const Guid& guid, int replica) const {
   result.stored_address = nearest->address;
   result.hash_count = max_hashes_;
   result.used_nearest = true;
+  if (metrics_ != nullptr) {
+    metrics_->Add(hash_evaluations_id_, std::uint64_t(max_hashes_), worker);
+    metrics_->Observe(rehash_depth_id_, double(max_hashes_), worker);
+    metrics_->Add(deputy_fallbacks_id_, 1, worker);
+  }
   return result;
 }
 
-std::vector<HostResolution> HoleResolver::ResolveAll(const Guid& guid) const {
+std::vector<HostResolution> HoleResolver::ResolveAll(const Guid& guid,
+                                                     unsigned worker) const {
   std::vector<HostResolution> out;
   out.reserve(std::size_t(hashes_->k()));
-  for (int i = 0; i < hashes_->k(); ++i) out.push_back(Resolve(guid, i));
+  for (int i = 0; i < hashes_->k(); ++i) {
+    out.push_back(Resolve(guid, i, worker));
+  }
   return out;
 }
 

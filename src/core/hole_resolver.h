@@ -12,6 +12,7 @@
 #include "bgp/prefix_table.h"
 #include "common/guid.h"
 #include "common/hash.h"
+#include "obs/metrics_registry.h"
 
 namespace dmap {
 
@@ -35,11 +36,20 @@ class HoleResolver {
   int max_hashes() const { return max_hashes_; }
 
   // Resolves replica i of `guid`. Deterministic: every border gateway with
-  // the same prefix table computes the same answer.
-  HostResolution Resolve(const Guid& guid, int replica) const;
+  // the same prefix table computes the same answer. `worker` selects the
+  // metrics slab when instrumentation is on — parallel callers must pass
+  // their worker id; it never affects the resolution itself.
+  HostResolution Resolve(const Guid& guid, int replica,
+                         unsigned worker = 0) const;
 
   // All K replica resolutions.
-  std::vector<HostResolution> ResolveAll(const Guid& guid) const;
+  std::vector<HostResolution> ResolveAll(const Guid& guid,
+                                         unsigned worker = 0) const;
+
+  // Accounts every resolution in `registry` ("algo1.*": hash evaluations,
+  // rehash depth histogram, deputy fall-throughs). nullptr disables; the
+  // uninstrumented path pays one predictable branch per resolution.
+  void SetMetrics(MetricsRegistry* registry);
 
   // Routes the hot-path LPM probes through a DIR-24-8 snapshot (one or two
   // array reads instead of a trie walk, ~7x faster at full table size) —
@@ -64,6 +74,11 @@ class HoleResolver {
   const PrefixTable* table_;
   const Dir24_8* fast_ = nullptr;
   int max_hashes_;
+
+  MetricsRegistry* metrics_ = nullptr;
+  CounterId hash_evaluations_id_ = 0;
+  CounterId deputy_fallbacks_id_ = 0;
+  HistogramId rehash_depth_id_ = 0;
 };
 
 }  // namespace dmap

@@ -1,0 +1,50 @@
+// Exporters for the observability layer: a metrics_summary (JSON or CSV,
+// chosen by file extension) and an optional op_trace CSV — the split used by
+// per-operation accounting tools (one aggregate file to diff/plot, one
+// trace file to drill into tail operations).
+//
+// The metrics_summary is rendered from a MetricsSnapshot with fixed number
+// formatting and name-sorted sections, and excludes kExecution metrics by
+// default, so two runs over the same workload produce byte-identical files
+// regardless of thread count (CI diffs them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/probe_trace.h"
+
+namespace dmap {
+
+struct MetricsExportOptions {
+  // Include MetricStability::kExecution metrics (cache hit/miss counters
+  // etc.). Off by default: they legitimately differ across thread counts
+  // and would break byte-level comparisons.
+  bool include_execution = false;
+};
+
+// JSON object: {"schema": ..., "counters": {...}, "histograms": {...}}.
+std::string MetricsSummaryJson(const MetricsSnapshot& snapshot,
+                               const MetricsExportOptions& options = {});
+
+// Flat CSV: one `counter` row per counter, one `histogram` row per
+// histogram (count/sum/min/max), one `bucket` row per histogram bucket.
+std::string MetricsSummaryCsv(const MetricsSnapshot& snapshot,
+                              const MetricsExportOptions& options = {});
+
+// One row per trace; probe events serialized "as:outcome:rtt|..." in probe
+// order. Input should come from ProbeTracer::Drain() (canonical order).
+std::string OpTraceCsv(const std::vector<ProbeTrace>& traces);
+
+// Renders `snapshot` as JSON when `path` ends in ".json", CSV otherwise,
+// and writes it to `path`. Throws std::runtime_error when the file cannot
+// be written.
+void WriteMetricsSummary(const std::string& path,
+                         const MetricsSnapshot& snapshot,
+                         const MetricsExportOptions& options = {});
+
+void WriteOpTrace(const std::string& path,
+                  const std::vector<ProbeTrace>& traces);
+
+}  // namespace dmap

@@ -1,0 +1,142 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmap {
+
+MetricsRegistry::MetricsRegistry(unsigned num_workers) {
+  EnsureWorkers(num_workers == 0 ? 1 : num_workers);
+}
+
+void MetricsRegistry::SizeSlab(Slab& slab) const {
+  slab.counters.resize(counter_defs_.size(), 0);
+  if (slab.histograms.size() < histogram_defs_.size()) {
+    for (std::size_t i = slab.histograms.size();
+         i < histogram_defs_.size(); ++i) {
+      HistogramCell cell;
+      cell.buckets.assign(histogram_defs_[i].boundaries.size() + 1, 0);
+      slab.histograms.push_back(std::move(cell));
+    }
+  }
+}
+
+void MetricsRegistry::EnsureWorkers(unsigned num_workers) {
+  while (slabs_.size() < num_workers) {
+    auto slab = std::make_unique<Slab>();
+    SizeSlab(*slab);
+    slabs_.push_back(std::move(slab));
+  }
+}
+
+CounterId MetricsRegistry::Counter(const std::string& name,
+                                   MetricStability stability) {
+  if (const auto it = counter_ids_.find(name); it != counter_ids_.end()) {
+    if (counter_defs_[it->second].stability != stability) {
+      throw std::invalid_argument("MetricsRegistry: counter '" + name +
+                                  "' re-registered with other stability");
+    }
+    return it->second;
+  }
+  const CounterId id = CounterId(counter_defs_.size());
+  counter_defs_.push_back(CounterDef{name, stability});
+  counter_ids_.emplace(name, id);
+  for (auto& slab : slabs_) SizeSlab(*slab);
+  return id;
+}
+
+HistogramId MetricsRegistry::Histogram(const std::string& name,
+                                       std::vector<double> boundaries,
+                                       MetricStability stability) {
+  if (!std::is_sorted(boundaries.begin(), boundaries.end())) {
+    throw std::invalid_argument(
+        "MetricsRegistry: histogram boundaries must be ascending");
+  }
+  if (const auto it = histogram_ids_.find(name);
+      it != histogram_ids_.end()) {
+    const HistogramDef& def = histogram_defs_[it->second];
+    if (def.stability != stability || def.boundaries != boundaries) {
+      throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                  "' re-registered with other shape");
+    }
+    return it->second;
+  }
+  const HistogramId id = HistogramId(histogram_defs_.size());
+  histogram_defs_.push_back(
+      HistogramDef{name, stability, std::move(boundaries)});
+  histogram_ids_.emplace(name, id);
+  for (auto& slab : slabs_) SizeSlab(*slab);
+  return id;
+}
+
+std::vector<double> MetricsRegistry::LatencyBoundariesMs() {
+  return {0.5,  1.0,  2.0,   4.0,   8.0,   16.0,   32.0,   64.0,
+          128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0};
+}
+
+std::vector<double> MetricsRegistry::CountBoundaries() {
+  return {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 16.0, 32.0};
+}
+
+void MetricsRegistry::Observe(HistogramId id, double value, unsigned worker) {
+  HistogramCell& cell = slabs_[worker]->histograms[id];
+  const std::vector<double>& bounds = histogram_defs_[id].boundaries;
+  const std::size_t bucket = std::size_t(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  ++cell.buckets[bucket];
+  ++cell.count;
+  cell.sum_fp += std::llround(value * kFixedPoint);
+  cell.min = std::min(cell.min, value);
+  cell.max = std::max(cell.max, value);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counter_defs_.size());
+  for (std::size_t i = 0; i < counter_defs_.size(); ++i) {
+    CounterSnapshot c;
+    c.name = counter_defs_[i].name;
+    c.stability = counter_defs_[i].stability;
+    for (const auto& slab : slabs_) {
+      if (i < slab->counters.size()) c.value += slab->counters[i];
+    }
+    snapshot.counters.push_back(std::move(c));
+  }
+
+  snapshot.histograms.reserve(histogram_defs_.size());
+  for (std::size_t i = 0; i < histogram_defs_.size(); ++i) {
+    HistogramSnapshot h;
+    h.name = histogram_defs_[i].name;
+    h.stability = histogram_defs_[i].stability;
+    h.boundaries = histogram_defs_[i].boundaries;
+    h.buckets.assign(h.boundaries.size() + 1, 0);
+    std::int64_t sum_fp = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    for (const auto& slab : slabs_) {
+      if (i >= slab->histograms.size()) continue;
+      const HistogramCell& cell = slab->histograms[i];
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        h.buckets[b] += cell.buckets[b];
+      }
+      h.count += cell.count;
+      sum_fp += cell.sum_fp;
+      min = std::min(min, cell.min);
+      max = std::max(max, cell.max);
+    }
+    h.sum = double(sum_fp) / kFixedPoint;
+    h.min = h.count == 0 ? 0.0 : min;
+    h.max = h.count == 0 ? 0.0 : max;
+    snapshot.histograms.push_back(std::move(h));
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+}  // namespace dmap

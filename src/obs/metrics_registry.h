@@ -1,0 +1,136 @@
+// MetricsRegistry: named counters and fixed-boundary latency histograms for
+// the observability layer. Designed around the same determinism contract as
+// the parallel experiment harnesses (DESIGN.md "Threading model"):
+//
+//   * one cache-line-padded slab per thread-pool worker — the hot path
+//     (Add/Observe) is a plain store into worker-private memory, no locks,
+//     no atomics, no false sharing;
+//   * Snapshot() merges slabs in worker order with integer arithmetic only
+//     (histogram sums are kept in fixed point), so the merged values — and
+//     the exported bytes — are identical for every thread count;
+//   * metrics whose values legitimately depend on execution (cache
+//     hits/misses, whose LRU state follows dynamic chunk claiming) are
+//     registered with MetricStability::kExecution and excluded from the
+//     deterministic export by default.
+//
+// Registration is a single-threaded phase: register every instrument before
+// handing the registry to workers; Add/Observe never allocate.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dmap {
+
+using CounterId = std::uint32_t;
+using HistogramId = std::uint32_t;
+
+enum class MetricStability {
+  kDeterministic,  // identical for every thread count (the default)
+  kExecution,      // depends on scheduling/caching; excluded from diffs
+};
+
+struct CounterSnapshot {
+  std::string name;
+  MetricStability stability = MetricStability::kDeterministic;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  MetricStability stability = MetricStability::kDeterministic;
+  std::vector<double> boundaries;       // ascending; buckets has size()+1
+  std::vector<std::uint64_t> buckets;   // buckets[i]: value <= boundaries[i]
+  std::uint64_t count = 0;
+  double sum = 0;  // recovered from fixed point: deterministic
+  double min = 0;  // 0 when count == 0
+  double max = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;      // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(unsigned num_workers = 1);
+
+  unsigned num_workers() const { return unsigned(slabs_.size()); }
+
+  // Grows the slab set (e.g. after ThreadPool::Resolve decided the worker
+  // count). Single-threaded: must not race with Add/Observe.
+  void EnsureWorkers(unsigned num_workers);
+
+  // Registration, idempotent by name: re-registering an existing name
+  // returns the original id (boundaries/stability must then match — a
+  // mismatch throws std::invalid_argument).
+  CounterId Counter(const std::string& name,
+                    MetricStability stability = MetricStability::kDeterministic);
+  HistogramId Histogram(
+      const std::string& name, std::vector<double> boundaries,
+      MetricStability stability = MetricStability::kDeterministic);
+
+  // Log-spaced latency boundaries (ms) shared by every latency histogram,
+  // covering sub-ms local hits through multi-second pathological tails.
+  static std::vector<double> LatencyBoundariesMs();
+  // Small-integer boundaries for probe/rehash counts.
+  static std::vector<double> CountBoundaries();
+
+  // Hot path: slab-private stores, safe for concurrent calls with distinct
+  // `worker` ids.
+  void Add(CounterId id, std::uint64_t delta, unsigned worker) {
+    slabs_[worker]->counters[id] += delta;
+  }
+  void Observe(HistogramId id, double value, unsigned worker);
+
+  // Merged view, identical for every worker count. Counters and histograms
+  // are sorted by name.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  // Histogram sums are accumulated in fixed point (integer microunits) so
+  // the cross-worker merge is associative — float addition is not, and the
+  // worker that handled a given operation is scheduling-dependent.
+  static constexpr double kFixedPoint = 1e6;
+
+  struct HistogramCell {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::int64_t sum_fp = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  // Separately allocated and cache-line aligned: concurrent workers never
+  // write to the same line through different slabs.
+  struct alignas(64) Slab {
+    std::vector<std::uint64_t> counters;
+    std::vector<HistogramCell> histograms;
+  };
+
+  struct CounterDef {
+    std::string name;
+    MetricStability stability;
+  };
+  struct HistogramDef {
+    std::string name;
+    MetricStability stability;
+    std::vector<double> boundaries;
+  };
+
+  Slab& SlabFor(unsigned worker) { return *slabs_[worker]; }
+  void SizeSlab(Slab& slab) const;
+
+  std::vector<CounterDef> counter_defs_;
+  std::vector<HistogramDef> histogram_defs_;
+  std::unordered_map<std::string, CounterId> counter_ids_;
+  std::unordered_map<std::string, HistogramId> histogram_ids_;
+  std::vector<std::unique_ptr<Slab>> slabs_;
+};
+
+}  // namespace dmap

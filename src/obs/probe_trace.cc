@@ -1,0 +1,57 @@
+#include "obs/probe_trace.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace dmap {
+namespace {
+
+// Canonical content order. Two traces with identical content compare equal,
+// so duplicates (the same GUID looked up twice from the same AS) sort into
+// the same positions regardless of which worker recorded them.
+bool TraceLess(const ProbeTrace& a, const ProbeTrace& b) {
+  const auto key = [](const ProbeTrace& t) {
+    return std::make_tuple(t.guid_fp, t.op, t.querier, t.latency_ms,
+                           t.attempts, t.found, t.local_won,
+                           t.hash_evaluations);
+  };
+  return key(a) < key(b);
+}
+
+}  // namespace
+
+ProbeTracer::ProbeTracer(unsigned num_workers, std::uint64_t sample_every)
+    : sampler_(sample_every) {
+  EnsureWorkers(num_workers == 0 ? 1 : num_workers);
+}
+
+void ProbeTracer::EnsureWorkers(unsigned num_workers) {
+  while (buffers_.size() < num_workers) {
+    buffers_.push_back(std::make_unique<Buffer>());
+  }
+}
+
+void ProbeTracer::Record(unsigned worker, ProbeTrace trace) {
+  buffers_[worker]->traces.push_back(std::move(trace));
+}
+
+std::uint64_t ProbeTracer::recorded() const {
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->traces.size();
+  return total;
+}
+
+std::vector<ProbeTrace> ProbeTracer::Drain() {
+  std::vector<ProbeTrace> all;
+  all.reserve(std::size_t(recorded()));
+  for (auto& buffer : buffers_) {
+    for (ProbeTrace& trace : buffer->traces) {
+      all.push_back(std::move(trace));
+    }
+    buffer->traces.clear();
+  }
+  std::sort(all.begin(), all.end(), TraceLess);
+  return all;
+}
+
+}  // namespace dmap

@@ -11,6 +11,7 @@
 #include "bgp/churn.h"
 #include "common/logging.h"
 #include "core/hole_resolver.h"
+#include "obs/oracle_metrics.h"
 #include "runtime/thread_pool.h"
 
 namespace dmap {
@@ -30,6 +31,21 @@ void LoadMappings(DMapService& service, WorkloadGenerator& workload) {
   for (const InsertOp& op : workload.Inserts()) {
     service.Insert(op.guid, op.na);
   }
+}
+
+// Attaches the config's observability sinks to `service` (call before the
+// insert phase so registrations and insert accounting land too).
+void WireObservability(DMapService& service,
+                       const ResponseTimeConfig& config) {
+  if (config.metrics != nullptr) service.SetMetrics(config.metrics);
+  if (config.tracer != nullptr) service.SetTracer(config.tracer);
+}
+
+// Grows the sinks' per-worker state for the parallel phase. Single-threaded;
+// call after the ThreadPool resolved its size, before RunChunks.
+void EnsureObsWorkers(const ResponseTimeConfig& config, unsigned workers) {
+  if (config.metrics != nullptr) config.metrics->EnsureWorkers(workers);
+  if (config.tracer != nullptr) config.tracer->EnsureWorkers(workers);
 }
 
 // An index range [begin, end) of the lookup (or GUID) stream handled by one
@@ -82,6 +98,7 @@ std::vector<Partition> PartitionRange(std::size_t n) {
 SampleSet RunResponseTimeExperiment(SimEnvironment& env,
                                     const ResponseTimeConfig& config) {
   DMapService service(env.graph, env.table, MakeOptions(config));
+  WireObservability(service, config);
   WorkloadGenerator workload(env.graph, config.workload);
   LoadMappings(service, workload);
 
@@ -91,6 +108,7 @@ SampleSet RunResponseTimeExperiment(SimEnvironment& env,
 
   ThreadPool pool(config.threads);
   service.oracle().SetNumShards(pool.size());
+  EnsureObsWorkers(config, pool.size());
   std::vector<SampleSet> partial(parts.size());
   std::vector<std::uint64_t> missed(parts.size(), 0);
   pool.RunChunks(parts.size(), [&](std::size_t p, unsigned worker) {
@@ -116,6 +134,9 @@ SampleSet RunResponseTimeExperiment(SimEnvironment& env,
   if (total_missed > 0) {
     DMAP_LOG(kWarning) << total_missed << " lookups missed registered GUIDs";
   }
+  if (config.metrics != nullptr) {
+    ContributeOracleMetrics(service.oracle(), *config.metrics);
+  }
   return samples;
 }
 
@@ -128,8 +149,23 @@ std::vector<std::pair<int, SampleSet>> RunResponseTimeSweep(
   ResponseTimeConfig max_config = config;
   max_config.k = k_max;
   DMapService service(env.graph, env.table, MakeOptions(max_config));
+  WireObservability(service, config);
   WorkloadGenerator workload(env.graph, config.workload);
   LoadMappings(service, workload);
+
+  // The sweep computes lookup latencies in closed form instead of calling
+  // service.Lookup (no per-probe walk, so no dmap.lookup_* accounting or
+  // traces); it exports one harness-level latency histogram per requested K
+  // instead. Algorithm 1 and the insert path are metered normally.
+  std::vector<HistogramId> k_histograms;
+  if (config.metrics != nullptr) {
+    k_histograms.reserve(ks.size());
+    for (const int k : ks) {
+      k_histograms.push_back(config.metrics->Histogram(
+          "sweep.k" + std::to_string(k) + ".lookup_latency_ms",
+          MetricsRegistry::LatencyBoundariesMs()));
+    }
+  }
 
   // Local-replica hits are decided by the GUID's attachment AS, not by the
   // k_max store contents: a K-replica deployment only has the local copy
@@ -149,6 +185,7 @@ std::vector<std::pair<int, SampleSet>> RunResponseTimeSweep(
 
   ThreadPool pool(config.threads);
   service.oracle().SetNumShards(pool.size());
+  EnsureObsWorkers(config, pool.size());
   // partial[p][j] collects partition p's samples for ks[j]; merged below in
   // (partition, k) order so the output never depends on the worker count.
   std::vector<std::vector<SampleSet>> partial(
@@ -162,7 +199,7 @@ std::vector<std::pair<int, SampleSet>> RunResponseTimeSweep(
       // K-replica system only knows h_1..h_K).
       const auto latencies = service.oracle().LatenciesFrom(op.source, worker);
       for (int i = 0; i < k_max; ++i) {
-        const AsId host = service.resolver().Resolve(op.guid, i).host;
+        const AsId host = service.resolver().Resolve(op.guid, i, worker).host;
         rtts[std::size_t(i)] =
             host == op.source
                 ? 2.0 * env.graph.IntraLatencyMs(op.source)
@@ -182,7 +219,11 @@ std::vector<std::pair<int, SampleSet>> RunResponseTimeSweep(
                sorted_ks[next_k_index] == i + 1) {
           const double latency = local_hit ? std::min(best, local_rtt) : best;
           for (std::size_t j = 0; j < ks.size(); ++j) {
-            if (ks[j] == sorted_ks[next_k_index]) partial[p][j].Add(latency);
+            if (ks[j] != sorted_ks[next_k_index]) continue;
+            partial[p][j].Add(latency);
+            if (config.metrics != nullptr) {
+              config.metrics->Observe(k_histograms[j], latency, worker);
+            }
           }
           ++next_k_index;
         }
@@ -201,12 +242,16 @@ std::vector<std::pair<int, SampleSet>> RunResponseTimeSweep(
       results[j].second.Append(partial[p][j]);
     }
   }
+  if (config.metrics != nullptr) {
+    ContributeOracleMetrics(service.oracle(), *config.metrics);
+  }
   return results;
 }
 
 SampleSet RunChurnExperiment(SimEnvironment& env,
                              const ChurnExperimentConfig& config) {
   DMapService service(env.graph, env.table, MakeOptions(config.base));
+  WireObservability(service, config.base);
   WorkloadGenerator workload(env.graph, config.base.workload);
   LoadMappings(service, workload);
 
@@ -234,6 +279,7 @@ SampleSet RunChurnExperiment(SimEnvironment& env,
 
   ThreadPool pool(config.base.threads);
   service.oracle().SetNumShards(pool.size());
+  EnsureObsWorkers(config.base, pool.size());
   std::vector<SampleSet> partial(parts.size());
   std::vector<std::uint64_t> unresolved_by_part(parts.size(), 0);
   pool.RunChunks(parts.size(), [&](std::size_t p, unsigned worker) {
@@ -262,6 +308,9 @@ SampleSet RunChurnExperiment(SimEnvironment& env,
   if (unresolved > 0) {
     DMAP_LOG(kInfo) << unresolved << " lookups unresolved under churn";
   }
+  if (config.base.metrics != nullptr) {
+    ContributeOracleMetrics(service.oracle(), *config.base.metrics);
+  }
   return samples;
 }
 
@@ -269,6 +318,7 @@ std::vector<std::pair<double, SampleSet>> RunChurnSweep(
     SimEnvironment& env, const std::vector<double>& churn_fractions,
     const ChurnExperimentConfig& config) {
   DMapService service(env.graph, env.table, MakeOptions(config.base));
+  WireObservability(service, config.base);
   WorkloadGenerator workload(env.graph, config.base.workload);
   LoadMappings(service, workload);
 
@@ -294,6 +344,7 @@ std::vector<std::pair<double, SampleSet>> RunChurnSweep(
 
   ThreadPool pool(config.base.threads);
   service.oracle().SetNumShards(pool.size());
+  EnsureObsWorkers(config.base, pool.size());
   std::vector<std::vector<SampleSet>> partial(
       parts.size(), std::vector<SampleSet>(views.size()));
   pool.RunChunks(parts.size(), [&](std::size_t p, unsigned worker) {
@@ -317,6 +368,9 @@ std::vector<std::pair<double, SampleSet>> RunChurnSweep(
       results[v].second.Append(partial[p][v]);
     }
   }
+  if (config.base.metrics != nullptr) {
+    ContributeOracleMetrics(service.oracle(), *config.base.metrics);
+  }
   return results;
 }
 
@@ -331,11 +385,13 @@ LoadBalanceResult RunLoadBalanceExperiment(const SimEnvironment& env,
     fast = std::make_unique<Dir24_8>(env.table);
     resolver.SetFastPath(fast.get());
   }
+  if (config.metrics != nullptr) resolver.SetMetrics(config.metrics);
 
   // GUID-range partitioned: replica placement is independent per GUID, and
   // the per-AS tallies are integer sums, so any merge order reproduces the
   // serial counts exactly. Each worker owns a private counter block.
   ThreadPool pool(config.threads);
+  if (config.metrics != nullptr) config.metrics->EnsureWorkers(pool.size());
   const std::vector<Partition> parts = PartitionRange(config.num_guids);
   struct WorkerTally {
     std::vector<std::uint64_t> counts;
@@ -352,7 +408,7 @@ LoadBalanceResult RunLoadBalanceExperiment(const SimEnvironment& env,
       const Guid guid =
           Guid::FromSequence(i ^ (config.guid_seed * 0x9e3779b97f4a7c15ULL));
       for (int replica = 0; replica < config.k; ++replica) {
-        const HostResolution r = resolver.Resolve(guid, replica);
+        const HostResolution r = resolver.Resolve(guid, replica, worker);
         ++tally.counts[r.host];
         tally.hash_evals += std::uint64_t(r.hash_count);
         if (r.used_nearest) ++tally.deputy_fallbacks;
@@ -379,16 +435,25 @@ std::vector<BaselineComparisonRow> RunBaselineComparison(
   PathOracle shared_oracle(env.graph);
 
   std::vector<std::unique_ptr<NameResolver>> schemes;
+  DMapResolver* dmap_scheme = nullptr;
   {
     DMapOptions options = MakeOptions(config);
     options.measure_update_latency = true;
-    schemes.push_back(
-        std::make_unique<DMapResolver>(env.graph, env.table, options));
+    auto dmap = std::make_unique<DMapResolver>(env.graph, env.table, options);
+    dmap_scheme = dmap.get();
+    schemes.push_back(std::move(dmap));
   }
   schemes.push_back(std::make_unique<ChordDht>(env.graph, shared_oracle));
   schemes.push_back(std::make_unique<HomeAgent>(shared_oracle));
   // The central directory sits at AS 0 — a tier-1 core AS by construction.
   schemes.push_back(std::make_unique<CentralDirectory>(shared_oracle, 0));
+
+  // Serial loop: every scheme accounts under worker slab 0. Each scheme
+  // registers its own "<name>.*" instrument set (DMap its "dmap.*" one).
+  for (const auto& scheme : schemes) {
+    if (config.metrics != nullptr) scheme->EnableMetrics(config.metrics);
+    if (config.tracer != nullptr) scheme->EnableTracing(config.tracer);
+  }
 
   std::vector<BaselineComparisonRow> rows;
   for (const auto& scheme : schemes) {
@@ -412,6 +477,10 @@ std::vector<BaselineComparisonRow> RunBaselineComparison(
 
     rows.push_back(BaselineComparisonRow{
         scheme->name(), Summarize(lookup_times), Summarize(update_times)});
+  }
+  if (config.metrics != nullptr) {
+    ContributeOracleMetrics(shared_oracle, *config.metrics);
+    ContributeOracleMetrics(dmap_scheme->service().oracle(), *config.metrics);
   }
   return rows;
 }

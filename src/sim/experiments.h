@@ -29,6 +29,15 @@ struct ResponseTimeConfig {
   // Worker threads for the measurement loop; 0 = one per hardware thread
   // (or $DMAP_THREADS). Results do not depend on this value.
   unsigned threads = 0;
+
+  // Optional observability sinks (src/obs/); both must outlive the call.
+  // When set, the harness sizes them for its worker count, meters the
+  // service (plus Algorithm 1), and contributes the latency oracle's cache
+  // statistics after the measured phase. Deterministic metrics — and hence
+  // the default metrics_summary export — are bit-identical for every
+  // `threads` value; only kExecution-tagged cache stats vary.
+  MetricsRegistry* metrics = nullptr;
+  ProbeTracer* tracer = nullptr;
 };
 
 SampleSet RunResponseTimeExperiment(SimEnvironment& env,
@@ -79,6 +88,10 @@ struct LoadBalanceConfig {
   // Worker threads for the GUID-range-partitioned resolve pass; 0 = one
   // per hardware thread. Results do not depend on this value.
   unsigned threads = 0;
+
+  // Optional metrics sink; must outlive the call. Meters Algorithm 1
+  // ("algo1.*": hash evaluations, rehash depth, deputy fall-throughs).
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct LoadBalanceResult {

@@ -137,6 +137,8 @@ StalenessReport RunStalenessExperiment(SimEnvironment& env,
   options.k = config.k;
   options.measure_update_latency = false;
   DMapService service(env.graph, env.table, options);
+  if (config.metrics != nullptr) service.SetMetrics(config.metrics);
+  if (config.tracer != nullptr) service.SetTracer(config.tracer);
 
   World world;
   world.service = &service;

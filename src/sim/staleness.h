@@ -15,6 +15,9 @@
 
 namespace dmap {
 
+class MetricsRegistry;
+class ProbeTracer;
+
 struct StalenessConfig {
   std::uint32_t num_hosts = 500;
   // Mean time between moves per host (exponential). The paper motivates
@@ -28,6 +31,10 @@ struct StalenessConfig {
   double duration_s = 600.0;
   int k = 5;
   std::uint64_t seed = 1;
+  // Optional observability sinks (src/obs/). The staleness simulation runs
+  // on the single-threaded event kernel, so only worker slab 0 is used.
+  MetricsRegistry* metrics = nullptr;
+  ProbeTracer* tracer = nullptr;
 };
 
 struct StalenessReport {

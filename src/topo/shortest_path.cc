@@ -94,6 +94,8 @@ void PathOracle::SetNumShards(unsigned num_shards) {
   for (const auto& shard : shards_) {
     retired_dijkstra_runs_ += shard->dijkstra_runs;
     retired_bfs_runs_ += shard->bfs_runs;
+    retired_latency_hits_ += shard->latency_hits;
+    retired_hops_hits_ += shard->hops_hits;
   }
   shards_.clear();
   shards_.reserve(num_shards);
@@ -117,9 +119,24 @@ std::uint64_t PathOracle::bfs_runs() const {
   return total;
 }
 
+std::uint64_t PathOracle::latency_cache_hits() const {
+  std::uint64_t total = retired_latency_hits_;
+  for (const auto& shard : shards_) total += shard->latency_hits;
+  return total;
+}
+
+std::uint64_t PathOracle::hops_cache_hits() const {
+  std::uint64_t total = retired_hops_hits_;
+  for (const auto& shard : shards_) total += shard->hops_hits;
+  return total;
+}
+
 const std::vector<float>& PathOracle::LatencyVector(AsId src, unsigned shard) {
   Shard& s = *shards_.at(shard);
-  if (const auto* hit = s.latencies.Find(src)) return *hit;
+  if (const auto* hit = s.latencies.Find(src)) {
+    ++s.latency_hits;
+    return *hit;
+  }
   ++s.dijkstra_runs;
   return *s.latencies.Insert(src, DijkstraLatency(*graph_, src));
 }
@@ -127,7 +144,10 @@ const std::vector<float>& PathOracle::LatencyVector(AsId src, unsigned shard) {
 const std::vector<std::uint16_t>& PathOracle::HopsVector(AsId src,
                                                          unsigned shard) {
   Shard& s = *shards_.at(shard);
-  if (const auto* hit = s.hops.Find(src)) return *hit;
+  if (const auto* hit = s.hops.Find(src)) {
+    ++s.hops_hits;
+    return *hit;
+  }
   ++s.bfs_runs;
   return *s.hops.Insert(src, BfsHops(*graph_, src));
 }
@@ -135,6 +155,7 @@ const std::vector<std::uint16_t>& PathOracle::HopsVector(AsId src,
 PinnedVector<float> PathOracle::LatenciesFrom(AsId src, unsigned shard) {
   Shard& s = *shards_.at(shard);
   if (auto hit = s.latencies.FindShared(src)) {
+    ++s.latency_hits;
     return PinnedVector<float>(std::move(hit));
   }
   ++s.dijkstra_runs;
@@ -145,6 +166,7 @@ PinnedVector<float> PathOracle::LatenciesFrom(AsId src, unsigned shard) {
 PinnedVector<std::uint16_t> PathOracle::HopsFrom(AsId src, unsigned shard) {
   Shard& s = *shards_.at(shard);
   if (auto hit = s.hops.FindShared(src)) {
+    ++s.hops_hits;
     return PinnedVector<std::uint16_t>(std::move(hit));
   }
   ++s.bfs_runs;

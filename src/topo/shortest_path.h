@@ -91,8 +91,15 @@ class PathOracle {
   }
 
   // Totals across shards. Only meaningful while no worker is running.
+  // Cache hits depend on eviction order, which follows the dynamic
+  // work-chunk assignment — execution-dependent, not run-deterministic
+  // (the *answers* are always identical; only hit/miss accounting varies).
   std::uint64_t dijkstra_runs() const;
   std::uint64_t bfs_runs() const;
+  std::uint64_t latency_cache_hits() const;
+  std::uint64_t hops_cache_hits() const;
+  std::uint64_t latency_cache_misses() const { return dijkstra_runs(); }
+  std::uint64_t hops_cache_misses() const { return bfs_runs(); }
 
  private:
   template <typename T>
@@ -114,6 +121,8 @@ class PathOracle {
     LruCache<std::uint16_t> hops;
     std::uint64_t dijkstra_runs = 0;
     std::uint64_t bfs_runs = 0;
+    std::uint64_t latency_hits = 0;
+    std::uint64_t hops_hits = 0;
   };
 
   // Cached vector for `src`, computing it on miss. The reference is only
@@ -128,6 +137,8 @@ class PathOracle {
   // Runs retired by SetNumShards so the totals survive re-sharding.
   std::uint64_t retired_dijkstra_runs_ = 0;
   std::uint64_t retired_bfs_runs_ = 0;
+  std::uint64_t retired_latency_hits_ = 0;
+  std::uint64_t retired_hops_hits_ = 0;
 };
 
 }  // namespace dmap

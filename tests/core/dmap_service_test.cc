@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
+#include "obs/metrics_registry.h"
+#include "obs/probe_trace.h"
 #include "sim/environment.h"
 
 namespace dmap {
@@ -437,6 +442,87 @@ TEST_F(DMapServiceTest, LargerKNeverHurtsLatency) {
   }
   EXPECT_LE(latencies[1], latencies[0]);
   EXPECT_LE(latencies[2], latencies[1]);
+}
+
+TEST_F(DMapServiceTest, OptionsValidationNamesTheBadField) {
+  const auto expect_rejects = [&](DMapOptions options,
+                                  const std::string& field) {
+    try {
+      DMapService service(env_.graph, env_.table, options);
+      FAIL() << "expected invalid_argument for " << field;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  DMapOptions bad_k = Options();
+  bad_k.k = 0;
+  expect_rejects(bad_k, "k");
+  DMapOptions bad_m = Options();
+  bad_m.max_hashes = 0;
+  expect_rejects(bad_m, "max_hashes");
+  DMapOptions bad_timeout = Options();
+  bad_timeout.failure_timeout_ms = -1.0;
+  expect_rejects(bad_timeout, "failure_timeout_ms");
+  DMapOptions nan_timeout = Options();
+  nan_timeout.failure_timeout_ms =
+      std::numeric_limits<double>::quiet_NaN();
+  expect_rejects(nan_timeout, "failure_timeout_ms");
+}
+
+TEST_F(DMapServiceTest, MetricsAccountInsertsAndLookups) {
+  DMapService service(env_.graph, env_.table, Options(3));
+  MetricsRegistry registry;
+  service.SetMetrics(&registry);
+  service.Insert(Guid::FromSequence(1), NetworkAddress{10, 1});
+  service.Lookup(Guid::FromSequence(1), 200);  // hit
+  service.Lookup(Guid::FromSequence(2), 200);  // miss: probes all 3
+  std::uint64_t inserts = 0, lookups = 0, hits = 0, misses = 0, probes = 0;
+  std::uint64_t latency_count = 0;
+  for (const CounterSnapshot& c : registry.Snapshot().counters) {
+    if (c.name == "dmap.inserts") inserts = c.value;
+    if (c.name == "dmap.lookups") lookups = c.value;
+    if (c.name == "dmap.lookup_hits") hits = c.value;
+    if (c.name == "dmap.lookup_misses") misses = c.value;
+    if (c.name == "dmap.probes") probes = c.value;
+  }
+  for (const HistogramSnapshot& h : registry.Snapshot().histograms) {
+    if (h.name == "dmap.lookup_latency_ms") latency_count = h.count;
+  }
+  EXPECT_EQ(inserts, 1u);
+  EXPECT_EQ(lookups, 2u);
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(misses, 1u);
+  EXPECT_GE(probes, 4u);  // 1 hit probe + 3 full-walk misses
+  EXPECT_EQ(latency_count, 2u);
+}
+
+TEST_F(DMapServiceTest, TracerCapturesProbeWalkAndFailures) {
+  DMapOptions options = Options(3);
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  ProbeTracer tracer(1, 1);
+  service.SetTracer(&tracer);
+
+  const Guid g = Guid::FromSequence(5);
+  const UpdateResult up = service.Insert(g, NetworkAddress{10, 1});
+  // Fail the preferred (first-probed) replica: the trace must show the
+  // timeout fall-through before the eventual hit.
+  service.SetFailedAses({service.Lookup(g, 200).serving_as});
+  const LookupResult r = service.Lookup(g, 200);
+  ASSERT_TRUE(r.found);
+  ASSERT_TRUE(r.trace.has_value());
+  const ProbeTrace& trace = *r.trace;
+  EXPECT_EQ(trace.guid_fp, g.Fingerprint64());
+  EXPECT_GE(trace.attempts, 2);
+  ASSERT_GE(trace.probes.size(), 2u);
+  EXPECT_EQ(trace.probes.front().outcome, ProbeOutcome::kFailed);
+  EXPECT_DOUBLE_EQ(trace.probes.front().rtt_ms,
+                   options.failure_timeout_ms);
+  EXPECT_EQ(trace.probes.back().outcome, ProbeOutcome::kHit);
+  EXPECT_GT(up.hash_evaluations, 0);
+  // Drained traces include the earlier unfailed lookup plus this one.
+  EXPECT_EQ(tracer.Drain().size(), 2u);
 }
 
 }  // namespace

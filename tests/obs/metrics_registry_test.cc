@@ -1,0 +1,163 @@
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace dmap {
+namespace {
+
+TEST(MetricsRegistryTest, CountersMergeAcrossWorkers) {
+  MetricsRegistry registry(3);
+  const CounterId a = registry.Counter("a");
+  const CounterId b = registry.Counter("b");
+  registry.Add(a, 1, 0);
+  registry.Add(a, 2, 1);
+  registry.Add(a, 3, 2);
+  registry.Add(b, 10, 1);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a");
+  EXPECT_EQ(snapshot.counters[0].value, 6u);
+  EXPECT_EQ(snapshot.counters[1].name, "b");
+  EXPECT_EQ(snapshot.counters[1].value, 10u);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  const CounterId a1 = registry.Counter("x");
+  const CounterId a2 = registry.Counter("x");
+  EXPECT_EQ(a1, a2);
+  const HistogramId h1 =
+      registry.Histogram("h", MetricsRegistry::LatencyBoundariesMs());
+  const HistogramId h2 =
+      registry.Histogram("h", MetricsRegistry::LatencyBoundariesMs());
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, MismatchedReRegistrationThrows) {
+  MetricsRegistry registry;
+  registry.Counter("c", MetricStability::kDeterministic);
+  EXPECT_THROW(registry.Counter("c", MetricStability::kExecution),
+               std::invalid_argument);
+  registry.Histogram("h", MetricsRegistry::LatencyBoundariesMs());
+  EXPECT_THROW(
+      registry.Histogram("h", MetricsRegistry::CountBoundaries()),
+      std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsCountSumMinMax) {
+  MetricsRegistry registry;
+  const HistogramId h = registry.Histogram("h", {1.0, 2.0, 4.0});
+  registry.Observe(h, 0.5, 0);   // bucket 0 (<= 1)
+  registry.Observe(h, 2.0, 0);   // bucket 1 (<= 2)
+  registry.Observe(h, 3.0, 0);   // bucket 2 (<= 4)
+  registry.Observe(h, 100.0, 0); // overflow bucket
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramSnapshot& s = snapshot.histograms[0];
+  ASSERT_EQ(s.buckets.size(), 4u);  // boundaries + overflow
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 105.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramReportsZeros) {
+  MetricsRegistry registry;
+  registry.Histogram("empty", {1.0});
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].max, 0.0);
+}
+
+TEST(MetricsRegistryTest, EnsureWorkersGrowsAndKeepsCounts) {
+  MetricsRegistry registry(1);
+  const CounterId a = registry.Counter("a");
+  registry.Add(a, 5, 0);
+  registry.EnsureWorkers(4);
+  EXPECT_EQ(registry.num_workers(), 4u);
+  registry.Add(a, 7, 3);
+  EXPECT_EQ(registry.Snapshot().counters[0].value, 12u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsIdenticalForAnyWorkerSplit) {
+  // The same multiset of observations, distributed over different worker
+  // counts, must merge to byte-identical exports — the determinism contract
+  // CI relies on. Latencies with fractional parts exercise the fixed-point
+  // sum (plain double accumulation would depend on addition order).
+  const std::vector<double> values = {0.125, 3.75, 17.3, 0.9,  42.0625,
+                                      8.5,   1.1,  2.2,  33.3, 4.4};
+  auto run = [&](unsigned workers) {
+    MetricsRegistry registry(workers);
+    const CounterId c = registry.Counter("ops");
+    const HistogramId h =
+        registry.Histogram("lat", MetricsRegistry::LatencyBoundariesMs());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const unsigned w = unsigned(i % workers);
+      registry.Add(c, 1, w);
+      registry.Observe(h, values[i], w);
+    }
+    return MetricsSummaryJson(registry.Snapshot());
+  };
+  const std::string reference = run(1);
+  EXPECT_EQ(run(2), reference);
+  EXPECT_EQ(run(3), reference);
+  EXPECT_EQ(run(7), reference);
+}
+
+TEST(MetricsRegistryTest, ExecutionMetricsExcludedFromDefaultExport) {
+  MetricsRegistry registry;
+  const CounterId det = registry.Counter("stable");
+  const CounterId exec =
+      registry.Counter("cache_hits", MetricStability::kExecution);
+  registry.Add(det, 1, 0);
+  registry.Add(exec, 99, 0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const std::string defaults = MetricsSummaryJson(snapshot);
+  EXPECT_NE(defaults.find("stable"), std::string::npos);
+  EXPECT_EQ(defaults.find("cache_hits"), std::string::npos);
+
+  MetricsExportOptions all;
+  all.include_execution = true;
+  const std::string full = MetricsSummaryJson(snapshot, all);
+  EXPECT_NE(full.find("cache_hits"), std::string::npos);
+
+  const std::string csv = MetricsSummaryCsv(snapshot);
+  EXPECT_EQ(csv.find("cache_hits"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CsvListsCounterHistogramAndBucketRows) {
+  MetricsRegistry registry;
+  registry.Add(registry.Counter("ops"), 3, 0);
+  const HistogramId h = registry.Histogram("lat", {1.0, 2.0});
+  registry.Observe(h, 1.5, 0);
+  const std::string csv = MetricsSummaryCsv(registry.Snapshot());
+  EXPECT_NE(csv.find("counter,ops,,3"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat"), std::string::npos);
+  EXPECT_NE(csv.find("bucket,lat"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LatencyBoundariesAscendAndCoverTails) {
+  const std::vector<double> b = MetricsRegistry::LatencyBoundariesMs();
+  ASSERT_GE(b.size(), 4u);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_GT(b[i], b[i - 1]);
+  EXPECT_LT(b.front(), 1.0);      // sub-ms local hits
+  EXPECT_GE(b.back(), 4000.0);    // multi-second pathological tails
+}
+
+}  // namespace
+}  // namespace dmap

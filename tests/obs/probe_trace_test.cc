@@ -1,0 +1,111 @@
+#include "obs/probe_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/guid.h"
+#include "obs/export.h"
+
+namespace dmap {
+namespace {
+
+ProbeTrace MakeTrace(std::uint64_t fp, AsId querier, double latency) {
+  ProbeTrace t;
+  t.op = 'L';
+  t.guid_fp = fp;
+  t.querier = querier;
+  t.found = true;
+  t.latency_ms = latency;
+  t.attempts = 1;
+  t.probes.push_back(ProbeEvent{querier, latency, ProbeOutcome::kHit});
+  return t;
+}
+
+TEST(TraceSamplerTest, SampleEveryOneTracesEverything) {
+  const TraceSampler sampler(1);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(sampler.ShouldTrace(Guid::FromSequence(i)));
+  }
+}
+
+TEST(TraceSamplerTest, SamplingIsDeterministicAndRoughlyOneInN) {
+  const TraceSampler sampler(8);
+  const TraceSampler same(8);
+  std::uint64_t sampled = 0;
+  constexpr std::uint64_t kGuids = 4000;
+  for (std::uint64_t i = 0; i < kGuids; ++i) {
+    const Guid g = Guid::FromSequence(i);
+    const bool traced = sampler.ShouldTrace(g);
+    EXPECT_EQ(traced, same.ShouldTrace(g));  // pure function of the GUID
+    sampled += traced ? 1 : 0;
+  }
+  // Binomial(4000, 1/8): mean 500, sd ~21. A wide band avoids flakes.
+  EXPECT_GT(sampled, 350u);
+  EXPECT_LT(sampled, 650u);
+}
+
+TEST(ProbeTracerTest, RecordsPerWorkerAndCounts) {
+  ProbeTracer tracer(2);
+  tracer.Record(0, MakeTrace(1, 10, 5.0));
+  tracer.Record(1, MakeTrace(2, 20, 6.0));
+  tracer.Record(1, MakeTrace(3, 30, 7.0));
+  EXPECT_EQ(tracer.recorded(), 3u);
+  EXPECT_EQ(tracer.Drain().size(), 3u);
+  EXPECT_EQ(tracer.recorded(), 0u);  // drained
+}
+
+TEST(ProbeTracerTest, EnsureWorkersGrows) {
+  ProbeTracer tracer(1);
+  tracer.EnsureWorkers(4);
+  EXPECT_EQ(tracer.num_workers(), 4u);
+  tracer.Record(3, MakeTrace(9, 1, 1.0));
+  EXPECT_EQ(tracer.recorded(), 1u);
+}
+
+TEST(ProbeTracerTest, DrainOrderIndependentOfRecordingWorker) {
+  // The same trace set recorded under different worker assignments (the
+  // scheduling-dependent part) must drain in the same canonical order and
+  // export to identical bytes.
+  std::vector<ProbeTrace> traces;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    traces.push_back(MakeTrace(1000 - i, AsId(i % 7), double(i) * 1.5));
+  }
+  auto drain = [&](unsigned workers, unsigned stride) {
+    ProbeTracer tracer(workers);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      tracer.Record(unsigned(i * stride) % workers, traces[i]);
+    }
+    return OpTraceCsv(tracer.Drain());
+  };
+  const std::string reference = drain(1, 1);
+  EXPECT_EQ(drain(2, 1), reference);
+  EXPECT_EQ(drain(4, 3), reference);
+  EXPECT_EQ(drain(7, 5), reference);
+}
+
+TEST(OpTraceCsvTest, FormatsHeaderAndProbeEvents) {
+  ProbeTrace t;
+  t.op = 'V';
+  t.guid_fp = 0xabcULL;
+  t.querier = 42;
+  t.found = true;
+  t.local_won = false;
+  t.latency_ms = 12.5;
+  t.attempts = 2;
+  t.hash_evaluations = 3;
+  t.probes.push_back(ProbeEvent{7, 200.0, ProbeOutcome::kFailed});
+  t.probes.push_back(ProbeEvent{9, 12.5, ProbeOutcome::kHit});
+  const std::string csv = OpTraceCsv({t});
+  EXPECT_NE(csv.find("op,guid_fp,querier,found,local_won,latency_ms,"
+                     "attempts,hash_evaluations,probes"),
+            std::string::npos);
+  EXPECT_NE(csv.find("V,0000000000000abc,42,1,0,12.500000,2,3,"
+                     "7:F:200.000000|9:H:12.500000"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/probe_trace.h"
+
 namespace dmap {
 namespace {
 
@@ -215,6 +221,47 @@ TEST_F(ExperimentsTest, LoadBalanceIsBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(run.nlr.samples(), reference.nlr.samples())
         << "threads=" << threads;
   }
+}
+
+TEST_F(ExperimentsTest, MetricsExportIsByteIdenticalAcrossThreadCounts) {
+  // The CI determinism gate in miniature: the default metrics export and
+  // the drained op trace must be byte-identical for every worker count.
+  auto run = [&](unsigned threads) {
+    MetricsRegistry registry;
+    ProbeTracer tracer(1, 3);
+    ResponseTimeConfig config = SmallConfig(3);
+    config.threads = threads;
+    config.metrics = &registry;
+    config.tracer = &tracer;
+    RunResponseTimeSweep(env_, {1, 3}, config);
+    ChurnExperimentConfig churn;
+    churn.base = config;
+    churn.churn_fraction = 0.05;
+    RunChurnExperiment(env_, churn);
+    return std::make_pair(MetricsSummaryJson(registry.Snapshot()),
+                          OpTraceCsv(tracer.Drain()));
+  };
+  const auto [metrics1, trace1] = run(1);
+  EXPECT_GT(trace1.size(), 100u);  // churn lookups were actually traced
+  for (const unsigned threads : {2u, 7u}) {
+    const auto [metrics, trace] = run(threads);
+    EXPECT_EQ(metrics, metrics1) << "threads=" << threads;
+    EXPECT_EQ(trace, trace1) << "threads=" << threads;
+  }
+}
+
+TEST_F(ExperimentsTest, MetricsSnapshotCountsWorkload) {
+  MetricsRegistry registry;
+  ResponseTimeConfig config = SmallConfig(3);
+  config.metrics = &registry;
+  RunChurnExperiment(env_, {config, 0.0, 99});
+  std::uint64_t inserts = 0, lookups = 0;
+  for (const CounterSnapshot& c : registry.Snapshot().counters) {
+    if (c.name == "dmap.inserts") inserts = c.value;
+    if (c.name == "dmap.lookups") lookups = c.value;
+  }
+  EXPECT_EQ(inserts, config.workload.num_guids);
+  EXPECT_EQ(lookups, config.workload.num_lookups);
 }
 
 TEST_F(ExperimentsTest, BaselineComparisonOrdersSchemes) {
