@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   params.num_guids = bench::Scaled(20'000, options.scale, 1000);
   WorkloadGenerator workload(env.graph, params);
   for (const InsertOp& op : workload.Inserts()) {
-    service.Insert(op.guid, op.na);
+    (void)service.Insert(op.guid, op.na);
   }
 
   // 5% of the announced space churns (the Figure 5 operating point).

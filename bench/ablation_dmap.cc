@@ -184,7 +184,7 @@ int main(int argc, char** argv) {
       if (obs.tracer() != nullptr) service.SetTracer(obs.tracer());
       WorkloadGenerator workload(env.graph, config.workload);
       for (const InsertOp& op : workload.Inserts()) {
-        service.Insert(op.guid, op.na);
+        (void)service.Insert(op.guid, op.na);
       }
 
       // Queriers come from a 256-AS vantage set (caches are per-AS; a

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     if (obs.tracer() != nullptr) service.SetTracer(obs.tracer());
     WorkloadGenerator workload(env.graph, workload_params);
     for (const InsertOp& op : workload.Inserts()) {
-      service.Insert(op.guid, op.na);
+      (void)service.Insert(op.guid, op.na);
     }
 
     for (const double failure_fraction : {0.0, 0.05, 0.10, 0.20}) {

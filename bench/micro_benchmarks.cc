@@ -190,8 +190,8 @@ void BM_DMapLookupObservability(benchmark::State& state) {
   if (state.range(0) >= 2) service.SetTracer(&tracer);
   constexpr std::uint64_t kGuids = 10'000;
   for (std::uint64_t i = 0; i < kGuids; ++i) {
-    service.Insert(Guid::FromSequence(i),
-                   NetworkAddress{AsId(i % env.graph.num_nodes()), 1});
+    (void)service.Insert(Guid::FromSequence(i),
+                         NetworkAddress{AsId(i % env.graph.num_nodes()), 1});
   }
   // A small querier set keeps the oracle cache hot so the benchmark
   // measures the lookup path, not Dijkstra.

@@ -47,7 +47,7 @@ int main() {
   params.num_guids = 5000;
   params.seed = 17;
   WorkloadGenerator workload(env.graph, params);
-  for (const InsertOp& op : workload.Inserts()) dmap.Insert(op.guid, op.na);
+  for (const InsertOp& op : workload.Inserts()) (void)dmap.Insert(op.guid, op.na);
   std::printf("placed %llu GUIDs x 5 replicas under the current BGP table\n",
               (unsigned long long)params.num_guids);
 

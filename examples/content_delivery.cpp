@@ -62,9 +62,9 @@ int main() {
   // The video's GUID carries one NA per hosting site.
   const Guid video = GuidFromKeyMaterial(std::vector<std::uint8_t>{
       'v', 'i', 'd', 'e', 'o', '-', 'B'});
-  dmap.Insert(video, NetworkAddress{sites[0], 80});
+  (void)dmap.Insert(video, NetworkAddress{sites[0], 80});
   for (std::size_t i = 1; i < sites.size(); ++i) {
-    dmap.AddAttachment(video, NetworkAddress{sites[i], 80});
+    (void)dmap.AddAttachment(video, NetworkAddress{sites[i], 80});
   }
   std::printf("content GUID %s... hosted at ASs %u, %u, %u\n\n",
               video.ToHex().substr(0, 16).c_str(), sites[0], sites[1],

@@ -28,7 +28,7 @@ int main() {
 
   const Guid phone = Guid::FromSequence(0xca11);
   const AsId correspondent = 55;
-  dmap.Insert(phone, NetworkAddress{100, 1});
+  (void)dmap.Insert(phone, NetworkAddress{100, 1});
 
   Simulator sim;
   EventDrivenLookup resolver(sim, dmap);

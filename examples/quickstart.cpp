@@ -50,7 +50,7 @@ int main() {
               hit.attempts == 1 ? "" : "s");
 
   // 5. The phone moves to AS 900; the next lookup follows it.
-  dmap.Update(phone, NetworkAddress{900, 2});
+  (void)dmap.Update(phone, NetworkAddress{900, 2});
   const LookupResult after_move = dmap.Lookup(phone, 42);
   std::printf("\nafter mobility update, lookup resolves to %s "
               "(%.1f ms)\n",

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "baseline/resolver.h"
+#include "common/thread_annotations.h"
 
 namespace dmap {
 
@@ -19,22 +20,27 @@ class CentralDirectory final : public NameResolver {
   std::string name() const override { return "central-directory"; }
   AsId server() const { return server_; }
 
-  UpdateResult Insert(const Guid& guid, NetworkAddress na) override;
-  UpdateResult Update(const Guid& guid, NetworkAddress na) override;
-  UpdateResult AddAttachment(const Guid& guid, NetworkAddress na) override;
-  bool Deregister(const Guid& guid) override;
-  LookupResult Lookup(const Guid& guid, AsId querier,
-                      unsigned shard = 0) override;
+  [[nodiscard]] UpdateResult Insert(const Guid& guid,
+                                    NetworkAddress na) override;
+  [[nodiscard]] UpdateResult Update(const Guid& guid,
+                                    NetworkAddress na) override;
+  [[nodiscard]] UpdateResult AddAttachment(const Guid& guid,
+                                           NetworkAddress na) override;
+  [[nodiscard]] bool Deregister(const Guid& guid) override;
+  [[nodiscard]] LookupResult Lookup(const Guid& guid, AsId querier,
+                                    unsigned shard = 0) override;
   // One fixed server regardless of any BGP view. Answers like Lookup,
   // flagged kUnsupported.
-  LookupResult LookupWithView(const Guid& guid, AsId querier,
-                              const PrefixTable& view,
-                              unsigned shard = 0) override;
+  [[nodiscard]] LookupResult LookupWithView(const Guid& guid, AsId querier,
+                                            const PrefixTable& view,
+                                            unsigned shard = 0) override;
 
  private:
   PathOracle* oracle_;
   AsId server_;
-  std::unordered_map<Guid, MappingEntry, GuidHash> entries_;
+  // Bulk-loaded before a sweep, only read during parallel lookups.
+  std::unordered_map<Guid, MappingEntry, GuidHash> entries_
+      WRITE_SERIAL_READ_SHARED();
 };
 
 }  // namespace dmap

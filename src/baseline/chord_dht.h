@@ -13,6 +13,7 @@
 
 #include "baseline/resolver.h"
 #include "common/hash.h"
+#include "common/thread_annotations.h"
 
 namespace dmap {
 
@@ -24,18 +25,21 @@ class ChordDht final : public NameResolver {
 
   std::string name() const override { return "chord-dht"; }
 
-  UpdateResult Insert(const Guid& guid, NetworkAddress na) override;
-  UpdateResult Update(const Guid& guid, NetworkAddress na) override;
-  UpdateResult AddAttachment(const Guid& guid, NetworkAddress na) override;
-  bool Deregister(const Guid& guid) override;
-  LookupResult Lookup(const Guid& guid, AsId querier,
-                      unsigned shard = 0) override;
+  [[nodiscard]] UpdateResult Insert(const Guid& guid,
+                                    NetworkAddress na) override;
+  [[nodiscard]] UpdateResult Update(const Guid& guid,
+                                    NetworkAddress na) override;
+  [[nodiscard]] UpdateResult AddAttachment(const Guid& guid,
+                                           NetworkAddress na) override;
+  [[nodiscard]] bool Deregister(const Guid& guid) override;
+  [[nodiscard]] LookupResult Lookup(const Guid& guid, AsId querier,
+                                    unsigned shard = 0) override;
   // Chord's placement hashes straight onto the overlay ring — BGP prefix
   // ownership never enters, so a stale view is indistinguishable from the
   // live one. Answers like Lookup, flagged kUnsupported.
-  LookupResult LookupWithView(const Guid& guid, AsId querier,
-                              const PrefixTable& view,
-                              unsigned shard = 0) override;
+  [[nodiscard]] LookupResult LookupWithView(const Guid& guid, AsId querier,
+                                            const PrefixTable& view,
+                                            unsigned shard = 0) override;
 
   // The AS responsible for `guid` (successor of its key on the ring).
   AsId OwnerOf(const Guid& guid) const;
@@ -60,11 +64,14 @@ class ChordDht final : public NameResolver {
   const AsGraph* graph_;
   PathOracle* oracle_;
   GuidHashFamily hashes_;
-  // Ring positions sorted by id.
+  // Ring positions sorted by id; fixed at construction.
   std::vector<std::pair<std::uint64_t, AsId>> ring_;
   std::unordered_map<AsId, std::size_t> ring_index_of_as_;
-  std::unordered_map<Guid, MappingEntry, GuidHash> entries_;
-  std::unordered_map<Guid, std::uint64_t, GuidHash> versions_;
+  // Bulk-loaded before a sweep, only read during parallel lookups.
+  std::unordered_map<Guid, MappingEntry, GuidHash> entries_
+      WRITE_SERIAL_READ_SHARED();
+  std::unordered_map<Guid, std::uint64_t, GuidHash> versions_
+      WRITE_SERIAL_READ_SHARED();
 };
 
 }  // namespace dmap

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "baseline/resolver.h"
+#include "common/thread_annotations.h"
 
 namespace dmap {
 
@@ -18,18 +19,21 @@ class HomeAgent final : public NameResolver {
 
   std::string name() const override { return "home-agent"; }
 
-  UpdateResult Insert(const Guid& guid, NetworkAddress na) override;
-  UpdateResult Update(const Guid& guid, NetworkAddress na) override;
-  UpdateResult AddAttachment(const Guid& guid, NetworkAddress na) override;
-  bool Deregister(const Guid& guid) override;
-  LookupResult Lookup(const Guid& guid, AsId querier,
-                      unsigned shard = 0) override;
+  [[nodiscard]] UpdateResult Insert(const Guid& guid,
+                                    NetworkAddress na) override;
+  [[nodiscard]] UpdateResult Update(const Guid& guid,
+                                    NetworkAddress na) override;
+  [[nodiscard]] UpdateResult AddAttachment(const Guid& guid,
+                                           NetworkAddress na) override;
+  [[nodiscard]] bool Deregister(const Guid& guid) override;
+  [[nodiscard]] LookupResult Lookup(const Guid& guid, AsId querier,
+                                    unsigned shard = 0) override;
   // The home is pinned at first registration, never derived from BGP; a
   // stale view cannot change the answer. Answers like Lookup, flagged
   // kUnsupported.
-  LookupResult LookupWithView(const Guid& guid, AsId querier,
-                              const PrefixTable& view,
-                              unsigned shard = 0) override;
+  [[nodiscard]] LookupResult LookupWithView(const Guid& guid, AsId querier,
+                                            const PrefixTable& view,
+                                            unsigned shard = 0) override;
 
   // The home AS of a registered GUID, or kInvalidAs.
   AsId HomeOf(const Guid& guid) const;
@@ -41,7 +45,9 @@ class HomeAgent final : public NameResolver {
   };
 
   PathOracle* oracle_;
-  std::unordered_map<Guid, Registration, GuidHash> registrations_;
+  // Bulk-loaded before a sweep, only read during parallel lookups.
+  std::unordered_map<Guid, Registration, GuidHash> registrations_
+      WRITE_SERIAL_READ_SHARED();
 };
 
 }  // namespace dmap

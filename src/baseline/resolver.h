@@ -47,25 +47,33 @@ class NameResolver {
 
   virtual std::string name() const = 0;
 
-  // Registers/refreshes the GUID from the AS in `na`.
-  virtual UpdateResult Insert(const Guid& guid, NetworkAddress na) = 0;
+  // Registers/refreshes the GUID from the AS in `na`. [[nodiscard]]: the
+  // result reports latency/attempts; pure bulk loaders discard it with
+  // std::ignore to say so explicitly.
+  [[nodiscard]] virtual UpdateResult Insert(const Guid& guid,
+                                            NetworkAddress na) = 0;
   // Mobility: replaces the NA set. Throws std::invalid_argument if the
   // GUID was never inserted.
-  virtual UpdateResult Update(const Guid& guid, NetworkAddress na) = 0;
+  [[nodiscard]] virtual UpdateResult Update(const Guid& guid,
+                                            NetworkAddress na) = 0;
   // Multi-homing: adds an NA without dropping existing ones. Throws
   // std::invalid_argument on unknown GUID, duplicate NA, or a full NA set.
-  virtual UpdateResult AddAttachment(const Guid& guid, NetworkAddress na) = 0;
+  [[nodiscard]] virtual UpdateResult AddAttachment(const Guid& guid,
+                                                   NetworkAddress na) = 0;
   // Removes the GUID. Returns false if unknown.
-  virtual bool Deregister(const Guid& guid) = 0;
+  [[nodiscard]] virtual bool Deregister(const Guid& guid) = 0;
 
-  virtual LookupResult Lookup(const Guid& guid, AsId querier,
-                              unsigned shard = 0) = 0;
+  [[nodiscard]] virtual LookupResult Lookup(const Guid& guid, AsId querier,
+                                            unsigned shard = 0)
+      REQUIRES_SHARD(shard) = 0;
   // Resolution under the querier's (possibly stale) BGP view. Backends
   // whose placement ignores BGP answer like Lookup and set
   // ResolverStatus::kUnsupported.
-  virtual LookupResult LookupWithView(const Guid& guid, AsId querier,
-                                      const PrefixTable& view,
-                                      unsigned shard = 0) = 0;
+  [[nodiscard]] virtual LookupResult LookupWithView(const Guid& guid,
+                                                    AsId querier,
+                                                    const PrefixTable& view,
+                                                    unsigned shard = 0)
+      REQUIRES_SHARD(shard) = 0;
 
   // Marks ASs whose resolver nodes are down. Probes reaching them cost
   // failure_timeout_ms() and the mapping they hold is unreachable.
@@ -99,7 +107,8 @@ class NameResolver {
 
   MetricsRegistry* metrics_ = nullptr;
   ProbeTracer* tracer_ = nullptr;
-  std::unordered_set<AsId> failed_ases_;
+  // Written by SetFailedAses between phases, read during parallel lookups.
+  std::unordered_set<AsId> failed_ases_ WRITE_SERIAL_READ_SHARED();
   double failure_timeout_ms_ = 200.0;
 
  private:
@@ -121,25 +130,28 @@ class DMapResolver final : public NameResolver {
   std::string name() const override {
     return "dmap-k" + std::to_string(service_.options().k);
   }
-  UpdateResult Insert(const Guid& guid, NetworkAddress na) override {
+  [[nodiscard]] UpdateResult Insert(const Guid& guid,
+                                    NetworkAddress na) override {
     return service_.Insert(guid, na);
   }
-  UpdateResult Update(const Guid& guid, NetworkAddress na) override {
+  [[nodiscard]] UpdateResult Update(const Guid& guid,
+                                    NetworkAddress na) override {
     return service_.Update(guid, na);
   }
-  UpdateResult AddAttachment(const Guid& guid, NetworkAddress na) override {
+  [[nodiscard]] UpdateResult AddAttachment(const Guid& guid,
+                                           NetworkAddress na) override {
     return service_.AddAttachment(guid, na);
   }
-  bool Deregister(const Guid& guid) override {
+  [[nodiscard]] bool Deregister(const Guid& guid) override {
     return service_.Deregister(guid);
   }
-  LookupResult Lookup(const Guid& guid, AsId querier,
-                      unsigned shard = 0) override {
+  [[nodiscard]] LookupResult Lookup(const Guid& guid, AsId querier,
+                                    unsigned shard = 0) override {
     return service_.Lookup(guid, querier, shard);
   }
-  LookupResult LookupWithView(const Guid& guid, AsId querier,
-                              const PrefixTable& view,
-                              unsigned shard = 0) override {
+  [[nodiscard]] LookupResult LookupWithView(const Guid& guid, AsId querier,
+                                            const PrefixTable& view,
+                                            unsigned shard = 0) override {
     return service_.LookupWithView(guid, querier, view, shard);
   }
   void SetFailedAses(const std::vector<AsId>& failed) override {

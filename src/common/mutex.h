@@ -1,0 +1,60 @@
+// Annotated mutex wrappers. Clang's thread-safety analysis
+// (-Wthread-safety) only tracks lock state through functions that carry
+// ACQUIRE/RELEASE attributes; libstdc++'s std::mutex / std::lock_guard have
+// none, so GUARDED_BY members locked through them would warn on every
+// correctly-locked access. These thin wrappers add the attributes and
+// nothing else — Mutex is a std::mutex, MutexLock is a scoped lock over it.
+//
+// Condition variables: use std::condition_variable_any waiting on the
+// MutexLock directly (it satisfies BasicLockable via lock()/unlock()), and
+// write waits as explicit loops —
+//
+//   while (!ready_) cv_.wait(lock);
+//
+// — not predicate lambdas: the analysis treats a lambda body as a separate
+// function that holds no locks, so a predicate reading GUARDED_BY members
+// is flagged even though wait() calls it with the lock held.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dmap {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mutex_.lock(); }
+  void Unlock() RELEASE() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+// std::lock_guard / std::unique_lock replacement the analysis understands.
+// Also a BasicLockable (lock()/unlock()) so std::condition_variable_any can
+// release and reacquire it inside wait().
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(&mutex) {
+    mutex_->Lock();
+  }
+  ~MutexLock() RELEASE() { mutex_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable interface for std::condition_variable_any. Only wait()
+  // should call these — the lock is otherwise scoped to the block.
+  void lock() ACQUIRE() { mutex_->Lock(); }
+  void unlock() RELEASE() { mutex_->Unlock(); }
+
+ private:
+  Mutex* mutex_;
+};
+
+}  // namespace dmap

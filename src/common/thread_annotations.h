@@ -1,0 +1,97 @@
+// Clang thread-safety annotations (-Wthread-safety), compiled to nothing on
+// other compilers. The macros come in two families:
+//
+//   * Capability annotations (GUARDED_BY, REQUIRES, ACQUIRE, ...) map onto
+//     Clang's static thread-safety analysis: a member declared
+//     `GUARDED_BY(mutex_)` may only be touched while `mutex_` is held, and
+//     the CI Clang job promotes violations to errors
+//     (-Werror=thread-safety).
+//
+//   * Shard-confinement annotations (SHARD_CONFINED, REQUIRES_SHARD) record
+//     the project's other concurrency discipline — state that is not locked
+//     at all but partitioned per thread-pool worker (MetricsRegistry slabs,
+//     ProbeTracer buffers, PathOracle shards; see DESIGN.md "Threading
+//     model"). Clang's analysis has no capability model for "worker w owns
+//     shard w", so these expand to nothing on every compiler; they exist so
+//     the ownership rule is declared at the member/function, greppable, and
+//     uniform across the codebase rather than living in prose comments.
+//
+// The macro set mirrors Abseil's thread_annotations.h; see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for semantics.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DMAP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DMAP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+// The declared member may only be read or written while holding `x`.
+#define GUARDED_BY(x) DMAP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// The declared pointer member's *pointee* is protected by `x` (the pointer
+// itself may be read freely).
+#define PT_GUARDED_BY(x) DMAP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// The annotated function may only be called while holding all listed
+// capabilities exclusively.
+#define REQUIRES(...) \
+  DMAP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// Shared (reader) version of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  DMAP_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// The annotated function must NOT be called while holding the listed
+// capabilities (it acquires them itself, or would deadlock).
+#define EXCLUDES(...) \
+  DMAP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// The annotated function acquires / releases the listed capabilities.
+#define ACQUIRE(...) \
+  DMAP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  DMAP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// Marks a type as a capability (e.g. a mutex wrapper class).
+#define CAPABILITY(x) DMAP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Marks an RAII type that acquires a capability in its constructor and
+// releases it in its destructor (std::lock_guard-style wrappers).
+#define SCOPED_CAPABILITY DMAP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Returns the capability protecting the annotated function's result.
+#define RETURN_CAPABILITY(x) \
+  DMAP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: the function's locking cannot be expressed to the analysis
+// (e.g. locks passed through opaque callbacks). Use sparingly, with a
+// comment saying why.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DMAP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Shard confinement (documentation-only; not modelled by Clang's analysis).
+// ---------------------------------------------------------------------------
+
+// The declared member is partitioned per thread-pool worker: worker w may
+// only touch partition w, and cross-partition access (merge, drain, resize)
+// is only legal while no worker is running. `owner` names the argument or
+// expression selecting the partition, e.g. SHARD_CONFINED(worker).
+#define SHARD_CONFINED(owner)  // documentation only
+
+// The annotated function touches shard-confined state: concurrent calls
+// must pass distinct values for `shard_arg`, and callers own the shard they
+// name for the duration of the call.
+#define REQUIRES_SHARD(shard_arg)  // documentation only
+
+// The annotated function touches every shard (merge/resize/drain paths):
+// it may only run while no worker holds any shard — i.e. outside the
+// parallel phase.
+#define REQUIRES_ALL_SHARDS()  // documentation only
+
+// The declared member follows the load-then-query discipline: written only
+// outside the parallel phase (single-threaded setup/mutation), read freely
+// and concurrently inside it. Applies to the resolver backends' map state —
+// mappings are bulk-loaded before a sweep and only looked up during it.
+#define WRITE_SERIAL_READ_SHARED()  // documentation only

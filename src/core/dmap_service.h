@@ -29,6 +29,7 @@
 #include "bgp/prefix_table.h"
 #include "common/guid.h"
 #include "common/hash.h"
+#include "common/thread_annotations.h"
 #include "core/hole_resolver.h"
 #include "core/mapping.h"
 #include "core/mapping_store.h"
@@ -122,34 +123,40 @@ class DMapService {
   void SetTracer(ProbeTracer* tracer) { tracer_ = tracer; }
 
   // Registers a GUID currently attached at `na`. Issued by the host's
-  // border gateway (the AS in `na`).
-  UpdateResult Insert(const Guid& guid, NetworkAddress na);
+  // border gateway (the AS in `na`). The result carries the replica set and
+  // the update latency — callers that only bulk-load may discard it
+  // explicitly with std::ignore.
+  [[nodiscard]] UpdateResult Insert(const Guid& guid, NetworkAddress na);
 
   // Mobility: the host moved; replaces its NA set with `na` under a new
   // version, refreshes the K global replicas, moves the local replica from
   // the previous attachment AS to the new one.
-  UpdateResult Update(const Guid& guid, NetworkAddress na);
+  [[nodiscard]] UpdateResult Update(const Guid& guid, NetworkAddress na);
 
   // Multi-homing: adds an additional NA (up to NaSet::kMaxNas) without
   // dropping existing ones.
-  UpdateResult AddAttachment(const Guid& guid, NetworkAddress na);
+  [[nodiscard]] UpdateResult AddAttachment(const Guid& guid,
+                                           NetworkAddress na);
 
   // Removes the GUID everywhere (host going away). Returns false if
   // unknown.
-  bool Deregister(const Guid& guid);
+  [[nodiscard]] bool Deregister(const Guid& guid);
 
   // Resolves `guid` from a host attached to `querier`. `shard` selects the
   // latency-oracle cache shard — parallel sweeps hand worker w shard w so
   // concurrent lookups share no mutable state (see PathOracle); the
   // default 0 is the single-threaded path.
-  LookupResult Lookup(const Guid& guid, AsId querier, unsigned shard = 0);
+  [[nodiscard]] LookupResult Lookup(const Guid& guid, AsId querier,
+                                    unsigned shard = 0) REQUIRES_SHARD(shard);
 
   // Same, but replica locations are derived from `view` (the querier's
   // possibly-stale BGP table) while storage follows the authoritative
   // table. Probes that reach an AS not hosting the mapping cost a full
   // round trip and fall through to the next replica.
-  LookupResult LookupWithView(const Guid& guid, AsId querier,
-                              const PrefixTable& view, unsigned shard = 0);
+  [[nodiscard]] LookupResult LookupWithView(const Guid& guid, AsId querier,
+                                            const PrefixTable& view,
+                                            unsigned shard = 0)
+      REQUIRES_SHARD(shard);
 
   // Marks ASs whose mapping servers are down (Section III-D-3). Probes to
   // them cost options().failure_timeout_ms and fall through.
@@ -212,10 +219,12 @@ class DMapService {
   DMapOptions options_;
   GuidHashFamily hashes_;
   HoleResolver resolver_;
-  PathOracle oracle_;
-  std::vector<MappingStore> stores_;  // indexed by AsId
-  std::unordered_map<Guid, OwnerState, GuidHash> owners_;
-  std::unordered_set<AsId> failed_ases_;
+  PathOracle oracle_;  // internally sharded; see REQUIRES_SHARD above
+  // Mapping state: bulk-loaded before a sweep, only read during it.
+  std::vector<MappingStore> stores_ WRITE_SERIAL_READ_SHARED();  // by AsId
+  std::unordered_map<Guid, OwnerState, GuidHash> owners_
+      WRITE_SERIAL_READ_SHARED();
+  std::unordered_set<AsId> failed_ases_ WRITE_SERIAL_READ_SHARED();
   std::uint64_t total_entries_ = 0;
 
   MetricsRegistry* metrics_ = nullptr;

@@ -39,12 +39,12 @@ class HoleResolver {
   // the same prefix table computes the same answer. `worker` selects the
   // metrics slab when instrumentation is on — parallel callers must pass
   // their worker id; it never affects the resolution itself.
-  HostResolution Resolve(const Guid& guid, int replica,
-                         unsigned worker = 0) const;
+  [[nodiscard]] HostResolution Resolve(const Guid& guid, int replica,
+                                       unsigned worker = 0) const;
 
   // All K replica resolutions.
-  std::vector<HostResolution> ResolveAll(const Guid& guid,
-                                         unsigned worker = 0) const;
+  [[nodiscard]] std::vector<HostResolution> ResolveAll(
+      const Guid& guid, unsigned worker = 0) const;
 
   // Accounts every resolution in `registry` ("algo1.*": hash evaluations,
   // rehash depth histogram, deputy fall-throughs). nullptr disables; the

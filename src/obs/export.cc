@@ -1,8 +1,11 @@
 #include "obs/export.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace dmap {
 namespace {
@@ -98,19 +101,27 @@ std::string OpTraceCsv(const std::vector<ProbeTrace>& traces) {
     char fp[32];
     std::snprintf(fp, sizeof(fp), "%016llx", (unsigned long long)t.guid_fp);
     out += fp;
-    out += "," + std::to_string(t.querier);
+    // Append piecewise rather than via `"," + std::to_string(...)`: the
+    // temporary-free form also sidesteps a GCC 12 -Wrestrict false positive
+    // in operator+(const char*, std::string&&) (GCC PR105651).
+    out += ',';
+    out += std::to_string(t.querier);
     out += t.found ? ",1" : ",0";
     out += t.local_won ? ",1" : ",0";
-    out += "," + Num(t.latency_ms);
-    out += "," + std::to_string(t.attempts);
-    out += "," + std::to_string(t.hash_evaluations);
-    out += ",";
+    out += ',';
+    out += Num(t.latency_ms);
+    out += ',';
+    out += std::to_string(t.attempts);
+    out += ',';
+    out += std::to_string(t.hash_evaluations);
+    out += ',';
     for (std::size_t i = 0; i < t.probes.size(); ++i) {
       if (i > 0) out += "|";
       out += std::to_string(t.probes[i].replica);
       out += ':';
       out += char(t.probes[i].outcome);
-      out += ':' + Num(t.probes[i].rtt_ms);
+      out += ':';
+      out += Num(t.probes[i].rtt_ms);
     }
     out += "\n";
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
 #include <stdexcept>
 
 namespace dmap {
@@ -99,6 +101,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     c.name = counter_defs_[i].name;
     c.stability = counter_defs_[i].stability;
     for (const auto& slab : slabs_) {
+      // lint:allow(determinism:float-accumulation) c.value is a uint64_t
       if (i < slab->counters.size()) c.value += slab->counters[i];
     }
     snapshot.counters.push_back(std::move(c));

@@ -24,6 +24,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace dmap {
 
 using CounterId = std::uint32_t;
@@ -64,7 +66,7 @@ class MetricsRegistry {
 
   // Grows the slab set (e.g. after ThreadPool::Resolve decided the worker
   // count). Single-threaded: must not race with Add/Observe.
-  void EnsureWorkers(unsigned num_workers);
+  void EnsureWorkers(unsigned num_workers) REQUIRES_ALL_SHARDS();
 
   // Registration, idempotent by name: re-registering an existing name
   // returns the original id (boundaries/stability must then match — a
@@ -83,14 +85,16 @@ class MetricsRegistry {
 
   // Hot path: slab-private stores, safe for concurrent calls with distinct
   // `worker` ids.
-  void Add(CounterId id, std::uint64_t delta, unsigned worker) {
+  void Add(CounterId id, std::uint64_t delta, unsigned worker)
+      REQUIRES_SHARD(worker) {
     slabs_[worker]->counters[id] += delta;
   }
-  void Observe(HistogramId id, double value, unsigned worker);
+  void Observe(HistogramId id, double value, unsigned worker)
+      REQUIRES_SHARD(worker);
 
   // Merged view, identical for every worker count. Counters and histograms
   // are sorted by name.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const REQUIRES_ALL_SHARDS();
 
  private:
   // Histogram sums are accumulated in fixed point (integer microunits) so
@@ -130,7 +134,9 @@ class MetricsRegistry {
   std::vector<HistogramDef> histogram_defs_;
   std::unordered_map<std::string, CounterId> counter_ids_;
   std::unordered_map<std::string, HistogramId> histogram_ids_;
-  std::vector<std::unique_ptr<Slab>> slabs_;
+  // slabs_[w] is written only by worker w during the parallel phase;
+  // registration and Snapshot touch every slab and run outside it.
+  std::vector<std::unique_ptr<Slab>> slabs_ SHARD_CONFINED(worker);
 };
 
 }  // namespace dmap

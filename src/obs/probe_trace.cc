@@ -1,7 +1,9 @@
 #include "obs/probe_trace.h"
 
 #include <algorithm>
+#include <memory>
 #include <tuple>
+#include <utility>
 
 namespace dmap {
 namespace {

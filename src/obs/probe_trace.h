@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/guid.h"
+#include "common/thread_annotations.h"
 #include "topo/graph.h"
 
 namespace dmap {
@@ -95,17 +96,17 @@ class ProbeTracer {
   unsigned num_workers() const { return unsigned(buffers_.size()); }
 
   // Grows the per-worker buffer set. Must not race with Record.
-  void EnsureWorkers(unsigned num_workers);
+  void EnsureWorkers(unsigned num_workers) REQUIRES_ALL_SHARDS();
 
   // Appends to `worker`'s buffer. Workers must use distinct ids.
-  void Record(unsigned worker, ProbeTrace trace);
+  void Record(unsigned worker, ProbeTrace trace) REQUIRES_SHARD(worker);
 
   // Total traces recorded so far (sums worker buffers; call while idle).
-  std::uint64_t recorded() const;
+  std::uint64_t recorded() const REQUIRES_ALL_SHARDS();
 
   // Moves out all traces, sorted into a canonical order (by content, not by
   // recording order) so the export is byte-identical for any worker count.
-  std::vector<ProbeTrace> Drain();
+  std::vector<ProbeTrace> Drain() REQUIRES_ALL_SHARDS();
 
  private:
   // Separately allocated and cache-line aligned so concurrent appends by
@@ -115,7 +116,9 @@ class ProbeTracer {
   };
 
   TraceSampler sampler_;
-  std::vector<std::unique_ptr<Buffer>> buffers_;
+  // buffers_[w] is appended to only by worker w; recorded()/Drain() touch
+  // every buffer and run outside the parallel phase.
+  std::vector<std::unique_ptr<Buffer>> buffers_ SHARD_CONFINED(worker);
 };
 
 }  // namespace dmap

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/mutex.h"
+
 namespace dmap {
 
 unsigned ThreadPool::HardwareConcurrency() {
@@ -11,6 +13,8 @@ unsigned ThreadPool::HardwareConcurrency() {
 
 unsigned ThreadPool::Resolve(unsigned threads) {
   if (threads != 0) return threads;
+  // Read once at pool construction, before any worker exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("DMAP_THREADS")) {
     const long parsed = std::strtol(env, nullptr, 10);
     if (parsed > 0) return unsigned(parsed);
@@ -27,7 +31,7 @@ ThreadPool::ThreadPool(unsigned threads) : num_workers_(Resolve(threads)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
@@ -43,7 +47,7 @@ void ThreadPool::WorkOn(unsigned worker, const ChunkFn& fn,
     try {
       fn(chunk, worker);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
   }
@@ -55,8 +59,10 @@ void ThreadPool::WorkerLoop(unsigned worker) {
     const ChunkFn* fn = nullptr;
     std::size_t num_chunks = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      MutexLock lock(mutex_);
+      // Explicit wait loop (not the predicate-lambda overload) so the
+      // thread-safety analysis sees the guarded reads under the lock.
+      while (!stopping_ && generation_ == seen) wake_.wait(lock);
       if (stopping_) return;
       seen = generation_;
       fn = job_;
@@ -64,7 +70,7 @@ void ThreadPool::WorkerLoop(unsigned worker) {
     }
     WorkOn(worker, *fn, num_chunks);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --running_helpers_;
     }
     done_.notify_one();
@@ -80,7 +86,7 @@ void ThreadPool::RunChunks(std::size_t num_chunks, const ChunkFn& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     job_chunks_ = num_chunks;
     first_error_ = nullptr;
@@ -92,8 +98,8 @@ void ThreadPool::RunChunks(std::size_t num_chunks, const ChunkFn& fn) {
   WorkOn(0, fn, num_chunks);  // the caller is worker 0
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return running_helpers_ == 0; });
+    MutexLock lock(mutex_);
+    while (running_helpers_ != 0) done_.wait(lock);
     job_ = nullptr;
     error = first_error_;
     first_error_ = nullptr;

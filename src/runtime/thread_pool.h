@@ -16,17 +16,22 @@
 //     on the worker that runs it, and per-chunk results must be merged in
 //     chunk-index order. The pool guarantees each chunk runs exactly once
 //     and that worker ids are < size().
-//   * No external dependencies: std::thread + mutex/condvar only.
+//   * No external dependencies: std::thread plus the annotated Mutex
+//     wrapper (common/mutex.h) — the queue state is GUARDED_BY(mutex_) and
+//     the Clang CI job enforces the lock discipline statically.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dmap {
 
@@ -59,31 +64,33 @@ class ThreadPool {
   // chunks finished. Chunks are claimed dynamically; any chunk may run on
   // any worker. The first exception thrown by fn is rethrown here (the
   // remaining chunks still run). Not reentrant: one job at a time.
-  void RunChunks(std::size_t num_chunks, const ChunkFn& fn);
+  void RunChunks(std::size_t num_chunks, const ChunkFn& fn) EXCLUDES(mutex_);
 
   // Element-wise convenience over [begin, end): splits the range into
   // contiguous chunks (an implementation detail — callers must not derive
   // determinism from chunk boundaries) and runs fn per index.
-  void ParallelFor(std::size_t begin, std::size_t end, const IndexFn& fn);
+  void ParallelFor(std::size_t begin, std::size_t end, const IndexFn& fn)
+      EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop(unsigned worker);
+  void WorkerLoop(unsigned worker) EXCLUDES(mutex_);
   // Claims chunks until the counter runs dry. Never throws; the first
   // exception is parked in first_error_.
-  void WorkOn(unsigned worker, const ChunkFn& fn, std::size_t num_chunks);
+  void WorkOn(unsigned worker, const ChunkFn& fn, std::size_t num_chunks)
+      EXCLUDES(mutex_);
 
   unsigned num_workers_ = 1;
   std::vector<std::thread> helpers_;  // size() - 1 of them
 
-  std::mutex mutex_;
-  std::condition_variable wake_;  // helpers wait for a new generation
-  std::condition_variable done_;  // the caller waits for helpers to drain
-  std::uint64_t generation_ = 0;  // bumped per job, guarded by mutex_
-  bool stopping_ = false;
-  const ChunkFn* job_ = nullptr;
-  std::size_t job_chunks_ = 0;
-  unsigned running_helpers_ = 0;
-  std::exception_ptr first_error_;
+  Mutex mutex_;
+  std::condition_variable_any wake_;  // helpers wait for a new generation
+  std::condition_variable_any done_;  // the caller waits for helpers to drain
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;  // bumped per job
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  const ChunkFn* job_ GUARDED_BY(mutex_) = nullptr;
+  std::size_t job_chunks_ GUARDED_BY(mutex_) = 0;
+  unsigned running_helpers_ GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ GUARDED_BY(mutex_);
   std::atomic<std::size_t> next_chunk_{0};
 };
 

@@ -29,7 +29,8 @@ DMapOptions MakeOptions(const ResponseTimeConfig& config) {
 
 void LoadMappings(DMapService& service, WorkloadGenerator& workload) {
   for (const InsertOp& op : workload.Inserts()) {
-    service.Insert(op.guid, op.na);
+    // Load phase: placement outcomes are not part of the measurement.
+    (void)service.Insert(op.guid, op.na);
   }
 }
 
@@ -460,7 +461,7 @@ std::vector<BaselineComparisonRow> RunBaselineComparison(
     // Identical workload per scheme (same seeds).
     WorkloadGenerator workload(env.graph, config.workload);
     for (const InsertOp& op : workload.Inserts()) {
-      scheme->Insert(op.guid, op.na);
+      (void)scheme->Insert(op.guid, op.na);  // load phase, not measured
     }
 
     SampleSet lookup_times;

@@ -59,7 +59,9 @@ void DoMove(World& world, std::uint32_t host) {
   world.sim.Schedule(SimTime::Millis(max_rtt),
                      [&world, guid, na, host, this_move] {
                        if (world.move_id[host] == this_move) {
-                         world.service->Update(guid, na);
+                         // Registration-delay model: only the arrival time
+                         // of the update matters, not its outcome.
+                         (void)world.service->Update(guid, na);
                        }
                      });
 
@@ -155,8 +157,8 @@ StalenessReport RunStalenessExperiment(SimEnvironment& env,
   for (std::uint32_t host = 0; host < config.num_hosts; ++host) {
     const AsId as = AsId(sampler.Sample(world.rng));
     world.true_as[host] = as;
-    service.Insert(world.HostGuid(host),
-                   NetworkAddress{as, world.next_locator[host]++});
+    (void)service.Insert(world.HostGuid(host),
+                         NetworkAddress{as, world.next_locator[host]++});
   }
 
   // Start the mobility and query processes.

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "topo/graph.h"
 
 namespace dmap {
@@ -67,26 +68,31 @@ class PathOracle {
 
   // Re-shards the cache, dropping cached vectors (the totals below are
   // preserved). Must not race with oracle queries.
-  void SetNumShards(unsigned num_shards);
+  void SetNumShards(unsigned num_shards) REQUIRES_ALL_SHARDS();
 
   // One-way latency over links from src to dst, ms.
-  double LinkLatencyMs(AsId src, AsId dst, unsigned shard = 0);
+  double LinkLatencyMs(AsId src, AsId dst, unsigned shard = 0)
+      REQUIRES_SHARD(shard);
 
   // Hop count from src to dst.
-  std::uint32_t Hops(AsId src, AsId dst, unsigned shard = 0);
+  std::uint32_t Hops(AsId src, AsId dst, unsigned shard = 0)
+      REQUIRES_SHARD(shard);
 
   // Full vectors, pinned: valid for as long as the handle lives, even if
   // later calls evict the entry from the shard's LRU.
-  PinnedVector<float> LatenciesFrom(AsId src, unsigned shard = 0);
-  PinnedVector<std::uint16_t> HopsFrom(AsId src, unsigned shard = 0);
+  PinnedVector<float> LatenciesFrom(AsId src, unsigned shard = 0)
+      REQUIRES_SHARD(shard);
+  PinnedVector<std::uint16_t> HopsFrom(AsId src, unsigned shard = 0)
+      REQUIRES_SHARD(shard);
 
   // End-to-end one-way latency including both intra-AS components:
   //   intra(src) + path(src, dst) + intra(dst);
   // src == dst costs just intra(src), modelling a purely local resolution.
-  double OneWayMs(AsId src, AsId dst, unsigned shard = 0);
+  double OneWayMs(AsId src, AsId dst, unsigned shard = 0)
+      REQUIRES_SHARD(shard);
 
   // Round-trip time: 2 x OneWayMs, the paper's query response time model.
-  double RttMs(AsId src, AsId dst, unsigned shard = 0) {
+  double RttMs(AsId src, AsId dst, unsigned shard = 0) REQUIRES_SHARD(shard) {
     return 2.0 * OneWayMs(src, dst, shard);
   }
 
@@ -94,12 +100,16 @@ class PathOracle {
   // Cache hits depend on eviction order, which follows the dynamic
   // work-chunk assignment — execution-dependent, not run-deterministic
   // (the *answers* are always identical; only hit/miss accounting varies).
-  std::uint64_t dijkstra_runs() const;
-  std::uint64_t bfs_runs() const;
-  std::uint64_t latency_cache_hits() const;
-  std::uint64_t hops_cache_hits() const;
-  std::uint64_t latency_cache_misses() const { return dijkstra_runs(); }
-  std::uint64_t hops_cache_misses() const { return bfs_runs(); }
+  std::uint64_t dijkstra_runs() const REQUIRES_ALL_SHARDS();
+  std::uint64_t bfs_runs() const REQUIRES_ALL_SHARDS();
+  std::uint64_t latency_cache_hits() const REQUIRES_ALL_SHARDS();
+  std::uint64_t hops_cache_hits() const REQUIRES_ALL_SHARDS();
+  std::uint64_t latency_cache_misses() const REQUIRES_ALL_SHARDS() {
+    return dijkstra_runs();
+  }
+  std::uint64_t hops_cache_misses() const REQUIRES_ALL_SHARDS() {
+    return bfs_runs();
+  }
 
  private:
   template <typename T>
@@ -128,12 +138,16 @@ class PathOracle {
   // Cached vector for `src`, computing it on miss. The reference is only
   // valid until the next insert into the same shard — internal use on the
   // point-query paths, which index it immediately.
-  const std::vector<float>& LatencyVector(AsId src, unsigned shard);
-  const std::vector<std::uint16_t>& HopsVector(AsId src, unsigned shard);
+  const std::vector<float>& LatencyVector(AsId src, unsigned shard)
+      REQUIRES_SHARD(shard);
+  const std::vector<std::uint16_t>& HopsVector(AsId src, unsigned shard)
+      REQUIRES_SHARD(shard);
 
   const AsGraph* graph_;
   std::size_t capacity_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  // shards_[s] (LRU state and run counters) is touched only by the worker
+  // holding shard s; SetNumShards and the totals walk every shard.
+  std::vector<std::unique_ptr<Shard>> shards_ SHARD_CONFINED(shard);
   // Runs retired by SetNumShards so the totals survive re-sharding.
   std::uint64_t retired_dijkstra_runs_ = 0;
   std::uint64_t retired_bfs_runs_ = 0;

@@ -69,7 +69,7 @@ TEST_F(BaselineTest, ChordLookupSlowerThanDirectRtt) {
   // the gap DMap's single-overlay-hop design eliminates.
   ChordDht dht(env_.graph, oracle_);
   const Guid g = Guid::FromSequence(4);
-  dht.Insert(g, NetworkAddress{10, 1});
+  (void)dht.Insert(g, NetworkAddress{10, 1});
   const AsId querier = 333;
   const LookupResult r = dht.Lookup(g, querier);
   const double direct = oracle_.RttMs(querier, dht.OwnerOf(g));
@@ -79,10 +79,10 @@ TEST_F(BaselineTest, ChordLookupSlowerThanDirectRtt) {
 TEST_F(BaselineTest, HomeAgentPinsHomeAtFirstInsert) {
   HomeAgent agent(oracle_);
   const Guid g = Guid::FromSequence(5);
-  agent.Insert(g, NetworkAddress{10, 1});
+  (void)agent.Insert(g, NetworkAddress{10, 1});
   EXPECT_EQ(agent.HomeOf(g), 10u);
   // The host moves; home stays.
-  agent.Update(g, NetworkAddress{300, 2});
+  (void)agent.Update(g, NetworkAddress{300, 2});
   EXPECT_EQ(agent.HomeOf(g), 10u);
   const LookupResult r = agent.Lookup(g, 250);
   ASSERT_TRUE(r.found);

@@ -73,7 +73,9 @@ TEST(ChurnTest, ApplyChangesTable) {
   // Withdrawn space is gone; announced space is live.
   for (const PrefixRecord& r : plan.withdrawals) {
     const auto hit = table.Lookup(r.prefix.First());
-    if (hit) EXPECT_NE(hit->prefix, r.prefix);
+    if (hit) {
+      EXPECT_NE(hit->prefix, r.prefix);
+    }
   }
   for (const PrefixRecord& r : plan.announcements) {
     const auto hit = table.Lookup(r.prefix.First());

@@ -61,7 +61,9 @@ TEST_P(PrefixTableSeededTest, TrieMatchesBruteForce) {
     }
     const auto got = table.Lookup(addr);
     ASSERT_EQ(got.has_value(), want.has_value()) << addr.ToString();
-    if (got) EXPECT_EQ(got->prefix, want->prefix) << addr.ToString();
+    if (got) {
+      EXPECT_EQ(got->prefix, want->prefix) << addr.ToString();
+    }
 
     if (!model.empty()) {
       std::uint64_t best_dist = ~std::uint64_t{0};

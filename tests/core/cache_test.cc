@@ -87,7 +87,7 @@ class CachingDMapTest : public testing::Test {
 TEST_F(CachingDMapTest, SecondLookupServedFromCache) {
   CachingDMap cached(service_, 128, SimTime::Seconds(30));
   const Guid g = Guid::FromSequence(1);
-  service_.Insert(g, NetworkAddress{10, 1});
+  (void)service_.Insert(g, NetworkAddress{10, 1});
 
   const auto first = cached.Lookup(g, 200, SimTime::Zero());
   ASSERT_TRUE(first.result.found);
@@ -105,7 +105,7 @@ TEST_F(CachingDMapTest, SecondLookupServedFromCache) {
 TEST_F(CachingDMapTest, CacheIsPerAs) {
   CachingDMap cached(service_, 128, SimTime::Seconds(30));
   const Guid g = Guid::FromSequence(2);
-  service_.Insert(g, NetworkAddress{10, 1});
+  (void)service_.Insert(g, NetworkAddress{10, 1});
   cached.Lookup(g, 200, SimTime::Zero());
   // A different AS has its own cold cache.
   const auto other = cached.Lookup(g, 100, SimTime::Seconds(1));
@@ -115,7 +115,7 @@ TEST_F(CachingDMapTest, CacheIsPerAs) {
 TEST_F(CachingDMapTest, StalenessDetectedAfterMobility) {
   CachingDMap cached(service_, 128, SimTime::Seconds(30));
   const Guid g = Guid::FromSequence(3);
-  service_.Insert(g, NetworkAddress{10, 1});
+  (void)service_.Insert(g, NetworkAddress{10, 1});
   cached.Lookup(g, 200, SimTime::Zero());  // warm the cache
 
   cached.Update(g, NetworkAddress{20, 2});  // host moves
@@ -135,8 +135,8 @@ TEST_F(CachingDMapTest, StalenessDetectedAfterMobility) {
 TEST_F(CachingDMapTest, HitRateGrowsWithRepeats) {
   CachingDMap cached(service_, 1024, SimTime::Seconds(1000));
   for (int i = 0; i < 20; ++i) {
-    service_.Insert(Guid::FromSequence(std::uint64_t(100 + i)),
-                    NetworkAddress{AsId(i), 1});
+    (void)service_.Insert(Guid::FromSequence(std::uint64_t(100 + i)),
+                          NetworkAddress{AsId(i), 1});
   }
   for (int round = 0; round < 5; ++round) {
     for (int i = 0; i < 20; ++i) {

@@ -70,7 +70,7 @@ TEST_F(DMapServiceTest, ReplicasStoredAtResolvedHosts) {
 TEST_F(DMapServiceTest, LocalReplicaStoredAtAttachmentAs) {
   DMapService service(env_.graph, env_.table, Options());
   const Guid g = Guid::FromSequence(3);
-  service.Insert(g, NetworkAddress{42, 1});
+  (void)service.Insert(g, NetworkAddress{42, 1});
   EXPECT_NE(service.StoreAt(42).Lookup(g), nullptr);
 }
 
@@ -78,7 +78,7 @@ TEST_F(DMapServiceTest, LocalLookupIsFast) {
   // A querier in the GUID's own AS resolves in one intra-AS round trip.
   DMapService service(env_.graph, env_.table, Options());
   const Guid g = Guid::FromSequence(4);
-  service.Insert(g, NetworkAddress{42, 1});
+  (void)service.Insert(g, NetworkAddress{42, 1});
   const LookupResult r = service.Lookup(g, 42);
   ASSERT_TRUE(r.found);
   EXPECT_TRUE(r.served_locally);
@@ -90,7 +90,7 @@ TEST_F(DMapServiceTest, LocalReplicaDisabledFallsBackToGlobal) {
   options.local_replica = false;
   DMapService service(env_.graph, env_.table, options);
   const Guid g = Guid::FromSequence(4);
-  service.Insert(g, NetworkAddress{42, 1});
+  (void)service.Insert(g, NetworkAddress{42, 1});
   const LookupResult r = service.Lookup(g, 42);
   ASSERT_TRUE(r.found);
   EXPECT_FALSE(r.served_locally);
@@ -130,7 +130,7 @@ TEST_F(DMapServiceTest, UpdateLatencyIsMaxReplicaRtt) {
 TEST_F(DMapServiceTest, MobilityUpdateMovesMapping) {
   DMapService service(env_.graph, env_.table, Options());
   const Guid g = Guid::FromSequence(7);
-  service.Insert(g, NetworkAddress{10, 1});
+  (void)service.Insert(g, NetworkAddress{10, 1});
   const UpdateResult up = service.Update(g, NetworkAddress{20, 2});
   EXPECT_EQ(up.version, 2u);
 
@@ -156,8 +156,8 @@ TEST_F(DMapServiceTest, UpdateOfUnknownGuidThrows) {
 TEST_F(DMapServiceTest, MultiHomingAddsNa) {
   DMapService service(env_.graph, env_.table, Options());
   const Guid g = Guid::FromSequence(9);
-  service.Insert(g, NetworkAddress{10, 1});
-  service.AddAttachment(g, NetworkAddress{20, 2});
+  (void)service.Insert(g, NetworkAddress{10, 1});
+  (void)service.AddAttachment(g, NetworkAddress{20, 2});
   const LookupResult r = service.Lookup(g, 100);
   ASSERT_TRUE(r.found);
   EXPECT_EQ(r.nas.size(), 2);
@@ -171,7 +171,7 @@ TEST_F(DMapServiceTest, MultiHomingAddsNa) {
 TEST_F(DMapServiceTest, DeregisterRemovesEverywhere) {
   DMapService service(env_.graph, env_.table, Options());
   const Guid g = Guid::FromSequence(10);
-  service.Insert(g, NetworkAddress{10, 1});
+  (void)service.Insert(g, NetworkAddress{10, 1});
   EXPECT_GT(service.total_stored_entries(), 0u);
   EXPECT_TRUE(service.Deregister(g));
   EXPECT_FALSE(service.Deregister(g));
@@ -235,7 +235,7 @@ TEST_F(DMapServiceTest, HopCountSelectionStillResolves) {
   options.selection = ReplicaSelection::kFewestHops;
   DMapService service(env_.graph, env_.table, options);
   const Guid g = Guid::FromSequence(14);
-  service.Insert(g, NetworkAddress{10, 1});
+  (void)service.Insert(g, NetworkAddress{10, 1});
   const LookupResult r = service.Lookup(g, 200);
   ASSERT_TRUE(r.found);
   // The chosen replica has the minimum hop count among replicas.
@@ -254,7 +254,7 @@ TEST_F(DMapServiceTest, LookupWithStaleViewRecoversViaOtherReplicas) {
   options.local_replica = false;
   DMapService service(env_.graph, env_.table, options);
   const Guid g = Guid::FromSequence(15);
-  service.Insert(g, NetworkAddress{10, 1});
+  (void)service.Insert(g, NetworkAddress{10, 1});
   // A fully consistent view behaves identically to Lookup().
   const LookupResult consistent = service.LookupWithView(g, 200, env_.table);
   const LookupResult direct = service.Lookup(g, 200);
@@ -267,7 +267,7 @@ TEST_F(DMapServiceTest, RehomeAfterChurnRestoresFirstTryLookups) {
   options.local_replica = false;
   DMapService service(env_.graph, env_.table, options);
   const Guid g = Guid::FromSequence(16);
-  service.Insert(g, NetworkAddress{10, 1});
+  (void)service.Insert(g, NetworkAddress{10, 1});
   // Rehome against an unchanged table is a no-op.
   EXPECT_EQ(service.Rehome(g), 0);
   EXPECT_EQ(service.Rehome(Guid::FromSequence(999)), 0);  // unknown GUID
@@ -281,7 +281,7 @@ TEST_F(DMapServiceTest, StaleViewPlusFailuresCompose) {
   options.failure_timeout_ms = 400.0;
   DMapService service(env_.graph, env_.table, options);
   const Guid g = Guid::FromSequence(77);
-  service.Insert(g, NetworkAddress{10, 1});
+  (void)service.Insert(g, NetworkAddress{10, 1});
 
   // Fail the best replica; lookups must still resolve via the rest even
   // when the view is the (consistent) table — then verify latency
@@ -318,7 +318,7 @@ TEST_F(DMapServiceTest, GuidsStoredInFindsPlacedMappings) {
   options.local_replica = false;
   DMapService service(env_.graph, env_.table, options);
   const Guid g = Guid::FromSequence(30);
-  service.Insert(g, NetworkAddress{10, 1});
+  (void)service.Insert(g, NetworkAddress{10, 1});
 
   // Each replica must be discoverable at its host via the prefix covering
   // its stored address.
@@ -347,8 +347,8 @@ TEST_F(DMapServiceTest, WithdrawalRepairViaGuidsStoredInAndRehome) {
   // The service resolves against env_.table by reference.
   DMapService service(env_.graph, env_.table, options);
   for (int i = 0; i < 200; ++i) {
-    service.Insert(Guid::FromSequence(std::uint64_t(1000 + i)),
-                   NetworkAddress{AsId(i % env_.graph.num_nodes()), 1});
+    (void)service.Insert(Guid::FromSequence(std::uint64_t(1000 + i)),
+                         NetworkAddress{AsId(i % env_.graph.num_nodes()), 1});
   }
 
   // Find a populated prefix.
@@ -414,8 +414,8 @@ TEST_P(DMapServiceKSweep, AllLookupsResolve) {
   options.local_replica = false;
   DMapService service(env_.graph, env_.table, options);
   for (int i = 0; i < 50; ++i) {
-    service.Insert(Guid::FromSequence(std::uint64_t(i)),
-                   NetworkAddress{AsId(i % env_.graph.num_nodes()), 1});
+    (void)service.Insert(Guid::FromSequence(std::uint64_t(i)),
+                         NetworkAddress{AsId(i % env_.graph.num_nodes()), 1});
   }
   for (int i = 0; i < 50; ++i) {
     const LookupResult r = service.Lookup(Guid::FromSequence(std::uint64_t(i)),
@@ -437,7 +437,7 @@ TEST_F(DMapServiceTest, LargerKNeverHurtsLatency) {
     options.local_replica = false;
     DMapService service(env_.graph, env_.table, options);
     const Guid g = Guid::FromSequence(20);
-    service.Insert(g, NetworkAddress{10, 1});
+    (void)service.Insert(g, NetworkAddress{10, 1});
     latencies.push_back(service.Lookup(g, 250).latency_ms);
   }
   EXPECT_LE(latencies[1], latencies[0]);
@@ -474,10 +474,10 @@ TEST_F(DMapServiceTest, MetricsAccountInsertsAndLookups) {
   DMapService service(env_.graph, env_.table, Options(3));
   MetricsRegistry registry;
   service.SetMetrics(&registry);
-  service.Insert(Guid::FromSequence(1), NetworkAddress{10, 1});
-  service.Lookup(Guid::FromSequence(1), 200);  // hit
-  service.Lookup(Guid::FromSequence(2), 200);  // miss: probes all 3
-  std::uint64_t inserts = 0, lookups = 0, hits = 0, misses = 0, probes = 0;
+  (void)service.Insert(Guid::FromSequence(1), NetworkAddress{10, 1});
+  (void)service.Lookup(Guid::FromSequence(1), 200);  // hit
+        (void)service.Lookup(Guid::FromSequence(2), 200);  // miss: probes all 3
+              std::uint64_t inserts = 0, lookups = 0, hits = 0, misses = 0, probes = 0;
   std::uint64_t latency_count = 0;
   for (const CounterSnapshot& c : registry.Snapshot().counters) {
     if (c.name == "dmap.inserts") inserts = c.value;

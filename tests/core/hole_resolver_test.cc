@@ -139,7 +139,7 @@ TEST(HoleResolverTest, EmptyTableThrows) {
   PrefixTable table;
   const GuidHashFamily hashes(1, 7);
   const HoleResolver resolver(hashes, table, 2);
-  EXPECT_THROW(resolver.Resolve(Guid::FromSequence(1), 0), std::logic_error);
+  EXPECT_THROW((void)resolver.Resolve(Guid::FromSequence(1), 0), std::logic_error);
 }
 
 TEST(HoleResolverTest, FastPathAgreesWithTrie) {

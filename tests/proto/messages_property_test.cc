@@ -23,7 +23,7 @@ Message RandomMessage(Rng& rng) {
   }
   switch (rng.NextBounded(6)) {
     case 0:
-      return InsertRequest{header, guid, entry};
+      return InsertRequest{header, guid, entry, Ipv4Address{}};
     case 1:
       return InsertAck{header, guid, rng.NextBernoulli(0.5)};
     case 2:

@@ -109,7 +109,7 @@ TEST_F(ProtocolNetworkTest, FailedReplicaFallsThroughAfterTimeout) {
   ref_options.k = 3;
   ref_options.local_replica = false;
   DMapService reference(env_.graph, env_.table, ref_options);
-  reference.Insert(g, NetworkAddress{10, 1});
+  (void)reference.Insert(g, NetworkAddress{10, 1});
   const auto plan = reference.ProbePlan(g, querier);
   net.FailAs(plan[0].first);
 

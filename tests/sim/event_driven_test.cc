@@ -28,7 +28,7 @@ class EventDrivenTest : public testing::Test {
 TEST_F(EventDrivenTest, CompletesWithCorrectResult) {
   DMapService service(env_.graph, env_.table, Options());
   const Guid g = Guid::FromSequence(1);
-  service.Insert(g, NetworkAddress{10, 1});
+  (void)service.Insert(g, NetworkAddress{10, 1});
 
   Simulator sim;
   EventDrivenLookup executor(sim, service);
@@ -50,7 +50,7 @@ TEST_F(EventDrivenTest, AgreesWithClosedFormOnSuccessfulLookups) {
   params.seed = 3;
   WorkloadGenerator workload(env_.graph, params);
   for (const InsertOp& op : workload.Inserts()) {
-    service.Insert(op.guid, op.na);
+    (void)service.Insert(op.guid, op.na);
   }
 
   Simulator sim;
@@ -81,7 +81,7 @@ TEST_F(EventDrivenTest, AgreesWithClosedFormUnderFailures) {
   options.failure_timeout_ms = 321.0;
   DMapService service(env_.graph, env_.table, options);
   const Guid g = Guid::FromSequence(2);
-  service.Insert(g, NetworkAddress{10, 1});
+  (void)service.Insert(g, NetworkAddress{10, 1});
 
   const auto plan = service.ProbePlan(g, 99);
   service.SetFailedAses({plan[0].first});
@@ -127,7 +127,7 @@ TEST_F(EventDrivenTest, ConcurrentLookupsDoNotInterfere) {
   params.seed = 4;
   WorkloadGenerator workload(env_.graph, params);
   for (const InsertOp& op : workload.Inserts()) {
-    service.Insert(op.guid, op.na);
+    (void)service.Insert(op.guid, op.na);
   }
 
   // Launch 100 lookups at staggered starts in a single simulation run.
@@ -157,7 +157,7 @@ TEST_F(EventDrivenTest, UpdateCompletesAtMaxReplicaRtt) {
   options.measure_update_latency = true;
   DMapService service(env_.graph, env_.table, options);
   const Guid g = Guid::FromSequence(10);
-  service.Insert(g, NetworkAddress{10, 1});
+  (void)service.Insert(g, NetworkAddress{10, 1});
 
   Simulator sim;
   EventDrivenLookup executor(sim, service);
@@ -180,7 +180,7 @@ TEST_F(EventDrivenTest, UpdateCompletesAtMaxReplicaRtt) {
 TEST_F(EventDrivenTest, UpdateComputesLatencyWhenServiceSkipsIt) {
   DMapService service(env_.graph, env_.table, Options());  // measurement off
   const Guid g = Guid::FromSequence(11);
-  service.Insert(g, NetworkAddress{10, 1});
+  (void)service.Insert(g, NetworkAddress{10, 1});
 
   Simulator sim;
   EventDrivenLookup executor(sim, service);
@@ -196,7 +196,7 @@ TEST_F(EventDrivenTest, UpdateComputesLatencyWhenServiceSkipsIt) {
 TEST_F(EventDrivenTest, LocalWinsRaceWhenCloserEventCancelled) {
   DMapService service(env_.graph, env_.table, Options());
   const Guid g = Guid::FromSequence(5);
-  service.Insert(g, NetworkAddress{42, 1});
+  (void)service.Insert(g, NetworkAddress{42, 1});
 
   Simulator sim;
   EventDrivenLookup executor(sim, service);

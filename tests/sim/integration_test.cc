@@ -23,7 +23,7 @@ TEST(IntegrationTest, FullPipelineSmall) {
   params.seed = 2;
   WorkloadGenerator workload(env.graph, params);
   for (const InsertOp& op : workload.Inserts()) {
-    service.Insert(op.guid, op.na);
+    (void)service.Insert(op.guid, op.na);
   }
   EXPECT_GT(service.total_stored_entries(), 300u * 5u / 2u);
 
@@ -45,7 +45,7 @@ TEST(IntegrationTest, MobileHostRemainsReachableThroughMoves) {
   DMapService service(env.graph, env.table, options);
 
   const Guid phone = Guid::FromSequence(7);
-  service.Insert(phone, NetworkAddress{10, 1});
+  (void)service.Insert(phone, NetworkAddress{10, 1});
   const AsId correspondent = 200;
 
   std::vector<AsId> path{30, 60, 90, 120, 150};
@@ -79,7 +79,7 @@ TEST(IntegrationTest, ChurnRepairProtocolRestoresPlacement) {
   params.seed = 3;
   WorkloadGenerator workload(env.graph, params);
   for (const InsertOp& op : workload.Inserts()) {
-    service.Insert(op.guid, op.na);
+    (void)service.Insert(op.guid, op.na);
   }
 
   Rng rng(4);
@@ -137,7 +137,7 @@ TEST(IntegrationTest, StorageAccountingConsistent) {
   params.seed = 6;
   WorkloadGenerator workload(env.graph, params);
   for (const InsertOp& op : workload.Inserts()) {
-    service.Insert(op.guid, op.na);
+    (void)service.Insert(op.guid, op.na);
   }
 
   // total_stored_entries must equal the sum over all per-AS stores.

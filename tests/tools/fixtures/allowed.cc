@@ -1,0 +1,17 @@
+// Linter fixture for the escape hatch: a lint:allow with a reason waives
+// the rule; a bare lint:allow without one does not.
+// Not compiled — consumed by tests/tools/lint_determinism_test.py.
+#include <ctime>
+
+namespace dmap {
+
+long StartStamp() {
+  // lint:allow(determinism:wall-clock) log header only, never in results
+  return time(nullptr);
+}
+
+long BadStamp() {
+  return time(nullptr);  // lint:allow(determinism:wall-clock)
+}
+
+}  // namespace dmap

@@ -1,0 +1,20 @@
+// Linter fixture: float accumulation in an obs merge path must be rejected
+// (determinism:float-accumulation) — the test copies this under src/obs/.
+// Not compiled — consumed by tests/tools/lint_determinism_test.py.
+#include <vector>
+
+namespace dmap {
+
+struct Cell {
+  double total = 0.0;
+};
+
+double MergeTotals(const std::vector<Cell>& cells) {
+  double merged = 0.0;
+  for (const Cell& cell : cells) {
+    merged += cell.total;
+  }
+  return merged;
+}
+
+}  // namespace dmap

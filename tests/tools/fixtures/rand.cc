@@ -1,0 +1,15 @@
+// Linter fixture: unseeded randomness must be rejected (determinism:rand).
+// Not compiled — consumed by tests/tools/lint_determinism_test.py.
+#include <cstdlib>
+#include <random>
+
+namespace dmap {
+
+int RandomDelay() { return std::rand() % 100; }
+
+unsigned HardwareSeed() {
+  std::random_device device;
+  return device();
+}
+
+}  // namespace dmap

@@ -1,0 +1,27 @@
+// Linter fixture: iterating an unordered container in a function that feeds
+// an exporter must be rejected (determinism:unordered-iteration), while the
+// same iteration in a non-export path is fine.
+// Not compiled — consumed by tests/tools/lint_determinism_test.py.
+#include <string>
+#include <unordered_map>
+
+namespace dmap {
+
+std::string ExportCounters(
+    const std::unordered_map<std::string, int>& counters) {
+  std::string out;
+  for (const auto& entry : counters) {
+    out += entry.first;
+  }
+  return out;
+}
+
+int CountNonZero(const std::unordered_map<std::string, int>& counters) {
+  int total = 0;
+  for (const auto& entry : counters) {
+    if (entry.second != 0) ++total;
+  }
+  return total;
+}
+
+}  // namespace dmap

@@ -1,0 +1,15 @@
+// Linter fixture: wall-clock reads must be rejected (determinism:wall-clock).
+// Not compiled — consumed by tests/tools/lint_determinism_test.py.
+#include <chrono>
+#include <ctime>
+
+namespace dmap {
+
+double NowSeconds() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long NowUnix() { return time(nullptr); }
+
+}  // namespace dmap

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Tests for tools/lint_determinism.py.
+
+Each fixture under tests/tools/fixtures/ carries a known-bad construct; the
+tests copy it into a throwaway tree (so path-scoped rules see the path they
+key on), run the linter as a subprocess, and assert the expected rule fires
+— or, for the escape hatch, does not.
+"""
+
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+LINTER = REPO / "tools" / "lint_determinism.py"
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def run_linter(root):
+    return subprocess.run(
+        [sys.executable, str(LINTER), "--root", str(root)],
+        capture_output=True, text=True, check=False)
+
+
+class LintDeterminismTest(unittest.TestCase):
+    def lint_fixture(self, fixture, rel_dir="src"):
+        """Copies a fixture into <tmp>/<rel_dir>/ and lints the tree."""
+        with tempfile.TemporaryDirectory() as tmp:
+            dest = Path(tmp) / rel_dir
+            dest.mkdir(parents=True)
+            shutil.copy(FIXTURES / fixture, dest / fixture)
+            return run_linter(tmp)
+
+    def assert_violations(self, result, rule, count):
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(result.stdout.count(f"[determinism:{rule}]"), count,
+                         result.stdout)
+
+    def test_wall_clock_fires(self):
+        result = self.lint_fixture("wall_clock.cc")
+        self.assert_violations(result, "wall-clock", 2)
+
+    def test_rand_fires(self):
+        result = self.lint_fixture("rand.cc")
+        self.assert_violations(result, "rand", 2)
+
+    def test_float_accumulation_fires_in_obs(self):
+        result = self.lint_fixture("float_accumulation.cc", "src/obs")
+        self.assert_violations(result, "float-accumulation", 1)
+
+    def test_float_accumulation_scoped_to_obs(self):
+        # The same construct outside src/obs/ is not a merge/export path.
+        result = self.lint_fixture("float_accumulation.cc", "src/core")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_unordered_iteration_fires_in_export_function(self):
+        result = self.lint_fixture("unordered_iteration.cc")
+        # ExportCounters is flagged; CountNonZero iterates the same map but
+        # is not an exporter/merge path.
+        self.assert_violations(result, "unordered-iteration", 1)
+
+    def test_allow_with_reason_waives_but_bare_allow_does_not(self):
+        result = self.lint_fixture("allowed.cc")
+        self.assert_violations(result, "wall-clock", 1)
+
+    def test_clean_tree_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src"
+            src.mkdir()
+            (src / "clean.cc").write_text(
+                "namespace dmap {\n"
+                "int Add(int a, int b) { return a + b; }\n"
+                "}  // namespace dmap\n")
+            result = run_linter(tmp)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_prose_and_strings_do_not_fire(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src"
+            src.mkdir()
+            (src / "prose.cc").write_text(
+                "// rand() and std::chrono::system_clock in a comment.\n"
+                "namespace dmap {\n"
+                "const char* kHelp = \"never calls time(nullptr)\";\n"
+                "}  // namespace dmap\n")
+            result = run_linter(tmp)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

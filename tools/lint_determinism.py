@@ -1,0 +1,290 @@
+#!/usr/bin/env python3
+"""Determinism linter for the DMap tree.
+
+The project promises bit-identical experiment results and byte-identical
+metrics/trace exports for every ``--threads`` value (DESIGN.md "Threading
+model" / "Observability"). TSan and the CI byte-diff job catch violations at
+runtime; this linter rejects the constructs that cause them at review time:
+
+  wall-clock            std::chrono::system_clock / high_resolution_clock,
+                        time(), gettimeofday(), clock_gettime(), clock(),
+                        localtime()/gmtime()/strftime() anywhere in src/ —
+                        results must never observe the host clock.
+
+  rand                  rand()/srand(), std::random_device,
+                        std::default_random_engine (implementation-defined
+                        stream) anywhere in src/ except the seeded RNG
+                        wrappers in src/common/rng.* — all randomness flows
+                        through seeded, fully-specified generators.
+
+  float-accumulation    `x += ...` onto a float/double lvalue inside
+                        src/obs/ — cross-worker merges must use integer
+                        (fixed-point) arithmetic; float addition is not
+                        associative, so the merged value would depend on the
+                        worker that handled each operation.
+
+  unordered-iteration   iterating a std::unordered_map/std::unordered_set
+                        inside src/obs/ or inside any function that feeds an
+                        exporter or a merged SampleSet (name matches
+                        Export/Snapshot/Drain/Merge/Summarize/Csv/Json/
+                        Write*) — unordered iteration order is
+                        implementation- and run-dependent; sort first.
+
+Escape hatch: a construct is allowed when the same line or the line above
+carries ``// lint:allow(determinism:<rule>) <reason>`` with a non-empty
+reason.
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+
+# Paths (relative to --root, POSIX separators) exempt from a rule.
+RULE_ALLOWLIST = {
+    "rand": ("src/common/rng.h", "src/common/rng.cc"),
+}
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"std\s*::\s*chrono\s*::\s*system_clock"),
+     "std::chrono::system_clock reads the wall clock"),
+    (re.compile(r"std\s*::\s*chrono\s*::\s*high_resolution_clock"),
+     "std::chrono::high_resolution_clock reads a host clock"),
+    (re.compile(r"(?<![\w:])(?:std\s*::\s*)?time\s*\(\s*(?:nullptr|NULL|0|&)"),
+     "time() reads the wall clock"),
+    (re.compile(r"(?<![\w:])gettimeofday\s*\("),
+     "gettimeofday() reads the wall clock"),
+    (re.compile(r"(?<![\w:])clock_gettime\s*\("),
+     "clock_gettime() reads a host clock"),
+    (re.compile(r"(?<![\w:])(?:std\s*::\s*)?clock\s*\(\s*\)"),
+     "clock() reads host CPU time"),
+    (re.compile(r"(?<![\w:])(?:std\s*::\s*)?(?:localtime|gmtime|strftime)\s*\("),
+     "calendar-time conversion implies a wall-clock source"),
+]
+
+RAND_PATTERNS = [
+    (re.compile(r"(?<![\w:])(?:std\s*::\s*)?s?rand\s*\("),
+     "rand()/srand() is a hidden global stream; use a seeded dmap::Rng"),
+    (re.compile(r"(?<![\w:])(?:std\s*::\s*)?random_device\b"),
+     "std::random_device is nondeterministic; seeds come from config"),
+    (re.compile(r"(?<![\w:])(?:std\s*::\s*)?default_random_engine\b"),
+     "std::default_random_engine is implementation-defined; use dmap::Rng"),
+]
+
+# Function headings that mark determinism-critical merge/export paths when
+# the rule is scoped by function rather than by directory.
+CRITICAL_FUNCTION = re.compile(
+    r"(?i)(export|snapshot|drain|merge|summari[sz]e|csv|json|write)")
+
+# A function definition heading: return type + name + (args) + { with no
+# intervening ';'. Heuristic, but C++ in this tree is clang-formatted and
+# regular. The match may span lines.
+FUNCTION_HEADING = re.compile(
+    r"(?:^|\n)[^\n;{}#]*?[\w>\]&*]\s+([~\w]+)\s*\([^;{}]*\)"
+    r"[^;{}]*\{", re.MULTILINE)
+
+FLOAT_DECL = re.compile(r"\b(?:double|float)\s+(\w+)\s*(?:[=;,){\[]|$)")
+INT_DECL = re.compile(
+    r"\b(?:(?:std\s*::\s*)?u?int(?:8|16|32|64)_t|(?:std\s*::\s*)?size_t|"
+    r"unsigned|int|long|short)\s+(\w+)\s*(?:[=;,){\[]|$)")
+UNORDERED_DECL = re.compile(
+    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s*"
+    r"[&*]?\s*(\w+)\s*(?:[=;{(),]|$)")
+COMPOUND_ASSIGN = re.compile(r"([\w\]\[.>-]+)\s*\+=")
+RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*?:\s*(?:\w+(?:\.|->))?(\w+)\s*\)")
+BEGIN_ITER = re.compile(r"\b(\w+)\s*(?:\.|->)\s*(?:c?begin|c?end)\s*\(")
+
+ALLOW = re.compile(r"//\s*lint:allow\(determinism:([\w-]+)\)\s*(\S.*)?")
+
+
+class Violation:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [determinism:{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Linted patterns must not fire on prose or log messages; ``lint:allow``
+    markers are read from the raw text before stripping.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            j = min(j, n - 1)
+            out.append(quote + " " * (j - i - 1) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_lines: list[str], line_no: int) -> set[str]:
+    """Rules waived for 1-based ``line_no`` via lint:allow on it or above."""
+    rules = set()
+    for candidate in (line_no - 1, line_no):  # the line above, then itself
+        if 1 <= candidate <= len(raw_lines):
+            m = ALLOW.search(raw_lines[candidate - 1])
+            if m and m.group(2):  # a reason is mandatory
+                rules.add(m.group(1))
+    return rules
+
+
+def enclosing_function(headings: list[tuple[int, str]], line_no: int) -> str:
+    """Name of the function whose heading most recently precedes line_no."""
+    name = ""
+    for heading_line, heading_name in headings:
+        if heading_line > line_no:
+            break
+        name = heading_name
+    return name
+
+
+def lint_file(path: Path, rel: str) -> list[Violation]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    code = strip_comments_and_strings(raw)
+    code_lines = code.splitlines()
+    in_obs = rel.startswith("src/obs/")
+
+    headings = []
+    for m in FUNCTION_HEADING.finditer(code):
+        headings.append((code.count("\n", 0, m.start(1)) + 1, m.group(1)))
+
+    # Names declared float/double anywhere in the file. A name also declared
+    # with an integer type is ambiguous under this text-level heuristic and
+    # is not flagged — the escape hatch plus the fixtures keep the rule
+    # honest without type resolution.
+    float_names = set(FLOAT_DECL.findall(code)) - set(INT_DECL.findall(code))
+    unordered_names = set(UNORDERED_DECL.findall(code))
+
+    violations = []
+
+    def report(line_no: int, rule: str, message: str) -> None:
+        if rule in allowed_rules(raw_lines, line_no):
+            return
+        if rel in RULE_ALLOWLIST.get(rule, ()):
+            return
+        violations.append(Violation(path, line_no, rule, message))
+
+    for line_no, line in enumerate(code_lines, start=1):
+        for pattern, message in WALL_CLOCK_PATTERNS:
+            if pattern.search(line):
+                report(line_no, "wall-clock", message)
+        for pattern, message in RAND_PATTERNS:
+            if pattern.search(line):
+                report(line_no, "rand", message)
+
+        if in_obs:
+            for m in COMPOUND_ASSIGN.finditer(line):
+                lhs = m.group(1)
+                # Last member in the access path: `cell.sum` -> `sum`,
+                # `slab->counters[id]` -> `counters`.
+                leaf = re.split(r"\.|->", lhs)[-1]
+                leaf = re.sub(r"\[.*", "", leaf)
+                if leaf in float_names:
+                    report(
+                        line_no, "float-accumulation",
+                        f"`{leaf} +=` accumulates a float in a merge/export "
+                        "path; use fixed-point integers (see "
+                        "MetricsRegistry::kFixedPoint)")
+
+        critical = in_obs or CRITICAL_FUNCTION.search(
+            enclosing_function(headings, line_no))
+        if critical:
+            iterated = set(RANGE_FOR.findall(line)) | set(
+                BEGIN_ITER.findall(line))
+            for name in iterated & unordered_names:
+                report(
+                    line_no, "unordered-iteration",
+                    f"iterating unordered container `{name}` in an "
+                    "exporter/merge path; iteration order is "
+                    "run-dependent — sort keys first")
+
+    return violations
+
+
+def collect_files(root: Path, paths: list[str]) -> list[tuple[Path, str]]:
+    files = []
+    targets = [root / p for p in paths] if paths else [root / "src"]
+    for target in targets:
+        if target.is_file():
+            candidates = [target]
+        elif target.is_dir():
+            candidates = sorted(target.rglob("*"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {target}")
+        for f in candidates:
+            if f.is_file() and f.suffix in SOURCE_SUFFIXES:
+                files.append((f, f.relative_to(root).as_posix()))
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reject nondeterministic constructs in src/.")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("paths", nargs="*",
+                        help="files/dirs relative to --root (default: src)")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    try:
+        files = collect_files(root, args.paths)
+    except FileNotFoundError as err:
+        print(f"lint_determinism: {err}", file=sys.stderr)
+        return 2
+
+    violations = []
+    for path, rel in files:
+        violations.extend(lint_file(path, rel))
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint_determinism: {len(violations)} violation(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint_determinism: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
