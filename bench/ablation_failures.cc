@@ -8,11 +8,13 @@
 // K = 1, 3, 5, plus the local-replica rescue effect. Expected shape:
 // availability ~ 1 - f^K for the replicas alone, so K = 5 keeps effectively
 // full availability at 10% failures while K = 1 loses 10% of lookups.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "runtime/thread_pool.h"
 #include "core/dmap_service.h"
+#include "fault/fault_plan.h"
 #include "sim/experiments.h"
 #include "workload/workload.h"
 
@@ -27,6 +29,28 @@ int main(int argc, char** argv) {
 
   SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
       bench::ScaledU32(8000, options.scale, 300)));
+
+  // A --fault-plan contributes its crash/outage ASs (outages expanded to
+  // the customer cone) as statically failed in every row — the closed-form
+  // path has no clock, so the plan's window timings collapse to "down".
+  std::vector<AsId> planned_failures;
+  if (!options.fault_plan.empty()) {
+    const FaultPlan plan = FaultPlan::ParseFile(options.fault_plan);
+    for (const CrashWindow& window : plan.crashes) {
+      planned_failures.push_back(window.as);
+    }
+    for (const CrashWindow& window : plan.outages) {
+      for (const AsId as : CustomerCone(env.graph, window.as)) {
+        planned_failures.push_back(as);
+      }
+    }
+    std::sort(planned_failures.begin(), planned_failures.end());
+    planned_failures.erase(
+        std::unique(planned_failures.begin(), planned_failures.end()),
+        planned_failures.end());
+    std::printf("fault plan %s: %zu AS(s) held down in every row\n\n",
+                options.fault_plan.c_str(), planned_failures.size());
+  }
 
   bench::BenchObservability obs(options);
   WorkloadParams workload_params;
@@ -51,10 +75,12 @@ int main(int argc, char** argv) {
     for (const double failure_fraction : {0.0, 0.05, 0.10, 0.20}) {
       // Failures drawn once per (K, fraction); deterministic seed.
       Rng rng(std::uint64_t(failure_fraction * 1000) * 31 + std::uint64_t(k));
-      std::vector<AsId> failed;
+      std::vector<AsId> failed = planned_failures;
       for (AsId as = 0; as < env.graph.num_nodes(); ++as) {
         if (rng.NextBernoulli(failure_fraction)) failed.push_back(as);
       }
+      std::sort(failed.begin(), failed.end());
+      failed.erase(std::unique(failed.begin(), failed.end()), failed.end());
       service.SetFailedAses(failed);
 
       SampleSet ok_latency;

@@ -31,6 +31,11 @@ struct BenchOptions {
   // Trace 1 in N lookups, sampled deterministically by GUID fingerprint
   // (thread-count independent). 1 = every lookup.
   std::uint64_t trace_sample = 1;
+  // Declarative fault plan (fault/fault_plan.h file format); empty = no
+  // injected faults. The seed drives every per-message fate; identical
+  // (plan, seed) pairs replay the identical chaos run.
+  std::string fault_plan;
+  std::uint64_t fault_seed = 0;
 };
 
 // Accepts both `--flag=value` and `--flag value` forms.
@@ -79,13 +84,28 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
       options.trace_sample = std::uint64_t(n);
+    } else if (const char* value =
+                   BenchArgValue(arg, "--fault-plan", argc, argv, &i)) {
+      options.fault_plan = value;
+    } else if (const char* value =
+                   BenchArgValue(arg, "--fault-seed", argc, argv, &i)) {
+      char* end = nullptr;
+      const unsigned long long seed = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "bad --fault-seed value: %s\n", value);
+        std::exit(2);
+      }
+      options.fault_seed = std::uint64_t(seed);
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: %s [--scale=<f>] [--threads=<n>] [--metrics-out=<file>]\n"
           "          [--trace-out=<file>] [--trace-sample=<N>]\n"
+          "          [--fault-plan=<file>] [--fault-seed=<n>]\n"
           "  --metrics-out   write a metrics_summary (.json, else CSV)\n"
           "  --trace-out     write a per-lookup op_trace CSV\n"
-          "  --trace-sample  trace 1 in N lookups (default 1 = all)\n",
+          "  --trace-sample  trace 1 in N lookups (default 1 = all)\n"
+          "  --fault-plan    declarative fault plan file (configs/*.plan)\n"
+          "  --fault-seed    seed for per-message fault fates (default 0)\n",
           argv[0]);
       std::exit(0);
     } else {

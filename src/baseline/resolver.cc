@@ -3,8 +3,11 @@
 namespace dmap {
 
 void NameResolver::SetFailedAses(const std::vector<AsId>& failed) {
-  failed_ases_.clear();
-  failed_ases_.insert(failed.begin(), failed.end());
+  failures_.SetFailed(failed);
+}
+
+void NameResolver::SetFailureView(const FailureView& view) {
+  failures_ = view;
 }
 
 void NameResolver::EnableMetrics(MetricsRegistry* registry) {

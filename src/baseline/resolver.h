@@ -34,10 +34,10 @@
 
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "core/dmap_service.h"
+#include "fault/failure_view.h"
 
 namespace dmap {
 
@@ -79,6 +79,12 @@ class NameResolver {
   // failure_timeout_ms() and the mapping they hold is unreachable.
   virtual void SetFailedAses(const std::vector<AsId>& failed);
 
+  // Installs a shared failure schedule (fault/failure_view.h): configure a
+  // scenario once and hand the same view to every backend — and to the
+  // wire-protocol network — instead of repeating SetFailedAses per scheme.
+  // The closed-form backends consult the static view (IsFailed).
+  virtual void SetFailureView(const FailureView& view);
+
   // Observability. Both default to off; the uninstrumented path costs one
   // predictable branch per operation. Call before the parallel phase.
   virtual void EnableMetrics(MetricsRegistry* registry);
@@ -90,7 +96,7 @@ class NameResolver {
  protected:
   enum class WriteOp { kInsert, kUpdate, kAddAttachment };
 
-  bool IsFailed(AsId as) const { return failed_ases_.contains(as); }
+  bool IsFailed(AsId as) const { return failures_.IsFailed(as); }
 
   // Starts a per-lookup trace if tracing is on and `guid` is sampled.
   // Returns the trace living inside `result` (null when not sampled);
@@ -107,8 +113,9 @@ class NameResolver {
 
   MetricsRegistry* metrics_ = nullptr;
   ProbeTracer* tracer_ = nullptr;
-  // Written by SetFailedAses between phases, read during parallel lookups.
-  std::unordered_set<AsId> failed_ases_ WRITE_SERIAL_READ_SHARED();
+  // Written by SetFailedAses/SetFailureView between phases, read during
+  // parallel lookups.
+  FailureView failures_ WRITE_SERIAL_READ_SHARED();
   double failure_timeout_ms_ = 200.0;
 
  private:
@@ -156,6 +163,9 @@ class DMapResolver final : public NameResolver {
   }
   void SetFailedAses(const std::vector<AsId>& failed) override {
     service_.SetFailedAses(failed);
+  }
+  void SetFailureView(const FailureView& view) override {
+    service_.SetFailureView(view);
   }
 
   // The service accounts its own richer "dmap.*" instrument set; the

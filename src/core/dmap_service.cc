@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "fault/retry_policy.h"
+
 namespace dmap {
 
 void DMapOptions::Validate() const {
@@ -19,6 +21,16 @@ void DMapOptions::Validate() const {
     throw std::invalid_argument(
         "DMapOptions: failure_timeout_ms must be >= 0 (got " +
         std::to_string(failure_timeout_ms) + ")");
+  }
+  if (probe_retries < 0) {
+    throw std::invalid_argument(
+        "DMapOptions: probe_retries must be >= 0 (got " +
+        std::to_string(probe_retries) + ")");
+  }
+  if (!(retry_backoff >= 1.0)) {  // also rejects NaN
+    throw std::invalid_argument(
+        "DMapOptions: retry_backoff must be >= 1 (got " +
+        std::to_string(retry_backoff) + ")");
   }
 }
 
@@ -247,12 +259,18 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
   AsId global_server = kInvalidAs;
   for (const auto& [host, rtt] : OrderReplicas(querier, hosts, shard)) {
     ++result.attempts;
-    if (failed_ases_.contains(host)) {
-      global_cost += options_.failure_timeout_ms;
+    if (failures_.IsFailed(host)) {
+      // The client burns its whole retry budget on a dead replica before
+      // falling through (fault/retry_policy.h keeps this aligned with the
+      // event-driven and wire paths).
+      const double cost = TotalTimeoutCostMs(
+          options_.failure_timeout_ms, options_.probe_retries,
+          options_.retry_backoff);
+      global_cost += cost;
       ++probe_failures;
       if (trace) {
-        trace->probes.push_back(ProbeEvent{host, options_.failure_timeout_ms,
-                                           ProbeOutcome::kFailed});
+        trace->probes.push_back(
+            ProbeEvent{host, cost, ProbeOutcome::kFailed});
       }
       continue;
     }
@@ -279,7 +297,7 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
   bool local_found = false;
   double local_cost = 0.0;
   NaSet local_nas;
-  if (options_.local_replica && !failed_ases_.contains(querier)) {
+  if (options_.local_replica && !failures_.IsFailed(querier)) {
     if (const MappingEntry* entry = stores_[querier].Lookup(guid)) {
       local_found = true;
       local_cost = 2.0 * graph_->IntraLatencyMs(querier);
@@ -369,8 +387,7 @@ std::vector<std::pair<AsId, double>> DMapService::ProbePlan(const Guid& guid,
 }
 
 void DMapService::SetFailedAses(const std::vector<AsId>& failed) {
-  failed_ases_.clear();
-  failed_ases_.insert(failed.begin(), failed.end());
+  failures_.SetFailed(failed);
 }
 
 int DMapService::Rehome(const Guid& guid) {

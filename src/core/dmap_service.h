@@ -23,7 +23,6 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "bgp/prefix_table.h"
@@ -31,6 +30,8 @@
 #include "common/hash.h"
 #include "common/thread_annotations.h"
 #include "core/hole_resolver.h"
+#include "event/sim_time.h"
+#include "fault/failure_view.h"
 #include "core/mapping.h"
 #include "core/mapping_store.h"
 #include "obs/metrics_registry.h"
@@ -52,6 +53,12 @@ struct DMapOptions {
   bool local_replica = true;    // Section III-C optimisation
   ReplicaSelection selection = ReplicaSelection::kLowestRtt;
   double failure_timeout_ms = 200.0;  // wait before trying the next replica
+  // Retransmissions to an unresponsive replica before falling through to
+  // the next one; each retry multiplies the timeout by retry_backoff
+  // (fault/retry_policy.h). 0 = the single-shot behaviour, where one
+  // timeout costs exactly failure_timeout_ms.
+  int probe_retries = 0;
+  double retry_backoff = 2.0;
   std::uint64_t hash_seed = 0x5eedf00dULL;
   // When false, Insert/Update skip the RTT computation (latency_ms = -1);
   // used by bulk loads where only lookups are being measured.
@@ -159,8 +166,18 @@ class DMapService {
       REQUIRES_SHARD(shard);
 
   // Marks ASs whose mapping servers are down (Section III-D-3). Probes to
-  // them cost options().failure_timeout_ms and fall through.
+  // them cost the full retry budget (TotalTimeoutCostMs over
+  // failure_timeout_ms/probe_retries/retry_backoff) and fall through.
+  // Equivalent to installing a FailureView of static windows.
   void SetFailedAses(const std::vector<AsId>& failed);
+
+  // Installs a full failure schedule (fault/failure_view.h). The closed
+  // form consults the static view (IsFailed); the event-driven wrapper
+  // consults IsFailedAt at probe time, so time-varying windows only take
+  // effect on that path.
+  void SetFailureView(const FailureView& view) { failures_ = view; }
+  const FailureView& failure_view() const { return failures_; }
+  FailureView& failure_view() { return failures_; }
 
   // Re-derives the replica set of `guid` against the current authoritative
   // table and migrates entries accordingly — the net effect of the
@@ -180,7 +197,10 @@ class DMapService {
   std::vector<std::pair<AsId, double>> ProbePlan(const Guid& guid,
                                                  AsId querier);
 
-  bool IsFailed(AsId as) const { return failed_ases_.contains(as); }
+  bool IsFailed(AsId as) const { return failures_.IsFailed(as); }
+  bool IsFailedAt(AsId as, SimTime t) const {
+    return failures_.IsFailedAt(as, t);
+  }
 
   // Introspection for tests/benches.
   const MappingStore& StoreAt(AsId as) const { return stores_[as]; }
@@ -224,7 +244,7 @@ class DMapService {
   std::vector<MappingStore> stores_ WRITE_SERIAL_READ_SHARED();  // by AsId
   std::unordered_map<Guid, OwnerState, GuidHash> owners_
       WRITE_SERIAL_READ_SHARED();
-  std::unordered_set<AsId> failed_ases_ WRITE_SERIAL_READ_SHARED();
+  FailureView failures_ WRITE_SERIAL_READ_SHARED();
   std::uint64_t total_entries_ = 0;
 
   MetricsRegistry* metrics_ = nullptr;

@@ -33,6 +33,11 @@ class MappingStore {
   // if present.
   bool Erase(const Guid& guid);
 
+  // Drops every mapping — a process crash losing the in-memory store (the
+  // fault model's `crash =` windows). Recovery brings the AS back empty;
+  // lookup-triggered re-replication refills it.
+  void Clear() { entries_.clear(); }
+
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 

@@ -1,0 +1,65 @@
+// FaultInjector: turns a declarative FaultPlan into concrete faults.
+//
+// Two halves:
+//
+//   * InstallSchedule expands the plan's crash windows and regional
+//     outages into FailureView windows (regional outages fail the named
+//     AS plus its customer cone) and reports, via WipeSchedule, the
+//     (time, AS) pairs where a crash loses the in-memory mapping store —
+//     ProtocolNetwork schedules the wipes as simulator events.
+//
+//   * FateOf decides the fate of one message: dropped, delivered once or
+//     twice, and with how much extra delay per delivered copy. The
+//     decision is *counter-based*: each message carries a sequence number
+//     and its fate is a pure function of (seed, sequence number) — no
+//     shared RNG stream whose state would depend on call order. The same
+//     seed and plan therefore produce the same faults for the same message
+//     sequence, which is what makes a whole chaos run replayable and its
+//     exports byte-identical across --threads (each trial's simulator is
+//     serial; trials are the parallel unit).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/fault_plan.h"
+#include "fault/failure_view.h"
+
+namespace dmap {
+
+// Fate of one message: either dropped, or delivered `delays_ms.size()`
+// times (>= 1; 2 when duplicated), each copy with its own extra one-way
+// delay in [0, plan.jitter_ms).
+struct MessageFate {
+  bool dropped = false;
+  std::vector<double> delays_ms;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed);
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // Expands the plan's schedule into `view` windows. Regional outages are
+  // widened to the customer cone of their AS.
+  void InstallSchedule(const AsGraph& graph, FailureView& view) const;
+
+  // Store-wipe events implied by the plan (crash windows with
+  // wipe_storage), sorted by (time, AS) so scheduling order — and thus the
+  // whole event sequence — is deterministic.
+  std::vector<std::pair<SimTime, AsId>> WipeSchedule() const;
+
+  // The fate of message number `message_seq`. Pure function of
+  // (seed, message_seq); never draws from shared state.
+  MessageFate FateOf(std::uint64_t message_seq) const;
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dmap

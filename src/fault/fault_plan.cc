@@ -1,0 +1,138 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dmap {
+namespace {
+
+// Parses one "as:down_ms:up_ms" triple; `up_ms` may be "inf".
+CrashWindow ParseWindow(const std::string& spec, const char* key,
+                        bool wipe_storage) {
+  const auto bad = [&](const std::string& why) {
+    throw std::invalid_argument("FaultPlan: bad " + std::string(key) +
+                                " entry '" + spec + "': " + why);
+  };
+  const std::size_t first = spec.find(':');
+  const std::size_t second =
+      first == std::string::npos ? std::string::npos
+                                 : spec.find(':', first + 1);
+  if (first == std::string::npos || second == std::string::npos) {
+    bad("expected as:down_ms:up_ms");
+  }
+  const std::string as_str = spec.substr(0, first);
+  const std::string down_str = spec.substr(first + 1, second - first - 1);
+  const std::string up_str = spec.substr(second + 1);
+
+  char* end = nullptr;
+  const unsigned long as = std::strtoul(as_str.c_str(), &end, 10);
+  if (as_str.empty() || *end != '\0') bad("AS id is not a number");
+  const double down = std::strtod(down_str.c_str(), &end);
+  if (down_str.empty() || *end != '\0') bad("down_ms is not a number");
+  double up;
+  if (up_str == "inf") {
+    up = FailureView::kForever.millis();
+  } else {
+    up = std::strtod(up_str.c_str(), &end);
+    if (up_str.empty() || *end != '\0') bad("up_ms is not a number or inf");
+  }
+
+  CrashWindow window;
+  window.as = AsId(as);
+  window.down_at = SimTime::Millis(down);
+  window.up_at = SimTime::Millis(up);
+  window.wipe_storage = wipe_storage;
+  return window;
+}
+
+std::vector<CrashWindow> ParseWindowList(const Config& config,
+                                         const char* key,
+                                         bool wipe_storage) {
+  std::vector<CrashWindow> windows;
+  const std::string raw = config.GetString(key, "");
+  std::istringstream stream(raw);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    // Trim surrounding whitespace.
+    const std::size_t begin = item.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const std::size_t last = item.find_last_not_of(" \t");
+    windows.push_back(
+        ParseWindow(item.substr(begin, last - begin + 1), key, wipe_storage));
+  }
+  return windows;
+}
+
+void ValidateProbability(double p, const char* field) {
+  if (!(p >= 0.0 && p <= 1.0)) {  // also rejects NaN
+    throw std::invalid_argument("FaultPlan: " + std::string(field) +
+                                " must be in [0, 1] (got " +
+                                std::to_string(p) + ")");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::Validate() const {
+  ValidateProbability(drop_probability, "drop_probability");
+  ValidateProbability(duplicate_probability, "duplicate_probability");
+  if (!(jitter_ms >= 0.0)) {  // also rejects NaN
+    throw std::invalid_argument(
+        "FaultPlan: jitter_ms must be >= 0 (got " +
+        std::to_string(jitter_ms) + ")");
+  }
+  const auto check_windows = [](const std::vector<CrashWindow>& windows,
+                                const char* kind) {
+    for (const CrashWindow& w : windows) {
+      if (w.as == kInvalidAs) {
+        throw std::invalid_argument("FaultPlan: " + std::string(kind) +
+                                    " entry with invalid AS id");
+      }
+      if (w.down_at > w.up_at) {
+        throw std::invalid_argument("FaultPlan: " + std::string(kind) +
+                                    " entry with down_at > up_at");
+      }
+    }
+  };
+  check_windows(crashes, "crash");
+  check_windows(outages, "outage");
+}
+
+FaultPlan FaultPlan::FromConfig(const Config& config) {
+  FaultPlan plan;
+  plan.drop_probability = config.GetDouble("drop_probability", 0.0);
+  plan.duplicate_probability =
+      config.GetDouble("duplicate_probability", 0.0);
+  plan.jitter_ms = config.GetDouble("jitter_ms", 0.0);
+  plan.crashes = ParseWindowList(config, "crash", /*wipe_storage=*/true);
+  plan.outages = ParseWindowList(config, "outage", /*wipe_storage=*/false);
+  plan.Validate();
+  return plan;
+}
+
+FaultPlan FaultPlan::ParseString(const std::string& text) {
+  return FromConfig(Config::ParseString(text));
+}
+
+FaultPlan FaultPlan::ParseFile(const std::string& path) {
+  return FromConfig(Config::ParseFile(path));
+}
+
+std::vector<AsId> CustomerCone(const AsGraph& graph, AsId center) {
+  if (center >= graph.num_nodes()) {
+    throw std::invalid_argument("CustomerCone: unknown AS");
+  }
+  std::vector<AsId> cone;
+  cone.push_back(center);
+  const std::uint32_t center_degree = graph.Degree(center);
+  for (const AsGraph::Neighbor& n : graph.Neighbors(center)) {
+    if (graph.Degree(n.id) < center_degree) cone.push_back(n.id);
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+}  // namespace dmap

@@ -25,6 +25,8 @@ enum class ProbeOutcome : char {
   kHit = 'H',      // replica answered with the mapping
   kMiss = 'M',     // replica reachable but had no entry (wasted round trip)
   kFailed = 'F',   // replica's AS marked failed: timeout, fall through
+  kTimeout = 'T',  // no reply within the retry budget (wire path: the
+                   // client cannot tell a crash from a dropped message)
 };
 
 struct ProbeEvent {

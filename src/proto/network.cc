@@ -1,28 +1,49 @@
 #include "proto/network.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
+#include <utility>
+
+#include "fault/retry_policy.h"
 
 namespace dmap {
 
 struct ProtocolNetwork::LookupOp {
   Guid guid;
   AsId querier = kInvalidAs;
-  std::uint64_t request_id = 0;
-  std::vector<std::pair<AsId, double>> plan;  // ordered (host, rtt)
-  std::size_t next_index = 0;
-  int attempts = 0;
+  struct Probe {
+    AsId host = kInvalidAs;
+    double rtt = 0.0;
+    // Where Algorithm 1 hashed this replica; repair re-inserts under it.
+    Ipv4Address stored_address;
+  };
+  std::vector<Probe> plan;  // ordered by (rtt, host)
+  // request_ids[i] is probe i's id; entries stay in lookups_ until the op
+  // completes so late replies still find their way back.
+  std::vector<std::uint64_t> request_ids;
+  std::size_t frontier = 0;  // index of the probe currently awaited
+  int attempts = 0;          // replicas probed (not transmissions)
+  double frontier_charged_ms = 0.0;  // timeout cost accrued on the frontier
   SimTime started;
   bool completed = false;
   EventHandle timeout;
   EventHandle local_reply;
+  std::vector<std::size_t> miss_indices;  // live replicas that had no entry
   std::function<void(const LookupResult&)> done;
+  std::optional<ProbeTrace> trace;
 };
 
 struct ProtocolNetwork::InsertOp {
   std::uint64_t request_id = 0;
-  std::vector<AsId> replicas;
-  std::size_t outstanding = 0;  // acks (or timeouts) still expected
+  std::vector<AsId> replicas;  // reported in the UpdateResult
+  struct Slot {
+    AsId host = kInvalidAs;
+    bool resolved = false;
+    EventHandle timeout;
+  };
+  std::vector<Slot> slots;      // one per replica write
+  std::size_t outstanding = 0;  // slots not yet acked or timed out
   SimTime started;
   std::uint64_t version = 0;
   std::function<void(const UpdateResult&)> done;
@@ -37,6 +58,12 @@ ProtocolNetwork::ProtocolNetwork(const AsGraph& graph,
       resolver_(hashes_, table, options.max_hashes),
       oracle_(graph, options.oracle_cache) {
   if (options.k < 1) throw std::invalid_argument("ProtocolNetwork: k < 1");
+  if (options.probe_retries < 0) {
+    throw std::invalid_argument("ProtocolNetwork: probe_retries < 0");
+  }
+  if (!(options.retry_backoff >= 1.0)) {  // also rejects NaN
+    throw std::invalid_argument("ProtocolNetwork: retry_backoff < 1");
+  }
   nodes_.reserve(graph.num_nodes());
   for (AsId as = 0; as < graph.num_nodes(); ++as) {
     nodes_.push_back(
@@ -44,25 +71,91 @@ ProtocolNetwork::ProtocolNetwork(const AsGraph& graph,
   }
 }
 
+void ProtocolNetwork::FailAs(AsId as) { failures_.Fail(as, sim_.Now()); }
+
+void ProtocolNetwork::RecoverAs(AsId as) {
+  failures_.Recover(as, sim_.Now());
+}
+
+void ProtocolNetwork::ApplyFaultPlan(const FaultPlan& plan,
+                                     std::uint64_t seed) {
+  injector_ = std::make_unique<FaultInjector>(plan, seed);
+  injector_->InstallSchedule(*graph_, failures_);
+  for (const auto& [at, as] : injector_->WipeSchedule()) {
+    const SimTime when = at < sim_.Now() ? sim_.Now() : at;
+    sim_.ScheduleAt(when, [this, as] {
+      nodes_[as]->store().Clear();
+      Bump(store_wipes_, ins_.store_wipes);
+    });
+  }
+}
+
+void ProtocolNetwork::SetMetrics(MetricsRegistry* registry, unsigned shard) {
+  metrics_ = registry;
+  metrics_shard_ = shard;
+  if (registry == nullptr) return;
+  ins_.injected_drops = registry->Counter("fault.injected_drops");
+  ins_.injected_duplicates = registry->Counter("fault.injected_duplicates");
+  ins_.delivery_drops = registry->Counter("fault.delivery_drops");
+  ins_.retransmissions = registry->Counter("fault.retransmissions");
+  ins_.late_replies = registry->Counter("fault.late_replies");
+  ins_.repair_inserts = registry->Counter("fault.repair_inserts");
+  ins_.store_wipes = registry->Counter("fault.store_wipes");
+}
+
+void ProtocolNetwork::SetTracer(ProbeTracer* tracer, unsigned shard) {
+  tracer_ = tracer;
+  trace_shard_ = shard;
+}
+
+void ProtocolNetwork::Bump(std::uint64_t& plain, CounterId id,
+                           std::uint64_t delta) {
+  plain += delta;
+  if (metrics_ != nullptr) metrics_->Add(id, delta, metrics_shard_);
+}
+
 void ProtocolNetwork::Send(const Message& message) {
-  const MessageHeader& header = HeaderOf(message);
+  const MessageHeader header = HeaderOf(message);
   ++messages_sent_;
   // Encode to wire bytes: real serialisation cost + traffic accounting.
   const std::vector<std::uint8_t> wire = Encode(message);
   bytes_sent_ += wire.size();
 
-  if (failed_.contains(header.dst)) {
+  MessageFate fate;
+  if (injector_ != nullptr) {
+    fate = injector_->FateOf(message_seq_);
+  } else {
+    fate.delays_ms.push_back(0.0);
+  }
+  ++message_seq_;
+  if (fate.dropped) {
     ++messages_dropped_;
-    return;  // swallowed by the failed router
+    Bump(injected_drops_, ins_.injected_drops);
+    return;
+  }
+  if (fate.delays_ms.size() > 1) {
+    Bump(duplicates_delivered_, ins_.injected_duplicates,
+         fate.delays_ms.size() - 1);
   }
   const double latency = oracle_.OneWayMs(header.src, header.dst);
-  sim_.Schedule(SimTime::Millis(latency), [this, wire] {
-    const std::optional<Message> decoded = Decode(wire);
-    if (!decoded) {
-      throw std::logic_error("ProtocolNetwork: wire corruption");
-    }
-    Deliver(*decoded);
-  });
+  for (const double extra_ms : fate.delays_ms) {
+    sim_.Schedule(
+        SimTime::Millis(latency + extra_ms), [this, wire, dst = header.dst] {
+          // The destination's state at *delivery* time decides: a failure
+          // landing while the message is in flight swallows it, a recovery
+          // lets it through.
+          if (failures_.IsFailedAt(dst, sim_.Now())) {
+            ++messages_dropped_;
+            Bump(delivery_drops_, ins_.delivery_drops);
+            return;
+          }
+          const std::optional<Message> decoded = Decode(wire);
+          if (!decoded) {
+            throw std::logic_error("ProtocolNetwork: wire corruption");
+          }
+          Deliver(*decoded);
+        });
+  }
 }
 
 void ProtocolNetwork::Deliver(const Message& message) {
@@ -70,52 +163,122 @@ void ProtocolNetwork::Deliver(const Message& message) {
 
   // Client-agent responses are routed by request id.
   if (const auto* response = std::get_if<LookupResponse>(&message)) {
-    const auto it = lookups_.find(header.request_id);
-    if (it != lookups_.end()) {
-      const std::shared_ptr<LookupOp> op = it->second;
-      lookups_.erase(it);
-      if (op->completed) return;
-      op->timeout.Cancel();
-      if (response->found) {
-        op->completed = true;
-        op->local_reply.Cancel();
-        LookupResult result;
-        result.found = true;
-        result.nas = response->entry.nas;
-        result.serving_as = header.src;
-        result.latency_ms = (sim_.Now() - op->started).millis();
-        result.attempts = op->attempts;
-        op->done(result);
-      } else {
-        SendProbe(op, op->next_index);
-      }
-      return;
-    }
+    if (HandleLookupResponse(*response)) return;
   }
   if (const auto* ack = std::get_if<InsertAck>(&message)) {
-    const auto it = inserts_.find(header.request_id);
-    if (it != inserts_.end()) {
-      const std::shared_ptr<InsertOp> op = it->second;
-      if (--op->outstanding == 0) {
-        inserts_.erase(it);
-        UpdateResult result;
-        result.latency_ms = (sim_.Now() - op->started).millis();
-        result.replicas = op->replicas;
-        result.version = op->version;
-        op->done(result);
-      }
-      return;
-    }
-    (void)ack;
+    if (HandleInsertAck(*ack)) return;
   }
 
-  // Everything else is node-to-node protocol traffic.
+  // Everything else is node-to-node protocol traffic. (Responses whose
+  // client op already completed also land here; nodes ignore them.)
   std::vector<Message> responses;
   nodes_[header.dst]->HandleMessage(message, &responses);
   for (Message& response : responses) {
     // The node fills src/dst; just transmit.
     Send(response);
   }
+}
+
+bool ProtocolNetwork::HandleLookupResponse(const LookupResponse& response) {
+  const MessageHeader& header = response.header;
+  const auto it = lookups_.find(header.request_id);
+  if (it == lookups_.end()) return false;
+  const std::shared_ptr<LookupOp> op = it->second.op;
+  const std::size_t index = it->second.index;
+  if (op->completed) return true;
+  const bool at_frontier = index == op->frontier;
+
+  if (response.found) {
+    // A found reply resolves the lookup even when its probe already timed
+    // out — the seed protocol dropped these on the floor and fell through
+    // to a possibly wrong "not found".
+    if (!at_frontier) Bump(late_replies_, ins_.late_replies);
+    if (at_frontier && op->trace.has_value()) {
+      op->trace->probes.push_back(
+          ProbeEvent{header.src,
+                     op->frontier_charged_ms + op->plan[index].rtt,
+                     ProbeOutcome::kHit});
+    }
+    LookupResult result;
+    result.found = true;
+    result.nas = response.entry.nas;
+    result.serving_as = header.src;
+    CompleteLookup(op, result, &response.entry);
+    return true;
+  }
+
+  // "GUID missing": the replica is alive but empty — remember it for the
+  // lookup-triggered repair.
+  if (std::find(op->miss_indices.begin(), op->miss_indices.end(), index) ==
+      op->miss_indices.end()) {
+    op->miss_indices.push_back(index);
+  }
+  if (!at_frontier) {
+    // We had already timed this probe out and moved past it.
+    Bump(late_replies_, ins_.late_replies);
+    return true;
+  }
+  op->timeout.Cancel();
+  if (op->trace.has_value()) {
+    op->trace->probes.push_back(
+        ProbeEvent{header.src,
+                   op->frontier_charged_ms + op->plan[index].rtt,
+                   ProbeOutcome::kMiss});
+  }
+  SendProbe(op, index + 1);
+  return true;
+}
+
+void ProtocolNetwork::CompleteLookup(const std::shared_ptr<LookupOp>& op,
+                                     LookupResult result,
+                                     const MappingEntry* found_entry) {
+  op->completed = true;
+  op->timeout.Cancel();
+  op->local_reply.Cancel();
+  for (const std::uint64_t id : op->request_ids) lookups_.erase(id);
+  result.latency_ms = (sim_.Now() - op->started).millis();
+  result.attempts = op->attempts;
+  if (op->trace.has_value()) {
+    ProbeTrace& trace = *op->trace;
+    trace.found = result.found;
+    trace.local_won = result.served_locally;
+    trace.latency_ms = result.latency_ms;
+    trace.attempts = result.attempts;
+    if (tracer_ != nullptr) tracer_->Record(trace_shard_, trace);
+  }
+  if (found_entry != nullptr && options_.repair_on_lookup &&
+      !op->miss_indices.empty()) {
+    RepairEmptyReplicas(*op, *found_entry);
+  }
+  op->done(result);
+}
+
+void ProtocolNetwork::RepairEmptyReplicas(const LookupOp& op,
+                                          const MappingEntry& entry) {
+  // Re-replication (fire and forget): replicas that answered "missing" are
+  // alive but lost the mapping — a crash wiped their store, or placement
+  // churn moved it away. Re-insert the found entry there, version-gated so
+  // duplicate and out-of-date repairs are rejected as stale.
+  auto repair = std::make_shared<InsertOp>();
+  repair->request_id = NextClientRequestId();
+  repair->started = sim_.Now();
+  repair->version = entry.version;
+  repair->done = [](const UpdateResult&) {};
+  std::vector<InsertRequest> requests;
+  requests.reserve(op.miss_indices.size());
+  for (const std::size_t index : op.miss_indices) {
+    const LookupOp::Probe& probe = op.plan[index];
+    InsertRequest request;
+    request.header = MessageHeader{repair->request_id, op.querier,
+                                   probe.host};
+    request.guid = op.guid;
+    request.entry = entry;
+    request.stored_address = probe.stored_address;
+    requests.push_back(request);
+    repair->replicas.push_back(probe.host);
+  }
+  Bump(repairs_sent_, ins_.repair_inserts, requests.size());
+  StartInsertSlots(repair, std::move(requests));
 }
 
 void ProtocolNetwork::InsertAsync(
@@ -134,11 +297,17 @@ void ProtocolNetwork::InsertAsync(
   entry.nas = NaSet(na);
   entry.version = op->version;
 
-  std::vector<HostResolution> resolutions;
-  resolutions.reserve(std::size_t(options_.k));
+  std::vector<InsertRequest> requests;
+  requests.reserve(std::size_t(options_.k));
   for (int replica = 0; replica < options_.k; ++replica) {
-    resolutions.push_back(resolver_.Resolve(guid, replica));
-    op->replicas.push_back(resolutions.back().host);
+    const HostResolution resolution = resolver_.Resolve(guid, replica);
+    op->replicas.push_back(resolution.host);
+    InsertRequest request;
+    request.header = MessageHeader{op->request_id, na.as, resolution.host};
+    request.guid = guid;
+    request.entry = entry;
+    request.stored_address = resolution.stored_address;
+    requests.push_back(request);
   }
   // The local replica (Section III-C) is written at the attachment AS; its
   // intra-AS ack always beats the slowest global ack, so it does not
@@ -146,41 +315,71 @@ void ProtocolNetwork::InsertAsync(
   if (options_.local_replica) {
     nodes_[na.as]->store().Upsert(guid, entry);
   }
+  StartInsertSlots(op, std::move(requests));
+}
 
-  op->outstanding = op->replicas.size();
+void ProtocolNetwork::StartInsertSlots(const std::shared_ptr<InsertOp>& op,
+                                       std::vector<InsertRequest> requests) {
+  op->outstanding = requests.size();
+  op->slots.reserve(requests.size());
   inserts_[op->request_id] = op;
-  for (const HostResolution& resolution : resolutions) {
-    const AsId host = resolution.host;
-    InsertRequest request;
-    request.header = MessageHeader{op->request_id, na.as, host};
-    request.guid = guid;
-    request.entry = entry;
-    request.stored_address = resolution.stored_address;
-    // A failed replica never acks; the timeout stands in for it so the
-    // update still completes.
-    if (failed_.contains(host)) {
-      sim_.Schedule(SimTime::Millis(options_.failure_timeout_ms),
-                    [this, id = op->request_id] {
-                      const auto it = inserts_.find(id);
-                      if (it == inserts_.end()) return;
-                      const std::shared_ptr<InsertOp> pending = it->second;
-                      if (--pending->outstanding == 0) {
-                        inserts_.erase(it);
-                        UpdateResult result;
-                        result.latency_ms =
-                            (sim_.Now() - pending->started).millis();
-                        result.replicas = pending->replicas;
-                        result.version = pending->version;
-                        pending->done(result);
-                      }
-                    });
-      ++messages_sent_;
-      bytes_sent_ += EncodedSize(request);
-      ++messages_dropped_;
-      continue;
-    }
+  for (const InsertRequest& request : requests) {
+    const std::size_t slot = op->slots.size();
+    InsertOp::Slot s;
+    s.host = request.header.dst;
+    op->slots.push_back(s);
+    // The ack normally lands after one round trip; the timeout stands in
+    // when it never comes (replica down, request or ack lost) so the
+    // operation always completes. Adaptive like the lookup timeout: a
+    // slow-but-alive replica is never declared dead before its ack can
+    // arrive.
+    const double rtt =
+        2.0 * oracle_.OneWayMs(request.header.src, request.header.dst);
+    const double timeout_ms =
+        std::max(options_.failure_timeout_ms, 1.5 * rtt);
+    op->slots[slot].timeout =
+        sim_.Schedule(SimTime::Millis(timeout_ms), [this, op, slot] {
+          if (op->slots[slot].resolved) return;
+          ResolveInsertSlot(op, slot);
+        });
     Send(request);
   }
+  CompleteInsertIfDone(op);  // an empty batch completes immediately
+}
+
+void ProtocolNetwork::ResolveInsertSlot(const std::shared_ptr<InsertOp>& op,
+                                        std::size_t slot) {
+  op->slots[slot].resolved = true;
+  op->slots[slot].timeout.Cancel();
+  --op->outstanding;
+  CompleteInsertIfDone(op);
+}
+
+void ProtocolNetwork::CompleteInsertIfDone(
+    const std::shared_ptr<InsertOp>& op) {
+  if (op->outstanding != 0) return;
+  inserts_.erase(op->request_id);
+  UpdateResult result;
+  result.latency_ms = (sim_.Now() - op->started).millis();
+  result.replicas = op->replicas;
+  result.version = op->version;
+  op->done(result);
+}
+
+bool ProtocolNetwork::HandleInsertAck(const InsertAck& ack) {
+  const auto it = inserts_.find(ack.header.request_id);
+  if (it == inserts_.end()) return false;
+  const std::shared_ptr<InsertOp> op = it->second;
+  for (std::size_t slot = 0; slot < op->slots.size(); ++slot) {
+    if (op->slots[slot].host == ack.header.src &&
+        !op->slots[slot].resolved) {
+      ResolveInsertSlot(op, slot);
+      return true;
+    }
+  }
+  // Duplicate ack, or the slot already timed out.
+  Bump(late_replies_, ins_.late_replies);
+  return true;
 }
 
 void ProtocolNetwork::LookupAsync(
@@ -194,26 +393,34 @@ void ProtocolNetwork::LookupAsync(
   op->querier = querier;
   op->started = sim_.Now();
   op->done = std::move(done);
+  if (tracer_ != nullptr && tracer_->ShouldTrace(guid)) {
+    op->trace.emplace();
+    op->trace->op = 'W';  // wire-path lookup
+    op->trace->guid_fp = guid.Fingerprint64();
+    op->trace->querier = querier;
+  }
 
   // Probe order: lowest RTT first (the paper's main configuration).
   const auto latencies = oracle_.LatenciesFrom(querier);
   for (int replica = 0; replica < options_.k; ++replica) {
-    const AsId host = resolver_.Resolve(guid, replica).host;
+    const HostResolution resolution = resolver_.Resolve(guid, replica);
+    const AsId host = resolution.host;
     const double rtt = host == querier
                            ? 2.0 * graph_->IntraLatencyMs(querier)
                            : 2.0 * (graph_->IntraLatencyMs(querier) +
                                     double(latencies[host]) +
                                     graph_->IntraLatencyMs(host));
-    op->plan.emplace_back(host, rtt);
+    op->plan.push_back(
+        LookupOp::Probe{host, rtt, resolution.stored_address});
   }
   std::sort(op->plan.begin(), op->plan.end(),
-            [](const auto& a, const auto& b) {
-              return a.second != b.second ? a.second < b.second
-                                          : a.first < b.first;
+            [](const LookupOp::Probe& a, const LookupOp::Probe& b) {
+              return a.rtt != b.rtt ? a.rtt < b.rtt : a.host < b.host;
             });
 
   // Local-replica race (Section III-C).
-  if (options_.local_replica && !failed_.contains(querier)) {
+  if (options_.local_replica &&
+      !failures_.IsFailedAt(querier, sim_.Now())) {
     if (const MappingEntry* entry =
             nodes_[querier]->store().Lookup(guid)) {
       const MappingEntry local = *entry;
@@ -221,16 +428,12 @@ void ProtocolNetwork::LookupAsync(
           SimTime::Millis(2.0 * graph_->IntraLatencyMs(querier)),
           [this, op, local] {
             if (op->completed) return;
-            op->completed = true;
-            op->timeout.Cancel();
             LookupResult result;
             result.found = true;
             result.nas = local.nas;
             result.serving_as = op->querier;
             result.served_locally = true;
-            result.latency_ms = (sim_.Now() - op->started).millis();
-            result.attempts = op->attempts;
-            op->done(result);
+            CompleteLookup(op, result, &local);
           });
     }
   }
@@ -276,9 +479,9 @@ void ProtocolNetwork::WithdrawPrefixAsync(
   }
 
   // 4. Hand each mapping to the deputies its chains moved to, and drop the
-  //    local copy. One InsertOp tracks all the acks; deputies that are
-  //    currently failed are covered by the timeout so the handoff always
-  //    completes.
+  //    local copy. One InsertOp tracks all the handoffs; each deputy write
+  //    gets a slot whose timeout stands in for a lost ack, so the handoff
+  //    always completes.
   auto op = std::make_shared<InsertOp>();
   op->request_id = NextClientRequestId();
   op->started = sim_.Now();
@@ -308,64 +511,72 @@ void ProtocolNetwork::WithdrawPrefixAsync(
     done(migrated);
     return;
   }
-  op->outstanding = to_send.size();
-  inserts_[op->request_id] = op;
-  for (const InsertRequest& request : to_send) {
-    if (failed_.contains(request.header.dst)) {
-      ++messages_sent_;
-      bytes_sent_ += EncodedSize(request);
-      ++messages_dropped_;
-      sim_.Schedule(SimTime::Millis(options_.failure_timeout_ms),
-                    [this, id = op->request_id] {
-                      const auto it = inserts_.find(id);
-                      if (it == inserts_.end()) return;
-                      const std::shared_ptr<InsertOp> pending = it->second;
-                      if (--pending->outstanding == 0) {
-                        inserts_.erase(it);
-                        pending->done(UpdateResult{});
-                      }
-                    });
-      continue;
-    }
-    Send(request);
-  }
+  StartInsertSlots(op, std::move(to_send));
 }
 
 void ProtocolNetwork::SendProbe(const std::shared_ptr<LookupOp>& op,
                                 std::size_t index) {
   if (op->completed) return;
   if (index >= op->plan.size()) {
-    op->completed = true;
-    op->local_reply.Cancel();
+    // Every replica missed or timed out: report the failure at the time
+    // the last timeout fired or miss came back.
     LookupResult result;
-    result.attempts = op->attempts;
-    result.latency_ms = (sim_.Now() - op->started).millis();
-    op->done(result);
+    CompleteLookup(op, result, nullptr);
     return;
   }
-  const auto [host, rtt] = op->plan[index];
-  op->next_index = index + 1;
+  op->frontier = index;
+  op->frontier_charged_ms = 0.0;
+  // `attempts` counts replicas probed, not transmissions — the closed form
+  // has no notion of retransmission, and the two must agree.
   ++op->attempts;
 
-  op->request_id = NextClientRequestId();
+  const std::uint64_t id = NextClientRequestId();
+  op->request_ids.push_back(id);
+  lookups_[id] = PendingProbe{op, index};
+  TransmitProbe(op, index, /*retry=*/0);
+}
+
+void ProtocolNetwork::TransmitProbe(const std::shared_ptr<LookupOp>& op,
+                                    std::size_t index, int retry) {
+  const LookupOp::Probe& probe = op->plan[index];
   LookupRequest request;
-  request.header = MessageHeader{op->request_id, op->querier, host};
+  request.header =
+      MessageHeader{op->request_ids[index], op->querier, probe.host};
   request.guid = op->guid;
 
-  lookups_[op->request_id] = op;
-  // Arm the failure timeout; a response cancels it. The timeout adapts to
-  // the client's own RTT estimate for this replica (it just used that
-  // estimate to order the probes) so that a slow-but-alive replica is
-  // never declared dead before its reply can arrive.
+  // Arm the timeout; a response cancels it. It adapts to the client's own
+  // RTT estimate for this replica (it just used that estimate to order the
+  // probes) so a slow-but-alive replica is never declared dead before its
+  // reply can arrive; on retransmission it backs off exponentially.
   const double timeout_ms =
-      std::max(options_.failure_timeout_ms, 1.5 * rtt);
+      std::max(TimeoutForAttemptMs(options_.failure_timeout_ms, retry,
+                                   options_.retry_backoff),
+               1.5 * probe.rtt);
   op->timeout = sim_.Schedule(
-      SimTime::Millis(timeout_ms), [this, op, id = op->request_id] {
-        lookups_.erase(id);
-        if (op->completed) return;
-        SendProbe(op, op->next_index);
+      SimTime::Millis(timeout_ms), [this, op, index, retry, timeout_ms] {
+        ProbeTimedOut(op, index, retry, timeout_ms);
       });
   Send(request);
+}
+
+void ProtocolNetwork::ProbeTimedOut(const std::shared_ptr<LookupOp>& op,
+                                    std::size_t index, int retry,
+                                    double timeout_ms) {
+  if (op->completed || index != op->frontier) return;
+  op->frontier_charged_ms += timeout_ms;
+  if (retry < options_.probe_retries) {
+    // Same request id: a straggling reply to the original transmission is
+    // indistinguishable from (and as good as) a reply to the retry.
+    Bump(retransmissions_, ins_.retransmissions);
+    TransmitProbe(op, index, retry + 1);
+    return;
+  }
+  if (op->trace.has_value()) {
+    op->trace->probes.push_back(ProbeEvent{op->plan[index].host,
+                                           op->frontier_charged_ms,
+                                           ProbeOutcome::kTimeout});
+  }
+  SendProbe(op, index + 1);
 }
 
 }  // namespace dmap

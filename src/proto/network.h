@@ -4,8 +4,16 @@
 // accounting), delivered after the underlay one-way latency, decoded, and
 // handed to the destination node or client agent. Client operations
 // (insert, lookup) implement the querier-side logic: replica selection,
-// parallel replica writes, the local-replica race, miss fall-through, and
-// timeout handling for failed ASs.
+// parallel replica writes, the local-replica race, miss fall-through,
+// bounded retransmission with exponential backoff, and timeout handling
+// for unreachable ASs.
+//
+// Failures are consulted at *delivery* time against a shared FailureView
+// (fault/failure_view.h): a message in flight when its destination goes
+// down is lost, one in flight when it recovers arrives. An optional
+// FaultInjector (ApplyFaultPlan) additionally interposes on every send,
+// deciding per message — deterministically from (seed, message sequence) —
+// whether it is dropped, duplicated, or delayed.
 //
 // This is the "production" execution path; DMapService is the closed-form
 // fast path. Tests assert the two report identical timings.
@@ -15,12 +23,15 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/dmap_service.h"
 #include "core/hole_resolver.h"
 #include "event/simulator.h"
+#include "fault/failure_view.h"
+#include "fault/fault_injector.h"
+#include "obs/metrics_registry.h"
+#include "obs/probe_trace.h"
 #include "proto/node.h"
 #include "topo/shortest_path.h"
 
@@ -33,6 +44,18 @@ struct ProtocolNetworkOptions {
   std::uint64_t hash_seed = 0x5eedf00dULL;
   double failure_timeout_ms = 200.0;
   std::size_t oracle_cache = 64;
+  // Retransmission budget per probe before the client falls through to the
+  // next replica; attempt r waits TimeoutForAttemptMs(failure_timeout_ms,
+  // r, retry_backoff) (fault/retry_policy.h). 0 keeps the single-shot
+  // behaviour and timings of the pre-fault-model protocol.
+  int probe_retries = 0;
+  double retry_backoff = 2.0;
+  // Lookup-triggered re-replication: when a lookup ultimately finds the
+  // mapping after some replica answered "GUID missing" — e.g. the replica
+  // crashed, lost its store, and recovered empty — the client re-inserts
+  // the found entry there (version-gated, so concurrent repairs and stale
+  // copies are harmless).
+  bool repair_on_lookup = true;
 };
 
 class ProtocolNetwork {
@@ -45,17 +68,44 @@ class ProtocolNetwork {
   const ProtocolNetworkOptions& options() const { return options_; }
   PathOracle& oracle() { return oracle_; }
 
-  // Router failure (Section III-D-3): messages to a failed AS vanish;
+  // Router failure (Section III-D-3): opens an outage window at the current
+  // sim time. Messages *delivered* while the window is open vanish — a
+  // failure landing between send and receive loses the in-flight message;
   // clients fall through to the next replica after the timeout.
-  void FailAs(AsId as) { failed_.insert(as); }
-  void RecoverAs(AsId as) { failed_.erase(as); }
+  void FailAs(AsId as);
+  // Closes the outage at the current sim time; the AS answers again.
+  void RecoverAs(AsId as);
+
+  // Shares a failure schedule with the closed-form and event-driven paths:
+  // configure a scenario once, hand the same view everywhere.
+  void SetFailureView(const FailureView& view) { failures_ = view; }
+  const FailureView& failure_view() const { return failures_; }
+
+  // Expands `plan` into this network: its crash/outage windows are merged
+  // into the failure view, store wipes are scheduled as simulator events,
+  // and its per-message faults interpose on every subsequent send. Message
+  // fates are pure functions of (seed, message sequence number), so a run
+  // is replayable bit-for-bit from (plan, seed).
+  void ApplyFaultPlan(const FaultPlan& plan, std::uint64_t seed);
+  const FaultInjector* injector() const { return injector_.get(); }
+
+  // Registers the fault.* instruments and mirrors the fault counters into
+  // `registry` under shard `shard` (the network itself is serial; parallel
+  // harnesses run one network per trial and pass the worker id).
+  void SetMetrics(MetricsRegistry* registry, unsigned shard = 0);
+  // Samples per-lookup probe traces (outcome 'T' marks a probe that
+  // exhausted its retry budget without a reply).
+  void SetTracer(ProbeTracer* tracer, unsigned shard = 0);
 
   // Registers/refreshes `guid` from the AS in `na`: K parallel replica
-  // writes plus the local copy; completes when the slowest ack returns.
+  // writes plus the local copy; completes when the slowest ack (or, for an
+  // unreachable replica, its stand-in timeout) returns.
   void InsertAsync(const Guid& guid, NetworkAddress na,
                    std::function<void(const UpdateResult&)> done);
 
   // Resolves `guid` from `querier` with the full probe/fall-through logic.
+  // A reply that arrives after its probe timed out still resolves the
+  // lookup: request ids stay registered until the operation completes.
   void LookupAsync(const Guid& guid, AsId querier,
                    std::function<void(const LookupResult&)> done);
 
@@ -74,15 +124,61 @@ class ProtocolNetwork {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
 
+  // Fault accounting (also mirrored to fault.* metrics when registered).
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t duplicates_delivered() const { return duplicates_delivered_; }
+  std::uint64_t late_replies() const { return late_replies_; }
+  std::uint64_t repairs_sent() const { return repairs_sent_; }
+  std::uint64_t store_wipes() const { return store_wipes_; }
+
  private:
   struct LookupOp;
   struct InsertOp;
+  // Routes an in-flight reply back to its lookup: the op plus which probe
+  // (plan index) the request id belongs to.
+  struct PendingProbe {
+    std::shared_ptr<LookupOp> op;
+    std::size_t index = 0;
+  };
+  struct FaultInstruments {
+    CounterId injected_drops = 0, injected_duplicates = 0,
+              delivery_drops = 0, retransmissions = 0, late_replies = 0,
+              repair_inserts = 0, store_wipes = 0;
+  };
 
-  // Encodes, counts, and schedules delivery of `message`. Messages to
-  // failed ASs are counted as dropped and never delivered.
+  // Encodes, counts, and schedules delivery of `message`. The injector (if
+  // any) decides drop/duplicate/extra delay per message; the destination's
+  // failure state is checked when each copy is *delivered*.
   void Send(const Message& message);
   void Deliver(const Message& message);
+
+  // Lookup client machine.
   void SendProbe(const std::shared_ptr<LookupOp>& op, std::size_t index);
+  void TransmitProbe(const std::shared_ptr<LookupOp>& op, std::size_t index,
+                     int retry);
+  void ProbeTimedOut(const std::shared_ptr<LookupOp>& op, std::size_t index,
+                     int retry, double timeout_ms);
+  // True if the response was consumed by a client lookup op.
+  bool HandleLookupResponse(const LookupResponse& response);
+  // Seals the op: cancels timers, unregisters its request ids, records the
+  // trace, fires the repair of miss-replying replicas (when `found_entry`
+  // is set), and invokes the callback.
+  void CompleteLookup(const std::shared_ptr<LookupOp>& op,
+                      LookupResult result, const MappingEntry* found_entry);
+  void RepairEmptyReplicas(const LookupOp& op, const MappingEntry& entry);
+
+  // Insert client machine: one slot per replica write; an ack resolves its
+  // slot, a timeout stands in when no ack will come. Both paths funnel into
+  // CompleteInsertIfDone.
+  void StartInsertSlots(const std::shared_ptr<InsertOp>& op,
+                        std::vector<InsertRequest> requests);
+  void ResolveInsertSlot(const std::shared_ptr<InsertOp>& op,
+                         std::size_t slot);
+  void CompleteInsertIfDone(const std::shared_ptr<InsertOp>& op);
+  // True if the ack was consumed by a client insert op.
+  bool HandleInsertAck(const InsertAck& ack);
+
+  void Bump(std::uint64_t& plain, CounterId id, std::uint64_t delta = 1);
 
   std::uint64_t NextClientRequestId() {
     return 0x8000000000000000ULL | next_client_request_++;
@@ -95,17 +191,34 @@ class ProtocolNetwork {
   PathOracle oracle_;
   Simulator sim_;
   std::vector<std::unique_ptr<DMapNode>> nodes_;
-  std::unordered_set<AsId> failed_;
+  FailureView failures_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::uint64_t message_seq_ = 0;  // feeds FaultInjector::FateOf
   std::unordered_map<Guid, std::uint64_t, GuidHash> versions_;
 
-  // In-flight client operations keyed by request id.
-  std::unordered_map<std::uint64_t, std::shared_ptr<LookupOp>> lookups_;
+  // In-flight client operations keyed by request id. Lookup entries stay
+  // registered until the op completes, so late replies resolve the lookup
+  // instead of leaking to the node layer.
+  std::unordered_map<std::uint64_t, PendingProbe> lookups_;
   std::unordered_map<std::uint64_t, std::shared_ptr<InsertOp>> inserts_;
   std::uint64_t next_client_request_ = 1;
 
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
+  std::uint64_t injected_drops_ = 0;
+  std::uint64_t duplicates_delivered_ = 0;
+  std::uint64_t delivery_drops_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t late_replies_ = 0;
+  std::uint64_t repairs_sent_ = 0;
+  std::uint64_t store_wipes_ = 0;
+
+  MetricsRegistry* metrics_ = nullptr;
+  unsigned metrics_shard_ = 0;
+  FaultInstruments ins_{};
+  ProbeTracer* tracer_ = nullptr;
+  unsigned trace_shard_ = 0;
 };
 
 }  // namespace dmap

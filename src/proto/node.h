@@ -50,6 +50,14 @@ class DMapNode {
   };
   const Stats& stats() const { return stats_; }
 
+  // Deputy candidates for `guid`: for every replica chain that reaches an
+  // address owned by this AS, the owner of the next announced address
+  // further along the chain — where the mapping would have been stored
+  // while this AS's prefix was still a hole. Ordered, deduplicated, never
+  // contains self. A lookup miss hunts exactly this list (in order), so an
+  // empty result means a miss here is answered "missing" immediately.
+  std::vector<AsId> DeputyCandidates(const Guid& guid) const;
+
  private:
   void HandleInsert(const InsertRequest& m, std::vector<Message>* out);
   void HandleLookup(const LookupRequest& m, std::vector<Message>* out);
@@ -57,13 +65,6 @@ class DMapNode {
                             std::vector<Message>* out);
   void HandleMigrateResponse(const MigrateResponse& m,
                              std::vector<Message>* out);
-
-  // Deputy candidates for `guid`: for every replica chain that reaches an
-  // address owned by this AS, the owner of the next announced address
-  // further along the chain — where the mapping would have been stored
-  // while this AS's prefix was still a hole. Ordered, deduplicated, never
-  // contains self.
-  std::vector<AsId> DeputyCandidates(const Guid& guid) const;
 
   std::uint64_t NextRequestId() {
     return (std::uint64_t(self_) << 32) | next_request_++;

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "fault/retry_policy.h"
+
 namespace dmap {
 
 struct EventDrivenLookup::Flow {
@@ -38,7 +40,7 @@ void EventDrivenLookup::LookupAsync(const Guid& guid, AsId querier,
     // Local resolution races the global one (Section III-C): a hit in the
     // querier's own store replies after one intra-AS round trip.
     if (service_->options().local_replica &&
-        !service_->IsFailed(flow->querier)) {
+        !service_->IsFailedAt(flow->querier, sim_->Now())) {
       if (const MappingEntry* entry =
               service_->StoreAt(flow->querier).Lookup(flow->guid)) {
         const MappingEntry local = *entry;
@@ -91,13 +93,26 @@ void EventDrivenLookup::SendProbe(const std::shared_ptr<Flow>& flow,
     flow->Complete(*sim_, result);
     return;
   }
-  const auto [host, rtt] = flow->plan[index];
+  // `attempts` counts replicas probed, not transmissions — the closed form
+  // has no notion of retransmission, and the two must agree.
   ++flow->attempts;
+  Transmit(flow, index, /*retry=*/0);
+}
 
-  if (service_->IsFailed(host)) {
-    // No reply will come; the timeout moves us to the next replica.
-    sim_->Schedule(SimTime::Millis(service_->options().failure_timeout_ms),
-                   [this, flow, index] { SendProbe(flow, index + 1); });
+void EventDrivenLookup::Transmit(const std::shared_ptr<Flow>& flow,
+                                 std::size_t index, int retry) {
+  if (flow->completed) return;
+  const auto [host, rtt] = flow->plan[index];
+
+  if (service_->IsFailedAt(host, sim_->Now())) {
+    // No reply will come; the timeout triggers a retransmission (with
+    // exponential backoff) or moves us to the next replica.
+    const double timeout_ms = TimeoutForAttemptMs(
+        service_->options().failure_timeout_ms, retry,
+        service_->options().retry_backoff);
+    sim_->Schedule(SimTime::Millis(timeout_ms), [this, flow, index, retry] {
+      ProbeTimedOut(flow, index, retry);
+    });
     return;
   }
 
@@ -119,6 +134,16 @@ void EventDrivenLookup::SendProbe(const std::shared_ptr<Flow>& flow,
       SendProbe(flow, index + 1);
     });
   }
+}
+
+void EventDrivenLookup::ProbeTimedOut(const std::shared_ptr<Flow>& flow,
+                                      std::size_t index, int retry) {
+  if (flow->completed) return;
+  if (retry < service_->options().probe_retries) {
+    Transmit(flow, index, retry + 1);
+    return;
+  }
+  SendProbe(flow, index + 1);
 }
 
 }  // namespace dmap

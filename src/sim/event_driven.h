@@ -41,6 +41,16 @@ class EventDrivenLookup {
   struct Flow;  // shared lookup state across the event chain
 
   void SendProbe(const std::shared_ptr<Flow>& flow, std::size_t index);
+  // Timeout of retransmission `retry` for plan[index] fired: retransmit
+  // with exponential backoff while budget remains, else fall through.
+  void ProbeTimedOut(const std::shared_ptr<Flow>& flow, std::size_t index,
+                     int retry);
+  // One transmission to plan[index] at the current sim time: consults the
+  // failure schedule (DMapService::IsFailedAt) at send time, so windows
+  // that open or close mid-lookup are honoured — a replica that recovers
+  // between retries answers the retransmission.
+  void Transmit(const std::shared_ptr<Flow>& flow, std::size_t index,
+                int retry);
 
   Simulator* sim_;
   DMapService* service_;

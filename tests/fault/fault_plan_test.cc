@@ -1,0 +1,140 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/environment.h"
+
+namespace dmap {
+namespace {
+
+TEST(FaultPlanTest, DefaultPlanIsBenign) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.HasMessageFaults());
+  EXPECT_NO_THROW(plan.Validate());
+  EXPECT_TRUE(plan.crashes.empty());
+  EXPECT_TRUE(plan.outages.empty());
+}
+
+TEST(FaultPlanTest, ParseStringReadsEveryField) {
+  const FaultPlan plan = FaultPlan::ParseString(R"(
+    # chaos scenario
+    drop_probability      = 0.05
+    duplicate_probability = 0.02
+    jitter_ms             = 10.0
+    crash  = 12:100:500, 44:0:inf
+    outage = 7:200:800
+  )");
+  EXPECT_DOUBLE_EQ(plan.drop_probability, 0.05);
+  EXPECT_DOUBLE_EQ(plan.duplicate_probability, 0.02);
+  EXPECT_DOUBLE_EQ(plan.jitter_ms, 10.0);
+  EXPECT_TRUE(plan.HasMessageFaults());
+
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_EQ(plan.crashes[0].as, 12u);
+  EXPECT_EQ(plan.crashes[0].down_at, SimTime::Millis(100.0));
+  EXPECT_EQ(plan.crashes[0].up_at, SimTime::Millis(500.0));
+  EXPECT_TRUE(plan.crashes[0].wipe_storage);
+  EXPECT_EQ(plan.crashes[1].as, 44u);
+  EXPECT_EQ(plan.crashes[1].up_at, FailureView::kForever);
+
+  ASSERT_EQ(plan.outages.size(), 1u);
+  EXPECT_EQ(plan.outages[0].as, 7u);
+  // Regional outages keep the mapping stores intact.
+  EXPECT_FALSE(plan.outages[0].wipe_storage);
+}
+
+TEST(FaultPlanTest, ParseFileMatchesParseString) {
+  const std::string path = testing::TempDir() + "/fault_plan_test.plan";
+  {
+    std::ofstream out(path);
+    out << "drop_probability = 0.1\ncrash = 3:10:20\n";
+  }
+  const FaultPlan plan = FaultPlan::ParseFile(path);
+  EXPECT_DOUBLE_EQ(plan.drop_probability, 0.1);
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].as, 3u);
+}
+
+TEST(FaultPlanTest, ValidateNamesTheOffendingField) {
+  FaultPlan plan;
+  plan.drop_probability = 1.5;
+  EXPECT_THROW(plan.Validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  plan.duplicate_probability = -0.1;
+  EXPECT_THROW(plan.Validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  plan.jitter_ms = -1.0;
+  EXPECT_THROW(plan.Validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  CrashWindow inverted;
+  inverted.as = 1;
+  inverted.down_at = SimTime::Millis(100.0);
+  inverted.up_at = SimTime::Millis(50.0);
+  plan.crashes.push_back(inverted);
+  EXPECT_THROW(plan.Validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedWindows) {
+  EXPECT_THROW(FaultPlan::ParseString("crash = 12:100"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::ParseString("crash = abc:0:10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::ParseString("crash = 12:zero:10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::ParseString("outage = 12:0:soon"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::ParseString("crash = 12:500:100"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::ParseString("drop_probability = 2.0"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanTest, CustomerConeTakesLowerDegreeNeighbors) {
+  const SimEnvironment env =
+      BuildEnvironment(EnvironmentParams::Scaled(200, 7));
+
+  // Pick the highest-degree AS: a provider whose cone is its stubs.
+  AsId center = 0;
+  for (AsId as = 1; as < env.graph.num_nodes(); ++as) {
+    if (env.graph.Degree(as) > env.graph.Degree(center)) center = as;
+  }
+  const std::vector<AsId> cone = CustomerCone(env.graph, center);
+
+  // The cone contains the center, is sorted, and every other member is a
+  // strictly lower-degree neighbor of the center.
+  EXPECT_TRUE(std::is_sorted(cone.begin(), cone.end()));
+  bool saw_center = false;
+  for (const AsId member : cone) {
+    if (member == center) {
+      saw_center = true;
+      continue;
+    }
+    EXPECT_TRUE(env.graph.HasEdge(center, member));
+    EXPECT_LT(env.graph.Degree(member), env.graph.Degree(center));
+  }
+  EXPECT_TRUE(saw_center);
+
+  // A pure stub (degree 1, attached to a higher-degree provider) cones to
+  // just itself.
+  for (AsId as = 0; as < env.graph.num_nodes(); ++as) {
+    if (env.graph.Degree(as) != 1) continue;
+    const AsGraph::Neighbor provider = env.graph.Neighbors(as)[0];
+    if (env.graph.Degree(provider.id) <= 1) continue;
+    EXPECT_EQ(CustomerCone(env.graph, as), std::vector<AsId>{as});
+    break;
+  }
+
+  EXPECT_THROW(CustomerCone(env.graph, env.graph.num_nodes()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <vector>
 
+#include "fault/failure_view.h"
 #include "sim/environment.h"
 #include "workload/workload.h"
 
@@ -97,6 +99,98 @@ TEST_F(EventDrivenTest, AgreesWithClosedFormUnderFailures) {
   EXPECT_EQ(got->found, expected.found);
   EXPECT_NEAR(got->latency_ms, expected.latency_ms, 1e-9);
   EXPECT_EQ(got->attempts, expected.attempts);
+}
+
+TEST_F(EventDrivenTest, SharedFailureViewKeepsPathsAgreeingOnTimings) {
+  // Satellite property: one FailureView configured once must drive the
+  // closed-form and event-driven paths to identical failure timings — and
+  // round-trip through the legacy SetFailedAses API without divergence.
+  DMapOptions options = Options();
+  options.local_replica = false;
+  options.failure_timeout_ms = 250.0;
+  options.probe_retries = 2;
+  options.retry_backoff = 2.5;
+  DMapService service(env_.graph, env_.table, options);
+  DMapService legacy(env_.graph, env_.table, options);
+
+  WorkloadParams params;
+  params.num_guids = 100;
+  params.seed = 6;
+  WorkloadGenerator workload(env_.graph, params);
+  for (const InsertOp& op : workload.Inserts()) {
+    (void)service.Insert(op.guid, op.na);
+    (void)legacy.Insert(op.guid, op.na);
+  }
+
+  FailureView view;
+  std::vector<AsId> failed;
+  for (AsId as = 2; as < env_.graph.num_nodes(); as += 7) {
+    failed.push_back(as);
+  }
+  view.SetFailed(failed);
+  service.SetFailureView(view);
+  // The legacy path is fed the view's own snapshot: both must agree.
+  legacy.SetFailedAses(view.FailedAt(SimTime::Zero()));
+
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  int with_failures = 0;
+  for (const LookupOp& op : workload.Lookups(200)) {
+    const LookupResult expected = service.Lookup(op.guid, op.source);
+    const LookupResult via_legacy = legacy.Lookup(op.guid, op.source);
+    EXPECT_EQ(via_legacy.found, expected.found);
+    EXPECT_NEAR(via_legacy.latency_ms, expected.latency_ms, 1e-9);
+    EXPECT_EQ(via_legacy.attempts, expected.attempts);
+
+    std::optional<LookupResult> got;
+    executor.LookupAsync(op.guid, op.source, SimTime::Zero(),
+                         [&](const LookupResult& r) { got = r; });
+    sim.Run();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->found, expected.found);
+    EXPECT_NEAR(got->latency_ms, expected.latency_ms, 1e-9)
+        << "guid lookup from AS " << op.source;
+    EXPECT_EQ(got->attempts, expected.attempts);
+    if (expected.attempts > 1) ++with_failures;
+  }
+  // The schedule must actually have been exercised, not dodged.
+  EXPECT_GT(with_failures, 0);
+}
+
+TEST_F(EventDrivenTest, TimeVaryingWindowsTakeEffectAtProbeTime) {
+  // The event-driven path consults the scheduled view: a replica inside an
+  // outage window is probed around, one past its recovery answers again.
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(42);
+  (void)service.Insert(g, NetworkAddress{10, 1});
+  const auto plan = service.ProbePlan(g, 99);
+
+  FailureView view;
+  view.AddWindow(plan[0].first, SimTime::Zero(), SimTime::Millis(1000.0));
+  service.SetFailureView(view);
+  ASSERT_TRUE(view.TimeVarying());
+
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  // Inside the window: the first replica times out.
+  std::optional<LookupResult> during;
+  executor.LookupAsync(g, 99, SimTime::Zero(),
+                       [&](const LookupResult& r) { during = r; });
+  sim.Run();
+  ASSERT_TRUE(during.has_value());
+  EXPECT_TRUE(during->found);
+  EXPECT_EQ(during->attempts, 2);
+
+  // Past the window: the replica answers first-try again.
+  std::optional<LookupResult> after;
+  executor.LookupAsync(g, 99, SimTime::Millis(2000.0),
+                       [&](const LookupResult& r) { after = r; });
+  sim.Run();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_TRUE(after->found);
+  EXPECT_EQ(after->attempts, 1);
 }
 
 TEST_F(EventDrivenTest, MissReportsAccumulatedCost) {
