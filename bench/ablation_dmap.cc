@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   bench::BenchObservability obs(options);
   ResponseTimeConfig config;
   config.threads = options.threads;
+  config.path_oracle = dmap::bench::ParsedPathOracle(options);
   config.metrics = obs.registry();
   config.tracer = obs.tracer();
   config.workload.num_guids = bench::Scaled(20'000, options.scale, 1000);

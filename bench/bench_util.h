@@ -15,6 +15,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/probe_trace.h"
 #include "sim/metrics.h"
+#include "topo/shortest_path.h"
 
 namespace dmap::bench {
 
@@ -24,6 +25,10 @@ struct BenchOptions {
   // thread. Results are bit-identical for any value (DESIGN.md "Threading
   // model"); 1 forces the serial code path.
   unsigned threads = 0;
+  // Point-distance engine: "hub" (precomputed exact hub labels, the
+  // default) or "lru" (per-source Dijkstra/BFS memoised in an LRU — the
+  // original scheme). Results are bit-identical; only speed differs.
+  std::string path_oracle = "hub";
   // Observability sinks; empty = off (no registry/tracer is even created,
   // so the measured loops keep their uninstrumented hot path).
   std::string metrics_out;  // metrics_summary file; ".json" or CSV
@@ -70,6 +75,14 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       }
       options.threads = unsigned(threads);
     } else if (const char* value =
+                   BenchArgValue(arg, "--path-oracle", argc, argv, &i)) {
+      if (std::strcmp(value, "lru") != 0 && std::strcmp(value, "hub") != 0) {
+        std::fprintf(stderr, "bad --path-oracle value: %s (lru|hub)\n",
+                     value);
+        std::exit(2);
+      }
+      options.path_oracle = value;
+    } else if (const char* value =
                    BenchArgValue(arg, "--metrics-out", argc, argv, &i)) {
       options.metrics_out = value;
     } else if (const char* value =
@@ -98,9 +111,12 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       options.fault_seed = std::uint64_t(seed);
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "usage: %s [--scale=<f>] [--threads=<n>] [--metrics-out=<file>]\n"
+          "usage: %s [--scale=<f>] [--threads=<n>] [--path-oracle=lru|hub]\n"
+          "          [--metrics-out=<file>]\n"
           "          [--trace-out=<file>] [--trace-sample=<N>]\n"
           "          [--fault-plan=<file>] [--fault-seed=<n>]\n"
+          "  --path-oracle   point-distance engine (default hub; identical\n"
+          "                  results, hub is faster)\n"
           "  --metrics-out   write a metrics_summary (.json, else CSV)\n"
           "  --trace-out     write a per-lookup op_trace CSV\n"
           "  --trace-sample  trace 1 in N lookups (default 1 = all)\n"
@@ -156,6 +172,13 @@ class BenchObservability {
   std::optional<MetricsRegistry> registry_;
   std::optional<ProbeTracer> tracer_;
 };
+
+// The --path-oracle flag as the experiment-config enum (validated at parse
+// time, so this cannot fail).
+inline PathOracleBackend ParsedPathOracle(const BenchOptions& options) {
+  return options.path_oracle == "lru" ? PathOracleBackend::kLru
+                                      : PathOracleBackend::kHub;
+}
 
 inline std::uint64_t Scaled(std::uint64_t base, double scale,
                             std::uint64_t minimum = 1) {

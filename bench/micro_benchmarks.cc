@@ -20,6 +20,7 @@
 #include "runtime/thread_pool.h"
 #include "sim/environment.h"
 #include "topo/generator.h"
+#include "topo/hub_labels.h"
 #include "topo/shortest_path.h"
 
 namespace dmap {
@@ -134,6 +135,57 @@ void BM_Dijkstra(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Dijkstra)->Arg(5000);
+
+void BM_HubLabelQuery(benchmark::State& state) {
+  // One exact point-distance query as a sorted-label merge — the operation
+  // that replaces an amortised Dijkstra in the harness hot loops. Compare
+  // against BM_Dijkstra / its per-query amortisation.
+  static const AsGraph graph = GenerateInternetTopology(
+      ScaledTopologyParams(5000, 3));
+  static const HubLabels labels = [] {
+    ThreadPool pool(0);
+    return HubLabels(graph, &pool);
+  }();
+  Rng rng(3);
+  for (auto _ : state) {
+    const AsId u = AsId(rng.Next() % graph.num_nodes());
+    const AsId v = AsId(rng.Next() % graph.num_nodes());
+    benchmark::DoNotOptimize(labels.LatencyMs(u, v));
+  }
+}
+BENCHMARK(BM_HubLabelQuery);
+
+void BM_HubLabelBuild(benchmark::State& state) {
+  // Full pruned-landmark build (latency + hop labels) over the pool — the
+  // one-time topology-load cost the point queries amortise.
+  static const AsGraph graph = GenerateInternetTopology(
+      ScaledTopologyParams(std::uint32_t(state.range(0)), 3));
+  ThreadPool pool(0);
+  for (auto _ : state) {
+    const HubLabels labels(graph, &pool);
+    benchmark::DoNotOptimize(labels.stats().latency_entries);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          std::int64_t(graph.num_nodes()));
+}
+BENCHMARK(BM_HubLabelBuild)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_ResolveSnapshot(benchmark::State& state) {
+  // Algorithm 1 with the owned epoch-versioned DIR-24-8 snapshot armed —
+  // the fast path against BM_HoleResolverResolve's trie walk.
+  const PrefixTable& table = SharedTable();
+  const GuidHashFamily family(5, 1);
+  HoleResolver resolver(family, table, int(state.range(0)));
+  resolver.EnableSnapshot();
+  resolver.RefreshSnapshot();
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resolver.Resolve(Guid::FromSequence(seq), int(seq % 5)));
+    ++seq;
+  }
+}
+BENCHMARK(BM_ResolveSnapshot)->Arg(1)->Arg(10);
 
 void BM_ThreadPoolDispatch(benchmark::State& state) {
   // Cost of one RunChunks dispatch with near-empty chunks: the fixed

@@ -1,0 +1,183 @@
+// Performance trajectory baseline: times the three hot primitives this
+// repo's sweeps are built from —
+//   1. hub-label construction (once per topology),
+//   2. point-distance queries, hub labels vs the per-source Dijkstra+LRU
+//      oracle (the query stream is grouped by source AS, like every real
+//      harness loop, so the LRU path amortises one SSSP per group),
+//   3. Algorithm 1 resolution, DIR-24-8 snapshot vs trie walk —
+// and emits BENCH_perf.json (schema bench_perf.v1, stable keys) so future
+// PRs can diff perf against this one. Timings are wall-clock and machine-
+// dependent; the *checksums* are not — both engines must produce bit-
+// identical answers, and the file records that the run verified it.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/hole_resolver.h"
+#include "common/rng.h"
+#include "runtime/thread_pool.h"
+#include "sim/environment.h"
+#include "topo/hub_labels.h"
+
+namespace {
+
+using namespace dmap;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Queries per source-AS group: the LRU oracle pays one Dijkstra per group
+// and serves the rest from the cached vector, mirroring the harnesses'
+// source-partitioned loops.
+constexpr std::uint64_t kGroupSize = 100;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::ParseBenchArgs(argc, argv);
+  const std::uint64_t num_queries = bench::Scaled(1'000'000, options.scale);
+  const std::uint64_t num_resolves = bench::Scaled(1'000'000, options.scale);
+
+  std::printf("=== perf baseline: distance oracle + resolve fast path ===\n");
+  std::printf("scale=%.3f threads=%u queries=%llu resolves=%llu\n\n",
+              options.scale, ThreadPool::Resolve(options.threads),
+              (unsigned long long)num_queries,
+              (unsigned long long)num_resolves);
+
+  SimEnvironment env = BuildEnvironment(EnvironmentParams::Scaled(
+      bench::ScaledU32(26424, options.scale, 300)));
+  const std::uint32_t n = env.graph.num_nodes();
+
+  // ---- 1. label build ----------------------------------------------------
+  const auto build_start = std::chrono::steady_clock::now();
+  ThreadPool pool(options.threads);
+  const HubLabels labels(env.graph, &pool);
+  const double build_ms = MsSince(build_start);
+  const auto& stats = labels.stats();
+  std::printf("label build: %.1f ms (%llu latency + %llu hop entries, "
+              "max label %llu)\n",
+              build_ms, (unsigned long long)stats.latency_entries,
+              (unsigned long long)stats.hop_entries,
+              (unsigned long long)stats.max_latency_label);
+
+  // ---- 2. point queries: lru vs hub --------------------------------------
+  // Identical (src, dst) stream for both engines; the checksums must match
+  // bit-for-bit (grid-quantized latencies sum exactly in float).
+  double lru_sum = 0.0, hub_sum = 0.0;
+  double lru_ms = 0.0, hub_ms = 0.0;
+  {
+    PathOracle oracle(env.graph);
+    Rng rng(12345);
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t issued = 0;
+    while (issued < num_queries) {
+      const AsId src = AsId(rng.NextBounded(n));
+      for (std::uint64_t j = 0; j < kGroupSize && issued < num_queries;
+           ++j, ++issued) {
+        const AsId dst = AsId(rng.NextBounded(n));
+        lru_sum += oracle.LinkLatencyMs(src, dst);
+      }
+    }
+    lru_ms = MsSince(start);
+  }
+  {
+    PathOracle oracle(env.graph);
+    oracle.SetHubLabels(&labels);
+    Rng rng(12345);
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t issued = 0;
+    while (issued < num_queries) {
+      const AsId src = AsId(rng.NextBounded(n));
+      for (std::uint64_t j = 0; j < kGroupSize && issued < num_queries;
+           ++j, ++issued) {
+        const AsId dst = AsId(rng.NextBounded(n));
+        hub_sum += oracle.LinkLatencyMs(src, dst);
+      }
+    }
+    hub_ms = MsSince(start);
+  }
+  const bool point_match = lru_sum == hub_sum;
+  std::printf("point queries: lru %.1f ms, hub %.1f ms (%.1fx), "
+              "checksums %s\n",
+              lru_ms, hub_ms, hub_ms > 0 ? lru_ms / hub_ms : 0.0,
+              point_match ? "match" : "MISMATCH");
+
+  // ---- 3. Algorithm 1: trie vs snapshot ----------------------------------
+  const GuidHashFamily hashes(5, 1);
+  std::uint64_t trie_hash_evals = 0, snap_hash_evals = 0;
+  double trie_ms = 0.0, snap_ms = 0.0;
+  {
+    const HoleResolver resolver(hashes, env.table, 10);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < num_resolves; ++i) {
+      trie_hash_evals += std::uint64_t(
+          resolver.Resolve(Guid::FromSequence(i), int(i % 5)).hash_count);
+    }
+    trie_ms = MsSince(start);
+  }
+  {
+    HoleResolver resolver(hashes, env.table, 10);
+    resolver.EnableSnapshot();
+    resolver.RefreshSnapshot();
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < num_resolves; ++i) {
+      snap_hash_evals += std::uint64_t(
+          resolver.Resolve(Guid::FromSequence(i), int(i % 5)).hash_count);
+    }
+    snap_ms = MsSince(start);
+  }
+  const bool resolve_match = trie_hash_evals == snap_hash_evals;
+  std::printf("resolve: trie %.1f ms, snapshot %.1f ms (%.1fx), "
+              "hash-eval totals %s\n\n",
+              trie_ms, snap_ms, snap_ms > 0 ? trie_ms / snap_ms : 0.0,
+              resolve_match ? "match" : "MISMATCH");
+
+  // ---- BENCH_perf.json ----------------------------------------------------
+  const char* out_path = "BENCH_perf.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"schema\": \"bench_perf.v1\",\n"
+      "  \"scale\": %.6f,\n"
+      "  \"ases\": %u,\n"
+      "  \"links\": %zu,\n"
+      "  \"point_queries\": %llu,\n"
+      "  \"resolves\": %llu,\n"
+      "  \"label_build_ms\": %.3f,\n"
+      "  \"label_entries_latency\": %llu,\n"
+      "  \"label_entries_hop\": %llu,\n"
+      "  \"label_max_latency_label\": %llu,\n"
+      "  \"label_max_hop_label\": %llu,\n"
+      "  \"point_query_lru_ms\": %.3f,\n"
+      "  \"point_query_hub_ms\": %.3f,\n"
+      "  \"point_query_speedup\": %.3f,\n"
+      "  \"point_query_checksum_match\": %s,\n"
+      "  \"resolve_trie_ms\": %.3f,\n"
+      "  \"resolve_snapshot_ms\": %.3f,\n"
+      "  \"resolve_speedup\": %.3f,\n"
+      "  \"resolve_checksum_match\": %s\n"
+      "}\n",
+      options.scale, n, env.graph.num_links(),
+      (unsigned long long)num_queries, (unsigned long long)num_resolves,
+      build_ms, (unsigned long long)stats.latency_entries,
+      (unsigned long long)stats.hop_entries,
+      (unsigned long long)stats.max_latency_label,
+      (unsigned long long)stats.max_hop_label, lru_ms, hub_ms,
+      hub_ms > 0 ? lru_ms / hub_ms : 0.0, point_match ? "true" : "false",
+      trie_ms, snap_ms, snap_ms > 0 ? trie_ms / snap_ms : 0.0,
+      resolve_match ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+
+  // Equivalence failures make the bench fail loudly: the numbers would be
+  // comparing engines that disagree.
+  return point_match && resolve_match ? 0 : 1;
+}

@@ -17,6 +17,7 @@
 //   churn_fractions = 0.0, 0.05, 0.10
 //   local_replica   = true
 //   threads    = 0                  # experiment workers; 0 = all cores
+//   path_oracle = hub               # point-distance engine: hub | lru
 //   metrics_out  =                  # metrics summary (.json => JSON)
 //   trace_out    =                  # per-lookup probe-trace CSV
 //   trace_sample = 1                # trace 1-in-N GUIDs
@@ -74,6 +75,8 @@ int Run(const Config& config) {
 
   ResponseTimeConfig rt;
   rt.threads = sim.threads;
+  rt.path_oracle = sim.path_oracle == "lru" ? PathOracleBackend::kLru
+                                            : PathOracleBackend::kHub;
   rt.metrics = registry.has_value() ? &*registry : nullptr;
   rt.tracer = tracer.has_value() ? &*tracer : nullptr;
   rt.workload.num_guids = std::uint64_t(config.GetInt("guids", 20'000));
@@ -157,7 +160,8 @@ int Run(const Config& config) {
     if (std::ifstream probe(topology_file); probe.good()) {
       std::printf("loading topology from %s\n", topology_file.c_str());
       return SimEnvironment{LoadTopologyFromFile(topology_file),
-                            GeneratePrefixTable(env_params.prefixes)};
+                            GeneratePrefixTable(env_params.prefixes),
+                            nullptr};
     }
     SimEnvironment fresh = BuildEnvironment(env_params);
     SaveTopologyToFile(fresh.graph, topology_file);
@@ -258,7 +262,8 @@ int main(int argc, char** argv) {
         "workload_seed = 1\nks = 1, 3, 5\n"
         "churn_fractions = 0.0, 0.05, 0.10\nlocal_replica = true\n"
         "replications = 1\ntopology_file =\nmove_intervals = 300, 60, 20, 5\n"
-        "threads = 0\nmetrics_out =\ntrace_out =\ntrace_sample = 1\n");
+        "threads = 0\npath_oracle = hub\nmetrics_out =\ntrace_out =\n"
+        "trace_sample = 1\n");
     return 0;
   }
   if (argc != 2) {

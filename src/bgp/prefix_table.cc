@@ -46,6 +46,7 @@ bool PrefixTable::Announce(Cidr prefix, AsId owner) {
   if (nodes_[std::size_t(node)].announced()) return false;
   nodes_[std::size_t(node)].owner = owner;
   ++num_prefixes_;
+  ++epoch_;
   ownership_fresh_ = false;
   return true;
 }
@@ -66,6 +67,7 @@ bool PrefixTable::Withdraw(Cidr prefix) {
   if (!nodes_[std::size_t(node)].announced()) return false;
   nodes_[std::size_t(node)].owner = kInvalidAs;
   --num_prefixes_;
+  ++epoch_;
   ownership_fresh_ = false;
 
   // Prune now-empty branches so the "every node's subtree holds an

@@ -65,6 +65,12 @@ class PrefixTable {
 
   std::size_t num_prefixes() const { return num_prefixes_; }
 
+  // Mutation counter: bumped by every successful Announce/Withdraw. Lets
+  // downstream consumers (e.g. HoleResolver's Dir24_8 snapshot) detect
+  // staleness with one integer compare instead of subscribing to changes.
+  // Never reset; equal epochs imply an identical announced set.
+  std::uint64_t epoch() const { return epoch_; }
+
   // Total addresses covered by announced prefixes, counting nested space
   // once (the measure of the announced set).
   std::uint64_t announced_addresses() const {
@@ -110,6 +116,7 @@ class PrefixTable {
   std::vector<Node> nodes_;
   std::vector<std::int32_t> free_list_;
   std::size_t num_prefixes_ = 0;
+  std::uint64_t epoch_ = 0;
 
   mutable bool ownership_fresh_ = false;
   mutable std::uint64_t announced_addresses_ = 0;

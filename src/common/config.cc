@@ -189,6 +189,12 @@ SimConfig SimConfig::FromConfig(const Config& config) {
     throw std::runtime_error("config: 'threads' must be >= 0");
   }
   sim.threads = unsigned(threads);
+  sim.path_oracle = config.GetString("path_oracle", "hub");
+  if (sim.path_oracle != "hub" && sim.path_oracle != "lru") {
+    throw std::runtime_error(
+        "config: 'path_oracle' must be \"hub\" or \"lru\" (got '" +
+        sim.path_oracle + "')");
+  }
   sim.metrics_out = config.GetString("metrics_out", "");
   sim.trace_out = config.GetString("trace_out", "");
   const std::int64_t sample = config.GetInt("trace_sample", 1);

@@ -69,6 +69,11 @@ struct SimConfig {
   // 1 = the serial code path.
   unsigned threads = 0;
 
+  // Point-distance engine: "hub" (precomputed exact hub labels, default)
+  // or "lru" (per-source SSSP memoised in an LRU). Identical results
+  // either way; hub is faster for point-query workloads.
+  std::string path_oracle = "hub";
+
   // Observability sinks (src/obs/). Empty paths disable the corresponding
   // export; exports are bit-identical for every value of `threads`.
   std::string metrics_out;  // metrics summary (.json => JSON, else CSV)
@@ -79,8 +84,8 @@ struct SimConfig {
   // $DMAP_THREADS — that hook lives in ThreadPool::Resolve).
   unsigned EffectiveThreads() const;
 
-  // Reads the `threads`, `metrics_out`, `trace_out` and `trace_sample`
-  // keys (defaults above).
+  // Reads the `threads`, `path_oracle`, `metrics_out`, `trace_out` and
+  // `trace_sample` keys (defaults above).
   static SimConfig FromConfig(const Config& config);
 };
 

@@ -42,7 +42,14 @@ DMapService::DMapService(const AsGraph& graph, const PrefixTable& table,
       hashes_(options.k, options.hash_seed),
       resolver_(hashes_, table, options.max_hashes),
       oracle_(graph),
-      stores_(graph.num_nodes()) {}
+      stores_(graph.num_nodes()) {
+  if (options_.resolver_snapshot) {
+    // Arm the snapshot but defer the (64 MB) build to the first serial
+    // write point — the prefix table is typically still being announced
+    // when the service is constructed.
+    resolver_.EnableSnapshot();
+  }
+}
 
 void DMapService::SetMetrics(MetricsRegistry* registry) {
   metrics_ = registry;
@@ -84,6 +91,11 @@ UpdateResult DMapService::WriteReplicas(const Guid& guid, OwnerState& state,
                                         AsId src_as, unsigned shard) {
   UpdateResult result;
   result.version = state.version;
+
+  // Writes are serial by contract (stores_ is WRITE_SERIAL_READ_SHARED),
+  // which makes this a safe point to catch the resolver's snapshot up
+  // with any BGP churn since the last write.
+  resolver_.RefreshSnapshot();
 
   // Remove entries from replicas that are no longer in the set (only
   // happens via Rehome/Update-after-churn; the common case is a no-op).
@@ -350,8 +362,7 @@ LookupResult DMapService::Lookup(const Guid& guid, AsId querier,
   std::vector<AsId> hosts;
   hosts.reserve(std::size_t(options_.k));
   int hash_evaluations = 0;
-  for (int i = 0; i < options_.k; ++i) {
-    const HostResolution r = resolver_.Resolve(guid, i, shard);
+  for (const HostResolution& r : resolver_.ResolveAll(guid, shard)) {
     hosts.push_back(r.host);
     hash_evaluations += r.hash_count;
   }
@@ -380,8 +391,8 @@ std::vector<std::pair<AsId, double>> DMapService::ProbePlan(const Guid& guid,
                                                             AsId querier) {
   std::vector<AsId> hosts;
   hosts.reserve(std::size_t(options_.k));
-  for (int i = 0; i < options_.k; ++i) {
-    hosts.push_back(resolver_.Resolve(guid, i).host);
+  for (const HostResolution& r : resolver_.ResolveAll(guid)) {
+    hosts.push_back(r.host);
   }
   return OrderReplicas(querier, hosts);
 }

@@ -63,6 +63,11 @@ struct DMapOptions {
   // When false, Insert/Update skip the RTT computation (latency_ms = -1);
   // used by bulk loads where only lookups are being measured.
   bool measure_update_latency = true;
+  // Route the resolver's LPM probes through an owned, epoch-versioned
+  // DIR-24-8 snapshot (64 MB; rebuilt lazily at serial write points after
+  // BGP churn). Resolutions are identical either way — the snapshot only
+  // replaces trie walks with 1-2 array reads. Off: always walk the trie.
+  bool resolver_snapshot = true;
 
   // Throws std::invalid_argument naming the offending field when the
   // options are inconsistent (k < 1, max_hashes < 1, negative timeout).
@@ -114,6 +119,17 @@ class DMapService {
   const HoleResolver& resolver() const { return resolver_; }
   const GuidHashFamily& hash_family() const { return hashes_; }
   PathOracle& oracle() { return oracle_; }
+
+  // Rebuilds the resolver's DIR-24-8 snapshot if BGP churn made it stale
+  // (no-op when fresh or when options().resolver_snapshot is off). Serial
+  // write points (Insert/Update/Rehome) call it automatically; harnesses
+  // that mutate the prefix table and then go straight into a parallel
+  // lookup phase should call it from the serial section in between —
+  // lookups are correct either way (a stale snapshot falls back to the
+  // trie), this only restores the fast path.
+  void RefreshResolverSnapshot() WRITE_SERIAL_READ_SHARED() {
+    resolver_.RefreshSnapshot();
+  }
 
   // Observability (src/obs/). Both default to off: the uninstrumented hot
   // path pays a single predictable `if (ptr)` branch per operation.

@@ -21,13 +21,26 @@ void HoleResolver::SetMetrics(MetricsRegistry* registry) {
       "algo1.rehash_depth", MetricsRegistry::CountBoundaries());
 }
 
+void HoleResolver::EnableSnapshot(bool enable) {
+  snapshot_enabled_ = enable;
+  if (!enable) snapshot_.reset();
+}
+
+void HoleResolver::RefreshSnapshot() {
+  if (!snapshot_enabled_ || snapshot_fresh()) return;
+  snapshot_ = std::make_unique<Dir24_8>(*table_);
+  snapshot_epoch_ = table_->epoch();
+}
+
 HostResolution HoleResolver::Resolve(const Guid& guid, int replica,
                                      unsigned worker) const {
+  const Dir24_8* fast = ActiveFast();
   HostResolution result;
   Ipv4Address addr = hashes_->Hash(guid, replica);
   for (int tries = 1; tries <= max_hashes_; ++tries) {
-    if (IsAnnounced(addr)) {
-      result.host = OwnerOf(addr);
+    const AsId owner = LpmOwner(fast, addr);
+    if (owner != kInvalidAs) {
+      result.host = owner;
       result.hashed_address = addr;
       result.stored_address = addr;
       result.hash_count = tries;
@@ -62,10 +75,59 @@ HostResolution HoleResolver::Resolve(const Guid& guid, int replica,
 
 std::vector<HostResolution> HoleResolver::ResolveAll(const Guid& guid,
                                                      unsigned worker) const {
-  std::vector<HostResolution> out;
-  out.reserve(std::size_t(hashes_->k()));
-  for (int i = 0; i < hashes_->k(); ++i) {
-    out.push_back(Resolve(guid, i, worker));
+  const int k = hashes_->k();
+  const Dir24_8* fast = ActiveFast();
+  std::vector<HostResolution> out(static_cast<std::size_t>(k));
+
+  // Wavefront over rehash rounds: round r evaluates the r-th hash of every
+  // replica still unresolved, so with the snapshot installed each round is
+  // a tight pass of independent array probes (and the first round — which
+  // resolves ~announced_fraction of replicas — touches nothing else).
+  // Resolutions and metric totals are identical to resolving each replica
+  // independently; only the evaluation order differs.
+  std::vector<int> pending(static_cast<std::size_t>(k));
+  std::vector<Ipv4Address> addrs(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    pending[std::size_t(i)] = i;
+    addrs[std::size_t(i)] = hashes_->Hash(guid, i);
+  }
+  for (int tries = 1; tries <= max_hashes_ && !pending.empty(); ++tries) {
+    std::size_t keep = 0;
+    for (const int i : pending) {
+      const Ipv4Address addr = addrs[std::size_t(i)];
+      const AsId owner = LpmOwner(fast, addr);
+      HostResolution& result = out[std::size_t(i)];
+      if (owner != kInvalidAs) {
+        result.host = owner;
+        result.hashed_address = addr;
+        result.stored_address = addr;
+        result.hash_count = tries;
+        if (metrics_ != nullptr) {
+          metrics_->Add(hash_evaluations_id_, std::uint64_t(tries), worker);
+          metrics_->Observe(rehash_depth_id_, double(tries), worker);
+        }
+      } else if (tries == max_hashes_) {
+        const auto nearest = table_->NearestAnnounced(addr);
+        if (!nearest) {
+          throw std::logic_error("HoleResolver: prefix table is empty");
+        }
+        result.host = nearest->record.owner;
+        result.hashed_address = addr;
+        result.stored_address = nearest->address;
+        result.hash_count = max_hashes_;
+        result.used_nearest = true;
+        if (metrics_ != nullptr) {
+          metrics_->Add(hash_evaluations_id_, std::uint64_t(max_hashes_),
+                        worker);
+          metrics_->Observe(rehash_depth_id_, double(max_hashes_), worker);
+          metrics_->Add(deputy_fallbacks_id_, 1, worker);
+        }
+      } else {
+        addrs[std::size_t(i)] = hashes_->Rehash(addr, i);
+        pending[keep++] = i;
+      }
+    }
+    pending.resize(keep);
   }
   return out;
 }

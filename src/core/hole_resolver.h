@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "bgp/dir24_8.h"
 #include "bgp/prefix_table.h"
@@ -56,23 +58,50 @@ class HoleResolver {
   // the configuration a real router would run. `fast` must be a snapshot
   // of the same table and must outlive the resolver; the rare deputy
   // fall-through still uses the trie's nearest-announced query. Pass
-  // nullptr to go back to the trie.
+  // nullptr to go back to the trie. An externally-installed fast path
+  // takes priority over the owned snapshot below and is trusted blindly —
+  // the caller owns its freshness.
   void SetFastPath(const Dir24_8* fast) { fast_ = fast; }
 
- private:
-  // LPM owner via the fast path when installed, else the trie. Only used
-  // for hit testing; the full record is recovered from the trie on hits.
-  bool IsAnnounced(Ipv4Address addr) const {
-    return fast_ ? fast_->Lookup(addr) != kInvalidAs
-                 : table_->Lookup(addr).has_value();
+  // Owned, epoch-versioned DIR-24-8 snapshot. Once enabled AND built (the
+  // first RefreshSnapshot call), LPM probes use the snapshot whenever its
+  // epoch matches the prefix table's current epoch(), and silently fall
+  // back to the trie walk when BGP churn has made it stale — resolutions
+  // are always correct, never against stale routing state. EnableSnapshot
+  // only arms the mechanism; RefreshSnapshot() (re)builds a missing or
+  // stale snapshot (64 MB + O(table); a no-op when fresh or disabled) and
+  // must only be called from serial sections: the snapshot is shared
+  // read-only across workers while resolutions run.
+  void EnableSnapshot(bool enable = true);
+  void RefreshSnapshot();
+  bool snapshot_fresh() const {
+    return snapshot_ != nullptr && snapshot_epoch_ == table_->epoch();
   }
-  AsId OwnerOf(Ipv4Address addr) const {
-    return fast_ ? fast_->Lookup(addr) : table_->Lookup(addr)->owner;
+
+ private:
+  // The LPM structure probes go through: an explicit fast path first, then
+  // the owned snapshot if fresh, else nullptr (trie walk).
+  const Dir24_8* ActiveFast() const {
+    if (fast_ != nullptr) return fast_;
+    if (snapshot_ != nullptr && snapshot_epoch_ == table_->epoch()) {
+      return snapshot_.get();
+    }
+    return nullptr;
+  }
+  // LPM owner of `addr` (kInvalidAs in a hole): one or two array reads via
+  // `fast` when non-null, else a trie walk.
+  AsId LpmOwner(const Dir24_8* fast, Ipv4Address addr) const {
+    if (fast != nullptr) return fast->Lookup(addr);
+    const auto rec = table_->Lookup(addr);
+    return rec.has_value() ? rec->owner : kInvalidAs;
   }
 
   const GuidHashFamily* hashes_;
   const PrefixTable* table_;
   const Dir24_8* fast_ = nullptr;
+  bool snapshot_enabled_ = false;
+  std::unique_ptr<Dir24_8> snapshot_;
+  std::uint64_t snapshot_epoch_ = 0;
   int max_hashes_;
 
   MetricsRegistry* metrics_ = nullptr;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "obs/metrics_registry.h"
+#include "topo/hub_labels.h"
 #include "topo/shortest_path.h"
 
 namespace dmap {
@@ -33,6 +34,27 @@ inline void ContributeOracleMetrics(const PathOracle& oracle,
                oracle.dijkstra_runs(), 0);
   registry.Add(registry.Counter("oracle.bfs_runs", kExec), oracle.bfs_runs(),
                0);
+  // Hub-label backend statistics. Also kExecution: the label counters are 0
+  // under the LRU backend and positive under hub, and the two backends must
+  // export byte-identical default summaries (their *answers* are
+  // bit-identical; only the engine differs).
+  registry.Add(registry.Counter("oracle.label_queries", kExec),
+               oracle.label_queries(), 0);
+  if (const HubLabels* labels = oracle.hub_labels()) {
+    const HubLabels::BuildStats& stats = labels->stats();
+    registry.Add(registry.Counter("oracle.label_entries_latency", kExec),
+                 stats.latency_entries, 0);
+    registry.Add(registry.Counter("oracle.label_entries_hop", kExec),
+                 stats.hop_entries, 0);
+    registry.Add(registry.Counter("oracle.label_max_latency_label", kExec),
+                 stats.max_latency_label, 0);
+    registry.Add(registry.Counter("oracle.label_max_hop_label", kExec),
+                 stats.max_hop_label, 0);
+    registry.Observe(
+        registry.Histogram("oracle.label_build_ms",
+                           MetricsRegistry::LatencyBoundariesMs(), kExec),
+        stats.build_ms, 0);
+  }
 }
 
 }  // namespace dmap

@@ -1,5 +1,7 @@
 #include "sim/environment.h"
 
+#include "runtime/thread_pool.h"
+
 namespace dmap {
 
 EnvironmentParams EnvironmentParams::FullScale(std::uint64_t seed) {
@@ -21,7 +23,16 @@ EnvironmentParams EnvironmentParams::Scaled(std::uint32_t num_ases,
 
 SimEnvironment BuildEnvironment(const EnvironmentParams& params) {
   return SimEnvironment{GenerateInternetTopology(params.topology),
-                        GeneratePrefixTable(params.prefixes)};
+                        GeneratePrefixTable(params.prefixes),
+                        nullptr};
+}
+
+const HubLabels* EnsureHubLabels(SimEnvironment& env, unsigned threads) {
+  if (env.hub_labels == nullptr) {
+    ThreadPool pool(threads);
+    env.hub_labels = std::make_shared<const HubLabels>(env.graph, &pool);
+  }
+  return env.hub_labels.get();
 }
 
 }  // namespace dmap

@@ -5,11 +5,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "bgp/prefix_gen.h"
 #include "bgp/prefix_table.h"
 #include "topo/generator.h"
 #include "topo/graph.h"
+#include "topo/hub_labels.h"
 
 namespace dmap {
 
@@ -28,8 +30,18 @@ struct EnvironmentParams {
 struct SimEnvironment {
   AsGraph graph;
   PrefixTable table;
+  // Hub-label distance oracle over `graph`, built on demand by
+  // EnsureHubLabels and shared by every harness run against this
+  // environment (the labels are immutable once built).
+  std::shared_ptr<const HubLabels> hub_labels;
 };
 
 SimEnvironment BuildEnvironment(const EnvironmentParams& params);
+
+// Builds env.hub_labels on first call (parallelized over `threads` workers;
+// 0 = one per hardware thread) and returns it. The labels are byte-identical
+// for every `threads` value, so it does not matter which caller builds them.
+// Not safe to call concurrently — harnesses call it from their serial setup.
+const HubLabels* EnsureHubLabels(SimEnvironment& env, unsigned threads = 0);
 
 }  // namespace dmap

@@ -29,6 +29,10 @@ struct ResponseTimeConfig {
   // Worker threads for the measurement loop; 0 = one per hardware thread
   // (or $DMAP_THREADS). Results do not depend on this value.
   unsigned threads = 0;
+  // Point-distance engine for the measurement loop (see PathOracleBackend).
+  // kHub builds/reuses env.hub_labels; results are bit-identical to kLru,
+  // only faster — asserted by tests and the CI byte-diff job.
+  PathOracleBackend path_oracle = PathOracleBackend::kHub;
 
   // Optional observability sinks (src/obs/); both must outlive the call.
   // When set, the harness sizes them for its worker count, meters the

@@ -88,7 +88,11 @@ AsGraph GenerateInternetTopology(const TopologyParams& params) {
                              params.link_latency_sigma);
   };
   const auto add_edge = [&](AsId a, AsId b) {
-    links.push_back(AsLink{a, b, sample_link_latency(a, b)});
+    // Snap to the 1/64 ms grid: float path sums become exact, making
+    // shortest-path distances independent of summation order (see
+    // QuantizeLatencyMs in topo/graph.h — this is what keeps the hub-label
+    // oracle bit-identical to Dijkstra).
+    links.push_back(AsLink{a, b, QuantizeLatencyMs(sample_link_latency(a, b))});
     edge_set.insert(EdgeKey(a, b));
     endpoint_pool.push_back(a);
     endpoint_pool.push_back(b);

@@ -15,6 +15,26 @@ namespace dmap {
 using AsId = std::uint32_t;
 constexpr AsId kInvalidAs = ~AsId{0};
 
+// The latency grid: link latencies emitted by the topology generators are
+// snapped to multiples of 1/64 ms (and clamped to at least one grid step).
+// Multiples of 2^-6 below 2^18 ms sum EXACTLY in float arithmetic (24-bit
+// mantissa), so the length of a path is independent of summation order and
+// "shortest path distance" is a well-defined quantity rather than a
+// property of one particular Dijkstra implementation. This is what lets the
+// hub-label distance oracle (topo/hub_labels.h) return bit-identically the
+// same floats as DijkstraLatency — the --path-oracle=lru|hub byte-diff
+// guarantee. The quantization error (<= 1/128 ms) is far below the
+// generator's own modelling error.
+constexpr double kLatencyGridMs = 0.015625;  // 1/64 ms
+inline double QuantizeLatencyMs(double latency_ms) {
+  const double steps = latency_ms / kLatencyGridMs;
+  // Round-half-up on the grid; never below one step so weights stay
+  // strictly positive (hub labeling requires positive weights).
+  const double snapped = static_cast<double>(
+      static_cast<long long>(steps + 0.5));
+  return (snapped < 1.0 ? 1.0 : snapped) * kLatencyGridMs;
+}
+
 struct AsLink {
   AsId a;
   AsId b;

@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "topo/hub_labels.h"
+
 namespace dmap {
 
 std::vector<float> DijkstraLatency(const AsGraph& graph, AsId source) {
@@ -96,6 +98,7 @@ void PathOracle::SetNumShards(unsigned num_shards) {
     retired_bfs_runs_ += shard->bfs_runs;
     retired_latency_hits_ += shard->latency_hits;
     retired_hops_hits_ += shard->hops_hits;
+    retired_label_queries_ += shard->label_queries;
   }
   shards_.clear();
   shards_.reserve(num_shards);
@@ -129,6 +132,21 @@ std::uint64_t PathOracle::hops_cache_hits() const {
   std::uint64_t total = retired_hops_hits_;
   for (const auto& shard : shards_) total += shard->hops_hits;
   return total;
+}
+
+std::uint64_t PathOracle::label_queries() const {
+  std::uint64_t total = retired_label_queries_;
+  for (const auto& shard : shards_) total += shard->label_queries;
+  return total;
+}
+
+void PathOracle::SetHubLabels(const HubLabels* labels) {
+  if (labels != nullptr && labels->num_nodes() != graph_->num_nodes()) {
+    throw std::invalid_argument(
+        "PathOracle::SetHubLabels: labeling was built over a different "
+        "graph");
+  }
+  labels_ = labels;
 }
 
 const std::vector<float>& PathOracle::LatencyVector(AsId src, unsigned shard) {
@@ -175,10 +193,18 @@ PinnedVector<std::uint16_t> PathOracle::HopsFrom(AsId src, unsigned shard) {
 }
 
 double PathOracle::LinkLatencyMs(AsId src, AsId dst, unsigned shard) {
+  if (labels_ != nullptr) {
+    ++shards_.at(shard)->label_queries;
+    return labels_->LatencyMs(src, dst);
+  }
   return LatencyVector(src, shard)[dst];
 }
 
 std::uint32_t PathOracle::Hops(AsId src, AsId dst, unsigned shard) {
+  if (labels_ != nullptr) {
+    ++shards_.at(shard)->label_queries;
+    return labels_->Hops(src, dst);
+  }
   return HopsVector(src, shard)[dst];
 }
 

@@ -17,6 +17,16 @@
 
 namespace dmap {
 
+class HubLabels;
+
+// Which engine answers PathOracle point queries. kLru memoises full
+// per-source Dijkstra/BFS vectors (the original scheme, still used for
+// full-vector requests); kHub answers from a precomputed exact 2-hop hub
+// labeling (topo/hub_labels.h) — no SSSP, no cache, no lock. Both return
+// bit-identical answers on grid-quantized topologies; the default is kHub
+// wherever a labeling has been built.
+enum class PathOracleBackend { kLru, kHub };
+
 // Dijkstra over link latencies. dist[v] = one-way latency (ms) over links
 // only — intra-AS components are added by the caller, matching the paper's
 // response-time decomposition. Unreachable nodes get +infinity.
@@ -70,6 +80,20 @@ class PathOracle {
   // preserved). Must not race with oracle queries.
   void SetNumShards(unsigned num_shards) REQUIRES_ALL_SHARDS();
 
+  // Attaches a hub labeling: point queries (LinkLatencyMs/Hops/OneWayMs/
+  // RttMs) switch to O(|label|) sorted merges; full-vector requests keep
+  // the Dijkstra+LRU path. `labels` must outlive the oracle (or be cleared
+  // with nullptr) and must be built over the same graph. The answers are
+  // bit-identical to the LRU backend on grid-quantized topologies, so
+  // attaching a labeling never changes experiment output, only its speed.
+  // Must not race with oracle queries.
+  void SetHubLabels(const HubLabels* labels) REQUIRES_ALL_SHARDS();
+  const HubLabels* hub_labels() const { return labels_; }
+  PathOracleBackend backend() const {
+    return labels_ != nullptr ? PathOracleBackend::kHub
+                              : PathOracleBackend::kLru;
+  }
+
   // One-way latency over links from src to dst, ms.
   double LinkLatencyMs(AsId src, AsId dst, unsigned shard = 0)
       REQUIRES_SHARD(shard);
@@ -110,6 +134,8 @@ class PathOracle {
   std::uint64_t hops_cache_misses() const REQUIRES_ALL_SHARDS() {
     return bfs_runs();
   }
+  // Point queries answered by the hub-label backend (0 under kLru).
+  std::uint64_t label_queries() const REQUIRES_ALL_SHARDS();
 
  private:
   template <typename T>
@@ -133,6 +159,7 @@ class PathOracle {
     std::uint64_t bfs_runs = 0;
     std::uint64_t latency_hits = 0;
     std::uint64_t hops_hits = 0;
+    std::uint64_t label_queries = 0;
   };
 
   // Cached vector for `src`, computing it on miss. The reference is only
@@ -145,6 +172,9 @@ class PathOracle {
 
   const AsGraph* graph_;
   std::size_t capacity_;
+  // Optional hub-label backend for point queries; not owned. Read-only on
+  // the query path, so shared freely across shards.
+  const HubLabels* labels_ = nullptr;
   // shards_[s] (LRU state and run counters) is touched only by the worker
   // holding shard s; SetNumShards and the totals walk every shard.
   std::vector<std::unique_ptr<Shard>> shards_ SHARD_CONFINED(shard);
@@ -153,6 +183,7 @@ class PathOracle {
   std::uint64_t retired_bfs_runs_ = 0;
   std::uint64_t retired_latency_hits_ = 0;
   std::uint64_t retired_hops_hits_ = 0;
+  std::uint64_t retired_label_queries_ = 0;
 };
 
 }  // namespace dmap

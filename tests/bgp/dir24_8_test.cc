@@ -88,6 +88,52 @@ TEST(Dir24_8Test, AgreesWithTrieOnGeneratedTable) {
   }
 }
 
+TEST(Dir24_8Test, EpochCountsAnnouncesAndWithdraws) {
+  PrefixTable table;
+  EXPECT_EQ(table.epoch(), 0u);
+  EXPECT_TRUE(table.Announce(C("8.0.0.0/8"), 1));
+  EXPECT_EQ(table.epoch(), 1u);
+  EXPECT_TRUE(table.Announce(C("9.0.0.0/8"), 2));
+  EXPECT_EQ(table.epoch(), 2u);
+  // Failed mutations must NOT bump the epoch: a snapshot of the unchanged
+  // table is still valid.
+  EXPECT_FALSE(table.Withdraw(C("11.0.0.0/8")));
+  EXPECT_EQ(table.epoch(), 2u);
+  EXPECT_TRUE(table.Withdraw(C("9.0.0.0/8")));
+  EXPECT_EQ(table.epoch(), 3u);
+}
+
+TEST(Dir24_8Test, SnapshotAgreesWithTrieAcrossChurn) {
+  // Rebuild-after-churn contract: after every mutation batch a fresh
+  // snapshot must agree with the trie everywhere we probe.
+  PrefixGenParams params;
+  params.num_ases = 200;
+  params.seed = 21;
+  PrefixTable table = GeneratePrefixTable(params);
+  Rng rng(9);
+  for (int round = 0; round < 4; ++round) {
+    // Mutate: withdraw a few announced prefixes, announce a few fresh ones.
+    const auto prefixes = table.AllPrefixes();
+    for (int i = 0; i < 20 && !prefixes.empty(); ++i) {
+      const auto& victim =
+          prefixes[std::size_t(rng.NextBounded(prefixes.size()))];
+      table.Withdraw(victim.prefix);
+    }
+    for (int i = 0; i < 20; ++i) {
+      table.Announce(Cidr(Ipv4Address(std::uint32_t(rng.Next())),
+                          int(rng.NextInRange(8, 28))),
+                     AsId(rng.NextBounded(200)));
+    }
+    const Dir24_8 fast(table);
+    for (int i = 0; i < 20000; ++i) {
+      const Ipv4Address addr(std::uint32_t(rng.Next()));
+      const auto slow = table.Lookup(addr);
+      ASSERT_EQ(fast.Lookup(addr), slow ? slow->owner : kInvalidAs)
+          << addr.ToString();
+    }
+  }
+}
+
 TEST(Dir24_8Test, AgreesWithTrieUnderNesting) {
   // Random nested announcements, including >24 lengths, probed at block
   // edges where the chunk logic can be off by one.

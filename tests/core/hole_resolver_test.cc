@@ -167,6 +167,137 @@ TEST(HoleResolverTest, FastPathAgreesWithTrie) {
   }
 }
 
+TEST(HoleResolverTest, OwnedSnapshotAgreesWithTrie) {
+  PrefixGenParams params;
+  params.num_ases = 200;
+  params.seed = 14;
+  const PrefixTable table = GeneratePrefixTable(params);
+  const GuidHashFamily hashes(3, 22);
+  const HoleResolver trie_resolver(hashes, table, 10);
+  HoleResolver snap_resolver(hashes, table, 10);
+  snap_resolver.EnableSnapshot();
+  snap_resolver.RefreshSnapshot();
+  ASSERT_TRUE(snap_resolver.snapshot_fresh());
+  for (int i = 0; i < 5000; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    for (int replica = 0; replica < 3; ++replica) {
+      const HostResolution a = trie_resolver.Resolve(g, replica);
+      const HostResolution b = snap_resolver.Resolve(g, replica);
+      ASSERT_EQ(a.host, b.host);
+      ASSERT_EQ(a.stored_address, b.stored_address);
+      ASSERT_EQ(a.hash_count, b.hash_count);
+      ASSERT_EQ(a.used_nearest, b.used_nearest);
+    }
+  }
+}
+
+TEST(HoleResolverTest, StaleSnapshotFallsBackToTrie) {
+  // BGP churn after the snapshot was taken: resolutions must follow the
+  // *current* trie (correctness), and RefreshSnapshot must re-arm the fast
+  // path at the new epoch.
+  PrefixTable table;
+  table.Announce(C("0.0.0.0/1"), 1);
+  const GuidHashFamily hashes(1, 23);
+  HoleResolver resolver(hashes, table, 40);
+  resolver.EnableSnapshot();
+  resolver.RefreshSnapshot();
+  ASSERT_TRUE(resolver.snapshot_fresh());
+
+  // Announce the other half to AS 2 — the snapshot is now stale.
+  table.Announce(C("128.0.0.0/1"), 2);
+  EXPECT_FALSE(resolver.snapshot_fresh());
+  const HoleResolver reference(hashes, table, 40);
+  for (int i = 0; i < 500; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    const HostResolution a = reference.Resolve(g, 0);
+    const HostResolution b = resolver.Resolve(g, 0);
+    ASSERT_EQ(a.host, b.host);
+    ASSERT_EQ(a.hash_count, b.hash_count);
+  }
+
+  resolver.RefreshSnapshot();
+  EXPECT_TRUE(resolver.snapshot_fresh());
+  for (int i = 0; i < 500; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    ASSERT_EQ(resolver.Resolve(g, 0).host, reference.Resolve(g, 0).host);
+  }
+}
+
+TEST(HoleResolverTest, DisableSnapshotDropsIt) {
+  PrefixTable table;
+  table.Announce(C("0.0.0.0/0"), 1);
+  const GuidHashFamily hashes(1, 24);
+  HoleResolver resolver(hashes, table, 2);
+  resolver.EnableSnapshot();
+  resolver.RefreshSnapshot();
+  ASSERT_TRUE(resolver.snapshot_fresh());
+  resolver.EnableSnapshot(false);
+  EXPECT_FALSE(resolver.snapshot_fresh());
+  // RefreshSnapshot is a no-op while disabled.
+  resolver.RefreshSnapshot();
+  EXPECT_FALSE(resolver.snapshot_fresh());
+  EXPECT_EQ(resolver.Resolve(Guid::FromSequence(3), 0).host, 1u);
+}
+
+TEST(HoleResolverTest, ResolveAllMatchesPerReplicaResolve) {
+  // The batched wavefront must return exactly what K independent Resolve
+  // calls return, in replica order — with and without the snapshot.
+  PrefixGenParams params;
+  params.num_ases = 150;
+  params.announced_fraction = 0.55;
+  params.seed = 15;
+  const PrefixTable table = GeneratePrefixTable(params);
+  const GuidHashFamily hashes(5, 25);
+  for (const bool snapshot : {false, true}) {
+    HoleResolver resolver(hashes, table, 10);
+    if (snapshot) {
+      resolver.EnableSnapshot();
+      resolver.RefreshSnapshot();
+    }
+    for (int i = 0; i < 2000; ++i) {
+      const Guid g = Guid::FromSequence(std::uint64_t(i));
+      const std::vector<HostResolution> batch = resolver.ResolveAll(g);
+      ASSERT_EQ(batch.size(), 5u);
+      for (int replica = 0; replica < 5; ++replica) {
+        const HostResolution one = resolver.Resolve(g, replica);
+        ASSERT_EQ(batch[std::size_t(replica)].host, one.host);
+        ASSERT_EQ(batch[std::size_t(replica)].stored_address,
+                  one.stored_address);
+        ASSERT_EQ(batch[std::size_t(replica)].hashed_address,
+                  one.hashed_address);
+        ASSERT_EQ(batch[std::size_t(replica)].hash_count, one.hash_count);
+        ASSERT_EQ(batch[std::size_t(replica)].used_nearest, one.used_nearest);
+      }
+    }
+  }
+}
+
+TEST(HoleResolverTest, ResolveAllAccountsMetricsLikeResolve) {
+  // Same totals in the metrics registry whether resolutions happen one at a
+  // time or as one batch.
+  PrefixTable table;
+  table.Announce(C("128.0.0.0/1"), 1);
+  const GuidHashFamily hashes(4, 26);
+
+  MetricsRegistry per_call, batched;
+  HoleResolver a(hashes, table, 12), b(hashes, table, 12);
+  a.SetMetrics(&per_call);
+  b.SetMetrics(&batched);
+  for (int i = 0; i < 300; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    for (int replica = 0; replica < 4; ++replica) (void)a.Resolve(g, replica);
+    (void)b.ResolveAll(g);
+  }
+  const auto sa = per_call.Snapshot();
+  const auto sb = batched.Snapshot();
+  ASSERT_EQ(sa.counters.size(), sb.counters.size());
+  for (std::size_t i = 0; i < sa.counters.size(); ++i) {
+    EXPECT_EQ(sa.counters[i].name, sb.counters[i].name);
+    EXPECT_EQ(sa.counters[i].value, sb.counters[i].value)
+        << sa.counters[i].name;
+  }
+}
+
 TEST(HoleResolverTest, InvalidMaxHashesThrows) {
   PrefixTable table;
   table.Announce(C("0.0.0.0/0"), 1);
