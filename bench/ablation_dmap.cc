@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   bench::BenchObservability obs(options);
   ResponseTimeConfig config;
   config.threads = options.threads;
+  config.shards = options.shards;
   config.path_oracle = dmap::bench::ParsedPathOracle(options);
   config.metrics = obs.registry();
   config.tracer = obs.tracer();

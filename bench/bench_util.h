@@ -25,6 +25,9 @@ struct BenchOptions {
   // thread. Results are bit-identical for any value (DESIGN.md "Threading
   // model"); 1 forces the serial code path.
   unsigned threads = 0;
+  // Mapping-store shards (DMapOptions::store_shards); 0 = auto. Results
+  // are bit-identical for any value; only serving throughput differs.
+  int shards = 0;
   // Point-distance engine: "hub" (precomputed exact hub labels, the
   // default) or "lru" (per-source Dijkstra/BFS memoised in an LRU — the
   // original scheme). Results are bit-identical; only speed differs.
@@ -75,6 +78,15 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       }
       options.threads = unsigned(threads);
     } else if (const char* value =
+                   BenchArgValue(arg, "--shards", argc, argv, &i)) {
+      char* end = nullptr;
+      const long shards = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || shards < 0 || shards > 256) {
+        std::fprintf(stderr, "bad --shards value: %s\n", value);
+        std::exit(2);
+      }
+      options.shards = int(shards);
+    } else if (const char* value =
                    BenchArgValue(arg, "--path-oracle", argc, argv, &i)) {
       if (std::strcmp(value, "lru") != 0 && std::strcmp(value, "hub") != 0) {
         std::fprintf(stderr, "bad --path-oracle value: %s (lru|hub)\n",
@@ -111,10 +123,12 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       options.fault_seed = std::uint64_t(seed);
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "usage: %s [--scale=<f>] [--threads=<n>] [--path-oracle=lru|hub]\n"
-          "          [--metrics-out=<file>]\n"
+          "usage: %s [--scale=<f>] [--threads=<n>] [--shards=<n>]\n"
+          "          [--path-oracle=lru|hub] [--metrics-out=<file>]\n"
           "          [--trace-out=<file>] [--trace-sample=<N>]\n"
           "          [--fault-plan=<file>] [--fault-seed=<n>]\n"
+          "  --shards        mapping-store shards (default 0 = auto;\n"
+          "                  identical results for any value)\n"
           "  --path-oracle   point-distance engine (default hub; identical\n"
           "                  results, hub is faster)\n"
           "  --metrics-out   write a metrics_summary (.json, else CSV)\n"

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   bench::BenchObservability obs(options);
   ChurnExperimentConfig config;
   config.base.threads = options.threads;
+  config.base.shards = options.shards;
   config.base.path_oracle = dmap::bench::ParsedPathOracle(options);
   config.base.metrics = obs.registry();
   config.base.tracer = obs.tracer();

@@ -271,6 +271,69 @@ void BM_MappingStoreUpsertLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_MappingStoreUpsertLookup);
 
+void BM_BatchedKHash(benchmark::State& state) {
+  // All-K hashing: the interleaved multi-lane SipHash kernel behind
+  // HashAllInto, against K scalar BM_SipHash_Guid calls. Items = replica
+  // hashes, so items/sec is directly comparable to BM_SipHash_Guid.
+  const int k = int(state.range(0));
+  const GuidHashFamily family(k, 1);
+  std::vector<Ipv4Address> out(16);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    family.HashAllInto(Guid::FromSequence(seq), out.data());
+    benchmark::DoNotOptimize(out.data());
+    ++seq;
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_BatchedKHash)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_ShardedLookup(benchmark::State& state) {
+  // Read path of the sharded store. Arg = shard count; Arg(0) = the
+  // stale-snapshot fallback (mutable unordered_map find) at one shard, for
+  // the map-vs-snapshot delta.
+  const unsigned shards = unsigned(state.range(0) == 0 ? 1 : state.range(0));
+  ShardedMappingStore store(1000, shards);
+  constexpr std::uint64_t kEntries = 100'000;
+  for (std::uint64_t i = 0; i < kEntries; ++i) {
+    store.Upsert(AsId(i % 1000), Guid::FromSequence(i),
+                 MappingEntry{NaSet(NetworkAddress{AsId(i % 1000), 1}), 1});
+  }
+  if (state.range(0) != 0) store.RefreshSnapshots();
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Read(AsId(seq % 1000), Guid::FromSequence(seq % kEntries)));
+    ++seq;
+  }
+}
+BENCHMARK(BM_ShardedLookup)->Arg(0)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_SnapshotRefresh(benchmark::State& state) {
+  // Cost of one serial write point: dirty a single entry, then republish
+  // the read snapshots. Only the written GUID's shard rebuilds (the epoch
+  // early-out skips the rest), so higher shard counts rebuild less.
+  const unsigned shards = unsigned(state.range(0));
+  ShardedMappingStore store(1000, shards);
+  constexpr std::uint64_t kEntries = 100'000;
+  for (std::uint64_t i = 0; i < kEntries; ++i) {
+    store.Upsert(AsId(i % 1000), Guid::FromSequence(i),
+                 MappingEntry{NaSet(NetworkAddress{AsId(i % 1000), 1}), 1});
+  }
+  store.RefreshSnapshots();
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    store.Upsert(AsId(seq % 1000), Guid::FromSequence(seq % kEntries),
+                 MappingEntry{NaSet(NetworkAddress{AsId(seq % 7), 1}),
+                              std::uint32_t(2 + seq)});
+    store.RefreshSnapshots();
+    benchmark::DoNotOptimize(store.snapshots_fresh());
+    ++seq;
+  }
+}
+BENCHMARK(BM_SnapshotRefresh)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace dmap
 

@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "core/hole_resolver.h"
+#include "core/mapping_store.h"
 #include "common/rng.h"
 #include "runtime/thread_pool.h"
 #include "sim/environment.h"
@@ -135,6 +136,120 @@ int main(int argc, char** argv) {
               trie_ms, snap_ms, snap_ms > 0 ? trie_ms / snap_ms : 0.0,
               resolve_match ? "match" : "MISMATCH");
 
+  // ---- 4. serving: single-store serial vs sharded snapshot loop ----------
+  // End-to-end mapping service: resolve every replica of each queried GUID
+  // (Algorithm 1) and read the hosted entry from the mapping store. Leg A
+  // is the pre-sharding shape — one shard, mutable-map reads, scalar
+  // per-replica resolution, one thread. Leg B is the full serving stack:
+  // auto-sharded store behind refreshed read snapshots, batched
+  // ResolveBatch wavefronts, all workers. The legs must agree on the
+  // order-independent checksums (hits, serving-AS sum, hash evaluations);
+  // only the throughput may differ.
+  const std::uint64_t num_entries =
+      std::min<std::uint64_t>(bench::Scaled(200'000, options.scale), 2'000'000);
+  const std::uint64_t num_serves = bench::Scaled(400'000, options.scale);
+  constexpr int kServeK = 5;
+  struct ServeChecksum {
+    std::uint64_t hits = 0;
+    std::uint64_t as_sum = 0;
+    std::uint64_t hash_evals = 0;
+    bool operator==(const ServeChecksum&) const = default;
+  };
+  const auto populate = [&](ShardedMappingStore& store,
+                            const HoleResolver& resolver) {
+    for (std::uint64_t i = 0; i < num_entries; ++i) {
+      const Guid guid = Guid::FromSequence(i);
+      const MappingEntry entry{NaSet(NetworkAddress{AsId(i % n), 1}), 1};
+      for (const HostResolution& r : resolver.ResolveAll(guid)) {
+        store.Upsert(r.host, guid, entry, r.stored_address);
+      }
+    }
+  };
+  const GuidHashFamily serve_hashes(kServeK, 1);
+  // The serve stream (and its fingerprints) is workload generation, not
+  // serving work: precompute it once, shared verbatim by both legs.
+  std::vector<Guid> serve_stream;
+  serve_stream.reserve(num_serves);
+  for (std::uint64_t i = 0; i < num_serves; ++i) {
+    serve_stream.push_back(Guid::FromSequence(i % num_entries));
+  }
+  double single_ms = 0.0, sharded_ms = 0.0;
+  ServeChecksum single_sum, sharded_sum;
+  {
+    // Leg A: the single-store path.
+    HoleResolver resolver(serve_hashes, env.table, 10);
+    resolver.EnableSnapshot();
+    resolver.RefreshSnapshot();
+    ShardedMappingStore store(n, 1);
+    populate(store, resolver);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < num_serves; ++i) {
+      const Guid& guid = serve_stream[i];
+      for (int r = 0; r < kServeK; ++r) {
+        const HostResolution h = resolver.Resolve(guid, r);
+        single_sum.hash_evals += std::uint64_t(h.hash_count);
+        if (const MappingEntry* e = store.Lookup(h.host, guid)) {
+          ++single_sum.hits;
+          single_sum.as_sum += h.host;
+          (void)e;
+        }
+      }
+    }
+    single_ms = MsSince(start);
+  }
+  unsigned serving_shards = 0;
+  {
+    // Leg B: sharded snapshots + batched resolution, all workers.
+    HoleResolver resolver(serve_hashes, env.table, 10);
+    resolver.EnableSnapshot();
+    resolver.RefreshSnapshot();
+    ShardedMappingStore store(n, unsigned(options.shards));
+    serving_shards = store.num_shards();
+    populate(store, resolver);
+    store.RefreshSnapshots();  // serial write point: publish read snapshots
+    constexpr std::uint64_t kBatch = 256;
+    const std::uint64_t num_chunks = (num_serves + kBatch - 1) / kBatch;
+    std::vector<ServeChecksum> partial(pool.size());
+    const auto start = std::chrono::steady_clock::now();
+    pool.RunChunks(num_chunks, [&](std::size_t chunk, unsigned worker) {
+      ServeChecksum& sum = partial[worker];
+      HostResolution hosts[kBatch * kServeK];
+      const std::uint64_t begin = std::uint64_t(chunk) * kBatch;
+      const std::uint64_t end = std::min(num_serves, begin + kBatch);
+      const std::size_t count = std::size_t(end - begin);
+      const Guid* guids = serve_stream.data() + begin;
+      resolver.ResolveBatch({guids, count}, hosts, worker);
+      for (std::size_t g = 0; g < count; ++g) {
+        const std::uint64_t fp = guids[g].Fingerprint64();
+        for (int r = 0; r < kServeK; ++r) {
+          const HostResolution& h = hosts[g * kServeK + std::size_t(r)];
+          sum.hash_evals += std::uint64_t(h.hash_count);
+          if (store.Read(h.host, guids[g], fp) != nullptr) {
+            ++sum.hits;
+            sum.as_sum += h.host;
+          }
+        }
+      }
+    });
+    sharded_ms = MsSince(start);
+    for (const ServeChecksum& sum : partial) {
+      sharded_sum.hits += sum.hits;
+      sharded_sum.as_sum += sum.as_sum;
+      sharded_sum.hash_evals += sum.hash_evals;
+    }
+  }
+  const bool serve_match = single_sum == sharded_sum;
+  const double total_resolves = double(num_serves) * kServeK;
+  const double single_rps =
+      single_ms > 0 ? total_resolves / (single_ms / 1000.0) : 0.0;
+  const double sharded_rps =
+      sharded_ms > 0 ? total_resolves / (sharded_ms / 1000.0) : 0.0;
+  std::printf("serving: single-store %.1f ms (%.2fM resolves/s), sharded "
+              "%.1f ms (%.2fM resolves/s, %u shards), %.1fx, checksums %s\n\n",
+              single_ms, single_rps / 1e6, sharded_ms, sharded_rps / 1e6,
+              serving_shards, single_ms > 0 ? single_ms / sharded_ms : 0.0,
+              serve_match ? "match" : "MISMATCH");
+
   // ---- BENCH_perf.json ----------------------------------------------------
   const char* out_path = "BENCH_perf.json";
   std::FILE* out = std::fopen(out_path, "w");
@@ -163,7 +278,16 @@ int main(int argc, char** argv) {
       "  \"resolve_trie_ms\": %.3f,\n"
       "  \"resolve_snapshot_ms\": %.3f,\n"
       "  \"resolve_speedup\": %.3f,\n"
-      "  \"resolve_checksum_match\": %s\n"
+      "  \"resolve_checksum_match\": %s,\n"
+      "  \"serving_entries\": %llu,\n"
+      "  \"serving_lookups\": %llu,\n"
+      "  \"serving_shards\": %u,\n"
+      "  \"serving_single_ms\": %.3f,\n"
+      "  \"serving_sharded_ms\": %.3f,\n"
+      "  \"serving_single_resolves_per_sec\": %.0f,\n"
+      "  \"serving_sharded_resolves_per_sec\": %.0f,\n"
+      "  \"serving_speedup\": %.3f,\n"
+      "  \"serving_checksum_match\": %s\n"
       "}\n",
       options.scale, n, env.graph.num_links(),
       (unsigned long long)num_queries, (unsigned long long)num_resolves,
@@ -173,11 +297,14 @@ int main(int argc, char** argv) {
       (unsigned long long)stats.max_hop_label, lru_ms, hub_ms,
       hub_ms > 0 ? lru_ms / hub_ms : 0.0, point_match ? "true" : "false",
       trie_ms, snap_ms, snap_ms > 0 ? trie_ms / snap_ms : 0.0,
-      resolve_match ? "true" : "false");
+      resolve_match ? "true" : "false", (unsigned long long)num_entries,
+      (unsigned long long)num_serves, serving_shards, single_ms, sharded_ms,
+      single_rps, sharded_rps, sharded_ms > 0 ? single_ms / sharded_ms : 0.0,
+      serve_match ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
 
   // Equivalence failures make the bench fail loudly: the numbers would be
   // comparing engines that disagree.
-  return point_match && resolve_match ? 0 : 1;
+  return point_match && resolve_match && serve_match ? 0 : 1;
 }

@@ -75,6 +75,7 @@ int Run(const Config& config) {
 
   ResponseTimeConfig rt;
   rt.threads = sim.threads;
+  rt.shards = sim.shards;
   rt.path_oracle = sim.path_oracle == "lru" ? PathOracleBackend::kLru
                                             : PathOracleBackend::kHub;
   rt.metrics = registry.has_value() ? &*registry : nullptr;
@@ -262,7 +263,8 @@ int main(int argc, char** argv) {
         "workload_seed = 1\nks = 1, 3, 5\n"
         "churn_fractions = 0.0, 0.05, 0.10\nlocal_replica = true\n"
         "replications = 1\ntopology_file =\nmove_intervals = 300, 60, 20, 5\n"
-        "threads = 0\npath_oracle = hub\nmetrics_out =\ntrace_out =\n"
+        "threads = 0\nshards = 0\npath_oracle = hub\nmetrics_out =\n"
+        "trace_out =\n"
         "trace_sample = 1\n");
     return 0;
   }

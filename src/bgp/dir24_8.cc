@@ -4,8 +4,11 @@
 
 namespace dmap {
 
-Dir24_8::Dir24_8(const PrefixTable& table) {
+Dir24_8::Dir24_8(const PrefixTable& table) { Rebuild(table); }
+
+void Dir24_8::Rebuild(const PrefixTable& table) {
   base_.assign(std::size_t{1} << 24, kHole);
+  long_.clear();
 
   // Pass 1: prefixes of length <= 24 paint base-table ranges. ForEachPrefix
   // yields shorter prefixes before longer ones at the same base, and nested

@@ -24,6 +24,11 @@ class Dir24_8 {
   // 1 KB per /24 block containing prefixes longer than /24.
   explicit Dir24_8(const PrefixTable& table);
 
+  // Re-snapshots `table` into this object, reusing the 64 MB base-table
+  // allocation — the refresh path at serial write points rebuilds in place
+  // instead of paying a fresh huge allocation per epoch change.
+  void Rebuild(const PrefixTable& table);
+
   // LPM owner of `addr`, or kInvalidAs for IP holes. One array access when
   // no >24-bit prefix covers the /24 block, two otherwise.
   AsId Lookup(Ipv4Address addr) const {

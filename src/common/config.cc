@@ -189,6 +189,11 @@ SimConfig SimConfig::FromConfig(const Config& config) {
     throw std::runtime_error("config: 'threads' must be >= 0");
   }
   sim.threads = unsigned(threads);
+  const std::int64_t shards = config.GetInt("shards", 0);
+  if (shards < 0 || shards > 256) {
+    throw std::runtime_error("config: 'shards' must be in [0, 256]");
+  }
+  sim.shards = int(shards);
   sim.path_oracle = config.GetString("path_oracle", "hub");
   if (sim.path_oracle != "hub" && sim.path_oracle != "lru") {
     throw std::runtime_error(

@@ -69,6 +69,11 @@ struct SimConfig {
   // 1 = the serial code path.
   unsigned threads = 0;
 
+  // Mapping-store shard count handed to DMapOptions::store_shards; 0 =
+  // auto (one shard per hardware thread, clamped to a power of two).
+  // Results are bit-identical for any value of `shards`.
+  int shards = 0;
+
   // Point-distance engine: "hub" (precomputed exact hub labels, default)
   // or "lru" (per-source SSSP memoised in an LRU). Identical results
   // either way; hub is faster for point-query workloads.
@@ -84,8 +89,8 @@ struct SimConfig {
   // $DMAP_THREADS — that hook lives in ThreadPool::Resolve).
   unsigned EffectiveThreads() const;
 
-  // Reads the `threads`, `path_oracle`, `metrics_out`, `trace_out` and
-  // `trace_sample` keys (defaults above).
+  // Reads the `threads`, `shards`, `path_oracle`, `metrics_out`,
+  // `trace_out` and `trace_sample` keys (defaults above).
   static SimConfig FromConfig(const Config& config);
 };
 

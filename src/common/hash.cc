@@ -35,6 +35,92 @@ void SipRound(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
   v2 = Rotl64(v2, 32);
 }
 
+// Four interleaved SipHash-2-4 instances. Each state array holds one lane
+// per independent (key, message) pair; every mixing step is a fixed-trip
+// loop over the lanes, so the four latency-bound rotate/add/xor chains
+// overlap in the pipeline (and vectorize where the ISA allows). Used by the
+// batched K-hash fan-out: one GUID hashed under four keys at once, or four
+// rehash-chain steps advanced at once.
+struct Sip4 {
+  std::uint64_t v0[4];
+  std::uint64_t v1[4];
+  std::uint64_t v2[4];
+  std::uint64_t v3[4];
+
+  void Init(const std::uint64_t* k0s, const std::uint64_t* k1s) {
+    for (int b = 0; b < 4; ++b) {
+      v0[b] = k0s[b] ^ 0x736f6d6570736575ULL;
+      v1[b] = k1s[b] ^ 0x646f72616e646f6dULL;
+      v2[b] = k0s[b] ^ 0x6c7967656e657261ULL;
+      v3[b] = k1s[b] ^ 0x7465646279746573ULL;
+    }
+  }
+
+  void Round() {
+    for (int b = 0; b < 4; ++b) v0[b] += v1[b];
+    for (int b = 0; b < 4; ++b) v1[b] = Rotl64(v1[b], 13);
+    for (int b = 0; b < 4; ++b) v1[b] ^= v0[b];
+    for (int b = 0; b < 4; ++b) v0[b] = Rotl64(v0[b], 32);
+    for (int b = 0; b < 4; ++b) v2[b] += v3[b];
+    for (int b = 0; b < 4; ++b) v3[b] = Rotl64(v3[b], 16);
+    for (int b = 0; b < 4; ++b) v3[b] ^= v2[b];
+    for (int b = 0; b < 4; ++b) v0[b] += v3[b];
+    for (int b = 0; b < 4; ++b) v3[b] = Rotl64(v3[b], 21);
+    for (int b = 0; b < 4; ++b) v3[b] ^= v0[b];
+    for (int b = 0; b < 4; ++b) v2[b] += v1[b];
+    for (int b = 0; b < 4; ++b) v1[b] = Rotl64(v1[b], 17);
+    for (int b = 0; b < 4; ++b) v1[b] ^= v2[b];
+    for (int b = 0; b < 4; ++b) v2[b] = Rotl64(v2[b], 32);
+  }
+
+  // One full message block, identical across lanes.
+  void BlockSame(std::uint64_t m) {
+    for (int b = 0; b < 4; ++b) v3[b] ^= m;
+    Round();
+    Round();
+    for (int b = 0; b < 4; ++b) v0[b] ^= m;
+  }
+
+  // Finalization: the length-annotated last block (identical or per-lane),
+  // then the 0xff-domain rounds. Writes the four 64-bit digests to `out`.
+  void FinalSame(std::uint64_t last, std::uint64_t* out) {
+    std::uint64_t lasts[4] = {last, last, last, last};
+    FinalPerLane(lasts, out);
+  }
+
+  void FinalPerLane(const std::uint64_t* lasts, std::uint64_t* out) {
+    for (int b = 0; b < 4; ++b) v3[b] ^= lasts[b];
+    Round();
+    Round();
+    for (int b = 0; b < 4; ++b) v0[b] ^= lasts[b];
+    for (int b = 0; b < 4; ++b) v2[b] ^= 0xff;
+    Round();
+    Round();
+    Round();
+    Round();
+    for (int b = 0; b < 4; ++b) {
+      out[b] = v0[b] ^ v1[b] ^ v2[b] ^ v3[b];
+    }
+  }
+};
+
+// The big-endian wire serialization Hash()/Rehash() feed SipHash24 —
+// factored so the batched kernels consume the exact same message words.
+void SerializeGuid(const Guid& guid, std::uint8_t* bytes) {
+  for (int w = 0; w < Guid::kWords; ++w) {
+    const std::uint32_t v = guid.word(w);
+    bytes[w * 4 + 0] = static_cast<std::uint8_t>(v >> 24);
+    bytes[w * 4 + 1] = static_cast<std::uint8_t>(v >> 16);
+    bytes[w * 4 + 2] = static_cast<std::uint8_t>(v >> 8);
+    bytes[w * 4 + 3] = static_cast<std::uint8_t>(v);
+  }
+}
+
+Ipv4Address FoldDigest(std::uint64_t h) {
+  return Ipv4Address(static_cast<std::uint32_t>(h >> 32) ^
+                     static_cast<std::uint32_t>(h));
+}
+
 }  // namespace
 
 std::uint64_t SipHash24(std::uint64_t key0, std::uint64_t key1,
@@ -164,24 +250,77 @@ GuidHashFamily::GuidHashFamily(int k, std::uint64_t seed) : k_(k) {
 
 Ipv4Address GuidHashFamily::Hash(const Guid& guid, int i) const {
   std::uint8_t bytes[Guid::kWords * 4];
-  for (int w = 0; w < Guid::kWords; ++w) {
-    const std::uint32_t v = guid.word(w);
-    bytes[w * 4 + 0] = static_cast<std::uint8_t>(v >> 24);
-    bytes[w * 4 + 1] = static_cast<std::uint8_t>(v >> 16);
-    bytes[w * 4 + 2] = static_cast<std::uint8_t>(v >> 8);
-    bytes[w * 4 + 3] = static_cast<std::uint8_t>(v);
-  }
+  SerializeGuid(guid, bytes);
   const Key& key = keys_[std::size_t(i)];
   const std::uint64_t h = SipHash24(key.k0, key.k1, bytes);
-  return Ipv4Address(static_cast<std::uint32_t>(h >> 32) ^
-                     static_cast<std::uint32_t>(h));
+  return FoldDigest(h);
 }
 
 std::vector<Ipv4Address> GuidHashFamily::HashAll(const Guid& guid) const {
   std::vector<Ipv4Address> out;
-  out.reserve(std::size_t(k_));
-  for (int i = 0; i < k_; ++i) out.push_back(Hash(guid, i));
+  out.resize(std::size_t(k_));
+  HashAllInto(guid, out.data());
   return out;
+}
+
+void GuidHashFamily::HashAllInto(const Guid& guid, Ipv4Address* out) const {
+  // Serialize once and precompute the three message words every lane
+  // consumes: a 20-byte message is two full 8-byte blocks plus a 4-byte
+  // tail folded into the length-annotated last block.
+  std::uint8_t bytes[Guid::kWords * 4];
+  SerializeGuid(guid, bytes);
+  const std::uint64_t m0 = LoadLe64(bytes);
+  const std::uint64_t m1 = LoadLe64(bytes + 8);
+  std::uint64_t last = std::uint64_t(sizeof(bytes) & 0xff) << 56;
+  for (std::size_t i = 0; i < 4; ++i) {
+    last |= std::uint64_t(bytes[16 + i]) << (8 * i);
+  }
+
+  int i = 0;
+  for (; i + 4 <= k_; i += 4) {
+    std::uint64_t k0s[4], k1s[4], digests[4];
+    for (int b = 0; b < 4; ++b) {
+      k0s[b] = keys_[std::size_t(i + b)].k0;
+      k1s[b] = keys_[std::size_t(i + b)].k1;
+    }
+    Sip4 sip;
+    sip.Init(k0s, k1s);
+    sip.BlockSame(m0);
+    sip.BlockSame(m1);
+    sip.FinalSame(last, digests);
+    for (int b = 0; b < 4; ++b) out[i + b] = FoldDigest(digests[b]);
+  }
+  for (; i < k_; ++i) {
+    const Key& key = keys_[std::size_t(i)];
+    out[i] = FoldDigest(SipHash24(key.k0, key.k1, bytes));
+  }
+}
+
+void GuidHashFamily::RehashManyInto(const Ipv4Address* addrs,
+                                    const int* lanes, std::size_t n,
+                                    Ipv4Address* out) const {
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    std::uint64_t k0s[4], k1s[4], lasts[4], digests[4];
+    for (int b = 0; b < 4; ++b) {
+      const Key& key = keys_[std::size_t(lanes[j + b])];
+      k0s[b] = key.k0;
+      k1s[b] = key.k1;
+      // A 4-byte message has no full block; the big-endian serialization
+      // loaded little-endian into the last block is a byte swap of the
+      // address value under the length tag.
+      const std::uint32_t v = addrs[j + b].value();
+      lasts[b] = (std::uint64_t(4) << 56) | std::uint64_t(v >> 24) |
+                 (std::uint64_t((v >> 16) & 0xff) << 8) |
+                 (std::uint64_t((v >> 8) & 0xff) << 16) |
+                 (std::uint64_t(v & 0xff) << 24);
+    }
+    Sip4 sip;
+    sip.Init(k0s, k1s);
+    sip.FinalPerLane(lasts, digests);
+    for (int b = 0; b < 4; ++b) out[j + b] = FoldDigest(digests[b]);
+  }
+  for (; j < n; ++j) out[j] = Rehash(addrs[j], lanes[j]);
 }
 
 Ipv4Address GuidHashFamily::Rehash(Ipv4Address addr, int i) const {

@@ -46,6 +46,21 @@ class GuidHashFamily {
   // All K replica addresses for a GUID.
   std::vector<Ipv4Address> HashAll(const Guid& guid) const;
 
+  // Batched variant of the K-way fan-out: fills out[0..k) with h_i(guid),
+  // bit-identical to calling Hash(guid, i) per i. The GUID is serialized
+  // once and the K independent SipHash instances run as interleaved lanes
+  // (four at a time), so the per-lane rotate/add/xor chains overlap in the
+  // pipeline instead of serializing — the hot path of Algorithm 1's replica
+  // fan-out. `out` must hold at least k() elements.
+  void HashAllInto(const Guid& guid, Ipv4Address* out) const;
+
+  // Batched Rehash: out[j] = Rehash(addrs[j], lanes[j]) for j in [0, n).
+  // Each element advances the rehash chain of replica lanes[j]; a batch may
+  // mix lanes freely (the hole-retry wavefront does). Bit-identical to the
+  // scalar Rehash.
+  void RehashManyInto(const Ipv4Address* addrs, const int* lanes,
+                      std::size_t n, Ipv4Address* out) const;
+
   // Rehash step of Algorithm 1: result <- hash(result). The chain for
   // replica i stays within function i's key so the K chains remain
   // independent.

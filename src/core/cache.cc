@@ -80,7 +80,7 @@ CachingDMap::CachedLookupResult CachingDMap::Lookup(const Guid& guid,
     // is measurement bookkeeping, not protocol behaviour).
     const AsId replica0 = service_->resolver().Resolve(guid, 0).host;
     const MappingEntry* authoritative =
-        service_->StoreAt(replica0).Lookup(guid);
+        service_->StoreLookup(replica0, guid);
     out.stale = authoritative != nullptr &&
                 !(authoritative->nas == cached->nas);
     return out;

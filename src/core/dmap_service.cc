@@ -32,6 +32,13 @@ void DMapOptions::Validate() const {
         "DMapOptions: retry_backoff must be >= 1 (got " +
         std::to_string(retry_backoff) + ")");
   }
+  if (store_shards < 0 ||
+      store_shards > int(ShardedMappingStore::kMaxShards)) {
+    throw std::invalid_argument(
+        "DMapOptions: store_shards must be in [0, " +
+        std::to_string(ShardedMappingStore::kMaxShards) + "] (got " +
+        std::to_string(store_shards) + ")");
+  }
 }
 
 DMapService::DMapService(const AsGraph& graph, const PrefixTable& table,
@@ -42,7 +49,7 @@ DMapService::DMapService(const AsGraph& graph, const PrefixTable& table,
       hashes_(options.k, options.hash_seed),
       resolver_(hashes_, table, options.max_hashes),
       oracle_(graph),
-      stores_(graph.num_nodes()) {
+      store_(graph.num_nodes(), unsigned(options.store_shards)) {
   if (options_.resolver_snapshot) {
     // Arm the snapshot but defer the (64 MB) build to the first serial
     // write point — the prefix table is typically still being announced
@@ -92,7 +99,7 @@ UpdateResult DMapService::WriteReplicas(const Guid& guid, OwnerState& state,
   UpdateResult result;
   result.version = state.version;
 
-  // Writes are serial by contract (stores_ is WRITE_SERIAL_READ_SHARED),
+  // Writes are serial by contract (store_ is WRITE_SERIAL_READ_SHARED),
   // which makes this a safe point to catch the resolver's snapshot up
   // with any BGP churn since the last write.
   resolver_.RefreshSnapshot();
@@ -110,14 +117,14 @@ UpdateResult DMapService::WriteReplicas(const Guid& guid, OwnerState& state,
 
   const MappingEntry entry{state.nas, state.version};
   for (const HostResolution& r : resolutions) {
-    if (stores_[r.host].Lookup(guid) == nullptr) ++total_entries_;
-    stores_[r.host].Upsert(guid, entry, r.stored_address);
+    if (store_.Lookup(r.host, guid) == nullptr) ++total_entries_;
+    store_.Upsert(r.host, guid, entry, r.stored_address);
   }
   // Drop stale replicas (set difference; K is tiny so quadratic is fine).
   for (const AsId old_host : state.replicas) {
     if (std::find(new_replicas.begin(), new_replicas.end(), old_host) ==
         new_replicas.end()) {
-      if (stores_[old_host].Erase(guid)) --total_entries_;
+      if (store_.Erase(old_host, guid)) --total_entries_;
     }
   }
   state.replicas = new_replicas;
@@ -130,12 +137,12 @@ UpdateResult DMapService::WriteReplicas(const Guid& guid, OwnerState& state,
       // also serves as a global replica.
       if (std::find(new_replicas.begin(), new_replicas.end(),
                     state.local_as) == new_replicas.end()) {
-        if (stores_[state.local_as].Erase(guid)) --total_entries_;
+        if (store_.Erase(state.local_as, guid)) --total_entries_;
       }
     }
     if (new_local != kInvalidAs) {
-      if (stores_[new_local].Lookup(guid) == nullptr) ++total_entries_;
-      stores_[new_local].Upsert(guid, entry);
+      if (store_.Lookup(new_local, guid) == nullptr) ++total_entries_;
+      store_.Upsert(new_local, guid, entry);
     }
     state.local_as = new_local;
   }
@@ -201,10 +208,10 @@ bool DMapService::Deregister(const Guid& guid) {
   if (it == owners_.end()) return false;
   OwnerState& state = it->second;
   for (const AsId host : state.replicas) {
-    if (stores_[host].Erase(guid)) --total_entries_;
+    if (store_.Erase(host, guid)) --total_entries_;
   }
   if (state.local_as != kInvalidAs) {
-    if (stores_[state.local_as].Erase(guid)) --total_entries_;
+    if (store_.Erase(state.local_as, guid)) --total_entries_;
   }
   owners_.erase(it);
   if (metrics_) metrics_->Add(ins_.deregisters, 1, 0);
@@ -251,6 +258,7 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
                                          unsigned shard, char op,
                                          int hash_evaluations) {
   LookupResult result;
+  const std::uint64_t guid_fp = guid.Fingerprint64();
   ProbeTrace* trace = nullptr;
   if (tracer_ != nullptr && tracer_->ShouldTrace(guid)) {
     result.trace.emplace();
@@ -286,7 +294,7 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
       }
       continue;
     }
-    if (const MappingEntry* entry = stores_[host].Lookup(guid)) {
+    if (const MappingEntry* entry = store_.Read(host, guid, guid_fp)) {
       global_cost += rtt;
       global_found = true;
       global_nas = entry->nas;
@@ -310,7 +318,7 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
   double local_cost = 0.0;
   NaSet local_nas;
   if (options_.local_replica && !failures_.IsFailed(querier)) {
-    if (const MappingEntry* entry = stores_[querier].Lookup(guid)) {
+    if (const MappingEntry* entry = store_.Read(querier, guid, guid_fp)) {
       local_found = true;
       local_cost = 2.0 * graph_->IntraLatencyMs(querier);
       local_nas = entry->nas;
@@ -379,8 +387,7 @@ LookupResult DMapService::LookupWithView(const Guid& guid, AsId querier,
   std::vector<AsId> hosts;
   hosts.reserve(std::size_t(options_.k));
   int hash_evaluations = 0;
-  for (int i = 0; i < options_.k; ++i) {
-    const HostResolution r = view_resolver.Resolve(guid, i);
+  for (const HostResolution& r : view_resolver.ResolveAll(guid)) {
     hosts.push_back(r.host);
     hash_evaluations += r.hash_count;
   }
@@ -420,21 +427,7 @@ int DMapService::Rehome(const Guid& guid) {
 
 std::vector<Guid> DMapService::GuidsStoredIn(AsId as,
                                              const Cidr& prefix) const {
-  std::vector<Guid> guids;
-  stores_[as].ForEachStoredIn(
-      prefix,
-      [&guids](const Guid& guid, const MappingEntry&) {
-        guids.push_back(guid);
-      });
-  return guids;
-}
-
-std::vector<std::size_t> DMapService::StoreSizes() const {
-  std::vector<std::size_t> sizes(stores_.size());
-  for (std::size_t i = 0; i < stores_.size(); ++i) {
-    sizes[i] = stores_[i].size();
-  }
-  return sizes;
+  return store_.GuidsStoredIn(as, prefix);
 }
 
 }  // namespace dmap

@@ -68,6 +68,12 @@ struct DMapOptions {
   // BGP churn). Resolutions are identical either way — the snapshot only
   // replaces trie walks with 1-2 array reads. Off: always walk the trie.
   bool resolver_snapshot = true;
+  // Shard count of the sharded mapping store (ShardedMappingStore).
+  // 0 = automatic (a power of two sized to the hardware threads). Every
+  // result — lookups, latencies, exports — is identical for every value
+  // (asserted by the cross-shard equivalence suite); the count only sets
+  // how much read parallelism the serving path can absorb.
+  int store_shards = 0;
 
   // Throws std::invalid_argument naming the offending field when the
   // options are inconsistent (k < 1, max_hashes < 1, negative timeout).
@@ -129,6 +135,17 @@ class DMapService {
   // trie), this only restores the fast path.
   void RefreshResolverSnapshot() WRITE_SERIAL_READ_SHARED() {
     resolver_.RefreshSnapshot();
+  }
+
+  // Publishes every read snapshot the serving path probes: the resolver's
+  // DIR-24-8 table (above) and the mapping store's per-shard entry
+  // snapshots. Call from the serial section between the last write and a
+  // parallel lookup phase. Purely an optimisation — a stale snapshot
+  // always falls back to the authoritative structure — but the lock-free
+  // serving numbers come from reading fresh snapshots.
+  void RefreshReadSnapshots() REQUIRES_ALL_SHARDS() {
+    resolver_.RefreshSnapshot();
+    store_.RefreshSnapshots();
   }
 
   // Observability (src/obs/). Both default to off: the uninstrumented hot
@@ -218,9 +235,18 @@ class DMapService {
     return failures_.IsFailedAt(as, t);
   }
 
+  // Replica-store read for tests, the event-driven executor and the
+  // staleness bookkeeping: the entry stored for `guid` at AS `as`, or
+  // nullptr. Goes through the shard snapshot when fresh (lock-free), the
+  // mutable shard map otherwise — always the same answer.
+  const MappingEntry* StoreLookup(AsId as, const Guid& guid) const {
+    return store_.Read(as, guid);
+  }
+  std::size_t StoreSizeAt(AsId as) const { return store_.SizeAt(as); }
+
   // Introspection for tests/benches.
-  const MappingStore& StoreAt(AsId as) const { return stores_[as]; }
-  std::vector<std::size_t> StoreSizes() const;
+  const ShardedMappingStore& store() const { return store_; }
+  std::vector<std::size_t> StoreSizes() const { return store_.SizesByAs(); }
   std::uint64_t total_stored_entries() const { return total_entries_; }
 
  private:
@@ -256,8 +282,10 @@ class DMapService {
   GuidHashFamily hashes_;
   HoleResolver resolver_;
   PathOracle oracle_;  // internally sharded; see REQUIRES_SHARD above
-  // Mapping state: bulk-loaded before a sweep, only read during it.
-  std::vector<MappingStore> stores_ WRITE_SERIAL_READ_SHARED();  // by AsId
+  // Mapping state: bulk-loaded/mutated at serial write points, read
+  // concurrently during parallel phases — lock-free via per-shard
+  // snapshots published by RefreshReadSnapshots().
+  ShardedMappingStore store_ WRITE_SERIAL_READ_SHARED();
   std::unordered_map<Guid, OwnerState, GuidHash> owners_
       WRITE_SERIAL_READ_SHARED();
   FailureView failures_ WRITE_SERIAL_READ_SHARED();

@@ -27,9 +27,18 @@ void HoleResolver::EnableSnapshot(bool enable) {
 }
 
 void HoleResolver::RefreshSnapshot() {
-  if (!snapshot_enabled_ || snapshot_fresh()) return;
-  snapshot_ = std::make_unique<Dir24_8>(*table_);
+  // Epoch early-out: equal epochs imply an identical announced set, so a
+  // rebuild would reproduce the snapshot bit for bit. Fast-path early-out:
+  // while an external Dir24_8 is installed the owned snapshot is never
+  // probed (ActiveFast prefers fast_), so keeping it warm is pure waste.
+  if (!snapshot_enabled_ || fast_ != nullptr || snapshot_fresh()) return;
+  if (snapshot_ == nullptr) {
+    snapshot_ = std::make_unique<Dir24_8>(*table_);
+  } else {
+    snapshot_->Rebuild(*table_);  // reuses the 64 MB base allocation
+  }
   snapshot_epoch_ = table_->epoch();
+  ++snapshot_rebuilds_;
 }
 
 HostResolution HoleResolver::Resolve(const Guid& guid, int replica,
@@ -75,28 +84,48 @@ HostResolution HoleResolver::Resolve(const Guid& guid, int replica,
 
 std::vector<HostResolution> HoleResolver::ResolveAll(const Guid& guid,
                                                      unsigned worker) const {
-  const int k = hashes_->k();
-  const Dir24_8* fast = ActiveFast();
-  std::vector<HostResolution> out(static_cast<std::size_t>(k));
+  std::vector<HostResolution> out;
+  out.resize(std::size_t(hashes_->k()));
+  ResolveBatch(std::span<const Guid>(&guid, 1), out.data(), worker);
+  return out;
+}
 
-  // Wavefront over rehash rounds: round r evaluates the r-th hash of every
-  // replica still unresolved, so with the snapshot installed each round is
-  // a tight pass of independent array probes (and the first round — which
-  // resolves ~announced_fraction of replicas — touches nothing else).
-  // Resolutions and metric totals are identical to resolving each replica
-  // independently; only the evaluation order differs.
-  std::vector<int> pending(static_cast<std::size_t>(k));
-  std::vector<Ipv4Address> addrs(static_cast<std::size_t>(k));
-  for (int i = 0; i < k; ++i) {
-    pending[std::size_t(i)] = i;
-    addrs[std::size_t(i)] = hashes_->Hash(guid, i);
+void HoleResolver::ResolveBatch(std::span<const Guid> guids,
+                                HostResolution* out, unsigned worker) const {
+  const int k = hashes_->k();
+  const std::size_t total = guids.size() * std::size_t(k);
+  const Dir24_8* fast = ActiveFast();
+
+  // Round 0: every replica address of every GUID through the batched
+  // K-hash kernel — one GUID serialization and interleaved SipHash lanes
+  // per GUID instead of K independent evaluations.
+  std::vector<Ipv4Address> addrs;
+  addrs.resize(total);
+  for (std::size_t g = 0; g < guids.size(); ++g) {
+    hashes_->HashAllInto(guids[g], addrs.data() + g * std::size_t(k));
   }
+
+  // Wavefront over rehash rounds: round r probes the r-th hash of every
+  // (guid, replica) pair still unresolved, then advances the surviving
+  // chains in one batched rehash. With the snapshot installed each round
+  // is a tight pass of independent array probes. Resolutions and metric
+  // totals are identical to resolving each replica independently; only the
+  // evaluation order differs. Flat index f is replica f % k of guid f / k.
+  std::vector<std::uint32_t> pending;
+  pending.resize(total);
+  for (std::size_t f = 0; f < total; ++f) pending[f] = std::uint32_t(f);
+  std::vector<Ipv4Address> rehash_in, rehash_out;
+  std::vector<int> rehash_lanes;
+  rehash_in.reserve(total);
+  rehash_out.reserve(total);
+  rehash_lanes.reserve(total);
+
   for (int tries = 1; tries <= max_hashes_ && !pending.empty(); ++tries) {
     std::size_t keep = 0;
-    for (const int i : pending) {
-      const Ipv4Address addr = addrs[std::size_t(i)];
+    for (const std::uint32_t f : pending) {
+      const Ipv4Address addr = addrs[f];
       const AsId owner = LpmOwner(fast, addr);
-      HostResolution& result = out[std::size_t(i)];
+      HostResolution& result = out[f];
       if (owner != kInvalidAs) {
         result.host = owner;
         result.hashed_address = addr;
@@ -123,13 +152,25 @@ std::vector<HostResolution> HoleResolver::ResolveAll(const Guid& guid,
           metrics_->Add(deputy_fallbacks_id_, 1, worker);
         }
       } else {
-        addrs[std::size_t(i)] = hashes_->Rehash(addr, i);
-        pending[keep++] = i;
+        pending[keep++] = f;
       }
     }
     pending.resize(keep);
+    if (keep > 0 && tries < max_hashes_) {
+      rehash_in.resize(keep);
+      rehash_out.resize(keep);
+      rehash_lanes.resize(keep);
+      for (std::size_t j = 0; j < keep; ++j) {
+        rehash_in[j] = addrs[pending[j]];
+        rehash_lanes[j] = int(pending[j] % std::uint32_t(k));
+      }
+      hashes_->RehashManyInto(rehash_in.data(), rehash_lanes.data(), keep,
+                              rehash_out.data());
+      for (std::size_t j = 0; j < keep; ++j) {
+        addrs[pending[j]] = rehash_out[j];
+      }
+    }
   }
-  return out;
 }
 
 }  // namespace dmap

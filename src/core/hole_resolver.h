@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "bgp/dir24_8.h"
@@ -44,9 +45,21 @@ class HoleResolver {
   [[nodiscard]] HostResolution Resolve(const Guid& guid, int replica,
                                        unsigned worker = 0) const;
 
-  // All K replica resolutions.
+  // All K replica resolutions. Identical results and metric totals to K
+  // Resolve calls, but the K hash chains are evaluated as a wavefront with
+  // the batched SipHash kernels (GuidHashFamily::HashAllInto /
+  // RehashManyInto), so the per-replica hash latency overlaps.
   [[nodiscard]] std::vector<HostResolution> ResolveAll(
       const Guid& guid, unsigned worker = 0) const;
+
+  // Batch form of ResolveAll for serving loops: resolves all K replicas of
+  // each of `guids` into `out` (row-major: out[g * k() + i] is replica i of
+  // guids[g]; `out` must hold guids.size() * k() elements). The whole
+  // batch shares hash kernels and LPM probe passes — the highest-
+  // throughput path — while every element stays bit-identical to
+  // Resolve(guids[g], i).
+  void ResolveBatch(std::span<const Guid> guids, HostResolution* out,
+                    unsigned worker = 0) const;
 
   // Accounts every resolution in `registry` ("algo1.*": hash evaluations,
   // rehash depth histogram, deputy fall-throughs). nullptr disables; the
@@ -72,11 +85,19 @@ class HoleResolver {
   // stale snapshot (64 MB + O(table); a no-op when fresh or disabled) and
   // must only be called from serial sections: the snapshot is shared
   // read-only across workers while resolutions run.
+  // RefreshSnapshot early-outs when the snapshot is already fresh (the
+  // prefix-table epoch is unchanged since the last build — equal epochs
+  // imply an identical announced set) and when an external fast path is
+  // installed (the owned snapshot would never be probed while fast_ takes
+  // priority, so rebuilding it would be 64 MB of wasted work per write
+  // point). snapshot_rebuilds() counts actual rebuilds so tests can pin
+  // both early-outs.
   void EnableSnapshot(bool enable = true);
   void RefreshSnapshot();
   bool snapshot_fresh() const {
     return snapshot_ != nullptr && snapshot_epoch_ == table_->epoch();
   }
+  std::uint64_t snapshot_rebuilds() const { return snapshot_rebuilds_; }
 
  private:
   // The LPM structure probes go through: an explicit fast path first, then
@@ -102,6 +123,7 @@ class HoleResolver {
   bool snapshot_enabled_ = false;
   std::unique_ptr<Dir24_8> snapshot_;
   std::uint64_t snapshot_epoch_ = 0;
+  std::uint64_t snapshot_rebuilds_ = 0;
   int max_hashes_;
 
   MetricsRegistry* metrics_ = nullptr;

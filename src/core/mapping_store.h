@@ -1,14 +1,29 @@
-// Per-AS mapping store: the table a hosting AS's gateway keeps for the
-// GUIDs hashed to it (its own share plus whatever it hosts as a deputy).
+// Mapping storage.
+//
+// MappingStore is the table a single hosting AS's gateway keeps for the
+// GUIDs hashed to it (its own share plus whatever it hosts as a deputy);
+// the wire-protocol nodes in src/proto/ each own one.
+//
+// ShardedMappingStore is the closed-form service's aggregate view of every
+// AS's table, organised for lock-free parallel serving: entries are
+// partitioned across N independent shards by a deterministic hash of the
+// GUID alone (so all K+1 replicas of a GUID live in one shard), and each
+// shard publishes an immutable, epoch-versioned open-addressing snapshot
+// that the read path probes with zero locking. Snapshots are rebuilt only
+// at serial write points (RefreshSnapshots); a reader that finds a shard's
+// snapshot stale silently falls back to the shard's mutable map, so reads
+// are always correct — fresh snapshots only make them faster.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/guid.h"
 #include "common/ipv4.h"
+#include "common/thread_annotations.h"
 #include "core/mapping.h"
 
 namespace dmap {
@@ -61,6 +76,155 @@ class MappingStore {
     Ipv4Address stored_address;
   };
   std::unordered_map<Guid, Stored, GuidHash> entries_;
+};
+
+// Shared-nothing sharded mapping state with lock-free snapshot reads (see
+// the file comment). Entries are keyed (AsId, Guid) — the replica of one
+// GUID at one host — and the shard is chosen by the GUID alone, so a
+// write of all replicas of a GUID touches exactly one shard and the shard
+// populations are identical for every thread count. Every query result is
+// independent of the shard count (asserted by the cross-shard equivalence
+// suite); enumeration results are sorted before being returned.
+class ShardedMappingStore {
+ public:
+  // Shard counts outside [1, kMaxShards] are clamped; 0 selects the
+  // automatic count (ResolveShardCount(0)).
+  static constexpr unsigned kMaxShards = 256;
+
+  // `requested` = 0 picks a power of two sized to the hardware concurrency
+  // (clamped to [1, kMaxShards]); any other value is clamped to the same
+  // range and used as-is. Results never depend on the outcome — only
+  // contention does.
+  static unsigned ResolveShardCount(unsigned requested);
+
+  // `num_ases` bounds the AsId key space (used by the per-AS accounting).
+  ShardedMappingStore(std::uint32_t num_ases, unsigned num_shards);
+
+  unsigned num_shards() const { return unsigned(shards_.size()); }
+  std::uint32_t num_ases() const { return num_ases_; }
+
+  // Deterministic shard of a GUID: a pure function of the GUID fingerprint
+  // and the shard count, identical on every host and run.
+  unsigned ShardOf(const Guid& guid) const {
+    return ShardOfFingerprint(guid.Fingerprint64());
+  }
+
+  // ---- Serial write API (WRITE_SERIAL_READ_SHARED: callers mutate only
+  // from serial sections; no reader runs concurrently with these). --------
+
+  // Same version-gated semantics as MappingStore::Upsert, per (as, guid).
+  bool Upsert(AsId as, const Guid& guid, const MappingEntry& entry,
+              Ipv4Address stored_address = Ipv4Address(0));
+
+  // Removes the replica of `guid` at `as`; true if present.
+  bool Erase(AsId as, const Guid& guid);
+
+  // Rebuilds the read snapshot of every shard whose mutable map changed
+  // since the last refresh (per-shard epoch comparison; untouched shards
+  // are skipped and their snapshot storage is reused). Must only be called
+  // from serial sections — the write point of the snapshot discipline.
+  void RefreshSnapshots() REQUIRES_ALL_SHARDS();
+
+  // ---- Read API (safe to call concurrently from many workers while no
+  // writer runs; never blocks, never locks). -----------------------------
+
+  // Authoritative lookup against the shard's mutable map. nullptr on miss.
+  // The pointer is invalidated by mutations of the same shard.
+  const MappingEntry* Lookup(AsId as, const Guid& guid) const;
+
+  // Snapshot read: probes the shard's immutable snapshot when it is fresh
+  // (one or two cache lines for the common hit) and silently falls back to
+  // Lookup() when stale, so the answer always matches Lookup(). The
+  // `fingerprint` overload lets a caller probing several ASs for the same
+  // GUID hash it once.
+  const MappingEntry* Read(AsId as, const Guid& guid) const {
+    return Read(as, guid, guid.Fingerprint64());
+  }
+  const MappingEntry* Read(AsId as, const Guid& guid,
+                           std::uint64_t fingerprint) const;
+
+  // True when every shard's snapshot reflects its current epoch.
+  bool snapshots_fresh() const;
+
+  // Lifetime count of per-shard snapshot rebuilds — the regression handle
+  // for "refresh must not rebuild untouched shards".
+  std::uint64_t snapshot_rebuilds() const { return snapshot_rebuilds_; }
+
+  // ---- Introspection (serial sections only; results are independent of
+  // the shard count). ----------------------------------------------------
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  std::size_t SizeAt(AsId as) const;
+  std::vector<std::size_t> SizesByAs() const;
+
+  // Wire-format storage footprint of one AS's table (Section IV-A).
+  std::uint64_t StorageBitsAt(AsId as) const {
+    return std::uint64_t(SizeAt(as)) * kMappingEntryBits;
+  }
+
+  // GUIDs whose replica at `as` was placed (hashed) inside `prefix`,
+  // sorted by GUID so the result is identical for every shard count.
+  std::vector<Guid> GuidsStoredIn(AsId as, const Cidr& prefix) const;
+
+ private:
+  struct Key {
+    Guid guid;
+    AsId as = kInvalidAs;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      return std::size_t(
+          MixTag(key.guid.Fingerprint64(), key.as));
+    }
+  };
+  struct Stored {
+    MappingEntry entry;
+    Ipv4Address stored_address;
+  };
+  // One open-addressing snapshot slot. `as == kInvalidAs` marks an empty
+  // slot; occupied slots compare the mixed tag first, then the exact key.
+  struct Slot {
+    std::uint64_t tag = 0;
+    AsId as = kInvalidAs;
+    Guid guid;
+    MappingEntry entry;
+  };
+  struct Shard {
+    // Mutable, authoritative state — written only from serial sections.
+    std::unordered_map<Key, Stored, KeyHash> map WRITE_SERIAL_READ_SHARED();
+    // Bumped on every applied mutation; equality with snapshot_epoch means
+    // the snapshot below answers exactly like `map`.
+    std::uint64_t epoch = 0;
+    std::uint64_t snapshot_epoch = 0;  // starts fresh: both empty
+    // Immutable published snapshot: power-of-two linear-probing table,
+    // rebuilt only by RefreshSnapshots.
+    std::vector<Slot> slots WRITE_SERIAL_READ_SHARED();
+    std::size_t slot_mask = 0;
+  };
+
+  // SplitMix64-style finalizer mixing the (fingerprint, as) pair into the
+  // snapshot probe tag and the map bucket hash.
+  static std::uint64_t MixTag(std::uint64_t fingerprint, AsId as) {
+    std::uint64_t x = fingerprint ^ (std::uint64_t(as) * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  unsigned ShardOfFingerprint(std::uint64_t fingerprint) const {
+    return unsigned(fingerprint % shards_.size());
+  }
+
+  void RebuildSnapshot(Shard& shard);
+
+  std::uint32_t num_ases_;
+  std::vector<Shard> shards_;
+  std::uint64_t snapshot_rebuilds_ = 0;
 };
 
 }  // namespace dmap

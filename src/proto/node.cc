@@ -151,19 +151,50 @@ std::vector<AsId> DMapNode::DeputyCandidates(const Guid& guid) const {
   // chain past the addresses we own — which is where Algorithm 1 put the
   // mapping while our prefix was a hole. This reproduces the paper's deputy
   // whenever the deputy was reached by rehashing (probability ~1 - 0.034%).
-  std::vector<AsId> candidates;
-  for (int replica = 0; replica < hashes_->k(); ++replica) {
-    Ipv4Address addr = hashes_->Hash(guid, replica);
-    bool chain_visits_self = false;
-    for (int tries = 1; tries <= max_hashes_ + 1; ++tries) {
+  // The K chains advance as a wavefront through the batched SipHash
+  // kernels (one interleaved pass per round instead of K scalar chains) —
+  // the same discipline as HoleResolver::ResolveBatch, and bit-identical
+  // to the per-replica loop it replaced.
+  const int k = hashes_->k();
+  std::vector<Ipv4Address> addrs;
+  addrs.resize(std::size_t(k));
+  hashes_->HashAllInto(guid, addrs.data());
+  std::vector<int> lanes, next_lanes;
+  std::vector<bool> visits_self(std::size_t(k), false);
+  lanes.reserve(std::size_t(k));
+  for (int replica = 0; replica < k; ++replica) lanes.push_back(replica);
+  // candidates[replica] holds that chain's deputy slot so the output order
+  // matches the old replica-major loop exactly.
+  std::vector<AsId> per_replica(std::size_t(k), kInvalidAs);
+  std::vector<Ipv4Address> rehash_in, rehash_out;
+  for (int tries = 1; tries <= max_hashes_ + 1 && !lanes.empty(); ++tries) {
+    rehash_in.clear();
+    next_lanes.clear();
+    for (const int replica : lanes) {
+      const Ipv4Address addr = addrs[std::size_t(replica)];
       const auto hit = table_->Lookup(addr);
       if (hit && hit->owner != self_) {
-        if (chain_visits_self) candidates.push_back(hit->owner);
-        break;
+        if (visits_self[std::size_t(replica)]) {
+          per_replica[std::size_t(replica)] = hit->owner;
+        }
+        continue;  // chain done
       }
-      if (hit && hit->owner == self_) chain_visits_self = true;
-      addr = hashes_->Rehash(addr, replica);
+      if (hit && hit->owner == self_) visits_self[std::size_t(replica)] = true;
+      rehash_in.push_back(addr);
+      next_lanes.push_back(replica);
     }
+    if (tries == max_hashes_ + 1) break;  // survivors exhaust their budget
+    rehash_out.resize(rehash_in.size());
+    hashes_->RehashManyInto(rehash_in.data(), next_lanes.data(),
+                            rehash_in.size(), rehash_out.data());
+    for (std::size_t j = 0; j < next_lanes.size(); ++j) {
+      addrs[std::size_t(next_lanes[j])] = rehash_out[j];
+    }
+    lanes = next_lanes;
+  }
+  std::vector<AsId> candidates;
+  for (const AsId as : per_replica) {
+    if (as != kInvalidAs) candidates.push_back(as);
   }
   // Deduplicate, preserve order, drop self (already excluded above).
   std::vector<AsId> unique;

@@ -42,7 +42,7 @@ void EventDrivenLookup::LookupAsync(const Guid& guid, AsId querier,
     if (service_->options().local_replica &&
         !service_->IsFailedAt(flow->querier, sim_->Now())) {
       if (const MappingEntry* entry =
-              service_->StoreAt(flow->querier).Lookup(flow->guid)) {
+              service_->StoreLookup(flow->querier, flow->guid)) {
         const MappingEntry local = *entry;
         const double local_rtt =
             2.0 * service_->oracle().graph().IntraLatencyMs(flow->querier);
@@ -116,7 +116,7 @@ void EventDrivenLookup::Transmit(const std::shared_ptr<Flow>& flow,
     return;
   }
 
-  const MappingEntry* entry = service_->StoreAt(host).Lookup(flow->guid);
+  const MappingEntry* entry = service_->StoreLookup(host, flow->guid);
   if (entry != nullptr) {
     const MappingEntry found = *entry;
     const AsId serving = host;

@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "core/hole_resolver.h"
 #include "obs/oracle_metrics.h"
+#include "obs/store_metrics.h"
 #include "runtime/thread_pool.h"
 
 namespace dmap {
@@ -23,6 +24,7 @@ DMapOptions MakeOptions(const ResponseTimeConfig& config) {
   options.local_replica = config.local_replica;
   options.selection = config.selection;
   options.hash_seed = config.hash_seed;
+  options.store_shards = config.shards;
   options.measure_update_latency = false;  // only lookups are measured
   return options;
 }
@@ -32,6 +34,10 @@ void LoadMappings(DMapService& service, WorkloadGenerator& workload) {
     // Load phase: placement outcomes are not part of the measurement.
     (void)service.Insert(op.guid, op.na);
   }
+  // The load phase is the last serial write point before the parallel
+  // measurement loop: publish the store/resolver read snapshots here so
+  // the lookup workers read lock-free (WRITE_SERIAL_READ_SHARED).
+  service.RefreshReadSnapshots();
 }
 
 // Attaches the config's observability sinks to `service` (call before the
@@ -148,6 +154,7 @@ SampleSet RunResponseTimeExperiment(SimEnvironment& env,
   }
   if (config.metrics != nullptr) {
     ContributeOracleMetrics(service.oracle(), *config.metrics);
+    ContributeStoreMetrics(service.store(), *config.metrics);
   }
   return samples;
 }
@@ -257,6 +264,7 @@ std::vector<std::pair<int, SampleSet>> RunResponseTimeSweep(
   }
   if (config.metrics != nullptr) {
     ContributeOracleMetrics(service.oracle(), *config.metrics);
+    ContributeStoreMetrics(service.store(), *config.metrics);
   }
   return results;
 }
@@ -324,6 +332,7 @@ SampleSet RunChurnExperiment(SimEnvironment& env,
   }
   if (config.base.metrics != nullptr) {
     ContributeOracleMetrics(service.oracle(), *config.base.metrics);
+    ContributeStoreMetrics(service.store(), *config.base.metrics);
   }
   return samples;
 }
@@ -385,6 +394,7 @@ std::vector<std::pair<double, SampleSet>> RunChurnSweep(
   }
   if (config.base.metrics != nullptr) {
     ContributeOracleMetrics(service.oracle(), *config.base.metrics);
+    ContributeStoreMetrics(service.store(), *config.base.metrics);
   }
   return results;
 }
@@ -498,6 +508,7 @@ std::vector<BaselineComparisonRow> RunBaselineComparison(
   if (config.metrics != nullptr) {
     ContributeOracleMetrics(shared_oracle, *config.metrics);
     ContributeOracleMetrics(dmap_scheme->service().oracle(), *config.metrics);
+    ContributeStoreMetrics(dmap_scheme->service().store(), *config.metrics);
   }
   return rows;
 }

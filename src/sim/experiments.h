@@ -29,6 +29,10 @@ struct ResponseTimeConfig {
   // Worker threads for the measurement loop; 0 = one per hardware thread
   // (or $DMAP_THREADS). Results do not depend on this value.
   unsigned threads = 0;
+  // Mapping-store shards (DMapOptions::store_shards); 0 = auto. Like
+  // `threads`, a pure execution knob: results are bit-identical for any
+  // value — asserted by tests and the CI --shards byte-diff job.
+  int shards = 0;
   // Point-distance engine for the measurement loop (see PathOracleBackend).
   // kHub builds/reuses env.hub_labels; results are bit-identical to kLru,
   // only faster — asserted by tests and the CI byte-diff job.

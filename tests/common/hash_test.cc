@@ -136,6 +136,54 @@ TEST(GuidHashFamilyTest, OutputCoversAddressSpaceUniformly) {
   EXPECT_LT(chi2, 37.7);  // 99.9% critical value, 15 dof
 }
 
+TEST(GuidHashFamilyTest, BatchedHashAllMatchesScalarHash) {
+  // The interleaved-lane kernel must be bit-identical to the scalar path
+  // for every K (full 4-lane blocks, scalar remainders, K < 4).
+  for (const int k : {1, 2, 3, 4, 5, 7, 8, 9, 16}) {
+    const GuidHashFamily family(k, 0x5eedf00dULL);
+    for (std::uint64_t s = 0; s < 50; ++s) {
+      const Guid g = Guid::FromSequence(s * 7919 + 3);
+      std::vector<Ipv4Address> batched;
+      batched.resize(std::size_t(k));
+      family.HashAllInto(g, batched.data());
+      for (int i = 0; i < k; ++i) {
+        EXPECT_EQ(batched[std::size_t(i)].value(), family.Hash(g, i).value())
+            << "k=" << k << " i=" << i << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(GuidHashFamilyTest, BatchedRehashMatchesScalarRehash) {
+  const GuidHashFamily family(5, 0x5eedf00dULL);
+  // Mixed lanes and a batch size exercising both the 4-wide kernel and the
+  // scalar tail.
+  std::vector<Ipv4Address> addrs;
+  std::vector<int> lanes;
+  for (int j = 0; j < 23; ++j) {
+    addrs.push_back(Ipv4Address(0x9e3779b9u * std::uint32_t(j + 1)));
+    lanes.push_back(j % 5);
+  }
+  std::vector<Ipv4Address> batched(addrs.size());
+  family.RehashManyInto(addrs.data(), lanes.data(), addrs.size(),
+                        batched.data());
+  for (std::size_t j = 0; j < addrs.size(); ++j) {
+    EXPECT_EQ(batched[j].value(),
+              family.Rehash(addrs[j], lanes[j]).value())
+        << "j=" << j;
+  }
+}
+
+TEST(GuidHashFamilyTest, HashAllUsesBatchedKernel) {
+  const GuidHashFamily family(6, 99);
+  const Guid g = Guid::FromSequence(123);
+  const std::vector<Ipv4Address> all = family.HashAll(g);
+  ASSERT_EQ(all.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(all[std::size_t(i)].value(), family.Hash(g, i).value());
+  }
+}
+
 TEST(GuidHashFamilyTest, RehashChainsDoNotCycleQuickly) {
   const GuidHashFamily family(1, 10);
   Ipv4Address addr(0x12345678);

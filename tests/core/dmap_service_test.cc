@@ -4,6 +4,7 @@
 
 #include <limits>
 #include <numeric>
+#include <tuple>
 #include <stdexcept>
 #include <string>
 
@@ -56,7 +57,7 @@ TEST_F(DMapServiceTest, ReplicasStoredAtResolvedHosts) {
   const Guid g = Guid::FromSequence(2);
   const UpdateResult up = service.Insert(g, NetworkAddress{10, 1});
   for (const AsId host : up.replicas) {
-    const MappingEntry* e = service.StoreAt(host).Lookup(g);
+    const MappingEntry* e = service.StoreLookup(host, g);
     ASSERT_NE(e, nullptr);
     EXPECT_TRUE(e->nas.AttachedTo(10));
   }
@@ -71,7 +72,7 @@ TEST_F(DMapServiceTest, LocalReplicaStoredAtAttachmentAs) {
   DMapService service(env_.graph, env_.table, Options());
   const Guid g = Guid::FromSequence(3);
   (void)service.Insert(g, NetworkAddress{42, 1});
-  EXPECT_NE(service.StoreAt(42).Lookup(g), nullptr);
+  EXPECT_NE(service.StoreLookup(42, g), nullptr);
 }
 
 TEST_F(DMapServiceTest, LocalLookupIsFast) {
@@ -142,9 +143,9 @@ TEST_F(DMapServiceTest, MobilityUpdateMovesMapping) {
   bool old_is_replica = false;
   for (const AsId host : up.replicas) old_is_replica |= host == 10;
   if (!old_is_replica) {
-    EXPECT_EQ(service.StoreAt(10).Lookup(g), nullptr);
+    EXPECT_EQ(service.StoreLookup(10, g), nullptr);
   }
-  EXPECT_NE(service.StoreAt(20).Lookup(g), nullptr);
+  EXPECT_NE(service.StoreLookup(20, g), nullptr);
 }
 
 TEST_F(DMapServiceTest, UpdateOfUnknownGuidThrows) {
@@ -523,6 +524,82 @@ TEST_F(DMapServiceTest, TracerCapturesProbeWalkAndFailures) {
   EXPECT_GT(up.hash_evaluations, 0);
   // Drained traces include the earlier unfailed lookup plus this one.
   EXPECT_EQ(tracer.Drain().size(), 2u);
+}
+
+TEST_F(DMapServiceTest, StoreShardsOptionValidates) {
+  DMapOptions bad = Options();
+  bad.store_shards = -1;
+  EXPECT_THROW(DMapService(env_.graph, env_.table, bad),
+               std::invalid_argument);
+  bad.store_shards = 100000;
+  EXPECT_THROW(DMapService(env_.graph, env_.table, bad),
+               std::invalid_argument);
+}
+
+TEST_F(DMapServiceTest, ResultsAreIdenticalForEveryShardCount) {
+  // The determinism contract extended to sharding: every externally
+  // observable result — lookup outcomes, per-AS store sizes, entry totals,
+  // stored-GUID enumeration — is byte-identical for any store_shards value.
+  struct Observed {
+    std::vector<std::size_t> sizes;
+    std::size_t total = 0;
+    std::vector<std::tuple<bool, double, int, AsId>> lookups;
+    std::vector<Guid> enumerated;
+  };
+  auto run = [&](int shards) {
+    DMapOptions options = Options(5);
+    options.store_shards = shards;
+    DMapService service(env_.graph, env_.table, options);
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      (void)service.Insert(Guid::FromSequence(i),
+                           NetworkAddress{AsId(i % 250), 1});
+    }
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      (void)service.Update(Guid::FromSequence(i),
+                           NetworkAddress{AsId((i + 7) % 250), 1});
+    }
+    for (std::uint64_t i = 0; i < 25; ++i) {
+      (void)service.Deregister(Guid::FromSequence(i * 3));
+    }
+    service.RefreshReadSnapshots();
+    Observed obs;
+    obs.sizes = service.StoreSizes();
+    obs.total = service.total_stored_entries();
+    for (std::uint64_t i = 0; i < 220; ++i) {
+      const LookupResult r =
+          service.Lookup(Guid::FromSequence(i), AsId(i % 299));
+      obs.lookups.emplace_back(r.found, r.latency_ms, r.attempts,
+                               r.serving_as);
+    }
+    obs.enumerated = service.GuidsStoredIn(
+        42, Cidr(Ipv4Address::FromOctets(0, 0, 0, 0), 0));
+    return obs;
+  };
+  const Observed baseline = run(1);
+  EXPECT_GT(baseline.total, 0u);
+  for (const int shards : {4, 16}) {
+    const Observed sharded = run(shards);
+    EXPECT_EQ(sharded.sizes, baseline.sizes) << "shards=" << shards;
+    EXPECT_EQ(sharded.total, baseline.total) << "shards=" << shards;
+    EXPECT_EQ(sharded.lookups, baseline.lookups) << "shards=" << shards;
+    EXPECT_EQ(sharded.enumerated, baseline.enumerated)
+        << "shards=" << shards;
+  }
+}
+
+TEST_F(DMapServiceTest, RefreshReadSnapshotsFreshensStoreAndResolver) {
+  DMapOptions options = Options();
+  DMapService service(env_.graph, env_.table, options);
+  (void)service.Insert(Guid::FromSequence(1), NetworkAddress{10, 1});
+  EXPECT_FALSE(service.store().snapshots_fresh());
+  service.RefreshReadSnapshots();
+  EXPECT_TRUE(service.store().snapshots_fresh());
+  EXPECT_TRUE(service.resolver().snapshot_fresh());
+  // Reads served from the fresh snapshots agree with the mutable maps.
+  EXPECT_NE(service.StoreLookup(service.Lookup(Guid::FromSequence(1), 200)
+                                    .serving_as,
+                                Guid::FromSequence(1)),
+            nullptr);
 }
 
 }  // namespace

@@ -305,5 +305,81 @@ TEST(HoleResolverTest, InvalidMaxHashesThrows) {
   EXPECT_THROW(HoleResolver(hashes, table, 0), std::invalid_argument);
 }
 
+TEST(HoleResolverTest, ResolveBatchMatchesPerGuidResolve) {
+  // The multi-GUID batch shares hash kernels and probe passes across the
+  // whole batch; every row must still equal the per-replica scalar result.
+  PrefixGenParams params;
+  params.num_ases = 120;
+  params.announced_fraction = 0.5;
+  params.seed = 77;
+  const PrefixTable table = GeneratePrefixTable(params);
+  const GuidHashFamily hashes(5, 33);
+  HoleResolver resolver(hashes, table, 10);
+  resolver.EnableSnapshot();
+  resolver.RefreshSnapshot();
+
+  std::vector<Guid> guids;
+  for (int i = 0; i < 777; ++i) {
+    guids.push_back(Guid::FromSequence(std::uint64_t(i)));
+  }
+  std::vector<HostResolution> batch;
+  batch.resize(guids.size() * 5);
+  resolver.ResolveBatch(guids, batch.data());
+  for (std::size_t g = 0; g < guids.size(); ++g) {
+    for (int replica = 0; replica < 5; ++replica) {
+      const HostResolution one = resolver.Resolve(guids[g], replica);
+      const HostResolution& row = batch[g * 5 + std::size_t(replica)];
+      ASSERT_EQ(row.host, one.host) << g << "/" << replica;
+      ASSERT_EQ(row.stored_address, one.stored_address);
+      ASSERT_EQ(row.hash_count, one.hash_count);
+      ASSERT_EQ(row.used_nearest, one.used_nearest);
+    }
+  }
+}
+
+TEST(HoleResolverTest, RefreshSnapshotSkipsRebuildWhenEpochUnchanged) {
+  // Regression: the write-point refresh must not pay the 64 MB DIR-24-8
+  // rebuild when the prefix table has not churned since the last build.
+  PrefixTable table;
+  table.Announce(C("0.0.0.0/1"), 1);
+  const GuidHashFamily hashes(2, 5);
+  HoleResolver resolver(hashes, table, 4);
+  resolver.EnableSnapshot();
+  EXPECT_EQ(resolver.snapshot_rebuilds(), 0u);
+
+  resolver.RefreshSnapshot();
+  EXPECT_EQ(resolver.snapshot_rebuilds(), 1u);
+  for (int i = 0; i < 10; ++i) resolver.RefreshSnapshot();
+  EXPECT_EQ(resolver.snapshot_rebuilds(), 1u);  // epoch unchanged: no-op
+
+  table.Announce(C("128.0.0.0/1"), 2);  // epoch bump
+  resolver.RefreshSnapshot();
+  EXPECT_EQ(resolver.snapshot_rebuilds(), 2u);
+  resolver.RefreshSnapshot();
+  EXPECT_EQ(resolver.snapshot_rebuilds(), 2u);
+  EXPECT_TRUE(resolver.snapshot_fresh());
+}
+
+TEST(HoleResolverTest, RefreshSnapshotSkipsRebuildUnderExternalFastPath) {
+  // While an external Dir24_8 is installed the owned snapshot is never
+  // probed, so the refresh must not keep rebuilding it.
+  PrefixTable table;
+  table.Announce(C("0.0.0.0/0"), 3);
+  const Dir24_8 external(table);
+  const GuidHashFamily hashes(2, 5);
+  HoleResolver resolver(hashes, table, 4);
+  resolver.EnableSnapshot();
+  resolver.SetFastPath(&external);
+  resolver.RefreshSnapshot();
+  EXPECT_EQ(resolver.snapshot_rebuilds(), 0u);
+
+  // Removing the fast path re-arms the owned snapshot at the next write
+  // point; resolutions in between fall back to the trie (always correct).
+  resolver.SetFastPath(nullptr);
+  resolver.RefreshSnapshot();
+  EXPECT_EQ(resolver.snapshot_rebuilds(), 1u);
+  EXPECT_TRUE(resolver.snapshot_fresh());
+}
+
 }  // namespace
 }  // namespace dmap

@@ -1,0 +1,204 @@
+#include "core/mapping_store.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool.h"
+
+namespace dmap {
+namespace {
+
+MappingEntry Entry(AsId as, std::uint64_t version) {
+  return MappingEntry{NaSet(NetworkAddress{as, as * 10}), version};
+}
+
+// The ShardedMappingStore must preserve MappingStore's per-(as, guid)
+// semantics exactly: version gating, idempotent reapply, erase resetting
+// the gate — the mapping_store_test suite transliterated to the sharded
+// keyspace, run at several shard counts.
+class ShardedStoreSemanticsTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShardedStoreSemanticsTest, InsertAndLookup) {
+  ShardedMappingStore store(100, GetParam());
+  const Guid g = Guid::FromSequence(1);
+  EXPECT_EQ(store.Lookup(5, g), nullptr);
+  EXPECT_TRUE(store.Upsert(5, g, Entry(5, 1)));
+  const MappingEntry* found = store.Lookup(5, g);
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(found->nas.AttachedTo(5));
+  EXPECT_EQ(store.size(), 1u);
+  // The same GUID at a different AS is an independent replica.
+  EXPECT_EQ(store.Lookup(6, g), nullptr);
+}
+
+TEST_P(ShardedStoreSemanticsTest, VersionGatePerReplica) {
+  ShardedMappingStore store(100, GetParam());
+  const Guid g = Guid::FromSequence(2);
+  store.Upsert(7, g, Entry(6, 5));
+  EXPECT_FALSE(store.Upsert(7, g, Entry(5, 4)));  // stale rejected
+  EXPECT_TRUE(store.Lookup(7, g)->nas.AttachedTo(6));
+  EXPECT_EQ(store.Lookup(7, g)->version, 5u);
+  EXPECT_TRUE(store.Upsert(7, g, Entry(6, 5)));  // idempotent reapply
+  EXPECT_TRUE(store.Upsert(7, g, Entry(8, 6)));  // newer wins
+  EXPECT_TRUE(store.Lookup(7, g)->nas.AttachedTo(8));
+}
+
+TEST_P(ShardedStoreSemanticsTest, EraseResetsGate) {
+  ShardedMappingStore store(100, GetParam());
+  const Guid g = Guid::FromSequence(3);
+  store.Upsert(1, g, Entry(1, 9));
+  EXPECT_TRUE(store.Erase(1, g));
+  EXPECT_FALSE(store.Erase(1, g));
+  EXPECT_EQ(store.Lookup(1, g), nullptr);
+  EXPECT_TRUE(store.empty());
+  EXPECT_TRUE(store.Upsert(1, g, Entry(2, 1)));  // fresh entry after erase
+}
+
+TEST_P(ShardedStoreSemanticsTest, ReadMatchesLookupFreshAndStale) {
+  ShardedMappingStore store(64, GetParam());
+  // Stale phase: no refresh yet after mutations -> Read falls back to the
+  // mutable map.
+  for (int i = 0; i < 500; ++i) {
+    store.Upsert(AsId(i % 64), Guid::FromSequence(std::uint64_t(i)),
+                 Entry(AsId(i % 64), 1));
+  }
+  EXPECT_FALSE(store.snapshots_fresh());
+  for (int i = 0; i < 500; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    EXPECT_EQ(store.Read(AsId(i % 64), g), store.Lookup(AsId(i % 64), g));
+    EXPECT_NE(store.Read(AsId(i % 64), g), nullptr);
+  }
+  // Fresh phase: snapshot probes must answer identically, including
+  // misses for absent (as, guid) pairs.
+  store.RefreshSnapshots();
+  EXPECT_TRUE(store.snapshots_fresh());
+  for (int i = 0; i < 500; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    const MappingEntry* read = store.Read(AsId(i % 64), g);
+    ASSERT_NE(read, nullptr);
+    EXPECT_EQ(read->version, store.Lookup(AsId(i % 64), g)->version);
+    EXPECT_EQ(store.Read(AsId((i + 1) % 64), g),
+              store.Lookup(AsId((i + 1) % 64), g));
+  }
+  EXPECT_EQ(store.Read(0, Guid::FromSequence(99999)), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedStoreSemanticsTest,
+                         ::testing::Values(1u, 4u, 16u));
+
+TEST(ShardedStoreTest, ShardOfIsDeterministicAndGuidOnly) {
+  ShardedMappingStore a(10, 16);
+  ShardedMappingStore b(10, 16);
+  for (int i = 0; i < 100; ++i) {
+    const Guid g = Guid::FromSequence(std::uint64_t(i));
+    EXPECT_EQ(a.ShardOf(g), b.ShardOf(g));
+    EXPECT_LT(a.ShardOf(g), 16u);
+  }
+  ShardedMappingStore one(10, 1);
+  EXPECT_EQ(one.ShardOf(Guid::FromSequence(7)), 0u);
+}
+
+TEST(ShardedStoreTest, ResolveShardCountClampsAndAutoSelects) {
+  EXPECT_EQ(ShardedMappingStore::ResolveShardCount(1), 1u);
+  EXPECT_EQ(ShardedMappingStore::ResolveShardCount(16), 16u);
+  EXPECT_EQ(ShardedMappingStore::ResolveShardCount(1 << 20),
+            ShardedMappingStore::kMaxShards);
+  const unsigned auto_count = ShardedMappingStore::ResolveShardCount(0);
+  EXPECT_GE(auto_count, 1u);
+  EXPECT_LE(auto_count, ShardedMappingStore::kMaxShards);
+  EXPECT_EQ(auto_count & (auto_count - 1), 0u);  // power of two
+}
+
+TEST(ShardedStoreTest, RefreshRebuildsOnlyDirtyShards) {
+  ShardedMappingStore store(100, 8);
+  for (int i = 0; i < 1000; ++i) {
+    store.Upsert(AsId(i % 100), Guid::FromSequence(std::uint64_t(i)),
+                 Entry(AsId(i % 100), 1));
+  }
+  store.RefreshSnapshots();
+  const std::uint64_t after_load = store.snapshot_rebuilds();
+  EXPECT_LE(after_load, 8u);  // at most one rebuild per shard
+  EXPECT_GE(after_load, 1u);
+
+  // No mutations since the refresh: a second refresh is a no-op.
+  store.RefreshSnapshots();
+  EXPECT_EQ(store.snapshot_rebuilds(), after_load);
+
+  // Touching one GUID dirties exactly one shard.
+  store.Upsert(3, Guid::FromSequence(42), Entry(3, 2));
+  EXPECT_FALSE(store.snapshots_fresh());
+  store.RefreshSnapshots();
+  EXPECT_EQ(store.snapshot_rebuilds(), after_load + 1);
+  EXPECT_TRUE(store.snapshots_fresh());
+  EXPECT_EQ(store.Read(3, Guid::FromSequence(42))->version, 2u);
+}
+
+TEST(ShardedStoreTest, AccountingIsShardCountInvariant) {
+  const Cidr prefix(Ipv4Address::FromOctets(10, 0, 0, 0), 8);
+  std::vector<unsigned> shard_counts = {1, 4, 16};
+  std::vector<std::vector<std::size_t>> sizes_by_as;
+  std::vector<std::vector<Guid>> stored_in;
+  for (const unsigned shards : shard_counts) {
+    ShardedMappingStore store(50, shards);
+    for (int i = 0; i < 2000; ++i) {
+      const AsId as = AsId(i % 50);
+      const Ipv4Address addr(((i % 3 == 0) ? 0x0a000000u : 0xc0000000u) +
+                             std::uint32_t(i));
+      store.Upsert(as, Guid::FromSequence(std::uint64_t(i)), Entry(as, 1),
+                   addr);
+    }
+    sizes_by_as.push_back(store.SizesByAs());
+    stored_in.push_back(store.GuidsStoredIn(7, prefix));
+    EXPECT_EQ(store.size(), 2000u);
+    EXPECT_EQ(store.SizeAt(7), 40u);
+    EXPECT_EQ(store.StorageBitsAt(7), 40u * kMappingEntryBits);
+  }
+  for (std::size_t i = 1; i < shard_counts.size(); ++i) {
+    EXPECT_EQ(sizes_by_as[i], sizes_by_as[0]);
+    EXPECT_EQ(stored_in[i], stored_in[0]);
+  }
+  EXPECT_FALSE(stored_in[0].empty());
+}
+
+// TSan coverage of the serving discipline: many workers Read concurrently
+// against fresh snapshots, strictly separated from the serial mutate +
+// refresh write points. Any read/write overlap or hidden shared mutable
+// state in the read path would trip TSan here.
+TEST(ShardedStoreTest, ConcurrentSnapshotReadsBetweenSerialWritePoints) {
+  constexpr int kGuids = 4000;
+  ShardedMappingStore store(64, 8);
+  ThreadPool pool(7);
+  std::uint64_t expected_hits = 0;
+  for (int round = 0; round < 3; ++round) {
+    // Serial write point: mutate, then publish fresh snapshots.
+    for (int i = round * kGuids; i < (round + 1) * kGuids; ++i) {
+      store.Upsert(AsId(i % 64), Guid::FromSequence(std::uint64_t(i)),
+                   Entry(AsId(i % 64), std::uint64_t(round + 1)));
+    }
+    store.RefreshSnapshots();
+    ASSERT_TRUE(store.snapshots_fresh());
+    expected_hits += std::uint64_t((round + 1) * kGuids);
+
+    // Parallel read phase: no writes until RunChunks returns.
+    std::atomic<std::uint64_t> hits{0};
+    pool.RunChunks(64, [&](std::size_t chunk, unsigned worker) {
+      (void)worker;
+      std::uint64_t local = 0;
+      for (int i = 0; i < (round + 1) * kGuids; ++i) {
+        const Guid g = Guid::FromSequence(std::uint64_t(i));
+        const AsId as = AsId(i % 64);
+        if (as % 64 != chunk) continue;
+        if (store.Read(as, g) != nullptr) ++local;
+      }
+      hits.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(hits.load(), std::uint64_t((round + 1) * kGuids));
+  }
+  (void)expected_hits;
+}
+
+}  // namespace
+}  // namespace dmap

@@ -271,6 +271,54 @@ TEST_F(ExperimentsTest, MetricsExportIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST_F(ExperimentsTest, ResponseTimeIsBitIdenticalAcrossShardCounts) {
+  // The sharding analogue of the thread-count gate: for every shards x
+  // threads combination, the sample sequence matches the single-shard
+  // serial run bit-for-bit.
+  ResponseTimeConfig reference_config = SmallConfig(3);
+  reference_config.threads = 1;
+  reference_config.shards = 1;
+  const SampleSet reference =
+      RunResponseTimeExperiment(env_, reference_config);
+  for (const int shards : {1, 4, 16}) {
+    for (const unsigned threads : {1u, 7u}) {
+      ResponseTimeConfig config = SmallConfig(3);
+      config.threads = threads;
+      config.shards = shards;
+      const SampleSet run = RunResponseTimeExperiment(env_, config);
+      EXPECT_EQ(run.samples(), reference.samples())
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ExperimentsTest, MetricsExportIsByteIdenticalAcrossShardCounts) {
+  // The CI --shards byte-diff job in miniature: default metrics export and
+  // op trace for shards {1, 4, 16} x threads {1, 7} must all match.
+  auto run = [&](int shards, unsigned threads) {
+    MetricsRegistry registry;
+    ProbeTracer tracer(1, 3);
+    ResponseTimeConfig config = SmallConfig(3);
+    config.threads = threads;
+    config.shards = shards;
+    config.metrics = &registry;
+    config.tracer = &tracer;
+    RunResponseTimeExperiment(env_, config);
+    return std::make_pair(MetricsSummaryJson(registry.Snapshot()),
+                          OpTraceCsv(tracer.Drain()));
+  };
+  const auto [metrics1, trace1] = run(1, 1);
+  for (const int shards : {4, 16}) {
+    for (const unsigned threads : {1u, 7u}) {
+      const auto [metrics, trace] = run(shards, threads);
+      EXPECT_EQ(metrics, metrics1)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(trace, trace1)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
 TEST_F(ExperimentsTest, MetricsSnapshotCountsWorkload) {
   MetricsRegistry registry;
   ResponseTimeConfig config = SmallConfig(3);

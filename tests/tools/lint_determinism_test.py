@@ -62,6 +62,15 @@ class LintDeterminismTest(unittest.TestCase):
         # is not an exporter/merge path.
         self.assert_violations(result, "unordered-iteration", 1)
 
+    def test_shard_merge_functions_are_critical(self):
+        # Sharded-store merge/enumeration names (SizesByAs, GuidsStoredIn,
+        # SizeAt, ForEach*) are in the critical set: unordered iteration
+        # there must either be flagged or carry an allow-with-reason.
+        result = self.lint_fixture("shard_merge.cc")
+        # SizesByAs is flagged; GuidsStoredIn carries the escape hatch and
+        # ScanShards is not a merge path.
+        self.assert_violations(result, "unordered-iteration", 1)
+
     def test_allow_with_reason_waives_but_bare_allow_does_not(self):
         result = self.lint_fixture("allowed.cc")
         self.assert_violations(result, "wall-clock", 1)

@@ -27,7 +27,8 @@ runtime; this linter rejects the constructs that cause them at review time:
                         inside src/obs/ or inside any function that feeds an
                         exporter or a merged SampleSet (name matches
                         Export/Snapshot/Drain/Merge/Summarize/Csv/Json/
-                        Write*) — unordered iteration order is
+                        Write*, or a sharded-store merge: SizeAt/SizesBy*/
+                        *StoredIn/ForEach*) — unordered iteration order is
                         implementation- and run-dependent; sort first.
 
 Escape hatch: a construct is allowed when the same line or the line above
@@ -80,7 +81,11 @@ RAND_PATTERNS = [
 # Function headings that mark determinism-critical merge/export paths when
 # the rule is scoped by function rather than by directory.
 CRITICAL_FUNCTION = re.compile(
-    r"(?i)(export|snapshot|drain|merge|summari[sz]e|csv|json|write)")
+    r"(?i)(export|snapshot|drain|merge|summari[sz]e|csv|json|write"
+    # Sharded-store merge/enumeration paths: anything that folds per-shard
+    # unordered maps into one externally visible value must iterate shards
+    # in shard order and sort enumerations (src/core/mapping_store.cc).
+    r"|sizeat|sizesby|storedin|foreach)")
 
 # A function definition heading: return type + name + (args) + { with no
 # intervening ';'. Heuristic, but C++ in this tree is clang-formatted and
