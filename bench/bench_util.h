@@ -14,6 +14,7 @@
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
 #include "obs/probe_trace.h"
+#include "serve/serving_config.h"
 #include "sim/metrics.h"
 #include "topo/shortest_path.h"
 
@@ -44,6 +45,11 @@ struct BenchOptions {
   // (plan, seed) pairs replay the identical chaos run.
   std::string fault_plan;
   std::uint64_t fault_seed = 0;
+  // Serving-tier capacity model: a configs/*.serving file path or an inline
+  // "k=v,..." string (ServingConfig::ParseArg — passing the flag implies
+  // enabled=true unless the config says otherwise). Empty = disabled, the
+  // infinite-capacity behaviour. Parse with ParsedServing().
+  std::string serving;
 };
 
 // Accepts both `--flag=value` and `--flag value` forms.
@@ -113,6 +119,14 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
                    BenchArgValue(arg, "--fault-plan", argc, argv, &i)) {
       options.fault_plan = value;
     } else if (const char* value =
+                   BenchArgValue(arg, "--serving", argc, argv, &i)) {
+      options.serving = value;
+      if (options.serving.empty()) {
+        std::fprintf(stderr, "bad --serving value: must name a file or an "
+                             "inline k=v,... config\n");
+        std::exit(2);
+      }
+    } else if (const char* value =
                    BenchArgValue(arg, "--fault-seed", argc, argv, &i)) {
       char* end = nullptr;
       const unsigned long long seed = std::strtoull(value, &end, 10);
@@ -127,6 +141,7 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
           "          [--path-oracle=lru|hub] [--metrics-out=<file>]\n"
           "          [--trace-out=<file>] [--trace-sample=<N>]\n"
           "          [--fault-plan=<file>] [--fault-seed=<n>]\n"
+          "          [--serving=<file|k=v,...>]\n"
           "  --shards        mapping-store shards (default 0 = auto;\n"
           "                  identical results for any value)\n"
           "  --path-oracle   point-distance engine (default hub; identical\n"
@@ -135,7 +150,9 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
           "  --trace-out     write a per-lookup op_trace CSV\n"
           "  --trace-sample  trace 1 in N lookups (default 1 = all)\n"
           "  --fault-plan    declarative fault plan file (configs/*.plan)\n"
-          "  --fault-seed    seed for per-message fault fates (default 0)\n",
+          "  --fault-seed    seed for per-message fault fates (default 0)\n"
+          "  --serving       serving-tier capacity model: configs/*.serving\n"
+          "                  file or inline k=v,... (default off)\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -192,6 +209,20 @@ class BenchObservability {
 inline PathOracleBackend ParsedPathOracle(const BenchOptions& options) {
   return options.path_oracle == "lru" ? PathOracleBackend::kLru
                                       : PathOracleBackend::kHub;
+}
+
+// The --serving flag as a validated ServingConfig; a missing flag yields
+// the disabled default (infinite capacity). Exits with the parser's
+// field-naming message on a bad file or inline string, like DMapOptions
+// validation would.
+inline ServingConfig ParsedServing(const BenchOptions& options) {
+  if (options.serving.empty()) return ServingConfig{};
+  try {
+    return ServingConfig::ParseArg(options.serving);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad --serving value: %s\n", e.what());
+    std::exit(2);
+  }
 }
 
 inline std::uint64_t Scaled(std::uint64_t base, double scale,

@@ -17,6 +17,7 @@ dmap_add_bench(fig4_response_time)
 dmap_add_bench(fig5_churn)
 dmap_add_bench(fig6_load_balance)
 dmap_add_bench(fig7_analytical)
+dmap_add_bench(fig8_offered_load)
 dmap_add_bench(storage_overhead)
 dmap_add_bench(ablation_baselines)
 dmap_add_bench(ablation_dmap)

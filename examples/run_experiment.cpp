@@ -8,6 +8,7 @@
 //
 //   experiment = response_time      # response_time | churn | load_balance
 //                                   # | analytical | baselines | staleness
+//                                   # | offered_load
 //   ases       = 8000
 //   seed       = 42
 //   geographic = false
@@ -21,6 +22,9 @@
 //   metrics_out  =                  # metrics summary (.json => JSON)
 //   trace_out    =                  # per-lookup probe-trace CSV
 //   trace_sample = 1                # trace 1-in-N GUIDs
+//   serving      =                  # serving tier: file or inline k=v,...
+//   offered_rates = 500, 1000, 2000, 4000   # offered_load sweep (req/s)
+//   horizon_s    = 5                # offered_load arrival horizon
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +37,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/probe_trace.h"
 #include "sim/experiments.h"
+#include "sim/offered_load.h"
 #include "sim/replication.h"
 #include "sim/staleness.h"
 #include "topo/io.h"
@@ -85,6 +90,9 @@ int Run(const Config& config) {
       std::uint64_t(config.GetInt("lookups", 100'000));
   rt.workload.seed = std::uint64_t(config.GetInt("workload_seed", 1));
   rt.local_replica = config.GetBool("local_replica", true);
+  if (!sim.serving.empty()) {
+    rt.serving = ServingConfig::ParseArg(sim.serving);
+  }
 
   std::vector<int> ks;
   for (const std::int64_t k : config.GetIntList("ks", {1, 3, 5})) {
@@ -96,6 +104,9 @@ int Run(const Config& config) {
   const std::string topology_file = config.GetString("topology_file", "");
   const std::vector<double> move_intervals =
       config.GetDoubleList("move_intervals", {300, 60, 20, 5});
+  const std::vector<double> offered_rates =
+      config.GetDoubleList("offered_rates", {500, 1000, 2000, 4000});
+  const double horizon_s = config.GetDouble("horizon_s", 5.0);
 
   // Typos in the config are fatal before any compute is spent.
   const auto unused = config.UnusedKeys();
@@ -234,6 +245,43 @@ int Run(const Config& config) {
                      r.time_to_fresh_ms.Quantile(0.95))});
     }
     std::printf("%s", table.Render().c_str());
+  } else if (experiment == "offered_load") {
+    OfferedLoadConfig ol;
+    ol.base = rt;
+    ol.base.k = ks.empty() ? 5 : ks.back();
+    if (!ol.base.serving.enabled) {
+      // No `serving` key: a sensible finite default, matching the fig8
+      // bench — an M/M/1-per-AS with a 64-deep queue.
+      ol.base.serving.enabled = true;
+      ol.base.serving.model = ServiceModel::kExponential;
+      ol.base.serving.service_rate_per_s = 500.0;
+    }
+    ol.arrivals.horizon_s = horizon_s;
+    ol.offered_rates_per_s = offered_rates;
+    const OfferedLoadResult result = RunOfferedLoadSweep(env, ol);
+    TextTable table({"offered/s", "lookups", "goodput/s", "p50 (ms)",
+                     "p99 (ms)", "p999 (ms)", "qdelay (ms)", "shed",
+                     "rho*"});
+    for (const OfferedLoadPoint& p : result.points) {
+      table.AddRow({TextTable::FormatDouble(p.offered_per_s, 0),
+                    std::to_string(p.lookups),
+                    TextTable::FormatDouble(p.goodput_per_s, 0),
+                    TextTable::FormatDouble(p.p50_ms),
+                    TextTable::FormatDouble(p.p99_ms),
+                    TextTable::FormatDouble(p.p999_ms),
+                    TextTable::FormatDouble(p.mean_queue_delay_ms),
+                    std::to_string(p.tier_shed),
+                    TextTable::FormatDouble(p.hottest_mm1.utilization)});
+    }
+    std::printf("%s", table.Render().c_str());
+    std::printf("analytic saturation %.0f/s, measured knee %s\n",
+                result.analytic_saturation_per_s,
+                result.measured_knee_per_s > 0
+                    ? (TextTable::FormatDouble(result.measured_knee_per_s,
+                                               0) +
+                       "/s")
+                          .c_str()
+                    : "(none)");
   } else if (experiment == "baselines") {
     const auto rows = RunBaselineComparison(env, rt, rt.workload.num_guids / 10);
     TextTable table({"scheme", "lookup mean (ms)", "lookup p95 (ms)",
@@ -265,7 +313,8 @@ int main(int argc, char** argv) {
         "replications = 1\ntopology_file =\nmove_intervals = 300, 60, 20, 5\n"
         "threads = 0\nshards = 0\npath_oracle = hub\nmetrics_out =\n"
         "trace_out =\n"
-        "trace_sample = 1\n");
+        "trace_sample = 1\nserving =\n"
+        "offered_rates = 500, 1000, 2000, 4000\nhorizon_s = 5\n");
     return 0;
   }
   if (argc != 2) {

@@ -207,6 +207,7 @@ SimConfig SimConfig::FromConfig(const Config& config) {
     throw std::runtime_error("config: 'trace_sample' must be >= 1");
   }
   sim.trace_sample = std::uint64_t(sample);
+  sim.serving = config.GetString("serving", "");
   return sim;
 }
 

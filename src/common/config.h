@@ -85,12 +85,18 @@ struct SimConfig {
   std::string trace_out;    // per-lookup probe trace CSV
   std::uint64_t trace_sample = 1;  // trace 1-in-N GUIDs (by fingerprint)
 
+  // Serving-tier capacity model, in ServingConfig::ParseArg form: a file
+  // path (configs/*.serving) or an inline "k=v,..." string. Empty =
+  // disabled (the infinite-capacity behaviour). Parsed lazily by the
+  // harness that consumes it, so a typo still fails before any compute.
+  std::string serving;
+
   // Resolves 0 to the hardware thread count (without consulting
   // $DMAP_THREADS — that hook lives in ThreadPool::Resolve).
   unsigned EffectiveThreads() const;
 
   // Reads the `threads`, `shards`, `path_oracle`, `metrics_out`,
-  // `trace_out` and `trace_sample` keys (defaults above).
+  // `trace_out`, `trace_sample` and `serving` keys (defaults above).
   static SimConfig FromConfig(const Config& config);
 };
 

@@ -96,6 +96,15 @@ struct ResolverOutcome {
   double latency_ms = 0.0;
   int attempts = 0;  // probes/overlay hops issued (>= 1 once executed)
   ResolverStatus status = ResolverStatus::kOk;
+  // Serving-tier accounting (src/serve/): the queue wait charged by the
+  // replica that resolved the operation, and how its admission went. Every
+  // backend without a capacity model — the closed form and all baselines —
+  // keeps the defaults (zero-delay kServed), so the cross-backend contract
+  // stays uniform; only the event-driven and wire executors with a
+  // ServingTier installed report anything else. A lookup that exhausted
+  // its plan with at least one probe shed reports kShed.
+  double queue_delay_ms = 0.0;
+  AdmissionOutcome admission = AdmissionOutcome::kServed;
   std::optional<ProbeTrace> trace;  // filled only for sampled operations
 };
 

@@ -53,6 +53,9 @@ std::string MetricsSummaryJson(const MetricsSnapshot& snapshot,
     out += "      \"sum\": " + Num(h.sum) + ",\n";
     out += "      \"min\": " + Num(h.min) + ",\n";
     out += "      \"max\": " + Num(h.max) + ",\n";
+    out += "      \"p50\": " + Num(HistogramQuantile(h, 0.50)) + ",\n";
+    out += "      \"p99\": " + Num(HistogramQuantile(h, 0.99)) + ",\n";
+    out += "      \"p999\": " + Num(HistogramQuantile(h, 0.999)) + ",\n";
     out += "      \"boundaries\": [";
     for (std::size_t i = 0; i < h.boundaries.size(); ++i) {
       if (i > 0) out += ", ";
@@ -72,29 +75,35 @@ std::string MetricsSummaryJson(const MetricsSnapshot& snapshot,
 
 std::string MetricsSummaryCsv(const MetricsSnapshot& snapshot,
                               const MetricsExportOptions& options) {
-  std::string out = "kind,name,le,count,sum,min,max\n";
+  std::string out = "kind,name,le,count,sum,min,max,p50,p99,p999\n";
   for (const CounterSnapshot& c : snapshot.counters) {
     if (!Included(c.stability, options)) continue;
-    out += "counter," + c.name + ",," + Num(c.value) + ",,,\n";
+    out += "counter," + c.name + ",," + Num(c.value) + ",,,,,,\n";
   }
   for (const HistogramSnapshot& h : snapshot.histograms) {
     if (!Included(h.stability, options)) continue;
     out += "histogram," + h.name + ",," + Num(h.count) + "," + Num(h.sum) +
-           "," + Num(h.min) + "," + Num(h.max) + "\n";
+           "," + Num(h.min) + "," + Num(h.max) + "," +
+           Num(HistogramQuantile(h, 0.50)) + "," +
+           Num(HistogramQuantile(h, 0.99)) + "," +
+           Num(HistogramQuantile(h, 0.999)) + "\n";
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       const std::string le =
           i < h.boundaries.size() ? Num(h.boundaries[i]) : "inf";
       out += "bucket," + h.name + "," + le + "," + Num(h.buckets[i]) +
-             ",,,\n";
+             ",,,,,,\n";
     }
   }
   return out;
 }
 
 std::string OpTraceCsv(const std::vector<ProbeTrace>& traces) {
+  // Schema v2: the serving-tier columns queue_delay_ms and admission
+  // (served/queued/shed) follow the v1 columns; paths without a serving
+  // tier emit the uniform zero-delay "served".
   std::string out =
-      "op,guid_fp,querier,found,local_won,latency_ms,attempts,"
-      "hash_evaluations,probes\n";
+      "op,guid_fp,querier,found,local_won,latency_ms,queue_delay_ms,"
+      "admission,attempts,hash_evaluations,probes\n";
   for (const ProbeTrace& t : traces) {
     out += t.op;
     out += ",";
@@ -110,6 +119,10 @@ std::string OpTraceCsv(const std::vector<ProbeTrace>& traces) {
     out += t.local_won ? ",1" : ",0";
     out += ',';
     out += Num(t.latency_ms);
+    out += ',';
+    out += Num(t.queue_delay_ms);
+    out += ',';
+    out += AdmissionOutcomeName(t.admission);
     out += ',';
     out += std::to_string(t.attempts);
     out += ',';

@@ -35,6 +35,8 @@ std::string MetricsSummaryCsv(const MetricsSnapshot& snapshot,
 
 // One row per trace; probe events serialized "as:outcome:rtt|..." in probe
 // order. Input should come from ProbeTracer::Drain() (canonical order).
+// Schema v2: adds the serving-tier columns queue_delay_ms and admission
+// (served/queued/shed) after latency_ms.
 std::string OpTraceCsv(const std::vector<ProbeTrace>& traces);
 
 // Renders `snapshot` as JSON when `path` ends in ".json", CSV otherwise,

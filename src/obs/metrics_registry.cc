@@ -93,6 +93,33 @@ void MetricsRegistry::Observe(HistogramId id, double value, unsigned worker) {
   cell.max = std::max(cell.max, value);
 }
 
+double HistogramQuantile(const HistogramSnapshot& histogram, double q) {
+  if (histogram.count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * double(histogram.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < histogram.buckets.size(); ++b) {
+    if (histogram.buckets[b] == 0) continue;
+    const double before = double(cumulative);
+    cumulative += histogram.buckets[b];
+    if (double(cumulative) < target) continue;
+    // Interpolate within bucket b: (lo, hi] with lo = previous boundary
+    // (or min for the first bucket) and hi = boundaries[b] (or max for the
+    // overflow bucket).
+    const double lo = b == 0 ? histogram.min : histogram.boundaries[b - 1];
+    const double hi = b < histogram.boundaries.size()
+                          ? histogram.boundaries[b]
+                          : histogram.max;
+    const double fraction =
+        histogram.buckets[b] == 0
+            ? 0.0
+            : (target - before) / double(histogram.buckets[b]);
+    const double value = lo + (hi - lo) * fraction;
+    return std::min(histogram.max, std::max(histogram.min, value));
+  }
+  return histogram.max;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counter_defs_.size());

@@ -58,6 +58,13 @@ struct MetricsSnapshot {
   std::vector<HistogramSnapshot> histograms;  // sorted by name
 };
 
+// Quantile estimate from a histogram snapshot by linear interpolation
+// inside the bucket holding the target rank (the Prometheus rule), clamped
+// to the recorded [min, max] so the estimate never leaves the data range.
+// `q` in [0, 1]; returns 0 for an empty histogram. Deterministic: computed
+// from the merged buckets, so it is identical for every worker count.
+double HistogramQuantile(const HistogramSnapshot& histogram, double q);
+
 class MetricsRegistry {
  public:
   explicit MetricsRegistry(unsigned num_workers = 1);

@@ -15,12 +15,22 @@ bool TraceLess(const ProbeTrace& a, const ProbeTrace& b) {
   const auto key = [](const ProbeTrace& t) {
     return std::make_tuple(t.guid_fp, t.op, t.querier, t.latency_ms,
                            t.attempts, t.found, t.local_won,
-                           t.hash_evaluations);
+                           t.hash_evaluations, t.queue_delay_ms,
+                           char(t.admission));
   };
   return key(a) < key(b);
 }
 
 }  // namespace
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kServed: return "served";
+    case AdmissionOutcome::kQueued: return "queued";
+    case AdmissionOutcome::kShed: return "shed";
+  }
+  return "served";
+}
 
 ProbeTracer::ProbeTracer(unsigned num_workers, std::uint64_t sample_every)
     : sampler_(sample_every) {

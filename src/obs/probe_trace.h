@@ -35,6 +35,20 @@ struct ProbeEvent {
   ProbeOutcome outcome = ProbeOutcome::kMiss;
 };
 
+// How the serving tier treated the request that resolved an operation.
+// Backends without a capacity model (the closed form, all baselines)
+// report the default — zero-delay kServed — so the cross-backend contract
+// stays uniform (resolver_contract_test pins this).
+enum class AdmissionOutcome : char {
+  kServed = 'S',  // started service immediately (no queue wait)
+  kQueued = 'Q',  // admitted but waited in the server's FIFO queue
+  kShed = 'X',    // rejected (token bucket empty or queue full); the
+                  // client sees a timeout and falls through / retries
+};
+
+// Lowercase wire names used by the op_trace CSV: served / queued / shed.
+const char* AdmissionOutcomeName(AdmissionOutcome outcome);
+
 // One sampled operation. Backends fill this into the operation's
 // ResolverOutcome (see core/dmap_service.h); the ProbeTracer sink collects
 // copies for export.
@@ -45,6 +59,11 @@ struct ProbeTrace {
   bool found = false;
   bool local_won = false;  // the local replica answered first
   double latency_ms = 0.0;
+  // Serving-tier view of the operation (op_trace CSV v2 columns): queue
+  // wait charged by the replica that resolved it, and how admission went.
+  // Zero-delay kServed everywhere the serving tier is off.
+  double queue_delay_ms = 0.0;
+  AdmissionOutcome admission = AdmissionOutcome::kServed;
   int attempts = 0;           // probes issued (== probes.size() when traced)
   int hash_evaluations = 0;   // Algorithm-1 hash evals to locate replicas
   std::vector<ProbeEvent> probes;  // in probe order

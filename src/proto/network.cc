@@ -30,6 +30,7 @@ struct ProtocolNetwork::LookupOp {
   EventHandle timeout;
   EventHandle local_reply;
   std::vector<std::size_t> miss_indices;  // live replicas that had no entry
+  int sheds = 0;  // probes the serving tier rejected (server-side view)
   std::function<void(const LookupResult&)> done;
   std::optional<ProbeTrace> trace;
 };
@@ -159,8 +160,6 @@ void ProtocolNetwork::Send(const Message& message) {
 }
 
 void ProtocolNetwork::Deliver(const Message& message) {
-  const MessageHeader& header = HeaderOf(message);
-
   // Client-agent responses are routed by request id.
   if (const auto* response = std::get_if<LookupResponse>(&message)) {
     if (HandleLookupResponse(*response)) return;
@@ -169,8 +168,35 @@ void ProtocolNetwork::Deliver(const Message& message) {
     if (HandleInsertAck(*ack)) return;
   }
 
-  // Everything else is node-to-node protocol traffic. (Responses whose
-  // client op already completed also land here; nodes ignore them.)
+  // Serving tier: a LookupRequest reaching a mapping server meets its
+  // admission machinery at delivery time. Shed = silence (the client's
+  // timeout takes over); admitted = the node answers after queue wait +
+  // service. Writes are not rate-limited (see SetServingTier).
+  if (serving_ != nullptr) {
+    if (const auto* request = std::get_if<LookupRequest>(&message)) {
+      const AdmitResult admit =
+          serving_->Admit(request->header.dst, sim_.Now());
+      if (admit.outcome == AdmissionOutcome::kShed) {
+        if (const auto it = lookups_.find(request->header.request_id);
+            it != lookups_.end()) {
+          ++it->second.op->sheds;
+        }
+        return;
+      }
+      probe_admits_[request->header.request_id] = admit;
+      sim_.Schedule(SimTime::Millis(admit.DelayMs()),
+                    [this, message] { DeliverToNode(message); });
+      return;
+    }
+  }
+
+  DeliverToNode(message);
+}
+
+void ProtocolNetwork::DeliverToNode(const Message& message) {
+  const MessageHeader& header = HeaderOf(message);
+  // Node-to-node protocol traffic. (Responses whose client op already
+  // completed also land here; nodes ignore them.)
   std::vector<Message> responses;
   nodes_[header.dst]->HandleMessage(message, &responses);
   for (Message& response : responses) {
@@ -188,6 +214,15 @@ bool ProtocolNetwork::HandleLookupResponse(const LookupResponse& response) {
   if (op->completed) return true;
   const bool at_frontier = index == op->frontier;
 
+  // The serving tier's verdict for this request, if one was recorded: the
+  // reply charges its queue wait + service to the probe that paid it.
+  AdmitResult admit;
+  if (const auto admit_it = probe_admits_.find(header.request_id);
+      admit_it != probe_admits_.end()) {
+    admit = admit_it->second;
+    probe_admits_.erase(admit_it);
+  }
+
   if (response.found) {
     // A found reply resolves the lookup even when its probe already timed
     // out — the seed protocol dropped these on the floor and fell through
@@ -196,13 +231,16 @@ bool ProtocolNetwork::HandleLookupResponse(const LookupResponse& response) {
     if (at_frontier && op->trace.has_value()) {
       op->trace->probes.push_back(
           ProbeEvent{header.src,
-                     op->frontier_charged_ms + op->plan[index].rtt,
+                     op->frontier_charged_ms + op->plan[index].rtt +
+                         admit.DelayMs(),
                      ProbeOutcome::kHit});
     }
     LookupResult result;
     result.found = true;
     result.nas = response.entry.nas;
     result.serving_as = header.src;
+    result.queue_delay_ms = admit.queue_delay_ms;
+    result.admission = admit.outcome;
     CompleteLookup(op, result, &response.entry);
     return true;
   }
@@ -222,7 +260,8 @@ bool ProtocolNetwork::HandleLookupResponse(const LookupResponse& response) {
   if (op->trace.has_value()) {
     op->trace->probes.push_back(
         ProbeEvent{header.src,
-                   op->frontier_charged_ms + op->plan[index].rtt,
+                   op->frontier_charged_ms + op->plan[index].rtt +
+                       admit.DelayMs(),
                    ProbeOutcome::kMiss});
   }
   SendProbe(op, index + 1);
@@ -235,7 +274,10 @@ void ProtocolNetwork::CompleteLookup(const std::shared_ptr<LookupOp>& op,
   op->completed = true;
   op->timeout.Cancel();
   op->local_reply.Cancel();
-  for (const std::uint64_t id : op->request_ids) lookups_.erase(id);
+  for (const std::uint64_t id : op->request_ids) {
+    lookups_.erase(id);
+    probe_admits_.erase(id);
+  }
   result.latency_ms = (sim_.Now() - op->started).millis();
   result.attempts = op->attempts;
   if (op->trace.has_value()) {
@@ -243,6 +285,8 @@ void ProtocolNetwork::CompleteLookup(const std::shared_ptr<LookupOp>& op,
     trace.found = result.found;
     trace.local_won = result.served_locally;
     trace.latency_ms = result.latency_ms;
+    trace.queue_delay_ms = result.queue_delay_ms;
+    trace.admission = result.admission;
     trace.attempts = result.attempts;
     if (tracer_ != nullptr) tracer_->Record(trace_shard_, trace);
   }
@@ -519,8 +563,11 @@ void ProtocolNetwork::SendProbe(const std::shared_ptr<LookupOp>& op,
   if (op->completed) return;
   if (index >= op->plan.size()) {
     // Every replica missed or timed out: report the failure at the time
-    // the last timeout fired or miss came back.
+    // the last timeout fired or miss came back. When the serving tier shed
+    // at least one probe, overload — not absence — is the likely cause.
     LookupResult result;
+    result.admission = op->sheds > 0 ? AdmissionOutcome::kShed
+                                     : AdmissionOutcome::kServed;
     CompleteLookup(op, result, nullptr);
     return;
   }

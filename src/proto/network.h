@@ -33,6 +33,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/probe_trace.h"
 #include "proto/node.h"
+#include "serve/serving_tier.h"
 #include "topo/shortest_path.h"
 
 namespace dmap {
@@ -88,6 +89,19 @@ class ProtocolNetwork {
   // is replayable bit-for-bit from (plan, seed).
   void ApplyFaultPlan(const FaultPlan& plan, std::uint64_t seed);
   const FaultInjector* injector() const { return injector_.get(); }
+
+  // Installs the per-AS serving tier (src/serve/): every LookupRequest
+  // delivered to a mapping server passes its admission machinery at
+  // delivery time — a shed request vanishes (the client's timeout fires
+  // and the retry/fall-through machinery takes over), an admitted one is
+  // handed to the node after its queue wait + service time, and the reply
+  // carries that delay back into the lookup's queue_delay_ms/admission.
+  // Writes (InsertRequest) are not rate-limited — the tier models the
+  // query-serving capacity of Section IV-B. nullptr (default) restores
+  // the infinite-capacity behaviour bit-for-bit. The tier must outlive
+  // the network and must not be shared across concurrent simulators.
+  void SetServingTier(ServingTier* tier) { serving_ = tier; }
+  ServingTier* serving_tier() const { return serving_; }
 
   // Registers the fault.* instruments and mirrors the fault counters into
   // `registry` under shard `shard` (the network itself is serial; parallel
@@ -151,6 +165,9 @@ class ProtocolNetwork {
   // failure state is checked when each copy is *delivered*.
   void Send(const Message& message);
   void Deliver(const Message& message);
+  // The node-layer tail of Deliver, after the serving tier admitted the
+  // message (or no tier is installed).
+  void DeliverToNode(const Message& message);
 
   // Lookup client machine.
   void SendProbe(const std::shared_ptr<LookupOp>& op, std::size_t index);
@@ -193,6 +210,11 @@ class ProtocolNetwork {
   std::vector<std::unique_ptr<DMapNode>> nodes_;
   FailureView failures_;
   std::unique_ptr<FaultInjector> injector_;
+  ServingTier* serving_ = nullptr;
+  // Admission verdict of the serving tier per in-flight request id, so the
+  // reply can charge its queue wait to the right probe. Entries are erased
+  // when the reply is consumed or the lookup completes.
+  std::unordered_map<std::uint64_t, AdmitResult> probe_admits_;
   std::uint64_t message_seq_ = 0;  // feeds FaultInjector::FateOf
   std::unordered_map<Guid, std::uint64_t, GuidHash> versions_;
 

@@ -1,0 +1,109 @@
+#include "serve/serving_config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmap {
+
+void ServingConfig::Validate() const {
+  if (!(service_rate_per_s > 0.0) || !std::isfinite(service_rate_per_s)) {
+    throw std::invalid_argument(
+        "ServingConfig: service_rate must be a positive finite rate");
+  }
+  if (concurrency < 1) {
+    throw std::invalid_argument("ServingConfig: concurrency < 1");
+  }
+  if (queue_depth < 0) {
+    throw std::invalid_argument("ServingConfig: queue_depth < 0");
+  }
+  if (bucket_rate_per_s < 0.0 || !std::isfinite(bucket_rate_per_s)) {
+    throw std::invalid_argument(
+        "ServingConfig: bucket_rate must be a non-negative finite rate");
+  }
+  if (admission == AdmissionPolicy::kTokenBucket && bucket_rate_per_s > 0.0 &&
+      bucket_burst < 1.0) {
+    throw std::invalid_argument(
+        "ServingConfig: bucket_burst < 1 with an active token bucket");
+  }
+}
+
+namespace {
+
+ServiceModel ParseModel(const std::string& name) {
+  if (name == "deterministic") return ServiceModel::kDeterministic;
+  if (name == "exponential") return ServiceModel::kExponential;
+  throw std::invalid_argument("ServingConfig: model must be 'deterministic'"
+                              " or 'exponential', got '" + name + "'");
+}
+
+AdmissionPolicy ParseAdmission(const std::string& name) {
+  if (name == "token_bucket") return AdmissionPolicy::kTokenBucket;
+  if (name == "none") return AdmissionPolicy::kNone;
+  throw std::invalid_argument("ServingConfig: admission must be "
+                              "'token_bucket' or 'none', got '" + name + "'");
+}
+
+}  // namespace
+
+const char* ServiceModelName(ServiceModel model) {
+  return model == ServiceModel::kDeterministic ? "deterministic"
+                                               : "exponential";
+}
+
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  return policy == AdmissionPolicy::kTokenBucket ? "token_bucket" : "none";
+}
+
+ServingConfig ServingConfig::FromConfig(const Config& config,
+                                        bool default_enabled) {
+  ServingConfig serving;
+  serving.enabled = config.GetBool("enabled", default_enabled);
+  serving.model = ParseModel(config.GetString("model", "deterministic"));
+  serving.service_rate_per_s =
+      config.GetDouble("service_rate", serving.service_rate_per_s);
+  serving.concurrency = int(config.GetInt("concurrency", serving.concurrency));
+  serving.queue_depth = int(config.GetInt("queue_depth", serving.queue_depth));
+  serving.admission =
+      ParseAdmission(config.GetString("admission", "token_bucket"));
+  serving.bucket_rate_per_s =
+      config.GetDouble("bucket_rate", serving.bucket_rate_per_s);
+  serving.bucket_burst = config.GetDouble("bucket_burst", serving.bucket_burst);
+  serving.seed = std::uint64_t(config.GetInt("seed", 1));
+  serving.Validate();
+  return serving;
+}
+
+ServingConfig ServingConfig::ParseString(const std::string& text,
+                                         bool default_enabled) {
+  const Config config = Config::ParseString(text);
+  ServingConfig serving = FromConfig(config, default_enabled);
+  const auto unused = config.UnusedKeys();
+  if (!unused.empty()) {
+    throw std::invalid_argument("ServingConfig: unknown key '" + unused[0] +
+                                "'");
+  }
+  return serving;
+}
+
+ServingConfig ServingConfig::ParseFile(const std::string& path) {
+  const Config config = Config::ParseFile(path);
+  ServingConfig serving = FromConfig(config, /*default_enabled=*/true);
+  const auto unused = config.UnusedKeys();
+  if (!unused.empty()) {
+    throw std::invalid_argument("ServingConfig: unknown key '" + unused[0] +
+                                "' in " + path);
+  }
+  return serving;
+}
+
+ServingConfig ServingConfig::ParseArg(const std::string& arg) {
+  if (arg.find('=') == std::string::npos) return ParseFile(arg);
+  // Inline form: commas separate `k=v` pairs; rewrite to the line-oriented
+  // config syntax. Passing the flag at all implies enabled=true.
+  std::string text = arg;
+  std::replace(text.begin(), text.end(), ',', '\n');
+  return ParseString(text, /*default_enabled=*/true);
+}
+
+}  // namespace dmap

@@ -1,0 +1,143 @@
+#include "serve/serving_tier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dmap {
+
+ServingTier::ServingTier(const ServingConfig& config) : config_(config) {
+  config_.Validate();
+}
+
+void ServingTier::SetMetrics(MetricsRegistry* registry, unsigned shard) {
+  metrics_ = registry;
+  metrics_shard_ = shard;
+  if (registry == nullptr) return;
+  ins_.arrivals = registry->Counter("serve.arrivals");
+  ins_.served = registry->Counter("serve.served");
+  ins_.queued = registry->Counter("serve.queued");
+  ins_.shed_tokens = registry->Counter("serve.shed_tokens");
+  ins_.shed_queue = registry->Counter("serve.shed_queue");
+  ins_.queue_delay_ms = registry->Histogram(
+      "serve.queue_delay_ms", MetricsRegistry::LatencyBoundariesMs());
+  ins_.service_ms = registry->Histogram(
+      "serve.service_ms", MetricsRegistry::LatencyBoundariesMs());
+}
+
+void ServingTier::Count(std::uint64_t& plain, CounterId id) {
+  ++plain;
+  if (metrics_ != nullptr) metrics_->Add(id, 1, metrics_shard_);
+}
+
+double ServingTier::DrawServiceMs(AsId server,
+                                  std::uint64_t arrival_index) const {
+  if (config_.model == ServiceModel::kDeterministic) {
+    return config_.MeanServiceMs();
+  }
+  // Exponential draw, pure in (seed, server, arrival index): two SplitMix64
+  // steps diffuse the key into a uniform; inverse transform gives the
+  // exponential. No shared stream, so the draw is independent of the order
+  // in which other servers' requests arrive.
+  SplitMix64 sm(config_.seed ^ (std::uint64_t(server) + 1) *
+                                   0x9e3779b97f4a7c15ULL ^
+                (arrival_index + 1) * 0xbf58476d1ce4e5b9ULL);
+  sm.Next();
+  // Map to (0, 1]: never 0, so the log is finite.
+  const double u = double(sm.Next() >> 11) * 0x1.0p-53 + 0x1.0p-54;
+  return -config_.MeanServiceMs() * std::log(u);
+}
+
+AdmitResult ServingTier::Admit(AsId server, SimTime now) {
+  Server& s = servers_[server];
+  if (s.arrivals == 0) {
+    // First contact: the bucket starts full.
+    s.tokens = config_.bucket_burst;
+    s.last_refill = now;
+  }
+  const std::uint64_t arrival_index = s.arrivals++;
+  Count(arrivals_, ins_.arrivals);
+
+  // Retire the requests that completed before this arrival.
+  const auto still_busy = std::lower_bound(
+      s.completions.begin(), s.completions.end(), now,
+      [](SimTime completion, SimTime t) { return completion <= t; });
+  s.completions.erase(s.completions.begin(), still_busy);
+
+  AdmitResult result;
+
+  // Token-bucket admission runs at the front door, before queueing.
+  if (config_.admission == AdmissionPolicy::kTokenBucket &&
+      config_.bucket_rate_per_s > 0.0) {
+    const double elapsed_s = (now - s.last_refill).seconds();
+    s.tokens = std::min(config_.bucket_burst,
+                        s.tokens + elapsed_s * config_.bucket_rate_per_s);
+    s.last_refill = now;
+    if (s.tokens < 1.0) {
+      result.outcome = AdmissionOutcome::kShed;
+      Count(shed_tokens_, ins_.shed_tokens);
+      return result;
+    }
+  }
+
+  // Bounded FIFO: in-system requests beyond the `concurrency` in service
+  // are waiting; a full waiting room sheds the arrival (and refunds
+  // nothing — the token check above only passed, it has not consumed yet).
+  const std::size_t in_system = s.completions.size();
+  const std::size_t c = std::size_t(config_.concurrency);
+  if (in_system >= c &&
+      in_system - c >= std::size_t(config_.queue_depth)) {
+    result.outcome = AdmissionOutcome::kShed;
+    Count(shed_queue_, ins_.shed_queue);
+    return result;
+  }
+  if (config_.admission == AdmissionPolicy::kTokenBucket &&
+      config_.bucket_rate_per_s > 0.0) {
+    s.tokens -= 1.0;
+  }
+
+  // FIFO with c servers and service times fixed at arrival: the request
+  // starts when the number in system drops below c — i.e. at the
+  // (in_system - c + 1)-th smallest completion time — or immediately.
+  SimTime start = now;
+  if (in_system >= c) {
+    start = std::max(start, s.completions[in_system - c]);
+    result.outcome = AdmissionOutcome::kQueued;
+    Count(queued_, ins_.queued);
+  } else {
+    Count(served_, ins_.served);
+  }
+  result.queue_delay_ms = (start - now).millis();
+  result.service_ms = DrawServiceMs(server, arrival_index);
+
+  const SimTime completion = start + SimTime::Millis(result.service_ms);
+  s.completions.insert(
+      std::upper_bound(s.completions.begin(), s.completions.end(),
+                       completion),
+      completion);
+
+  if (metrics_ != nullptr) {
+    metrics_->Observe(ins_.queue_delay_ms, result.queue_delay_ms,
+                      metrics_shard_);
+    metrics_->Observe(ins_.service_ms, result.service_ms, metrics_shard_);
+  }
+  return result;
+}
+
+std::pair<AsId, std::uint64_t> ServingTier::HottestServer() const {
+  AsId hottest = kInvalidAs;
+  std::uint64_t most = 0;
+  for (const auto& [as, server] : servers_) {
+    // Tie-break on the lower AS id so the scan order of the hash map never
+    // shows in the result.
+    if (server.arrivals > most ||
+        (server.arrivals == most && as < hottest)) {
+      hottest = as;
+      most = server.arrivals;
+    }
+  }
+  return {hottest, most};
+}
+
+}  // namespace dmap

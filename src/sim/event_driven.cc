@@ -1,6 +1,7 @@
 #include "sim/event_driven.h"
 
 #include <memory>
+#include <optional>
 
 #include "fault/retry_policy.h"
 
@@ -14,12 +15,18 @@ struct EventDrivenLookup::Flow {
   SimTime started;
   int attempts = 0;
   bool completed = false;
-  EventHandle local_reply;  // cancelled if the global path wins first
+  // Index of the probe currently awaited. A reply or timeout for an
+  // earlier index is late: the lookup has already moved past it.
+  std::size_t frontier = 0;
+  int sheds = 0;  // probes rejected by the serving tier
+  EventHandle local_reply;    // cancelled if the global path wins first
+  EventHandle probe_timeout;  // armed per transmission on the serving path
 
   void Complete(Simulator& sim, LookupResult result) {
     if (completed) return;
     completed = true;
     local_reply.Cancel();
+    probe_timeout.Cancel();
     result.latency_ms = (sim.Now() - started).millis();
     result.attempts = attempts;
     done(result);
@@ -38,7 +45,9 @@ void EventDrivenLookup::LookupAsync(const Guid& guid, AsId querier,
     flow->plan = service_->ProbePlan(flow->guid, flow->querier);
 
     // Local resolution races the global one (Section III-C): a hit in the
-    // querier's own store replies after one intra-AS round trip.
+    // querier's own store replies after one intra-AS round trip. The local
+    // replica is the querier's own process — it does not pass the serving
+    // tier, which models the shared mapping-server fleet.
     if (service_->options().local_replica &&
         !service_->IsFailedAt(flow->querier, sim_->Now())) {
       if (const MappingEntry* entry =
@@ -86,10 +95,13 @@ void EventDrivenLookup::UpdateAsync(const Guid& guid, NetworkAddress na,
 void EventDrivenLookup::SendProbe(const std::shared_ptr<Flow>& flow,
                                   std::size_t index) {
   if (flow->completed) return;
+  flow->frontier = index;
   if (index >= flow->plan.size()) {
-    // Every replica missed or timed out: report the failure at the time
-    // the last reply came back.
+    // Every replica missed, timed out, or shed us: report the failure at
+    // the time the last reply came back.
     LookupResult result;
+    result.admission = flow->sheds > 0 ? AdmissionOutcome::kShed
+                                       : AdmissionOutcome::kServed;
     flow->Complete(*sim_, result);
     return;
   }
@@ -116,6 +128,11 @@ void EventDrivenLookup::Transmit(const std::shared_ptr<Flow>& flow,
     return;
   }
 
+  if (serving_ != nullptr) {
+    TransmitServed(flow, index, retry);
+    return;
+  }
+
   const MappingEntry* entry = service_->StoreLookup(host, flow->guid);
   if (entry != nullptr) {
     const MappingEntry found = *entry;
@@ -136,9 +153,64 @@ void EventDrivenLookup::Transmit(const std::shared_ptr<Flow>& flow,
   }
 }
 
+void EventDrivenLookup::TransmitServed(const std::shared_ptr<Flow>& flow,
+                                       std::size_t index, int retry) {
+  const auto [host, rtt] = flow->plan[index];
+
+  // A capacity-limited replica may never answer (shed) or answer late
+  // (queued past the budget), so every transmission arms a timeout — the
+  // same adaptive bound the wire path uses: never below 1.5x the expected
+  // RTT, backing off exponentially across retries.
+  const double timeout_ms =
+      std::max(TimeoutForAttemptMs(service_->options().failure_timeout_ms,
+                                   retry, service_->options().retry_backoff),
+               1.5 * rtt);
+  flow->probe_timeout = sim_->Schedule(
+      SimTime::Millis(timeout_ms),
+      [this, flow, index, retry] { ProbeTimedOut(flow, index, retry); });
+
+  // The probe arrives at the replica after the one-way path and meets the
+  // admission machinery there, at arrival time.
+  sim_->Schedule(SimTime::Millis(0.5 * rtt), [this, flow, index, host = host,
+                                              rtt = rtt] {
+    if (flow->completed) return;
+    const AdmitResult admit = serving_->Admit(host, sim_->Now());
+    if (admit.outcome == AdmissionOutcome::kShed) {
+      // Silence: the client's timeout fires, then retries or falls through
+      // to the next replica — overload looks exactly like a failure.
+      ++flow->sheds;
+      return;
+    }
+    const MappingEntry* entry = service_->StoreLookup(host, flow->guid);
+    const std::optional<MappingEntry> found =
+        entry != nullptr ? std::optional<MappingEntry>(*entry)
+                         : std::nullopt;
+    sim_->Schedule(
+        SimTime::Millis(admit.DelayMs() + 0.5 * rtt),
+        [this, flow, index, host, found, admit] {
+          if (flow->completed) return;
+          if (found.has_value()) {
+            // A found reply resolves the lookup even when its probe already
+            // timed out (the PR-4 late-reply semantics).
+            LookupResult result;
+            result.found = true;
+            result.nas = found->nas;
+            result.serving_as = host;
+            result.queue_delay_ms = admit.queue_delay_ms;
+            result.admission = admit.outcome;
+            flow->Complete(*sim_, result);
+            return;
+          }
+          if (index != flow->frontier) return;  // late miss: moved past it
+          flow->probe_timeout.Cancel();
+          SendProbe(flow, index + 1);
+        });
+  });
+}
+
 void EventDrivenLookup::ProbeTimedOut(const std::shared_ptr<Flow>& flow,
                                       std::size_t index, int retry) {
-  if (flow->completed) return;
+  if (flow->completed || index != flow->frontier) return;
   if (retry < service_->options().probe_retries) {
     Transmit(flow, index, retry + 1);
     return;

@@ -6,12 +6,21 @@
 // callback. Property tests assert the two paths agree to floating-point
 // accuracy, which validates the closed-form shortcut used by the big
 // sweeps.
+//
+// With a ServingTier installed (SetServingTier), every probe additionally
+// passes the destination's capacity model: the probe arrives after the
+// one-way path, is admitted (service after an optional queue wait) or shed
+// (no reply at all — the probe timeout fires and the PR-4 retry/backoff
+// machinery takes over), and the reply returns after wait + service + the
+// return path. With no tier the wrapper is bit-identical to the original
+// infinite-capacity behaviour.
 #pragma once
 
 #include <functional>
 
 #include "core/dmap_service.h"
 #include "event/simulator.h"
+#include "serve/serving_tier.h"
 
 namespace dmap {
 
@@ -22,6 +31,12 @@ class EventDrivenLookup {
       : sim_(&sim), service_(&service) {}
 
   using Callback = std::function<void(const LookupResult&)>;
+
+  // Installs the per-AS capacity model; nullptr (the default) restores the
+  // infinite-capacity path exactly. The tier must outlive the wrapper and
+  // must not be shared across concurrently running simulators.
+  void SetServingTier(ServingTier* tier) { serving_ = tier; }
+  ServingTier* serving_tier() const { return serving_; }
 
   // Schedules the lookup to start `start_delay` from now; `done` fires at
   // the simulated completion time. The caller runs the simulator.
@@ -51,9 +66,14 @@ class EventDrivenLookup {
   // between retries answers the retransmission.
   void Transmit(const std::shared_ptr<Flow>& flow, std::size_t index,
                 int retry);
+  // Serving-tier variant of the live-replica exchange: arrival, admission,
+  // delayed reply (or silence when shed).
+  void TransmitServed(const std::shared_ptr<Flow>& flow, std::size_t index,
+                      int retry);
 
   Simulator* sim_;
   DMapService* service_;
+  ServingTier* serving_ = nullptr;
 };
 
 }  // namespace dmap

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/dmap_service.h"
+#include "serve/serving_config.h"
 #include "sim/environment.h"
 #include "sim/metrics.h"
 #include "workload/workload.h"
@@ -37,6 +38,14 @@ struct ResponseTimeConfig {
   // kHub builds/reuses env.hub_labels; results are bit-identical to kLru,
   // only faster — asserted by tests and the CI byte-diff job.
   PathOracleBackend path_oracle = PathOracleBackend::kHub;
+
+  // Mapping-server capacity model (src/serve/). Consulted only by the
+  // executors that play messages out in time — the event-driven path and
+  // the offered-load harness; the closed-form sweeps ignore it (they have
+  // no arrival process, so a queue is meaningless there). Disabled by
+  // default: every harness is bit-identical to the pre-serving-tier
+  // behaviour when `serving.enabled` is false.
+  ServingConfig serving;
 
   // Optional observability sinks (src/obs/); both must outlive the call.
   // When set, the harness sizes them for its worker count, meters the

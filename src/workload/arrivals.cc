@@ -1,0 +1,107 @@
+#include "workload/arrivals.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dmap {
+
+void ArrivalParams::Validate() const {
+  if (!(base_rate_per_s > 0.0) || !std::isfinite(base_rate_per_s)) {
+    throw std::invalid_argument(
+        "ArrivalParams: base_rate must be a positive finite rate");
+  }
+  if (!(horizon_s > 0.0) || !std::isfinite(horizon_s)) {
+    throw std::invalid_argument("ArrivalParams: horizon must be > 0");
+  }
+  if (diurnal_amplitude < 0.0 || diurnal_amplitude > 1.0) {
+    throw std::invalid_argument(
+        "ArrivalParams: diurnal_amplitude outside [0, 1]");
+  }
+  if (!(diurnal_period_s > 0.0)) {
+    throw std::invalid_argument("ArrivalParams: diurnal_period must be > 0");
+  }
+  if (burst_duration_s < 0.0) {
+    throw std::invalid_argument("ArrivalParams: burst_duration < 0");
+  }
+  if (burst_duration_s > 0.0 && burst_start_s < 0.0) {
+    throw std::invalid_argument("ArrivalParams: burst_start < 0");
+  }
+  if (burst_multiplier < 1.0) {
+    throw std::invalid_argument("ArrivalParams: burst_multiplier < 1");
+  }
+  if (burst_hot_fraction < 0.0 || burst_hot_fraction > 1.0) {
+    throw std::invalid_argument(
+        "ArrivalParams: burst_hot_fraction outside [0, 1]");
+  }
+  if (burst_duration_s > 0.0 && hot_guids == 0) {
+    throw std::invalid_argument(
+        "ArrivalParams: hot_guids == 0 with a burst configured");
+  }
+}
+
+double ArrivalParams::PeakRatePerS() const {
+  const double burst = burst_duration_s > 0.0 ? burst_multiplier : 1.0;
+  return base_rate_per_s * (1.0 + diurnal_amplitude) * burst;
+}
+
+double ArrivalParams::RateAt(double t_s) const {
+  double rate = base_rate_per_s;
+  if (diurnal_amplitude > 0.0) {
+    rate *= 1.0 + diurnal_amplitude *
+                      std::sin(2.0 * std::numbers::pi * t_s /
+                               diurnal_period_s);
+  }
+  if (InBurst(t_s)) rate *= burst_multiplier;
+  return rate;
+}
+
+OpenLoopArrivals::OpenLoopArrivals(const AsGraph& graph,
+                                   const WorkloadGenerator& workload,
+                                   const ArrivalParams& params)
+    : workload_(&workload),
+      params_(params),
+      source_sampler_(graph.end_node_weights()) {
+  params_.Validate();
+  if (params_.hot_guids > workload.params().num_guids) {
+    throw std::invalid_argument(
+        "ArrivalParams: hot_guids exceeds the workload's num_guids");
+  }
+}
+
+std::vector<ArrivalOp> OpenLoopArrivals::Generate() const {
+  // Lewis-Shedler thinning: candidates arrive homogeneously at the peak
+  // rate; each survives with probability rate(t)/peak. Everything draws
+  // from one local seeded stream, so the method is const and pure — no
+  // member state advances, and a second Generate() replays the first.
+  Rng rng(params_.seed ^ 0xa44c1a7de57b1ed5ULL);
+  const double peak = params_.PeakRatePerS();
+  const std::uint64_t n = workload_->params().num_guids;
+  const MandelbrotZipf& popularity = workload_->popularity();
+
+  std::vector<ArrivalOp> ops;
+  ops.reserve(std::size_t(params_.base_rate_per_s * params_.horizon_s));
+  double t_s = 0.0;
+  for (;;) {
+    t_s += rng.NextExponential(1.0 / peak);
+    if (t_s >= params_.horizon_s) break;
+    if (rng.NextDouble() * peak > params_.RateAt(t_s)) continue;  // thinned
+
+    ArrivalOp op;
+    op.time_ms = t_s * 1000.0;
+    const bool hot = params_.InBurst(t_s) &&
+                     rng.NextDouble() < params_.burst_hot_fraction;
+    std::uint64_t rank;
+    if (hot) {
+      rank = 1 + rng.NextBounded(std::min(params_.hot_guids, n));
+    } else {
+      rank = popularity.Sample(rng);
+    }
+    op.guid = workload_->GuidAtPopularityRank(rank);
+    op.source = AsId(source_sampler_.Sample(rng));
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace dmap

@@ -51,6 +51,16 @@ class WorkloadGenerator {
   // GUID of rank/index i (deterministic across runs with equal seeds).
   Guid GuidAt(std::uint64_t index) const;
 
+  // GUID at popularity rank `rank` (1-based; rank 1 is the hottest). The
+  // open-loop arrival generator uses this to aim flash-crowd bursts at the
+  // head of the popularity distribution.
+  Guid GuidAtPopularityRank(std::uint64_t rank) const {
+    return GuidAt(rank_to_guid_[std::size_t(rank - 1)]);
+  }
+
+  // The Mandelbrot-Zipf popularity distribution over GUID ranks.
+  const MandelbrotZipf& popularity() const { return popularity_; }
+
   // One insert per GUID; source AS end-node weighted. Sorted by source AS
   // when `sort_by_source` so the latency oracle's per-source cache hits.
   std::vector<InsertOp> Inserts(bool sort_by_source = true);

@@ -92,6 +92,23 @@ TEST_P(ResolverContractTest, LookupOutcomeInvariants) {
   }
 }
 
+// None of the closed-form backends model server capacity, so all of them
+// must report the uniform serving-tier defaults — zero queue delay, a
+// served admission — on hits and misses alike. Only the executors with a
+// ServingTier installed may ever report anything else.
+TEST_P(ResolverContractTest, AdmissionDefaultsToZeroDelayServed) {
+  NameResolver& r = *resolver_;
+  const Guid known = Guid::FromSequence(17);
+  const UpdateResult inserted = r.Insert(known, NetworkAddress{40, 1});
+  EXPECT_DOUBLE_EQ(inserted.queue_delay_ms, 0.0);
+  EXPECT_EQ(inserted.admission, AdmissionOutcome::kServed);
+  for (const Guid& g : {known, Guid::FromSequence(18)}) {
+    const LookupResult result = r.Lookup(g, 99);
+    EXPECT_DOUBLE_EQ(result.queue_delay_ms, 0.0);
+    EXPECT_EQ(result.admission, AdmissionOutcome::kServed);
+  }
+}
+
 TEST_P(ResolverContractTest, UpdateOfUnknownGuidThrows) {
   EXPECT_THROW(resolver_->Update(Guid::FromSequence(999),
                                  NetworkAddress{1, 1}),

@@ -151,6 +151,38 @@ TEST(MetricsRegistryTest, CsvListsCounterHistogramAndBucketRows) {
   EXPECT_NE(csv.find("bucket,lat"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, HistogramQuantileInterpolatesWithinBuckets) {
+  EXPECT_DOUBLE_EQ(HistogramQuantile(HistogramSnapshot{}, 0.5), 0.0);
+
+  MetricsRegistry registry;
+  const HistogramId h = registry.Histogram("lat", {10.0, 20.0, 40.0});
+  // 8 observations in (10, 20], 2 in (20, 40].
+  for (int i = 0; i < 8; ++i) registry.Observe(h, 12.0 + double(i), 0);
+  registry.Observe(h, 25.0, 0);
+  registry.Observe(h, 39.0, 0);
+  const HistogramSnapshot snapshot = registry.Snapshot().histograms.front();
+
+  // p50: target rank 5 of 8 in the (10, 20] bucket — 10 + 10 * 5/8 = 16.25.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 0.5), 16.25);
+  // p90: rank 9 lands 1/2 into the (20, 40] bucket = 30.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 0.9), 30.0);
+  // The extremes clamp to the observed min and max, not the bucket edges.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 0.0), snapshot.min);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 1.0), snapshot.max);
+  EXPECT_DOUBLE_EQ(snapshot.min, 12.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 39.0);
+
+  // Observations beyond the last boundary fall in the overflow bucket,
+  // whose upper edge is the observed max.
+  MetricsRegistry overflow;
+  const HistogramId o = overflow.Histogram("lat", {10.0});
+  overflow.Observe(o, 100.0, 0);
+  overflow.Observe(o, 300.0, 0);
+  const HistogramSnapshot tail = overflow.Snapshot().histograms.front();
+  EXPECT_DOUBLE_EQ(HistogramQuantile(tail, 1.0), 300.0);
+  EXPECT_GE(HistogramQuantile(tail, 0.75), 100.0);
+}
+
 TEST(MetricsRegistryTest, LatencyBoundariesAscendAndCoverTails) {
   const std::vector<double> b = MetricsRegistry::LatencyBoundariesMs();
   ASSERT_GE(b.size(), 4u);

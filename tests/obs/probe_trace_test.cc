@@ -100,10 +100,11 @@ TEST(OpTraceCsvTest, FormatsHeaderAndProbeEvents) {
   t.probes.push_back(ProbeEvent{9, 12.5, ProbeOutcome::kHit});
   const std::string csv = OpTraceCsv({t});
   EXPECT_NE(csv.find("op,guid_fp,querier,found,local_won,latency_ms,"
-                     "attempts,hash_evaluations,probes"),
+                     "queue_delay_ms,admission,attempts,hash_evaluations,"
+                     "probes"),
             std::string::npos);
-  EXPECT_NE(csv.find("V,0000000000000abc,42,1,0,12.500000,2,3,"
-                     "7:F:200.000000|9:H:12.500000"),
+  EXPECT_NE(csv.find("V,0000000000000abc,42,1,0,12.500000,0.000000,served,"
+                     "2,3,7:F:200.000000|9:H:12.500000"),
             std::string::npos);
 }
 

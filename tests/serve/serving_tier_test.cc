@@ -1,0 +1,194 @@
+#include "serve/serving_tier.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace dmap {
+namespace {
+
+using SimTime = dmap::SimTime;
+
+ServingConfig Deterministic(double rate_per_s, int concurrency,
+                            int queue_depth) {
+  ServingConfig config;
+  config.enabled = true;
+  config.model = ServiceModel::kDeterministic;
+  config.service_rate_per_s = rate_per_s;
+  config.concurrency = concurrency;
+  config.queue_depth = queue_depth;
+  config.bucket_rate_per_s = 0.0;  // bucket off
+  return config;
+}
+
+TEST(ServingTierTest, IdleServerServesImmediately) {
+  ServingTier tier(Deterministic(1000.0, 1, 4));  // 1 ms service
+  const AdmitResult r = tier.Admit(7, SimTime::Millis(5.0));
+  EXPECT_EQ(r.outcome, AdmissionOutcome::kServed);
+  EXPECT_DOUBLE_EQ(r.queue_delay_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.service_ms, 1.0);
+  EXPECT_DOUBLE_EQ(r.DelayMs(), 1.0);
+}
+
+// FIFO wait math: with c=1 and 1 ms deterministic service, back-to-back
+// arrivals at t=0 wait 0, 1, 2, ... ms — each starts when its predecessor
+// completes.
+TEST(ServingTierTest, FifoQueueWaitsAccumulate) {
+  ServingTier tier(Deterministic(1000.0, 1, 10));
+  for (int i = 0; i < 5; ++i) {
+    const AdmitResult r = tier.Admit(7, SimTime::Zero());
+    EXPECT_EQ(r.outcome, i == 0 ? AdmissionOutcome::kServed
+                                : AdmissionOutcome::kQueued);
+    EXPECT_DOUBLE_EQ(r.queue_delay_ms, double(i));
+  }
+  // After the backlog drains, a later arrival is served immediately again.
+  const AdmitResult later = tier.Admit(7, SimTime::Millis(100.0));
+  EXPECT_EQ(later.outcome, AdmissionOutcome::kServed);
+  EXPECT_DOUBLE_EQ(later.queue_delay_ms, 0.0);
+}
+
+// c servers absorb c arrivals with no wait; the (c+1)-th queues behind the
+// earliest completion.
+TEST(ServingTierTest, ConcurrencyAdmitsInParallel) {
+  ServingTier tier(Deterministic(1000.0, 3, 10));
+  for (int i = 0; i < 3; ++i) {
+    const AdmitResult r = tier.Admit(7, SimTime::Zero());
+    EXPECT_EQ(r.outcome, AdmissionOutcome::kServed);
+    EXPECT_DOUBLE_EQ(r.queue_delay_ms, 0.0);
+  }
+  const AdmitResult queued = tier.Admit(7, SimTime::Zero());
+  EXPECT_EQ(queued.outcome, AdmissionOutcome::kQueued);
+  EXPECT_DOUBLE_EQ(queued.queue_delay_ms, 1.0);
+}
+
+TEST(ServingTierTest, BoundedQueueShedsOverflow) {
+  ServingTier tier(Deterministic(1000.0, 1, 2));  // 1 serving + 2 waiting
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(tier.Admit(7, SimTime::Zero()).outcome,
+              AdmissionOutcome::kShed);
+  }
+  const AdmitResult shed = tier.Admit(7, SimTime::Zero());
+  EXPECT_EQ(shed.outcome, AdmissionOutcome::kShed);
+  EXPECT_DOUBLE_EQ(shed.DelayMs(), 0.0);
+  EXPECT_EQ(tier.shed_queue(), 1u);
+  // Sheds leave the station untouched: once a slot drains, admission works.
+  const AdmitResult after = tier.Admit(7, SimTime::Millis(1.5));
+  EXPECT_EQ(after.outcome, AdmissionOutcome::kQueued);
+  // queue_depth = 0 degenerates to a pure loss system (M/M/c/c).
+  ServingTier loss(Deterministic(1000.0, 1, 0));
+  EXPECT_EQ(loss.Admit(9, SimTime::Zero()).outcome,
+            AdmissionOutcome::kServed);
+  EXPECT_EQ(loss.Admit(9, SimTime::Zero()).outcome, AdmissionOutcome::kShed);
+}
+
+TEST(ServingTierTest, TokenBucketShedsBeforeQueueing) {
+  ServingConfig config = Deterministic(1000.0, 1, 10);
+  config.bucket_rate_per_s = 100.0;  // refill 0.1 tokens/ms
+  config.bucket_burst = 2.0;
+  ServingTier tier(config);
+  // The bucket starts full: 2 tokens, then empty.
+  EXPECT_NE(tier.Admit(7, SimTime::Zero()).outcome, AdmissionOutcome::kShed);
+  EXPECT_NE(tier.Admit(7, SimTime::Zero()).outcome, AdmissionOutcome::kShed);
+  EXPECT_EQ(tier.Admit(7, SimTime::Zero()).outcome, AdmissionOutcome::kShed);
+  EXPECT_EQ(tier.shed_tokens(), 1u);
+  // 10 ms later one token has refilled.
+  EXPECT_NE(tier.Admit(7, SimTime::Millis(10.0)).outcome,
+            AdmissionOutcome::kShed);
+  EXPECT_EQ(tier.Admit(7, SimTime::Millis(10.0)).outcome,
+            AdmissionOutcome::kShed);
+}
+
+// Servers are independent stations: load on one AS never delays another.
+TEST(ServingTierTest, ServersAreIndependent) {
+  ServingTier tier(Deterministic(1000.0, 1, 10));
+  for (int i = 0; i < 4; ++i) tier.Admit(7, SimTime::Zero());
+  const AdmitResult other = tier.Admit(8, SimTime::Zero());
+  EXPECT_EQ(other.outcome, AdmissionOutcome::kServed);
+  EXPECT_DOUBLE_EQ(other.queue_delay_ms, 0.0);
+}
+
+// Exponential service draws are pure functions of (seed, server, arrival
+// index): two tiers with equal seeds produce identical delays regardless
+// of interleaving with other servers' arrivals.
+TEST(ServingTierTest, ExponentialDrawsAreSeedPure) {
+  ServingConfig config = Deterministic(1000.0, 1, 100);
+  config.model = ServiceModel::kExponential;
+  config.seed = 42;
+
+  ServingTier a(config);
+  std::vector<double> service_a;
+  for (int i = 0; i < 8; ++i) {
+    service_a.push_back(
+        a.Admit(7, SimTime::Millis(double(i) * 50.0)).service_ms);
+  }
+
+  ServingTier b(config);
+  std::vector<double> service_b;
+  for (int i = 0; i < 8; ++i) {
+    // Interleave arrivals at a different server; server 7's draws must not
+    // move (no shared stream).
+    b.Admit(9, SimTime::Millis(double(i) * 50.0));
+    service_b.push_back(
+        b.Admit(7, SimTime::Millis(double(i) * 50.0)).service_ms);
+  }
+  EXPECT_EQ(service_a, service_b);
+
+  ServingConfig other_seed = config;
+  other_seed.seed = 43;
+  ServingTier c(other_seed);
+  EXPECT_NE(c.Admit(7, SimTime::Zero()).service_ms, service_a[0]);
+}
+
+TEST(ServingTierTest, HottestServerTracksArrivalsWithStableTieBreak) {
+  ServingTier tier(Deterministic(1000.0, 1, 10));
+  EXPECT_EQ(tier.HottestServer().second, 0u);
+  tier.Admit(9, SimTime::Zero());
+  tier.Admit(3, SimTime::Zero());
+  tier.Admit(9, SimTime::Millis(10.0));
+  const auto [as, count] = tier.HottestServer();
+  EXPECT_EQ(as, AsId(9));
+  EXPECT_EQ(count, 2u);
+  // Equal counts: the lower AS id wins, independent of map iteration.
+  tier.Admit(3, SimTime::Millis(20.0));
+  EXPECT_EQ(tier.HottestServer().first, AsId(3));
+}
+
+TEST(ServingTierTest, CountersAndMetricsAgree) {
+  MetricsRegistry registry(1);
+  ServingConfig config = Deterministic(1000.0, 1, 1);
+  ServingTier tier(config);
+  tier.SetMetrics(&registry, 0);
+  tier.Admit(7, SimTime::Zero());  // served
+  tier.Admit(7, SimTime::Zero());  // queued
+  tier.Admit(7, SimTime::Zero());  // shed (queue full)
+  EXPECT_EQ(tier.arrivals(), 3u);
+  EXPECT_EQ(tier.served(), 1u);
+  EXPECT_EQ(tier.queued(), 1u);
+  EXPECT_EQ(tier.shed(), 1u);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  for (const CounterSnapshot& counter : snapshot.counters) {
+    if (counter.name == "serve.arrivals") {
+      EXPECT_EQ(counter.value, 3u);
+    } else if (counter.name == "serve.served") {
+      EXPECT_EQ(counter.value, 1u);
+    } else if (counter.name == "serve.queued") {
+      EXPECT_EQ(counter.value, 1u);
+    } else if (counter.name == "serve.shed_queue") {
+      EXPECT_EQ(counter.value, 1u);
+    } else if (counter.name == "serve.shed_tokens") {
+      EXPECT_EQ(counter.value, 0u);
+    }
+  }
+}
+
+TEST(ServingTierTest, RejectsInvalidConfig) {
+  ServingConfig config;
+  config.concurrency = 0;
+  EXPECT_THROW(ServingTier tier(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmap

@@ -287,6 +287,148 @@ TEST_F(EventDrivenTest, UpdateComputesLatencyWhenServiceSkipsIt) {
   EXPECT_NEAR(sim.Now().millis(), got->latency_ms, 1e-9);
 }
 
+ServingConfig TierConfig() {
+  ServingConfig config;
+  config.enabled = true;
+  config.model = ServiceModel::kDeterministic;
+  config.service_rate_per_s = 2000.0;  // 0.5 ms per request
+  config.bucket_rate_per_s = 0.0;      // bucket off
+  return config;
+}
+
+// With an idle tier installed, a one-probe lookup costs exactly the
+// closed-form network latency plus one deterministic service time.
+TEST_F(EventDrivenTest, ServingTierAddsServiceTimeWhenIdle) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(21);
+  (void)service.Insert(g, NetworkAddress{10, 1});
+  const LookupResult expected = service.Lookup(g, 77);
+  ASSERT_TRUE(expected.found);
+  ASSERT_EQ(expected.attempts, 1);
+
+  ServingTier tier(TierConfig());
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  executor.SetServingTier(&tier);
+  std::optional<LookupResult> got;
+  executor.LookupAsync(g, 77, SimTime::Zero(),
+                       [&](const LookupResult& r) { got = r; });
+  sim.Run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->found);
+  EXPECT_EQ(got->admission, AdmissionOutcome::kServed);
+  EXPECT_DOUBLE_EQ(got->queue_delay_ms, 0.0);
+  EXPECT_NEAR(got->latency_ms, expected.latency_ms + 0.5, 1e-9);
+}
+
+// Two simultaneous lookups hitting the same c=1 replica: one is served at
+// once, the other reports a queue wait of exactly one service time.
+TEST_F(EventDrivenTest, ServingTierQueuesConcurrentArrivals) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(22);
+  (void)service.Insert(g, NetworkAddress{10, 1});
+
+  ServingTier tier(TierConfig());
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  executor.SetServingTier(&tier);
+  std::vector<LookupResult> got;
+  for (int i = 0; i < 2; ++i) {
+    executor.LookupAsync(g, 77, SimTime::Zero(),
+                         [&](const LookupResult& r) { got.push_back(r); });
+  }
+  sim.Run();
+  ASSERT_EQ(got.size(), 2u);
+  // Completion order = service order: first served, then queued.
+  EXPECT_EQ(got[0].admission, AdmissionOutcome::kServed);
+  EXPECT_EQ(got[1].admission, AdmissionOutcome::kQueued);
+  EXPECT_DOUBLE_EQ(got[0].queue_delay_ms, 0.0);
+  EXPECT_DOUBLE_EQ(got[1].queue_delay_ms, 0.5);
+  EXPECT_NEAR(got[1].latency_ms, got[0].latency_ms + 0.5, 1e-9);
+  EXPECT_EQ(tier.served(), 1u);
+  EXPECT_EQ(tier.queued(), 1u);
+}
+
+// A shed is silent: the client's timeout fires and the lookup falls
+// through to the next replica, which answers — overload costs a timeout
+// but not the result.
+TEST_F(EventDrivenTest, ShedProbeFallsThroughToNextReplica) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  options.probe_retries = 0;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(23);
+  (void)service.Insert(g, NetworkAddress{10, 1});
+
+  ServingConfig config = TierConfig();
+  config.bucket_rate_per_s = 1e-6;  // effectively no refill (0 = unlimited)
+  config.bucket_burst = 1.0;
+  ServingTier tier(config);
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  executor.SetServingTier(&tier);
+
+  // The first lookup drains replica 1's only token; the second, same plan,
+  // is shed there and must fall through.
+  std::optional<LookupResult> first, second;
+  executor.LookupAsync(g, 77, SimTime::Zero(),
+                       [&](const LookupResult& r) { first = r; });
+  executor.LookupAsync(g, 77, SimTime::Millis(500.0),
+                       [&](const LookupResult& r) { second = r; });
+  sim.Run();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(first->found);
+  EXPECT_EQ(first->attempts, 1);
+  EXPECT_TRUE(second->found);
+  // Replicas can collide on an AS (K hashes, one owner), so the lookup may
+  // shed more than once before meeting a fresh bucket — but every shed
+  // costs exactly one fall-through probe.
+  EXPECT_GE(second->attempts, 2);
+  EXPECT_EQ(second->attempts, 1 + int(tier.shed_tokens()));
+  // Resolved by a later replica's admission, so the terminal outcome is
+  // served — but the detour cost at least one probe timeout on top.
+  EXPECT_EQ(second->admission, AdmissionOutcome::kServed);
+  EXPECT_GT(second->latency_ms, first->latency_ms);
+}
+
+// When every replica sheds, the lookup exhausts its plan and reports the
+// overload: found = false with a terminal kShed admission.
+TEST_F(EventDrivenTest, TotalShedReportsShedOutcome) {
+  DMapOptions options = Options(/*k=*/1);
+  options.local_replica = false;
+  options.probe_retries = 0;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(24);
+  (void)service.Insert(g, NetworkAddress{10, 1});
+
+  ServingConfig config = TierConfig();
+  config.bucket_rate_per_s = 1e-6;
+  config.bucket_burst = 1.0;
+  ServingTier tier(config);
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  executor.SetServingTier(&tier);
+
+  std::optional<LookupResult> first, second;
+  executor.LookupAsync(g, 77, SimTime::Zero(),
+                       [&](const LookupResult& r) { first = r; });
+  executor.LookupAsync(g, 77, SimTime::Millis(500.0),
+                       [&](const LookupResult& r) { second = r; });
+  sim.Run();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->found);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->found);
+  EXPECT_EQ(second->admission, AdmissionOutcome::kShed);
+  EXPECT_EQ(second->attempts, 1);
+  EXPECT_GT(second->latency_ms, 0.0);
+}
+
 TEST_F(EventDrivenTest, LocalWinsRaceWhenCloserEventCancelled) {
   DMapService service(env_.graph, env_.table, Options());
   const Guid g = Guid::FromSequence(5);

@@ -1,0 +1,169 @@
+#include "workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "sim/environment.h"
+
+namespace dmap {
+namespace {
+
+struct ArrivalsEnv {
+  SimEnvironment env;
+  WorkloadGenerator workload;
+  ArrivalsEnv()
+      : env(BuildEnvironment(EnvironmentParams::Scaled(300))),
+        workload(env.graph, [] {
+          WorkloadParams p;
+          p.num_guids = 500;
+          return p;
+        }()) {}
+};
+
+ArrivalsEnv& Shared() {
+  static ArrivalsEnv* shared = new ArrivalsEnv();
+  return *shared;
+}
+
+bool SameStream(const std::vector<ArrivalOp>& a,
+                const std::vector<ArrivalOp>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time_ms != b[i].time_ms || !(a[i].guid == b[i].guid) ||
+        a[i].source != b[i].source) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ArrivalsTest, ValidatesParamsNamingTheField) {
+  ArrivalsEnv& fixture = Shared();
+  ArrivalParams params;
+  params.base_rate_per_s = 0.0;
+  try {
+    OpenLoopArrivals bad(fixture.env.graph, fixture.workload, params);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("base_rate"), std::string::npos);
+  }
+
+  params = ArrivalParams{};
+  params.diurnal_amplitude = 1.5;
+  EXPECT_THROW(
+      OpenLoopArrivals bad(fixture.env.graph, fixture.workload, params),
+      std::invalid_argument);
+
+  params = ArrivalParams{};
+  params.hot_guids = 1'000'000;  // > num_guids
+  EXPECT_THROW(
+      OpenLoopArrivals bad(fixture.env.graph, fixture.workload, params),
+      std::invalid_argument);
+}
+
+// The determinism contract: Generate() is pure. Repeated calls, fresh
+// instances, and interleaving with other generators all produce the
+// identical stream — so a harness can call it from any worker, any number
+// of times, without results depending on thread count or call order.
+TEST(ArrivalsTest, GenerateIsPureAcrossInstancesAndCallOrder) {
+  ArrivalsEnv& fixture = Shared();
+  ArrivalParams params;
+  params.base_rate_per_s = 2000.0;
+  params.horizon_s = 2.0;
+  params.seed = 9;
+
+  const OpenLoopArrivals a(fixture.env.graph, fixture.workload, params);
+  const std::vector<ArrivalOp> first = a.Generate();
+  EXPECT_TRUE(SameStream(first, a.Generate()));  // repeat call
+
+  // Fresh instance, with an unrelated generation in between.
+  ArrivalParams other = params;
+  other.seed = 10;
+  const OpenLoopArrivals noise(fixture.env.graph, fixture.workload, other);
+  (void)noise.Generate();
+  const OpenLoopArrivals b(fixture.env.graph, fixture.workload, params);
+  EXPECT_TRUE(SameStream(first, b.Generate()));
+
+  // A different seed moves the stream.
+  EXPECT_FALSE(SameStream(first, noise.Generate()));
+}
+
+TEST(ArrivalsTest, StreamIsSortedAndRoughlyPoisson) {
+  ArrivalsEnv& fixture = Shared();
+  ArrivalParams params;
+  params.base_rate_per_s = 5000.0;
+  params.horizon_s = 4.0;
+  const OpenLoopArrivals gen(fixture.env.graph, fixture.workload, params);
+  const std::vector<ArrivalOp> ops = gen.Generate();
+
+  EXPECT_TRUE(std::is_sorted(ops.begin(), ops.end(),
+                             [](const ArrivalOp& x, const ArrivalOp& y) {
+                               return x.time_ms < y.time_ms;
+                             }));
+  for (const ArrivalOp& op : ops) {
+    EXPECT_GE(op.time_ms, 0.0);
+    EXPECT_LT(op.time_ms, params.horizon_s * 1000.0);
+  }
+  // Count within 5 sigma of the Poisson mean (sigma = sqrt(mean)).
+  const double mean = params.base_rate_per_s * params.horizon_s;
+  EXPECT_NEAR(double(ops.size()), mean, 5.0 * std::sqrt(mean));
+}
+
+TEST(ArrivalsTest, DiurnalModulationShiftsMassBetweenHalves) {
+  ArrivalsEnv& fixture = Shared();
+  ArrivalParams params;
+  params.base_rate_per_s = 5000.0;
+  params.horizon_s = 4.0;
+  params.diurnal_amplitude = 0.9;
+  params.diurnal_period_s = 4.0;  // one full cycle over the horizon
+  const OpenLoopArrivals gen(fixture.env.graph, fixture.workload, params);
+  const std::vector<ArrivalOp> ops = gen.Generate();
+
+  // First half-period runs at 1 + 0.9 sin(...) >= 1, second half <= 1.
+  std::size_t first_half = 0;
+  for (const ArrivalOp& op : ops) {
+    if (op.time_ms < 2000.0) ++first_half;
+  }
+  EXPECT_GT(double(first_half), 1.5 * double(ops.size() - first_half));
+}
+
+TEST(ArrivalsTest, FlashCrowdConcentratesOnHotRanksDuringWindow) {
+  ArrivalsEnv& fixture = Shared();
+  ArrivalParams params;
+  params.base_rate_per_s = 2000.0;
+  params.horizon_s = 3.0;
+  params.burst_start_s = 1.0;
+  params.burst_duration_s = 1.0;
+  params.burst_multiplier = 3.0;
+  params.hot_guids = 4;
+  params.burst_hot_fraction = 1.0;  // every burst arrival targets the head
+  const OpenLoopArrivals gen(fixture.env.graph, fixture.workload, params);
+  const std::vector<ArrivalOp> ops = gen.Generate();
+
+  std::set<Guid> hot;
+  for (std::uint64_t rank = 1; rank <= params.hot_guids; ++rank) {
+    hot.insert(fixture.workload.GuidAtPopularityRank(rank));
+  }
+  std::size_t in_window = 0, in_window_hot = 0, outside = 0;
+  for (const ArrivalOp& op : ops) {
+    const bool window = op.time_ms >= 1000.0 && op.time_ms < 2000.0;
+    if (window) {
+      ++in_window;
+      if (hot.count(op.guid) > 0) ++in_window_hot;
+    } else {
+      ++outside;
+    }
+  }
+  // The burst triples the in-window rate: the 1 s window outweighs the
+  // 2 s remainder.
+  EXPECT_GT(in_window, outside);
+  // And with hot_fraction = 1 every window arrival is a hot-rank GUID.
+  EXPECT_EQ(in_window_hot, in_window);
+}
+
+}  // namespace
+}  // namespace dmap
