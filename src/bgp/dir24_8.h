@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bgp/prefix_table.h"
+#include "common/thread_annotations.h"
 
 namespace dmap {
 
@@ -31,7 +32,7 @@ class Dir24_8 {
 
   // LPM owner of `addr`, or kInvalidAs for IP holes. One array access when
   // no >24-bit prefix covers the /24 block, two otherwise.
-  AsId Lookup(Ipv4Address addr) const {
+  AsId Lookup(Ipv4Address addr) const DMAP_HOT_PATH {
     const std::uint32_t entry = base_[addr.value() >> 8];
     if ((entry & kEscapeBit) == 0) {
       return entry == kHole ? kInvalidAs : entry;

@@ -71,6 +71,48 @@
   DMAP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
 
 // ---------------------------------------------------------------------------
+// Semantic-analysis annotations (tools/analyze/).
+// ---------------------------------------------------------------------------
+//
+// The semantic analyzer parses every TU with DMAP_SEMANTIC_ANALYSIS defined,
+// under which these macros expand to __attribute__((annotate(...))) so the
+// libclang frontend sees them as AST attributes; the fallback frontend reads
+// the macro names from source text directly. In real builds they expand to
+// nothing on every compiler.
+#if defined(DMAP_SEMANTIC_ANALYSIS)
+#define DMAP_SEMANTIC_ANNOTATION(x) __attribute__((annotate(x)))
+#else
+#define DMAP_SEMANTIC_ANNOTATION(x)  // no-op outside tools/analyze runs
+#endif
+
+// The annotated function mutates shared serving state and may only run at
+// the global serial write point — between parallel phases, before
+// RefreshSnapshots()/RefreshReadSnapshots() republish the read snapshots
+// (DESIGN.md "Sharded store & snapshot discipline"). The semantic
+// analyzer's serial-confinement checker proves such functions unreachable
+// from any lambda handed to ThreadPool::ParallelFor/RunChunks. Unlike
+// REQUIRES_ALL_SHARDS, which is a per-object discipline (a worker may own a
+// private MetricsRegistry and Snapshot() it mid-phase), REQUIRES_SERIAL is
+// global: no parallel code path may reach the function on any object.
+#define REQUIRES_SERIAL() DMAP_SEMANTIC_ANNOTATION("dmap::requires_serial")
+
+// The annotated function is a serving hot path: it (and everything it
+// transitively calls) must not acquire a dmap::Mutex or any standard lock,
+// allocate (operator new, container growth), or perform I/O. Enforced by
+// the semantic analyzer's hot-path purity checker.
+#define DMAP_HOT_PATH DMAP_SEMANTIC_ANNOTATION("dmap::hot_path")
+
+// Escape hatch for the hot-path checker: the annotated function is allowed
+// to lock/allocate even when reached from a DMAP_HOT_PATH function, and the
+// checker does not descend into it. `reason` must be a non-empty string
+// literal saying why the impurity is acceptable (e.g. a stale-snapshot
+// fallback that is correct-but-slower, or an amortized warm-up allocation);
+// an empty reason is itself a checker error. A function must not carry both
+// DMAP_HOT_PATH and DMAP_HOT_PATH_ALLOW.
+#define DMAP_HOT_PATH_ALLOW(reason) \
+  DMAP_SEMANTIC_ANNOTATION("dmap::hot_path_allow:" reason)
+
+// ---------------------------------------------------------------------------
 // Shard confinement (documentation-only; not modelled by Clang's analysis).
 // ---------------------------------------------------------------------------
 
@@ -94,4 +136,9 @@
 // outside the parallel phase (single-threaded setup/mutation), read freely
 // and concurrently inside it. Applies to the resolver backends' map state —
 // mappings are bulk-loaded before a sweep and only looked up during it.
-#define WRITE_SERIAL_READ_SHARED()  // documentation only
+// On a *function*, the macro marks the write side of that discipline (the
+// function mutates such state), and the semantic analyzer's serial-
+// confinement checker treats it exactly like REQUIRES_SERIAL: unreachable
+// from any ThreadPool::ParallelFor/RunChunks lambda.
+#define WRITE_SERIAL_READ_SHARED() \
+  DMAP_SEMANTIC_ANNOTATION("dmap::write_serial_read_shared")

@@ -1,6 +1,9 @@
 #include "core/hole_resolver.h"
 
 #include <stdexcept>
+#include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dmap {
 
@@ -90,17 +93,49 @@ std::vector<HostResolution> HoleResolver::ResolveAll(const Guid& guid,
   return out;
 }
 
+namespace {
+
+// Per-thread scratch for ResolveBatch's wavefront: flat hash-chain
+// addresses, the surviving flat indices, and the gathered rehash lanes.
+// Thread-local so concurrent workers never share it, reused across calls so
+// steady-state serving performs no allocation.
+struct BatchScratch {
+  std::vector<Ipv4Address> addrs;
+  std::vector<std::uint32_t> pending;
+  std::vector<Ipv4Address> rehash_in;
+  std::vector<Ipv4Address> rehash_out;
+  std::vector<int> rehash_lanes;
+};
+
+// Every vector is sized here, and only here, so the caller's loop body
+// stays allocation-free: slots are plain stores into presized storage.
+BatchScratch& AcquireBatchScratch(std::size_t total) DMAP_HOT_PATH_ALLOW(
+    "scratch grows to the batch high-water mark and is reused by later "
+    "calls on this thread; steady-state serving allocates nothing") {
+  static thread_local BatchScratch scratch;
+  if (scratch.addrs.size() < total) {
+    scratch.addrs.resize(total);
+    scratch.pending.resize(total);
+    scratch.rehash_in.resize(total);
+    scratch.rehash_out.resize(total);
+    scratch.rehash_lanes.resize(total);
+  }
+  return scratch;
+}
+
+}  // namespace
+
 void HoleResolver::ResolveBatch(std::span<const Guid> guids,
                                 HostResolution* out, unsigned worker) const {
   const int k = hashes_->k();
   const std::size_t total = guids.size() * std::size_t(k);
   const Dir24_8* fast = ActiveFast();
+  BatchScratch& scratch = AcquireBatchScratch(total);
 
   // Round 0: every replica address of every GUID through the batched
   // K-hash kernel — one GUID serialization and interleaved SipHash lanes
   // per GUID instead of K independent evaluations.
-  std::vector<Ipv4Address> addrs;
-  addrs.resize(total);
+  std::vector<Ipv4Address>& addrs = scratch.addrs;
   for (std::size_t g = 0; g < guids.size(); ++g) {
     hashes_->HashAllInto(guids[g], addrs.data() + g * std::size_t(k));
   }
@@ -111,18 +146,17 @@ void HoleResolver::ResolveBatch(std::span<const Guid> guids,
   // is a tight pass of independent array probes. Resolutions and metric
   // totals are identical to resolving each replica independently; only the
   // evaluation order differs. Flat index f is replica f % k of guid f / k.
-  std::vector<std::uint32_t> pending;
-  pending.resize(total);
+  std::vector<std::uint32_t>& pending = scratch.pending;
   for (std::size_t f = 0; f < total; ++f) pending[f] = std::uint32_t(f);
-  std::vector<Ipv4Address> rehash_in, rehash_out;
-  std::vector<int> rehash_lanes;
-  rehash_in.reserve(total);
-  rehash_out.reserve(total);
-  rehash_lanes.reserve(total);
+  std::size_t pending_count = total;
+  std::vector<Ipv4Address>& rehash_in = scratch.rehash_in;
+  std::vector<Ipv4Address>& rehash_out = scratch.rehash_out;
+  std::vector<int>& rehash_lanes = scratch.rehash_lanes;
 
-  for (int tries = 1; tries <= max_hashes_ && !pending.empty(); ++tries) {
+  for (int tries = 1; tries <= max_hashes_ && pending_count > 0; ++tries) {
     std::size_t keep = 0;
-    for (const std::uint32_t f : pending) {
+    for (std::size_t p = 0; p < pending_count; ++p) {
+      const std::uint32_t f = pending[p];
       const Ipv4Address addr = addrs[f];
       const AsId owner = LpmOwner(fast, addr);
       HostResolution& result = out[f];
@@ -155,11 +189,8 @@ void HoleResolver::ResolveBatch(std::span<const Guid> guids,
         pending[keep++] = f;
       }
     }
-    pending.resize(keep);
+    pending_count = keep;
     if (keep > 0 && tries < max_hashes_) {
-      rehash_in.resize(keep);
-      rehash_out.resize(keep);
-      rehash_lanes.resize(keep);
       for (std::size_t j = 0; j < keep; ++j) {
         rehash_in[j] = addrs[pending[j]];
         rehash_lanes[j] = int(pending[j] % std::uint32_t(k));

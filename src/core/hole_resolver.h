@@ -15,6 +15,7 @@
 #include "bgp/prefix_table.h"
 #include "common/guid.h"
 #include "common/hash.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics_registry.h"
 
 namespace dmap {
@@ -43,7 +44,8 @@ class HoleResolver {
   // metrics slab when instrumentation is on — parallel callers must pass
   // their worker id; it never affects the resolution itself.
   [[nodiscard]] HostResolution Resolve(const Guid& guid, int replica,
-                                       unsigned worker = 0) const;
+                                       unsigned worker = 0) const
+      DMAP_HOT_PATH;
 
   // All K replica resolutions. Identical results and metric totals to K
   // Resolve calls, but the K hash chains are evaluated as a wavefront with
@@ -59,7 +61,7 @@ class HoleResolver {
   // throughput path — while every element stays bit-identical to
   // Resolve(guids[g], i).
   void ResolveBatch(std::span<const Guid> guids, HostResolution* out,
-                    unsigned worker = 0) const;
+                    unsigned worker = 0) const DMAP_HOT_PATH;
 
   // Accounts every resolution in `registry` ("algo1.*": hash evaluations,
   // rehash depth histogram, deputy fall-throughs). nullptr disables; the
@@ -92,8 +94,8 @@ class HoleResolver {
   // priority, so rebuilding it would be 64 MB of wasted work per write
   // point). snapshot_rebuilds() counts actual rebuilds so tests can pin
   // both early-outs.
-  void EnableSnapshot(bool enable = true);
-  void RefreshSnapshot();
+  void EnableSnapshot(bool enable = true) REQUIRES_SERIAL();
+  void RefreshSnapshot() REQUIRES_SERIAL();
   bool snapshot_fresh() const {
     return snapshot_ != nullptr && snapshot_epoch_ == table_->epoch();
   }

@@ -114,16 +114,16 @@ class ShardedMappingStore {
 
   // Same version-gated semantics as MappingStore::Upsert, per (as, guid).
   bool Upsert(AsId as, const Guid& guid, const MappingEntry& entry,
-              Ipv4Address stored_address = Ipv4Address(0));
+              Ipv4Address stored_address = Ipv4Address(0)) REQUIRES_SERIAL();
 
   // Removes the replica of `guid` at `as`; true if present.
-  bool Erase(AsId as, const Guid& guid);
+  bool Erase(AsId as, const Guid& guid) REQUIRES_SERIAL();
 
   // Rebuilds the read snapshot of every shard whose mutable map changed
   // since the last refresh (per-shard epoch comparison; untouched shards
   // are skipped and their snapshot storage is reused). Must only be called
   // from serial sections — the write point of the snapshot discipline.
-  void RefreshSnapshots() REQUIRES_ALL_SHARDS();
+  void RefreshSnapshots() REQUIRES_ALL_SHARDS() REQUIRES_SERIAL();
 
   // ---- Read API (safe to call concurrently from many workers while no
   // writer runs; never blocks, never locks). -----------------------------
@@ -137,11 +137,11 @@ class ShardedMappingStore {
   // Lookup() when stale, so the answer always matches Lookup(). The
   // `fingerprint` overload lets a caller probing several ASs for the same
   // GUID hash it once.
-  const MappingEntry* Read(AsId as, const Guid& guid) const {
+  const MappingEntry* Read(AsId as, const Guid& guid) const DMAP_HOT_PATH {
     return Read(as, guid, guid.Fingerprint64());
   }
   const MappingEntry* Read(AsId as, const Guid& guid,
-                           std::uint64_t fingerprint) const;
+                           std::uint64_t fingerprint) const DMAP_HOT_PATH;
 
   // True when every shard's snapshot reflects its current epoch.
   bool snapshots_fresh() const;

@@ -125,6 +125,33 @@ AdmitResult ServingTier::Admit(AsId server, SimTime now) {
   return result;
 }
 
+bool ServingTier::WouldShed(AsId server, SimTime now) const {
+  const bool bucket_active =
+      config_.admission == AdmissionPolicy::kTokenBucket &&
+      config_.bucket_rate_per_s > 0.0;
+  const auto it = servers_.find(server);
+  if (it == servers_.end()) {
+    // First contact: the bucket starts full and the station is empty, so
+    // the only way to shed is a burst capacity below one whole token.
+    return bucket_active && config_.bucket_burst < 1.0;
+  }
+  const Server& s = it->second;
+  if (bucket_active) {
+    const double tokens =
+        std::min(config_.bucket_burst,
+                 s.tokens + (now - s.last_refill).seconds() *
+                                config_.bucket_rate_per_s);
+    if (tokens < 1.0) return true;
+  }
+  // In-system count after retiring completions at or before `now` — the
+  // same boundary Admit's erase uses, computed without the erase.
+  const auto busy_begin =
+      std::upper_bound(s.completions.begin(), s.completions.end(), now);
+  const std::size_t in_system = std::size_t(s.completions.end() - busy_begin);
+  const std::size_t c = std::size_t(config_.concurrency);
+  return in_system >= c && in_system - c >= std::size_t(config_.queue_depth);
+}
+
 std::pair<AsId, std::uint64_t> ServingTier::HottestServer() const {
   AsId hottest = kInvalidAs;
   std::uint64_t most = 0;

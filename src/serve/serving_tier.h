@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "event/sim_time.h"
 #include "obs/metrics_registry.h"
 #include "obs/probe_trace.h"
@@ -56,6 +57,16 @@ class ServingTier {
   // Admits (or sheds) one request arriving at `server` at sim time `now`.
   // Calls must be in non-decreasing `now` order across all servers.
   AdmitResult Admit(AsId server, SimTime now);
+
+  // Pure forecast of Admit's shed decision: true iff a request arriving at
+  // `server` at sim time `now` would be shed (token bucket empty or waiting
+  // room full). Touches no state, allocates nothing — it agrees exactly
+  // with the outcome an Admit(server, now) call would return at this
+  // instant (pinned by the tier tests), so callers can probe overload
+  // without perturbing the station. Admit itself mutates (map growth,
+  // completion retirement, token refill even on shed) and so cannot carry
+  // the hot-path contract; this is the read-side admission check.
+  bool WouldShed(AsId server, SimTime now) const DMAP_HOT_PATH;
 
   // Registers the serve.* instruments in `registry` and accounts every
   // subsequent Admit under worker slab `shard`. All serve.* metrics are

@@ -31,6 +31,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "topo/graph.h"
 #include "topo/shortest_path.h"
 
@@ -65,7 +66,7 @@ class HubLabels {
   // One-way latency over links from u to v, ms, as a float — bit-identical
   // to DijkstraLatency(graph, u)[v] for grid-quantized latencies.
   // +infinity when unreachable; 0 when u == v.
-  float LatencyMs(AsId u, AsId v) const {
+  float LatencyMs(AsId u, AsId v) const DMAP_HOT_PATH {
     if (u == v) return 0.0f;
     float best = std::numeric_limits<float>::infinity();
     std::uint32_t i = latency_offsets_[u], j = latency_offsets_[v];
@@ -89,7 +90,7 @@ class HubLabels {
 
   // Hop count from u to v; kUnreachableHops when unreachable; 0 when
   // u == v. Identical to BfsHops(graph, u)[v].
-  std::uint16_t Hops(AsId u, AsId v) const {
+  std::uint16_t Hops(AsId u, AsId v) const DMAP_HOT_PATH {
     if (u == v) return 0;
     std::uint32_t best = kUnreachableHops;
     std::uint32_t i = hop_offsets_[u], j = hop_offsets_[v];

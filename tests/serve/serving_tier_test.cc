@@ -141,6 +141,77 @@ TEST(ServingTierTest, ExponentialDrawsAreSeedPure) {
   EXPECT_NE(c.Admit(7, SimTime::Zero()).service_ms, service_a[0]);
 }
 
+// WouldShed is the pure read-side twin of Admit: probed immediately before
+// every Admit call it must predict exactly whether that call sheds, and
+// probing must never perturb the station (same delays with or without the
+// probe). Exercised across both shed causes — token exhaustion and a full
+// waiting room — plus first-contact servers and drained backlogs.
+TEST(ServingTierTest, WouldShedAgreesWithAdmit) {
+  // Phase A: token exhaustion (queue deep enough to never shed).
+  ServingConfig bucket = Deterministic(1000.0, 1, 10);
+  bucket.bucket_rate_per_s = 100.0;  // refill 0.1 tokens/ms
+  bucket.bucket_burst = 2.0;
+  ServingTier tier(bucket);
+  ServingTier unprobed(bucket);
+  const std::vector<std::pair<AsId, double>> arrivals = {
+      {7, 0.0}, {7, 0.0},    // burst drains both tokens
+      {7, 0.0},              // token shed
+      {9, 0.0},              // first contact on another server
+      {7, 10.0},             // one token refilled: served, bucket empty again
+      {7, 10.0},             // token shed
+      {7, 100.0},            // bucket and backlog both recovered
+  };
+  std::size_t sheds = 0;
+  for (const auto& [server, at_ms] : arrivals) {
+    const SimTime now = SimTime::Millis(at_ms);
+    const bool forecast = tier.WouldShed(server, now);
+    const AdmitResult result = tier.Admit(server, now);
+    EXPECT_EQ(forecast, result.outcome == AdmissionOutcome::kShed)
+        << "server " << server << " at " << at_ms << " ms";
+    if (forecast) ++sheds;
+    // The probe is pure: the unprobed twin stays in lockstep.
+    const AdmitResult twin = unprobed.Admit(server, now);
+    EXPECT_EQ(twin.outcome, result.outcome);
+    EXPECT_DOUBLE_EQ(twin.DelayMs(), result.DelayMs());
+  }
+  EXPECT_EQ(sheds, 2u);
+  EXPECT_EQ(tier.shed_tokens(), 2u);
+  EXPECT_EQ(tier.shed(), unprobed.shed());
+
+  // Phase B: waiting-room overflow (bucket off).
+  ServingTier fifo(Deterministic(1000.0, 1, 2));  // 1 serving + 2 waiting
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(fifo.WouldShed(7, SimTime::Zero()));
+    EXPECT_NE(fifo.Admit(7, SimTime::Zero()).outcome,
+              AdmissionOutcome::kShed);
+  }
+  EXPECT_TRUE(fifo.WouldShed(7, SimTime::Zero()));
+  EXPECT_EQ(fifo.Admit(7, SimTime::Zero()).outcome, AdmissionOutcome::kShed);
+  EXPECT_EQ(fifo.shed_queue(), 1u);
+  // One completion retires at t=1: the forecast tracks the drain.
+  EXPECT_FALSE(fifo.WouldShed(7, SimTime::Millis(1.5)));
+  EXPECT_EQ(fifo.Admit(7, SimTime::Millis(1.5)).outcome,
+            AdmissionOutcome::kQueued);
+}
+
+// First contact never sheds under a valid configuration (Validate requires
+// bucket_burst >= 1 whenever the bucket is active): WouldShed must forecast
+// that from an empty server map, with and without the bucket.
+TEST(ServingTierTest, WouldShedForecastsFirstContact) {
+  ServingConfig config = Deterministic(1000.0, 1, 2);
+  config.bucket_rate_per_s = 100.0;
+  config.bucket_burst = 1.0;  // the tightest burst Validate allows
+  ServingTier tier(config);
+  EXPECT_FALSE(tier.WouldShed(7, SimTime::Zero()));
+  EXPECT_EQ(tier.Admit(7, SimTime::Zero()).outcome,
+            AdmissionOutcome::kServed);
+
+  ServingTier plain(Deterministic(1000.0, 1, 2));  // bucket off
+  EXPECT_FALSE(plain.WouldShed(7, SimTime::Zero()));
+  EXPECT_EQ(plain.Admit(7, SimTime::Zero()).outcome,
+            AdmissionOutcome::kServed);
+}
+
 TEST(ServingTierTest, HottestServerTracksArrivalsWithStableTieBreak) {
   ServingTier tier(Deterministic(1000.0, 1, 10));
   EXPECT_EQ(tier.HottestServer().second, 0u);

@@ -1,0 +1,27 @@
+// Fixture: function pointers. Apply calls Worker through `auto fn =
+// &Worker` and Other through a pointer assigned after declaration; Spawn
+// passes Worker by name to ParallelFor. The call-graph tests assert both
+// edges and the parallel entry.
+namespace fix {
+
+class ThreadPool {
+ public:
+  template <typename Fn>
+  void ParallelFor(unsigned long count, Fn fn);
+};
+
+int Worker(int v) { return v * 2; }
+int Other(int v) { return v + 2; }
+
+int Apply(int v) {
+  auto fn = &Worker;
+  int (*gn)(int);
+  gn = Other;
+  return fn(v) + gn(v);
+}
+
+void Spawn(ThreadPool& pool) {
+  pool.ParallelFor(4, Worker);
+}
+
+}  // namespace fix

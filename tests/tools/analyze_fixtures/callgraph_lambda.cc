@@ -1,0 +1,24 @@
+// Fixture: lambdas in lambdas. The RunChunks argument is the parallel
+// entry; it binds an inner lambda to a variable and calls it, and the inner
+// lambda calls Leaf — the call-graph tests assert the whole chain
+// (entry lambda -> inner lambda -> Leaf) resolves.
+namespace fix {
+
+class ThreadPool {
+ public:
+  template <typename Fn>
+  void RunChunks(unsigned long count, Fn fn);
+};
+
+int Leaf(int v) { return v * 3; }
+
+void Nested(ThreadPool& pool) {
+  pool.RunChunks(4, [&](unsigned long chunk, unsigned worker) {
+    auto inner = [&](int v) { return Leaf(v + int(worker)); };
+    int acc = 0;
+    for (int i = 0; i < int(chunk); ++i) acc += inner(i);
+    (void)acc;
+  });
+}
+
+}  // namespace fix

@@ -1,0 +1,36 @@
+// Fixture: virtual dispatch. A call through the NameResolver base must fan
+// out to every override in the hierarchy, including SnapshotBackend two
+// levels down — the call-graph tests assert all four backend edges.
+namespace fix {
+
+class NameResolver {
+ public:
+  virtual ~NameResolver() = default;
+  virtual int Resolve(int key) = 0;
+};
+
+class TrieBackend : public NameResolver {
+ public:
+  int Resolve(int key) override { return key + 1; }
+};
+
+class HashBackend : public NameResolver {
+ public:
+  int Resolve(int key) override { return key + 2; }
+};
+
+class SnapshotBackend : public HashBackend {
+ public:
+  int Resolve(int key) override { return key + 3; }
+};
+
+class RemoteBackend : public NameResolver {
+ public:
+  int Resolve(int key) override { return key + 4; }
+};
+
+int Dispatch(NameResolver& resolver, int key) {
+  return resolver.Resolve(key);
+}
+
+}  // namespace fix

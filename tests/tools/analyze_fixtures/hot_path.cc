@@ -1,0 +1,61 @@
+// Fixture: hot-path purity. Three DMAP_HOT_PATH functions are impure —
+// FastLookup allocates transitively (through Grow), FastLog does I/O
+// directly, FastGuarded locks — and FastClean is pure because the traversal
+// must stop at the allow-listed ScratchFor escape hatch without reporting
+// its allocations.
+#include <cstdio>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace fix {
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+class Index {
+ public:
+  int FastLookup(int key) const DMAP_HOT_PATH;
+  int FastLog(int key) const DMAP_HOT_PATH;
+  int FastGuarded(int key) const DMAP_HOT_PATH;
+  int FastClean(int key) const DMAP_HOT_PATH;
+
+ private:
+  void Grow(int n) const;
+  std::vector<int>& ScratchFor(int n) const DMAP_HOT_PATH_ALLOW(
+      "scratch reuses a high-water-mark buffer; steady state allocates "
+      "nothing");
+  mutable std::vector<int> scratch_;
+  mutable Mutex mu_;
+};
+
+int Index::FastLookup(int key) const {
+  Grow(key);  // VIOLATION: Grow allocates
+  return key;
+}
+
+void Index::Grow(int n) const { scratch_.resize(std::size_t(n)); }
+
+int Index::FastLog(int key) const {
+  std::printf("%d\n", key);  // VIOLATION: I/O on the hot path
+  return key;
+}
+
+int Index::FastGuarded(int key) const {
+  mu_.Lock();  // VIOLATION: lock on the hot path
+  mu_.Unlock();
+  return key;
+}
+
+int Index::FastClean(int key) const {
+  return int(ScratchFor(key).size());  // fine: allow hatch stops traversal
+}
+
+std::vector<int>& Index::ScratchFor(int n) const {
+  scratch_.resize(std::size_t(n));
+  return scratch_;
+}
+
+}  // namespace fix

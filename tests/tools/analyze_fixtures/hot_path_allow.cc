@@ -1,0 +1,16 @@
+// Fixture: DMAP_HOT_PATH_ALLOW misuse. An empty reason string and a
+// function carrying both DMAP_HOT_PATH and DMAP_HOT_PATH_ALLOW are each
+// standalone analyzer errors, independent of any call graph.
+#include "common/thread_annotations.h"
+
+namespace fix {
+
+int NoReason(int n) DMAP_HOT_PATH_ALLOW("");  // VIOLATION: empty reason
+
+int Both(int n) DMAP_HOT_PATH DMAP_HOT_PATH_ALLOW(  // VIOLATION: pick one
+    "a reason string does not make the combination legal");
+
+int NoReason(int n) { return n; }
+int Both(int n) { return n; }
+
+}  // namespace fix

@@ -1,0 +1,58 @@
+// Fixture: metrics stability, checked against the inventory next to it
+// (analyze_fixtures/metrics_inventory.json: fix.good / fix.conflict /
+// fix.wrong / fix.stale stable, fix.execution execution, plus the
+// '*.latency_ms' suffix pattern). Expected findings: fix.wrong
+// misclassified, fix.unknown absent from the inventory, fix.conflict both
+// misclassified at its second site and conflicting across sites, and
+// fix.stale stale.
+#include <string>
+#include <vector>
+
+enum class MetricStability { kDeterministic, kExecution };
+
+std::vector<double> Boundaries();
+
+class MetricsRegistry {
+ public:
+  using CounterId = unsigned;
+  using HistogramId = unsigned;
+  CounterId Counter(
+      const std::string& name,
+      MetricStability stability = MetricStability::kDeterministic);
+  HistogramId Histogram(
+      const std::string& name, const std::vector<double>& bounds,
+      MetricStability stability = MetricStability::kDeterministic);
+};
+
+namespace fix {
+
+class Harness {
+ public:
+  void Register(MetricsRegistry& registry, const std::string& prefix) {
+    good_ = registry.Counter("fix.good");
+    exec_ = registry.Counter("fix.execution", MetricStability::kExecution);
+    // VIOLATION: the inventory (export stable set) lists fix.wrong as
+    // stable, but this site registers it as kExecution.
+    wrong_ = registry.Counter("fix.wrong", MetricStability::kExecution);
+    // VIOLATION: fix.unknown is in neither inventory list.
+    unknown_ = registry.Histogram("fix.unknown", Boundaries());
+    // VIOLATION x2: the second site conflicts with the first (and with the
+    // inventory).
+    conflict_a_ = registry.Counter("fix.conflict");
+    conflict_b_ = registry.Counter("fix.conflict",
+                                   MetricStability::kExecution);
+    // Fine: a computed-prefix site matching the '*.latency_ms' pattern.
+    latency_ = registry.Histogram(prefix + ".latency_ms", Boundaries());
+  }
+
+ private:
+  MetricsRegistry::CounterId good_ = 0;
+  MetricsRegistry::CounterId exec_ = 0;
+  MetricsRegistry::CounterId wrong_ = 0;
+  MetricsRegistry::HistogramId unknown_ = 0;
+  MetricsRegistry::CounterId conflict_a_ = 0;
+  MetricsRegistry::CounterId conflict_b_ = 0;
+  MetricsRegistry::HistogramId latency_ = 0;
+};
+
+}  // namespace fix

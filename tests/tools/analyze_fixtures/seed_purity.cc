@@ -1,0 +1,27 @@
+// Fixture: seed purity. RunFixtureExperiment is an entry point (Run*): it
+// reaches rand() through DrawNoise and names a wall clock directly.
+// DeadDraw is unreachable from any entry point but its banned source is
+// still flagged (dead code is one refactor away from live).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fix {
+
+int DrawNoise() {
+  return rand();  // VIOLATION via RunFixtureExperiment
+}
+
+double RunFixtureExperiment(int points) {
+  double acc = 0.0;
+  for (int i = 0; i < points; ++i) acc += double(DrawNoise());
+  acc += double(time(nullptr));  // VIOLATION: wall clock at an entry point
+  return acc;
+}
+
+int DeadDraw() {
+  std::random_device rd;  // VIOLATION: unreachable, still banned
+  return int(rd());
+}
+
+}  // namespace fix

@@ -1,0 +1,39 @@
+// Fixture: serial-phase confinement. The analyzer must flag the two
+// serial-only functions reachable from the RunChunks lambda — Commit
+// (REQUIRES_SERIAL) called directly, Publish (function-level
+// WRITE_SERIAL_READ_SHARED) through Store::Indirect — and accept both the
+// read-only call inside the lambda and the serial harness below.
+#include "common/thread_annotations.h"
+
+namespace fix {
+
+class ThreadPool {
+ public:
+  template <typename Fn>
+  void RunChunks(unsigned long count, Fn fn);
+};
+
+class Store {
+ public:
+  void Commit(int v) REQUIRES_SERIAL();
+  void Publish() WRITE_SERIAL_READ_SHARED();
+  void Indirect() { Publish(); }
+  int ReadOnly(int v) const { return v; }
+};
+
+void ParallelHarness(ThreadPool& pool, Store& store) {
+  pool.RunChunks(8, [&](unsigned long i, unsigned worker) {
+    store.Commit(int(i));          // VIOLATION: serial write in a worker
+    store.Indirect();              // VIOLATION: reaches Publish
+    (void)store.ReadOnly(int(i));  // fine: read API
+    (void)worker;
+  });
+}
+
+// Serial sections may call the write API freely.
+void SerialHarness(Store& store) {
+  store.Commit(1);
+  store.Publish();
+}
+
+}  // namespace fix

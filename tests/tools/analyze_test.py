@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Tests for tools/analyze (the semantic call-graph analyzer).
+
+Each fixture under tests/tools/analyze_fixtures/ carries known violations;
+the tests copy fixtures into a throwaway tree, run the analyzer as a
+subprocess with the lite frontend (always available), and assert the
+expected checker fires the expected number of times. The call-graph tests
+assert resolved edges (virtual dispatch, nested lambdas, function pointers)
+via --dump-callgraph. The clang-frontend parity test runs only when the
+python bindings and libclang are installed (the CI semantic-analysis job);
+the default container skips it.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "analyze_fixtures"
+
+
+def clang_frontend_available():
+    sys.path.insert(0, str(REPO))
+    try:
+        from tools.analyze import frontend_clang
+        return frontend_clang.available()
+    except Exception:  # pragma: no cover - import machinery varies
+        return False
+    finally:
+        sys.path.pop(0)
+
+
+def run_analyzer(root, *extra, frontend="lite"):
+    return subprocess.run(
+        [sys.executable, "-m", "tools.analyze", "--root", str(root),
+         "--frontend", frontend, *extra],
+        capture_output=True, text=True, check=False, cwd=REPO)
+
+
+def stage(tmp, *fixtures):
+    """Copies fixtures into <tmp>/src/ — the analyzer's default path."""
+    src = Path(tmp) / "src"
+    src.mkdir(parents=True, exist_ok=True)
+    for fixture in fixtures:
+        shutil.copy(FIXTURES / fixture, src / fixture)
+    return src
+
+
+class AnalyzeCheckerTest(unittest.TestCase):
+    def analyze_fixture(self, fixture, *extra):
+        with tempfile.TemporaryDirectory() as tmp:
+            stage(tmp, fixture)
+            return run_analyzer(tmp, *extra)
+
+    def assert_findings(self, result, checker, count):
+        self.assertEqual(result.returncode, 1,
+                         result.stdout + result.stderr)
+        self.assertEqual(result.stdout.count(f"[{checker}]"), count,
+                         result.stdout)
+
+    def test_serial_confinement_fires(self):
+        result = self.analyze_fixture("serial_confinement.cc",
+                                      "--checks", "serial-confinement")
+        self.assert_findings(result, "serial-confinement", 2)
+        self.assertIn("fix::Store::Commit", result.stdout)
+        self.assertIn("fix::Store::Publish", result.stdout)
+        self.assertIn("RunChunks", result.stdout)  # dispatch site is named
+        self.assertNotIn("ReadOnly", result.stdout)
+
+    def test_hot_path_purity_fires(self):
+        result = self.analyze_fixture("hot_path.cc",
+                                      "--checks", "hot-path-purity")
+        self.assert_findings(result, "hot-path-purity", 3)
+        self.assertIn("allocates", result.stdout)
+        self.assertIn("locks", result.stdout)
+        self.assertIn("io", result.stdout)
+        # The allocating callee is named with the full path from the hot
+        # function; the allow-hatch user stays clean.
+        self.assertIn("fix::Index::Grow", result.stdout)
+        self.assertNotIn("FastClean", result.stdout)
+        self.assertNotIn("ScratchFor", result.stdout)
+
+    def test_hot_path_allow_misuse_fires(self):
+        result = self.analyze_fixture("hot_path_allow.cc",
+                                      "--checks", "hot-path-purity")
+        self.assert_findings(result, "hot-path-purity", 2)
+        self.assertIn("non-empty reason", result.stdout)
+        self.assertIn("pick one", result.stdout)
+
+    def test_seed_purity_fires(self):
+        result = self.analyze_fixture("seed_purity.cc",
+                                      "--checks", "seed-purity")
+        self.assert_findings(result, "seed-purity", 3)
+        self.assertIn("rand()", result.stdout)
+        self.assertIn("time()", result.stdout)
+        self.assertIn("std::random_device", result.stdout)
+        # The dead-code source is reported with the unreachable qualifier.
+        self.assertEqual(result.stdout.count("not reachable"), 1,
+                         result.stdout)
+        # The reachable one names the entry point on its path.
+        self.assertIn("RunFixtureExperiment", result.stdout)
+
+    def test_metrics_stability_fires(self):
+        result = self.analyze_fixture(
+            "metrics_stability.cc", "--checks", "metrics-stability",
+            "--metrics-inventory", str(FIXTURES / "metrics_inventory.json"))
+        self.assert_findings(result, "metrics-stability", 5)
+        self.assertIn("'fix.wrong'", result.stdout)
+        self.assertIn("not in the inventory", result.stdout)
+        self.assertIn("'fix.unknown'", result.stdout)
+        self.assertIn("conflicting stabilities", result.stdout)
+        self.assertIn("stale inventory entry 'fix.stale'", result.stdout)
+        # Correctly classified and pattern-matched sites stay silent.
+        self.assertNotIn("fix.good", result.stdout)
+        self.assertNotIn("latency_ms", result.stdout)
+
+    def test_clean_tree_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src"
+            src.mkdir()
+            (src / "clean.cc").write_text(
+                "namespace dmap {\n"
+                "int Add(int a, int b) { return a + b; }\n"
+                "}  // namespace dmap\n")
+            result = run_analyzer(
+                tmp, "--checks",
+                "serial-confinement,hot-path-purity,seed-purity")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_baseline_suppresses_known_findings(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            stage(tmp, "serial_confinement.cc")
+            report_path = Path(tmp) / "report.json"
+            first = run_analyzer(tmp, "--checks", "serial-confinement",
+                                 "--json-out", str(report_path))
+            self.assertEqual(first.returncode, 1, first.stdout + first.stderr)
+            report = json.loads(report_path.read_text())
+            self.assertEqual(report["schema"], "dmap.semantic_analysis.v1")
+            fingerprints = [f["fingerprint"] for f in report["findings"]]
+            self.assertEqual(len(fingerprints), 2, report)
+
+            baseline_path = Path(tmp) / "baseline.json"
+            baseline_path.write_text(json.dumps({
+                "schema": "dmap.lint_baseline.v1",
+                "findings": fingerprints,
+            }))
+            second = run_analyzer(tmp, "--checks", "serial-confinement",
+                                  "--baseline", str(baseline_path))
+            self.assertEqual(second.returncode, 0,
+                             second.stdout + second.stderr)
+            self.assertIn("suppressed=2", second.stderr)
+
+            # A partial baseline still fails on the remaining finding.
+            baseline_path.write_text(json.dumps({
+                "schema": "dmap.lint_baseline.v1",
+                "findings": fingerprints[:1],
+            }))
+            third = run_analyzer(tmp, "--checks", "serial-confinement",
+                                 "--baseline", str(baseline_path))
+            self.assertEqual(third.returncode, 1)
+            self.assertIn("suppressed=1", third.stderr)
+
+
+class AnalyzeCallGraphTest(unittest.TestCase):
+    def dump(self, *fixtures, frontend="lite", tree=None):
+        with tempfile.TemporaryDirectory() as tmp:
+            stage(tmp, *fixtures)
+            out = Path(tmp) / "callgraph.json"
+            args = ["--dump-callgraph", str(out)]
+            if frontend == "clang":
+                args += ["--compile-commands",
+                         str(self._write_compile_commands(tmp, fixtures))]
+            result = run_analyzer(tmp, *args, frontend=frontend)
+            self.assertEqual(result.returncode, 0,
+                             result.stdout + result.stderr)
+            return json.loads(out.read_text())
+
+    @staticmethod
+    def _write_compile_commands(tmp, fixtures):
+        path = Path(tmp) / "compile_commands.json"
+        path.write_text(json.dumps([
+            {"directory": str(tmp),
+             "command": f"clang++ -std=c++20 -I{REPO}/src -c src/{f}",
+             "file": f"src/{f}"}
+            for f in fixtures
+        ]))
+        return path
+
+    def assert_virtual_dispatch(self, graph):
+        calls = graph["functions"]["fix::Dispatch"]["calls"]
+        for backend in ("fix::TrieBackend::Resolve",
+                        "fix::HashBackend::Resolve",
+                        "fix::SnapshotBackend::Resolve",
+                        "fix::RemoteBackend::Resolve"):
+            self.assertIn(backend, calls, calls)
+
+    def test_virtual_dispatch_reaches_all_backends(self):
+        self.assert_virtual_dispatch(self.dump("callgraph_virtual.cc"))
+
+    def test_nested_lambdas_resolve_through_the_chain(self):
+        graph = self.dump("callgraph_lambda.cc")
+        entries = graph["parallel_entries"]
+        self.assertEqual(len(entries), 1, entries)
+        entry = entries[0]["callee"]
+        self.assertIn("{lambda@", entry)
+        self.assertTrue(entry.startswith("fix::Nested::"), entry)
+        # Entry lambda -> inner lambda -> Leaf.
+        outer_calls = graph["functions"][entry]["calls"]
+        inner = [c for c in outer_calls if "{lambda@" in c]
+        self.assertEqual(len(inner), 1, outer_calls)
+        self.assertIn("fix::Leaf", graph["functions"][inner[0]]["calls"])
+
+    def test_function_pointers_resolve(self):
+        graph = self.dump("callgraph_fnptr.cc")
+        calls = graph["functions"]["fix::Apply"]["calls"]
+        self.assertIn("fix::Worker", calls, calls)
+        self.assertIn("fix::Other", calls, calls)
+        entries = [(e["api"], e["callee"]) for e in graph["parallel_entries"]]
+        self.assertIn(("ParallelFor", "fix::Worker"), entries, entries)
+
+    @unittest.skipUnless(clang_frontend_available(),
+                         "libclang python bindings not installed")
+    def test_clang_frontend_parity_on_virtual_dispatch(self):
+        graph = self.dump("callgraph_virtual.cc", frontend="clang")
+        self.assertEqual(graph["frontend"], "clang")
+        self.assert_virtual_dispatch(graph)
+
+
+if __name__ == "__main__":
+    unittest.main()

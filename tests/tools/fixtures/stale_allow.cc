@@ -1,0 +1,25 @@
+// Linter fixture for the escape-hatch audit: an allow naming a rule the
+// linter does not implement (typo'd "wall-clok") and an allow with no
+// reason are each allow-audit violations; the well-formed allow on a rule
+// that exists stays silent.
+// Not compiled — consumed by tests/tools/lint_determinism_test.py.
+#include <ctime>
+
+namespace dmap {
+
+long TypoRule() {
+  // lint:allow(determinism:wall-clok) misspelled, waives nothing
+  return time(nullptr);
+}
+
+int BareAllow(int v) {
+  // lint:allow(determinism:rand)
+  return v;
+}
+
+long WellFormed() {
+  // lint:allow(determinism:wall-clock) log header only, never in results
+  return time(nullptr);
+}
+
+}  // namespace dmap

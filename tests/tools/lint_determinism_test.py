@@ -7,6 +7,7 @@ key on), run the linter as a subprocess, and assert the expected rule fires
 — or, for the escape hatch, does not.
 """
 
+import json
 import shutil
 import subprocess
 import sys
@@ -19,20 +20,20 @@ LINTER = REPO / "tools" / "lint_determinism.py"
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
 
 
-def run_linter(root):
+def run_linter(root, *extra):
     return subprocess.run(
-        [sys.executable, str(LINTER), "--root", str(root)],
+        [sys.executable, str(LINTER), "--root", str(root), *extra],
         capture_output=True, text=True, check=False)
 
 
 class LintDeterminismTest(unittest.TestCase):
-    def lint_fixture(self, fixture, rel_dir="src"):
+    def lint_fixture(self, fixture, rel_dir="src", *extra):
         """Copies a fixture into <tmp>/<rel_dir>/ and lints the tree."""
         with tempfile.TemporaryDirectory() as tmp:
             dest = Path(tmp) / rel_dir
             dest.mkdir(parents=True)
             shutil.copy(FIXTURES / fixture, dest / fixture)
-            return run_linter(tmp)
+            return run_linter(tmp, *extra)
 
     def assert_violations(self, result, rule, count):
         self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
@@ -74,6 +75,62 @@ class LintDeterminismTest(unittest.TestCase):
     def test_allow_with_reason_waives_but_bare_allow_does_not(self):
         result = self.lint_fixture("allowed.cc")
         self.assert_violations(result, "wall-clock", 1)
+        # The bare allow is additionally an audit violation in its own
+        # right (no reason given).
+        self.assertEqual(result.stdout.count("[determinism:allow-audit]"), 1,
+                         result.stdout)
+
+    def test_stale_allow_rule_and_missing_reason_are_errors(self):
+        result = self.lint_fixture("stale_allow.cc")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(result.stdout.count("[determinism:allow-audit]"), 2,
+                         result.stdout)
+        self.assertIn("unknown rule 'wall-clok'", result.stdout)
+        self.assertIn("requires a reason", result.stdout)
+        # The misspelled allow waives nothing: the wall clock still fires;
+        # the well-formed allow still waives.
+        self.assertEqual(result.stdout.count("[determinism:wall-clock]"), 1,
+                         result.stdout)
+
+    def test_baseline_suppresses_known_violations(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            dest = Path(tmp) / "src"
+            dest.mkdir(parents=True)
+            shutil.copy(FIXTURES / "wall_clock.cc", dest / "wall_clock.cc")
+            report_path = Path(tmp) / "report.json"
+            first = run_linter(tmp, "--json-out", str(report_path))
+            self.assertEqual(first.returncode, 1, first.stdout + first.stderr)
+            report = json.loads(report_path.read_text())
+            fingerprints = [f["fingerprint"] for f in report["findings"]]
+            self.assertEqual(len(fingerprints), 2, report)
+
+            baseline_path = Path(tmp) / "baseline.json"
+            baseline_path.write_text(json.dumps({
+                "schema": "dmap.lint_baseline.v1",
+                "findings": fingerprints,
+            }))
+            second = run_linter(tmp, "--baseline", str(baseline_path))
+            self.assertEqual(second.returncode, 0,
+                             second.stdout + second.stderr)
+            self.assertIn("2 suppressed by baseline", second.stdout)
+
+            # A partial baseline still fails on the remaining finding.
+            baseline_path.write_text(json.dumps({
+                "schema": "dmap.lint_baseline.v1",
+                "findings": fingerprints[:1],
+            }))
+            third = run_linter(tmp, "--baseline", str(baseline_path))
+            self.assertEqual(third.returncode, 1)
+
+    def test_baseline_with_wrong_schema_is_a_usage_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            (Path(tmp) / "src").mkdir()
+            baseline_path = Path(tmp) / "baseline.json"
+            baseline_path.write_text(json.dumps({
+                "schema": "not.the.schema", "findings": []}))
+            result = run_linter(tmp, "--baseline", str(baseline_path))
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("unexpected schema", result.stderr)
 
     def test_clean_tree_passes(self):
         with tempfile.TemporaryDirectory() as tmp:

@@ -1,0 +1,6 @@
+"""dmap semantic analyzer: whole-program call-graph checks over src/.
+
+Run as `python3 -m tools.analyze [paths...]` from the repo root, or via the
+`semantic_analysis` ctest. See cli.py for flags and DESIGN.md "Semantic
+analysis" for the contracts.
+"""

@@ -33,7 +33,16 @@ runtime; this linter rejects the constructs that cause them at review time:
 
 Escape hatch: a construct is allowed when the same line or the line above
 carries ``// lint:allow(determinism:<rule>) <reason>`` with a non-empty
-reason.
+reason. The markers themselves are audited: an allow naming a rule this
+linter does not implement (a stale or misspelled name silently waives
+nothing) or carrying no reason is a violation in its own right
+(``allow-audit``).
+
+``--baseline known.json`` suppresses findings whose fingerprint appears in
+the file (schema ``dmap.lint_baseline.v1``, shared with tools/analyze);
+``--json-out`` writes the remaining findings with their fingerprints for
+copy-paste into a baseline. Fingerprints are line-free, so a baseline
+survives unrelated edits.
 
 Exit status: 0 when clean, 1 when violations were found, 2 on usage errors.
 """
@@ -41,6 +50,7 @@ Exit status: 0 when clean, 1 when violations were found, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -107,13 +117,34 @@ BEGIN_ITER = re.compile(r"\b(\w+)\s*(?:\.|->)\s*(?:c?begin|c?end)\s*\(")
 
 ALLOW = re.compile(r"//\s*lint:allow\(determinism:([\w-]+)\)\s*(\S.*)?")
 
+# Every rule a lint:allow may name. The allow-audit rule is deliberately
+# absent: audit findings cannot be waived, and an allow naming "allow-audit"
+# is itself flagged as unknown.
+KNOWN_RULES = frozenset({
+    "wall-clock", "rand", "float-accumulation", "unordered-iteration",
+})
+
+BASELINE_SCHEMA = "dmap.lint_baseline.v1"
+
 
 class Violation:
-    def __init__(self, path: Path, line: int, rule: str, message: str):
+    def __init__(self, path: Path, rel: str, line: int, rule: str,
+                 message: str):
         self.path = path
+        self.rel = rel
         self.line = line
         self.rule = rule
         self.message = message
+
+    @property
+    def fingerprint(self) -> str:
+        # Line-free (rule::file::message), mirroring tools/analyze Finding
+        # fingerprints, so baselines survive unrelated edits.
+        return "::".join([f"determinism:{self.rule}", self.rel, self.message])
+
+    def to_json(self) -> dict:
+        return {"rule": self.rule, "file": self.rel, "line": self.line,
+                "message": self.message, "fingerprint": self.fingerprint}
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: [determinism:{self.rule}] {self.message}"
@@ -206,7 +237,26 @@ def lint_file(path: Path, rel: str) -> list[Violation]:
             return
         if rel in RULE_ALLOWLIST.get(rule, ()):
             return
-        violations.append(Violation(path, line_no, rule, message))
+        violations.append(Violation(path, rel, line_no, rule, message))
+
+    # Escape-hatch audit: every lint:allow marker must name a rule this
+    # linter implements and carry a reason. A stale rule name waives
+    # nothing silently; surface it instead. Audit findings bypass report()
+    # on purpose — they cannot themselves be waived.
+    for line_no, raw_line in enumerate(raw_lines, start=1):
+        m = ALLOW.search(raw_line)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(2)
+        if rule not in KNOWN_RULES:
+            violations.append(Violation(
+                path, rel, line_no, "allow-audit",
+                f"lint:allow names unknown rule '{rule}'; known rules: "
+                + ", ".join(sorted(KNOWN_RULES))))
+        if not (reason or "").strip():
+            violations.append(Violation(
+                path, rel, line_no, "allow-audit",
+                "lint:allow requires a reason after the marker"))
 
     for line_no, line in enumerate(code_lines, start=1):
         for pattern, message in WALL_CLOCK_PATTERNS:
@@ -268,6 +318,12 @@ def main(argv: list[str]) -> int:
                         help="repository root (default: cwd)")
     parser.add_argument("paths", nargs="*",
                         help="files/dirs relative to --root (default: src)")
+    parser.add_argument("--baseline", default=None,
+                        help="JSON baseline of known finding fingerprints "
+                             f"(schema {BASELINE_SCHEMA})")
+    parser.add_argument("--json-out", default=None,
+                        help="write remaining findings (with fingerprints) "
+                             "as JSON")
     args = parser.parse_args(argv)
 
     root = Path(args.root).resolve()
@@ -277,17 +333,50 @@ def main(argv: list[str]) -> int:
         print(f"lint_determinism: {err}", file=sys.stderr)
         return 2
 
+    baseline: set[str] = set()
+    if args.baseline:
+        try:
+            data = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"lint_determinism: {err}", file=sys.stderr)
+            return 2
+        if data.get("schema") != BASELINE_SCHEMA:
+            print(f"lint_determinism: {args.baseline}: unexpected schema "
+                  f"{data.get('schema')!r}; expected {BASELINE_SCHEMA!r}",
+                  file=sys.stderr)
+            return 2
+        findings = data.get("findings")
+        if not isinstance(findings, list) or \
+                not all(isinstance(f, str) for f in findings):
+            print(f"lint_determinism: {args.baseline}: 'findings' must be a "
+                  "list of fingerprint strings", file=sys.stderr)
+            return 2
+        baseline = set(findings)
+
     violations = []
     for path, rel in files:
         violations.extend(lint_file(path, rel))
+    new = [v for v in violations if v.fingerprint not in baseline]
+    suppressed = len(violations) - len(new)
 
-    for v in violations:
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps({
+            "schema": "dmap.lint_report.v1",
+            "findings": [v.to_json() for v in new],
+            "suppressed_by_baseline": suppressed,
+        }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    for v in new:
         print(v)
-    if violations:
-        print(f"lint_determinism: {len(violations)} violation(s) in "
-              f"{len(files)} file(s)", file=sys.stderr)
+    if new:
+        print(f"lint_determinism: {len(new)} violation(s) in "
+              f"{len(files)} file(s)"
+              + (f", {suppressed} suppressed by baseline" if suppressed
+                 else ""), file=sys.stderr)
         return 1
-    print(f"lint_determinism: OK ({len(files)} files)")
+    print(f"lint_determinism: OK ({len(files)} files"
+          + (f", {suppressed} suppressed by baseline" if suppressed else "")
+          + ")")
     return 0
 
 
