@@ -50,6 +50,14 @@ struct BenchOptions {
   // enabled=true unless the config says otherwise). Empty = disabled, the
   // infinite-capacity behaviour. Parse with ParsedServing().
   std::string serving;
+  // Quorum/consistency knobs for the wire-protocol benches (chaos_sweep,
+  // fig9_consistency); see ProtocolNetworkOptions for the semantics.
+  // -1 = flag not given: each bench applies its own default (chaos_sweep
+  // uses the network defaults; fig9_consistency runs its built-in sweep
+  // of {W, R, anti-entropy} legs instead of one custom leg).
+  int write_quorum = -1;   // 0 = majority, 1 = legacy fire-and-wait-all
+  int read_quorum = -1;    // 1 = sequential paper probing, >1 = fan-out
+  int anti_entropy = -1;   // GUIDs repaired per background round, 0 = off
 };
 
 // Accepts both `--flag=value` and `--flag value` forms.
@@ -127,6 +135,33 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
     } else if (const char* value =
+                   BenchArgValue(arg, "--write-quorum", argc, argv, &i)) {
+      char* end = nullptr;
+      const long w = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || w < 0 || w > 256) {
+        std::fprintf(stderr, "bad --write-quorum value: %s\n", value);
+        std::exit(2);
+      }
+      options.write_quorum = int(w);
+    } else if (const char* value =
+                   BenchArgValue(arg, "--read-quorum", argc, argv, &i)) {
+      char* end = nullptr;
+      const long r = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || r < 1 || r > 256) {
+        std::fprintf(stderr, "bad --read-quorum value: %s\n", value);
+        std::exit(2);
+      }
+      options.read_quorum = int(r);
+    } else if (const char* value =
+                   BenchArgValue(arg, "--anti-entropy", argc, argv, &i)) {
+      char* end = nullptr;
+      const long budget = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || budget < 0) {
+        std::fprintf(stderr, "bad --anti-entropy value: %s\n", value);
+        std::exit(2);
+      }
+      options.anti_entropy = int(budget);
+    } else if (const char* value =
                    BenchArgValue(arg, "--fault-seed", argc, argv, &i)) {
       char* end = nullptr;
       const unsigned long long seed = std::strtoull(value, &end, 10);
@@ -141,7 +176,8 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
           "          [--path-oracle=lru|hub] [--metrics-out=<file>]\n"
           "          [--trace-out=<file>] [--trace-sample=<N>]\n"
           "          [--fault-plan=<file>] [--fault-seed=<n>]\n"
-          "          [--serving=<file|k=v,...>]\n"
+          "          [--serving=<file|k=v,...>] [--write-quorum=<W>]\n"
+          "          [--read-quorum=<R>] [--anti-entropy=<budget>]\n"
           "  --shards        mapping-store shards (default 0 = auto;\n"
           "                  identical results for any value)\n"
           "  --path-oracle   point-distance engine (default hub; identical\n"
@@ -152,7 +188,12 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
           "  --fault-plan    declarative fault plan file (configs/*.plan)\n"
           "  --fault-seed    seed for per-message fault fates (default 0)\n"
           "  --serving       serving-tier capacity model: configs/*.serving\n"
-          "                  file or inline k=v,... (default off)\n",
+          "                  file or inline k=v,... (default off)\n"
+          "  --write-quorum  acks before an insert completes: 0 = majority,\n"
+          "                  1 = legacy fire-and-wait-all (wire benches)\n"
+          "  --read-quorum   replicas a lookup must hear from; 1 = the\n"
+          "                  paper's sequential probing, >1 = fan-out\n"
+          "  --anti-entropy  GUIDs repaired per background round (0 = off)\n",
           argv[0]);
       std::exit(0);
     } else {

@@ -39,6 +39,10 @@ FaultPlan ShiftPlan(FaultPlan plan, SimTime offset) {
       if (window.up_at < FailureView::kForever) window.up_at += offset;
     }
   }
+  for (PartitionWindow& window : plan.partitions) {
+    window.down_at += offset;
+    if (window.up_at < FailureView::kForever) window.up_at += offset;
+  }
   return plan;
 }
 
@@ -100,6 +104,15 @@ int main(int argc, char** argv) {
         ProtocolNetworkOptions net_options;
         net_options.k = 3;
         net_options.probe_retries = retries;
+        // -1 = flag not given: keep the network defaults (majority writes,
+        // single-response reads). --write-quorum=1 reproduces the pre-quorum
+        // legacy behaviour byte-for-byte (CI diffs it against the golden).
+        if (options.write_quorum >= 0) {
+          net_options.write_quorum = options.write_quorum;
+        }
+        if (options.read_quorum >= 1) {
+          net_options.read_quorum = options.read_quorum;
+        }
         ProtocolNetwork net(env.graph, env.table, net_options);
         net.SetMetrics(obs.registry(), worker);
         net.SetTracer(obs.tracer(), worker);

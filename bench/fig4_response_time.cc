@@ -29,6 +29,10 @@ int main(int argc, char** argv) {
   config.threads = options.threads;
   config.shards = options.shards;
   config.path_oracle = dmap::bench::ParsedPathOracle(options);
+  // Lookup-only sweep: inserts are unmeasured, so every quorum setting
+  // produces identical output — CI pins --write-quorum=1 here to assert
+  // exactly that against the pre-quorum golden export.
+  if (options.write_quorum >= 0) config.write_quorum = options.write_quorum;
   config.metrics = obs.registry();
   config.tracer = obs.tracer();
   config.workload.num_guids = bench::Scaled(100'000, options.scale, 1000);

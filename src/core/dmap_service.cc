@@ -32,6 +32,11 @@ void DMapOptions::Validate() const {
         "DMapOptions: retry_backoff must be >= 1 (got " +
         std::to_string(retry_backoff) + ")");
   }
+  if (write_quorum < 0) {
+    throw std::invalid_argument(
+        "DMapOptions: write_quorum must be >= 0 (0 = majority; got " +
+        std::to_string(write_quorum) + ")");
+  }
   if (store_shards < 0 ||
       store_shards > int(ShardedMappingStore::kMaxShards)) {
     throw std::invalid_argument(
@@ -115,7 +120,7 @@ UpdateResult DMapService::WriteReplicas(const Guid& guid, OwnerState& state,
     result.hash_evaluations += r.hash_count;
   }
 
-  const MappingEntry entry{state.nas, state.version};
+  const MappingEntry entry{state.nas, state.version, state.writer};
   for (const HostResolution& r : resolutions) {
     if (store_.Lookup(r.host, guid) == nullptr) ++total_entries_;
     store_.Upsert(r.host, guid, entry, r.stored_address);
@@ -150,14 +155,47 @@ UpdateResult DMapService::WriteReplicas(const Guid& guid, OwnerState& state,
   result.replicas = state.replicas;
   result.attempts = int(state.replicas.size());
 
-  // Replica writes go out in parallel; update latency is the slowest
-  // round trip (Section III-A).
+  // Completion timing. Replica writes go out in parallel; with the quorum
+  // discipline off (write_quorum = 1) the update completes at the slowest
+  // round trip (Section III-A, the paper's model, bit-exact with the
+  // pre-quorum behaviour). With a quorum W >= 2 it completes at the W-th
+  // applied acknowledgement — the local replica is an instant ack, a dead
+  // replica never acks — and reports kQuorumFailed when fewer than W
+  // replicas are reachable, at the time the last stand-in timeout fires.
   if (options_.measure_update_latency) {
-    double max_rtt = 0.0;
-    for (const AsId host : state.replicas) {
-      max_rtt = std::max(max_rtt, oracle_.RttMs(src_as, host, shard));
+    const int participants =
+        int(state.replicas.size()) + (options_.local_replica ? 1 : 0);
+    const int w = ResolveQuorum(options_.write_quorum, participants);
+    if (w <= 1) {
+      double max_rtt = 0.0;
+      for (const AsId host : state.replicas) {
+        max_rtt = std::max(max_rtt, oracle_.RttMs(src_as, host, shard));
+      }
+      result.latency_ms = max_rtt;
+    } else {
+      std::vector<double> acks;  // arrival times of applied acks
+      acks.reserve(std::size_t(participants));
+      if (options_.local_replica) acks.push_back(0.0);
+      double last_resolved = 0.0;  // when the final slot acks or times out
+      for (const AsId host : state.replicas) {
+        const double rtt = oracle_.RttMs(src_as, host, shard);
+        if (failures_.IsFailed(host)) {
+          // No ack will come; the wire path's per-slot timeout stands in.
+          last_resolved = std::max(
+              last_resolved, std::max(options_.failure_timeout_ms, 1.5 * rtt));
+          continue;
+        }
+        acks.push_back(rtt);
+        last_resolved = std::max(last_resolved, rtt);
+      }
+      if (int(acks.size()) < w) {
+        result.status = ResolverStatus::kQuorumFailed;
+        result.latency_ms = last_resolved;
+      } else {
+        std::sort(acks.begin(), acks.end());
+        result.latency_ms = acks[std::size_t(w - 1)];
+      }
     }
-    result.latency_ms = max_rtt;
   }
   return result;
 }
@@ -169,6 +207,7 @@ UpdateResult DMapService::Insert(const Guid& guid, NetworkAddress na) {
   OwnerState& state = owners_[guid];
   state.nas = NaSet(na);
   ++state.version;
+  state.writer = na.as;
   UpdateResult result = WriteReplicas(guid, state, na.as);
   if (metrics_) AccountUpdate(result, ins_.inserts, 0);
   return result;
@@ -182,6 +221,7 @@ UpdateResult DMapService::Update(const Guid& guid, NetworkAddress na) {
   OwnerState& state = it->second;
   state.nas = NaSet(na);
   ++state.version;
+  state.writer = na.as;
   UpdateResult result = WriteReplicas(guid, state, na.as);
   if (metrics_) AccountUpdate(result, ins_.updates, 0);
   return result;
@@ -198,6 +238,7 @@ UpdateResult DMapService::AddAttachment(const Guid& guid, NetworkAddress na) {
         "AddAttachment: NA already present or NA set full");
   }
   ++state.version;
+  state.writer = na.as;
   UpdateResult result = WriteReplicas(guid, state, na.as);
   if (metrics_) AccountUpdate(result, ins_.add_attachments, 0);
   return result;

@@ -59,6 +59,18 @@ struct DMapOptions {
   // timeout costs exactly failure_timeout_ms.
   int probe_retries = 0;
   double retry_backoff = 2.0;
+  // Write-quorum discipline (DESIGN.md section 14). An update writes all
+  // K global replicas (plus the local copy) regardless; write_quorum only
+  // sets when the operation *completes* and what it guarantees:
+  //   0  = majority of the written replica set (the default discipline);
+  //   1  = the paper's fire-and-wait-all mode: completion at the slowest
+  //        acknowledgement, success declared unconditionally — bit-exact
+  //        with the pre-quorum behaviour;
+  //   W>1 = completion at the W-th applied acknowledgement (the local
+  //        replica counts as an instant ack); fewer than W reachable
+  //        replicas yields ResolverStatus::kQuorumFailed, never a silent
+  //        partial write.
+  int write_quorum = 0;
   std::uint64_t hash_seed = 0x5eedf00dULL;
   // When false, Insert/Update skip the RTT computation (latency_ms = -1);
   // used by bulk loads where only lookups are being measured.
@@ -84,8 +96,21 @@ struct DMapOptions {
 
 // Whether a backend actually implements the operation's semantics.
 // Baselines return kUnsupported where their scheme has no analogue instead
-// of silently diverging from the DMap behaviour.
-enum class ResolverStatus : std::uint8_t { kOk, kUnsupported };
+// of silently diverging from the DMap behaviour. kQuorumFailed marks a
+// write that could not gather its configured quorum of applied replica
+// acknowledgements — the terminal outcome of the quorum discipline, never
+// reported as success.
+enum class ResolverStatus : std::uint8_t { kOk, kUnsupported, kQuorumFailed };
+
+// Resolves a configured write/read quorum against `n` participating
+// replicas: 0 selects a majority (n/2 + 1), any other value is clamped to
+// [1, n]. Shared by the closed-form, event-driven and wire paths so the
+// three agree on when a quorum operation completes.
+inline int ResolveQuorum(int configured, int n) {
+  if (n < 1) return 1;
+  if (configured == 0) return n / 2 + 1;
+  return configured < 1 ? 1 : (configured > n ? n : configured);
+}
 
 // Fields every resolver operation reports, DMap and baselines alike: the
 // time the operation cost, how many probes it took, and — when tracing is
@@ -262,6 +287,10 @@ class DMapService {
   struct OwnerState {
     NaSet nas;
     std::uint64_t version = 0;
+    // Writer half of the logical stamp, pinned at each version bump.
+    // Rehome re-writes at the *same* (version, writer) stamp, so its
+    // refresh of stored addresses rides the idempotent equal-stamp path.
+    AsId writer = 0;
     std::vector<AsId> replicas;  // current global replica hosts
     AsId local_as = kInvalidAs;  // where the local copy lives
   };

@@ -61,13 +61,34 @@ class NaSet {
   int count_ = 0;
 };
 
+// Logical timestamp of a mapping write: a per-GUID counter extended with
+// the writer's AS id as a deterministic tie-break. Lexicographic comparison
+// gives a total order, so any two replicas holding copies of the same GUID
+// agree on which copy is newer — the foundation of the quorum write /
+// read-repair discipline (DESIGN.md section 14). Two writes carrying the
+// same stamp are, by construction, the same write (a writer never reuses a
+// counter value), so equal-stamp overwrites are idempotent.
+struct LogicalStamp {
+  std::uint64_t counter = 0;
+  AsId writer = 0;
+
+  friend constexpr auto operator<=>(const LogicalStamp&,
+                                    const LogicalStamp&) = default;
+};
+
 // A stored mapping. `version` is a monotonically increasing sequence number
 // set by the GUID's owner; replicas keep the highest version seen, which
 // resolves the mobility race of Section III-D-2 (an old update arriving
-// after a newer one must not regress the mapping).
+// after a newer one must not regress the mapping). `writer` records the AS
+// that issued the write; together they form the entry's LogicalStamp, whose
+// total order makes concurrent same-counter writes (e.g. a repair racing a
+// mobility update) converge deterministically on every replica.
 struct MappingEntry {
   NaSet nas;
   std::uint64_t version = 0;
+  AsId writer = 0;
+
+  LogicalStamp stamp() const { return LogicalStamp{version, writer}; }
 
   friend bool operator==(const MappingEntry&, const MappingEntry&) = default;
 };

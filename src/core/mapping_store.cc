@@ -10,7 +10,7 @@ bool MappingStore::Upsert(const Guid& guid, const MappingEntry& entry,
   const auto [it, inserted] =
       entries_.try_emplace(guid, Stored{entry, stored_address});
   if (inserted) return true;
-  if (entry.version < it->second.entry.version) return false;
+  if (entry.stamp() < it->second.entry.stamp()) return false;
   it->second = Stored{entry, stored_address};
   return true;
 }
@@ -64,7 +64,7 @@ bool ShardedMappingStore::Upsert(AsId as, const Guid& guid,
   const auto [it, inserted] = shard.map.try_emplace(
       Key{guid, as}, Stored{entry, stored_address});
   if (!inserted) {
-    if (entry.version < it->second.entry.version) return false;
+    if (entry.stamp() < it->second.entry.stamp()) return false;
     it->second = Stored{entry, stored_address};
   }
   ++shard.epoch;

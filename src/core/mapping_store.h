@@ -30,9 +30,12 @@ namespace dmap {
 
 class MappingStore {
  public:
-  // Inserts or refreshes a mapping. Stale writes (version strictly below
-  // the stored one) are rejected, which makes replica updates idempotent
-  // and order-insensitive (Section III-D-2). Returns true if applied.
+  // Inserts or refreshes a mapping. Stale writes (logical stamp strictly
+  // below the stored one — version first, writer AS as tie-break) are
+  // rejected, which makes replica updates idempotent and order-insensitive
+  // (Section III-D-2): any permutation of the same write set, with
+  // arbitrary duplication, converges to the same stored state. Returns
+  // true if applied.
   //
   // `stored_address` records which announced address Algorithm 1 hashed the
   // replica to; the withdrawal repair of Section III-D-1 enumerates by it.

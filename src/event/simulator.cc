@@ -23,6 +23,29 @@ EventHandle Simulator::ScheduleAt(SimTime when, std::function<void()> action) {
   return EventHandle(record);
 }
 
+EventHandle Simulator::ScheduleRepeating(SimTime period,
+                                         std::function<bool()> action) {
+  if (period <= SimTime::Zero()) {
+    throw std::invalid_argument(
+        "Simulator::ScheduleRepeating: period must be positive");
+  }
+  // Each tick reschedules itself while the action keeps returning true.
+  // The lambda owns the action; self-capture is by value through the
+  // shared wrapper so the chain stays alive across ticks.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, action = std::move(action), tick]() {
+    // The executing closure is the event record's own copy, so resetting
+    // *tick here (to break the self-reference cycle once the series ends)
+    // never destroys the code currently running.
+    if (action()) {
+      Schedule(period, *tick);
+    } else {
+      *tick = nullptr;
+    }
+  };
+  return Schedule(period, *tick);
+}
+
 bool Simulator::SkipCancelled() {
   while (!queue_.empty() && queue_.top().record->done) {
     queue_.pop();

@@ -63,6 +63,17 @@ class Simulator {
   // Schedules `action` at absolute time `when` (must be >= Now()).
   EventHandle ScheduleAt(SimTime when, std::function<void()> action);
 
+  // Schedules `action` every `period` starting one period from now, for
+  // as long as it returns true; a false return ends the series. The
+  // returned handle refers to the first tick only — cancelling it stops
+  // the series before it starts; after that, stop via the return value.
+  // The action must terminate the series eventually: an unconditional
+  // `return true` keeps the queue non-empty forever and Run() never
+  // returns. Built for periodic maintenance with a stopping condition,
+  // e.g. anti-entropy rounds that end when the workload phase is over.
+  EventHandle ScheduleRepeating(SimTime period,
+                                std::function<bool()> action);
+
   // Runs until the queue is empty. Returns the number of events executed.
   std::uint64_t Run();
 

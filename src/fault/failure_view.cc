@@ -41,6 +41,32 @@ void FailureView::AddWindow(AsId as, SimTime down_at, SimTime up_at) {
   windows_[as].push_back(Window{down_at, up_at});
 }
 
+void FailureView::AddPartition(AsId a, AsId b, SimTime down_at,
+                               SimTime up_at) {
+  if (a == b) {
+    throw std::invalid_argument(
+        "FailureView::AddPartition: endpoints must differ");
+  }
+  if (down_at > up_at) {
+    throw std::invalid_argument(
+        "FailureView::AddPartition: down_at must be <= up_at");
+  }
+  if (down_at == up_at) return;  // empty partition
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  partitions_[key].push_back(Window{down_at, up_at});
+}
+
+bool FailureView::IsPartitionedAt(AsId a, AsId b, SimTime t) const {
+  if (partitions_.empty()) return false;
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  const auto it = partitions_.find(key);
+  if (it == partitions_.end()) return false;
+  for (const Window& w : it->second) {
+    if (t >= w.down_at && t < w.up_at) return true;
+  }
+  return false;
+}
+
 bool FailureView::IsFailedAt(AsId as, SimTime t) const {
   const auto it = windows_.find(as);
   if (it == windows_.end()) return false;

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "event/sim_time.h"
@@ -55,7 +56,17 @@ class FailureView {
   // if down_at > up_at.
   void AddWindow(AsId as, SimTime down_at, SimTime up_at);
 
-  void Clear() { windows_.clear(); }
+  // Adds one pairwise network-partition window: messages between `a` and
+  // `b` (either direction) are lost for t in [down_at, up_at) while both
+  // ASs stay up and keep serving everyone else — the split-brain scenario
+  // quorum writes must survive. Symmetric (the pair is stored unordered).
+  // Throws std::invalid_argument if a == b or down_at > up_at.
+  void AddPartition(AsId a, AsId b, SimTime down_at, SimTime up_at);
+
+  void Clear() {
+    windows_.clear();
+    partitions_.clear();
+  }
 
   // Static view: is `as` failed in the window covering time zero? This is
   // what the closed-form (timeless) resolution paths consult.
@@ -64,13 +75,21 @@ class FailureView {
   // Scheduled view: is `as` inside an outage window at simulated time `t`?
   bool IsFailedAt(AsId as, SimTime t) const;
 
+  // Is the (a, b) pair inside a partition window at time `t`? Symmetric in
+  // its arguments; the wire path consults this at delivery time, so a
+  // message in flight when the partition heals still arrives.
+  bool IsPartitionedAt(AsId a, AsId b, SimTime t) const;
+
+  // True when any partition window is registered.
+  bool HasPartitions() const { return !partitions_.empty(); }
+
   // All ASs failed at `t`, ascending — feedable straight into the legacy
   // SetFailedAses of any backend, which is how the property tests assert
   // the closed-form and event-driven paths agree on failure timings.
   std::vector<AsId> FailedAt(SimTime t) const;
 
-  // True when no window is registered at all.
-  bool Empty() const { return windows_.empty(); }
+  // True when no window (outage or partition) is registered at all.
+  bool Empty() const { return windows_.empty() && partitions_.empty(); }
 
   // True when some AS has a window that starts after time zero or ends
   // before forever — i.e. the schedule is genuinely time-varying and the
@@ -81,6 +100,9 @@ class FailureView {
   // Ordered map: FailedAt() iterates it into exported/asserted output, and
   // unordered iteration there would be run-dependent.
   std::map<AsId, std::vector<Window>> windows_;
+  // Partition windows keyed by the unordered pair (min, max), so lookups
+  // are symmetric and iteration order is deterministic.
+  std::map<std::pair<AsId, AsId>, std::vector<Window>> partitions_;
 };
 
 }  // namespace dmap

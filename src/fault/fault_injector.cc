@@ -27,6 +27,17 @@ void FaultInjector::InstallSchedule(const AsGraph& graph,
       view.AddWindow(as, outage.down_at, outage.up_at);
     }
   }
+  for (const PartitionWindow& cut : plan_.partitions) {
+    if (cut.a >= graph.num_nodes()) {
+      throw std::invalid_argument("FaultPlan: partition names unknown AS " +
+                                  std::to_string(cut.a));
+    }
+    if (cut.b >= graph.num_nodes()) {
+      throw std::invalid_argument("FaultPlan: partition names unknown AS " +
+                                  std::to_string(cut.b));
+    }
+    view.AddPartition(cut.a, cut.b, cut.down_at, cut.up_at);
+  }
 }
 
 std::vector<std::pair<SimTime, AsId>> FaultInjector::WipeSchedule() const {

@@ -66,6 +66,64 @@ std::vector<CrashWindow> ParseWindowList(const Config& config,
   return windows;
 }
 
+// Parses one "a|b:down_ms:up_ms" partition spec; `up_ms` may be "inf".
+PartitionWindow ParsePartition(const std::string& spec) {
+  const auto bad = [&](const std::string& why) {
+    throw std::invalid_argument("FaultPlan: bad partition entry '" + spec +
+                                "': " + why);
+  };
+  const std::size_t pipe = spec.find('|');
+  if (pipe == std::string::npos) bad("expected a|b:down_ms:up_ms");
+  const std::size_t first = spec.find(':', pipe + 1);
+  const std::size_t second =
+      first == std::string::npos ? std::string::npos
+                                 : spec.find(':', first + 1);
+  if (first == std::string::npos || second == std::string::npos) {
+    bad("expected a|b:down_ms:up_ms");
+  }
+  const std::string a_str = spec.substr(0, pipe);
+  const std::string b_str = spec.substr(pipe + 1, first - pipe - 1);
+  const std::string down_str = spec.substr(first + 1, second - first - 1);
+  const std::string up_str = spec.substr(second + 1);
+
+  char* end = nullptr;
+  const unsigned long a = std::strtoul(a_str.c_str(), &end, 10);
+  if (a_str.empty() || *end != '\0') bad("first AS id is not a number");
+  const unsigned long b = std::strtoul(b_str.c_str(), &end, 10);
+  if (b_str.empty() || *end != '\0') bad("second AS id is not a number");
+  if (a == b) bad("endpoints must differ");
+  const double down = std::strtod(down_str.c_str(), &end);
+  if (down_str.empty() || *end != '\0') bad("down_ms is not a number");
+  double up;
+  if (up_str == "inf") {
+    up = FailureView::kForever.millis();
+  } else {
+    up = std::strtod(up_str.c_str(), &end);
+    if (up_str.empty() || *end != '\0') bad("up_ms is not a number or inf");
+  }
+
+  PartitionWindow window;
+  window.a = AsId(a);
+  window.b = AsId(b);
+  window.down_at = SimTime::Millis(down);
+  window.up_at = SimTime::Millis(up);
+  return window;
+}
+
+std::vector<PartitionWindow> ParsePartitionList(const Config& config) {
+  std::vector<PartitionWindow> windows;
+  const std::string raw = config.GetString("partition", "");
+  std::istringstream stream(raw);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const std::size_t begin = item.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const std::size_t last = item.find_last_not_of(" \t");
+    windows.push_back(ParsePartition(item.substr(begin, last - begin + 1)));
+  }
+  return windows;
+}
+
 void ValidateProbability(double p, const char* field) {
   if (!(p >= 0.0 && p <= 1.0)) {  // also rejects NaN
     throw std::invalid_argument("FaultPlan: " + std::string(field) +
@@ -99,6 +157,20 @@ void FaultPlan::Validate() const {
   };
   check_windows(crashes, "crash");
   check_windows(outages, "outage");
+  for (const PartitionWindow& w : partitions) {
+    if (w.a == kInvalidAs || w.b == kInvalidAs) {
+      throw std::invalid_argument(
+          "FaultPlan: partition entry with invalid AS id");
+    }
+    if (w.a == w.b) {
+      throw std::invalid_argument(
+          "FaultPlan: partition entry with identical endpoints");
+    }
+    if (w.down_at > w.up_at) {
+      throw std::invalid_argument(
+          "FaultPlan: partition entry with down_at > up_at");
+    }
+  }
 }
 
 FaultPlan FaultPlan::FromConfig(const Config& config) {
@@ -109,6 +181,7 @@ FaultPlan FaultPlan::FromConfig(const Config& config) {
   plan.jitter_ms = config.GetDouble("jitter_ms", 0.0);
   plan.crashes = ParseWindowList(config, "crash", /*wipe_storage=*/true);
   plan.outages = ParseWindowList(config, "outage", /*wipe_storage=*/false);
+  plan.partitions = ParsePartitionList(config);
   plan.Validate();
   return plan;
 }

@@ -18,6 +18,11 @@
 //   # its customer cone (see CustomerCone below) for the window.
 //   outage = 7:200:800
 //
+//   # pairwise network partitions: messages between the two named ASs are
+//   # lost (both directions) for the window while both stay up and keep
+//   # serving everyone else — the split-brain case quorum writes survive.
+//   partition = 3|9:100:400
+//
 // The schedule side is expanded into FailureView windows and store-wipe
 // events by FaultInjector::InstallSchedule; the probabilistic side is
 // evaluated per message by FaultInjector::FateOf, deterministically from
@@ -45,6 +50,17 @@ struct CrashWindow {
   bool wipe_storage = true;
 };
 
+// One pairwise partition: the link between `a` and `b` drops everything
+// for t in [down_at, up_at). Symmetric; neither AS is failed — they just
+// cannot hear each other, so a write quorum must be met without crossing
+// the cut.
+struct PartitionWindow {
+  AsId a = kInvalidAs;
+  AsId b = kInvalidAs;
+  SimTime down_at = SimTime::Zero();
+  SimTime up_at = FailureView::kForever;
+};
+
 struct FaultPlan {
   // Per-message probabilities, evaluated independently per message.
   double drop_probability = 0.0;
@@ -56,6 +72,8 @@ struct FaultPlan {
   std::vector<CrashWindow> crashes;
   // Correlated outages: each entry fails the AS plus its customer cone.
   std::vector<CrashWindow> outages;
+  // Pairwise partition windows (both endpoints stay up).
+  std::vector<PartitionWindow> partitions;
 
   bool HasMessageFaults() const {
     return drop_probability > 0.0 || duplicate_probability > 0.0 ||

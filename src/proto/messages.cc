@@ -7,7 +7,9 @@ namespace {
 
 constexpr std::uint8_t kMagic0 = 0xD5;
 constexpr std::uint8_t kMagic1 = 0xAB;
-constexpr std::uint8_t kVersion = 1;
+// v2 added the logical-stamp writer AS to every encoded MappingEntry
+// (version u64 + writer u32); v1 frames are rejected, not interpreted.
+constexpr std::uint8_t kVersion = 2;
 
 class Writer {
  public:
@@ -32,6 +34,7 @@ class Writer {
   }
   void WriteEntry(const MappingEntry& entry) {
     U64(entry.version);
+    U32(entry.writer);
     U8(std::uint8_t(entry.nas.size()));
     for (const NetworkAddress& na : entry.nas) {
       U32(na.as);
@@ -83,7 +86,9 @@ class Reader {
   }
   bool ReadEntry(MappingEntry* entry) {
     std::uint8_t count = 0;
-    if (!U64(&entry->version) || !U8(&count)) return false;
+    if (!U64(&entry->version) || !U32(&entry->writer) || !U8(&count)) {
+      return false;
+    }
     if (count > NaSet::kMaxNas) return false;
     entry->nas = NaSet();
     for (int i = 0; i < count; ++i) {

@@ -8,7 +8,9 @@
 // Layout (all integers little-endian):
 //   header:  magic(2) version(1) type(1) request_id(8) src(4) dst(4)
 //   payload: per-type fields; GUIDs are 20 bytes big-endian word order;
-//            NA sets are count(1) + count * (as(4) locator(4)).
+//            mapping entries are version(8) + writer(4) — the logical
+//            stamp — followed by the NA set: count(1) + count *
+//            (as(4) locator(4)).
 #pragma once
 
 #include <cstdint>

@@ -33,6 +33,22 @@ struct ProtocolNetwork::LookupOp {
   int sheds = 0;  // probes the serving tier rejected (server-side view)
   std::function<void(const LookupResult&)> done;
   std::optional<ProbeTrace> trace;
+
+  // --- read-quorum fan-out state (read_target > 1 only) ---
+  struct Stream {
+    std::size_t index = 0;  // plan index currently awaited
+    int retry = 0;
+    bool alive = false;
+    EventHandle timeout;
+  };
+  int read_target = 1;
+  std::vector<Stream> streams;
+  std::size_t next_index = 0;  // next unclaimed plan index
+  int responses = 0;  // distinct replicas that answered (found or miss)
+  // Found answers as (plan index, entry); the winner is the max stamp,
+  // ties broken toward the lowest plan index.
+  std::vector<std::pair<std::size_t, MappingEntry>> answers;
+  std::vector<char> index_responded;  // one flag per plan index
 };
 
 struct ProtocolNetwork::InsertOp {
@@ -41,6 +57,9 @@ struct ProtocolNetwork::InsertOp {
   struct Slot {
     AsId host = kInvalidAs;
     bool resolved = false;
+    // An applied ack is counted toward the quorum at most once per slot,
+    // so a fault-injected duplicate ack cannot inflate W.
+    bool ack_counted = false;
     EventHandle timeout;
   };
   std::vector<Slot> slots;      // one per replica write
@@ -48,6 +67,16 @@ struct ProtocolNetwork::InsertOp {
   SimTime started;
   std::uint64_t version = 0;
   std::function<void(const UpdateResult&)> done;
+
+  // --- write-quorum state (quorum_target > 1 only: client writes) ---
+  // Repairs, anti-entropy pushes, and withdrawal handoffs keep the legacy
+  // all-slots-resolved completion (quorum_target = 1).
+  Guid guid;
+  LogicalStamp stamp;
+  int quorum_target = 1;
+  int applied = 0;       // replicas known to have applied the write
+  bool reported = false; // done already fired at the W-th applied ack
+  bool track_commit = false;  // advance committed_ on quorum success
 };
 
 ProtocolNetwork::ProtocolNetwork(const AsGraph& graph,
@@ -65,6 +94,19 @@ ProtocolNetwork::ProtocolNetwork(const AsGraph& graph,
   if (!(options.retry_backoff >= 1.0)) {  // also rejects NaN
     throw std::invalid_argument("ProtocolNetwork: retry_backoff < 1");
   }
+  if (options.write_quorum < 0) {
+    throw std::invalid_argument("ProtocolNetwork: write_quorum < 0");
+  }
+  if (options.read_quorum < 1) {
+    throw std::invalid_argument("ProtocolNetwork: read_quorum < 1");
+  }
+  if (options.anti_entropy_budget < 0) {
+    throw std::invalid_argument("ProtocolNetwork: anti_entropy_budget < 0");
+  }
+  const int participants = options.k + (options.local_replica ? 1 : 0);
+  write_quorum_effective_ = ResolveQuorum(options.write_quorum, participants);
+  read_quorum_effective_ =
+      options.read_quorum > options.k ? options.k : options.read_quorum;
   nodes_.reserve(graph.num_nodes());
   for (AsId as = 0; as < graph.num_nodes(); ++as) {
     nodes_.push_back(
@@ -102,6 +144,25 @@ void ProtocolNetwork::SetMetrics(MetricsRegistry* registry, unsigned shard) {
   ins_.late_replies = registry->Counter("fault.late_replies");
   ins_.repair_inserts = registry->Counter("fault.repair_inserts");
   ins_.store_wipes = registry->Counter("fault.store_wipes");
+  // The consistency.* surface exists only when the quorum machinery is
+  // on, so a legacy-mode (W=1, R=1, no anti-entropy) export is
+  // byte-identical to the pre-quorum protocol's.
+  cins_ = ConsistencyInstruments{};
+  if (QuorumActive()) {
+    cins_.registered = true;
+    cins_.stale_reads = registry->Counter("consistency.stale_reads");
+    cins_.read_repairs = registry->Counter("consistency.read_repairs");
+    cins_.quorum_failures =
+        registry->Counter("consistency.quorum_failures");
+    cins_.anti_entropy_repairs =
+        registry->Counter("consistency.anti_entropy_repairs");
+    cins_.write_quorum_latency_ms =
+        registry->Histogram("consistency.write_quorum_latency_ms",
+                            MetricsRegistry::LatencyBoundariesMs());
+    cins_.read_quorum_latency_ms =
+        registry->Histogram("consistency.read_quorum_latency_ms",
+                            MetricsRegistry::LatencyBoundariesMs());
+  }
 }
 
 void ProtocolNetwork::SetTracer(ProbeTracer* tracer, unsigned shard) {
@@ -141,11 +202,15 @@ void ProtocolNetwork::Send(const Message& message) {
   const double latency = oracle_.OneWayMs(header.src, header.dst);
   for (const double extra_ms : fate.delays_ms) {
     sim_.Schedule(
-        SimTime::Millis(latency + extra_ms), [this, wire, dst = header.dst] {
+        SimTime::Millis(latency + extra_ms),
+        [this, wire, src = header.src, dst = header.dst] {
           // The destination's state at *delivery* time decides: a failure
           // landing while the message is in flight swallows it, a recovery
-          // lets it through.
-          if (failures_.IsFailedAt(dst, sim_.Now())) {
+          // lets it through. A pairwise partition between the endpoints
+          // swallows it the same way — both ASs are up, they just cannot
+          // hear each other.
+          if (failures_.IsFailedAt(dst, sim_.Now()) ||
+              failures_.IsPartitionedAt(src, dst, sim_.Now())) {
             ++messages_dropped_;
             Bump(delivery_drops_, ins_.delivery_drops);
             return;
@@ -223,6 +288,11 @@ bool ProtocolNetwork::HandleLookupResponse(const LookupResponse& response) {
     probe_admits_.erase(admit_it);
   }
 
+  if (op->read_target > 1) {
+    HandleReadResponse(op, index, response, admit);
+    return true;
+  }
+
   if (response.found) {
     // A found reply resolves the lookup even when its probe already timed
     // out — the seed protocol dropped these on the floor and fell through
@@ -274,9 +344,25 @@ void ProtocolNetwork::CompleteLookup(const std::shared_ptr<LookupOp>& op,
   op->completed = true;
   op->timeout.Cancel();
   op->local_reply.Cancel();
+  for (LookupOp::Stream& stream : op->streams) stream.timeout.Cancel();
   for (const std::uint64_t id : op->request_ids) {
     lookups_.erase(id);
     probe_admits_.erase(id);
+  }
+  // Stale-read accounting against the committed frontier: a found answer
+  // whose stamp is behind the last quorum-committed write of this GUID is
+  // the consistency violation Fig. 9 measures. committed_ is only
+  // populated when the quorum machinery is active, so legacy runs skip
+  // this entirely.
+  if (result.found && found_entry != nullptr && !committed_.empty()) {
+    const auto committed = committed_.find(op->guid);
+    if (committed != committed_.end() &&
+        found_entry->stamp() < committed->second) {
+      ++stale_reads_;
+      if (cins_.registered) {
+        metrics_->Add(cins_.stale_reads, 1, metrics_shard_);
+      }
+    }
   }
   result.latency_ms = (sim_.Now() - op->started).millis();
   result.attempts = op->attempts;
@@ -336,10 +422,20 @@ void ProtocolNetwork::InsertAsync(
   op->started = sim_.Now();
   op->version = ++versions_[guid];
   op->done = std::move(done);
+  op->guid = guid;
 
   MappingEntry entry;
   entry.nas = NaSet(na);
   entry.version = op->version;
+  entry.writer = na.as;
+  op->stamp = entry.stamp();
+
+  // Client writes follow the quorum discipline; 1 keeps the legacy
+  // all-slots-resolved completion bit-exactly. All K messages go out
+  // regardless of W, so the message stream — and every fault fate drawn
+  // from it — is identical across W settings.
+  op->quorum_target = write_quorum_effective_;
+  op->track_commit = QuorumActive();
 
   std::vector<InsertRequest> requests;
   requests.reserve(std::size_t(options_.k));
@@ -353,13 +449,21 @@ void ProtocolNetwork::InsertAsync(
     request.stored_address = resolution.stored_address;
     requests.push_back(request);
   }
-  // The local replica (Section III-C) is written at the attachment AS; its
-  // intra-AS ack always beats the slowest global ack, so it does not
-  // change the completion time.
+  // The local replica (Section III-C) is written at the attachment AS; in
+  // legacy mode its intra-AS ack always beats the slowest global ack, so
+  // it does not change the completion time; in quorum mode it counts as
+  // an instant applied ack toward W.
   if (options_.local_replica) {
-    nodes_[na.as]->store().Upsert(guid, entry);
+    if (nodes_[na.as]->store().Upsert(guid, entry)) ++op->applied;
+  }
+  // Anti-entropy registry: first insertion order, latest attachment AS.
+  if (ae_owner_.emplace(guid, na.as).second) {
+    ae_guids_.push_back(guid);
+  } else {
+    ae_owner_[guid] = na.as;
   }
   StartInsertSlots(op, std::move(requests));
+  MaybeReportInsertQuorum(op);  // local ack alone may satisfy W
 }
 
 void ProtocolNetwork::StartInsertSlots(const std::shared_ptr<InsertOp>& op,
@@ -403,11 +507,60 @@ void ProtocolNetwork::CompleteInsertIfDone(
     const std::shared_ptr<InsertOp>& op) {
   if (op->outstanding != 0) return;
   inserts_.erase(op->request_id);
+  if (op->reported) return;  // quorum mode already fired done early
   UpdateResult result;
   result.latency_ms = (sim_.Now() - op->started).millis();
   result.replicas = op->replicas;
   result.version = op->version;
+  if (op->quorum_target > 1) {
+    // Every slot resolved without W applied acks: the write failed its
+    // quorum. Replicas that did apply keep the newer entry (no rollback —
+    // read-repair and anti-entropy converge the rest), but the stamp is
+    // not committed and the caller is told, never a silent partial write.
+    op->reported = true;
+    if (op->applied >= op->quorum_target) {
+      CommitStamp(op->guid, op->stamp);
+      if (cins_.registered) {
+        metrics_->Observe(cins_.write_quorum_latency_ms, result.latency_ms,
+                          metrics_shard_);
+      }
+    } else {
+      result.status = ResolverStatus::kQuorumFailed;
+      ++quorum_failures_;
+      if (cins_.registered) {
+        metrics_->Add(cins_.quorum_failures, 1, metrics_shard_);
+      }
+    }
+  }
   op->done(result);
+}
+
+void ProtocolNetwork::MaybeReportInsertQuorum(
+    const std::shared_ptr<InsertOp>& op) {
+  if (op->quorum_target <= 1 || op->reported) return;
+  if (op->applied < op->quorum_target) return;
+  // The W-th applied ack: the write is durable across any single
+  // quorum-intersecting read. Fire the caller's callback now; the op
+  // stays registered until every slot resolves so stragglers keep their
+  // late-reply accounting.
+  op->reported = true;
+  UpdateResult result;
+  result.latency_ms = (sim_.Now() - op->started).millis();
+  result.replicas = op->replicas;
+  result.version = op->version;
+  CommitStamp(op->guid, op->stamp);
+  if (cins_.registered) {
+    metrics_->Observe(cins_.write_quorum_latency_ms, result.latency_ms,
+                      metrics_shard_);
+  }
+  op->done(result);
+}
+
+void ProtocolNetwork::CommitStamp(const Guid& guid,
+                                  const LogicalStamp& stamp) {
+  if (!QuorumActive()) return;
+  LogicalStamp& committed = committed_[guid];
+  if (committed < stamp) committed = stamp;
 }
 
 bool ProtocolNetwork::HandleInsertAck(const InsertAck& ack) {
@@ -417,11 +570,30 @@ bool ProtocolNetwork::HandleInsertAck(const InsertAck& ack) {
   for (std::size_t slot = 0; slot < op->slots.size(); ++slot) {
     if (op->slots[slot].host == ack.header.src &&
         !op->slots[slot].resolved) {
+      if (ack.applied) {
+        op->slots[slot].ack_counted = true;
+        ++op->applied;
+        MaybeReportInsertQuorum(op);
+      }
       ResolveInsertSlot(op, slot);
       return true;
     }
   }
-  // Duplicate ack, or the slot already timed out.
+  // Duplicate ack, or the slot already timed out. A late applied ack
+  // still proves the replica holds the write, so it counts toward the
+  // quorum while the op is alive — but at most once per slot, so an
+  // injected duplicate cannot inflate W.
+  if (ack.applied && op->quorum_target > 1) {
+    for (std::size_t slot = 0; slot < op->slots.size(); ++slot) {
+      if (op->slots[slot].host == ack.header.src &&
+          !op->slots[slot].ack_counted) {
+        op->slots[slot].ack_counted = true;
+        ++op->applied;
+        MaybeReportInsertQuorum(op);
+        break;
+      }
+    }
+  }
   Bump(late_replies_, ins_.late_replies);
   return true;
 }
@@ -461,6 +633,15 @@ void ProtocolNetwork::LookupAsync(
             [](const LookupOp::Probe& a, const LookupOp::Probe& b) {
               return a.rtt != b.rtt ? a.rtt < b.rtt : a.host < b.host;
             });
+
+  // Read-quorum fan-out (R > 1): R concurrent streams instead of the
+  // sequential frontier; the local-replica race is skipped so the R
+  // responses come from R distinct replicas and the W+R intersection
+  // argument holds.
+  if (read_quorum_effective_ > 1) {
+    StartReadFanout(op);
+    return;
+  }
 
   // Local-replica race (Section III-C).
   if (options_.local_replica &&
@@ -624,6 +805,289 @@ void ProtocolNetwork::ProbeTimedOut(const std::shared_ptr<LookupOp>& op,
                                            ProbeOutcome::kTimeout});
   }
   SendProbe(op, index + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Read-quorum fan-out (R > 1).
+
+void ProtocolNetwork::StartReadFanout(const std::shared_ptr<LookupOp>& op) {
+  op->read_target =
+      int(std::min(std::size_t(read_quorum_effective_), op->plan.size()));
+  op->index_responded.assign(op->plan.size(), 0);
+  op->streams.resize(std::size_t(op->read_target));
+  op->next_index = 0;
+  for (std::size_t stream = 0; stream < op->streams.size(); ++stream) {
+    ClaimReadProbe(op, stream);
+  }
+  MaybeCompleteRead(op);  // degenerate empty plan
+}
+
+void ProtocolNetwork::ClaimReadProbe(const std::shared_ptr<LookupOp>& op,
+                                     std::size_t stream) {
+  if (op->completed) return;
+  LookupOp::Stream& s = op->streams[stream];
+  if (op->next_index >= op->plan.size()) {
+    // No replicas left to probe: this stream dies. Completion is checked
+    // by the caller (timeout/response handlers) via MaybeCompleteRead.
+    s.alive = false;
+    return;
+  }
+  // Streams claim plan indices in ascending order through the shared
+  // cursor, so request_ids stays aligned: request_ids[i] is probe i's id.
+  const std::size_t index = op->next_index++;
+  s.index = index;
+  s.retry = 0;
+  s.alive = true;
+  ++op->attempts;
+  const std::uint64_t id = NextClientRequestId();
+  op->request_ids.push_back(id);
+  lookups_[id] = PendingProbe{op, index};
+  TransmitReadProbe(op, stream, /*retry=*/0);
+}
+
+void ProtocolNetwork::TransmitReadProbe(const std::shared_ptr<LookupOp>& op,
+                                        std::size_t stream, int retry) {
+  LookupOp::Stream& s = op->streams[stream];
+  const LookupOp::Probe& probe = op->plan[s.index];
+  LookupRequest request;
+  request.header =
+      MessageHeader{op->request_ids[s.index], op->querier, probe.host};
+  request.guid = op->guid;
+  const double timeout_ms =
+      std::max(TimeoutForAttemptMs(options_.failure_timeout_ms, retry,
+                                   options_.retry_backoff),
+               1.5 * probe.rtt);
+  s.timeout = sim_.Schedule(
+      SimTime::Millis(timeout_ms),
+      [this, op, stream, index = s.index, retry] {
+        ReadProbeTimedOut(op, stream, index, retry);
+      });
+  Send(request);
+}
+
+void ProtocolNetwork::ReadProbeTimedOut(const std::shared_ptr<LookupOp>& op,
+                                        std::size_t stream,
+                                        std::size_t index, int retry) {
+  if (op->completed) return;
+  LookupOp::Stream& s = op->streams[stream];
+  if (!s.alive || s.index != index) return;  // stale timer
+  if (retry < options_.probe_retries) {
+    Bump(retransmissions_, ins_.retransmissions);
+    s.retry = retry + 1;
+    TransmitReadProbe(op, stream, retry + 1);
+    return;
+  }
+  if (op->trace.has_value()) {
+    op->trace->probes.push_back(ProbeEvent{
+        op->plan[index].host, op->plan[index].rtt, ProbeOutcome::kTimeout});
+  }
+  ClaimReadProbe(op, stream);
+  MaybeCompleteRead(op);
+}
+
+void ProtocolNetwork::HandleReadResponse(const std::shared_ptr<LookupOp>& op,
+                                         std::size_t index,
+                                         const LookupResponse& response,
+                                         const AdmitResult& admit) {
+  if (op->index_responded[index] != 0) {
+    // An injected duplicate of a reply already consumed: pure noise.
+    Bump(late_replies_, ins_.late_replies);
+    return;
+  }
+  op->index_responded[index] = 1;
+  ++op->responses;
+
+  // Find the stream still awaiting this index; none means its stream
+  // timed out past it — the response is late but still counts as this
+  // replica's answer (the PR-4 late-reply semantics).
+  std::size_t owner = op->streams.size();
+  for (std::size_t stream = 0; stream < op->streams.size(); ++stream) {
+    if (op->streams[stream].alive && op->streams[stream].index == index) {
+      owner = stream;
+      break;
+    }
+  }
+  if (owner == op->streams.size()) {
+    Bump(late_replies_, ins_.late_replies);
+  }
+
+  if (response.found) {
+    op->answers.emplace_back(index, response.entry);
+    if (op->trace.has_value()) {
+      op->trace->probes.push_back(
+          ProbeEvent{op->plan[index].host,
+                     op->plan[index].rtt + admit.DelayMs(),
+                     ProbeOutcome::kHit});
+    }
+    // A found stream's job is done; it does not claim further replicas —
+    // the response count, not the stream, drives completion.
+    if (owner < op->streams.size()) {
+      op->streams[owner].timeout.Cancel();
+      op->streams[owner].alive = false;
+    }
+  } else {
+    if (std::find(op->miss_indices.begin(), op->miss_indices.end(), index) ==
+        op->miss_indices.end()) {
+      op->miss_indices.push_back(index);
+    }
+    if (op->trace.has_value()) {
+      op->trace->probes.push_back(
+          ProbeEvent{op->plan[index].host,
+                     op->plan[index].rtt + admit.DelayMs(),
+                     ProbeOutcome::kMiss});
+    }
+    if (owner < op->streams.size()) {
+      op->streams[owner].timeout.Cancel();
+      ClaimReadProbe(op, owner);
+    }
+  }
+  MaybeCompleteRead(op);
+}
+
+void ProtocolNetwork::MaybeCompleteRead(const std::shared_ptr<LookupOp>& op) {
+  if (op->completed) return;
+  if (op->responses < op->read_target) {
+    for (const LookupOp::Stream& s : op->streams) {
+      if (s.alive) return;  // still probing
+    }
+  }
+  CompleteReadLookup(op);
+}
+
+void ProtocolNetwork::CompleteReadLookup(
+    const std::shared_ptr<LookupOp>& op) {
+  // Winner: maximum logical stamp; a tie means the same write, broken
+  // toward the lowest plan index for determinism.
+  const MappingEntry* winner = nullptr;
+  std::size_t winner_index = 0;
+  for (const auto& [index, entry] : op->answers) {
+    if (winner == nullptr || winner->stamp() < entry.stamp() ||
+        (winner->stamp() == entry.stamp() && index < winner_index)) {
+      winner = &entry;
+      winner_index = index;
+    }
+  }
+
+  LookupResult result;
+  if (winner != nullptr) {
+    result.found = true;
+    result.nas = winner->nas;
+    result.serving_as = op->plan[winner_index].host;
+  } else {
+    result.admission = op->sheds > 0 ? AdmissionOutcome::kShed
+                                     : AdmissionOutcome::kServed;
+  }
+
+  // Read-repair of *stale* answerers: replicas that replied with an older
+  // stamp get the winner pushed back at them. (Empty repliers are handled
+  // by the existing miss repair inside CompleteLookup.) Idempotent and
+  // commutative at the store: the push is stamp-gated like any write.
+  if (winner != nullptr) {
+    for (const auto& [index, entry] : op->answers) {
+      if (entry.stamp() < winner->stamp()) {
+        SendRepairInsert(op->guid, op->querier, op->plan[index].host,
+                         *winner, op->plan[index].stored_address);
+        ++read_repairs_;
+        if (cins_.registered) {
+          metrics_->Add(cins_.read_repairs, 1, metrics_shard_);
+        }
+      }
+    }
+    if (cins_.registered) {
+      metrics_->Observe(cins_.read_quorum_latency_ms,
+                        (sim_.Now() - op->started).millis(),
+                        metrics_shard_);
+    }
+  }
+  CompleteLookup(op, result, winner);
+}
+
+void ProtocolNetwork::SendRepairInsert(const Guid& guid, AsId src, AsId dst,
+                                       const MappingEntry& entry,
+                                       Ipv4Address stored_address) {
+  auto repair = std::make_shared<InsertOp>();
+  repair->request_id = NextClientRequestId();
+  repair->started = sim_.Now();
+  repair->version = entry.version;
+  repair->done = [](const UpdateResult&) {};
+  repair->replicas.push_back(dst);
+  InsertRequest request;
+  request.header = MessageHeader{repair->request_id, src, dst};
+  request.guid = guid;
+  request.entry = entry;
+  request.stored_address = stored_address;
+  StartInsertSlots(repair, {request});
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy.
+
+int ProtocolNetwork::RunAntiEntropyRound(int budget) {
+  if (budget <= 0 || ae_guids_.empty()) return 0;
+  int repairs = 0;
+  const std::size_t examine =
+      std::min(std::size_t(budget), ae_guids_.size());
+  for (std::size_t step = 0; step < examine; ++step) {
+    const Guid& guid = ae_guids_[ae_cursor_ % ae_guids_.size()];
+    ae_cursor_ = (ae_cursor_ + 1) % ae_guids_.size();
+
+    // Direct store scan at the serial point: find the freshest replica's
+    // entry, then push it to every replica that is behind or empty. The
+    // pushes are real InsertRequests — encoded, counted, and subject to
+    // the fault plan like any other message.
+    struct ReplicaState {
+      AsId host = kInvalidAs;
+      Ipv4Address stored_address;
+      const MappingEntry* entry = nullptr;
+    };
+    std::vector<ReplicaState> states;
+    states.reserve(std::size_t(options_.k));
+    const MappingEntry* freshest = nullptr;
+    AsId freshest_host = kInvalidAs;
+    for (int replica = 0; replica < options_.k; ++replica) {
+      const HostResolution resolution = resolver_.Resolve(guid, replica);
+      ReplicaState state;
+      state.host = resolution.host;
+      state.stored_address = resolution.stored_address;
+      state.entry = nodes_[resolution.host]->store().Lookup(guid);
+      if (state.entry != nullptr &&
+          (freshest == nullptr || freshest->stamp() < state.entry->stamp())) {
+        freshest = state.entry;
+        freshest_host = state.host;
+      }
+      states.push_back(state);
+    }
+    // The owner's local copy can be the only survivor (every global
+    // wiped): it seeds re-replication too.
+    if (options_.local_replica) {
+      const auto owner_it = ae_owner_.find(guid);
+      if (owner_it != ae_owner_.end()) {
+        const MappingEntry* local =
+            nodes_[owner_it->second]->store().Lookup(guid);
+        if (local != nullptr &&
+            (freshest == nullptr || freshest->stamp() < local->stamp())) {
+          freshest = local;
+          freshest_host = owner_it->second;
+        }
+      }
+    }
+    if (freshest == nullptr) continue;  // nobody has it; nothing to sync
+    const MappingEntry push = *freshest;  // stores may mutate during sends
+    for (const ReplicaState& state : states) {
+      if (state.host == freshest_host) continue;
+      if (state.entry != nullptr && !(state.entry->stamp() < push.stamp())) {
+        continue;  // already current
+      }
+      SendRepairInsert(guid, freshest_host, state.host, push,
+                       state.stored_address);
+      ++repairs;
+      ++anti_entropy_repairs_;
+      if (cins_.registered) {
+        metrics_->Add(cins_.anti_entropy_repairs, 1, metrics_shard_);
+      }
+    }
+  }
+  return repairs;
 }
 
 }  // namespace dmap

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/dmap_service.h"
 #include "core/hole_resolver.h"
 #include "event/simulator.h"
@@ -57,6 +58,29 @@ struct ProtocolNetworkOptions {
   // the found entry there (version-gated, so concurrent repairs and stale
   // copies are harmless).
   bool repair_on_lookup = true;
+  // Write quorum W over the K + local_replica replica writes of a client
+  // insert/update. 0 (default) = majority of the replica set; 1 = the
+  // legacy fire-and-wait-all mode, bit-identical to the pre-quorum
+  // protocol (completes at the slowest ack/stand-in timeout, always kOk);
+  // W >= 2 completes at the W-th *applied* ack (the local copy counts as
+  // an instant ack) and reports ResolverStatus::kQuorumFailed when fewer
+  // than W replicas applied the write by the time every slot resolved —
+  // never a silent partial write: replicas that did apply keep the entry
+  // and read-repair/anti-entropy converge the rest. All K messages are
+  // always sent regardless of W, so the message stream (and thus every
+  // injected fault fate) is identical across W settings.
+  int write_quorum = 0;
+  // Read quorum R: how many distinct replicas must answer (found or
+  // "GUID missing") before a lookup reports. 1 (default) keeps the
+  // paper's sequential lowest-RTT-first probing bit-identical; R > 1
+  // fans out to R concurrent probe streams, returns the answer with the
+  // maximum logical stamp, and read-repairs both empty and stale
+  // repliers. Clamped to K.
+  int read_quorum = 1;
+  // GUIDs examined per RunAntiEntropyRound call; 0 disables the round
+  // (calls become no-ops) and keeps the consistency.* instruments
+  // unregistered when W and R are also at their legacy settings.
+  int anti_entropy_budget = 0;
 };
 
 class ProtocolNetwork {
@@ -112,10 +136,24 @@ class ProtocolNetwork {
   void SetTracer(ProbeTracer* tracer, unsigned shard = 0);
 
   // Registers/refreshes `guid` from the AS in `na`: K parallel replica
-  // writes plus the local copy; completes when the slowest ack (or, for an
-  // unreachable replica, its stand-in timeout) returns.
+  // writes plus the local copy. Completion follows the write-quorum
+  // discipline (see ProtocolNetworkOptions::write_quorum): the legacy
+  // mode completes when the slowest ack (or, for an unreachable replica,
+  // its stand-in timeout) returns; quorum mode completes at the W-th
+  // applied ack and reports kQuorumFailed when W is unreachable.
   void InsertAsync(const Guid& guid, NetworkAddress na,
                    std::function<void(const UpdateResult&)> done);
+
+  // One bounded anti-entropy sweep, run at the serial write point between
+  // event batches: examines up to `budget` registered GUIDs (a
+  // deterministic cursor walks the insertion-ordered registry, wrapping)
+  // and, for each, pushes the freshest replica's entry to every replica
+  // whose stored stamp is behind — as real InsertRequests, subject to the
+  // fault plan like any other message. Returns the number of repair
+  // writes sent. No-op (returns 0) when budget <= 0 or nothing was ever
+  // inserted. Must not run concurrently with event execution: it reads
+  // replica stores directly and schedules sends.
+  int RunAntiEntropyRound(int budget) REQUIRES_SERIAL();
 
   // Resolves `guid` from `querier` with the full probe/fall-through logic.
   // A reply that arrives after its probe timed out still resolves the
@@ -145,6 +183,23 @@ class ProtocolNetwork {
   std::uint64_t repairs_sent() const { return repairs_sent_; }
   std::uint64_t store_wipes() const { return store_wipes_; }
 
+  // Consistency accounting (mirrored to consistency.* metrics when the
+  // quorum machinery is active — see QuorumActive()).
+  std::uint64_t stale_reads() const { return stale_reads_; }
+  std::uint64_t read_repairs() const { return read_repairs_; }
+  std::uint64_t quorum_failures() const { return quorum_failures_; }
+  std::uint64_t anti_entropy_repairs() const {
+    return anti_entropy_repairs_;
+  }
+  // True when any consistency knob departs from the legacy settings; the
+  // consistency.* instruments exist (and the commit frontier is tracked)
+  // only then, so a W=1/R=1 run's metrics export stays byte-identical to
+  // the pre-quorum protocol.
+  bool QuorumActive() const {
+    return write_quorum_effective_ > 1 || read_quorum_effective_ > 1 ||
+           options_.anti_entropy_budget > 0;
+  }
+
  private:
   struct LookupOp;
   struct InsertOp;
@@ -159,6 +214,12 @@ class ProtocolNetwork {
               delivery_drops = 0, retransmissions = 0, late_replies = 0,
               repair_inserts = 0, store_wipes = 0;
   };
+  struct ConsistencyInstruments {
+    CounterId stale_reads = 0, read_repairs = 0, quorum_failures = 0,
+              anti_entropy_repairs = 0;
+    HistogramId write_quorum_latency_ms = 0, read_quorum_latency_ms = 0;
+    bool registered = false;
+  };
 
   // Encodes, counts, and schedules delivery of `message`. The injector (if
   // any) decides drop/duplicate/extra delay per message; the destination's
@@ -169,7 +230,7 @@ class ProtocolNetwork {
   // message (or no tier is installed).
   void DeliverToNode(const Message& message);
 
-  // Lookup client machine.
+  // Lookup client machine (sequential R=1 path).
   void SendProbe(const std::shared_ptr<LookupOp>& op, std::size_t index);
   void TransmitProbe(const std::shared_ptr<LookupOp>& op, std::size_t index,
                      int retry);
@@ -177,6 +238,23 @@ class ProtocolNetwork {
                      int retry, double timeout_ms);
   // True if the response was consumed by a client lookup op.
   bool HandleLookupResponse(const LookupResponse& response);
+
+  // Read-quorum fan-out machine (R > 1): R concurrent probe streams over
+  // the RTT-ordered plan; a miss or exhausted timeout advances its stream
+  // to the next unclaimed replica; the op completes at R distinct
+  // responses (or when every stream dies) with the max-stamp answer.
+  void StartReadFanout(const std::shared_ptr<LookupOp>& op);
+  void ClaimReadProbe(const std::shared_ptr<LookupOp>& op,
+                      std::size_t stream);
+  void TransmitReadProbe(const std::shared_ptr<LookupOp>& op,
+                         std::size_t stream, int retry);
+  void ReadProbeTimedOut(const std::shared_ptr<LookupOp>& op,
+                         std::size_t stream, std::size_t index, int retry);
+  void HandleReadResponse(const std::shared_ptr<LookupOp>& op,
+                          std::size_t index, const LookupResponse& response,
+                          const AdmitResult& admit);
+  void MaybeCompleteRead(const std::shared_ptr<LookupOp>& op);
+  void CompleteReadLookup(const std::shared_ptr<LookupOp>& op);
   // Seals the op: cancels timers, unregisters its request ids, records the
   // trace, fires the repair of miss-replying replicas (when `found_entry`
   // is set), and invokes the callback.
@@ -192,8 +270,19 @@ class ProtocolNetwork {
   void ResolveInsertSlot(const std::shared_ptr<InsertOp>& op,
                          std::size_t slot);
   void CompleteInsertIfDone(const std::shared_ptr<InsertOp>& op);
+  // Fires the done callback early when the W-th applied ack lands (quorum
+  // mode only); the op stays registered until every slot resolves so late
+  // acks keep their accounting.
+  void MaybeReportInsertQuorum(const std::shared_ptr<InsertOp>& op);
   // True if the ack was consumed by a client insert op.
   bool HandleInsertAck(const InsertAck& ack);
+  // Advances the per-GUID committed-stamp frontier (quorum-active runs
+  // only); lookups returning an older stamp count as stale reads.
+  void CommitStamp(const Guid& guid, const LogicalStamp& stamp);
+  // Fire-and-forget single-replica repair write carrying `entry`.
+  void SendRepairInsert(const Guid& guid, AsId src, AsId dst,
+                        const MappingEntry& entry,
+                        Ipv4Address stored_address);
 
   void Bump(std::uint64_t& plain, CounterId id, std::uint64_t delta = 1);
 
@@ -217,6 +306,20 @@ class ProtocolNetwork {
   std::unordered_map<std::uint64_t, AdmitResult> probe_admits_;
   std::uint64_t message_seq_ = 0;  // feeds FaultInjector::FateOf
   std::unordered_map<Guid, std::uint64_t, GuidHash> versions_;
+  // Quorum parameters resolved once against the replica-set size.
+  int write_quorum_effective_ = 1;
+  int read_quorum_effective_ = 1;
+  // Highest stamp whose write reached its quorum, per GUID — the frontier
+  // a non-stale read must reach. Only advanced when QuorumActive(); a
+  // failed write never advances it (its survivors still serve the newer
+  // stamp, which is allowed: stale means *older* than committed).
+  std::unordered_map<Guid, LogicalStamp, GuidHash> committed_;
+  // Anti-entropy registry: every GUID ever client-inserted, in first
+  // insertion order, plus the attachment AS of its latest write; the
+  // round cursor walks this deterministically.
+  std::vector<Guid> ae_guids_;
+  std::unordered_map<Guid, AsId, GuidHash> ae_owner_;
+  std::size_t ae_cursor_ = 0;
 
   // In-flight client operations keyed by request id. Lookup entries stay
   // registered until the op completes, so late replies resolve the lookup
@@ -235,10 +338,15 @@ class ProtocolNetwork {
   std::uint64_t late_replies_ = 0;
   std::uint64_t repairs_sent_ = 0;
   std::uint64_t store_wipes_ = 0;
+  std::uint64_t stale_reads_ = 0;
+  std::uint64_t read_repairs_ = 0;
+  std::uint64_t quorum_failures_ = 0;
+  std::uint64_t anti_entropy_repairs_ = 0;
 
   MetricsRegistry* metrics_ = nullptr;
   unsigned metrics_shard_ = 0;
   FaultInstruments ins_{};
+  ConsistencyInstruments cins_{};
   ProbeTracer* tracer_ = nullptr;
   unsigned trace_shard_ = 0;
 };

@@ -108,14 +108,38 @@ void DMapNode::HandleMigrateResponse(const MigrateResponse& m,
 
   if (m.found) {
     ++stats_.migrations_received;
+    // Stamp-gated: if a newer write (client update, read-repair,
+    // anti-entropy) landed while the handoff was in flight, the migrated
+    // copy is rejected as stale. Answer the waiting lookups from the
+    // store's post-upsert entry — NOT from m.entry — so an interleaved
+    // repair is never shadowed by the older migrated copy. A duplicated
+    // MigrateResponse re-running this block is harmless: the upsert is
+    // idempotent and pending_ was already erased.
     store_.Upsert(m.guid, m.entry);
+    const MappingEntry* authoritative = store_.Lookup(m.guid);
     for (const MessageHeader& waiting : it->second.waiting_lookups) {
       ++stats_.lookups_served;
       LookupResponse response;
       response.header = MessageHeader{waiting.request_id, self_, waiting.src};
       response.guid = m.guid;
       response.found = true;
-      response.entry = m.entry;
+      response.entry = authoritative != nullptr ? *authoritative : m.entry;
+      out->push_back(response);
+    }
+    pending_.erase(it);
+    return;
+  }
+
+  // The candidate had nothing — but a write may have raced the migration
+  // into our own store; prefer it over a wrong "GUID missing".
+  if (const MappingEntry* landed = store_.Lookup(m.guid)) {
+    for (const MessageHeader& waiting : it->second.waiting_lookups) {
+      ++stats_.lookups_served;
+      LookupResponse response;
+      response.header = MessageHeader{waiting.request_id, self_, waiting.src};
+      response.guid = m.guid;
+      response.found = true;
+      response.entry = *landed;
       out->push_back(response);
     }
     pending_.erase(it);

@@ -1,7 +1,9 @@
 #include "sim/event_driven.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "fault/retry_policy.h"
 
@@ -76,18 +78,36 @@ void EventDrivenLookup::UpdateAsync(const Guid& guid, NetworkAddress na,
                                     UpdateCallback done) {
   sim_->Schedule(start_delay, [this, guid, na, done = std::move(done)] {
     UpdateResult result = service_->Update(guid, na);
-    // Acknowledgements from all replicas arrive in parallel; completion is
-    // the slowest one. When update latency measurement is disabled on the
-    // service, compute it here from the oracle.
-    double max_rtt = result.latency_ms;
-    if (max_rtt < 0) {
-      max_rtt = 0;
-      for (const AsId host : result.replicas) {
-        max_rtt = std::max(max_rtt, service_->oracle().RttMs(na.as, host));
+    // Acknowledgements from all replicas arrive in parallel; the closed
+    // form already computed the completion time — slowest ack with the
+    // quorum discipline off, W-th applied ack otherwise. When update
+    // latency measurement is disabled on the service, compute the same
+    // order statistic here from the oracle (fault-free: every replica
+    // acks, the local copy instantly).
+    double done_at = result.latency_ms;
+    if (done_at < 0) {
+      const DMapOptions& opts = service_->options();
+      const int participants =
+          int(result.replicas.size()) + (opts.local_replica ? 1 : 0);
+      const int w = ResolveQuorum(opts.write_quorum, participants);
+      if (w <= 1) {
+        done_at = 0;
+        for (const AsId host : result.replicas) {
+          done_at = std::max(done_at, service_->oracle().RttMs(na.as, host));
+        }
+      } else {
+        std::vector<double> acks;
+        acks.reserve(std::size_t(participants));
+        if (opts.local_replica) acks.push_back(0.0);
+        for (const AsId host : result.replicas) {
+          acks.push_back(service_->oracle().RttMs(na.as, host));
+        }
+        std::sort(acks.begin(), acks.end());
+        done_at = acks[std::size_t(w - 1)];
       }
-      result.latency_ms = max_rtt;
+      result.latency_ms = done_at;
     }
-    sim_->Schedule(SimTime::Millis(max_rtt),
+    sim_->Schedule(SimTime::Millis(done_at),
                    [result, done] { done(result); });
   });
 }

@@ -25,6 +25,7 @@ DMapOptions MakeOptions(const ResponseTimeConfig& config) {
   options.selection = config.selection;
   options.hash_seed = config.hash_seed;
   options.store_shards = config.shards;
+  options.write_quorum = config.write_quorum;
   options.measure_update_latency = false;  // only lookups are measured
   return options;
 }

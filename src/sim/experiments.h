@@ -27,6 +27,12 @@ struct ResponseTimeConfig {
   bool local_replica = true;
   ReplicaSelection selection = ReplicaSelection::kLowestRtt;
   std::uint64_t hash_seed = 0x5eedf00dULL;
+  // DMapOptions::write_quorum for the load/measurement service: 0 =
+  // majority, 1 = the legacy fire-and-wait-all discipline. Lookup-only
+  // sweeps are bit-identical for every value (inserts are unmeasured);
+  // the knob exists so the bench drivers can pin the legacy mode for the
+  // pre-quorum golden byte-diffs.
+  int write_quorum = 0;
   // Worker threads for the measurement loop; 0 = one per hardware thread
   // (or $DMAP_THREADS). Results do not depend on this value.
   unsigned threads = 0;

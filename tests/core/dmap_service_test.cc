@@ -118,6 +118,7 @@ TEST_F(DMapServiceTest, LookupLatencyEqualsBestReplicaRtt) {
 TEST_F(DMapServiceTest, UpdateLatencyIsMaxReplicaRtt) {
   DMapOptions options = Options();
   options.local_replica = false;
+  options.write_quorum = 1;  // legacy mode: done when every replica acks
   DMapService service(env_.graph, env_.table, options);
   const Guid g = Guid::FromSequence(6);
   const UpdateResult up = service.Insert(g, NetworkAddress{10, 1});
@@ -126,6 +127,40 @@ TEST_F(DMapServiceTest, UpdateLatencyIsMaxReplicaRtt) {
     worst = std::max(worst, service.oracle().RttMs(10, host));
   }
   EXPECT_DOUBLE_EQ(up.latency_ms, worst);
+}
+
+TEST_F(DMapServiceTest, UpdateLatencyIsMajorityAckByDefault) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(6);
+  const UpdateResult up = service.Insert(g, NetworkAddress{10, 1});
+  std::vector<double> acks;
+  for (const AsId host : up.replicas) {
+    acks.push_back(service.oracle().RttMs(10, host));
+  }
+  std::sort(acks.begin(), acks.end());
+  const int w = ResolveQuorum(0, int(acks.size()));
+  ASSERT_GE(w, 2);  // K=5 globals: majority is 3
+  EXPECT_DOUBLE_EQ(up.latency_ms, acks[std::size_t(w - 1)]);
+  EXPECT_EQ(up.status, ResolverStatus::kOk);
+}
+
+TEST_F(DMapServiceTest, UpdateFailsQuorumWhenTooFewReplicasReachable) {
+  DMapOptions options = Options();
+  options.local_replica = false;
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(6);
+  const UpdateResult seeded = service.Insert(g, NetworkAddress{10, 1});
+  // Fail all but one replica host: 1 ack < majority of 5.
+  std::vector<AsId> down(seeded.replicas.begin() + 1,
+                         seeded.replicas.end());
+  service.SetFailedAses(down);
+  const UpdateResult up = service.Update(g, NetworkAddress{10, 2});
+  EXPECT_EQ(up.status, ResolverStatus::kQuorumFailed);
+  // The surviving replica still applied the write: no silent rollback,
+  // read-repair converges the rest once they heal.
+  EXPECT_GT(up.latency_ms, 0.0);
 }
 
 TEST_F(DMapServiceTest, MobilityUpdateMovesMapping) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 namespace dmap {
@@ -151,6 +152,54 @@ TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
   });
   sim.Run();
   EXPECT_DOUBLE_EQ(ran_at, 5.0);
+}
+
+TEST(SimulatorTest, ScheduleRepeatingFiresEveryPeriodUntilFalse) {
+  Simulator sim;
+  std::vector<double> fired_at;
+  sim.ScheduleRepeating(SimTime::Millis(10), [&] {
+    fired_at.push_back(sim.Now().millis());
+    return fired_at.size() < 3;  // third tick ends the series
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(SimulatorTest, ScheduleRepeatingInterleavesWithOneShotEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleRepeating(SimTime::Millis(10), [&] {
+    order.push_back(0);
+    return order.size() < 5;
+  });
+  sim.Schedule(SimTime::Millis(15), [&] { order.push_back(1); });
+  sim.Run();
+  // Ticks at 10/20/30/40 with the one-shot landing between the first two;
+  // the tick that makes the count reach five returns false and ends it.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 0, 0}));
+}
+
+TEST(SimulatorTest, CancellingFirstTickStopsSeriesBeforeItStarts) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle first = sim.ScheduleRepeating(SimTime::Millis(10), [&] {
+    ++fired;
+    return true;  // would repeat forever
+  });
+  EXPECT_TRUE(first.Cancel());
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(SimulatorTest, ScheduleRepeatingRejectsNonPositivePeriod) {
+  Simulator sim;
+  EXPECT_THROW(sim.ScheduleRepeating(SimTime::Zero(), [] { return false; }),
+               std::invalid_argument);
+  EXPECT_THROW(
+      sim.ScheduleRepeating(SimTime::Millis(-1), [] { return false; }),
+      std::invalid_argument);
 }
 
 TEST(SimulatorTest, ManyEventsStressOrdering) {

@@ -104,6 +104,47 @@ TEST(FailureViewTest, ClearForgetsEverything) {
   EXPECT_FALSE(view.IsFailed(1));
 }
 
+TEST(FailureViewTest, PartitionWindowsAreSymmetricAndTimed) {
+  FailureView view;
+  EXPECT_FALSE(view.HasPartitions());
+  view.AddPartition(3, 9, Ms(100.0), Ms(400.0));
+  EXPECT_TRUE(view.HasPartitions());
+  EXPECT_FALSE(view.Empty());
+
+  // Half-open [down_at, up_at), symmetric in the endpoints.
+  EXPECT_FALSE(view.IsPartitionedAt(3, 9, Ms(99.9)));
+  EXPECT_TRUE(view.IsPartitionedAt(3, 9, Ms(100.0)));
+  EXPECT_TRUE(view.IsPartitionedAt(9, 3, Ms(250.0)));
+  EXPECT_FALSE(view.IsPartitionedAt(3, 9, Ms(400.0)));
+  // Only the named pair is cut.
+  EXPECT_FALSE(view.IsPartitionedAt(3, 7, Ms(250.0)));
+  EXPECT_FALSE(view.IsPartitionedAt(9, 7, Ms(250.0)));
+  // Neither endpoint is *failed* — partitions are link state, not AS state.
+  EXPECT_FALSE(view.IsFailedAt(3, Ms(250.0)));
+  EXPECT_FALSE(view.IsFailedAt(9, Ms(250.0)));
+
+  // Disjoint windows of the same pair each take effect; endpoint order at
+  // insertion does not matter.
+  view.AddPartition(9, 3, Ms(500.0), FailureView::kForever);
+  EXPECT_FALSE(view.IsPartitionedAt(3, 9, Ms(450.0)));
+  EXPECT_TRUE(view.IsPartitionedAt(3, 9, Ms(1e9)));
+
+  view.Clear();
+  EXPECT_FALSE(view.HasPartitions());
+  EXPECT_TRUE(view.Empty());
+}
+
+TEST(FailureViewTest, AddPartitionValidates) {
+  FailureView view;
+  EXPECT_THROW(view.AddPartition(4, 4, Ms(0.0), Ms(10.0)),
+               std::invalid_argument);
+  EXPECT_THROW(view.AddPartition(1, 2, Ms(10.0), Ms(5.0)),
+               std::invalid_argument);
+  // An empty half-open window is legal and never cuts the pair.
+  view.AddPartition(1, 2, Ms(10.0), Ms(10.0));
+  EXPECT_FALSE(view.IsPartitionedAt(1, 2, Ms(10.0)));
+}
+
 TEST(FailureViewTest, KForeverOutlastsAnySimulatedHorizon) {
   FailureView view;
   view.AddWindow(6, Ms(0.0), FailureView::kForever);

@@ -158,5 +158,35 @@ TEST(FaultInjectorTest, InstallScheduleRejectsUnknownAs) {
                std::invalid_argument);
 }
 
+TEST(FaultInjectorTest, InstallScheduleExpandsAndValidatesPartitions) {
+  const SimEnvironment env =
+      BuildEnvironment(EnvironmentParams::Scaled(50, 7));
+
+  FaultPlan plan;
+  PartitionWindow cut;
+  cut.a = 3;
+  cut.b = 9;
+  cut.down_at = SimTime::Millis(100.0);
+  cut.up_at = SimTime::Millis(400.0);
+  plan.partitions.push_back(cut);
+  {
+    FaultInjector injector(plan, 1);
+    FailureView view;
+    injector.InstallSchedule(env.graph, view);
+    EXPECT_TRUE(view.IsPartitionedAt(9, 3, SimTime::Millis(150.0)));
+    EXPECT_FALSE(view.IsPartitionedAt(9, 3, SimTime::Millis(450.0)));
+    // The cut is not an outage: both endpoints stay up.
+    EXPECT_FALSE(view.IsFailedAt(3, SimTime::Millis(150.0)));
+    EXPECT_FALSE(view.IsFailedAt(9, SimTime::Millis(150.0)));
+  }
+
+  // Either endpoint out of range is rejected with the same diagnostics as
+  // crash/outage entries.
+  plan.partitions[0].b = env.graph.num_nodes();
+  FaultInjector bad(plan, 1);
+  FailureView view;
+  EXPECT_THROW(bad.InstallSchedule(env.graph, view), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dmap

@@ -97,6 +97,75 @@ TEST(FaultPlanTest, ParseRejectsMalformedWindows) {
                std::invalid_argument);
 }
 
+TEST(FaultPlanTest, ParsePartitionReadsWindows) {
+  const FaultPlan plan = FaultPlan::ParseString(R"(
+    partition = 3|9:100:400, 12|7:0:inf
+  )");
+  ASSERT_EQ(plan.partitions.size(), 2u);
+  EXPECT_EQ(plan.partitions[0].a, 3u);
+  EXPECT_EQ(plan.partitions[0].b, 9u);
+  EXPECT_EQ(plan.partitions[0].down_at, SimTime::Millis(100.0));
+  EXPECT_EQ(plan.partitions[0].up_at, SimTime::Millis(400.0));
+  EXPECT_EQ(plan.partitions[1].a, 12u);
+  EXPECT_EQ(plan.partitions[1].b, 7u);
+  EXPECT_EQ(plan.partitions[1].up_at, FailureView::kForever);
+  // A partition alone is schedule state, not a per-message fault.
+  EXPECT_FALSE(plan.HasMessageFaults());
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedPartitions) {
+  const auto error_of = [](const std::string& text) -> std::string {
+    try {
+      FaultPlan::ParseString(text);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(error_of("partition = 39:100:400")
+                .find("expected a|b:down_ms:up_ms"),
+            std::string::npos);
+  EXPECT_NE(error_of("partition = 3|9:100").find("expected a|b:down_ms:up_ms"),
+            std::string::npos);
+  EXPECT_NE(error_of("partition = x|9:0:10").find("first AS id"),
+            std::string::npos);
+  EXPECT_NE(error_of("partition = 3|y:0:10").find("second AS id"),
+            std::string::npos);
+  EXPECT_NE(error_of("partition = 3|3:0:10").find("endpoints must differ"),
+            std::string::npos);
+  EXPECT_NE(error_of("partition = 3|9:ten:10").find("down_ms"),
+            std::string::npos);
+  EXPECT_NE(error_of("partition = 3|9:0:soon").find("up_ms"),
+            std::string::npos);
+  // Inverted windows get through the parser but not Validate().
+  EXPECT_THROW(FaultPlan::ParseString("partition = 3|9:400:100"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanTest, ValidateChecksPartitionEntries) {
+  FaultPlan plan;
+  PartitionWindow window;
+  window.a = 1;
+  window.b = 1;
+  plan.partitions.push_back(window);
+  EXPECT_THROW(plan.Validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  window = PartitionWindow{};
+  window.a = 1;  // b stays kInvalidAs
+  plan.partitions.push_back(window);
+  EXPECT_THROW(plan.Validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  window = PartitionWindow{};
+  window.a = 1;
+  window.b = 2;
+  window.down_at = SimTime::Millis(400.0);
+  window.up_at = SimTime::Millis(100.0);
+  plan.partitions.push_back(window);
+  EXPECT_THROW(plan.Validate(), std::invalid_argument);
+}
+
 TEST(FaultPlanTest, CustomerConeTakesLowerDegreeNeighbors) {
   const SimEnvironment env =
       BuildEnvironment(EnvironmentParams::Scaled(200, 7));

@@ -141,8 +141,9 @@ TEST(MessagesTest, DecodeRejectsOversizedNaCount) {
   m.guid = Guid::FromSequence(4);
   m.entry = MakeEntry(1);
   std::vector<std::uint8_t> wire = Encode(Message{m});
-  // The NA count byte sits right after header(20) + guid(20) + version(8).
-  const std::size_t count_offset = 20 + 20 + 8;
+  // The NA count byte sits right after header(20) + guid(20) + the
+  // logical stamp: version(8) + writer(4).
+  const std::size_t count_offset = 20 + 20 + 8 + 4;
   ASSERT_LT(count_offset, wire.size());
   wire[count_offset] = 6;  // > kMaxNas
   EXPECT_FALSE(Decode(wire).has_value());
@@ -165,8 +166,9 @@ TEST(MessagesTest, WireSizeMatchesPaperScale) {
   m.guid = Guid::FromSequence(6);
   m.entry = MakeEntry(5);
   const std::size_t size = EncodedSize(Message{m});
-  // header 20 + guid 20 + version 8 + count 1 + 5 * 8 + stored addr 4 = 93.
-  EXPECT_EQ(size, 93u);
+  // header 20 + guid 20 + version 8 + writer 4 + count 1 + 5 * 8 +
+  // stored addr 4 = 97.
+  EXPECT_EQ(size, 97u);
 }
 
 }  // namespace

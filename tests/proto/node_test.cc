@@ -213,6 +213,83 @@ TEST_F(DMapNodeTest, MigrateRequestForUnknownGuidSaysNotFound) {
   EXPECT_FALSE(std::get<MigrateResponse>(out[0]).found);
 }
 
+// The read-repair / deputy-handoff interleaving: a newer write (client
+// update, read-repair, anti-entropy push) lands while the migration is in
+// flight. The older migrated copy must not shadow it — the waiting
+// queriers are answered from the store's post-upsert entry.
+TEST_F(DMapNodeTest, MigrateResponseNeverShadowsNewerRacedInWrite) {
+  const Guid g = Guid::FromSequence(9);
+  const AsId owner = table_.Lookup(hashes_.Hash(g, 0))->owner;
+  DMapNode node(owner, table_, hashes_);
+
+  std::vector<Message> out;
+  node.HandleMessage(MakeLookup(g, 9, owner), &out);
+  ASSERT_EQ(out.size(), 1u);
+  const auto migrate = std::get<MigrateRequest>(out[0]);
+
+  // While the handoff is in flight, a version-5 write lands here.
+  out.clear();
+  node.HandleMessage(MakeInsert(g, 5, owner, /*version=*/5), &out);
+
+  // The deputy then answers with the old version-1 copy.
+  MigrateResponse reply;
+  reply.header =
+      MessageHeader{migrate.header.request_id, migrate.header.dst, owner};
+  reply.guid = g;
+  reply.found = true;
+  reply.entry.version = 1;
+  reply.entry.nas.Add(NetworkAddress{42, 1});
+  out.clear();
+  node.HandleMessage(Message{reply}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  const auto* response = std::get_if<LookupResponse>(&out[0]);
+  ASSERT_NE(response, nullptr);
+  EXPECT_TRUE(response->found);
+  // The querier sees the newer write, not the stale migrated copy...
+  EXPECT_EQ(response->entry.version, 5u);
+  EXPECT_TRUE(response->entry.nas.AttachedTo(5));
+  // ...and the store keeps it too.
+  EXPECT_EQ(node.store().Lookup(g)->version, 5u);
+
+  // A duplicated delivery of the same MigrateResponse is absorbed: the
+  // pending state is gone and the stamp gate rejects the stale re-upsert.
+  out.clear();
+  node.HandleMessage(Message{reply}, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(node.store().Lookup(g)->version, 5u);
+}
+
+// The give-up side of the same race: the deputy has nothing, but the write
+// that raced in means "GUID missing" would be wrong — answer from the
+// store instead.
+TEST_F(DMapNodeTest, MigrateGiveUpPrefersRacedInWrite) {
+  const Guid g = Guid::FromSequence(10);
+  const AsId owner = table_.Lookup(hashes_.Hash(g, 0))->owner;
+  DMapNode node(owner, table_, hashes_);
+
+  std::vector<Message> out;
+  node.HandleMessage(MakeLookup(g, 9, owner), &out);
+  ASSERT_EQ(out.size(), 1u);
+  const auto migrate = std::get<MigrateRequest>(out[0]);
+
+  out.clear();
+  node.HandleMessage(MakeInsert(g, 5, owner, /*version=*/3), &out);
+
+  MigrateResponse reply;
+  reply.header =
+      MessageHeader{migrate.header.request_id, migrate.header.dst, owner};
+  reply.guid = g;
+  reply.found = false;
+  out.clear();
+  node.HandleMessage(Message{reply}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  const auto* response = std::get_if<LookupResponse>(&out[0]);
+  ASSERT_NE(response, nullptr);
+  EXPECT_TRUE(response->found);
+  EXPECT_EQ(response->entry.version, 3u);
+  EXPECT_EQ(node.stats().lookups_missing, 0u);
+}
+
 TEST_F(DMapNodeTest, StaleMigrateResponseIgnored) {
   DMapNode node(1, table_, hashes_);
   MigrateResponse reply;

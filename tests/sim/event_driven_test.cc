@@ -249,6 +249,7 @@ TEST_F(EventDrivenTest, ConcurrentLookupsDoNotInterfere) {
 TEST_F(EventDrivenTest, UpdateCompletesAtMaxReplicaRtt) {
   DMapOptions options = Options();
   options.measure_update_latency = true;
+  options.write_quorum = 1;  // legacy mode: done when every replica acks
   DMapService service(env_.graph, env_.table, options);
   const Guid g = Guid::FromSequence(10);
   (void)service.Insert(g, NetworkAddress{10, 1});
@@ -269,6 +270,35 @@ TEST_F(EventDrivenTest, UpdateCompletesAtMaxReplicaRtt) {
   EXPECT_NEAR(sim.Now().millis(), 3.0 + max_rtt, 1e-9);
   // The mapping did move.
   EXPECT_TRUE(service.Lookup(g, 50).nas.AttachedTo(20));
+}
+
+TEST_F(EventDrivenTest, UpdateCompletesAtMajorityAckByDefault) {
+  DMapOptions options = Options();
+  options.measure_update_latency = true;
+  options.local_replica = false;  // acks come from the K globals alone
+  DMapService service(env_.graph, env_.table, options);
+  const Guid g = Guid::FromSequence(10);
+  (void)service.Insert(g, NetworkAddress{10, 1});
+
+  Simulator sim;
+  EventDrivenLookup executor(sim, service);
+  std::optional<UpdateResult> got;
+  executor.UpdateAsync(g, NetworkAddress{20, 2}, SimTime::Zero(),
+                       [&](const UpdateResult& r) { got = r; });
+  sim.Run();
+  ASSERT_TRUE(got.has_value());
+  std::vector<double> acks;
+  for (const AsId host : got->replicas) {
+    acks.push_back(service.oracle().RttMs(20, host));
+  }
+  std::sort(acks.begin(), acks.end());
+  const int w = ResolveQuorum(0, int(acks.size()));
+  ASSERT_GE(w, 2);
+  // The update is done at the W-th fastest ack, strictly before the
+  // slowest replica replies.
+  EXPECT_NEAR(got->latency_ms, acks[std::size_t(w - 1)], 1e-9);
+  EXPECT_NEAR(sim.Now().millis(), acks[std::size_t(w - 1)], 1e-9);
+  EXPECT_LE(got->latency_ms, acks.back());
 }
 
 TEST_F(EventDrivenTest, UpdateComputesLatencyWhenServiceSkipsIt) {
