@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "core/resolver_cache.h"
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
 #include "obs/probe_trace.h"
@@ -58,6 +59,15 @@ struct BenchOptions {
   int write_quorum = -1;   // 0 = majority, 1 = legacy fire-and-wait-all
   int read_quorum = -1;    // 1 = sequential paper probing, >1 = fan-out
   int anti_entropy = -1;   // GUIDs repaired per background round, 0 = off
+  // Mobility fast path (fig10_mobility; DESIGN.md section 15).
+  // --batch-updates caps the GUID moves per BatchUpdate wave; 0 (flag not
+  // given) lets the bench use its built-in batch-size sweep.
+  int batch_updates = 0;
+  // --cache enables the resolver-side mapping cache: an inline "k=v,..."
+  // string (CacheConfig::ParseArg — capacity, ttl_ms, shards,
+  // invalidate_on_update; a bare number is shorthand for the capacity).
+  // Empty = disabled, the full-probe behaviour. Parse with ParsedCache().
+  std::string cache;
 };
 
 // Accepts both `--flag=value` and `--flag value` forms.
@@ -162,6 +172,23 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       }
       options.anti_entropy = int(budget);
     } else if (const char* value =
+                   BenchArgValue(arg, "--batch-updates", argc, argv, &i)) {
+      char* end = nullptr;
+      const long batch = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || batch < 1 || batch > 65535) {
+        std::fprintf(stderr, "bad --batch-updates value: %s\n", value);
+        std::exit(2);
+      }
+      options.batch_updates = int(batch);
+    } else if (const char* value =
+                   BenchArgValue(arg, "--cache", argc, argv, &i)) {
+      options.cache = value;
+      if (options.cache.empty()) {
+        std::fprintf(stderr, "bad --cache value: must be a capacity or an "
+                             "inline k=v,... config\n");
+        std::exit(2);
+      }
+    } else if (const char* value =
                    BenchArgValue(arg, "--fault-seed", argc, argv, &i)) {
       char* end = nullptr;
       const unsigned long long seed = std::strtoull(value, &end, 10);
@@ -178,6 +205,7 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
           "          [--fault-plan=<file>] [--fault-seed=<n>]\n"
           "          [--serving=<file|k=v,...>] [--write-quorum=<W>]\n"
           "          [--read-quorum=<R>] [--anti-entropy=<budget>]\n"
+          "          [--batch-updates=<B>] [--cache=<capacity|k=v,...>]\n"
           "  --shards        mapping-store shards (default 0 = auto;\n"
           "                  identical results for any value)\n"
           "  --path-oracle   point-distance engine (default hub; identical\n"
@@ -193,7 +221,12 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
           "                  1 = legacy fire-and-wait-all (wire benches)\n"
           "  --read-quorum   replicas a lookup must hear from; 1 = the\n"
           "                  paper's sequential probing, >1 = fan-out\n"
-          "  --anti-entropy  GUIDs repaired per background round (0 = off)\n",
+          "  --anti-entropy  GUIDs repaired per background round (0 = off)\n"
+          "  --batch-updates GUID moves per batched handoff wave (mobility\n"
+          "                  benches; default: the built-in size sweep)\n"
+          "  --cache         resolver-side mapping cache: a capacity or\n"
+          "                  inline k=v,... (capacity, ttl_ms, shards,\n"
+          "                  invalidate_on_update; default off)\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -262,6 +295,21 @@ inline ServingConfig ParsedServing(const BenchOptions& options) {
     return ServingConfig::ParseArg(options.serving);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bad --serving value: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+// The --cache flag as a validated CacheConfig; a missing flag yields the
+// disabled default (capacity 0, the full-probe behaviour). Exits with the
+// parser's field-naming message on a bad inline string.
+inline CacheConfig ParsedCache(const BenchOptions& options) {
+  if (options.cache.empty()) return CacheConfig{};
+  try {
+    CacheConfig config = CacheConfig::ParseArg(options.cache);
+    config.Validate();
+    return config;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad --cache value: %s\n", e.what());
     std::exit(2);
   }
 }

@@ -13,12 +13,14 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "core/dmap_service.h"
 #include "core/hole_resolver.h"
 #include "core/mapping_store.h"
 #include "common/rng.h"
 #include "runtime/thread_pool.h"
 #include "sim/environment.h"
 #include "topo/hub_labels.h"
+#include "workload/mobility.h"
 
 namespace {
 
@@ -250,6 +252,155 @@ int main(int argc, char** argv) {
               serving_shards, single_ms > 0 ? single_ms / sharded_ms : 0.0,
               serve_match ? "match" : "MISMATCH");
 
+  // ---- 5. mobility: batched handoffs + cache-served lookups --------------
+  // The two halves of the mobility fast path (DESIGN.md section 15), each
+  // leg against its unoptimised shape on the same inputs.
+  //
+  // 5a. Update messages per handoff. A 12-AS gateway cluster — the regime
+  // the batch targets: a multi-GUID host whose K*N replica writes land on
+  // a handful of destination ASes. Leg A replays every handoff as N
+  // sequential Updates (K singleton messages each); leg B coalesces them
+  // into one BatchUpdate (one message per distinct destination AS). The
+  // store-content checksums must match — batching never changes state.
+  const std::uint32_t mobility_guids = 16;
+  std::uint64_t unbatched_msgs = 0, batched_msgs = 0, mobility_handoffs = 0;
+  double unbatched_ms = 0.0, batched_ms = 0.0;
+  bool mobility_match = false;
+  {
+    SimEnvironment small = BuildEnvironment(EnvironmentParams::Scaled(12));
+    MobilityParams mparams;
+    mparams.num_hosts = std::uint32_t(bench::Scaled(200, options.scale, 20));
+    mparams.guids_per_host = mobility_guids;
+    mparams.handoff_rate_hz = 1.0;
+    mparams.horizon_s = 10.0;
+    const MobilityWorkload mobility(small.graph, mparams);
+    mobility_handoffs = mobility.Handoffs().size();
+    DMapOptions mopts;
+    mopts.measure_update_latency = false;
+    // Content checksum over every stored replica of the population —
+    // order-independent, so both replays must agree bit-for-bit.
+    const auto store_checksum = [&](const DMapService& service) {
+      std::uint64_t sum = 0;
+      for (std::uint32_t host = 0; host < mparams.num_hosts; ++host) {
+        for (std::uint32_t g = 0; g < mparams.guids_per_host; ++g) {
+          const Guid guid = mobility.GuidOf(host, g);
+          for (std::uint32_t as = 0; as < small.graph.num_nodes(); ++as) {
+            if (const MappingEntry* e = service.StoreLookup(AsId(as), guid)) {
+              sum += e->version * 1000003u + e->nas[0].locator * 31u +
+                     e->nas[0].as + as;
+            }
+          }
+        }
+      }
+      return sum;
+    };
+    std::uint64_t unbatched_sum = 0, batched_sum = 0;
+    {
+      DMapService service(small.graph, small.table, mopts);
+      for (const InsertOp& op : mobility.InitialInserts()) {
+        (void)service.Insert(op.guid, op.na);
+      }
+      const auto start = std::chrono::steady_clock::now();
+      for (const Handoff& handoff : mobility.Handoffs()) {
+        for (const auto& [guid, na] : mobility.MovesFor(handoff)) {
+          const UpdateResult r = service.Update(guid, na);
+          unbatched_msgs += r.replicas.size();
+        }
+      }
+      unbatched_ms = MsSince(start);
+      unbatched_sum = store_checksum(service);
+    }
+    {
+      DMapService service(small.graph, small.table, mopts);
+      for (const InsertOp& op : mobility.InitialInserts()) {
+        (void)service.Insert(op.guid, op.na);
+      }
+      const auto start = std::chrono::steady_clock::now();
+      for (const Handoff& handoff : mobility.Handoffs()) {
+        const BatchUpdateResult r =
+            service.BatchUpdate(mobility.MovesFor(handoff));
+        batched_msgs += r.messages;
+      }
+      batched_ms = MsSince(start);
+      batched_sum = store_checksum(service);
+    }
+    mobility_match = unbatched_sum == batched_sum;
+  }
+  const double msgs_per_handoff_unbatched =
+      mobility_handoffs > 0 ? double(unbatched_msgs) / double(mobility_handoffs)
+                            : 0.0;
+  const double msgs_per_handoff_batched =
+      mobility_handoffs > 0 ? double(batched_msgs) / double(mobility_handoffs)
+                            : 0.0;
+  const double message_reduction =
+      batched_msgs > 0 ? double(unbatched_msgs) / double(batched_msgs) : 0.0;
+  std::printf("mobility updates: unbatched %.1f msgs/handoff (%.1f ms), "
+              "batched %.1f msgs/handoff (%.1f ms), %.1fx fewer, "
+              "checksums %s\n",
+              msgs_per_handoff_unbatched, unbatched_ms,
+              msgs_per_handoff_batched, batched_ms, message_reduction,
+              mobility_match ? "match" : "MISMATCH");
+
+  // 5b. Cache-served vs full-probe lookups on the main topology. Both legs
+  // serve the identical stream; the answers (found + attachment AS/locator)
+  // must agree — the cache changes where the answer comes from, not what it
+  // is. TTL 0 = never expires, so the measured loop is all hits.
+  const std::uint64_t cache_guids =
+      std::min<std::uint64_t>(bench::Scaled(10'000, options.scale), 100'000);
+  const std::uint64_t cache_serves = bench::Scaled(200'000, options.scale);
+  double probe_ms = 0.0, cached_ms = 0.0;
+  std::uint64_t probe_sum = 0, cached_sum = 0;
+  std::uint64_t cache_hits = 0;
+  {
+    const auto populate = [&](DMapService& service) {
+      for (std::uint64_t i = 0; i < cache_guids; ++i) {
+        (void)service.Insert(Guid::FromSequence(i),
+                             NetworkAddress{AsId(i % n), 1});
+      }
+    };
+    const auto serve = [&](DMapService& service, std::uint64_t& sum) {
+      for (std::uint64_t i = 0; i < cache_serves; ++i) {
+        const Guid guid = Guid::FromSequence(i % cache_guids);
+        const LookupResult r = service.Lookup(guid, AsId(i % 16));
+        if (r.found) sum += r.nas[0].as + r.nas[0].locator;
+      }
+    };
+    DMapOptions mopts;
+    mopts.measure_update_latency = false;
+    {
+      DMapService service(env.graph, env.table, mopts);
+      populate(service);
+      const auto start = std::chrono::steady_clock::now();
+      serve(service, probe_sum);
+      probe_ms = MsSince(start);
+    }
+    {
+      mopts.cache.capacity = 1 << 17;
+      mopts.cache.ttl_ms = 0;  // never expires
+      DMapService service(env.graph, env.table, mopts);
+      populate(service);
+      // Warm pass fills every (querier, guid) pair; the serial refresh
+      // publishes the fills, so the measured pass runs on snapshot hits.
+      std::uint64_t warm_sum = 0;
+      serve(service, warm_sum);
+      service.RefreshReadSnapshots();
+      const auto start = std::chrono::steady_clock::now();
+      serve(service, cached_sum);
+      cached_ms = MsSince(start);
+      cache_hits = service.cache()->hits();
+    }
+  }
+  const bool cache_match = probe_sum == cached_sum;
+  const double probe_rps =
+      probe_ms > 0 ? double(cache_serves) / (probe_ms / 1000.0) : 0.0;
+  const double cached_rps =
+      cached_ms > 0 ? double(cache_serves) / (cached_ms / 1000.0) : 0.0;
+  const double cache_speedup = cached_ms > 0 ? probe_ms / cached_ms : 0.0;
+  std::printf("mobility lookups: full-probe %.1f ms (%.2fM/s), cache-hit "
+              "%.1f ms (%.2fM/s), %.1fx, answers %s\n\n",
+              probe_ms, probe_rps / 1e6, cached_ms, cached_rps / 1e6,
+              cache_speedup, cache_match ? "match" : "MISMATCH");
+
   // ---- BENCH_perf.json ----------------------------------------------------
   const char* out_path = "BENCH_perf.json";
   std::FILE* out = std::fopen(out_path, "w");
@@ -287,7 +438,23 @@ int main(int argc, char** argv) {
       "  \"serving_single_resolves_per_sec\": %.0f,\n"
       "  \"serving_sharded_resolves_per_sec\": %.0f,\n"
       "  \"serving_speedup\": %.3f,\n"
-      "  \"serving_checksum_match\": %s\n"
+      "  \"serving_checksum_match\": %s,\n"
+      "  \"mobility_handoffs\": %llu,\n"
+      "  \"mobility_guids_per_host\": %u,\n"
+      "  \"mobility_unbatched_msgs_per_handoff\": %.3f,\n"
+      "  \"mobility_batched_msgs_per_handoff\": %.3f,\n"
+      "  \"mobility_message_reduction\": %.3f,\n"
+      "  \"mobility_unbatched_updates_ms\": %.3f,\n"
+      "  \"mobility_batched_updates_ms\": %.3f,\n"
+      "  \"mobility_checksum_match\": %s,\n"
+      "  \"cache_lookups\": %llu,\n"
+      "  \"cache_hits\": %llu,\n"
+      "  \"cache_probe_ms\": %.3f,\n"
+      "  \"cache_hit_ms\": %.3f,\n"
+      "  \"cache_probe_serves_per_sec\": %.0f,\n"
+      "  \"cache_hit_serves_per_sec\": %.0f,\n"
+      "  \"cache_serve_speedup\": %.3f,\n"
+      "  \"cache_answer_match\": %s\n"
       "}\n",
       options.scale, n, env.graph.num_links(),
       (unsigned long long)num_queries, (unsigned long long)num_resolves,
@@ -300,11 +467,36 @@ int main(int argc, char** argv) {
       resolve_match ? "true" : "false", (unsigned long long)num_entries,
       (unsigned long long)num_serves, serving_shards, single_ms, sharded_ms,
       single_rps, sharded_rps, sharded_ms > 0 ? single_ms / sharded_ms : 0.0,
-      serve_match ? "true" : "false");
+      serve_match ? "true" : "false",
+      (unsigned long long)mobility_handoffs, mobility_guids,
+      msgs_per_handoff_unbatched, msgs_per_handoff_batched,
+      message_reduction, unbatched_ms, batched_ms,
+      mobility_match ? "true" : "false", (unsigned long long)cache_serves,
+      (unsigned long long)cache_hits, probe_ms, cached_ms, probe_rps,
+      cached_rps, cache_speedup, cache_match ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
 
   // Equivalence failures make the bench fail loudly: the numbers would be
-  // comparing engines that disagree.
-  return point_match && resolve_match && serve_match ? 0 : 1;
+  // comparing engines that disagree. The mobility fast-path floors are
+  // structural, not machine-dependent — the message reduction is a count
+  // and the serve speedup compares two loops on the same core — so a run
+  // below them is a regression, not noise.
+  bool ok = point_match && resolve_match && serve_match && mobility_match &&
+            cache_match;
+  if (message_reduction < 5.0) {
+    std::fprintf(stderr,
+                 "perf_baseline: batched handoffs saved only %.2fx messages "
+                 "(floor 5x)\n",
+                 message_reduction);
+    ok = false;
+  }
+  if (cache_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "perf_baseline: cache-hit serving only %.2fx faster than "
+                 "full probing (floor 3x)\n",
+                 cache_speedup);
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

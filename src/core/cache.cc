@@ -30,15 +30,18 @@ const MappingEntry* MappingCache::Get(const Guid& guid, SimTime now) {
 
 void MappingCache::Put(const Guid& guid, const MappingEntry& entry,
                        SimTime now) {
-  const auto it = index_.find(guid);
-  if (it != index_.end()) {
+  // One hash on both paths: try_emplace either finds the existing slot or
+  // claims a new one, so the fresh-insert path no longer hashes twice
+  // (the old find + operator[] pair).
+  const auto [it, inserted] = index_.try_emplace(guid);
+  if (!inserted) {
     it->second->mapping = entry;
     it->second->expires = now + ttl_;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   lru_.push_front(Entry{guid, entry, now + ttl_});
-  index_[guid] = lru_.begin();
+  it->second = lru_.begin();
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().guid);
     lru_.pop_back();

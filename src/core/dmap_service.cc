@@ -44,6 +44,7 @@ void DMapOptions::Validate() const {
         std::to_string(ShardedMappingStore::kMaxShards) + "] (got " +
         std::to_string(store_shards) + ")");
   }
+  cache.Validate();
 }
 
 DMapService::DMapService(const AsGraph& graph, const PrefixTable& table,
@@ -60,6 +61,9 @@ DMapService::DMapService(const AsGraph& graph, const PrefixTable& table,
     // write point — the prefix table is typically still being announced
     // when the service is constructed.
     resolver_.EnableSnapshot();
+  }
+  if (options_.cache.enabled()) {
+    cache_ = std::make_unique<ResolverCache>(options_.cache);
   }
 }
 
@@ -155,6 +159,14 @@ UpdateResult DMapService::WriteReplicas(const Guid& guid, OwnerState& state,
   result.replicas = state.replicas;
   result.attempts = int(state.replicas.size());
 
+  // Invalidate-on-update coherence: drop every AS's cached copy at the
+  // same serial write point the replicas change, so no cache can serve
+  // the superseded NA set. TTL-only mode skips this — bounded staleness
+  // is the trade being measured.
+  if (cache_ != nullptr && options_.cache.invalidate_on_update) {
+    cache_->Invalidate(guid);
+  }
+
   // Completion timing. Replica writes go out in parallel; with the quorum
   // discipline off (write_quorum = 1) the update completes at the slowest
   // round trip (Section III-A, the paper's model, bit-exact with the
@@ -227,6 +239,65 @@ UpdateResult DMapService::Update(const Guid& guid, NetworkAddress na) {
   return result;
 }
 
+BatchUpdateResult DMapService::BatchUpdate(
+    const std::vector<std::pair<Guid, NetworkAddress>>& moves) {
+  BatchUpdateResult batch;
+  if (moves.empty()) return batch;
+  // A batch models one migrating host: every GUID lands at the same new
+  // attachment AS, so all updates share a source and can share messages.
+  const AsId src_as = moves.front().second.as;
+  for (const auto& [guid, na] : moves) {
+    if (na.as >= graph_->num_nodes()) {
+      throw std::invalid_argument("BatchUpdate: NA references unknown AS");
+    }
+    if (na.as != src_as) {
+      throw std::invalid_argument(
+          "BatchUpdate: all moves must share one destination AS");
+    }
+    if (owners_.find(guid) == owners_.end()) {
+      throw std::invalid_argument("BatchUpdate: unknown GUID (insert first)");
+    }
+  }
+
+  // Each GUID goes through the exact sequential-update mutation —
+  // same owner-state transition, same WriteReplicas, same metrics
+  // accounting — so store contents and dmap.* exports are bit-identical
+  // to issuing the updates one by one. Only the message accounting (and
+  // the completion time, one message wave instead of N) differs.
+  std::vector<AsId> destinations;  // distinct replica-host ASes, batched
+  batch.per_guid.reserve(moves.size());
+  double max_latency = -1.0;
+  for (const auto& [guid, na] : moves) {
+    OwnerState& state = owners_.find(guid)->second;
+    state.nas = NaSet(na);
+    ++state.version;
+    state.writer = na.as;
+    UpdateResult result = WriteReplicas(guid, state, na.as);
+    if (metrics_) AccountUpdate(result, ins_.updates, 0);
+
+    batch.unbatched_messages += result.replicas.size();
+    batch.entries += result.replicas.size();
+    batch.hash_evaluations += result.hash_evaluations;
+    max_latency = std::max(max_latency, result.latency_ms);
+    if (result.status != ResolverStatus::kOk &&
+        batch.status == ResolverStatus::kOk) {
+      batch.status = result.status;
+    }
+    for (const AsId host : result.replicas) {
+      if (std::find(destinations.begin(), destinations.end(), host) ==
+          destinations.end()) {
+        destinations.push_back(host);
+      }
+    }
+    batch.per_guid.push_back(std::move(result));
+  }
+  batch.guids = int(moves.size());
+  batch.messages = destinations.size();
+  batch.entries_applied = batch.entries;
+  batch.latency_ms = max_latency;
+  return batch;
+}
+
 UpdateResult DMapService::AddAttachment(const Guid& guid, NetworkAddress na) {
   const auto it = owners_.find(guid);
   if (it == owners_.end()) {
@@ -255,6 +326,9 @@ bool DMapService::Deregister(const Guid& guid) {
     if (store_.Erase(state.local_as, guid)) --total_entries_;
   }
   owners_.erase(it);
+  // A deregistered GUID must not be served from any cache, whatever the
+  // coherence mode.
+  if (cache_ != nullptr) cache_->Invalidate(guid);
   if (metrics_) metrics_->Add(ins_.deregisters, 1, 0);
   return true;
 }
@@ -318,6 +392,7 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
   int probe_failures = 0;
   NaSet global_nas;
   AsId global_server = kInvalidAs;
+  const MappingEntry* global_entry = nullptr;
   for (const auto& [host, rtt] : OrderReplicas(querier, hosts, shard)) {
     ++result.attempts;
     if (failures_.IsFailed(host)) {
@@ -340,6 +415,7 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
       global_found = true;
       global_nas = entry->nas;
       global_server = host;
+      global_entry = entry;
       if (trace) {
         trace->probes.push_back(ProbeEvent{host, rtt, ProbeOutcome::kHit});
       }
@@ -382,6 +458,14 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
     result.latency_ms = global_cost;
   }
 
+  // Resolver-cache fill: remember globally served answers (a local win
+  // already costs exactly what a cache hit would, so caching it buys
+  // nothing). Buffered per worker lane; merged and published at the next
+  // serial point.
+  if (cache_ != nullptr && global_found && !result.served_locally) {
+    cache_->RecordFill(shard, querier, guid, *global_entry, cache_now_);
+  }
+
   if (metrics_) {
     metrics_->Add(ins_.lookups, 1, shard);
     metrics_->Add(result.found ? ins_.lookup_hits : ins_.lookup_misses, 1,
@@ -403,10 +487,60 @@ LookupResult DMapService::LookupInternal(const Guid& guid, AsId querier,
   return result;
 }
 
+bool DMapService::IsStaleStamp(const Guid& guid,
+                               const LogicalStamp& stamp) const {
+  const auto it = owners_.find(guid);
+  if (it == owners_.end()) return false;
+  return stamp < LogicalStamp{it->second.version, it->second.writer};
+}
+
+LookupResult DMapService::ServeFromCache(const Guid& guid, AsId querier,
+                                         const MappingEntry& cached,
+                                         unsigned shard, char op) {
+  LookupResult result;
+  result.found = true;
+  result.nas = cached.nas;
+  result.serving_as = querier;
+  result.served_from_cache = true;
+  result.attempts = 0;  // no replica probe left the querier AS
+  result.latency_ms = 2.0 * graph_->IntraLatencyMs(querier);
+
+  // Staleness bookkeeping: a cached stamp behind the owner table's
+  // authoritative one means this lookup served a superseded NA set — the
+  // cost of TTL coherence, tallied so the frontier experiments score it.
+  if (IsStaleStamp(guid, cached.stamp())) cache_->TallyStaleServed(shard);
+
+  if (metrics_) {
+    metrics_->Add(ins_.lookups, 1, shard);
+    metrics_->Add(ins_.lookup_hits, 1, shard);
+    metrics_->Observe(ins_.lookup_latency_ms, result.latency_ms, shard);
+    metrics_->Observe(ins_.lookup_attempts, 0.0, shard);
+  }
+  if (tracer_ != nullptr && tracer_->ShouldTrace(guid)) {
+    result.trace.emplace();
+    result.trace->op = op;
+    result.trace->guid_fp = guid.Fingerprint64();
+    result.trace->querier = querier;
+    result.trace->found = true;
+    result.trace->latency_ms = result.latency_ms;
+    result.trace->attempts = 0;
+    tracer_->Record(shard, *result.trace);
+  }
+  return result;
+}
+
 LookupResult DMapService::Lookup(const Guid& guid, AsId querier,
                                  unsigned shard) {
   if (querier >= graph_->num_nodes()) {
     throw std::invalid_argument("Lookup: unknown querier AS");
+  }
+  if (cache_ != nullptr) {
+    const MappingEntry* cached =
+        cache_->Probe(querier, guid, guid.Fingerprint64(), cache_now_);
+    cache_->TallyProbe(shard, cached != nullptr);
+    if (cached != nullptr) {
+      return ServeFromCache(guid, querier, *cached, shard, 'L');
+    }
   }
   std::vector<AsId> hosts;
   hosts.reserve(std::size_t(options_.k));
@@ -423,6 +557,17 @@ LookupResult DMapService::LookupWithView(const Guid& guid, AsId querier,
                                          unsigned shard) {
   if (querier >= graph_->num_nodes()) {
     throw std::invalid_argument("LookupWithView: unknown querier AS");
+  }
+  // The cache is consulted under any BGP view: a cached copy was filled
+  // from a completed resolution, and a gateway's cache outlives its
+  // (possibly stale) prefix table.
+  if (cache_ != nullptr) {
+    const MappingEntry* cached =
+        cache_->Probe(querier, guid, guid.Fingerprint64(), cache_now_);
+    cache_->TallyProbe(shard, cached != nullptr);
+    if (cached != nullptr) {
+      return ServeFromCache(guid, querier, *cached, shard, 'V');
+    }
   }
   HoleResolver view_resolver(hashes_, view, options_.max_hashes);
   std::vector<AsId> hosts;

@@ -21,8 +21,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bgp/prefix_table.h"
@@ -34,6 +36,7 @@
 #include "fault/failure_view.h"
 #include "core/mapping.h"
 #include "core/mapping_store.h"
+#include "core/resolver_cache.h"
 #include "obs/metrics_registry.h"
 #include "obs/probe_trace.h"
 #include "topo/graph.h"
@@ -86,6 +89,13 @@ struct DMapOptions {
   // (asserted by the cross-shard equivalence suite); the count only sets
   // how much read parallelism the serving path can absorb.
   int store_shards = 0;
+  // Resolver-side mapping cache (core/resolver_cache.h). Disabled by
+  // default (capacity 0): every lookup takes the full probe path, byte-
+  // identical with the pre-cache behaviour. When enabled, Lookup and
+  // LookupWithView consult the querier's cached copy before resolving any
+  // replica, serve fresh hits in one intra-AS round trip, and record the
+  // staleness they serve.
+  CacheConfig cache;
 
   // Throws std::invalid_argument naming the offending field when the
   // options are inconsistent (k < 1, max_hashes < 1, negative timeout).
@@ -146,6 +156,35 @@ struct LookupResult : ResolverOutcome {
   NaSet nas;
   AsId serving_as = kInvalidAs;
   bool served_locally = false;  // the local replica answered first
+  // The querier's resolver cache answered (one intra-AS round trip, zero
+  // probes). Possibly stale — the staleness is tallied in the cache.*
+  // counters, never hidden.
+  bool served_from_cache = false;
+};
+
+// Outcome of one batched handoff (BatchUpdate): all of a host's GUID
+// updates written in a single per-destination-AS coalesced round. The
+// store outcome is bit-identical to issuing the same moves as sequential
+// Update calls — only the wire accounting (messages) and the completion
+// model (one parallel round over destination ASes) differ.
+struct BatchUpdateResult {
+  ResolverStatus status = ResolverStatus::kOk;
+  double latency_ms = -1.0;  // completion of the slowest destination ack
+  int guids = 0;
+  // BatchUpdateRequests a gateway would send: one per distinct
+  // destination AS holding any of the batch's global replicas.
+  std::uint64_t messages = 0;
+  // The K-per-GUID InsertRequest singletons the batch replaced.
+  std::uint64_t unbatched_messages = 0;
+  std::uint64_t entries = 0;  // guid-replica writes carried in the batch
+  // Entries the destinations actually applied (stamp gate passed). The
+  // closed form always applies every entry — each move strictly advances
+  // its GUID's version; the wire path can fall short under faults.
+  std::uint64_t entries_applied = 0;
+  int hash_evaluations = 0;
+  // Per-GUID results, in move order — identical to what sequential
+  // Update calls would have returned.
+  std::vector<UpdateResult> per_guid;
 };
 
 class DMapService {
@@ -180,7 +219,31 @@ class DMapService {
   void RefreshReadSnapshots() REQUIRES_ALL_SHARDS() {
     resolver_.RefreshSnapshot();
     store_.RefreshSnapshots();
+    if (cache_ != nullptr) {
+      cache_->ApplyFills();
+      cache_->RefreshSnapshots();
+    }
   }
+
+  // The resolver-side cache; nullptr when options().cache is disabled.
+  // Parallel sweeps must size its worker lanes (cache()->EnsureWorkers)
+  // from the serial section, exactly like MetricsRegistry.
+  ResolverCache* cache() { return cache_.get(); }
+  const ResolverCache* cache() const { return cache_.get(); }
+
+  // Advances the logical clock the closed-form cache TTL is evaluated
+  // against (the closed form is otherwise timeless). Monotonic: earlier
+  // times are ignored. Serial sections only.
+  void AdvanceCacheTime(SimTime now) WRITE_SERIAL_READ_SHARED() {
+    if (now > cache_now_) cache_now_ = now;
+  }
+  SimTime cache_now() const { return cache_now_; }
+
+  // True when `stamp` is strictly behind the owner table's authoritative
+  // stamp for `guid` (false for unknown GUIDs) — the staleness score for
+  // cache-served reads. Read-shared: the owner table mutates only at
+  // serial write points.
+  bool IsStaleStamp(const Guid& guid, const LogicalStamp& stamp) const;
 
   // Observability (src/obs/). Both default to off: the uninstrumented hot
   // path pays a single predictable `if (ptr)` branch per operation.
@@ -211,6 +274,17 @@ class DMapService {
   // dropping existing ones.
   [[nodiscard]] UpdateResult AddAttachment(const Guid& guid,
                                            NetworkAddress na);
+
+  // Mobility fast path: a migrating host's GUIDs updated as one batched
+  // handoff. Every move must name the same attachment AS (one host, one
+  // new gateway); each GUID's owner state advances exactly as Update would
+  // advance it, so the stored replicas, versions and exports are
+  // bit-identical to the equivalent sequence of Update calls for any
+  // batch size. The result adds the batch-level accounting: one
+  // BatchUpdateRequest per distinct destination AS instead of K
+  // InsertRequests per GUID, completing in a single parallel round.
+  [[nodiscard]] BatchUpdateResult BatchUpdate(
+      const std::vector<std::pair<Guid, NetworkAddress>>& moves);
 
   // Removes the GUID everywhere (host going away). Returns false if
   // unknown.
@@ -297,6 +371,11 @@ class DMapService {
 
   UpdateResult WriteReplicas(const Guid& guid, OwnerState& state,
                              AsId src_as, unsigned shard = 0);
+  // Cache-hit service: builds the one-intra-AS-round-trip result and does
+  // the staleness bookkeeping (owners_ is the authoritative stamp oracle).
+  LookupResult ServeFromCache(const Guid& guid, AsId querier,
+                              const MappingEntry& cached, unsigned shard,
+                              char op);
   // Probe order per selection policy; uses the querier's latency vector.
   std::vector<std::pair<AsId, double>> OrderReplicas(
       AsId querier, const std::vector<AsId>& hosts, unsigned shard = 0);
@@ -328,6 +407,11 @@ class DMapService {
       WRITE_SERIAL_READ_SHARED();
   FailureView failures_ WRITE_SERIAL_READ_SHARED();
   std::uint64_t total_entries_ = 0;
+  // Resolver-side cache (null = disabled). Parallel phases only Probe the
+  // published snapshots and buffer fills per worker; mutation happens at
+  // the serial write points (ApplyFills/Invalidate/RefreshSnapshots).
+  std::unique_ptr<ResolverCache> cache_;
+  SimTime cache_now_ WRITE_SERIAL_READ_SHARED() = SimTime::Zero();
 
   MetricsRegistry* metrics_ = nullptr;
   ProbeTracer* tracer_ = nullptr;

@@ -1,0 +1,290 @@
+#include "core/resolver_cache.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/config.h"
+
+namespace dmap {
+
+void CacheConfig::Validate() const {
+  if (capacity == 0) return;  // disabled: nothing else matters
+  if (shards < 1 || shards > ResolverCache::kMaxShards) {
+    throw std::invalid_argument("CacheConfig: shards out of [1, 256]");
+  }
+  if (ttl_ms < 0.0) {
+    throw std::invalid_argument("CacheConfig: negative ttl_ms");
+  }
+}
+
+CacheConfig CacheConfig::FromConfig(const Config& config) {
+  CacheConfig out;
+  out.capacity = std::size_t(config.GetInt("capacity", 0));
+  out.ttl_ms = config.GetDouble("ttl_ms", 0.0);
+  out.shards = unsigned(config.GetInt("shards", 8));
+  out.invalidate_on_update =
+      config.Has("invalidate_on_update")
+          ? config.GetBool("invalidate_on_update", false)
+          : config.GetBool("invalidate", false);
+  out.Validate();
+  return out;
+}
+
+CacheConfig CacheConfig::ParseArg(const std::string& arg) {
+  // A bare number is shorthand for `capacity=<n>`.
+  if (!arg.empty() && arg.find('=') == std::string::npos) {
+    std::string text = "capacity = " + arg;
+    return FromConfig(Config::ParseString(text));
+  }
+  std::string text = arg;
+  std::replace(text.begin(), text.end(), ',', '\n');
+  return FromConfig(Config::ParseString(text));
+}
+
+ResolverCache::ResolverCache(const CacheConfig& config) : config_(config) {
+  config_.Validate();
+  if (!config_.enabled()) {
+    throw std::invalid_argument("ResolverCache: zero capacity");
+  }
+  const unsigned shards =
+      std::clamp(config_.shards, 1u, kMaxShards);
+  per_shard_capacity_ =
+      (config_.capacity + shards - 1) / shards;  // ceil; never zero
+  shards_.resize(shards);
+  lanes_.resize(1);
+}
+
+SimTime ResolverCache::ExpiryFor(SimTime now) const {
+  if (config_.ttl_ms <= 0.0) {
+    return SimTime::Millis(std::numeric_limits<double>::infinity());
+  }
+  return now + SimTime::Millis(config_.ttl_ms);
+}
+
+const MappingEntry* ResolverCache::Get(AsId as, const Guid& guid,
+                                       SimTime now) {
+  Shard& shard = shards_[ShardOfFingerprint(guid.Fingerprint64())];
+  const auto it = shard.index.find(Key{guid, as});
+  if (it == shard.index.end()) {
+    ++serial_.misses;
+    return nullptr;
+  }
+  if (it->second->expires < now) {
+    RemoveHolder(shard, it->second->key);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.epoch;
+    ++serial_.evictions;
+    ++serial_.misses;
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
+  ++serial_.hits;
+  return &shard.lru.front().entry;
+}
+
+void ResolverCache::RemoveHolder(Shard& shard, const Key& key) {
+  const auto holder_it = shard.holders.find(key.guid);
+  if (holder_it == shard.holders.end()) return;
+  std::vector<AsId>& holders = holder_it->second;
+  const auto as_it = std::find(holders.begin(), holders.end(), key.as);
+  if (as_it != holders.end()) {
+    *as_it = holders.back();
+    holders.pop_back();
+  }
+  if (holders.empty()) shard.holders.erase(holder_it);
+}
+
+void ResolverCache::EvictTail(Shard& shard) {
+  RemoveHolder(shard, shard.lru.back().key);
+  shard.index.erase(shard.lru.back().key);
+  shard.lru.pop_back();
+  ++serial_.evictions;
+}
+
+void ResolverCache::PutInShard(Shard& shard, const Key& key,
+                               const MappingEntry& entry, SimTime expires) {
+  const auto [it, inserted] = shard.index.try_emplace(key);
+  if (!inserted) {
+    it->second->entry = entry;
+    it->second->expires = expires;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.epoch;
+    return;
+  }
+  shard.lru.push_front(Cached{key, entry, expires});
+  it->second = shard.lru.begin();
+  shard.holders[key.guid].push_back(key.as);
+  if (shard.lru.size() > per_shard_capacity_) EvictTail(shard);
+  ++shard.epoch;
+}
+
+void ResolverCache::Put(AsId as, const Guid& guid, const MappingEntry& entry,
+                        SimTime now) {
+  Shard& shard = shards_[ShardOfFingerprint(guid.Fingerprint64())];
+  PutInShard(shard, Key{guid, as}, entry, ExpiryFor(now));
+}
+
+std::size_t ResolverCache::Invalidate(const Guid& guid) {
+  // All cached copies of `guid` — one per querier AS — live in the shard
+  // selected by the GUID fingerprint; the inverted index names the holder
+  // ASes, and each copy is erased through its stored list iterator, so the
+  // whole invalidation is O(copies), independent of the shard population.
+  Shard& shard = shards_[ShardOfFingerprint(guid.Fingerprint64())];
+  const auto holder_it = shard.holders.find(guid);
+  if (holder_it == shard.holders.end()) return 0;
+  const std::vector<AsId> holders = std::move(holder_it->second);
+  shard.holders.erase(holder_it);
+  for (const AsId as : holders) {
+    const auto it = shard.index.find(Key{guid, as});
+    if (it == shard.index.end()) continue;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.epoch += holders.size();
+  serial_.invalidations += holders.size();
+  return holders.size();
+}
+
+void ResolverCache::EnsureWorkers(unsigned workers) {
+  if (workers < 1) workers = 1;
+  if (lanes_.size() < workers) lanes_.resize(workers);
+}
+
+const MappingEntry* ResolverCache::Probe(AsId as, const Guid& guid,
+                                         std::uint64_t fingerprint,
+                                         SimTime now) const {
+  const Shard& shard = shards_[ShardOfFingerprint(fingerprint)];
+  if (shard.snapshot_epoch != shard.epoch) {
+    // Stale snapshot: report a miss. Unlike the sharded store there is no
+    // mutable-map fallback — a cache miss is always correct, and the
+    // mutable LRU may be mid-mutation on another discipline's path.
+    return nullptr;
+  }
+  if (shard.slots.empty()) return nullptr;
+  const std::uint64_t tag = MixTag(fingerprint, as);
+  std::size_t idx = std::size_t(tag) & shard.slot_mask;
+  while (true) {
+    const Slot& slot = shard.slots[idx];
+    if (slot.as == kInvalidAs) return nullptr;
+    if (slot.tag == tag && slot.as == as && slot.guid == guid) {
+      if (slot.expires < now) return nullptr;  // expired: miss, no evict
+      return &slot.entry;
+    }
+    idx = (idx + 1) & shard.slot_mask;
+  }
+}
+
+void ResolverCache::TallyProbe(unsigned worker, bool hit) {
+  WorkerLane& lane = lanes_[worker];
+  hit ? ++lane.hits : ++lane.misses;
+}
+
+void ResolverCache::TallyStaleServed(unsigned worker) {
+  ++lanes_[worker].stale_served;
+}
+
+void ResolverCache::RecordFill(unsigned worker, AsId as, const Guid& guid,
+                               const MappingEntry& entry, SimTime now) {
+  lanes_[worker].fills.push_back(Fill{Key{guid, as}, entry, ExpiryFor(now)});
+}
+
+void ResolverCache::ApplyFills() {
+  std::vector<Fill> all;
+  for (WorkerLane& lane : lanes_) {
+    all.insert(all.end(), lane.fills.begin(), lane.fills.end());
+    lane.fills.clear();
+  }
+  if (all.empty()) return;
+  // Canonical order: (guid words, as) groups duplicates; within a group
+  // the winner is the newest logical stamp, longest expiry as tie-break.
+  // The sort key is a pure function of the fill itself, so the merged
+  // cache state is independent of which worker buffered which fill.
+  std::sort(all.begin(), all.end(), [](const Fill& a, const Fill& b) {
+    for (int w = 0; w < Guid::kWords; ++w) {
+      if (a.key.guid.word(w) != b.key.guid.word(w)) {
+        return a.key.guid.word(w) < b.key.guid.word(w);
+      }
+    }
+    if (a.key.as != b.key.as) return a.key.as < b.key.as;
+    if (a.entry.stamp() != b.entry.stamp()) {
+      return a.entry.stamp() < b.entry.stamp();
+    }
+    return a.expires < b.expires;
+  });
+  // Groups are contiguous; the last element of each group is its winner.
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i + 1 < all.size() && all[i + 1].key == all[i].key) continue;
+    Shard& shard =
+        shards_[ShardOfFingerprint(all[i].key.guid.Fingerprint64())];
+    PutInShard(shard, all[i].key, all[i].entry, all[i].expires);
+  }
+}
+
+void ResolverCache::RefreshSnapshots() {
+  for (Shard& shard : shards_) {
+    if (shard.snapshot_epoch == shard.epoch) continue;
+    RebuildSnapshot(shard);
+    shard.snapshot_epoch = shard.epoch;
+    ++snapshot_rebuilds_;
+  }
+}
+
+void ResolverCache::RebuildSnapshot(Shard& shard) {
+  std::size_t capacity = 16;
+  while (capacity < shard.lru.size() * 2) capacity <<= 1;
+  if (shard.slots.size() == capacity) {
+    std::fill(shard.slots.begin(), shard.slots.end(), Slot{});
+  } else {
+    shard.slots.assign(capacity, Slot{});
+  }
+  shard.slot_mask = capacity - 1;
+  for (const Cached& cached : shard.lru) {
+    const std::uint64_t tag =
+        MixTag(cached.key.guid.Fingerprint64(), cached.key.as);
+    std::size_t idx = std::size_t(tag) & shard.slot_mask;
+    while (shard.slots[idx].as != kInvalidAs) {
+      idx = (idx + 1) & shard.slot_mask;
+    }
+    Slot& slot = shard.slots[idx];
+    slot.tag = tag;
+    slot.as = cached.key.as;
+    slot.guid = cached.key.guid;
+    slot.entry = cached.entry;
+    slot.expires = cached.expires;
+  }
+}
+
+std::size_t ResolverCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.lru.size();
+  return total;
+}
+
+bool ResolverCache::snapshots_fresh() const {
+  for (const Shard& shard : shards_) {
+    if (shard.snapshot_epoch != shard.epoch) return false;
+  }
+  return true;
+}
+
+std::uint64_t ResolverCache::hits() const {
+  std::uint64_t total = serial_.hits;
+  for (const WorkerLane& lane : lanes_) total += lane.hits;
+  return total;
+}
+
+std::uint64_t ResolverCache::misses() const {
+  std::uint64_t total = serial_.misses;
+  for (const WorkerLane& lane : lanes_) total += lane.misses;
+  return total;
+}
+
+std::uint64_t ResolverCache::stale_served() const {
+  std::uint64_t total = serial_.stale_served;
+  for (const WorkerLane& lane : lanes_) total += lane.stale_served;
+  return total;
+}
+
+}  // namespace dmap

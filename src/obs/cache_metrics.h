@@ -1,0 +1,43 @@
+// Bridges ResolverCache's counters into a MetricsRegistry. Include-only
+// for the same layering reason as store_metrics.h: dmap_obs must not
+// depend on dmap_core, so the consumer side (sim harnesses / bench mains)
+// includes this header.
+//
+// Stability split, mirroring store_metrics.h:
+//  * "cache.hits" / "cache.misses" / "cache.evictions" /
+//    "cache.invalidations" / "cache.stale_served" / "cache.entries" —
+//    workload properties. The parallel fill path merges in canonical key
+//    order and tallies sum over worker lanes, so all six are identical for
+//    every thread count and stay kDeterministic (byte-diffed exports).
+//  * "cache.shards" / "cache.snapshot_rebuilds" — how the cache happened
+//    to be partitioned and republished. Both vary with the shard knob, so
+//    they are tagged MetricStability::kExecution and excluded from the
+//    default exports.
+#pragma once
+
+#include "core/resolver_cache.h"
+#include "obs/metrics_registry.h"
+
+namespace dmap {
+
+// Adds the cache's lifetime totals to "cache.*" counters. Call once, after
+// the measured phase — counters accumulate, so contributing the same cache
+// twice double-counts.
+inline void ContributeCacheMetrics(const ResolverCache& cache,
+                                   MetricsRegistry& registry) {
+  const MetricStability kExec = MetricStability::kExecution;
+  registry.Add(registry.Counter("cache.hits"), cache.hits(), 0);
+  registry.Add(registry.Counter("cache.misses"), cache.misses(), 0);
+  registry.Add(registry.Counter("cache.evictions"), cache.evictions(), 0);
+  registry.Add(registry.Counter("cache.invalidations"),
+               cache.invalidations(), 0);
+  registry.Add(registry.Counter("cache.stale_served"), cache.stale_served(),
+               0);
+  registry.Add(registry.Counter("cache.entries"), cache.size(), 0);
+  registry.Add(registry.Counter("cache.shards", kExec),
+               cache.config().shards, 0);
+  registry.Add(registry.Counter("cache.snapshot_rebuilds", kExec),
+               cache.snapshot_rebuilds(), 0);
+}
+
+}  // namespace dmap

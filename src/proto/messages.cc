@@ -1,5 +1,6 @@
 #include "proto/messages.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace dmap {
@@ -8,14 +9,22 @@ namespace {
 constexpr std::uint8_t kMagic0 = 0xD5;
 constexpr std::uint8_t kMagic1 = 0xAB;
 // v2 added the logical-stamp writer AS to every encoded MappingEntry
-// (version u64 + writer u32); v1 frames are rejected, not interpreted.
-constexpr std::uint8_t kVersion = 2;
+// (version u64 + writer u32); v3 added the batch-update message pair
+// (types 7/8). Older frames are rejected, not interpreted.
+constexpr std::uint8_t kVersion = 3;
+
+// Batch counts ride a u16; a larger batch must be split by the sender.
+constexpr std::size_t kMaxBatchEntries = 0xFFFF;
 
 class Writer {
  public:
   explicit Writer(std::vector<std::uint8_t>& out) : out_(&out) {}
 
   void U8(std::uint8_t v) { out_->push_back(v); }
+  void U16(std::uint16_t v) {
+    out_->push_back(std::uint8_t(v));
+    out_->push_back(std::uint8_t(v >> 8));
+  }
   void U32(std::uint32_t v) {
     for (int i = 0; i < 4; ++i) out_->push_back(std::uint8_t(v >> (8 * i)));
   }
@@ -53,6 +62,13 @@ class Reader {
   bool U8(std::uint8_t* v) {
     if (pos_ + 1 > data_.size()) return false;
     *v = data_[pos_++];
+    return true;
+  }
+  bool U16(std::uint16_t* v) {
+    if (pos_ + 2 > data_.size()) return false;
+    *v = std::uint16_t(data_[pos_]) |
+         std::uint16_t(std::uint16_t(data_[pos_ + 1]) << 8);
+    pos_ += 2;
     return true;
   }
   bool U32(std::uint32_t* v) {
@@ -131,8 +147,12 @@ MessageType TypeOf(const Message& message) {
           return MessageType::kLookupResponse;
         } else if constexpr (std::is_same_v<T, MigrateRequest>) {
           return MessageType::kMigrateRequest;
-        } else {
+        } else if constexpr (std::is_same_v<T, MigrateResponse>) {
           return MessageType::kMigrateResponse;
+        } else if constexpr (std::is_same_v<T, BatchUpdateRequest>) {
+          return MessageType::kBatchUpdateRequest;
+        } else {
+          return MessageType::kBatchUpdateResponse;
         }
       },
       message);
@@ -171,10 +191,23 @@ std::vector<std::uint8_t> Encode(const Message& message) {
           if (m.found) w.WriteEntry(m.entry);
         } else if constexpr (std::is_same_v<T, MigrateRequest>) {
           w.WriteGuid(m.guid);
-        } else {  // MigrateResponse
+        } else if constexpr (std::is_same_v<T, MigrateResponse>) {
           w.WriteGuid(m.guid);
           w.U8(m.found ? 1 : 0);
           if (m.found) w.WriteEntry(m.entry);
+        } else if constexpr (std::is_same_v<T, BatchUpdateRequest>) {
+          w.U16(std::uint16_t(std::min(m.entries.size(), kMaxBatchEntries)));
+          for (const BatchUpdateEntry& e : m.entries) {
+            w.WriteGuid(e.guid);
+            w.WriteEntry(e.entry);
+            w.U32(e.stored_address.value());
+          }
+        } else {  // BatchUpdateResponse
+          w.U16(std::uint16_t(std::min(m.guids.size(), kMaxBatchEntries)));
+          for (std::size_t i = 0; i < m.guids.size(); ++i) {
+            w.WriteGuid(m.guids[i]);
+            w.U8(i < m.applied.size() && m.applied[i] ? 1 : 0);
+          }
         }
       },
       message);
@@ -249,6 +282,39 @@ std::optional<Message> Decode(std::span<const std::uint8_t> bytes) {
       if (found > 1) return std::nullopt;
       m.found = found == 1;
       if (m.found && !r.ReadEntry(&m.entry)) return std::nullopt;
+      return finish(m);
+    }
+    case MessageType::kBatchUpdateRequest: {
+      BatchUpdateRequest m{header, {}};
+      std::uint16_t count = 0;
+      if (!r.U16(&count)) return std::nullopt;
+      m.entries.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        BatchUpdateEntry e;
+        std::uint32_t stored = 0;
+        if (!r.ReadGuid(&e.guid) || !r.ReadEntry(&e.entry) ||
+            !r.U32(&stored)) {
+          return std::nullopt;
+        }
+        e.stored_address = Ipv4Address(stored);
+        m.entries.push_back(e);
+      }
+      return finish(m);
+    }
+    case MessageType::kBatchUpdateResponse: {
+      BatchUpdateResponse m{header, {}, {}};
+      std::uint16_t count = 0;
+      if (!r.U16(&count)) return std::nullopt;
+      m.guids.reserve(count);
+      m.applied.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        Guid guid;
+        std::uint8_t applied = 0;
+        if (!r.ReadGuid(&guid) || !r.U8(&applied)) return std::nullopt;
+        if (applied > 1) return std::nullopt;
+        m.guids.push_back(guid);
+        m.applied.push_back(applied);
+      }
       return finish(m);
     }
     default:

@@ -10,7 +10,8 @@
 //   payload: per-type fields; GUIDs are 20 bytes big-endian word order;
 //            mapping entries are version(8) + writer(4) — the logical
 //            stamp — followed by the NA set: count(1) + count *
-//            (as(4) locator(4)).
+//            (as(4) locator(4)). Batch payloads are count(2) + count
+//            repetitions of the per-entry fields.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +33,8 @@ enum class MessageType : std::uint8_t {
   kLookupResponse = 4,  // found = false encodes "GUID missing"
   kMigrateRequest = 5,  // "send me your copy of this GUID" (churn repair)
   kMigrateResponse = 6,
+  kBatchUpdateRequest = 7,   // v3: coalesced handoff updates for one dst AS
+  kBatchUpdateResponse = 8,  // v3: per-entry applied flags
 };
 
 struct MessageHeader {
@@ -79,9 +82,36 @@ struct MigrateResponse {
   MappingEntry entry;  // valid only when found
 };
 
+// One stamped replica write inside a batch: the same triple an
+// InsertRequest carries, minus the per-message header amortised across the
+// whole batch.
+struct BatchUpdateEntry {
+  Guid guid;
+  MappingEntry entry;
+  Ipv4Address stored_address;
+};
+
+// A migrating host's handoff coalesced per destination AS: every GUID
+// update whose replica hashes to `header.dst` rides in one message instead
+// of K·N InsertRequest singletons. Entries are applied independently under
+// the LogicalStamp idempotence rules (a stale entry is rejected without
+// affecting its batch-mates), so a batch is bit-identical in outcome to
+// the equivalent sequence of InsertRequests.
+struct BatchUpdateRequest {
+  MessageHeader header;
+  std::vector<BatchUpdateEntry> entries;
+};
+
+struct BatchUpdateResponse {
+  MessageHeader header;
+  std::vector<Guid> guids;          // same order as the request entries
+  std::vector<std::uint8_t> applied;  // 1 = upserted, 0 = rejected stale
+};
+
 using Message =
     std::variant<InsertRequest, InsertAck, LookupRequest, LookupResponse,
-                 MigrateRequest, MigrateResponse>;
+                 MigrateRequest, MigrateResponse, BatchUpdateRequest,
+                 BatchUpdateResponse>;
 
 MessageType TypeOf(const Message& message);
 const MessageHeader& HeaderOf(const Message& message);

@@ -79,6 +79,24 @@ struct ProtocolNetwork::InsertOp {
   bool track_commit = false;  // advance committed_ on quorum success
 };
 
+struct ProtocolNetwork::BatchOp {
+  std::uint64_t request_id = 0;
+  struct Slot {
+    AsId host = kInvalidAs;
+    bool resolved = false;
+    EventHandle timeout;
+  };
+  std::vector<Slot> slots;      // one per destination AS
+  std::size_t outstanding = 0;  // slots not yet answered or timed out
+  SimTime started;
+  int guids = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t unbatched_messages = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t entries_applied = 0;
+  std::function<void(const BatchUpdateResult&)> done;
+};
+
 ProtocolNetwork::ProtocolNetwork(const AsGraph& graph,
                                  const PrefixTable& table,
                                  const ProtocolNetworkOptions& options)
@@ -107,6 +125,10 @@ ProtocolNetwork::ProtocolNetwork(const AsGraph& graph,
   write_quorum_effective_ = ResolveQuorum(options.write_quorum, participants);
   read_quorum_effective_ =
       options.read_quorum > options.k ? options.k : options.read_quorum;
+  options_.cache.Validate();
+  if (options_.cache.enabled()) {
+    cache_ = std::make_unique<ResolverCache>(options_.cache);
+  }
   nodes_.reserve(graph.num_nodes());
   for (AsId as = 0; as < graph.num_nodes(); ++as) {
     nodes_.push_back(
@@ -231,6 +253,9 @@ void ProtocolNetwork::Deliver(const Message& message) {
   }
   if (const auto* ack = std::get_if<InsertAck>(&message)) {
     if (HandleInsertAck(*ack)) return;
+  }
+  if (const auto* batch = std::get_if<BatchUpdateResponse>(&message)) {
+    if (HandleBatchUpdateResponse(*batch)) return;
   }
 
   // Serving tier: a LookupRequest reaching a mapping server meets its
@@ -380,6 +405,13 @@ void ProtocolNetwork::CompleteLookup(const std::shared_ptr<LookupOp>& op,
       !op->miss_indices.empty()) {
     RepairEmptyReplicas(*op, *found_entry);
   }
+  // Cache fill on globally served answers only: a local win already costs
+  // the one intra-AS round trip a cache hit would, and a cache-served
+  // answer must not refresh its own TTL.
+  if (cache_ != nullptr && result.found && !result.served_locally &&
+      !result.served_from_cache && found_entry != nullptr) {
+    cache_->Put(op->querier, op->guid, *found_entry, sim_.Now());
+  }
   op->done(result);
 }
 
@@ -429,6 +461,13 @@ void ProtocolNetwork::InsertAsync(
   entry.version = op->version;
   entry.writer = na.as;
   op->stamp = entry.stamp();
+
+  // Invalidate-on-update coherence: every AS's cached copy dies with the
+  // write that supersedes it. TTL-only mode keeps the copies (bounded
+  // staleness is the measured trade).
+  if (cache_ != nullptr && options_.cache.invalidate_on_update) {
+    cache_->Invalidate(guid);
+  }
 
   // Client writes follow the quorum discipline; 1 keeps the legacy
   // all-slots-resolved completion bit-exactly. All K messages go out
@@ -598,6 +637,140 @@ bool ProtocolNetwork::HandleInsertAck(const InsertAck& ack) {
   return true;
 }
 
+void ProtocolNetwork::BatchUpdateAsync(
+    const std::vector<std::pair<Guid, NetworkAddress>>& moves,
+    std::function<void(const BatchUpdateResult&)> done) {
+  if (moves.empty()) {
+    done(BatchUpdateResult{});
+    return;
+  }
+  // One batch models one migrating host: every GUID lands at the same new
+  // attachment AS, so the updates share a source gateway and can share
+  // messages.
+  const AsId src_as = moves.front().second.as;
+  for (const auto& [guid, na] : moves) {
+    if (na.as >= graph_->num_nodes()) {
+      throw std::invalid_argument(
+          "BatchUpdateAsync: NA references unknown AS");
+    }
+    if (na.as != src_as) {
+      throw std::invalid_argument(
+          "BatchUpdateAsync: all moves must share one destination AS");
+    }
+  }
+
+  auto op = std::make_shared<BatchOp>();
+  op->request_id = NextClientRequestId();
+  op->started = sim_.Now();
+  op->guids = int(moves.size());
+  op->done = std::move(done);
+
+  // Group each GUID's K replica writes by destination AS: one
+  // BatchUpdateRequest per distinct AS carries every entry hashed there,
+  // stamped exactly as the K singleton InsertRequests would have been, so
+  // replica stores end bit-identical to the sequential wave. Destinations
+  // keep first-seen order — deterministic, no map iteration.
+  std::vector<AsId> order;
+  std::unordered_map<AsId, std::vector<BatchUpdateEntry>> grouped;
+  for (const auto& [guid, na] : moves) {
+    MappingEntry entry;
+    entry.nas = NaSet(na);
+    entry.version = ++versions_[guid];
+    entry.writer = na.as;
+    for (int replica = 0; replica < options_.k; ++replica) {
+      const HostResolution r = resolver_.Resolve(guid, replica);
+      const auto [it, fresh] = grouped.try_emplace(r.host);
+      if (fresh) order.push_back(r.host);
+      it->second.push_back(BatchUpdateEntry{guid, entry, r.stored_address});
+      ++op->unbatched_messages;
+      ++op->entries;
+    }
+    // The local replica is the gateway's own store: a direct write, no
+    // message — identical to InsertAsync.
+    if (options_.local_replica) {
+      nodes_[na.as]->store().Upsert(guid, entry);
+    }
+    // Anti-entropy registry: first insertion order, latest attachment AS.
+    if (ae_owner_.emplace(guid, na.as).second) {
+      ae_guids_.push_back(guid);
+    } else {
+      ae_owner_[guid] = na.as;
+    }
+    if (cache_ != nullptr && options_.cache.invalidate_on_update) {
+      cache_->Invalidate(guid);
+    }
+  }
+
+  // One message per destination; a per-slot timeout stands in for a lost
+  // response so the batch always completes — the same adaptive bound the
+  // insert slots use.
+  op->messages = order.size();
+  op->outstanding = order.size();
+  op->slots.reserve(order.size());
+  batches_[op->request_id] = op;
+  for (const AsId dst : order) {
+    BatchUpdateRequest request;
+    request.header = MessageHeader{op->request_id, src_as, dst};
+    request.entries = std::move(grouped[dst]);
+    const std::size_t slot = op->slots.size();
+    BatchOp::Slot s;
+    s.host = dst;
+    op->slots.push_back(std::move(s));
+    const double rtt = 2.0 * oracle_.OneWayMs(src_as, dst);
+    const double timeout_ms =
+        std::max(options_.failure_timeout_ms, 1.5 * rtt);
+    op->slots[slot].timeout =
+        sim_.Schedule(SimTime::Millis(timeout_ms), [this, op, slot] {
+          if (op->slots[slot].resolved) return;
+          ResolveBatchSlot(op, slot);
+        });
+    Send(request);
+  }
+  CompleteBatchIfDone(op);
+}
+
+void ProtocolNetwork::ResolveBatchSlot(const std::shared_ptr<BatchOp>& op,
+                                       std::size_t slot) {
+  op->slots[slot].resolved = true;
+  op->slots[slot].timeout.Cancel();
+  --op->outstanding;
+  CompleteBatchIfDone(op);
+}
+
+void ProtocolNetwork::CompleteBatchIfDone(
+    const std::shared_ptr<BatchOp>& op) {
+  if (op->outstanding != 0) return;
+  batches_.erase(op->request_id);
+  BatchUpdateResult result;
+  result.latency_ms = (sim_.Now() - op->started).millis();
+  result.guids = op->guids;
+  result.messages = op->messages;
+  result.unbatched_messages = op->unbatched_messages;
+  result.entries = op->entries;
+  result.entries_applied = op->entries_applied;
+  op->done(result);
+}
+
+bool ProtocolNetwork::HandleBatchUpdateResponse(
+    const BatchUpdateResponse& response) {
+  const auto it = batches_.find(response.header.request_id);
+  if (it == batches_.end()) return false;
+  const std::shared_ptr<BatchOp> op = it->second;
+  for (std::size_t slot = 0; slot < op->slots.size(); ++slot) {
+    if (op->slots[slot].host == response.header.src &&
+        !op->slots[slot].resolved) {
+      for (const std::uint8_t applied : response.applied) {
+        if (applied != 0) ++op->entries_applied;
+      }
+      ResolveBatchSlot(op, slot);
+      return true;
+    }
+  }
+  // Duplicate response, or the slot already timed out.
+  Bump(late_replies_, ins_.late_replies);
+  return true;
+}
+
 void ProtocolNetwork::LookupAsync(
     const Guid& guid, AsId querier,
     std::function<void(const LookupResult&)> done) {
@@ -614,6 +787,35 @@ void ProtocolNetwork::LookupAsync(
     op->trace->op = 'W';  // wire-path lookup
     op->trace->guid_fp = guid.Fingerprint64();
     op->trace->querier = querier;
+  }
+
+  // Resolver-side cache: a fresh cached copy answers after one intra-AS
+  // round trip, and nothing leaves the querier AS. Consulted before the
+  // local-replica race — the cache sits at the border gateway, in front
+  // of the store. A stale answer (behind the committed quorum frontier)
+  // is still served — that is the measured trade — but tallied.
+  if (cache_ != nullptr) {
+    if (const MappingEntry* cached = cache_->Get(querier, guid, sim_.Now())) {
+      const MappingEntry hit = *cached;
+      sim_.Schedule(SimTime::Millis(2.0 * graph_->IntraLatencyMs(querier)),
+                    [this, op, hit] {
+                      if (op->completed) return;
+                      if (!committed_.empty()) {
+                        const auto committed = committed_.find(op->guid);
+                        if (committed != committed_.end() &&
+                            hit.stamp() < committed->second) {
+                          cache_->CountStaleServed();
+                        }
+                      }
+                      LookupResult result;
+                      result.found = true;
+                      result.nas = hit.nas;
+                      result.serving_as = op->querier;
+                      result.served_from_cache = true;
+                      CompleteLookup(op, result, &hit);
+                    });
+      return;
+    }
   }
 
   // Probe order: lowest RTT first (the paper's main configuration).

@@ -28,6 +28,7 @@
 #include "common/thread_annotations.h"
 #include "core/dmap_service.h"
 #include "core/hole_resolver.h"
+#include "core/resolver_cache.h"
 #include "event/simulator.h"
 #include "fault/failure_view.h"
 #include "fault/fault_injector.h"
@@ -81,6 +82,12 @@ struct ProtocolNetworkOptions {
   // (calls become no-ops) and keeps the consistency.* instruments
   // unregistered when W and R are also at their legacy settings.
   int anti_entropy_budget = 0;
+  // Resolver-side mapping cache (core/resolver_cache.h). Disabled by
+  // default (capacity 0): the message stream, timings, and exports are
+  // bit-identical to the cacheless protocol. When enabled, LookupAsync
+  // consults the querier's cached copy before any probe leaves the AS; a
+  // fresh hit answers in one intra-AS round trip.
+  CacheConfig cache;
 };
 
 class ProtocolNetwork {
@@ -144,6 +151,24 @@ class ProtocolNetwork {
   void InsertAsync(const Guid& guid, NetworkAddress na,
                    std::function<void(const UpdateResult&)> done);
 
+  // Batched mobility handoff (the fast path): all of a migrating host's
+  // GUID updates — every move must share one destination AS — grouped per
+  // replica-host AS into one BatchUpdateRequest each, so the wave costs
+  // |distinct replica ASes| messages instead of K*N singleton inserts.
+  // Replicas apply the entries atomically under the same stamp gate as
+  // singleton writes, so store contents are bit-identical to issuing the
+  // updates one by one. Completion follows the legacy discipline: the
+  // slowest response (or its stand-in timeout) finishes the batch. A batch
+  // wave does not advance the committed_ quorum frontier — the quorum
+  // discipline is per-GUID and a batch response acks an AS, not a quorum.
+  void BatchUpdateAsync(
+      const std::vector<std::pair<Guid, NetworkAddress>>& moves,
+      std::function<void(const BatchUpdateResult&)> done);
+
+  // The resolver-side cache, when options.cache enabled it (else nullptr).
+  ResolverCache* cache() { return cache_.get(); }
+  const ResolverCache* cache() const { return cache_.get(); }
+
   // One bounded anti-entropy sweep, run at the serial write point between
   // event batches: examines up to `budget` registered GUIDs (a
   // deterministic cursor walks the insertion-ordered registry, wrapping)
@@ -203,6 +228,7 @@ class ProtocolNetwork {
  private:
   struct LookupOp;
   struct InsertOp;
+  struct BatchOp;
   // Routes an in-flight reply back to its lookup: the op plus which probe
   // (plan index) the request id belongs to.
   struct PendingProbe {
@@ -276,6 +302,12 @@ class ProtocolNetwork {
   void MaybeReportInsertQuorum(const std::shared_ptr<InsertOp>& op);
   // True if the ack was consumed by a client insert op.
   bool HandleInsertAck(const InsertAck& ack);
+  // Batch-update client machine: one slot per destination AS; a response
+  // resolves its slot, a timeout stands in when no response will come.
+  void ResolveBatchSlot(const std::shared_ptr<BatchOp>& op, std::size_t slot);
+  void CompleteBatchIfDone(const std::shared_ptr<BatchOp>& op);
+  // True if the response was consumed by a client batch op.
+  bool HandleBatchUpdateResponse(const BatchUpdateResponse& response);
   // Advances the per-GUID committed-stamp frontier (quorum-active runs
   // only); lookups returning an older stamp count as stale reads.
   void CommitStamp(const Guid& guid, const LogicalStamp& stamp);
@@ -326,7 +358,12 @@ class ProtocolNetwork {
   // instead of leaking to the node layer.
   std::unordered_map<std::uint64_t, PendingProbe> lookups_;
   std::unordered_map<std::uint64_t, std::shared_ptr<InsertOp>> inserts_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<BatchOp>> batches_;
   std::uint64_t next_client_request_ = 1;
+
+  // Private resolver-side cache: the network is single-owner (one
+  // simulator loop), so the serial Get/Put path is safe here.
+  std::unique_ptr<ResolverCache> cache_;
 
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;

@@ -15,6 +15,8 @@ void DMapNode::HandleMessage(const Message& in, std::vector<Message>* out) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, InsertRequest>) {
           HandleInsert(m, out);
+        } else if constexpr (std::is_same_v<T, BatchUpdateRequest>) {
+          HandleBatchUpdate(m, out);
         } else if constexpr (std::is_same_v<T, LookupRequest>) {
           HandleLookup(m, out);
         } else if constexpr (std::is_same_v<T, MigrateRequest>) {
@@ -37,6 +39,30 @@ void DMapNode::HandleInsert(const InsertRequest& m,
   ack.guid = m.guid;
   ack.applied = applied;
   out->push_back(ack);
+}
+
+void DMapNode::HandleBatchUpdate(const BatchUpdateRequest& m,
+                                 std::vector<Message>* out) {
+  // Entries apply independently through the same stamp-gated upsert an
+  // InsertRequest uses, so a batch of N entries is bit-identical in store
+  // outcome to N singleton inserts — only the message count differs.
+  ++stats_.batch_updates;
+  BatchUpdateResponse response;
+  response.header = MessageHeader{m.header.request_id, self_, m.header.src};
+  response.guids.reserve(m.entries.size());
+  response.applied.reserve(m.entries.size());
+  for (const BatchUpdateEntry& e : m.entries) {
+    const bool applied = store_.Upsert(e.guid, e.entry, e.stored_address);
+    if (applied) {
+      ++stats_.inserts_applied;
+      ++stats_.batch_entries_applied;
+    } else {
+      ++stats_.inserts_rejected_stale;
+    }
+    response.guids.push_back(e.guid);
+    response.applied.push_back(applied ? 1 : 0);
+  }
+  out->push_back(std::move(response));
 }
 
 void DMapNode::HandleLookup(const LookupRequest& m,

@@ -42,6 +42,8 @@ class DMapNode {
   struct Stats {
     std::uint64_t inserts_applied = 0;
     std::uint64_t inserts_rejected_stale = 0;
+    std::uint64_t batch_updates = 0;        // BatchUpdateRequests handled
+    std::uint64_t batch_entries_applied = 0;
     std::uint64_t lookups_served = 0;
     std::uint64_t lookups_missing = 0;
     std::uint64_t migrations_requested = 0;
@@ -60,6 +62,8 @@ class DMapNode {
 
  private:
   void HandleInsert(const InsertRequest& m, std::vector<Message>* out);
+  void HandleBatchUpdate(const BatchUpdateRequest& m,
+                         std::vector<Message>* out);
   void HandleLookup(const LookupRequest& m, std::vector<Message>* out);
   void HandleMigrateRequest(const MigrateRequest& m,
                             std::vector<Message>* out);

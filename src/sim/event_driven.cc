@@ -35,6 +35,12 @@ struct EventDrivenLookup::Flow {
   }
 };
 
+void EventDrivenLookup::EnableCache(const CacheConfig& config) {
+  config.Validate();
+  cache_ = config.enabled() ? std::make_unique<ResolverCache>(config)
+                            : nullptr;
+}
+
 void EventDrivenLookup::LookupAsync(const Guid& guid, AsId querier,
                                     SimTime start_delay, Callback done) {
   auto flow = std::make_shared<Flow>();
@@ -44,6 +50,32 @@ void EventDrivenLookup::LookupAsync(const Guid& guid, AsId querier,
 
   sim_->Schedule(start_delay, [this, flow] {
     flow->started = sim_->Now();
+
+    // Resolver-side cache: a fresh cached copy answers after one intra-AS
+    // round trip and nothing — not even the local-replica race — runs. A
+    // stale answer (behind the owner table's stamp) is still served; the
+    // staleness is tallied, that is the measured trade.
+    if (cache_ != nullptr) {
+      if (const MappingEntry* cached =
+              cache_->Get(flow->querier, flow->guid, sim_->Now())) {
+        const MappingEntry hit = *cached;
+        const double rtt =
+            2.0 * service_->oracle().graph().IntraLatencyMs(flow->querier);
+        sim_->Schedule(SimTime::Millis(rtt), [this, flow, hit] {
+          if (service_->IsStaleStamp(flow->guid, hit.stamp())) {
+            cache_->CountStaleServed();
+          }
+          LookupResult result;
+          result.found = true;
+          result.nas = hit.nas;
+          result.serving_as = flow->querier;
+          result.served_from_cache = true;
+          flow->Complete(*sim_, result);
+        });
+        return;
+      }
+    }
+
     flow->plan = service_->ProbePlan(flow->guid, flow->querier);
 
     // Local resolution races the global one (Section III-C): a hit in the
@@ -78,6 +110,11 @@ void EventDrivenLookup::UpdateAsync(const Guid& guid, NetworkAddress na,
                                     UpdateCallback done) {
   sim_->Schedule(start_delay, [this, guid, na, done = std::move(done)] {
     UpdateResult result = service_->Update(guid, na);
+    // The service invalidates its own shared cache inside WriteReplicas;
+    // this wrapper's private cache follows the same coherence rule.
+    if (cache_ != nullptr && cache_->config().invalidate_on_update) {
+      cache_->Invalidate(guid);
+    }
     // Acknowledgements from all replicas arrive in parallel; the closed
     // form already computed the completion time — slowest ack with the
     // quorum discipline off, W-th applied ack otherwise. When update
@@ -104,6 +141,35 @@ void EventDrivenLookup::UpdateAsync(const Guid& guid, NetworkAddress na,
         }
         std::sort(acks.begin(), acks.end());
         done_at = acks[std::size_t(w - 1)];
+      }
+      result.latency_ms = done_at;
+    }
+    sim_->Schedule(SimTime::Millis(done_at),
+                   [result, done] { done(result); });
+  });
+}
+
+void EventDrivenLookup::BatchUpdateAsync(
+    const std::vector<std::pair<Guid, NetworkAddress>>& moves,
+    SimTime start_delay, BatchCallback done) {
+  sim_->Schedule(start_delay, [this, moves, done = std::move(done)] {
+    BatchUpdateResult result = service_->BatchUpdate(moves);
+    if (cache_ != nullptr && cache_->config().invalidate_on_update) {
+      for (const auto& [guid, na] : moves) cache_->Invalidate(guid);
+    }
+    double done_at = result.latency_ms;
+    if (done_at < 0) {
+      // Update-latency measurement off on the service: the batched wave
+      // completes at the slowest destination round trip (fault-free — the
+      // legacy model), computed from the oracle like UpdateAsync does.
+      done_at = 0;
+      if (!moves.empty()) {
+        const AsId src = moves.front().second.as;
+        for (const UpdateResult& per : result.per_guid) {
+          for (const AsId host : per.replicas) {
+            done_at = std::max(done_at, service_->oracle().RttMs(src, host));
+          }
+        }
       }
       result.latency_ms = done_at;
     }
@@ -158,6 +224,11 @@ void EventDrivenLookup::Transmit(const std::shared_ptr<Flow>& flow,
     const MappingEntry found = *entry;
     const AsId serving = host;
     sim_->Schedule(SimTime::Millis(rtt), [this, flow, found, serving] {
+      // Cache fill on globally served answers only: a local win already
+      // costs the one intra-AS round trip a cache hit would.
+      if (cache_ != nullptr && !flow->completed) {
+        cache_->Put(flow->querier, flow->guid, found, sim_->Now());
+      }
       LookupResult result;
       result.found = true;
       result.nas = found.nas;
@@ -212,6 +283,9 @@ void EventDrivenLookup::TransmitServed(const std::shared_ptr<Flow>& flow,
           if (found.has_value()) {
             // A found reply resolves the lookup even when its probe already
             // timed out (the PR-4 late-reply semantics).
+            if (cache_ != nullptr) {
+              cache_->Put(flow->querier, flow->guid, *found, sim_->Now());
+            }
             LookupResult result;
             result.found = true;
             result.nas = found->nas;

@@ -17,8 +17,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/dmap_service.h"
+#include "core/resolver_cache.h"
 #include "event/simulator.h"
 #include "serve/serving_tier.h"
 
@@ -38,6 +42,15 @@ class EventDrivenLookup {
   void SetServingTier(ServingTier* tier) { serving_ = tier; }
   ServingTier* serving_tier() const { return serving_; }
 
+  // Installs a private resolver-side cache on this executor's lookup path:
+  // a fresh cached copy at the querier answers after one intra-AS round
+  // trip, before the local-replica race or any probe. The wrapper is
+  // single-owner (one simulator loop drives it), so the cache's serial
+  // Get/Put path is safe here. A disabled config is a no-op.
+  void EnableCache(const CacheConfig& config);
+  ResolverCache* cache() { return cache_.get(); }
+  const ResolverCache* cache() const { return cache_.get(); }
+
   // Schedules the lookup to start `start_delay` from now; `done` fires at
   // the simulated completion time. The caller runs the simulator.
   void LookupAsync(const Guid& guid, AsId querier, SimTime start_delay,
@@ -51,6 +64,16 @@ class EventDrivenLookup {
   using UpdateCallback = std::function<void(const UpdateResult&)>;
   void UpdateAsync(const Guid& guid, NetworkAddress na, SimTime start_delay,
                    UpdateCallback done);
+
+  // Batched mobility handoff: every move must share one destination AS.
+  // The mapping state changes when the batch *starts* (the closed form
+  // applies all moves at once, bit-identical to sequential updates);
+  // `done` fires at the batched completion time — one message wave over
+  // the distinct destination ASes, finishing at the slowest round trip.
+  using BatchCallback = std::function<void(const BatchUpdateResult&)>;
+  void BatchUpdateAsync(
+      const std::vector<std::pair<Guid, NetworkAddress>>& moves,
+      SimTime start_delay, BatchCallback done);
 
  private:
   struct Flow;  // shared lookup state across the event chain
@@ -74,6 +97,7 @@ class EventDrivenLookup {
   Simulator* sim_;
   DMapService* service_;
   ServingTier* serving_ = nullptr;
+  std::unique_ptr<ResolverCache> cache_;
 };
 
 }  // namespace dmap

@@ -1,0 +1,129 @@
+#include "workload/mobility.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+
+namespace dmap {
+
+void MobilityParams::Validate() const {
+  if (num_hosts == 0) {
+    throw std::invalid_argument("MobilityParams: num_hosts == 0");
+  }
+  if (guids_per_host == 0) {
+    throw std::invalid_argument("MobilityParams: guids_per_host == 0");
+  }
+  if (!(handoff_rate_hz > 0.0)) {  // also rejects NaN
+    throw std::invalid_argument("MobilityParams: handoff_rate_hz <= 0");
+  }
+  if (!(horizon_s > 0.0)) {
+    throw std::invalid_argument("MobilityParams: horizon_s <= 0");
+  }
+}
+
+namespace {
+
+// The per-host stream: (seed, host) diffused through SplitMix64, so host
+// streams are mutually independent and adding hosts never perturbs the
+// schedules of existing ones.
+Rng HostStream(std::uint64_t seed, std::uint32_t host) {
+  SplitMix64 sm(seed ^ (std::uint64_t(host) * 0x9e3779b97f4a7c15ULL));
+  return Rng(sm.Next());
+}
+
+}  // namespace
+
+MobilityWorkload::MobilityWorkload(const AsGraph& graph,
+                                   const MobilityParams& params)
+    : graph_(&graph), params_(params) {
+  params.Validate();
+  AliasSampler source_sampler(graph.end_node_weights());
+  initial_as_.resize(params.num_hosts);
+
+  for (std::uint32_t host = 0; host < params.num_hosts; ++host) {
+    Rng rng = HostStream(params.seed, host);
+    AsId current = AsId(source_sampler.Sample(rng));
+    initial_as_[host] = current;
+
+    // Poisson handoffs over the horizon: exponential inter-arrivals at the
+    // per-host rate. The destination is end-node weighted, re-drawn once
+    // when it lands on the current AS (a same-AS "move" is legal but
+    // carries no update traffic worth measuring).
+    double t_s = 0.0;
+    std::uint32_t seq = 0;
+    while (true) {
+      t_s += rng.NextExponential(1.0 / params.handoff_rate_hz);
+      if (t_s >= params.horizon_s) break;
+      AsId next = AsId(source_sampler.Sample(rng));
+      if (next == current) next = AsId(source_sampler.Sample(rng));
+      Handoff handoff;
+      handoff.at = SimTime::Seconds(t_s);
+      handoff.host = host;
+      handoff.seq = ++seq;
+      handoff.from_as = current;
+      handoff.to_as = next;
+      handoffs_.push_back(handoff);
+      current = next;
+    }
+  }
+
+  // Global replay order: (time, host). Host streams are independent, so
+  // this sort is the only cross-host coupling — and it is a pure function
+  // of the schedule itself.
+  std::sort(handoffs_.begin(), handoffs_.end(),
+            [](const Handoff& a, const Handoff& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.host < b.host;
+            });
+}
+
+Guid MobilityWorkload::GuidOf(std::uint32_t host, std::uint32_t i) const {
+  const std::uint64_t index =
+      std::uint64_t(host) * params_.guids_per_host + i;
+  // Same disjointness idiom as WorkloadGenerator::GuidAt, under a distinct
+  // tweak constant so mobility populations never collide with lookup
+  // workload populations built from the same seed.
+  return Guid::FromSequence(index ^
+                            (params_.seed * 0xbf58476d1ce4e5b9ULL));
+}
+
+std::uint32_t MobilityWorkload::LocatorFor(std::uint32_t host,
+                                           std::uint32_t i,
+                                           std::uint32_t seq) const {
+  // Unique per (host, i, seq) within the 32-bit space for any realistic
+  // schedule; an opaque label, only equality matters.
+  const std::uint64_t stride =
+      std::uint64_t(params_.num_hosts) * params_.guids_per_host;
+  return std::uint32_t(1 + std::uint64_t(seq) * stride +
+                       std::uint64_t(host) * params_.guids_per_host + i);
+}
+
+std::vector<InsertOp> MobilityWorkload::InitialInserts() const {
+  std::vector<InsertOp> ops;
+  ops.reserve(std::size_t(params_.num_hosts) * params_.guids_per_host);
+  for (std::uint32_t host = 0; host < params_.num_hosts; ++host) {
+    for (std::uint32_t i = 0; i < params_.guids_per_host; ++i) {
+      ops.push_back(InsertOp{
+          GuidOf(host, i),
+          NetworkAddress{initial_as_[host], LocatorFor(host, i, 0)}});
+    }
+  }
+  return ops;
+}
+
+std::vector<std::pair<Guid, NetworkAddress>> MobilityWorkload::MovesFor(
+    const Handoff& handoff) const {
+  std::vector<std::pair<Guid, NetworkAddress>> moves;
+  moves.reserve(params_.guids_per_host);
+  for (std::uint32_t i = 0; i < params_.guids_per_host; ++i) {
+    moves.emplace_back(
+        GuidOf(handoff.host, i),
+        NetworkAddress{handoff.to_as,
+                       LocatorFor(handoff.host, i, handoff.seq)});
+  }
+  return moves;
+}
+
+}  // namespace dmap

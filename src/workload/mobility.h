@@ -1,0 +1,91 @@
+// Mobility workload for the handoff fast-path experiments (Fig. 10): a
+// population of multi-GUID hosts — a device carrying several identifiers
+// (interfaces, services, content names) — migrating between ASes on a
+// Poisson churn schedule. A handoff re-attaches *all* of the host's GUIDs
+// at the new AS at once, which is exactly the situation the batched
+// BatchUpdateRequest coalesces: N co-located identifier updates whose
+// replicas hash to the same small set of destination ASes.
+//
+// Seed purity: every random choice derives from (seed, host) through
+// stateless SplitMix64 diffusion — host streams are mutually independent
+// and the whole schedule is a pure function of the parameters, never of
+// call order, thread count, or any global state. Handoffs() is sorted by
+// (time, host), so replaying the schedule is deterministic too.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/guid.h"
+#include "common/sampler.h"
+#include "core/mapping.h"
+#include "event/sim_time.h"
+#include "topo/graph.h"
+#include "workload/workload.h"
+
+namespace dmap {
+
+struct MobilityParams {
+  std::uint32_t num_hosts = 1000;
+  // Identifiers carried per host — the batch size of one handoff.
+  std::uint32_t guids_per_host = 8;
+  // Per-host Poisson handoff rate, events per simulated second.
+  double handoff_rate_hz = 1.0;
+  // Schedule horizon in simulated seconds.
+  double horizon_s = 10.0;
+  std::uint64_t seed = 1;
+
+  // Throws std::invalid_argument naming the offending field.
+  void Validate() const;
+};
+
+// One host migration: every GUID of `host` re-attaches from `from_as` to
+// `to_as` at time `at`. `seq` is the host's 1-based handoff ordinal
+// (0 is reserved for the initial registration).
+struct Handoff {
+  SimTime at;
+  std::uint32_t host = 0;
+  std::uint32_t seq = 0;
+  AsId from_as = kInvalidAs;
+  AsId to_as = kInvalidAs;
+};
+
+class MobilityWorkload {
+ public:
+  MobilityWorkload(const AsGraph& graph, const MobilityParams& params);
+
+  const MobilityParams& params() const { return params_; }
+
+  // GUID `i` of `host` (i < guids_per_host). Disjoint across (host, i)
+  // pairs and across seeds.
+  Guid GuidOf(std::uint32_t host, std::uint32_t i) const;
+
+  // The end-node-weighted AS the host first attaches to.
+  AsId InitialAsOf(std::uint32_t host) const { return initial_as_[host]; }
+
+  // Initial registrations: every host's GUIDs at its initial AS, in
+  // (host, guid-index) order.
+  std::vector<InsertOp> InitialInserts() const;
+
+  // The full handoff schedule, sorted by (time, host).
+  const std::vector<Handoff>& Handoffs() const { return handoffs_; }
+
+  // The update batch of one handoff: all of the host's GUIDs re-attached
+  // at `handoff.to_as` with fresh locators — the exact argument shape
+  // DMapService::BatchUpdate and ProtocolNetwork::BatchUpdateAsync take.
+  std::vector<std::pair<Guid, NetworkAddress>> MovesFor(
+      const Handoff& handoff) const;
+
+ private:
+  // Locator of GUID `i` of `host` after handoff `seq` (0 = initial).
+  std::uint32_t LocatorFor(std::uint32_t host, std::uint32_t i,
+                           std::uint32_t seq) const;
+
+  const AsGraph* graph_;
+  MobilityParams params_;
+  std::vector<AsId> initial_as_;   // per host
+  std::vector<Handoff> handoffs_;  // sorted by (at, host)
+};
+
+}  // namespace dmap

@@ -65,6 +65,33 @@ TEST(MappingCacheTest, Invalidate) {
   EXPECT_EQ(cache.Get(g, SimTime::Seconds(1)), nullptr);
 }
 
+TEST(MappingCacheTest, EvictionOrderIsDeterministic) {
+  // Eviction follows pure LRU recency — a function of the access sequence
+  // alone, never of hash-table iteration order. Re-running the identical
+  // sequence must evict the identical keys, and the survivors are exactly
+  // the `capacity` most recently touched.
+  for (int run = 0; run < 2; ++run) {
+    MappingCache cache(3, SimTime::Seconds(1000));
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      cache.Put(Guid::FromSequence(i), Entry(AsId(i)), SimTime::Zero());
+    }
+    // Touch 5 so the recency order is {5, 7, 6}, then insert 8: evicts 6.
+    ASSERT_NE(cache.Get(Guid::FromSequence(5), SimTime::Seconds(1)), nullptr);
+    cache.Put(Guid::FromSequence(8), Entry(8), SimTime::Seconds(2));
+    EXPECT_EQ(cache.size(), 3u);
+    for (const std::uint64_t survivor : {5ull, 7ull, 8ull}) {
+      EXPECT_NE(cache.Get(Guid::FromSequence(survivor), SimTime::Seconds(3)),
+                nullptr)
+          << "run " << run << " survivor " << survivor;
+    }
+    for (const std::uint64_t evicted : {0ull, 1ull, 2ull, 3ull, 4ull, 6ull}) {
+      EXPECT_EQ(cache.Get(Guid::FromSequence(evicted), SimTime::Seconds(3)),
+                nullptr)
+          << "run " << run << " evicted " << evicted;
+    }
+  }
+}
+
 TEST(MappingCacheTest, ZeroCapacityThrows) {
   EXPECT_THROW(MappingCache(0, SimTime::Seconds(1)), std::invalid_argument);
 }

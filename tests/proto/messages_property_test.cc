@@ -21,7 +21,7 @@ Message RandomMessage(Rng& rng) {
     entry.nas.Add(NetworkAddress{AsId(rng.NextBounded(1u << 20)),
                                  std::uint32_t(rng.Next())});
   }
-  switch (rng.NextBounded(6)) {
+  switch (rng.NextBounded(8)) {
     case 0:
       return InsertRequest{header, guid, entry, Ipv4Address{}};
     case 1:
@@ -35,10 +35,37 @@ Message RandomMessage(Rng& rng) {
     }
     case 4:
       return MigrateRequest{header, guid};
-    default: {
+    case 5: {
       const bool found = rng.NextBernoulli(0.5);
       return MigrateResponse{header, guid, found,
                              found ? entry : MappingEntry{}};
+    }
+    case 6: {
+      BatchUpdateRequest m{header, {}};
+      const int count = int(rng.NextBounded(8));
+      for (int i = 0; i < count; ++i) {
+        BatchUpdateEntry e;
+        e.guid = Guid::FromSequence(rng.Next());
+        e.entry.version = rng.Next();
+        e.entry.writer = std::uint32_t(rng.NextBounded(1u << 20));
+        const int batch_nas = int(rng.NextBounded(NaSet::kMaxNas + 1));
+        for (int j = 0; j < batch_nas; ++j) {
+          e.entry.nas.Add(NetworkAddress{AsId(rng.NextBounded(1u << 20)),
+                                         std::uint32_t(rng.Next())});
+        }
+        e.stored_address = Ipv4Address(std::uint32_t(rng.Next()));
+        m.entries.push_back(e);
+      }
+      return m;
+    }
+    default: {
+      BatchUpdateResponse m{header, {}, {}};
+      const int count = int(rng.NextBounded(8));
+      for (int i = 0; i < count; ++i) {
+        m.guids.push_back(Guid::FromSequence(rng.Next()));
+        m.applied.push_back(rng.NextBernoulli(0.5) ? 1 : 0);
+      }
+      return m;
     }
   }
 }

@@ -91,6 +91,81 @@ TEST(MessagesTest, MigrateRoundTrips) {
   EXPECT_EQ(back.entry.nas.size(), 5);
 }
 
+TEST(MessagesTest, BatchUpdateRequestRoundTrip) {
+  BatchUpdateRequest m;
+  m.header = MessageHeader{77, 3, 12};
+  for (int i = 0; i < 5; ++i) {
+    BatchUpdateEntry e;
+    e.guid = Guid::FromSequence(std::uint64_t(100 + i));
+    e.entry = MakeEntry(1 + i % NaSet::kMaxNas);
+    e.entry.version = std::uint64_t(7 + i);
+    e.stored_address = Ipv4Address(std::uint32_t(0x0a000000 + i));
+    m.entries.push_back(e);
+  }
+  const BatchUpdateRequest back = RoundTrip(m);
+  ASSERT_EQ(back.entries.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(back.entries[std::size_t(i)].guid, m.entries[std::size_t(i)].guid);
+    EXPECT_EQ(back.entries[std::size_t(i)].entry,
+              m.entries[std::size_t(i)].entry);
+    EXPECT_EQ(back.entries[std::size_t(i)].stored_address.value(),
+              m.entries[std::size_t(i)].stored_address.value());
+  }
+  // The batch amortises the per-message header: 5 entries in one frame
+  // must be smaller than 5 singleton InsertRequests.
+  std::size_t singleton_total = 0;
+  for (const BatchUpdateEntry& e : m.entries) {
+    singleton_total += EncodedSize(
+        Message{InsertRequest{m.header, e.guid, e.entry, e.stored_address}});
+  }
+  EXPECT_LT(EncodedSize(Message{m}), singleton_total);
+}
+
+TEST(MessagesTest, BatchUpdateResponseRoundTrip) {
+  BatchUpdateResponse m;
+  m.header = MessageHeader{78, 12, 3};
+  for (int i = 0; i < 4; ++i) {
+    m.guids.push_back(Guid::FromSequence(std::uint64_t(200 + i)));
+    m.applied.push_back(i % 2 == 0 ? 1 : 0);
+  }
+  const BatchUpdateResponse back = RoundTrip(m);
+  ASSERT_EQ(back.guids.size(), 4u);
+  ASSERT_EQ(back.applied.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.guids[std::size_t(i)], m.guids[std::size_t(i)]);
+    EXPECT_EQ(back.applied[std::size_t(i)], m.applied[std::size_t(i)]);
+  }
+}
+
+TEST(MessagesTest, EmptyBatchRoundTrips) {
+  BatchUpdateRequest m;
+  m.header = MessageHeader{79, 1, 2};
+  EXPECT_TRUE(RoundTrip(m).entries.empty());
+}
+
+TEST(MessagesTest, BatchDecodeRejectsTruncationAndNonBooleanFlag) {
+  BatchUpdateRequest m;
+  m.header = MessageHeader{80, 1, 2};
+  BatchUpdateEntry e;
+  e.guid = Guid::FromSequence(300);
+  e.entry = MakeEntry(2);
+  m.entries.push_back(e);
+  const std::vector<std::uint8_t> wire = Encode(Message{m});
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        Decode(std::span<const std::uint8_t>(wire.data(), len)).has_value())
+        << "prefix of length " << len << " decoded";
+  }
+
+  BatchUpdateResponse resp;
+  resp.header = MessageHeader{81, 2, 1};
+  resp.guids.push_back(e.guid);
+  resp.applied.push_back(1);
+  std::vector<std::uint8_t> resp_wire = Encode(Message{resp});
+  resp_wire.back() = 2;  // applied flag must be 0/1
+  EXPECT_FALSE(Decode(resp_wire).has_value());
+}
+
 TEST(MessagesTest, TypeOfAndHeaderAccessors) {
   Message m = LookupRequest{MessageHeader{1, 2, 3}, Guid::FromSequence(1)};
   EXPECT_EQ(TypeOf(m), MessageType::kLookupRequest);

@@ -1,0 +1,159 @@
+#include "workload/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/environment.h"
+
+namespace dmap {
+namespace {
+
+class MobilityWorkloadTest : public testing::Test {
+ protected:
+  MobilityWorkloadTest()
+      : env_(BuildEnvironment(EnvironmentParams::Scaled(300, 71))) {}
+
+  MobilityParams Params() const {
+    MobilityParams p;
+    p.num_hosts = 30;
+    p.guids_per_host = 5;
+    p.handoff_rate_hz = 2.0;
+    p.horizon_s = 4.0;
+    p.seed = 9;
+    return p;
+  }
+
+  SimEnvironment env_;
+};
+
+TEST_F(MobilityWorkloadTest, ValidateRejectsBadParams) {
+  for (auto mutate : {
+           +[](MobilityParams& p) { p.num_hosts = 0; },
+           +[](MobilityParams& p) { p.guids_per_host = 0; },
+           +[](MobilityParams& p) { p.handoff_rate_hz = -1.0; },
+           +[](MobilityParams& p) { p.horizon_s = 0.0; },
+       }) {
+    MobilityParams p = Params();
+    mutate(p);
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+  }
+  EXPECT_NO_THROW(Params().Validate());
+}
+
+TEST_F(MobilityWorkloadTest, ScheduleIsAPureFunctionOfParams) {
+  const MobilityWorkload a(env_.graph, Params());
+  const MobilityWorkload b(env_.graph, Params());
+  ASSERT_EQ(a.Handoffs().size(), b.Handoffs().size());
+  ASSERT_FALSE(a.Handoffs().empty());
+  for (std::size_t i = 0; i < a.Handoffs().size(); ++i) {
+    const Handoff& x = a.Handoffs()[i];
+    const Handoff& y = b.Handoffs()[i];
+    EXPECT_EQ(x.at.millis(), y.at.millis());
+    EXPECT_EQ(x.host, y.host);
+    EXPECT_EQ(x.seq, y.seq);
+    EXPECT_EQ(x.from_as, y.from_as);
+    EXPECT_EQ(x.to_as, y.to_as);
+  }
+  const auto inserts_a = a.InitialInserts();
+  const auto inserts_b = b.InitialInserts();
+  ASSERT_EQ(inserts_a.size(), inserts_b.size());
+  for (std::size_t i = 0; i < inserts_a.size(); ++i) {
+    EXPECT_EQ(inserts_a[i].guid, inserts_b[i].guid);
+    EXPECT_EQ(inserts_a[i].na, inserts_b[i].na);
+  }
+}
+
+TEST_F(MobilityWorkloadTest, SeedsProduceDisjointSchedules) {
+  MobilityParams other = Params();
+  other.seed = 10;
+  const MobilityWorkload a(env_.graph, Params());
+  const MobilityWorkload b(env_.graph, other);
+  // GUID spaces are disjoint across seeds.
+  EXPECT_NE(a.GuidOf(0, 0), b.GuidOf(0, 0));
+  // The schedules differ somewhere (overwhelmingly likely).
+  bool differs = a.Handoffs().size() != b.Handoffs().size();
+  for (std::size_t i = 0;
+       !differs && i < a.Handoffs().size() && i < b.Handoffs().size(); ++i) {
+    differs = a.Handoffs()[i].at.millis() != b.Handoffs()[i].at.millis() ||
+              a.Handoffs()[i].host != b.Handoffs()[i].host;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(MobilityWorkloadTest, HostStreamsAreIndependent) {
+  // Growing the population must not perturb the existing hosts' streams:
+  // every random choice derives from (seed, host), never from a shared
+  // generator whose state the new hosts would advance.
+  MobilityParams bigger = Params();
+  bigger.num_hosts = Params().num_hosts * 2;
+  const MobilityWorkload small(env_.graph, Params());
+  const MobilityWorkload big(env_.graph, bigger);
+  for (std::uint32_t host = 0; host < Params().num_hosts; ++host) {
+    EXPECT_EQ(small.InitialAsOf(host), big.InitialAsOf(host));
+    EXPECT_EQ(small.GuidOf(host, 0), big.GuidOf(host, 0));
+  }
+  for (const Handoff& handoff : small.Handoffs()) {
+    bool found = false;
+    for (const Handoff& other : big.Handoffs()) {
+      if (other.host == handoff.host && other.seq == handoff.seq) {
+        EXPECT_EQ(other.at.millis(), handoff.at.millis());
+        EXPECT_EQ(other.from_as, handoff.from_as);
+        EXPECT_EQ(other.to_as, handoff.to_as);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "host " << handoff.host << " seq " << handoff.seq;
+  }
+}
+
+TEST_F(MobilityWorkloadTest, HandoffsSortedAndChained) {
+  const MobilityWorkload workload(env_.graph, Params());
+  const auto& handoffs = workload.Handoffs();
+  for (std::size_t i = 1; i < handoffs.size(); ++i) {
+    const bool ordered =
+        handoffs[i - 1].at < handoffs[i].at ||
+        (handoffs[i - 1].at.millis() == handoffs[i].at.millis() &&
+         handoffs[i - 1].host <= handoffs[i].host);
+    EXPECT_TRUE(ordered) << "index " << i;
+  }
+  // Per host: seq starts at 1, increments, and chains from_as -> to_as
+  // starting at the initial attachment.
+  for (std::uint32_t host = 0; host < Params().num_hosts; ++host) {
+    std::uint32_t expected_seq = 1;
+    AsId at = workload.InitialAsOf(host);
+    for (const Handoff& handoff : handoffs) {
+      if (handoff.host != host) continue;
+      EXPECT_EQ(handoff.seq, expected_seq++);
+      EXPECT_EQ(handoff.from_as, at);
+      // Same-AS re-attachment is allowed (the locator still changes), but
+      // the destination must be a real AS.
+      EXPECT_LT(handoff.to_as, env_.graph.num_nodes());
+      at = handoff.to_as;
+      EXPECT_GE(handoff.at.millis(), 0.0);
+      EXPECT_LE(handoff.at.millis(), Params().horizon_s * 1000.0);
+    }
+  }
+}
+
+TEST_F(MobilityWorkloadTest, MovesForCoversEveryGuidAtTheNewAs) {
+  const MobilityWorkload workload(env_.graph, Params());
+  ASSERT_FALSE(workload.Handoffs().empty());
+  const Handoff& handoff = workload.Handoffs().front();
+  const auto moves = workload.MovesFor(handoff);
+  ASSERT_EQ(moves.size(), std::size_t(Params().guids_per_host));
+  for (std::uint32_t i = 0; i < Params().guids_per_host; ++i) {
+    EXPECT_EQ(moves[i].first, workload.GuidOf(handoff.host, i));
+    EXPECT_EQ(moves[i].second.as, handoff.to_as);
+  }
+  // Locators are fresh per handoff: the same host's GUID carries a new
+  // locator after the move (it re-attached at a new gateway).
+  const auto initial = workload.InitialInserts();
+  const std::size_t base =
+      std::size_t(handoff.host) * Params().guids_per_host;
+  EXPECT_NE(moves[0].second.locator, initial[base].na.locator);
+}
+
+}  // namespace
+}  // namespace dmap
